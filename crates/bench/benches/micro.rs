@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the hot paths under the migration
+//! engines: timestamp oracles, MVCC visibility, table reads/writes,
+//! shard-map routing, WAL append, and the Zipfian generator.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remus_clock::{Dts, Gts, TimestampOracle};
+use remus_common::{NodeId, TableId, Timestamp, TxnId};
+use remus_shard::{ShardMapCache, TableLayout};
+use remus_storage::{Clog, Value, VersionedTable};
+use remus_wal::{LogOp, LogRecord, Wal};
+
+fn bench_oracles(c: &mut Criterion) {
+    let gts = Gts::new();
+    c.bench_function("gts_start_ts", |b| b.iter(|| gts.start_ts(NodeId(0))));
+    let dts = Dts::new(6, Duration::from_millis(1));
+    c.bench_function("dts_start_ts", |b| b.iter(|| dts.start_ts(NodeId(2))));
+    c.bench_function("dts_observe", |b| {
+        b.iter(|| dts.observe(NodeId(1), Timestamp::from_hlc(123_456, 7)))
+    });
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let table = VersionedTable::new();
+    let clog = Clog::new();
+    let timeout = Duration::from_secs(1);
+    // Preload 10k keys with 4 versions each.
+    for round in 0..4u64 {
+        for key in 0..10_000u64 {
+            let xid = TxnId::new(NodeId(0), round * 10_000 + key + 1);
+            clog.begin(xid);
+            if round == 0 {
+                table
+                    .insert(
+                        key,
+                        Value::from(vec![1u8; 32]),
+                        xid,
+                        Timestamp(1),
+                        &clog,
+                        timeout,
+                    )
+                    .unwrap();
+            } else {
+                table
+                    .update(
+                        key,
+                        Value::from(vec![1u8; 32]),
+                        xid,
+                        Timestamp(round * 10 + 1),
+                        &clog,
+                        timeout,
+                    )
+                    .unwrap();
+            }
+            clog.set_committed(xid, Timestamp(round * 10 + 2)).unwrap();
+        }
+    }
+    let reader = TxnId::new(NodeId(1), 1);
+    c.bench_function("mvcc_read_latest", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 7) % 10_000;
+            table
+                .read(key, Timestamp(100), reader, &clog, timeout)
+                .unwrap()
+        })
+    });
+    c.bench_function("mvcc_read_old_snapshot", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 7) % 10_000;
+            table
+                .read(key, Timestamp(3), reader, &clog, timeout)
+                .unwrap()
+        })
+    });
+    // Criterion re-invokes the routine across warmup and sampling: the xid
+    // sequence must be global or begins would collide with resolved xids.
+    let seq = std::sync::atomic::AtomicU64::new(1_000_000);
+    c.bench_function("mvcc_update_commit", |b| {
+        b.iter(|| {
+            let s = seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let xid = TxnId::new(NodeId(2), s);
+            clog.begin(xid);
+            table
+                .update(
+                    s % 10_000,
+                    Value::from(vec![2u8; 32]),
+                    xid,
+                    Timestamp(100 + s),
+                    &clog,
+                    timeout,
+                )
+                .unwrap();
+            clog.set_committed(xid, Timestamp(101 + s)).unwrap();
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let layout = TableLayout::new(TableId(1), 0, 360);
+    c.bench_function("shard_for_key", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key += 1;
+            layout.shard_for(key)
+        })
+    });
+    let mut cache = ShardMapCache::new();
+    cache.refresh(
+        layout
+            .shard_ids()
+            .map(|s| (s, NodeId((s.0 % 6) as u32), Timestamp(1))),
+        1,
+    );
+    c.bench_function("cache_lookup", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key += 1;
+            cache.lookup(layout.shard_for(key), Timestamp(50))
+        })
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let wal = Arc::new(Wal::new());
+    c.bench_function("wal_append", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            wal.append(LogRecord::new(
+                TxnId::new(NodeId(0), seq),
+                LogOp::Commit(Timestamp(seq)),
+            ))
+        })
+    });
+    // Keep the bench from growing the log unboundedly between samples.
+    wal.truncate_until(wal.flush_lsn());
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let zipf = remus_workload::ycsb::Zipfian::new(100_000_000, 0.99);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    c.bench_function("zipfian_sample", |b| b.iter(|| zipf.sample(&mut rng)));
+}
+
+criterion_group!(
+    benches,
+    bench_oracles,
+    bench_storage,
+    bench_routing,
+    bench_wal,
+    bench_zipfian
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation: centralized GTS vs decentralized DTS (§2.2, §4.1).
+//!
+//! The paper runs all experiments under DTS because it "shows much better
+//! performance than GTS": every GTS timestamp is a round trip to the
+//! control plane. This ablation wraps a GTS with a simulated control-plane
+//! RTT and compares YCSB throughput and latency against DTS (free local
+//! HLC ticks) and an idealized zero-RTT GTS.
+//!
+//! Usage: `cargo run --release -p remus-bench --bin ablation_oracle`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use remus_bench::print_table;
+use remus_clock::{Gts, OracleKind, TimestampOracle};
+use remus_cluster::ClusterBuilder;
+use remus_common::{NodeId, SimConfig, Timestamp};
+use remus_workload::driver::Driver;
+use remus_workload::ycsb::{Ycsb, YcsbConfig};
+
+/// A GTS whose every request pays a control-plane round trip.
+struct RemoteGts {
+    inner: Gts,
+    rtt: Duration,
+}
+
+impl TimestampOracle for RemoteGts {
+    fn start_ts(&self, node: NodeId) -> Timestamp {
+        std::thread::sleep(self.rtt);
+        self.inner.start_ts(node)
+    }
+    fn commit_ts(&self, node: NodeId) -> Timestamp {
+        std::thread::sleep(self.rtt);
+        self.inner.commit_ts(node)
+    }
+    fn observe(&self, node: NodeId, ts: Timestamp) {
+        self.inner.observe(node, ts);
+    }
+    fn kind(&self) -> OracleKind {
+        OracleKind::Gts
+    }
+}
+
+fn run(label: &str, oracle: Option<Arc<dyn TimestampOracle>>) -> Vec<String> {
+    let mut builder = ClusterBuilder::new(6).config(SimConfig::instant());
+    builder = match oracle {
+        Some(o) => builder.oracle_instance(o),
+        None => builder.oracle(OracleKind::Dts),
+    };
+    let cluster = builder.build();
+    let ycsb = Arc::new(Ycsb::setup(
+        &cluster,
+        YcsbConfig {
+            shards: 24,
+            keys: 12_000,
+            ..YcsbConfig::default()
+        },
+    ));
+    let driver = Driver::start_with_think(&cluster, 8, Duration::from_micros(200), ycsb as _);
+    driver.run_for(Duration::from_secs(4));
+    let metrics = driver.stop();
+    let secs = metrics.timeline.elapsed().as_secs_f64();
+    vec![
+        label.to_string(),
+        format!("{:.0}", metrics.counters.commits() as f64 / secs),
+        format!("{:.3}", metrics.latency_normal.mean().as_secs_f64() * 1e3),
+        format!(
+            "{:.3}",
+            metrics.latency_normal.percentile(0.99).as_secs_f64() * 1e3
+        ),
+    ]
+}
+
+fn main() {
+    println!("# Ablation — GTS vs DTS timestamp schemes (§2.2)");
+    let rows = vec![
+        run("dts", None),
+        run("gts (ideal, zero RTT)", Some(Arc::new(Gts::new()))),
+        run(
+            "gts (100µs control-plane RTT)",
+            Some(Arc::new(RemoteGts {
+                inner: Gts::new(),
+                rtt: Duration::from_micros(100),
+            })),
+        ),
+    ];
+    print_table(
+        "timestamp scheme vs YCSB performance",
+        &["oracle", "tps", "mean_latency_ms", "p99_latency_ms"],
+        &rows,
+    );
+    println!("note: the paper uses DTS for all experiments for the same reason.");
+}

@@ -1,0 +1,102 @@
+//! Ablation: transaction-level parallel replay (§3.6).
+//!
+//! The paper controls migration impact by making `speed_replay` exceed
+//! `speed_update` with a parallel apply (18 threads in §4.1). This ablation
+//! migrates a shard under sustained write load with 1, 2, 4, and 8 apply
+//! workers and reports the catch-up and total migration durations: too few
+//! workers and the destination cannot catch up, stretching (or, at
+//! pathological settings, preventing) the mode change.
+//!
+//! Usage: `cargo run --release -p remus-bench --bin ablation_replay`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use remus_bench::{print_table, sim_config, Scale};
+use remus_cluster::{ClusterBuilder, Session};
+use remus_common::{NodeId, ShardId};
+use remus_core::{MigrationEngine, MigrationTask, RemusEngine};
+use remus_workload::ycsb::{KeyDistribution, Ycsb, YcsbConfig};
+
+fn run_with_workers(workers: usize, scale: &Scale) -> Vec<String> {
+    let mut config = sim_config(scale);
+    config.replay_parallelism = workers;
+    config.snapshot_copy_per_tuple = Duration::from_micros(200);
+    let cluster = ClusterBuilder::new(2).config(config).build();
+    cluster.start_maintenance(Duration::from_millis(300));
+    let ycsb = Arc::new(Ycsb::setup(
+        &cluster,
+        YcsbConfig {
+            shards: 4,
+            keys: 4_000,
+            read_ratio: 0.0, // all updates: maximum propagation pressure
+            distribution: KeyDistribution::Uniform,
+            ..YcsbConfig::default()
+        },
+    ));
+    // Writers on node 1 hammer updates while the shard moves 0 → 1.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..3)
+        .map(|w| {
+            let cluster = Arc::clone(&cluster);
+            let ycsb = Arc::clone(&ycsb);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                use rand::SeedableRng;
+                let session = Session::connect(&cluster, NodeId(w % 2));
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(w as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = session.run(|t| {
+                        remus_workload::driver::Workload::run_once(
+                            &*ycsb,
+                            remus_common::ClientId(w),
+                            t,
+                            &mut rng,
+                        )
+                    });
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(200));
+
+    let report = RemusEngine::new()
+        .migrate(
+            &cluster,
+            &MigrationTask::single(ShardId(0), NodeId(0), NodeId(1)),
+        )
+        .expect("migration failed");
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    vec![
+        workers.to_string(),
+        format!("{:.1}", report.catchup_phase.as_secs_f64() * 1e3),
+        format!("{:.1}", report.transfer_phase.as_secs_f64() * 1e3),
+        format!("{:.1}", report.total.as_secs_f64() * 1e3),
+        report.records_replayed.to_string(),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Ablation — transaction-level parallel replay (§3.6)");
+    let rows: Vec<Vec<String>> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&w| run_with_workers(w, &scale))
+        .collect();
+    print_table(
+        "replay parallelism vs migration phases",
+        &[
+            "workers",
+            "catchup_ms",
+            "transfer_ms",
+            "total_ms",
+            "records_replayed",
+        ],
+        &rows,
+    );
+}

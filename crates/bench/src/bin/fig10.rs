@@ -1,0 +1,36 @@
+//! Figure 10: throughput and node work ("CPU") under a high-contention
+//! YCSB workload while Remus migrates the hot shard.
+//!
+//! Expected shape (paper §4.8): a throughput dip during snapshot copying
+//! (the copy's snapshot pins vacuum, version chains grow on the hot
+//! tuples), elevated source work during copy and propagation, destination
+//! work during replay, and only a handful of WW conflicts between shadow
+//! and destination transactions during dual execution.
+//!
+//! Usage: `cargo run --release -p remus-bench --bin fig10`.
+
+use remus_bench::{print_events, print_series, run_high_contention, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figure 10 — high-contention YCSB, Remus migrating the hot shard");
+    println!("# scale: {scale:?}");
+    let result = run_high_contention(&scale);
+    print_series("tps", &result.tps);
+    print_events(&result.events);
+    println!("# per-second node work (CPU stand-in) and max version chain");
+    println!("t_s\tsrc_work\tdst_work\tmax_chain");
+    for s in &result.samples {
+        println!(
+            "{:.0}\t{}\t{}\t{}",
+            s.t, s.src_work, s.dst_work, s.max_chain
+        );
+    }
+    println!(
+        "summary\tww_aborts={}\tshadow_vs_dest_ww_conflicts={}\tcopy_s={:.2}\ttotal_s={:.2}",
+        result.ww_aborts,
+        result.shadow_conflicts,
+        result.migration.snapshot_phase.as_secs_f64(),
+        result.migration.total.as_secs_f64(),
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 6: YCSB throughput under hybrid workload A (batch ingestion)
+//! during cluster consolidation, for all four approaches.
+//!
+//! Expected shape (paper §4.4.1): Remus stays flat with zero aborts;
+//! lock-and-abort keeps YCSB flat but aborts nearly every batch;
+//! wait-and-remaster shows sharp drops to zero while batches are in
+//! flight; Squall collapses during batches (partition locks) and keeps
+//! fluctuating afterwards (pull blocking).
+//!
+//! Usage: `cargo run --release -p remus-bench --bin fig6 [engine]`
+//! with `REMUS_SCALE=quick|default|full`.
+
+use remus_bench::{print_scenario_for, run_hybrid_a, EngineKind, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let only = std::env::args().nth(1).and_then(|s| EngineKind::parse(&s));
+    println!("# Figure 6 — YCSB throughput, hybrid workload A, consolidation");
+    println!("# scale: {scale:?}");
+    for kind in EngineKind::all() {
+        if let Some(o) = only {
+            if o != kind {
+                continue;
+            }
+        }
+        let result = run_hybrid_a(kind, &scale);
+        print_scenario_for(&result);
+    }
+}

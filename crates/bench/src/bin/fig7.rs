@@ -1,0 +1,27 @@
+//! Figure 7: YCSB throughput under hybrid workload B (a long analytical
+//! transaction) during cluster consolidation.
+//!
+//! Expected shape (paper §4.4.2): Remus and lock-and-abort keep YCSB flat;
+//! wait-and-remaster drops to zero until the analytical transaction
+//! completes; Squall's YCSB throughput is zero while the analytical
+//! transaction holds every shard lock.
+//!
+//! Usage: `cargo run --release -p remus-bench --bin fig7 [engine]`.
+
+use remus_bench::{print_scenario_for, run_hybrid_b, EngineKind, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let only = std::env::args().nth(1).and_then(|s| EngineKind::parse(&s));
+    println!("# Figure 7 — YCSB throughput, hybrid workload B, consolidation");
+    println!("# scale: {scale:?}");
+    for kind in EngineKind::all() {
+        if let Some(o) = only {
+            if o != kind {
+                continue;
+            }
+        }
+        let result = run_hybrid_b(kind, &scale);
+        print_scenario_for(&result);
+    }
+}

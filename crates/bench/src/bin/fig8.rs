@@ -1,0 +1,26 @@
+//! Figure 8: YCSB throughput during load balancing of a skewed workload.
+//!
+//! Expected shape (paper §4.5): throughput rises as hot shards spread out
+//! for Remus / lock-and-abort / wait-and-remaster (lock-and-abort racks up
+//! migration aborts along the way); Squall drops and fluctuates because
+//! transactions block behind pulls and shard-lock contention.
+//!
+//! Usage: `cargo run --release -p remus-bench --bin fig8 [engine]`.
+
+use remus_bench::{print_scenario_for, run_load_balance, EngineKind, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let only = std::env::args().nth(1).and_then(|s| EngineKind::parse(&s));
+    println!("# Figure 8 — YCSB throughput during load balancing (skewed)");
+    println!("# scale: {scale:?}");
+    for kind in EngineKind::all() {
+        if let Some(o) = only {
+            if o != kind {
+                continue;
+            }
+        }
+        let result = run_load_balance(kind, &scale);
+        print_scenario_for(&result);
+    }
+}

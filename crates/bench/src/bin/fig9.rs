@@ -1,0 +1,28 @@
+//! Figure 9: TPC-C throughput during scale-out.
+//!
+//! Expected shape (paper §4.6): throughput rises to a higher plateau for
+//! every push approach once the new node carries its share; Remus shows
+//! much smaller fluctuations through the 8-shards-per-warehouse
+//! migrations than lock-and-abort (long ownership-transfer phases) and
+//! wait-and-remaster (waits for in-flight TPC-C transactions). Squall is
+//! not evaluated (no multi-key range partitioning, §4.6).
+//!
+//! Usage: `cargo run --release -p remus-bench --bin fig9 [engine]`.
+
+use remus_bench::{print_scenario_for, run_scale_out, EngineKind, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let only = std::env::args().nth(1).and_then(|s| EngineKind::parse(&s));
+    println!("# Figure 9 — TPC-C throughput during scale-out");
+    println!("# scale: {scale:?}");
+    for kind in EngineKind::push_engines() {
+        if let Some(o) = only {
+            if o != kind {
+                continue;
+            }
+        }
+        let result = run_scale_out(kind, &scale);
+        print_scenario_for(&result);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Benchmark harnesses that regenerate every table and figure of the
+//! paper's evaluation (§4).
+//!
+//! One binary per artifact (see `src/bin/`): `fig6` … `fig10`, `table2`,
+//! `table3`. Each prints the same rows/series the paper reports — per-
+//! second throughput with migration events overlaid for the figures,
+//! abort ratios and latency deltas for the tables. Absolute numbers come
+//! from a laptop-scale simulation (see DESIGN.md §1); the *shape* — which
+//! engine wins, where throughput collapses, who aborts — is the
+//! reproduction target.
+//!
+//! Scales are read from the `REMUS_SCALE` environment variable:
+//! `quick` (CI smoke), `default`, or `full` (closest to the paper's
+//! dimensions; takes correspondingly longer).
+
+pub mod harness;
+pub mod print;
+pub mod scale;
+
+pub use harness::{
+    run_high_contention, run_hybrid_a, run_hybrid_b, run_load_balance, run_scale_out, sim_config,
+    EngineKind, HighContentionResult, ScenarioResult,
+};
+pub use print::{print_events, print_scenario, print_series, print_table};
+
+/// Alias kept for the binaries' readability.
+pub use print::print_scenario as print_scenario_for;
+pub use scale::Scale;

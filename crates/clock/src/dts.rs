@@ -1,0 +1,152 @@
+//! DTS — the decentralized timestamp scheme (paper §2.2).
+//!
+//! Each node runs a [`Hlc`] over a skewed physical clock. Start timestamps
+//! are local HLC ticks (fresh snapshots, no central round trip); commit
+//! timestamps are HLC ticks taken after the prepare phase, and message
+//! receipt folds the sender's timestamp into the receiver's clock so that
+//! causally related transactions are timestamp-ordered. Sessions on
+//! different nodes may observe snapshots stale by up to the physical clock
+//! skew, exactly as the paper concedes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use remus_common::{NodeId, Timestamp};
+
+use crate::hlc::Hlc;
+use crate::physical::{PhysicalClock, SkewedClock, WallClock};
+use crate::{OracleKind, TimestampOracle};
+
+/// The decentralized oracle: one HLC per node.
+pub struct Dts {
+    clocks: Vec<Hlc>,
+}
+
+impl std::fmt::Debug for Dts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dts")
+            .field("nodes", &self.clocks.len())
+            .finish()
+    }
+}
+
+impl Dts {
+    /// Builds a DTS for `nodes` nodes whose physical clocks are skewed by
+    /// deterministic offsets in `[0, max_skew]` over a shared wall clock.
+    pub fn new(nodes: usize, max_skew: Duration) -> Self {
+        let base = Arc::new(WallClock::new());
+        let clocks = (0..nodes)
+            .map(|i| {
+                let skew = if nodes <= 1 {
+                    Duration::ZERO
+                } else {
+                    max_skew * i as u32 / (nodes - 1) as u32
+                };
+                let phys: Arc<dyn PhysicalClock> =
+                    Arc::new(SkewedClock::new(Arc::clone(&base), skew));
+                Hlc::new(phys)
+            })
+            .collect();
+        Dts { clocks }
+    }
+
+    /// Builds a DTS from explicit per-node physical clocks (tests).
+    pub fn from_clocks(physicals: Vec<Arc<dyn PhysicalClock>>) -> Self {
+        Dts {
+            clocks: physicals.into_iter().map(Hlc::new).collect(),
+        }
+    }
+
+    fn clock(&self, node: NodeId) -> &Hlc {
+        &self.clocks[node.raw() as usize]
+    }
+
+    /// Number of node clocks.
+    pub fn nodes(&self) -> usize {
+        self.clocks.len()
+    }
+}
+
+impl TimestampOracle for Dts {
+    fn start_ts(&self, node: NodeId) -> Timestamp {
+        self.clock(node).tick()
+    }
+
+    fn commit_ts(&self, node: NodeId) -> Timestamp {
+        self.clock(node).tick()
+    }
+
+    fn observe(&self, node: NodeId, ts: Timestamp) {
+        self.clock(node).observe(ts);
+    }
+
+    fn kind(&self) -> OracleKind {
+        OracleKind::Dts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::ManualClock;
+
+    fn manual_dts(times: &[u64]) -> (Vec<Arc<ManualClock>>, Dts) {
+        let manuals: Vec<Arc<ManualClock>> = times
+            .iter()
+            .map(|&t| Arc::new(ManualClock::starting_at(t)))
+            .collect();
+        let physicals = manuals
+            .iter()
+            .map(|m| Arc::clone(m) as Arc<dyn PhysicalClock>)
+            .collect();
+        (manuals, Dts::from_clocks(physicals))
+    }
+
+    #[test]
+    fn per_node_timestamps_are_monotone() {
+        let (_m, dts) = manual_dts(&[100, 100]);
+        let a = dts.start_ts(NodeId(0));
+        let b = dts.commit_ts(NodeId(0));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn observe_orders_causally_related_transactions() {
+        // Node 1's clock is far behind node 0's.
+        let (_m, dts) = manual_dts(&[500, 100]);
+        let commit_on_fast = dts.commit_ts(NodeId(0));
+        // The commit message reaches node 1 (e.g. 2PC commit of a
+        // distributed transaction); node 1 observes it.
+        dts.observe(NodeId(1), commit_on_fast);
+        // Any later transaction starting on node 1 must see a larger ts,
+        // despite its slow physical clock.
+        assert!(dts.start_ts(NodeId(1)) > commit_on_fast);
+    }
+
+    #[test]
+    fn without_observe_skew_allows_stale_snapshots() {
+        // This documents the paper's concession: under DTS, sessions on
+        // different nodes may get start timestamps below another node's
+        // commit timestamp when no message linked them.
+        let (_m, dts) = manual_dts(&[500, 100]);
+        let commit_on_fast = dts.commit_ts(NodeId(0));
+        let start_on_slow = dts.start_ts(NodeId(1));
+        assert!(start_on_slow < commit_on_fast);
+    }
+
+    #[test]
+    fn new_assigns_bounded_skews() {
+        let dts = Dts::new(6, Duration::from_millis(5));
+        assert_eq!(dts.nodes(), 6);
+        // All clocks respond.
+        for n in 0..6 {
+            assert!(dts.start_ts(NodeId(n)).is_valid());
+        }
+    }
+
+    #[test]
+    fn kind_reports_dts() {
+        let dts = Dts::new(1, Duration::ZERO);
+        assert_eq!(dts.kind(), OracleKind::Dts);
+    }
+}

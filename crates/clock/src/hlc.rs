@@ -1,0 +1,196 @@
+//! Hybrid Logical Clock (Kulkarni et al., OPODIS 2014 — the paper's reference 30).
+//!
+//! An HLC timestamp is `(physical_ms, logical)` packed into one
+//! [`Timestamp`]. Two rules preserve Lamport causality while staying close
+//! to physical time:
+//!
+//! * **tick** (local/send event): take `max(physical_now, last)`; bump the
+//!   logical counter if physical time has not advanced past the last value.
+//! * **observe** (receive event): take `max(physical_now, last, remote)` and
+//!   bump the logical counter on ties, guaranteeing the returned timestamp
+//!   exceeds both the local clock and the remote timestamp.
+
+use parking_lot::Mutex;
+use remus_common::Timestamp;
+
+use crate::physical::PhysicalClock;
+use std::sync::Arc;
+
+/// One node's hybrid logical clock.
+pub struct Hlc {
+    physical: Arc<dyn PhysicalClock>,
+    /// Last issued (physical_ms, logical) pair.
+    last: Mutex<(u64, u16)>,
+}
+
+impl std::fmt::Debug for Hlc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let last = *self.last.lock();
+        f.debug_struct("Hlc").field("last", &last).finish()
+    }
+}
+
+impl Hlc {
+    /// Creates an HLC over the given physical time source.
+    pub fn new(physical: Arc<dyn PhysicalClock>) -> Self {
+        Hlc {
+            physical,
+            last: Mutex::new((0, 0)),
+        }
+    }
+
+    /// Produces a new local timestamp strictly greater than every timestamp
+    /// this clock has issued or observed before.
+    pub fn tick(&self) -> Timestamp {
+        let pt = self.physical.now_ms();
+        let mut last = self.last.lock();
+        if pt > last.0 {
+            *last = (pt, 0);
+        } else {
+            last.1 = last.1.checked_add(1).expect("HLC logical counter overflow");
+        }
+        Timestamp::from_hlc(last.0, last.1)
+    }
+
+    /// Merges a remote timestamp into the clock and returns a timestamp
+    /// strictly greater than both the remote timestamp and anything issued
+    /// locally before.
+    pub fn observe(&self, remote: Timestamp) -> Timestamp {
+        let pt = self.physical.now_ms();
+        let (rpt, rl) = (remote.physical_ms(), remote.logical());
+        let mut last = self.last.lock();
+        let new = if pt > last.0 && pt > rpt {
+            (pt, 0)
+        } else if last.0 > rpt {
+            (last.0, last.1 + 1)
+        } else if rpt > last.0 {
+            (rpt, rl + 1)
+        } else {
+            (last.0, last.1.max(rl) + 1)
+        };
+        *last = new;
+        Timestamp::from_hlc(new.0, new.1)
+    }
+
+    /// The most recent timestamp issued, without advancing the clock.
+    pub fn peek(&self) -> Timestamp {
+        let last = *self.last.lock();
+        Timestamp::from_hlc(last.0, last.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::ManualClock;
+    use proptest::prelude::*;
+
+    fn hlc_at(ms: u64) -> (Arc<ManualClock>, Hlc) {
+        let clock = Arc::new(ManualClock::starting_at(ms));
+        let hlc = Hlc::new(Arc::clone(&clock) as Arc<dyn PhysicalClock>);
+        (clock, hlc)
+    }
+
+    #[test]
+    fn tick_is_strictly_increasing_with_frozen_physical_time() {
+        let (_c, hlc) = hlc_at(100);
+        let a = hlc.tick();
+        let b = hlc.tick();
+        let c = hlc.tick();
+        assert!(a < b && b < c);
+        assert_eq!(a.physical_ms(), 100);
+        assert_eq!(c.logical(), 2);
+    }
+
+    #[test]
+    fn tick_resets_logical_when_physical_advances() {
+        let (clock, hlc) = hlc_at(100);
+        hlc.tick();
+        hlc.tick();
+        clock.advance(1);
+        let ts = hlc.tick();
+        assert_eq!(ts.physical_ms(), 101);
+        assert_eq!(ts.logical(), 0);
+    }
+
+    #[test]
+    fn observe_exceeds_remote_timestamp() {
+        let (_c, hlc) = hlc_at(100);
+        // A remote node far in the future (big skew).
+        let remote = Timestamp::from_hlc(500, 7);
+        let ts = hlc.observe(remote);
+        assert!(ts > remote);
+        // And the causal order persists: the next local tick still exceeds it.
+        assert!(hlc.tick() > remote);
+    }
+
+    #[test]
+    fn observe_of_stale_timestamp_still_advances() {
+        let (_c, hlc) = hlc_at(100);
+        let before = hlc.tick();
+        let ts = hlc.observe(Timestamp::from_hlc(1, 0));
+        assert!(ts > before);
+    }
+
+    #[test]
+    fn observe_tie_on_physical_takes_max_logical() {
+        let (_c, hlc) = hlc_at(100);
+        hlc.tick(); // (100, 0)
+        let ts = hlc.observe(Timestamp::from_hlc(100, 9));
+        assert_eq!(ts.physical_ms(), 100);
+        assert_eq!(ts.logical(), 10);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let (_c, hlc) = hlc_at(100);
+        let a = hlc.tick();
+        assert_eq!(hlc.peek(), a);
+        assert_eq!(hlc.peek(), a);
+    }
+
+    proptest! {
+        /// Happens-before implies timestamp order: simulate message chains
+        /// between two HLCs with arbitrary skews and check every send is
+        /// ordered before its receive.
+        #[test]
+        fn causality_preserved_across_messages(
+            skew_a in 0u64..100, skew_b in 0u64..100,
+            steps in proptest::collection::vec(0u8..4, 1..40)
+        ) {
+            let a = hlc_at(1000 + skew_a).1;
+            let b = hlc_at(1000 + skew_b).1;
+            for step in steps {
+                match step {
+                    0 => { a.tick(); }
+                    1 => { b.tick(); }
+                    2 => {
+                        let sent = a.tick();
+                        let recv = b.observe(sent);
+                        prop_assert!(recv > sent);
+                    }
+                    _ => {
+                        let sent = b.tick();
+                        let recv = a.observe(sent);
+                        prop_assert!(recv > sent);
+                    }
+                }
+            }
+        }
+
+        /// The clock never goes backwards regardless of the mix of ticks and
+        /// observes.
+        #[test]
+        fn monotone_under_arbitrary_events(
+            events in proptest::collection::vec((0u8..2, 0u64..2000, 0u16..64), 1..60)
+        ) {
+            let (_c, hlc) = hlc_at(500);
+            let mut prev = Timestamp::INVALID;
+            for (kind, p, l) in events {
+                let ts = if kind == 0 { hlc.tick() } else { hlc.observe(Timestamp::from_hlc(p, l)) };
+                prop_assert!(ts > prev, "clock regressed: {prev} -> {ts}");
+                prev = ts;
+            }
+        }
+    }
+}

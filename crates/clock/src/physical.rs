@@ -1,0 +1,159 @@
+//! Physical time sources for the hybrid logical clocks.
+//!
+//! The paper's DTS mixes logical time with "a synchronized physical time"
+//! (NTP/PTP, footnote 1). We model the imperfect synchronization with
+//! [`SkewedClock`]: each node reads a shared monotonic epoch clock plus a
+//! fixed per-node offset bounded by `SimConfig::max_clock_skew`. Tests use
+//! the deterministic [`ManualClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of physical milliseconds.
+pub trait PhysicalClock: Send + Sync {
+    /// Current physical time in milliseconds. Need not be monotone across
+    /// different clocks (that is the point of simulating skew), but each
+    /// individual clock should never go backwards.
+    fn now_ms(&self) -> u64;
+}
+
+/// Real wall time measured from process start.
+///
+/// Using an [`Instant`] epoch instead of `SystemTime` keeps the clock
+/// monotone even if the host NTP-steps during a benchmark run.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock anchored at the current instant.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhysicalClock for WallClock {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// A node's view of a shared base clock, offset by a fixed skew.
+///
+/// All nodes share one base [`WallClock`] (the "true" time); each node sees
+/// it shifted by its own `skew`, which is how loosely NTP-synchronized
+/// machines disagree.
+#[derive(Debug, Clone)]
+pub struct SkewedClock {
+    base: Arc<WallClock>,
+    skew_ms: u64,
+}
+
+impl SkewedClock {
+    /// Creates a node clock with the given skew over the shared base.
+    pub fn new(base: Arc<WallClock>, skew: Duration) -> Self {
+        SkewedClock {
+            base,
+            skew_ms: skew.as_millis() as u64,
+        }
+    }
+
+    /// The skew this node's clock carries.
+    pub fn skew(&self) -> Duration {
+        Duration::from_millis(self.skew_ms)
+    }
+}
+
+impl PhysicalClock for SkewedClock {
+    fn now_ms(&self) -> u64 {
+        self.base.now_ms() + self.skew_ms
+    }
+}
+
+/// A hand-driven clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ms: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A manual clock starting at `ms`.
+    pub fn starting_at(ms: u64) -> Self {
+        ManualClock {
+            ms: AtomicU64::new(ms),
+        }
+    }
+
+    /// Sets the clock to `ms`. Panics if that would move it backwards.
+    pub fn set(&self, ms: u64) {
+        let prev = self.ms.swap(ms, Ordering::SeqCst);
+        assert!(prev <= ms, "ManualClock moved backwards: {prev} -> {ms}");
+    }
+
+    /// Advances the clock by `delta_ms`.
+    pub fn advance(&self, delta_ms: u64) {
+        self.ms.fetch_add(delta_ms, Ordering::SeqCst);
+    }
+}
+
+impl PhysicalClock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn skewed_clock_adds_offset() {
+        let base = Arc::new(WallClock::new());
+        let fast = SkewedClock::new(Arc::clone(&base), Duration::from_millis(50));
+        let true_now = base.now_ms();
+        let skewed_now = fast.now_ms();
+        assert!(skewed_now >= true_now + 50);
+        assert!(skewed_now <= true_now + 50 + 10); // generous slop for scheduling
+        assert_eq!(fast.skew(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::starting_at(10);
+        assert_eq!(c.now_ms(), 10);
+        c.advance(5);
+        assert_eq!(c.now_ms(), 15);
+        c.set(100);
+        assert_eq!(c.now_ms(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn manual_clock_rejects_regression() {
+        let c = ManualClock::starting_at(10);
+        c.set(5);
+    }
+}

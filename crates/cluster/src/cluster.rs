@@ -1,0 +1,565 @@
+//! The cluster: nodes, control plane services, and shared machinery.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use remus_clock::{Dts, Gts, OracleKind, TimestampOracle};
+use remus_common::{DbError, DbResult, NodeId, ShardId, SimConfig, TableId, Timestamp};
+use remus_shard::{install_owner, read_owner_at, ShardMapRow, TableLayout};
+use remus_txn::{DelayNetwork, Network, NoNetwork, ShardLockTable};
+
+use crate::node::Node;
+
+/// Which concurrency-control regime sessions run under.
+///
+/// `Mvcc` is PolarDB-PG's native SI. `ShardLock` layers H-store-style
+/// partition locks on top (every statement takes a shard lock held to
+/// transaction end) — the regime Squall is evaluated under (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcMode {
+    /// Plain MVCC snapshot isolation.
+    Mvcc,
+    /// Shard locks on top of MVCC (for the Squall baseline).
+    ShardLock,
+}
+
+/// Tracks active snapshots so vacuum can compute its horizon. Long-lived
+/// entries (a snapshot-copy scan, an analytical query) hold the horizon
+/// back — the version-chain growth Figure 10 measures.
+#[derive(Debug, Default)]
+pub struct SnapshotRegistry {
+    active: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl SnapshotRegistry {
+    fn register(&self, ts: Timestamp) {
+        *self.active.lock().entry(ts.0).or_insert(0) += 1;
+    }
+
+    /// Acquires a timestamp from `f` and registers it in one critical
+    /// section, so any observer of [`SnapshotRegistry::oldest`] sees every
+    /// snapshot acquired before its read — the dual-execution drain relies
+    /// on this to never miss a transaction that just took an old snapshot.
+    fn register_atomic(&self, f: impl FnOnce() -> Timestamp) -> Timestamp {
+        let mut active = self.active.lock();
+        let ts = f();
+        *active.entry(ts.0).or_insert(0) += 1;
+        ts
+    }
+
+    fn unregister(&self, ts: Timestamp) {
+        let mut active = self.active.lock();
+        if let Some(n) = active.get_mut(&ts.0) {
+            *n -= 1;
+            if *n == 0 {
+                active.remove(&ts.0);
+            }
+        }
+    }
+
+    /// The oldest active snapshot, if any.
+    pub fn oldest(&self) -> Option<Timestamp> {
+        self.active.lock().keys().next().map(|&t| Timestamp(t))
+    }
+}
+
+/// RAII registration of an active snapshot.
+pub struct SnapshotGuard {
+    registry: Arc<SnapshotRegistry>,
+    ts: Timestamp,
+}
+
+impl SnapshotGuard {
+    /// The registered snapshot timestamp.
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+}
+
+impl Drop for SnapshotGuard {
+    fn drop(&mut self) {
+        self.registry.unregister(self.ts);
+    }
+}
+
+/// Blocks new transaction begins while suspended (wait-and-remaster's
+/// ownership transfer suspends routing of newly arrived transactions).
+#[derive(Debug, Default)]
+pub struct RoutingGate {
+    suspended: Mutex<bool>,
+    resumed: Condvar,
+}
+
+impl RoutingGate {
+    /// Suspends new begins.
+    pub fn suspend(&self) {
+        *self.suspended.lock() = true;
+    }
+
+    /// Resumes and wakes blocked begins.
+    pub fn resume(&self) {
+        *self.suspended.lock() = false;
+        self.resumed.notify_all();
+    }
+
+    /// Blocks while suspended.
+    pub fn wait_admitted(&self) {
+        let mut suspended = self.suspended.lock();
+        while *suspended {
+            self.resumed.wait(&mut suspended);
+        }
+    }
+}
+
+/// Pre-access interposition used by pull-based migration: Squall installs a
+/// hook that pulls missing chunks on demand on the destination and rejects
+/// access to already-migrated chunks on the source (§2.3.2).
+pub trait AccessHook: Send + Sync {
+    /// Called before a statement touches `(shard, key)` on `node`. May
+    /// block (performing an on-demand pull) or fail (the access must abort
+    /// and be retried after re-routing).
+    fn before_access(
+        &self,
+        node: NodeId,
+        shard: ShardId,
+        key: remus_storage::Key,
+        write: bool,
+        xid: remus_common::TxnId,
+    ) -> DbResult<()>;
+
+    /// Called before a full-shard scan on `node` (must make the entire
+    /// shard available, e.g. by pulling every remaining chunk).
+    fn before_scan(&self, node: NodeId, shard: ShardId, xid: remus_common::TxnId) -> DbResult<()> {
+        let _ = (node, shard, xid);
+        Ok(())
+    }
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    nodes: Vec<Arc<Node>>,
+    /// The timestamp oracle (control plane GTS, or per-node DTS clocks).
+    pub oracle: Arc<dyn TimestampOracle>,
+    /// Network cost model.
+    pub net: Arc<dyn Network>,
+    /// Simulation tunables.
+    pub config: SimConfig,
+    /// Concurrency-control regime for sessions.
+    pub cc_mode: CcMode,
+    /// Cluster-wide shard lock table (ShardLock mode and Squall pulls).
+    pub shard_locks: ShardLockTable,
+    /// Routing gate for wait-and-remaster.
+    pub routing_gate: RoutingGate,
+    /// Active snapshot registry for vacuum horizons.
+    pub snapshots: Arc<SnapshotRegistry>,
+    registered_tables: Mutex<Vec<TableLayout>>,
+    active_txns: AtomicU64,
+    maintenance_stop: Arc<AtomicBool>,
+    access_hook: parking_lot::RwLock<Option<Arc<dyn AccessHook>>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+/// Builder for [`Cluster`].
+pub struct ClusterBuilder {
+    nodes: usize,
+    oracle: OracleKind,
+    custom_oracle: Option<Arc<dyn TimestampOracle>>,
+    config: SimConfig,
+    cc_mode: CcMode,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for `nodes` elastic nodes.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        ClusterBuilder {
+            nodes,
+            oracle: OracleKind::Dts,
+            custom_oracle: None,
+            config: SimConfig::instant(),
+            cc_mode: CcMode::Mvcc,
+        }
+    }
+
+    /// Selects the timestamp scheme (default: DTS, as in the evaluation).
+    pub fn oracle(mut self, kind: OracleKind) -> Self {
+        self.oracle = kind;
+        self
+    }
+
+    /// Installs a caller-provided oracle (e.g. a GTS wrapped with a
+    /// simulated control-plane round trip for the oracle ablation).
+    pub fn oracle_instance(mut self, oracle: Arc<dyn TimestampOracle>) -> Self {
+        self.custom_oracle = Some(oracle);
+        self
+    }
+
+    /// Sets the simulation config (default: [`SimConfig::instant`]).
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the concurrency-control regime (default: MVCC).
+    pub fn cc_mode(mut self, mode: CcMode) -> Self {
+        self.cc_mode = mode;
+        self
+    }
+
+    /// Builds the cluster.
+    pub fn build(self) -> Arc<Cluster> {
+        let oracle: Arc<dyn TimestampOracle> = match self.custom_oracle {
+            Some(o) => o,
+            None => match self.oracle {
+                OracleKind::Gts => Arc::new(Gts::new()),
+                OracleKind::Dts => Arc::new(Dts::new(self.nodes, self.config.max_clock_skew)),
+            },
+        };
+        let net: Arc<dyn Network> = if self.config.network_latency.is_zero() {
+            Arc::new(NoNetwork)
+        } else {
+            Arc::new(DelayNetwork::new(self.config.network_latency))
+        };
+        let nodes = (0..self.nodes)
+            .map(|i| Arc::new(Node::new(NodeId(i as u32), self.config.clone())))
+            .collect();
+        Arc::new(Cluster {
+            nodes,
+            oracle,
+            net,
+            config: self.config,
+            cc_mode: self.cc_mode,
+            shard_locks: ShardLockTable::new(),
+            routing_gate: RoutingGate::default(),
+            snapshots: Arc::new(SnapshotRegistry::default()),
+            registered_tables: Mutex::new(Vec::new()),
+            active_txns: AtomicU64::new(0),
+            maintenance_stop: Arc::new(AtomicBool::new(false)),
+            access_hook: parking_lot::RwLock::new(None),
+        })
+    }
+}
+
+impl Cluster {
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &Arc<Node> {
+        &self.nodes[id.raw() as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Arc<Node>] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    // ---- table creation ----
+
+    /// Creates a sharded user table: allocates a consistent-hashing
+    /// layout, creates each shard's table on its owner (chosen by
+    /// `placement`), and installs the owner rows in every node's shard map
+    /// replica.
+    pub fn create_table(
+        &self,
+        table: TableId,
+        base_shard: u64,
+        shards: u32,
+        placement: impl FnMut(u32) -> NodeId,
+    ) -> TableLayout {
+        self.create_table_with_layout(TableLayout::new(table, base_shard, shards), placement)
+    }
+
+    /// Creates a table from an explicit layout (e.g. TPC-C's direct
+    /// one-warehouse-per-shard layouts).
+    pub fn create_table_with_layout(
+        &self,
+        layout: TableLayout,
+        mut placement: impl FnMut(u32) -> NodeId,
+    ) -> TableLayout {
+        for (i, shard) in layout.shard_ids().enumerate() {
+            let owner = placement(i as u32);
+            self.node(owner).storage.create_shard(shard);
+            for node in &self.nodes {
+                install_owner(&node.map_replica, shard, owner);
+            }
+        }
+        self.registered_tables.lock().push(layout);
+        layout
+    }
+
+    /// Layouts of every table created so far.
+    pub fn tables(&self) -> Vec<TableLayout> {
+        self.registered_tables.lock().clone()
+    }
+
+    /// Reads the owner of `shard` as of `ts` from `from`'s map replica
+    /// (prepare-wait applies while `T_m` is in flight).
+    pub fn owner_at(&self, from: &Node, shard: ShardId, ts: Timestamp) -> DbResult<ShardMapRow> {
+        read_owner_at(
+            &from.map_replica,
+            &from.storage.clog,
+            shard,
+            ts,
+            self.config.lock_wait_timeout,
+        )?
+        .ok_or_else(|| DbError::Internal(format!("{shard} missing from shard map")))
+    }
+
+    /// Reads the latest committed owner of `shard`.
+    pub fn current_owner(&self, from: &Node, shard: ShardId) -> DbResult<ShardMapRow> {
+        self.owner_at(from, shard, Timestamp::MAX)
+    }
+
+    /// Dumps a node's entire shard map replica at the latest snapshot,
+    /// with per-row commit timestamps (cache refresh).
+    pub fn map_rows(&self, from: &Node) -> DbResult<Vec<(ShardId, NodeId, Timestamp)>> {
+        let mut rows = Vec::new();
+        let tables = self.registered_tables.lock().clone();
+        for layout in tables {
+            for shard in layout.shard_ids() {
+                let row = self.owner_at(from, shard, Timestamp::MAX)?;
+                rows.push((shard, row.node, row.cts));
+            }
+        }
+        Ok(rows)
+    }
+
+    // ---- active transaction accounting ----
+
+    pub(crate) fn txn_started(&self) {
+        self.active_txns.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn txn_finished(&self) {
+        self.active_txns.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Number of client transactions currently in flight cluster-wide.
+    pub fn active_txn_count(&self) -> u64 {
+        self.active_txns.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every in-flight client transaction finished
+    /// (wait-and-remaster's drain).
+    pub fn wait_for_drain(&self, timeout: Duration) -> DbResult<()> {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.active_txn_count() > 0 {
+            if std::time::Instant::now() >= deadline {
+                return Err(DbError::Timeout("transaction drain"));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Ok(())
+    }
+
+    // ---- access hook ----
+
+    /// Installs the pull-migration access hook.
+    pub fn install_access_hook(&self, hook: Arc<dyn AccessHook>) {
+        *self.access_hook.write() = Some(hook);
+    }
+
+    /// Removes the access hook.
+    pub fn uninstall_access_hook(&self) {
+        *self.access_hook.write() = None;
+    }
+
+    /// The installed access hook, if any.
+    pub fn access_hook(&self) -> Option<Arc<dyn AccessHook>> {
+        self.access_hook.read().clone()
+    }
+
+    // ---- snapshots & vacuum ----
+
+    /// Registers a long-lived snapshot (RAII).
+    pub fn pin_snapshot(&self, ts: Timestamp) -> SnapshotGuard {
+        self.snapshots.register(ts);
+        SnapshotGuard {
+            registry: Arc::clone(&self.snapshots),
+            ts,
+        }
+    }
+
+    /// Atomically acquires a start timestamp for a transaction on `node`
+    /// and pins it: once this returns, the snapshot is visible to
+    /// [`SnapshotRegistry::oldest`]. Sessions must use this rather than
+    /// calling the oracle and pinning separately.
+    pub fn acquire_snapshot(&self, node: NodeId) -> (Timestamp, SnapshotGuard) {
+        let ts = self
+            .snapshots
+            .register_atomic(|| self.oracle.start_ts(node));
+        (
+            ts,
+            SnapshotGuard {
+                registry: Arc::clone(&self.snapshots),
+                ts,
+            },
+        )
+    }
+
+    /// One vacuum pass over every data shard: horizon is the oldest pinned
+    /// snapshot, or the current clock when nothing is pinned.
+    pub fn vacuum_tick(&self) -> usize {
+        let horizon = self
+            .snapshots
+            .oldest()
+            .unwrap_or_else(|| self.oracle.start_ts(self.nodes[0].storage.id));
+        let mut freed = 0;
+        for node in &self.nodes {
+            for shard in node.data_shards() {
+                if let Some(table) = node.storage.table(shard) {
+                    freed += table.vacuum(horizon, &node.storage.clog);
+                }
+            }
+        }
+        freed
+    }
+
+    /// One WAL-truncation pass over every node (respects active
+    /// transactions and replication slots). Returns retained records.
+    pub fn wal_truncate_tick(&self) -> usize {
+        let mut retained = 0;
+        for node in &self.nodes {
+            node.storage.truncate_wal_safely();
+            retained += node.storage.wal.retained();
+        }
+        retained
+    }
+
+    /// Starts a background maintenance thread: WAL truncation every ~50 ms
+    /// (cheap, keeps the in-memory log bounded) and a vacuum pass every
+    /// `vacuum_period`. Runs until the cluster is dropped or
+    /// [`Cluster::stop_maintenance`] is called.
+    pub fn start_maintenance(
+        self: &Arc<Self>,
+        vacuum_period: Duration,
+    ) -> std::thread::JoinHandle<()> {
+        let cluster = Arc::clone(self);
+        let stop = Arc::clone(&self.maintenance_stop);
+        std::thread::spawn(move || {
+            let tick = Duration::from_millis(50);
+            let mut since_vacuum = Duration::ZERO;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                cluster.wal_truncate_tick();
+                since_vacuum += tick;
+                if since_vacuum >= vacuum_period {
+                    since_vacuum = Duration::ZERO;
+                    cluster.vacuum_tick();
+                }
+            }
+        })
+    }
+
+    /// Stops the background maintenance thread.
+    pub fn stop_maintenance(&self) {
+        self.maintenance_stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.stop_maintenance();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Arc<Cluster> {
+        ClusterBuilder::new(n).build()
+    }
+
+    #[test]
+    fn builder_creates_nodes_with_dts_by_default() {
+        let c = cluster(3);
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.oracle.kind(), OracleKind::Dts);
+        assert_eq!(c.node(NodeId(2)).id(), NodeId(2));
+    }
+
+    #[test]
+    fn gts_cluster() {
+        let c = ClusterBuilder::new(2).oracle(OracleKind::Gts).build();
+        assert_eq!(c.oracle.kind(), OracleKind::Gts);
+    }
+
+    #[test]
+    fn create_table_places_shards_and_map_rows() {
+        let c = cluster(3);
+        let layout = c.create_table(TableId(1), 0, 6, |i| NodeId(i % 3));
+        assert_eq!(layout.shard_count(), 6);
+        // Shard 4 lives on node 1.
+        assert!(c.node(NodeId(1)).storage.hosts(ShardId(4)));
+        assert!(!c.node(NodeId(0)).storage.hosts(ShardId(4)));
+        // Every node's map replica answers ownership queries.
+        for node in c.nodes() {
+            let row = c.current_owner(node, ShardId(4)).unwrap();
+            assert_eq!(row.node, NodeId(1));
+        }
+        assert_eq!(c.map_rows(c.node(NodeId(0))).unwrap().len(), 6);
+        assert_eq!(c.tables().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_registry_tracks_oldest() {
+        let c = cluster(1);
+        assert!(c.snapshots.oldest().is_none());
+        let g1 = c.pin_snapshot(Timestamp(10));
+        let g2 = c.pin_snapshot(Timestamp(5));
+        assert_eq!(c.snapshots.oldest(), Some(Timestamp(5)));
+        drop(g2);
+        assert_eq!(c.snapshots.oldest(), Some(Timestamp(10)));
+        drop(g1);
+        assert!(c.snapshots.oldest().is_none());
+    }
+
+    #[test]
+    fn duplicate_pins_unregister_once_each() {
+        let c = cluster(1);
+        let g1 = c.pin_snapshot(Timestamp(7));
+        let g2 = c.pin_snapshot(Timestamp(7));
+        drop(g1);
+        assert_eq!(c.snapshots.oldest(), Some(Timestamp(7)));
+        drop(g2);
+        assert!(c.snapshots.oldest().is_none());
+    }
+
+    #[test]
+    fn routing_gate_blocks_and_resumes() {
+        let c = cluster(1);
+        c.routing_gate.suspend();
+        let c2 = Arc::clone(&c);
+        let waiter = std::thread::spawn(move || {
+            c2.routing_gate.wait_admitted();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished());
+        c.routing_gate.resume();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn drain_waits_for_active_txns() {
+        let c = cluster(1);
+        c.txn_started();
+        assert!(c.wait_for_drain(Duration::from_millis(20)).is_err());
+        c.txn_finished();
+        assert!(c.wait_for_drain(Duration::from_millis(20)).is_ok());
+    }
+}

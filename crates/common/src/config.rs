@@ -1,0 +1,110 @@
+//! Simulation configuration.
+//!
+//! One [`SimConfig`] is threaded through the cluster at construction time.
+//! Defaults are tuned so the full figure harnesses run on a laptop in
+//! seconds-to-minutes while keeping the *relative* costs from the paper's
+//! testbed (10 Gbps network, NVMe SSD) intact — see DESIGN.md §1 for each
+//! substitution.
+
+use std::time::Duration;
+
+/// Tunables for the simulated cluster and the migration engines.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// One-way latency added to every cross-node message (2PC rounds,
+    /// propagation sends, pulls). The paper's 10 Gbps LAN gives RTTs in the
+    /// tens-to-hundreds of microseconds.
+    pub network_latency: Duration,
+    /// Latency of one Squall chunk pull (paper: ~8 MB over the network plus
+    /// destination write, "tens of milliseconds", §4.4.1).
+    pub squall_pull_latency: Duration,
+    /// Number of keys per Squall pull chunk (stands in for the 8 MB chunk).
+    pub squall_chunk_keys: u64,
+    /// Parallel apply workers on the destination node (paper §4.1 uses 18).
+    pub replay_parallelism: usize,
+    /// The migration enters the mode-change phase when the number of
+    /// propagated-but-unapplied changes drops below this threshold
+    /// (paper §3.4 "drops below a threshold").
+    pub catchup_threshold: usize,
+    /// Per-transaction update cache queues spill to disk above this many
+    /// records (paper §3.3 "allows their change records being spilled to
+    /// disk"). We model the spill with batched reload latency.
+    pub spill_threshold: usize,
+    /// Latency charged when reloading one spilled batch.
+    pub spill_reload_latency: Duration,
+    /// Maximum simulated physical clock skew between nodes under DTS
+    /// (paper §2.2: NTP/PTP-synchronized clocks; DTS tolerates skew).
+    pub max_clock_skew: Duration,
+    /// Simulated cost of copying one tuple during snapshot copy; models the
+    /// streaming scan + network + install path.
+    pub snapshot_copy_per_tuple: Duration,
+    /// How long a transaction waits on a row lock or prepare-wait before the
+    /// deadlock/timeout guard trips. Generous: only failure-injection tests
+    /// should ever hit it.
+    pub lock_wait_timeout: Duration,
+}
+
+impl SimConfig {
+    /// A configuration with all simulated latencies set to zero: protocol
+    /// logic only. Unit and property tests use this to stay fast and
+    /// deterministic.
+    pub fn instant() -> Self {
+        SimConfig {
+            network_latency: Duration::ZERO,
+            squall_pull_latency: Duration::ZERO,
+            squall_chunk_keys: 512,
+            replay_parallelism: 4,
+            catchup_threshold: 64,
+            spill_threshold: 4096,
+            spill_reload_latency: Duration::ZERO,
+            max_clock_skew: Duration::ZERO,
+            snapshot_copy_per_tuple: Duration::ZERO,
+            lock_wait_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// The default "paper-shaped" configuration used by the figure
+    /// harnesses: relative costs mirror the testbed in §4.1.
+    pub fn paper_shaped() -> Self {
+        SimConfig {
+            network_latency: Duration::from_micros(100),
+            squall_pull_latency: Duration::from_millis(25),
+            squall_chunk_keys: 512,
+            replay_parallelism: 18,
+            catchup_threshold: 64,
+            spill_threshold: 4096,
+            spill_reload_latency: Duration::from_micros(200),
+            max_clock_skew: Duration::from_millis(1),
+            snapshot_copy_per_tuple: Duration::from_nanos(800),
+            lock_wait_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::instant()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_config_has_no_latency() {
+        let c = SimConfig::instant();
+        assert_eq!(c.network_latency, Duration::ZERO);
+        assert_eq!(c.squall_pull_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn paper_shaped_orders_costs_like_the_testbed() {
+        let c = SimConfig::paper_shaped();
+        // A chunk pull must dwarf a network hop, which must dwarf a tuple
+        // copy — this ordering is what produces the paper's Squall collapse.
+        assert!(c.squall_pull_latency > 10 * c.network_latency);
+        assert!(c.network_latency > c.snapshot_copy_per_tuple);
+        assert_eq!(c.replay_parallelism, 18);
+    }
+}

@@ -1,0 +1,190 @@
+//! Strongly-typed identifiers.
+//!
+//! The simulation moves many small integers around (node ids, shard ids,
+//! transaction ids). Newtypes keep them from being mixed up at compile time
+//! while compiling down to plain integers.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one elastic node in the cluster.
+    NodeId,
+    u32
+);
+
+id_type!(
+    /// Identifies a shard. Shards are the unit of migration: each shard of a
+    /// user table is managed as a regular table on exactly one node.
+    ShardId,
+    u64
+);
+
+id_type!(
+    /// Identifies a user table (sharded across nodes by consistent hashing).
+    TableId,
+    u32
+);
+
+id_type!(
+    /// Identifies a benchmark client session.
+    ClientId,
+    u32
+);
+
+/// A globally unique transaction id (the paper's `xid`).
+///
+/// In PolarDB-PG each node assigns xids locally; we keep them globally unique
+/// by packing the originating node id into the high bits, which lets a
+/// destination node record CLOG entries for shadow transactions of source
+/// transactions without collision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Sentinel meaning "no transaction" (analogous to `InvalidTransactionId`).
+    pub const INVALID: TxnId = TxnId(0);
+
+    /// Builds an xid from the originating node and a per-node sequence number.
+    #[inline]
+    pub const fn new(node: NodeId, seq: u64) -> Self {
+        // 16 bits of node, 48 bits of sequence. 48 bits of per-node
+        // transactions is far beyond anything the simulation produces.
+        TxnId(((node.0 as u64) << 48) | (seq & ((1 << 48) - 1)))
+    }
+
+    /// The node on which this transaction originated.
+    #[inline]
+    pub const fn origin(self) -> NodeId {
+        NodeId((self.0 >> 48) as u32)
+    }
+
+    /// The per-node sequence number.
+    #[inline]
+    pub const fn seq(self) -> u64 {
+        self.0 & ((1 << 48) - 1)
+    }
+
+    /// True unless this is [`TxnId::INVALID`].
+    #[inline]
+    pub const fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Bit flagging a shadow transaction id (the top bit of the sequence
+    /// part; real per-node sequences stay far below it).
+    const SHADOW_BIT: u64 = 1 << 47;
+
+    /// The shadow-transaction id for this source transaction. A shadow
+    /// re-executes a source transaction's changes on the migration
+    /// destination under the same start/commit timestamps, but it must be
+    /// a *distinct* transaction: the source transaction may itself be a
+    /// 2PC participant on the destination node for its writes to
+    /// non-migrating shards there.
+    #[inline]
+    pub const fn shadow(self) -> TxnId {
+        TxnId(self.0 | Self::SHADOW_BIT)
+    }
+
+    /// True if this id names a shadow transaction.
+    #[inline]
+    pub const fn is_shadow(self) -> bool {
+        self.0 & Self::SHADOW_BIT != 0
+    }
+
+    /// The source transaction a shadow id was derived from.
+    #[inline]
+    pub const fn unshadow(self) -> TxnId {
+        TxnId(self.0 & !Self::SHADOW_BIT)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TxnId(n{}:{})", self.origin().0, self.seq())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let n = NodeId(3);
+        assert_eq!(n.raw(), 3);
+        assert_eq!(n.to_string(), "NodeId(3)");
+        assert_eq!(NodeId::from(7), NodeId(7));
+    }
+
+    #[test]
+    fn txn_id_packs_node_and_seq() {
+        let id = TxnId::new(NodeId(5), 123_456);
+        assert_eq!(id.origin(), NodeId(5));
+        assert_eq!(id.seq(), 123_456);
+        assert!(id.is_valid());
+    }
+
+    #[test]
+    fn txn_id_invalid_sentinel() {
+        assert!(!TxnId::INVALID.is_valid());
+        // A node-0 seq-0 id is the invalid sentinel by construction: real
+        // sequences start at 1.
+        assert_eq!(TxnId::new(NodeId(0), 0), TxnId::INVALID);
+    }
+
+    #[test]
+    fn txn_ids_from_different_nodes_never_collide() {
+        let a = TxnId::new(NodeId(1), 42);
+        let b = TxnId::new(NodeId(2), 42);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shadow_ids_are_distinct_and_reversible() {
+        let x = TxnId::new(NodeId(3), 12_345);
+        let s = x.shadow();
+        assert_ne!(s, x);
+        assert!(s.is_shadow());
+        assert!(!x.is_shadow());
+        assert_eq!(s.unshadow(), x);
+        assert_eq!(s.origin(), NodeId(3));
+        // Idempotent.
+        assert_eq!(s.shadow(), s);
+    }
+
+    #[test]
+    fn txn_id_orders_by_node_then_seq() {
+        let a = TxnId::new(NodeId(1), u64::MAX >> 20);
+        let b = TxnId::new(NodeId(2), 1);
+        assert!(a < b);
+    }
+}

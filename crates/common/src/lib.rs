@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Shared foundation types for the Remus reproduction.
+//!
+//! This crate holds the vocabulary that every other crate speaks:
+//! strongly-typed identifiers ([`ids`]), the timestamp representation used by
+//! both the centralized and decentralized oracles ([`ts`]), the common error
+//! type ([`error`]), simulation configuration ([`config`]), and lightweight
+//! metrics primitives used by the workload driver and benchmark harnesses
+//! ([`metrics`]).
+//!
+//! Nothing in this crate knows about storage, transactions, or migration; it
+//! is the bottom of the dependency stack.
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod ts;
+
+pub use config::SimConfig;
+pub use error::{DbError, DbResult};
+pub use ids::{ClientId, NodeId, ShardId, TableId, TxnId};
+pub use ts::Timestamp;

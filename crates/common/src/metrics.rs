@@ -1,0 +1,373 @@
+//! Lightweight metrics used by the workload driver and figure harnesses.
+//!
+//! The paper's figures are per-second throughput timelines with migration
+//! events overlaid; its tables report abort ratios and average latency
+//! deltas. [`Timeline`] produces the former, [`LatencyStat`] and
+//! [`AbortCounters`] the latter. Everything here is thread-safe and cheap
+//! enough to call on every transaction from hundreds of client threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// A per-bucket throughput timeline anchored at a start instant.
+///
+/// Client threads call [`Timeline::record`] once per committed transaction;
+/// the harness calls [`Timeline::buckets`] at the end to get
+/// transactions-per-bucket, which it prints as the figure's series.
+#[derive(Debug)]
+pub struct Timeline {
+    start: Instant,
+    bucket: Duration,
+    counts: Mutex<Vec<u64>>,
+}
+
+impl Timeline {
+    /// Creates a timeline whose clock starts now, aggregating into buckets
+    /// of the given width.
+    pub fn new(bucket: Duration) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        Timeline {
+            start: Instant::now(),
+            bucket,
+            counts: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Seconds-per-bucket convenience constructor.
+    pub fn per_second() -> Self {
+        Self::new(Duration::from_secs(1))
+    }
+
+    /// Records `n` events at the current instant.
+    pub fn record_n(&self, n: u64) {
+        let idx = (self.start.elapsed().as_nanos() / self.bucket.as_nanos()) as usize;
+        let mut counts = self.counts.lock();
+        if counts.len() <= idx {
+            counts.resize(idx + 1, 0);
+        }
+        counts[idx] += n;
+    }
+
+    /// Records one event at the current instant.
+    pub fn record(&self) {
+        self.record_n(1);
+    }
+
+    /// Elapsed time since the timeline started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The instant the timeline was anchored at.
+    pub fn start_instant(&self) -> Instant {
+        self.start
+    }
+
+    /// Snapshot of the per-bucket counts.
+    pub fn buckets(&self) -> Vec<u64> {
+        self.counts.lock().clone()
+    }
+
+    /// Events per second for each bucket (counts scaled by bucket width).
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let scale = 1.0 / self.bucket.as_secs_f64();
+        self.buckets().iter().map(|&c| c as f64 * scale).collect()
+    }
+}
+
+/// Marks points in time relative to a [`Timeline`], used to overlay
+/// migration start/end and workload phase boundaries on the figures.
+#[derive(Debug, Default)]
+pub struct EventMarks {
+    marks: Mutex<Vec<(String, Duration)>>,
+}
+
+impl EventMarks {
+    /// Creates an empty set of marks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a named mark at offset `at` from the timeline start.
+    pub fn mark_at(&self, label: impl Into<String>, at: Duration) {
+        self.marks.lock().push((label.into(), at));
+    }
+
+    /// Records a named mark at the timeline's current elapsed time.
+    pub fn mark(&self, label: impl Into<String>, timeline: &Timeline) {
+        self.mark_at(label, timeline.elapsed());
+    }
+
+    /// All marks recorded so far, in insertion order.
+    pub fn all(&self) -> Vec<(String, Duration)> {
+        self.marks.lock().clone()
+    }
+}
+
+/// Streaming latency statistics (count / mean / max, plus a fixed-boundary
+/// histogram for percentiles).
+///
+/// Lock-free on the hot path: everything is atomics.
+#[derive(Debug)]
+pub struct LatencyStat {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    /// Histogram over exponential boundaries: bucket i covers
+    /// [2^i, 2^(i+1)) microseconds; bucket 0 covers < 2 µs.
+    hist: [AtomicU64; 32],
+}
+
+impl Default for LatencyStat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyStat {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyStat {
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        let micros = latency.as_micros().max(1) as u64;
+        let bucket = (63 - micros.leading_zeros()).min(31) as usize;
+        self.hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, or zero when no samples were recorded.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed) / n)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Approximate percentile (0.0..=1.0) from the exponential histogram;
+    /// resolution is one power of two in microseconds.
+    pub fn percentile(&self, p: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((total as f64) * p).ceil() as u64;
+        let mut seen = 0;
+        for (i, bucket) in self.hist.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_micros(1u64 << (i + 1));
+            }
+        }
+        self.max()
+    }
+}
+
+/// Commit/abort accounting broken down the way the paper reports it.
+#[derive(Debug, Default)]
+pub struct AbortCounters {
+    commits: AtomicU64,
+    ww_aborts: AtomicU64,
+    migration_aborts: AtomicU64,
+    other_aborts: AtomicU64,
+}
+
+impl AbortCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one committed transaction.
+    pub fn commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one write-write-conflict abort.
+    pub fn ww_abort(&self) {
+        self.ww_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one migration-induced abort.
+    pub fn migration_abort(&self) {
+        self.migration_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one abort of any other kind.
+    pub fn other_abort(&self) {
+        self.other_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Committed transactions so far.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// WW-conflict aborts so far.
+    pub fn ww_aborts(&self) -> u64 {
+        self.ww_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Migration-induced aborts so far.
+    pub fn migration_aborts(&self) -> u64 {
+        self.migration_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Other aborts so far.
+    pub fn other_aborts(&self) -> u64 {
+        self.other_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of attempts that aborted for migration reasons
+    /// (Table 2's "Abort Ratio During Consolidation").
+    pub fn migration_abort_ratio(&self) -> f64 {
+        let aborts = self.migration_aborts() as f64;
+        let attempts = aborts + self.commits() as f64;
+        if attempts == 0.0 {
+            0.0
+        } else {
+            aborts / attempts
+        }
+    }
+}
+
+/// Work-unit accounting standing in for OS CPU sampling (Figure 10).
+///
+/// Nodes charge themselves units for replay, propagation, and snapshot-copy
+/// work; the harness samples per-second deltas to draw the "CPU usage"
+/// series.
+#[derive(Debug, Default)]
+pub struct WorkMeter {
+    units: AtomicU64,
+}
+
+impl WorkMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `n` units of work.
+    pub fn charge(&self, n: u64) {
+        self.units.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total units charged so far.
+    pub fn total(&self) -> u64 {
+        self.units.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_buckets_accumulate() {
+        let t = Timeline::new(Duration::from_secs(3600)); // everything lands in bucket 0
+        t.record();
+        t.record_n(4);
+        assert_eq!(t.buckets(), vec![5]);
+    }
+
+    #[test]
+    fn timeline_rates_scale_by_bucket_width() {
+        let t = Timeline::new(Duration::from_millis(500));
+        t.record_n(10);
+        let rates = t.rates_per_sec();
+        assert_eq!(rates[0], 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn timeline_rejects_zero_bucket() {
+        let _ = Timeline::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_stat_mean_and_max() {
+        let s = LatencyStat::new();
+        s.record(Duration::from_micros(10));
+        s.record(Duration::from_micros(30));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Duration::from_micros(20));
+        assert_eq!(s.max(), Duration::from_micros(30));
+    }
+
+    #[test]
+    fn latency_stat_empty_is_zero() {
+        let s = LatencyStat::new();
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.percentile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_percentile_is_monotone() {
+        let s = LatencyStat::new();
+        for i in 1..=1000u64 {
+            s.record(Duration::from_micros(i));
+        }
+        assert!(s.percentile(0.5) <= s.percentile(0.99));
+        // p50 of 1..1000 µs should land near 512 µs at power-of-two resolution.
+        assert!(s.percentile(0.5) >= Duration::from_micros(256));
+        assert!(s.percentile(0.5) <= Duration::from_micros(1024));
+    }
+
+    #[test]
+    fn abort_ratio_matches_table2_definition() {
+        let c = AbortCounters::new();
+        for _ in 0..97 {
+            c.migration_abort();
+        }
+        for _ in 0..3 {
+            c.commit();
+        }
+        assert!((c.migration_abort_ratio() - 0.97).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_ratio_empty_is_zero() {
+        assert_eq!(AbortCounters::new().migration_abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn event_marks_preserve_order() {
+        let marks = EventMarks::new();
+        marks.mark_at("a", Duration::from_secs(1));
+        marks.mark_at("b", Duration::from_secs(2));
+        let all = marks.all();
+        assert_eq!(all[0].0, "a");
+        assert_eq!(all[1].0, "b");
+    }
+
+    #[test]
+    fn work_meter_accumulates() {
+        let m = WorkMeter::new();
+        m.charge(3);
+        m.charge(4);
+        assert_eq!(m.total(), 7);
+    }
+}

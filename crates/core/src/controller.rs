@@ -1,0 +1,168 @@
+//! The migration controller: plans and sequential execution (the control
+//! plane component of Figure 1).
+
+use std::sync::Arc;
+
+use remus_cluster::Cluster;
+use remus_common::{DbResult, NodeId, ShardId};
+
+use crate::report::{MigrationEngine, MigrationReport, MigrationTask};
+
+/// A sequence of migrations executed one after another, as in the paper's
+/// evaluation ("two shards are migrated together each time, resulting in
+/// 30 consecutive migrations").
+#[derive(Debug, Clone, Default)]
+pub struct MigrationPlan {
+    /// The tasks, in execution order.
+    pub tasks: Vec<MigrationTask>,
+}
+
+impl MigrationPlan {
+    /// Groups `shards` into tasks of `group_size` and spreads them over
+    /// `dests` round-robin — the shape of every scenario in §4.
+    pub fn move_shards(
+        shards: &[ShardId],
+        source: NodeId,
+        dests: &[NodeId],
+        group_size: usize,
+    ) -> MigrationPlan {
+        assert!(group_size > 0, "group size must be positive");
+        assert!(!dests.is_empty(), "need at least one destination");
+        let tasks = shards
+            .chunks(group_size)
+            .enumerate()
+            .map(|(i, group)| MigrationTask {
+                shards: group.to_vec(),
+                source,
+                dest: dests[i % dests.len()],
+            })
+            .collect();
+        MigrationPlan { tasks }
+    }
+
+    /// Cluster consolidation (§4.4): move *all* of `source`'s data shards
+    /// to the other nodes evenly, `group_size` at a time.
+    pub fn consolidate(cluster: &Cluster, source: NodeId, group_size: usize) -> MigrationPlan {
+        let shards = cluster.node(source).data_shards();
+        let dests: Vec<NodeId> = cluster
+            .nodes()
+            .iter()
+            .map(|n| n.id())
+            .filter(|id| *id != source)
+            .collect();
+        Self::move_shards(&shards, source, &dests, group_size)
+    }
+
+    /// Total number of migrations.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the plan has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+/// Drives an engine through a plan.
+pub struct MigrationController {
+    cluster: Arc<Cluster>,
+    engine: Arc<dyn MigrationEngine>,
+}
+
+impl MigrationController {
+    /// A controller for `cluster` using `engine`.
+    pub fn new(cluster: Arc<Cluster>, engine: Arc<dyn MigrationEngine>) -> Self {
+        MigrationController { cluster, engine }
+    }
+
+    /// The engine's name.
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Runs one task.
+    pub fn run_task(&self, task: &MigrationTask) -> DbResult<MigrationReport> {
+        self.engine.migrate(&self.cluster, task)
+    }
+
+    /// Runs a plan sequentially, invoking `on_each` after every migration
+    /// (harnesses use it to mark figure events). Stops at the first error.
+    pub fn run_plan(
+        &self,
+        plan: &MigrationPlan,
+        mut on_each: impl FnMut(usize, &MigrationReport),
+    ) -> DbResult<Vec<MigrationReport>> {
+        let mut reports = Vec::with_capacity(plan.tasks.len());
+        for (i, task) in plan.tasks.iter().enumerate() {
+            let report = self.run_task(task)?;
+            on_each(i, &report);
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Runs a plan and returns the aggregate report.
+    pub fn run_plan_aggregate(&self, plan: &MigrationPlan) -> DbResult<MigrationReport> {
+        let mut total = MigrationReport::new(self.engine.name());
+        for report in self.run_plan(plan, |_, _| {})? {
+            total.absorb(&report);
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remus::RemusEngine;
+    use remus_cluster::{ClusterBuilder, Session};
+    use remus_common::TableId;
+    use remus_storage::Value;
+
+    #[test]
+    fn move_shards_round_robins_destinations() {
+        let shards: Vec<ShardId> = (0..6).map(ShardId).collect();
+        let plan = MigrationPlan::move_shards(&shards, NodeId(0), &[NodeId(1), NodeId(2)], 2);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.tasks[0].shards, vec![ShardId(0), ShardId(1)]);
+        assert_eq!(plan.tasks[0].dest, NodeId(1));
+        assert_eq!(plan.tasks[1].dest, NodeId(2));
+        assert_eq!(plan.tasks[2].dest, NodeId(1));
+    }
+
+    #[test]
+    fn consolidate_empties_the_source_node() {
+        let cluster = ClusterBuilder::new(3).build();
+        let layout = cluster.create_table(TableId(1), 0, 6, |i| NodeId(i % 3));
+        let session = Session::connect(&cluster, NodeId(1));
+        for k in 0..120 {
+            session
+                .run(|t| t.insert(&layout, k, Value::copy_from_slice(b"v")))
+                .unwrap();
+        }
+        let plan = MigrationPlan::consolidate(&cluster, NodeId(0), 1);
+        assert_eq!(plan.len(), 2); // node 0 owned shards 0 and 3
+        let controller =
+            MigrationController::new(Arc::clone(&cluster), Arc::new(RemusEngine::new()));
+        let mut seen = 0;
+        let reports = controller
+            .run_plan(&plan, |i, r| {
+                assert_eq!(i, seen);
+                assert_eq!(r.engine, "remus");
+                seen += 1;
+            })
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(cluster.node(NodeId(0)).data_shards().is_empty());
+        // All data reachable after consolidation.
+        let (rows, _) = session.run(|t| t.scan_table(&layout)).unwrap();
+        assert_eq!(rows.len(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_size_rejected() {
+        MigrationPlan::move_shards(&[ShardId(0)], NodeId(0), &[NodeId(1)], 0);
+    }
+}

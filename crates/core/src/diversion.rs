@@ -1,0 +1,230 @@
+//! Ordered diversion: the shard-map handover transaction `T_m` (§3.5.1).
+//!
+//! `T_m` is an ordinary distributed transaction that updates the migrating
+//! shards' rows in the shard map table *on every node* and commits through
+//! 2PC. Its commit timestamp becomes the ordering barrier of Theorem 3.1:
+//! transactions with `start_ts < T_m.commit_ts` keep routing to the source,
+//! later ones to the destination. The cache-read-through window is opened
+//! on every node before `T_m` executes and closed (with an epoch bump)
+//! after it commits, so no coordinator can route a post-`T_m` transaction
+//! from a stale cache entry.
+
+use std::sync::Arc;
+
+use remus_cluster::Cluster;
+use remus_common::{DbResult, Timestamp};
+use remus_shard::{encode_owner, SHARD_MAP_SHARD};
+use remus_txn::{abort_txn, commit_txn, Txn};
+
+use crate::report::MigrationTask;
+
+/// Executes the ordered-diversion handover for `task`, returning
+/// `T_m.commit_ts`.
+pub fn run_tm(cluster: &Arc<Cluster>, task: &MigrationTask) -> DbResult<Timestamp> {
+    // Open the read-through window on every node before T_m starts.
+    for node in cluster.nodes() {
+        node.read_through.mark(&task.shards);
+    }
+
+    let result = run_tm_inner(cluster, task);
+
+    // Close the window (and bump the map epoch) whether T_m committed or
+    // not: coordinators refresh their caches either way.
+    for node in cluster.nodes() {
+        node.read_through.clear(&task.shards);
+    }
+    result
+}
+
+fn run_tm_inner(cluster: &Arc<Cluster>, task: &MigrationTask) -> DbResult<Timestamp> {
+    let coord = cluster.node(task.source);
+    let start_ts = cluster.oracle.start_ts(task.source);
+    let mut tm = Txn::begin(&coord.storage, start_ts);
+    for node in cluster.nodes() {
+        for &shard in &task.shards {
+            if let Err(e) = tm.update(
+                &node.storage,
+                SHARD_MAP_SHARD,
+                shard.0,
+                encode_owner(task.dest),
+            ) {
+                abort_txn(&mut tm);
+                return Err(e);
+            }
+        }
+    }
+    match commit_txn(&mut tm, &*cluster.oracle, &*cluster.net) {
+        Ok(ts) => Ok(ts),
+        Err(e) => {
+            abort_txn(&mut tm);
+            Err(e)
+        }
+    }
+}
+
+/// Like [`run_tm`] but crashes (by returning without committing or
+/// aborting) right after the prepare phase — used by the recovery tests to
+/// create an in-doubt `T_m`.
+#[doc(hidden)]
+pub fn run_tm_crash_after_prepare(
+    cluster: &Arc<Cluster>,
+    task: &MigrationTask,
+) -> DbResult<remus_common::TxnId> {
+    for node in cluster.nodes() {
+        node.read_through.mark(&task.shards);
+    }
+    let coord = cluster.node(task.source);
+    let start_ts = cluster.oracle.start_ts(task.source);
+    let mut tm = Txn::begin(&coord.storage, start_ts);
+    for node in cluster.nodes() {
+        for &shard in &task.shards {
+            tm.update(
+                &node.storage,
+                SHARD_MAP_SHARD,
+                shard.0,
+                encode_owner(task.dest),
+            )?;
+        }
+    }
+    for node in cluster.nodes() {
+        remus_txn::prepare_participant(&node.storage, tm.xid)?;
+    }
+    // "Crash": leak the transaction in the prepared state.
+    std::mem::forget(tm);
+    Ok(coordinator_xid(cluster, task))
+}
+
+fn coordinator_xid(cluster: &Arc<Cluster>, task: &MigrationTask) -> remus_common::TxnId {
+    // The most recent prepared transaction on the source is T_m (tests run
+    // this in isolation).
+    cluster
+        .node(task.source)
+        .storage
+        .clog
+        .prepared_txns()
+        .into_iter()
+        .max()
+        .expect("a prepared T_m exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remus_cluster::{ClusterBuilder, Session};
+    use remus_common::{NodeId, ShardId, TableId};
+    use remus_storage::Value;
+
+    #[test]
+    fn tm_moves_ownership_at_its_commit_timestamp() {
+        let cluster = ClusterBuilder::new(3).build();
+        let layout = cluster.create_table(TableId(1), 0, 6, |i| NodeId(i % 3));
+        let shard = ShardId(0); // owned by node 0
+        let before_ts = cluster.oracle.start_ts(NodeId(1));
+        let task = MigrationTask::single(shard, NodeId(0), NodeId(2));
+        let tm_ts = run_tm(&cluster, &task).unwrap();
+        assert!(tm_ts > before_ts);
+        // Every node's replica answers consistently: old snapshots see the
+        // source, new ones the destination.
+        for node in cluster.nodes() {
+            let old = cluster.owner_at(node, shard, before_ts).unwrap();
+            assert_eq!(old.node, NodeId(0));
+            let new = cluster.current_owner(node, shard).unwrap();
+            assert_eq!(new.node, NodeId(2));
+            assert_eq!(new.cts, tm_ts);
+        }
+        let _ = layout;
+    }
+
+    #[test]
+    fn read_through_window_closed_and_epoch_bumped() {
+        let cluster = ClusterBuilder::new(2).build();
+        cluster.create_table(TableId(1), 0, 2, |_| NodeId(0));
+        let task = MigrationTask::single(ShardId(1), NodeId(0), NodeId(1));
+        let epochs_before: Vec<u64> = cluster
+            .nodes()
+            .iter()
+            .map(|n| n.read_through.epoch())
+            .collect();
+        run_tm(&cluster, &task).unwrap();
+        for (node, before) in cluster.nodes().iter().zip(epochs_before) {
+            assert!(!node.read_through.is_marked(ShardId(1)));
+            assert_eq!(node.read_through.epoch(), before + 1);
+        }
+    }
+
+    #[test]
+    fn sessions_route_old_and_new_transactions_correctly_across_tm() {
+        // End-to-end Figure 5: a transaction that started before T_m still
+        // reaches the source replica data; one started after reaches the
+        // destination.
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let shard = ShardId(0);
+        let session = Session::connect(&cluster, NodeId(1));
+        session
+            .run(|t| t.insert(&layout, 42, Value::copy_from_slice(b"v")))
+            .unwrap();
+
+        // An old transaction holds its snapshot across T_m.
+        let mut old_txn = session.begin();
+        // Destination shard exists and holds a copy (as a migration's
+        // snapshot phase would ensure).
+        cluster.node(NodeId(1)).storage.create_shard(shard);
+        cluster
+            .node(NodeId(1))
+            .storage
+            .table(shard)
+            .unwrap()
+            .install_frozen(42, Value::copy_from_slice(b"v"));
+
+        let task = MigrationTask::single(shard, NodeId(0), NodeId(1));
+        run_tm(&cluster, &task).unwrap();
+
+        // The old transaction still routes to (and reads from) the source.
+        assert_eq!(
+            old_txn.read(&layout, 42).unwrap(),
+            Some(Value::copy_from_slice(b"v"))
+        );
+        old_txn.commit().unwrap();
+
+        // Drop the source copy: a post-T_m transaction must not touch it.
+        cluster.node(NodeId(0)).storage.drop_shard(shard);
+        let (v, _) = session.run(|t| t.read(&layout, 42)).unwrap();
+        assert_eq!(v, Some(Value::copy_from_slice(b"v")));
+    }
+
+    #[test]
+    fn concurrent_routing_blocks_on_prepared_tm_not_stale_cache() {
+        // A transaction acquiring its snapshot while T_m is prepared (not
+        // yet committed) must wait (prepare-wait on the shard map read) and
+        // then route per the outcome.
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let shard = ShardId(0);
+        cluster.node(NodeId(1)).storage.create_shard(shard);
+
+        let task = MigrationTask::single(shard, NodeId(0), NodeId(1));
+        let tm_xid = run_tm_crash_after_prepare(&cluster, &task).unwrap();
+
+        let c2 = Arc::clone(&cluster);
+        let router = std::thread::spawn(move || {
+            let session = Session::connect(&c2, NodeId(0));
+            // This read routes the shard; the snapshot was taken after T_m
+            // prepared, so the routing read blocks until T_m resolves.
+            let (v, _) = session.run(|t| t.read(&layout, 7)).unwrap();
+            v
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !router.is_finished(),
+            "routing should block on prepared T_m"
+        );
+        // Resolve T_m as committed on all nodes.
+        let ts = cluster.oracle.commit_ts(NodeId(0));
+        for node in cluster.nodes() {
+            remus_txn::commit_prepared(&node.storage, tm_xid, ts).unwrap();
+            node.read_through.clear(&task.shards);
+        }
+        assert_eq!(router.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Live shard migration engines — the paper's contribution and the
+//! baselines it is evaluated against.
+//!
+//! * [`remus`] — the Remus engine (§3): snapshot copying → asynchronous
+//!   update propagation → sync-mode change (`TS_unsync` / `LSN_unsync`) →
+//!   ordered diversion via the shard-map transaction `T_m` → unidirectional
+//!   dual execution under MOCC, with transaction-level parallel replay.
+//! * [`lock_abort`] — the *lock-and-abort* push baseline (Citus/LibrA
+//!   style, §2.3.3): same copy/catch-up, but ownership transfer locks the
+//!   shards and terminates conflicting transactions.
+//! * [`remaster`] — the *wait-and-remaster* baseline (DynaMast style):
+//!   suspends routing, drains every in-flight transaction (write sets are
+//!   unknown), then remasters.
+//! * [`squall`] — the *pull* baseline (Squall on H-store partition locks):
+//!   flips ownership immediately, then combines on-demand pulls (blocking,
+//!   chunk-locking) with background pulls; source access to migrated
+//!   chunks aborts.
+//! * [`propagation`] / [`replay`] / [`mocc`] — the shared update
+//!   propagation machinery: WAL tailing into per-transaction update cache
+//!   queues, the destination apply processes (parallel, key-fenced), and
+//!   the MOCC validation registry + commit hook.
+//! * [`diversion`] — `T_m` execution with cache-read-through marking.
+//! * [`controller`] — the migration controller: plans (consolidation, load
+//!   balancing, scale-out) and sequential execution.
+//! * [`recovery`] — crash recovery (§3.7): decide by `T_m`'s 2PC state,
+//!   resolve in-doubt shadow transactions from source CLOG state.
+
+pub mod controller;
+pub mod diversion;
+pub mod lock_abort;
+pub mod mocc;
+pub mod propagation;
+pub mod recovery;
+pub mod remaster;
+pub mod remus;
+pub mod replay;
+pub mod report;
+pub mod snapshot;
+pub mod squall;
+
+pub use controller::{MigrationController, MigrationPlan};
+pub use lock_abort::LockAndAbort;
+pub use remaster::WaitAndRemaster;
+pub use remus::RemusEngine;
+pub use report::{MigrationEngine, MigrationReport, MigrationTask};
+pub use squall::SquallEngine;

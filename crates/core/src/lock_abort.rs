@@ -1,0 +1,261 @@
+//! The *lock-and-abort* push baseline (Citus / FusionInsight LibrA style,
+//! §2.3.3).
+//!
+//! Same snapshot copy and asynchronous catch-up as Remus, but the
+//! ownership transfer phase:
+//!
+//! 1. closes the write gates of the migrating shards (new writers block);
+//! 2. terminates, server-side, every transaction currently holding writes
+//!    on them ("transactions that hold the locks in a conflict mode are
+//!    terminated in advance") — prepared victims are past the point of no
+//!    return and are waited out instead;
+//! 3. replays the remaining final updates on the destination;
+//! 4. flips the shard map with the 2PC transaction and drops the source
+//!    copy;
+//! 5. reopens the gates — blocked writers wake up, find the shard gone,
+//!    and abort.
+//!
+//! Transactions with pre-transfer snapshots that later touch the migrated
+//! shard abort with `NotOwner` (counted as migration-induced), which is
+//! exactly the cost the paper attributes to this approach under
+//! long-running transactions.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use remus_cluster::Cluster;
+use remus_common::{DbError, DbResult};
+use remus_storage::TxnStatus;
+
+use crate::diversion::run_tm;
+use crate::mocc::{RemusHook, ValidationRegistry};
+use crate::propagation::PropagationProcess;
+use crate::replay::ReplayProcess;
+use crate::report::{MigrationEngine, MigrationReport, MigrationTask};
+use crate::snapshot::copy_task_snapshots;
+
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// The lock-and-abort engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LockAndAbort;
+
+impl LockAndAbort {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        LockAndAbort
+    }
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &'static str) -> DbResult<()> {
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    while !cond() {
+        if Instant::now() >= deadline {
+            return Err(DbError::Timeout(what));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    Ok(())
+}
+
+impl MigrationEngine for LockAndAbort {
+    fn name(&self) -> &'static str {
+        "lock-and-abort"
+    }
+
+    fn migrate(&self, cluster: &Arc<Cluster>, task: &MigrationTask) -> DbResult<MigrationReport> {
+        let t0 = Instant::now();
+        let mut report = MigrationReport::new(self.name());
+        let source = Arc::clone(cluster.node(task.source));
+        let dest = Arc::clone(cluster.node(task.dest));
+
+        // A hook that never enters sync mode: the shared propagation
+        // machinery then ships everything asynchronously.
+        let registry = Arc::new(ValidationRegistry::new());
+        let hook = Arc::new(RemusHook::new(
+            &[],
+            registry,
+            cluster.config.lock_wait_timeout,
+        ));
+        let (tx, rx) = unbounded();
+
+        let from = source.storage.oldest_active_begin_lsn();
+        let snapshot_ts = cluster.oracle.start_ts(task.source);
+        let prop = PropagationProcess::start(
+            cluster,
+            &source,
+            task.dest,
+            &task.shards,
+            snapshot_ts,
+            from,
+            Arc::clone(&hook),
+            tx,
+        );
+        let tuples = {
+            let _pin = cluster.pin_snapshot(snapshot_ts);
+            match copy_task_snapshots(cluster, &task.shards, &source, &dest, snapshot_ts) {
+                Ok(t) => t,
+                Err(e) => {
+                    prop.request_stop(remus_wal::Lsn::ZERO);
+                    prop.join();
+                    for shard in &task.shards {
+                        dest.storage.drop_shard(*shard);
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        report.tuples_copied = tuples;
+        report.snapshot_phase = t0.elapsed();
+        let replay = ReplayProcess::start(cluster, &dest, Arc::new(ValidationRegistry::new()), rx);
+
+        // Asynchronous catch-up.
+        let catch0 = Instant::now();
+        let threshold = cluster.config.catchup_threshold as u64;
+        wait_until(
+            || {
+                prop.lag(
+                    source.storage.wal.flush_lsn(),
+                    replay.stats.done.load(Ordering::SeqCst),
+                ) <= threshold
+            },
+            "async catch-up",
+        )?;
+        report.catchup_phase = catch0.elapsed();
+
+        // Ownership transfer: lock, abort, replay final updates, remap.
+        let transfer0 = Instant::now();
+        for shard in &task.shards {
+            source.storage.gate.close(*shard);
+        }
+        for shard in &task.shards {
+            for victim in source.storage.writers_of(*shard) {
+                if remus_txn::force_abort(
+                    &source.storage,
+                    victim,
+                    "lock-and-abort ownership transfer",
+                ) {
+                    report.forced_aborts += 1;
+                } else {
+                    // The victim is mid-2PC: wait for it to resolve.
+                    let status = source.storage.clog.wait_resolved(victim, DRAIN_TIMEOUT)?;
+                    debug_assert!(matches!(
+                        status,
+                        TxnStatus::Committed(_) | TxnStatus::Aborted
+                    ));
+                }
+            }
+        }
+        // Replay all remaining final updates.
+        let final_lsn = source.storage.wal.flush_lsn();
+        wait_until(
+            || prop.stats.processed_lsn.load(Ordering::SeqCst) >= final_lsn.0,
+            "final update processing",
+        )?;
+        let sent_final = prop.stats.sent.load(Ordering::SeqCst);
+        wait_until(
+            || replay.stats.done.load(Ordering::SeqCst) >= sent_final,
+            "final update replay",
+        )?;
+        // Remap and drop the source copy; waking blocked writers then find
+        // the shard gone and abort.
+        run_tm(cluster, task)?;
+        let stop_lsn = source.storage.wal.flush_lsn();
+        for shard in &task.shards {
+            source.storage.drop_shard(*shard);
+        }
+        for shard in &task.shards {
+            source.storage.gate.open(*shard);
+        }
+        report.transfer_phase = transfer0.elapsed();
+
+        prop.request_stop(stop_lsn);
+        report.records_replayed = replay.stats.records.load(Ordering::SeqCst);
+        prop.join();
+        replay.join()?;
+        report.total = t0.elapsed();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remus_cluster::{ClusterBuilder, Session};
+    use remus_common::{NodeId, ShardId, TableId};
+    use remus_storage::Value;
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn quiescent_migration_moves_all_data() {
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..150 {
+            session.run(|t| t.insert(&layout, k, val("v"))).unwrap();
+        }
+        let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+        let report = LockAndAbort::new().migrate(&cluster, &task).unwrap();
+        assert_eq!(report.tuples_copied, 150);
+        assert_eq!(report.forced_aborts, 0);
+        assert!(!cluster.node(NodeId(0)).storage.hosts(ShardId(0)));
+        let (rows, _) = session.run(|t| t.scan_table(&layout)).unwrap();
+        assert_eq!(rows.len(), 150);
+    }
+
+    #[test]
+    fn active_writer_is_terminated_during_transfer() {
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..20 {
+            session.run(|t| t.insert(&layout, k, val("v0"))).unwrap();
+        }
+        // A long-running transaction holds uncommitted writes on the shard.
+        let victim_session = Session::connect(&cluster, NodeId(0));
+        let mut victim = victim_session.begin();
+        victim.update(&layout, 3, val("uncommitted")).unwrap();
+
+        let cluster2 = Arc::clone(&cluster);
+        let migration = std::thread::spawn(move || {
+            let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+            LockAndAbort::new().migrate(&cluster2, &task)
+        });
+        // The migration force-aborts the victim rather than waiting for it;
+        // it completes while the victim is still "running".
+        let report = migration.join().unwrap().unwrap();
+        assert_eq!(report.forced_aborts, 1);
+        // The victim's next action observes the migration abort.
+        let err = victim.read(&layout, 3).unwrap_err();
+        assert!(err.is_migration_induced());
+        drop(victim);
+        // The uncommitted write is gone; the old value survived the move.
+        let (v, _) = session.run(|t| t.read(&layout, 3)).unwrap();
+        assert_eq!(v, Some(val("v0")));
+    }
+
+    #[test]
+    fn old_snapshot_access_after_transfer_aborts() {
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(1));
+        session.run(|t| t.insert(&layout, 1, val("v"))).unwrap();
+        let mut old_txn = session.begin();
+        // Touch nothing yet; migrate.
+        let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+        LockAndAbort::new().migrate(&cluster, &task).unwrap();
+        // The old transaction routes to the source by its snapshot and
+        // finds the shard gone: a migration-induced abort.
+        let err = old_txn.read(&layout, 1).unwrap_err();
+        assert!(err.is_migration_induced());
+        drop(old_txn);
+        // Fresh transactions work on the destination.
+        let (v, _) = session.run(|t| t.read(&layout, 1)).unwrap();
+        assert_eq!(v, Some(val("v")));
+    }
+}

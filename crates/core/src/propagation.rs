@@ -1,0 +1,488 @@
+//! The source-side propagation (send) process (§3.3).
+//!
+//! Tails the source WAL from a replication slot, extracting only the
+//! changes of the migrating shards into per-transaction update cache
+//! queues. A transaction's queue is shipped when the process encounters:
+//!
+//! * its commit record with `commit_ts > snapshot_ts` (async mode) — as an
+//!   [`ApplyMsg::Committed`];
+//! * its validation/prepare record, if the commit hook marked it a
+//!   synchronized source transaction — as an [`ApplyMsg::Validate`],
+//!   followed later by `CommitShadow`/`RollbackShadow` when its decision
+//!   record appears.
+//!
+//! Aborted transactions and transactions committed at or before the
+//! snapshot timestamp have their queues dropped. Queues that spilled past
+//! `SimConfig::spill_threshold` charge the configured reload latency per
+//! batch when shipped.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use remus_cluster::{Cluster, Node};
+use remus_common::{NodeId, ShardId, Timestamp, TxnId};
+use remus_wal::{LogOp, Lsn, UpdateCacheQueue};
+
+use crate::mocc::RemusHook;
+use crate::replay::ApplyMsg;
+
+/// Counters exposed by the propagation process.
+#[derive(Debug, Default)]
+pub struct PropagationStats {
+    /// LSN of the last WAL record processed.
+    pub processed_lsn: AtomicU64,
+    /// Messages sent to the replay process.
+    pub sent: AtomicU64,
+    /// Change records extracted for the migrating shards.
+    pub extracted: AtomicU64,
+}
+
+struct PendingTxn {
+    start_ts: Timestamp,
+    queue: UpdateCacheQueue,
+    validated: bool,
+}
+
+/// Handle to the running propagation thread.
+pub struct PropagationProcess {
+    /// Counters.
+    pub stats: Arc<PropagationStats>,
+    stop_at: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PropagationProcess {
+    /// Starts propagation on `source` for `shards`, reading the WAL after
+    /// `from` and shipping to `tx`. `hook` identifies synchronized source
+    /// transactions; `dest` is only used to charge network hops.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        cluster: &Arc<Cluster>,
+        source: &Arc<Node>,
+        dest: NodeId,
+        shards: &[ShardId],
+        snapshot_ts: Timestamp,
+        from: Lsn,
+        hook: Arc<RemusHook>,
+        tx: Sender<ApplyMsg>,
+    ) -> PropagationProcess {
+        let stats = Arc::new(PropagationStats::default());
+        // The reader starts after `from`: everything at or before it counts
+        // as processed, otherwise the lag computation never converges.
+        stats.processed_lsn.store(from.0, Ordering::SeqCst);
+        let stop_at = Arc::new(AtomicU64::new(u64::MAX));
+        let shard_set: HashSet<ShardId> = shards.iter().copied().collect();
+        let handle = {
+            let cluster = Arc::clone(cluster);
+            let source = Arc::clone(source);
+            let stats = Arc::clone(&stats);
+            let stop_at = Arc::clone(&stop_at);
+            std::thread::spawn(move || {
+                propagate_loop(
+                    cluster,
+                    source,
+                    dest,
+                    shard_set,
+                    snapshot_ts,
+                    from,
+                    hook,
+                    tx,
+                    stats,
+                    stop_at,
+                )
+            })
+        };
+        PropagationProcess {
+            stats,
+            stop_at,
+            handle: Some(handle),
+        }
+    }
+
+    /// Asks the process to stop once it has processed every record up to
+    /// and including `upto`, then sends `Shutdown` downstream.
+    pub fn request_stop(&self, upto: Lsn) {
+        self.stop_at.store(upto.0, Ordering::SeqCst);
+    }
+
+    /// Waits for the thread to finish.
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            h.join().expect("propagation thread panicked");
+        }
+    }
+
+    /// Records not yet processed relative to `flush` plus messages not yet
+    /// applied by the replay (`done`): the catch-up lag (§3.4).
+    pub fn lag(&self, flush: Lsn, replay_done: u64) -> u64 {
+        let processed = self.stats.processed_lsn.load(Ordering::SeqCst);
+        let unread = flush.0.saturating_sub(processed);
+        let unapplied = self
+            .stats
+            .sent
+            .load(Ordering::SeqCst)
+            .saturating_sub(replay_done);
+        unread + unapplied
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn propagate_loop(
+    cluster: Arc<Cluster>,
+    source: Arc<Node>,
+    dest: NodeId,
+    shards: HashSet<ShardId>,
+    snapshot_ts: Timestamp,
+    from: Lsn,
+    hook: Arc<RemusHook>,
+    tx: Sender<ApplyMsg>,
+    stats: Arc<PropagationStats>,
+    stop_at: Arc<AtomicU64>,
+) {
+    let slot = source.storage.create_slot(from);
+    let mut reader = source.storage.wal.reader_from(from);
+    let mut pending: HashMap<TxnId, PendingTxn> = HashMap::new();
+    let spill_threshold = cluster.config.spill_threshold;
+    let spill_latency = cluster.config.spill_reload_latency;
+
+    let ship = |msg: ApplyMsg, queue_spill_batches: usize| {
+        if queue_spill_batches > 0 && !spill_latency.is_zero() {
+            // Reloading spilled change records in batches (§3.3).
+            std::thread::sleep(spill_latency * queue_spill_batches as u32);
+        }
+        cluster.net.hop(source.id(), dest);
+        if tx.send(msg).is_err() {
+            // Replay ended; nothing left to ship to.
+        }
+        stats.sent.fetch_add(1, Ordering::SeqCst);
+    };
+
+    loop {
+        match reader.next_blocking(Duration::from_millis(20)) {
+            Some((lsn, record)) => {
+                let xid = record.xid;
+                match record.op {
+                    LogOp::Begin(start_ts) => {
+                        pending.insert(
+                            xid,
+                            PendingTxn {
+                                start_ts,
+                                queue: UpdateCacheQueue::new(spill_threshold),
+                                validated: false,
+                            },
+                        );
+                    }
+                    LogOp::Write(op) if shards.contains(&op.shard) => {
+                        if let Some(p) = pending.get_mut(&xid) {
+                            p.queue.push(op);
+                            source.work.charge(1);
+                            stats.extracted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    LogOp::Write(_) => {}
+                    LogOp::Prepare => {
+                        if let Some(p) = pending.get_mut(&xid) {
+                            if !p.queue.is_empty() && hook.is_sync_txn(xid) {
+                                let queue = std::mem::replace(
+                                    &mut p.queue,
+                                    UpdateCacheQueue::new(spill_threshold),
+                                );
+                                let batches = queue.spill_batches(256);
+                                p.validated = true;
+                                ship(
+                                    ApplyMsg::Validate {
+                                        xid,
+                                        start_ts: p.start_ts,
+                                        ops: queue.into_ops(),
+                                    },
+                                    batches,
+                                );
+                            }
+                        }
+                    }
+                    LogOp::Commit(ts) | LogOp::CommitPrepared(ts) => {
+                        if let Some(p) = pending.remove(&xid) {
+                            if p.validated {
+                                ship(ApplyMsg::CommitShadow { xid, commit_ts: ts }, 0);
+                            } else if !p.queue.is_empty() && ts > snapshot_ts {
+                                let batches = p.queue.spill_batches(256);
+                                ship(
+                                    ApplyMsg::Committed {
+                                        xid,
+                                        start_ts: p.start_ts,
+                                        commit_ts: ts,
+                                        ops: p.queue.into_ops(),
+                                    },
+                                    batches,
+                                );
+                            }
+                            // Committed at or before the snapshot: already
+                            // contained in the copied snapshot — dropped.
+                        }
+                    }
+                    LogOp::Abort | LogOp::RollbackPrepared => {
+                        if let Some(p) = pending.remove(&xid) {
+                            if p.validated {
+                                ship(ApplyMsg::RollbackShadow { xid }, 0);
+                            }
+                        }
+                    }
+                }
+                stats.processed_lsn.store(lsn.0, Ordering::SeqCst);
+                source.storage.advance_slot(slot, lsn);
+            }
+            None => {
+                // Idle: check for a requested stop once everything up to
+                // the stop point has been processed.
+                let stop = stop_at.load(Ordering::SeqCst);
+                if stop != u64::MAX && stats.processed_lsn.load(Ordering::SeqCst) >= stop {
+                    break;
+                }
+            }
+        }
+        let stop = stop_at.load(Ordering::SeqCst);
+        if stop != u64::MAX && stats.processed_lsn.load(Ordering::SeqCst) >= stop {
+            break;
+        }
+    }
+    let _ = tx.send(ApplyMsg::Shutdown);
+    source.storage.drop_slot(slot);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mocc::ValidationRegistry;
+    use crossbeam::channel::unbounded;
+    use remus_cluster::ClusterBuilder;
+    use remus_common::{SimConfig, TableId};
+    use remus_storage::Value;
+    use remus_txn::SyncCommitHook;
+    use remus_wal::{LogRecord, WriteKind, WriteOp};
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    fn wop(shard: u64, key: u64) -> LogOp {
+        LogOp::Write(WriteOp {
+            shard: ShardId(shard),
+            key,
+            kind: WriteKind::Insert,
+            value: val("x"),
+        })
+    }
+
+    fn start_prop(
+        cluster: &Arc<Cluster>,
+        hook: Arc<RemusHook>,
+        snapshot_ts: u64,
+    ) -> (PropagationProcess, crossbeam::channel::Receiver<ApplyMsg>) {
+        let (tx, rx) = unbounded();
+        let prop = PropagationProcess::start(
+            cluster,
+            cluster.node(NodeId(0)),
+            NodeId(1),
+            &[ShardId(0)],
+            Timestamp(snapshot_ts),
+            Lsn::ZERO,
+            hook,
+            tx,
+        );
+        (prop, rx)
+    }
+
+    fn test_hook() -> Arc<RemusHook> {
+        Arc::new(RemusHook::new(
+            &[ShardId(0)],
+            Arc::new(ValidationRegistry::new()),
+            Duration::from_secs(2),
+        ))
+    }
+
+    fn cluster2() -> Arc<Cluster> {
+        let c = ClusterBuilder::new(2).config(SimConfig::instant()).build();
+        c.create_table(TableId(1), 0, 2, |_| NodeId(0));
+        c
+    }
+
+    fn xid(n: u64) -> TxnId {
+        TxnId::new(NodeId(0), 100 + n)
+    }
+
+    #[test]
+    fn ships_committed_txns_after_snapshot_only() {
+        let cluster = cluster2();
+        let wal = &cluster.node(NodeId(0)).storage.wal;
+        // Txn A commits at ts 5 (before snapshot 10): dropped.
+        wal.append(LogRecord::new(xid(1), LogOp::Begin(Timestamp(2))));
+        wal.append(LogRecord::new(xid(1), wop(0, 1)));
+        wal.append(LogRecord::new(xid(1), LogOp::Commit(Timestamp(5))));
+        // Txn B commits at ts 15: shipped.
+        wal.append(LogRecord::new(xid(2), LogOp::Begin(Timestamp(12))));
+        wal.append(LogRecord::new(xid(2), wop(0, 2)));
+        wal.append(LogRecord::new(xid(2), LogOp::Commit(Timestamp(15))));
+        // Txn C only touches shard 1 (not migrating): dropped.
+        wal.append(LogRecord::new(xid(3), LogOp::Begin(Timestamp(13))));
+        wal.append(LogRecord::new(xid(3), wop(1, 3)));
+        wal.append(LogRecord::new(xid(3), LogOp::Commit(Timestamp(16))));
+
+        let (prop, rx) = start_prop(&cluster, test_hook(), 10);
+        let msg = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        match msg {
+            ApplyMsg::Committed {
+                xid: x,
+                commit_ts,
+                ops,
+                start_ts,
+            } => {
+                assert_eq!(x, xid(2));
+                assert_eq!(commit_ts, Timestamp(15));
+                assert_eq!(start_ts, Timestamp(12));
+                assert_eq!(ops.len(), 1);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+        prop.request_stop(cluster.node(NodeId(0)).storage.wal.flush_lsn());
+        // Shutdown follows with nothing else in between.
+        match rx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            ApplyMsg::Shutdown => {}
+            other => panic!("unexpected message {other:?}"),
+        }
+        prop.join();
+    }
+
+    #[test]
+    fn aborted_txn_queue_is_dropped() {
+        let cluster = cluster2();
+        let wal = &cluster.node(NodeId(0)).storage.wal;
+        wal.append(LogRecord::new(xid(1), LogOp::Begin(Timestamp(2))));
+        wal.append(LogRecord::new(xid(1), wop(0, 1)));
+        wal.append(LogRecord::new(xid(1), LogOp::Abort));
+        let (prop, rx) = start_prop(&cluster, test_hook(), 0);
+        prop.request_stop(wal.flush_lsn());
+        match rx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            ApplyMsg::Shutdown => {}
+            other => panic!("unexpected message {other:?}"),
+        }
+        prop.join();
+    }
+
+    #[test]
+    fn sync_txn_validates_then_commits_shadow() {
+        let cluster = cluster2();
+        let hook = test_hook();
+        hook.enable_sync();
+        // Mark the txn as sync-mode the way commit_txn would.
+        assert_eq!(
+            hook.begin_commit(xid(1), &[ShardId(0)]),
+            remus_txn::CommitMode::Sync
+        );
+        let wal = &cluster.node(NodeId(0)).storage.wal;
+        wal.append(LogRecord::new(xid(1), LogOp::Begin(Timestamp(2))));
+        wal.append(LogRecord::new(xid(1), wop(0, 1)));
+        wal.append(LogRecord::new(xid(1), LogOp::Prepare));
+        wal.append(LogRecord::new(xid(1), LogOp::CommitPrepared(Timestamp(9))));
+
+        let (prop, rx) = start_prop(&cluster, hook, 0);
+        match rx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            ApplyMsg::Validate { xid: x, ops, .. } => {
+                assert_eq!(x, xid(1));
+                assert_eq!(ops.len(), 1);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+        match rx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            ApplyMsg::CommitShadow { xid: x, commit_ts } => {
+                assert_eq!(x, xid(1));
+                assert_eq!(commit_ts, Timestamp(9));
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+        prop.request_stop(wal.flush_lsn());
+        prop.join();
+    }
+
+    #[test]
+    fn non_sync_prepared_txn_ships_at_commit_prepared() {
+        // An ordinary distributed transaction during the async phase: its
+        // prepare record is not a validation trigger; the queue ships with
+        // the commit-prepared record.
+        let cluster = cluster2();
+        let wal = &cluster.node(NodeId(0)).storage.wal;
+        wal.append(LogRecord::new(xid(1), LogOp::Begin(Timestamp(2))));
+        wal.append(LogRecord::new(xid(1), wop(0, 1)));
+        wal.append(LogRecord::new(xid(1), LogOp::Prepare));
+        wal.append(LogRecord::new(xid(1), LogOp::CommitPrepared(Timestamp(9))));
+        let (prop, rx) = start_prop(&cluster, test_hook(), 0);
+        match rx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            ApplyMsg::Committed {
+                xid: x, commit_ts, ..
+            } => {
+                assert_eq!(x, xid(1));
+                assert_eq!(commit_ts, Timestamp(9));
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+        prop.request_stop(wal.flush_lsn());
+        prop.join();
+    }
+
+    #[test]
+    fn rollback_prepared_of_sync_txn_ships_rollback_shadow() {
+        let cluster = cluster2();
+        let hook = test_hook();
+        hook.enable_sync();
+        hook.begin_commit(xid(1), &[ShardId(0)]);
+        let wal = &cluster.node(NodeId(0)).storage.wal;
+        wal.append(LogRecord::new(xid(1), LogOp::Begin(Timestamp(2))));
+        wal.append(LogRecord::new(xid(1), wop(0, 1)));
+        wal.append(LogRecord::new(xid(1), LogOp::Prepare));
+        wal.append(LogRecord::new(xid(1), LogOp::RollbackPrepared));
+        let (prop, rx) = start_prop(&cluster, hook, 0);
+        match rx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            ApplyMsg::Validate { .. } => {}
+            other => panic!("unexpected message {other:?}"),
+        }
+        match rx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            ApplyMsg::RollbackShadow { xid: x } => assert_eq!(x, xid(1)),
+            other => panic!("unexpected message {other:?}"),
+        }
+        prop.request_stop(wal.flush_lsn());
+        prop.join();
+    }
+
+    #[test]
+    fn lag_counts_unread_and_unapplied() {
+        let cluster = cluster2();
+        let (prop, _rx) = start_prop(&cluster, test_hook(), 0);
+        // Nothing processed yet against a flush of 10 → lag 10.
+        assert_eq!(prop.lag(Lsn(10), 0), 10);
+        prop.request_stop(Lsn::ZERO);
+        prop.join();
+    }
+
+    #[test]
+    fn slot_protects_wal_until_dropped() {
+        let cluster = cluster2();
+        let storage = &cluster.node(NodeId(0)).storage;
+        let wal = &storage.wal;
+        for i in 0..5 {
+            wal.append(LogRecord::new(xid(i), LogOp::Abort));
+        }
+        let (prop, rx) = start_prop(&cluster, test_hook(), 0);
+        // Wait for the reader to pass everything, then stop.
+        prop.request_stop(wal.flush_lsn());
+        loop {
+            if let ApplyMsg::Shutdown = rx.recv_timeout(Duration::from_secs(2)).unwrap() {
+                break;
+            }
+        }
+        prop.join();
+        // After the process dropped its slot, truncation can clean fully.
+        assert_eq!(storage.truncate_wal_safely(), wal.flush_lsn());
+    }
+}

@@ -1,0 +1,229 @@
+//! The *wait-and-remaster* baseline (DynaMast style, §2.3.3).
+//!
+//! Same snapshot copy and asynchronous catch-up as Remus. The ownership
+//! transfer phase suspends routing of newly arrived transactions
+//! cluster-wide, waits for **every** in-flight transaction to complete
+//! (the write set of an interactive transaction is unknown before it
+//! finishes, so none can be exempted), replays the final updates, flips
+//! the shard map, and resumes routing. The suspension window — which
+//! stretches for as long as the longest-running transaction — is the
+//! downtime the paper's Figures 6b/7b show collapsing to zero throughput.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use remus_cluster::Cluster;
+use remus_common::{DbError, DbResult};
+
+use crate::diversion::run_tm;
+use crate::mocc::{RemusHook, ValidationRegistry};
+use crate::propagation::PropagationProcess;
+use crate::replay::ReplayProcess;
+use crate::report::{MigrationEngine, MigrationReport, MigrationTask};
+use crate::snapshot::copy_task_snapshots;
+
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// The wait-and-remaster engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WaitAndRemaster;
+
+impl WaitAndRemaster {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        WaitAndRemaster
+    }
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &'static str) -> DbResult<()> {
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    while !cond() {
+        if Instant::now() >= deadline {
+            return Err(DbError::Timeout(what));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    Ok(())
+}
+
+impl MigrationEngine for WaitAndRemaster {
+    fn name(&self) -> &'static str {
+        "wait-and-remaster"
+    }
+
+    fn migrate(&self, cluster: &Arc<Cluster>, task: &MigrationTask) -> DbResult<MigrationReport> {
+        let t0 = Instant::now();
+        let mut report = MigrationReport::new(self.name());
+        let source = Arc::clone(cluster.node(task.source));
+        let dest = Arc::clone(cluster.node(task.dest));
+
+        let hook = Arc::new(RemusHook::new(
+            &[],
+            Arc::new(ValidationRegistry::new()),
+            cluster.config.lock_wait_timeout,
+        ));
+        let (tx, rx) = unbounded();
+        let from = source.storage.oldest_active_begin_lsn();
+        let snapshot_ts = cluster.oracle.start_ts(task.source);
+        let prop = PropagationProcess::start(
+            cluster,
+            &source,
+            task.dest,
+            &task.shards,
+            snapshot_ts,
+            from,
+            hook,
+            tx,
+        );
+        let tuples = {
+            let _pin = cluster.pin_snapshot(snapshot_ts);
+            match copy_task_snapshots(cluster, &task.shards, &source, &dest, snapshot_ts) {
+                Ok(t) => t,
+                Err(e) => {
+                    prop.request_stop(remus_wal::Lsn::ZERO);
+                    prop.join();
+                    for shard in &task.shards {
+                        dest.storage.drop_shard(*shard);
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        report.tuples_copied = tuples;
+        report.snapshot_phase = t0.elapsed();
+        let replay = ReplayProcess::start(cluster, &dest, Arc::new(ValidationRegistry::new()), rx);
+
+        // Asynchronous catch-up.
+        let catch0 = Instant::now();
+        let threshold = cluster.config.catchup_threshold as u64;
+        wait_until(
+            || {
+                prop.lag(
+                    source.storage.wal.flush_lsn(),
+                    replay.stats.done.load(Ordering::SeqCst),
+                ) <= threshold
+            },
+            "async catch-up",
+        )?;
+        report.catchup_phase = catch0.elapsed();
+
+        // Ownership transfer: suspend, drain, replay final updates, remap.
+        let transfer0 = Instant::now();
+        cluster.routing_gate.suspend();
+        let drain_result = cluster
+            .wait_for_drain(DRAIN_TIMEOUT)
+            .and_then(|()| {
+                let final_lsn = source.storage.wal.flush_lsn();
+                wait_until(
+                    || prop.stats.processed_lsn.load(Ordering::SeqCst) >= final_lsn.0,
+                    "final update processing",
+                )?;
+                // Routing is suspended and the cluster drained, so the send
+                // counter is stable; wait for the replay to finish it.
+                let sent_final = prop.stats.sent.load(Ordering::SeqCst);
+                wait_until(
+                    || replay.stats.done.load(Ordering::SeqCst) >= sent_final,
+                    "final update replay",
+                )
+            })
+            .and_then(|()| run_tm(cluster, task).map(|_| ()));
+        if drain_result.is_ok() {
+            for shard in &task.shards {
+                source.storage.drop_shard(*shard);
+            }
+        }
+        cluster.routing_gate.resume();
+        report.downtime = transfer0.elapsed();
+        report.transfer_phase = transfer0.elapsed();
+        drain_result?;
+
+        let stop_lsn = source.storage.wal.flush_lsn();
+        prop.request_stop(stop_lsn);
+        report.records_replayed = replay.stats.records.load(Ordering::SeqCst);
+        prop.join();
+        replay.join()?;
+        report.total = t0.elapsed();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remus_cluster::{ClusterBuilder, Session};
+    use remus_common::{NodeId, ShardId, TableId};
+    use remus_storage::Value;
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn quiescent_migration_moves_all_data_with_no_aborts() {
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..100 {
+            session.run(|t| t.insert(&layout, k, val("v"))).unwrap();
+        }
+        let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+        let report = WaitAndRemaster::new().migrate(&cluster, &task).unwrap();
+        assert_eq!(report.tuples_copied, 100);
+        assert_eq!(report.forced_aborts, 0);
+        let (rows, _) = session.run(|t| t.scan_table(&layout)).unwrap();
+        assert_eq!(rows.len(), 100);
+    }
+
+    #[test]
+    fn transfer_waits_for_inflight_txn_and_blocks_new_ones() {
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        session.run(|t| t.insert(&layout, 1, val("v0"))).unwrap();
+
+        // A long transaction is in flight when the transfer begins.
+        let cluster2 = Arc::clone(&cluster);
+        let long_txn = std::thread::spawn(move || {
+            let s = Session::connect(&cluster2, NodeId(0));
+            let mut t = s.begin();
+            t.update(&layout, 1, val("long")).unwrap();
+            std::thread::sleep(Duration::from_millis(250));
+            t.commit().unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+
+        let cluster3 = Arc::clone(&cluster);
+        let migration = std::thread::spawn(move || {
+            let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+            WaitAndRemaster::new().migrate(&cluster3, &task).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(80));
+        // The transfer has suspended routing: a new transaction blocks at
+        // begin until the migration finishes.
+        let cluster4 = Arc::clone(&cluster);
+        let blocked = std::thread::spawn(move || {
+            let s = Session::connect(&cluster4, NodeId(1));
+            let started = Instant::now();
+            let (v, _) = s.run(|t| t.read(&layout, 1)).unwrap();
+            (started.elapsed(), v)
+        });
+        let report = migration.join().unwrap();
+        long_txn.join().unwrap();
+        let (waited, v) = blocked.join().unwrap();
+        // Downtime covers the long transaction's remaining run time.
+        assert!(
+            report.downtime >= Duration::from_millis(100),
+            "downtime {:?}",
+            report.downtime
+        );
+        assert!(
+            waited >= Duration::from_millis(50),
+            "new txn did not block: {waited:?}"
+        );
+        // The long transaction committed (no aborts) and its write migrated.
+        assert_eq!(report.forced_aborts, 0);
+        assert_eq!(v, Some(val("long")));
+    }
+}

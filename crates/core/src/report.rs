@@ -1,0 +1,129 @@
+//! The migration engine interface and its reports.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use remus_cluster::Cluster;
+use remus_common::{DbResult, NodeId, ShardId};
+
+/// One migration: move `shards` (collocated migration moves several
+/// together, §3.8) from `source` to `dest`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationTask {
+    /// Shards to move together.
+    pub shards: Vec<ShardId>,
+    /// Current owner.
+    pub source: NodeId,
+    /// New owner.
+    pub dest: NodeId,
+}
+
+impl MigrationTask {
+    /// A single-shard task.
+    pub fn single(shard: ShardId, source: NodeId, dest: NodeId) -> Self {
+        MigrationTask {
+            shards: vec![shard],
+            source,
+            dest,
+        }
+    }
+}
+
+/// What a migration did and what it cost — the quantities the paper's
+/// evaluation reports.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationReport {
+    /// Engine that ran it.
+    pub engine: &'static str,
+    /// End-to-end duration.
+    pub total: Duration,
+    /// Snapshot copying phase.
+    pub snapshot_phase: Duration,
+    /// Asynchronous catch-up phase.
+    pub catchup_phase: Duration,
+    /// Ownership transfer (mode change + `T_m` for Remus; lock/drain window
+    /// for the baselines).
+    pub transfer_phase: Duration,
+    /// Dual execution (Remus only): `T_m` commit until the last source
+    /// transaction finished.
+    pub dual_phase: Duration,
+    /// Tuples installed by snapshot copy (plus Squall pulls).
+    pub tuples_copied: u64,
+    /// Change records replayed on the destination.
+    pub records_replayed: u64,
+    /// MOCC validation failures (WW conflicts between shadow and
+    /// destination transactions).
+    pub validation_conflicts: u64,
+    /// Transactions terminated server-side (lock-and-abort) or aborted by
+    /// chunk-access rules (Squall).
+    pub forced_aborts: u64,
+    /// Time during which new transactions were blocked cluster-wide
+    /// (wait-and-remaster's downtime; zero for Remus).
+    pub downtime: Duration,
+    /// On-demand + background chunk pulls (Squall).
+    pub pulls: u64,
+}
+
+impl MigrationReport {
+    /// A zeroed report for `engine`.
+    pub fn new(engine: &'static str) -> Self {
+        MigrationReport {
+            engine,
+            ..Default::default()
+        }
+    }
+
+    /// Merges counters of `other` into `self` (summing durations and
+    /// counts) — used to aggregate a multi-migration plan.
+    pub fn absorb(&mut self, other: &MigrationReport) {
+        self.total += other.total;
+        self.snapshot_phase += other.snapshot_phase;
+        self.catchup_phase += other.catchup_phase;
+        self.transfer_phase += other.transfer_phase;
+        self.dual_phase += other.dual_phase;
+        self.tuples_copied += other.tuples_copied;
+        self.records_replayed += other.records_replayed;
+        self.validation_conflicts += other.validation_conflicts;
+        self.forced_aborts += other.forced_aborts;
+        self.downtime += other.downtime;
+        self.pulls += other.pulls;
+    }
+}
+
+/// A live migration technique.
+pub trait MigrationEngine: Send + Sync {
+    /// Engine name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Moves the task's shards with the engine's protocol. Blocks until
+    /// the migration fully completes (including source cleanup).
+    fn migrate(&self, cluster: &Arc<Cluster>, task: &MigrationTask) -> DbResult<MigrationReport>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_task_constructor() {
+        let t = MigrationTask::single(ShardId(3), NodeId(0), NodeId(1));
+        assert_eq!(t.shards, vec![ShardId(3)]);
+        assert_eq!(t.source, NodeId(0));
+        assert_eq!(t.dest, NodeId(1));
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = MigrationReport::new("x");
+        a.tuples_copied = 10;
+        a.total = Duration::from_secs(1);
+        let mut b = MigrationReport::new("x");
+        b.tuples_copied = 5;
+        b.total = Duration::from_secs(2);
+        b.forced_aborts = 3;
+        a.absorb(&b);
+        assert_eq!(a.tuples_copied, 15);
+        assert_eq!(a.total, Duration::from_secs(3));
+        assert_eq!(a.forced_aborts, 3);
+    }
+}

@@ -1,0 +1,474 @@
+//! The Squall *pull* baseline (§2.3.2, evaluated as PolarDB-Squall §4.2).
+//!
+//! Squall flips ownership first and moves data afterwards: after `T_m`,
+//! newly arrived transactions run on the destination and *pull* missing
+//! data on demand, chunk by chunk, while background workers pull the rest.
+//! Each pull locks the shard (H-store partition locks — the cluster must
+//! run in [`CcMode::ShardLock`]) and takes the configured pull latency
+//! (modeling ~8 MB over the network plus the destination write), which is
+//! what blocks concurrent transactions and produces the throughput
+//! collapse of Figures 6c/7c. Source transactions that touch an
+//! already-migrated chunk abort and retry on the destination.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use remus_cluster::{AccessHook, CcMode, Cluster, Node};
+use remus_common::{DbError, DbResult, NodeId, ShardId, Timestamp, TxnId};
+use remus_storage::Key;
+
+use crate::diversion::run_tm;
+use crate::report::{MigrationEngine, MigrationReport, MigrationTask};
+
+/// Per-shard chunk map: sorted chunk start keys plus pulled flags.
+#[derive(Debug)]
+struct ChunkSet {
+    /// `starts[i]` is the first key of chunk `i`; chunk `i` covers
+    /// `[starts[i], starts[i+1])`, the last chunk is unbounded above.
+    starts: Vec<Key>,
+    pulled: Mutex<Vec<bool>>,
+    remaining: AtomicUsize,
+}
+
+impl ChunkSet {
+    fn build(keys: &[Key], chunk_keys: u64) -> ChunkSet {
+        let mut starts = vec![0u64];
+        for window in keys.chunks(chunk_keys.max(1) as usize).skip(1) {
+            starts.push(window[0]);
+        }
+        let n = starts.len();
+        ChunkSet {
+            starts,
+            pulled: Mutex::new(vec![false; n]),
+            remaining: AtomicUsize::new(n),
+        }
+    }
+
+    fn chunk_of(&self, key: Key) -> usize {
+        self.starts.partition_point(|&s| s <= key).saturating_sub(1)
+    }
+
+    fn range_of(&self, idx: usize) -> (Key, Option<Key>) {
+        (self.starts[idx], self.starts.get(idx + 1).copied())
+    }
+
+    fn is_pulled(&self, idx: usize) -> bool {
+        self.pulled.lock()[idx]
+    }
+
+    fn len(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+struct SquallState {
+    cluster: Arc<Cluster>,
+    source: Arc<Node>,
+    dest: Arc<Node>,
+    chunks: HashMap<ShardId, ChunkSet>,
+    pulls: AtomicU64,
+    pulled_tuples: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl SquallState {
+    /// Pulls chunk `idx` of `shard` if still missing. The caller must hold
+    /// (or be entitled to take) the shard lock: sessions already hold it
+    /// exclusively; background pullers pass their own pseudo-xid and
+    /// release afterwards.
+    fn pull_chunk(
+        &self,
+        shard: ShardId,
+        idx: usize,
+        lock_xid: TxnId,
+        release: bool,
+    ) -> DbResult<()> {
+        let set = &self.chunks[&shard];
+        if set.is_pulled(idx) {
+            return Ok(());
+        }
+        self.cluster.shard_locks.acquire(
+            lock_xid,
+            shard,
+            remus_txn::LockMode::Exclusive,
+            self.cluster.config.lock_wait_timeout,
+        )?;
+        let result = self.pull_locked(shard, idx);
+        if release {
+            self.cluster.shard_locks.release_all(lock_xid);
+        }
+        result
+    }
+
+    fn pull_locked(&self, shard: ShardId, idx: usize) -> DbResult<()> {
+        let set = &self.chunks[&shard];
+        if set.is_pulled(idx) {
+            return Ok(());
+        }
+        // The pull itself: network + destination write time for the chunk.
+        let latency = self.cluster.config.squall_pull_latency;
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        self.cluster.net.hop(self.dest.id(), self.source.id());
+        let (lo, hi) = set.range_of(idx);
+        let src_table = self.source.storage.table_or_err(shard)?;
+        let rows = match hi {
+            Some(hi) => src_table.scan_visible_range(
+                lo..hi,
+                Timestamp::MAX,
+                &self.source.storage.clog,
+                self.cluster.config.lock_wait_timeout,
+            )?,
+            None => src_table.scan_visible_range(
+                lo..,
+                Timestamp::MAX,
+                &self.source.storage.clog,
+                self.cluster.config.lock_wait_timeout,
+            )?,
+        };
+        let dst_table = self.dest.storage.table_or_err(shard)?;
+        let n = rows.len() as u64;
+        for (k, v) in rows {
+            dst_table.install_frozen(k, v);
+        }
+        self.source.work.charge(n);
+        self.dest.work.charge(n);
+        self.pulled_tuples.fetch_add(n, Ordering::Relaxed);
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        let mut pulled = set.pulled.lock();
+        if !pulled[idx] {
+            pulled[idx] = true;
+            set.remaining.fetch_sub(1, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+
+    fn all_pulled(&self) -> bool {
+        self.chunks
+            .values()
+            .all(|s| s.remaining.load(Ordering::SeqCst) == 0)
+    }
+}
+
+struct SquallHook {
+    state: Arc<SquallState>,
+}
+
+impl AccessHook for SquallHook {
+    fn before_access(
+        &self,
+        node: NodeId,
+        shard: ShardId,
+        key: Key,
+        _write: bool,
+        xid: TxnId,
+    ) -> DbResult<()> {
+        let Some(set) = self.state.chunks.get(&shard) else {
+            return Ok(());
+        };
+        let idx = set.chunk_of(key);
+        if node == self.state.dest.id() {
+            // On-demand (reactive) pull under the session's shard lock.
+            self.state.pull_chunk(shard, idx, xid, false)
+        } else if node == self.state.source.id() && set.is_pulled(idx) {
+            // The chunk has moved: abort and retry on the destination.
+            self.state.aborts.fetch_add(1, Ordering::Relaxed);
+            Err(DbError::MigrationAbort {
+                txn: xid,
+                reason: "squall: chunk already migrated",
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn before_scan(&self, node: NodeId, shard: ShardId, xid: TxnId) -> DbResult<()> {
+        let Some(set) = self.state.chunks.get(&shard) else {
+            return Ok(());
+        };
+        if node == self.state.dest.id() {
+            for idx in 0..set.len() {
+                self.state.pull_chunk(shard, idx, xid, false)?;
+            }
+            Ok(())
+        } else if node == self.state.source.id() && (0..set.len()).any(|i| set.is_pulled(i)) {
+            self.state.aborts.fetch_add(1, Ordering::Relaxed);
+            Err(DbError::MigrationAbort {
+                txn: xid,
+                reason: "squall: shard partially migrated",
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The Squall engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SquallEngine;
+
+impl SquallEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        SquallEngine
+    }
+}
+
+impl MigrationEngine for SquallEngine {
+    fn name(&self) -> &'static str {
+        "squall"
+    }
+
+    fn migrate(&self, cluster: &Arc<Cluster>, task: &MigrationTask) -> DbResult<MigrationReport> {
+        if cluster.cc_mode != CcMode::ShardLock {
+            return Err(DbError::Migration(
+                "Squall requires CcMode::ShardLock (H-store partition locks)".into(),
+            ));
+        }
+        let t0 = Instant::now();
+        let mut report = MigrationReport::new(self.name());
+        let source = Arc::clone(cluster.node(task.source));
+        let dest = Arc::clone(cluster.node(task.dest));
+
+        // Build the chunk map from the source's current keys and create
+        // empty destination shards.
+        let mut chunks = HashMap::new();
+        for &shard in &task.shards {
+            let table = source.storage.table_or_err(shard)?;
+            let keys: Vec<Key> = table
+                .scan_visible_range(
+                    ..,
+                    Timestamp::MAX,
+                    &source.storage.clog,
+                    cluster.config.lock_wait_timeout,
+                )?
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            chunks.insert(
+                shard,
+                ChunkSet::build(&keys, cluster.config.squall_chunk_keys),
+            );
+            dest.storage.create_shard(shard);
+        }
+        let state = Arc::new(SquallState {
+            cluster: Arc::clone(cluster),
+            source: Arc::clone(&source),
+            dest: Arc::clone(&dest),
+            chunks,
+            pulls: AtomicU64::new(0),
+            pulled_tuples: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        });
+        cluster.install_access_hook(Arc::new(SquallHook {
+            state: Arc::clone(&state),
+        }));
+
+        // Ownership flips immediately: new transactions go to the
+        // destination and pull on demand.
+        let transfer0 = Instant::now();
+        run_tm(cluster, task)?;
+        report.transfer_phase = transfer0.elapsed();
+
+        // Background pulls: one asynchronous worker per migrating shard
+        // (§4.2).
+        let workers: Vec<_> = task
+            .shards
+            .iter()
+            .map(|&shard| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || -> DbResult<()> {
+                    let set = &state.chunks[&shard];
+                    for idx in 0..set.len() {
+                        if set.is_pulled(idx) {
+                            continue;
+                        }
+                        let pseudo = state.dest.storage.alloc_xid();
+                        match state.pull_chunk(shard, idx, pseudo, true) {
+                            Ok(()) => {}
+                            Err(DbError::Timeout(_)) => {
+                                // Lock contention: retry this chunk.
+                                continue;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("background puller panicked")?;
+        }
+        // Retry loop for chunks skipped under contention.
+        let deadline = Instant::now() + Duration::from_secs(600);
+        while !state.all_pulled() {
+            if Instant::now() >= deadline {
+                cluster.uninstall_access_hook();
+                return Err(DbError::Timeout("squall background pulls"));
+            }
+            for (&shard, set) in &state.chunks {
+                for idx in 0..set.len() {
+                    if !set.is_pulled(idx) {
+                        let pseudo = dest.storage.alloc_xid();
+                        let _ = state.pull_chunk(shard, idx, pseudo, true);
+                    }
+                }
+            }
+        }
+
+        cluster.uninstall_access_hook();
+        for shard in &task.shards {
+            source.storage.drop_shard(*shard);
+        }
+        report.pulls = state.pulls.load(Ordering::Relaxed);
+        report.tuples_copied = state.pulled_tuples.load(Ordering::Relaxed);
+        report.forced_aborts = state.aborts.load(Ordering::Relaxed);
+        report.total = t0.elapsed();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remus_cluster::{ClusterBuilder, Session};
+    use remus_common::{SimConfig, TableId};
+    use remus_storage::Value;
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    fn shard_lock_cluster(chunk_keys: u64) -> Arc<Cluster> {
+        ClusterBuilder::new(2)
+            .cc_mode(CcMode::ShardLock)
+            .config(SimConfig {
+                squall_chunk_keys: chunk_keys,
+                ..SimConfig::instant()
+            })
+            .build()
+    }
+
+    #[test]
+    fn requires_shard_lock_mode() {
+        let cluster = ClusterBuilder::new(2).build();
+        cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+        let err = SquallEngine::new().migrate(&cluster, &task).unwrap_err();
+        assert!(matches!(err, DbError::Migration(_)));
+    }
+
+    #[test]
+    fn background_pulls_move_everything() {
+        let cluster = shard_lock_cluster(16);
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..100 {
+            session.run(|t| t.insert(&layout, k, val("v"))).unwrap();
+        }
+        let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+        let report = SquallEngine::new().migrate(&cluster, &task).unwrap();
+        assert_eq!(report.tuples_copied, 100);
+        assert!(report.pulls >= 100 / 16);
+        assert!(!cluster.node(NodeId(0)).storage.hosts(ShardId(0)));
+        let (rows, _) = session.run(|t| t.scan_table(&layout)).unwrap();
+        assert_eq!(rows.len(), 100);
+    }
+
+    #[test]
+    fn chunk_map_boundaries() {
+        let set = ChunkSet::build(&[10, 20, 30, 40, 50], 2);
+        // Chunks: [0,30), [30,50), [50,∞).
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.chunk_of(0), 0);
+        assert_eq!(set.chunk_of(29), 0);
+        assert_eq!(set.chunk_of(30), 1);
+        assert_eq!(set.chunk_of(49), 1);
+        assert_eq!(set.chunk_of(50), 2);
+        assert_eq!(set.chunk_of(u64::MAX), 2);
+        assert_eq!(set.range_of(0), (0, Some(30)));
+        assert_eq!(set.range_of(2), (50, None));
+    }
+
+    #[test]
+    fn empty_shard_is_one_chunk() {
+        let set = ChunkSet::build(&[], 8);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.chunk_of(123), 0);
+        assert_eq!(set.range_of(0), (0, None));
+    }
+
+    #[test]
+    fn source_access_to_migrated_chunk_aborts_and_dest_retry_succeeds() {
+        let cluster = shard_lock_cluster(1000);
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..50 {
+            session.run(|t| t.insert(&layout, k, val("v0"))).unwrap();
+        }
+        // An old transaction keeps its pre-migration snapshot.
+        let mut old_txn = session.begin();
+
+        let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+        let cluster2 = Arc::clone(&cluster);
+        let migration =
+            std::thread::spawn(move || SquallEngine::new().migrate(&cluster2, &task).unwrap());
+        let report = migration.join().unwrap();
+        assert_eq!(report.tuples_copied, 50);
+        // The old transaction now routes to the source, whose shard is
+        // gone: a migration-induced abort it must retry on the destination.
+        let err = old_txn.read(&layout, 1).unwrap_err();
+        assert!(err.is_migration_induced());
+        drop(old_txn);
+        let (v, _) = session.run(|t| t.read(&layout, 1)).unwrap();
+        assert_eq!(v, Some(val("v0")));
+    }
+
+    #[test]
+    fn on_demand_pull_serves_new_transactions_immediately() {
+        // Freeze background pulls with a long pull latency... instead use a
+        // tiny latency and verify a destination write lands correctly even
+        // while pulls are in flight.
+        let cluster = ClusterBuilder::new(2)
+            .cc_mode(CcMode::ShardLock)
+            .config(SimConfig {
+                squall_chunk_keys: 4,
+                squall_pull_latency: Duration::from_millis(2),
+                ..SimConfig::instant()
+            })
+            .build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..64 {
+            session.run(|t| t.insert(&layout, k, val("v0"))).unwrap();
+        }
+        let cluster2 = Arc::clone(&cluster);
+        let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+        let migration =
+            std::thread::spawn(move || SquallEngine::new().migrate(&cluster2, &task).unwrap());
+        // Concurrent client keeps updating through the migration; every
+        // update must observe the pulled value.
+        let mut updates = 0;
+        for round in 0..20u64 {
+            let key = round % 64;
+            let r = session.run(|t| {
+                let v = t.read(&layout, key)?;
+                assert!(v.is_some(), "key {key} lost during pull migration");
+                t.update(&layout, key, val("v1"))
+            });
+            if r.is_ok() {
+                updates += 1;
+            }
+        }
+        let report = migration.join().unwrap();
+        assert!(updates > 0);
+        assert!(report.pulls >= 16, "expected at least one pull per chunk");
+        let (rows, _) = session.run(|t| t.scan_table(&layout)).unwrap();
+        assert_eq!(rows.len(), 64);
+    }
+}

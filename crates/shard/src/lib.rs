@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Sharding: consistent hashing, the MVCC shard map table, and the
+//! per-coordinator ordered routing cache.
+//!
+//! PolarDB-PG shards each user table across nodes with consistent hashing
+//! (paper §2.1) and maintains a shard map *as a regular multi-version
+//! table* on every node (§3.5.1, Figure 5). That choice is what makes
+//! *ordered diversion* work: the ownership-handover transaction `T_m` is an
+//! ordinary distributed transaction updating the shard map rows via 2PC,
+//! and routing reads the map with the routing transaction's start
+//! timestamp — so `T_m.commit_ts` cleanly splits transactions between
+//! source and destination.
+//!
+//! * [`ring`] — key hashing, uniform hash ranges, table layouts.
+//! * [`map_table`] — the shard map rows (encode/decode), hosted in a
+//!   reserved shard on every node.
+//! * [`cache`] — the private ordered cache each coordinator keeps, with the
+//!   epoch + cache-read-through protocol that closes the vulnerable window
+//!   around `T_m`.
+
+pub mod cache;
+pub mod map_table;
+pub mod ring;
+
+pub use cache::{CacheLookup, ReadThroughState, ShardMapCache};
+pub use map_table::{
+    decode_owner, encode_owner, install_owner, read_owner_at, ShardMapRow, SHARD_MAP_SHARD,
+};
+pub use ring::{key_hash, HashRing, TableLayout};

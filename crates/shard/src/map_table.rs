@@ -1,0 +1,128 @@
+//! The shard map table: shard → owning node, stored as MVCC rows.
+//!
+//! Every node hosts a replica of the shard map in the reserved shard
+//! [`SHARD_MAP_SHARD`]. Rows are keyed by the shard id and carry the owning
+//! node (paper Figure 5 also shows the consistent hash range; ours is
+//! implied by the table layout, so the row only encodes the owner).
+//!
+//! The ownership-handover transaction `T_m` updates these rows on *every*
+//! node through the ordinary distributed-transaction machinery; routing
+//! reads them with the routing transaction's start timestamp.
+
+use remus_common::{DbError, DbResult, NodeId, ShardId, Timestamp};
+use remus_storage::{Clog, Value, VersionedTable};
+use std::time::Duration;
+
+/// The reserved shard id hosting the shard map table on every node.
+pub const SHARD_MAP_SHARD: ShardId = ShardId(u64::MAX);
+
+/// A decoded shard map row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMapRow {
+    /// The shard this row describes.
+    pub shard: ShardId,
+    /// The node that owns it.
+    pub node: NodeId,
+    /// Commit timestamp of the row version read ([`Timestamp::INVALID`] for
+    /// an uncommitted own write).
+    pub cts: Timestamp,
+}
+
+/// Encodes the owner of a shard as a row payload.
+pub fn encode_owner(node: NodeId) -> Value {
+    Value::copy_from_slice(&node.0.to_le_bytes())
+}
+
+/// Decodes a shard map row payload.
+pub fn decode_owner(value: &Value) -> DbResult<NodeId> {
+    let bytes: [u8; 4] = value
+        .as_ref()
+        .try_into()
+        .map_err(|_| DbError::Internal(format!("bad shard map row of {} bytes", value.len())))?;
+    Ok(NodeId(u32::from_le_bytes(bytes)))
+}
+
+/// Reads the owner of `shard` visible at `ts` from a node's shard map
+/// table, with prepare-wait (a routing read racing `T_m`'s 2PC blocks until
+/// `T_m` resolves — the mechanism Theorem 3.1 leans on).
+pub fn read_owner_at(
+    map_table: &VersionedTable,
+    clog: &Clog,
+    shard: ShardId,
+    ts: Timestamp,
+    timeout: Duration,
+) -> DbResult<Option<ShardMapRow>> {
+    let Some((value, cts)) =
+        map_table.read_versioned(shard.0, ts, remus_common::TxnId::INVALID, clog, timeout)?
+    else {
+        return Ok(None);
+    };
+    Ok(Some(ShardMapRow {
+        shard,
+        node: decode_owner(&value)?,
+        cts,
+    }))
+}
+
+/// Installs the initial owner of a shard (bootstrap: visible to every
+/// transaction, like any snapshot-installed row).
+pub fn install_owner(map_table: &VersionedTable, shard: ShardId, node: NodeId) {
+    map_table.install_frozen(shard.0, encode_owner(node));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remus_storage::Clog;
+
+    const T: Duration = Duration::from_secs(1);
+
+    #[test]
+    fn owner_roundtrip() {
+        assert_eq!(decode_owner(&encode_owner(NodeId(42))).unwrap(), NodeId(42));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_owner(&Value::copy_from_slice(b"xyz")).is_err());
+    }
+
+    #[test]
+    fn install_and_read_owner() {
+        let (table, clog) = (VersionedTable::new(), Clog::new());
+        install_owner(&table, ShardId(5), NodeId(2));
+        let row = read_owner_at(&table, &clog, ShardId(5), Timestamp(10), T)
+            .unwrap()
+            .unwrap();
+        assert_eq!(row.node, NodeId(2));
+        assert_eq!(row.cts, Timestamp::SNAPSHOT_MIN);
+        assert!(read_owner_at(&table, &clog, ShardId(6), Timestamp(10), T)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn snapshot_sees_owner_as_of_its_timestamp() {
+        use remus_common::TxnId;
+        let (table, clog) = (VersionedTable::new(), Clog::new());
+        install_owner(&table, ShardId(5), NodeId(1));
+        // A "T_m" moves the shard to node 3, committing at ts 12.
+        let tm = TxnId::new(NodeId(0), 1);
+        clog.begin(tm);
+        table
+            .update(5, encode_owner(NodeId(3)), tm, Timestamp(11), &clog, T)
+            .unwrap();
+        clog.set_committed(tm, Timestamp(12)).unwrap();
+        // Figure 5: T2 (start 10) still routed to the source...
+        let row = read_owner_at(&table, &clog, ShardId(5), Timestamp(10), T)
+            .unwrap()
+            .unwrap();
+        assert_eq!(row.node, NodeId(1));
+        // ...while T1 (start 15) is directed to the destination.
+        let row = read_owner_at(&table, &clog, ShardId(5), Timestamp(15), T)
+            .unwrap()
+            .unwrap();
+        assert_eq!(row.node, NodeId(3));
+        assert_eq!(row.cts, Timestamp(12));
+    }
+}

@@ -1,0 +1,235 @@
+//! Consistent hashing: key hashes, uniform hash ranges, table layouts.
+
+use remus_common::{ShardId, TableId};
+use remus_storage::Key;
+
+/// SplitMix64 — a strong, cheap 64-bit mixer for shard key hashing.
+#[inline]
+pub fn key_hash(key: Key) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A hash space divided into `n` equal contiguous ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashRing {
+    n: u32,
+}
+
+impl HashRing {
+    /// A ring with `n` ranges (shards). Panics on `n == 0`.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "ring must have at least one range");
+        HashRing { n }
+    }
+
+    /// Number of ranges.
+    pub fn len(&self) -> u32 {
+        self.n
+    }
+
+    /// Always false: rings are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The range index owning hash `h`.
+    #[inline]
+    pub fn index_for_hash(&self, h: u64) -> u32 {
+        // Multiply-shift maps the full u64 space uniformly onto 0..n.
+        ((h as u128 * self.n as u128) >> 64) as u32
+    }
+
+    /// The half-open hash range `[lo, hi)` of range `i` (`hi == u64::MAX`
+    /// means "through the top of the space, inclusive").
+    pub fn range_of(&self, i: u32) -> (u64, u64) {
+        assert!(i < self.n);
+        // Ceiling division: the smallest h with floor(h * n / 2^64) == i.
+        let lo = (((i as u128) << 64).div_ceil(self.n as u128)) as u64;
+        let hi = if i + 1 == self.n {
+            u64::MAX
+        } else {
+            ((((i + 1) as u128) << 64).div_ceil(self.n as u128)) as u64
+        };
+        (lo, hi)
+    }
+}
+
+/// How sharding keys map to range indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LayoutKind {
+    /// Consistent hashing over the key (PolarDB-PG's default, §2.1).
+    Hash,
+    /// Direct modulo mapping: sharding key `k` → shard index `k % n`. Used
+    /// for TPC-C, where each shard holds exactly one warehouse's data and
+    /// collocation across tables must be by warehouse id (§4.3).
+    Direct,
+}
+
+/// How one user table's keys map to its shards.
+///
+/// Shard ids are allocated densely: `base + range_index`, so a layout is
+/// fully described by `(table, base, ring, kind)`.
+#[derive(Debug, Clone, Copy)]
+pub struct TableLayout {
+    /// The user table.
+    pub table: TableId,
+    /// First shard id of the table.
+    pub base: u64,
+    ring: HashRing,
+    kind: LayoutKind,
+}
+
+impl TableLayout {
+    /// A consistent-hashing layout for `table` with `shards` shards whose
+    /// ids start at `base`.
+    pub fn new(table: TableId, base: u64, shards: u32) -> Self {
+        TableLayout {
+            table,
+            base,
+            ring: HashRing::new(shards),
+            kind: LayoutKind::Hash,
+        }
+    }
+
+    /// A direct layout: sharding key `k` maps to shard index `k % shards`
+    /// (one warehouse per shard in TPC-C).
+    pub fn direct(table: TableId, base: u64, shards: u32) -> Self {
+        TableLayout {
+            table,
+            base,
+            ring: HashRing::new(shards),
+            kind: LayoutKind::Direct,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.ring.len()
+    }
+
+    /// All shard ids of the table.
+    pub fn shard_ids(&self) -> impl Iterator<Item = ShardId> + '_ {
+        (0..self.ring.len()).map(move |i| ShardId(self.base + i as u64))
+    }
+
+    /// The shard owning `sharding_key`.
+    #[inline]
+    pub fn shard_for(&self, sharding_key: Key) -> ShardId {
+        let idx = match self.kind {
+            LayoutKind::Hash => self.ring.index_for_hash(key_hash(sharding_key)),
+            LayoutKind::Direct => (sharding_key % self.ring.len() as u64) as u32,
+        };
+        ShardId(self.base + idx as u64)
+    }
+
+    /// True if `shard` belongs to this table.
+    pub fn contains(&self, shard: ShardId) -> bool {
+        shard.0 >= self.base && shard.0 < self.base + self.ring.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ranges_partition_the_space() {
+        let ring = HashRing::new(7);
+        let mut prev_hi = 0u64;
+        for i in 0..7 {
+            let (lo, hi) = ring.range_of(i);
+            assert_eq!(lo, prev_hi, "ranges must be contiguous");
+            assert!(hi > lo);
+            prev_hi = hi;
+        }
+        assert_eq!(prev_hi, u64::MAX);
+    }
+
+    #[test]
+    fn index_matches_range() {
+        let ring = HashRing::new(13);
+        for i in 0..13 {
+            let (lo, hi) = ring.range_of(i);
+            assert_eq!(ring.index_for_hash(lo), i);
+            // A point safely inside the range.
+            assert_eq!(ring.index_for_hash(lo + (hi - lo) / 2), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_ring_rejected() {
+        HashRing::new(0);
+    }
+
+    #[test]
+    fn layout_assigns_dense_shard_ids() {
+        let layout = TableLayout::new(TableId(1), 100, 4);
+        let ids: Vec<ShardId> = layout.shard_ids().collect();
+        assert_eq!(
+            ids,
+            vec![ShardId(100), ShardId(101), ShardId(102), ShardId(103)]
+        );
+        assert!(layout.contains(ShardId(103)));
+        assert!(!layout.contains(ShardId(104)));
+        assert!(!layout.contains(ShardId(99)));
+    }
+
+    #[test]
+    fn hashing_spreads_keys_roughly_evenly() {
+        let layout = TableLayout::new(TableId(1), 0, 10);
+        let mut counts = [0usize; 10];
+        for key in 0..100_000u64 {
+            counts[(layout.shard_for(key).0) as usize] += 1;
+        }
+        for &c in &counts {
+            // Uniform would be 10 000; allow ±15%.
+            assert!((8_500..=11_500).contains(&c), "skewed shard count: {c}");
+        }
+    }
+
+    #[test]
+    fn direct_layout_maps_by_modulo() {
+        let layout = TableLayout::direct(TableId(2), 100, 480);
+        assert_eq!(layout.shard_for(0), ShardId(100));
+        assert_eq!(layout.shard_for(479), ShardId(579));
+        assert_eq!(layout.shard_for(480), ShardId(100));
+        // Collocation: two direct layouts with equal shard counts put the
+        // same warehouse at the same index.
+        let other = TableLayout::direct(TableId(3), 1000, 480);
+        for w in [0u64, 7, 311, 479] {
+            assert_eq!(
+                layout.shard_for(w).0 - layout.base,
+                other.shard_for(w).0 - other.base
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn every_key_maps_to_a_valid_shard(key in any::<u64>(), shards in 1u32..512) {
+            let layout = TableLayout::new(TableId(0), 7, shards);
+            let shard = layout.shard_for(key);
+            prop_assert!(layout.contains(shard));
+        }
+
+        #[test]
+        fn index_for_hash_agrees_with_range_of(h in any::<u64>(), n in 1u32..64) {
+            let ring = HashRing::new(n);
+            let i = ring.index_for_hash(h);
+            let (lo, hi) = ring.range_of(i);
+            prop_assert!(h >= lo);
+            prop_assert!(h < hi || (hi == u64::MAX && h == u64::MAX));
+        }
+
+        #[test]
+        fn shard_mapping_is_deterministic(key in any::<u64>()) {
+            let layout = TableLayout::new(TableId(0), 0, 36);
+            prop_assert_eq!(layout.shard_for(key), layout.shard_for(key));
+        }
+    }
+}

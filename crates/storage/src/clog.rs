@@ -1,0 +1,408 @@
+//! The commit log (CLOG): per-transaction status and commit timestamps.
+//!
+//! PostgreSQL's CLOG records committed/aborted per xid; PolarDB-PG extends
+//! it to also store the commit *timestamp* (paper §2.2), and reserves a
+//! special `Prepared` status written during the 2PC prepare phase. MVCC
+//! visibility consults the CLOG for every traversed version; on `Prepared`
+//! the reader blocks until the writer resolves (prepare-wait).
+
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use remus_common::{DbError, DbResult, NodeId, Timestamp, TxnId};
+use std::collections::HashMap;
+
+/// Status of a transaction as recorded in the CLOG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Running; neither prepared nor resolved.
+    InProgress,
+    /// Wrote its prepare record (2PC phase one, or the single-node
+    /// equivalent); commit timestamp not yet assigned. Readers encountering
+    /// this wait for resolution.
+    Prepared,
+    /// Committed with the recorded commit timestamp.
+    Committed(Timestamp),
+    /// Rolled back.
+    Aborted,
+}
+
+impl TxnStatus {
+    /// True once the transaction can no longer change state.
+    pub fn is_resolved(self) -> bool {
+        matches!(self, TxnStatus::Committed(_) | TxnStatus::Aborted)
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// A node's commit log.
+///
+/// Sharded hash maps keep the hot path short; a single condition variable
+/// wakes prepare-waiters whenever any transaction resolves (acceptable at
+/// simulation scale and simple to reason about).
+pub struct Clog {
+    shards: [RwLock<HashMap<TxnId, TxnStatus>>; SHARDS],
+    wake: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl std::fmt::Debug for Clog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Clog")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+/// The reserved transaction id owning snapshot-installed tuples: always
+/// committed at [`Timestamp::SNAPSHOT_MIN`], making migrated snapshot data
+/// visible to every transaction that starts after the snapshot (paper §3.2).
+pub const FROZEN_TXN: TxnId = TxnId(u64::MAX);
+
+impl Clog {
+    /// An empty commit log (with the frozen bootstrap transaction
+    /// pre-committed).
+    pub fn new() -> Self {
+        let clog = Clog {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            wake: Mutex::new(0),
+            cond: Condvar::new(),
+        };
+        clog.shard(FROZEN_TXN)
+            .write()
+            .insert(FROZEN_TXN, TxnStatus::Committed(Timestamp::SNAPSHOT_MIN));
+        clog
+    }
+
+    fn shard(&self, xid: TxnId) -> &RwLock<HashMap<TxnId, TxnStatus>> {
+        // xids are dense per node; mix the bits a little.
+        let h = xid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 60) as usize % SHARDS]
+    }
+
+    /// Registers a transaction as in progress. Idempotent for an xid that is
+    /// already in progress; panics if the xid was already resolved (a bug).
+    pub fn begin(&self, xid: TxnId) {
+        let mut shard = self.shard(xid).write();
+        match shard.insert(xid, TxnStatus::InProgress) {
+            None | Some(TxnStatus::InProgress) => {}
+            Some(other) => panic!("begin({xid}) over resolved status {other:?}"),
+        }
+    }
+
+    /// Like [`Clog::begin`], but fails instead of panicking when the xid was
+    /// already resolved — the race a server-side force-abort can create.
+    pub fn try_begin(&self, xid: TxnId) -> DbResult<()> {
+        let mut shard = self.shard(xid).write();
+        match shard.get(&xid).copied() {
+            None | Some(TxnStatus::InProgress) => {
+                shard.insert(xid, TxnStatus::InProgress);
+                Ok(())
+            }
+            Some(TxnStatus::Aborted) => Err(DbError::Aborted(xid)),
+            Some(other) => Err(DbError::Internal(format!("begin({xid}) over {other:?}"))),
+        }
+    }
+
+    /// Like [`Clog::set_aborted`], but only from the in-progress (or
+    /// unknown) state: returns `false` if the transaction is already
+    /// prepared or committed. Server-side force-aborts must not yank a
+    /// transaction that entered 2PC — its coordinator may still decide to
+    /// commit it; callers wait for such victims instead.
+    pub fn try_abort(&self, xid: TxnId) -> bool {
+        {
+            let mut shard = self.shard(xid).write();
+            match shard.get(&xid) {
+                Some(TxnStatus::Committed(_)) | Some(TxnStatus::Prepared) => return false,
+                _ => {
+                    shard.insert(xid, TxnStatus::Aborted);
+                }
+            }
+        }
+        self.notify();
+        true
+    }
+
+    /// Moves a transaction to `Prepared` (the special reserved status).
+    pub fn set_prepared(&self, xid: TxnId) -> DbResult<()> {
+        let mut shard = self.shard(xid).write();
+        match shard.get(&xid).copied() {
+            Some(TxnStatus::InProgress) => {
+                shard.insert(xid, TxnStatus::Prepared);
+                Ok(())
+            }
+            Some(TxnStatus::Prepared) => Ok(()),
+            other => Err(DbError::Internal(format!("prepare({xid}) from {other:?}"))),
+        }
+    }
+
+    /// Replaces the prepared (or in-progress, for the single-node fast path)
+    /// status with the commit timestamp and wakes prepare-waiters.
+    pub fn set_committed(&self, xid: TxnId, ts: Timestamp) -> DbResult<()> {
+        debug_assert!(ts.is_valid());
+        {
+            let mut shard = self.shard(xid).write();
+            match shard.get(&xid).copied() {
+                Some(TxnStatus::InProgress) | Some(TxnStatus::Prepared) => {
+                    shard.insert(xid, TxnStatus::Committed(ts));
+                }
+                Some(TxnStatus::Committed(prev)) if prev == ts => return Ok(()),
+                other => return Err(DbError::Internal(format!("commit({xid}) from {other:?}"))),
+            }
+        }
+        self.notify();
+        Ok(())
+    }
+
+    /// Marks the transaction aborted and wakes prepare-waiters.
+    pub fn set_aborted(&self, xid: TxnId) {
+        {
+            let mut shard = self.shard(xid).write();
+            match shard.get(&xid).copied() {
+                Some(TxnStatus::Committed(_)) => {
+                    panic!("abort({xid}) after commit");
+                }
+                _ => {
+                    shard.insert(xid, TxnStatus::Aborted);
+                }
+            }
+        }
+        self.notify();
+    }
+
+    fn notify(&self) {
+        let mut gen = self.wake.lock();
+        *gen += 1;
+        self.cond.notify_all();
+    }
+
+    /// Looks up a transaction's status. Unknown xids are reported as
+    /// aborted: the only way a version references an unknown xid is after a
+    /// simulated crash wiped in-progress state, which aborts them.
+    pub fn status(&self, xid: TxnId) -> TxnStatus {
+        self.shard(xid)
+            .read()
+            .get(&xid)
+            .copied()
+            .unwrap_or(TxnStatus::Aborted)
+    }
+
+    /// The commit timestamp of a committed transaction.
+    pub fn commit_ts(&self, xid: TxnId) -> Option<Timestamp> {
+        match self.status(xid) {
+            TxnStatus::Committed(ts) => Some(ts),
+            _ => None,
+        }
+    }
+
+    /// Blocks until `xid` is resolved (committed or aborted), returning the
+    /// final status. This is the prepare-wait primitive.
+    pub fn wait_resolved(&self, xid: TxnId, timeout: Duration) -> DbResult<TxnStatus> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let st = self.status(xid);
+            if st.is_resolved() {
+                return Ok(st);
+            }
+            let mut gen = self.wake.lock();
+            // Re-check under the lock to avoid a lost wakeup between the
+            // status read and the wait.
+            let st = self.status(xid);
+            if st.is_resolved() {
+                return Ok(st);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(DbError::Timeout("transaction resolution"));
+            }
+            self.cond.wait_for(&mut gen, deadline - now);
+        }
+    }
+
+    /// Total number of recorded transactions (including the frozen one).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True if only the frozen bootstrap transaction is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// Crash simulation: aborts every unresolved transaction that originated
+    /// on `node` (used by the recovery tests). Prepared transactions are
+    /// left for 2PC recovery to decide, mirroring real 2PC semantics.
+    pub fn crash_abort_in_progress(&self, node: NodeId) -> Vec<TxnId> {
+        let mut aborted = Vec::new();
+        for shard in &self.shards {
+            let mut map = shard.write();
+            for (xid, st) in map.iter_mut() {
+                if *st == TxnStatus::InProgress && xid.origin() == node {
+                    *st = TxnStatus::Aborted;
+                    aborted.push(*xid);
+                }
+            }
+        }
+        self.notify();
+        aborted
+    }
+
+    /// All transactions currently in the `Prepared` state (2PC recovery).
+    pub fn prepared_txns(&self) -> Vec<TxnId> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (xid, st) in shard.read().iter() {
+                if *st == TxnStatus::Prepared {
+                    out.push(*xid);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Clog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn xid(n: u64) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    #[test]
+    fn lifecycle_in_progress_prepared_committed() {
+        let clog = Clog::new();
+        let x = xid(1);
+        clog.begin(x);
+        assert_eq!(clog.status(x), TxnStatus::InProgress);
+        clog.set_prepared(x).unwrap();
+        assert_eq!(clog.status(x), TxnStatus::Prepared);
+        clog.set_committed(x, Timestamp(42)).unwrap();
+        assert_eq!(clog.status(x), TxnStatus::Committed(Timestamp(42)));
+        assert_eq!(clog.commit_ts(x), Some(Timestamp(42)));
+    }
+
+    #[test]
+    fn single_node_fast_path_commits_from_in_progress() {
+        let clog = Clog::new();
+        let x = xid(2);
+        clog.begin(x);
+        clog.set_committed(x, Timestamp(7)).unwrap();
+        assert_eq!(clog.status(x), TxnStatus::Committed(Timestamp(7)));
+    }
+
+    #[test]
+    fn abort_from_any_unresolved_state() {
+        let clog = Clog::new();
+        let a = xid(3);
+        clog.begin(a);
+        clog.set_aborted(a);
+        assert_eq!(clog.status(a), TxnStatus::Aborted);
+
+        let b = xid(4);
+        clog.begin(b);
+        clog.set_prepared(b).unwrap();
+        clog.set_aborted(b);
+        assert_eq!(clog.status(b), TxnStatus::Aborted);
+    }
+
+    #[test]
+    #[should_panic(expected = "after commit")]
+    fn abort_after_commit_panics() {
+        let clog = Clog::new();
+        let x = xid(5);
+        clog.begin(x);
+        clog.set_committed(x, Timestamp(9)).unwrap();
+        clog.set_aborted(x);
+    }
+
+    #[test]
+    fn commit_is_idempotent_with_same_ts() {
+        let clog = Clog::new();
+        let x = xid(6);
+        clog.begin(x);
+        clog.set_committed(x, Timestamp(10)).unwrap();
+        clog.set_committed(x, Timestamp(10)).unwrap();
+        assert!(clog.set_committed(x, Timestamp(11)).is_err());
+    }
+
+    #[test]
+    fn unknown_xid_reads_as_aborted() {
+        let clog = Clog::new();
+        assert_eq!(clog.status(xid(999)), TxnStatus::Aborted);
+    }
+
+    #[test]
+    fn frozen_txn_always_committed_at_snapshot_min() {
+        let clog = Clog::new();
+        assert_eq!(
+            clog.status(FROZEN_TXN),
+            TxnStatus::Committed(Timestamp::SNAPSHOT_MIN)
+        );
+    }
+
+    #[test]
+    fn wait_resolved_returns_immediately_when_resolved() {
+        let clog = Clog::new();
+        let x = xid(7);
+        clog.begin(x);
+        clog.set_committed(x, Timestamp(3)).unwrap();
+        let st = clog.wait_resolved(x, Duration::from_millis(10)).unwrap();
+        assert_eq!(st, TxnStatus::Committed(Timestamp(3)));
+    }
+
+    #[test]
+    fn wait_resolved_blocks_until_commit() {
+        let clog = Arc::new(Clog::new());
+        let x = xid(8);
+        clog.begin(x);
+        clog.set_prepared(x).unwrap();
+        let waiter = {
+            let clog = Arc::clone(&clog);
+            std::thread::spawn(move || clog.wait_resolved(x, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        clog.set_committed(x, Timestamp(77)).unwrap();
+        assert_eq!(
+            waiter.join().unwrap().unwrap(),
+            TxnStatus::Committed(Timestamp(77))
+        );
+    }
+
+    #[test]
+    fn wait_resolved_times_out() {
+        let clog = Clog::new();
+        let x = xid(9);
+        clog.begin(x);
+        let err = clog
+            .wait_resolved(x, Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err, DbError::Timeout("transaction resolution"));
+    }
+
+    #[test]
+    fn crash_abort_only_hits_in_progress_on_that_node() {
+        let clog = Clog::new();
+        let local = TxnId::new(NodeId(1), 1);
+        let prepared = TxnId::new(NodeId(1), 2);
+        let remote = TxnId::new(NodeId(2), 1);
+        clog.begin(local);
+        clog.begin(prepared);
+        clog.set_prepared(prepared).unwrap();
+        clog.begin(remote);
+        let aborted = clog.crash_abort_in_progress(NodeId(1));
+        assert_eq!(aborted, vec![local]);
+        assert_eq!(clog.status(local), TxnStatus::Aborted);
+        assert_eq!(clog.status(prepared), TxnStatus::Prepared);
+        assert_eq!(clog.status(remote), TxnStatus::InProgress);
+        assert_eq!(clog.prepared_txns(), vec![prepared]);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! MVCC storage engine: the PostgreSQL-shaped substrate under Remus.
+//!
+//! The paper's target system stores multiple versions per tuple, records
+//! each transaction's status and commit timestamp in a commit log, and
+//! resolves visibility with the *prepare-wait* rule (§2.2): a reader that
+//! finds a version whose creator is in the `Prepared` state waits for that
+//! transaction to finish before deciding visibility.
+//!
+//! * [`clog::Clog`] — transaction status + commit timestamps, with blocking
+//!   waits for resolution.
+//! * [`mod@tuple`] — tuple versions and version chains (newest first).
+//! * [`table::VersionedTable`] — one shard's primary-keyed multi-version
+//!   heap: SI reads, first-committer-wins writes, deletes, explicit row
+//!   locks, streaming snapshot scans, snapshot installation, vacuum.
+//! * [`visibility`] — the pure visibility decision procedure, factored out
+//!   so it can be tested exhaustively.
+
+pub mod clog;
+pub mod table;
+pub mod tuple;
+pub mod visibility;
+
+pub use clog::{Clog, TxnStatus};
+pub use table::{TableStats, VersionedTable, WriteOutcome};
+pub use tuple::{Key, TupleVersion, Value, VersionChain};
+pub use visibility::{resolve_visible, resolve_visible_versioned, VersionedOutcome};

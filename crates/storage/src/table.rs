@@ -1,0 +1,877 @@
+//! A shard's multi-version table: the storage API transactions run against.
+//!
+//! One [`VersionedTable`] corresponds to one shard managed "as a regular
+//! table" on a node (paper §2.1). The `BTreeMap` doubles as the primary
+//! index (replay locates tuples by primary key, §3.3) and supports the
+//! ordered range scans that snapshot copying and Squall's chunking need.
+//!
+//! All blocking (prepare-wait, waiting for a conflicting writer to resolve)
+//! happens *outside* chain latches: operations run the pure checks from
+//! [`crate::visibility`] under the latch, and on `WaitFor` release it, block
+//! on the CLOG, and retry.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use remus_common::{DbError, DbResult, Timestamp, TxnId};
+
+use crate::clog::{Clog, FROZEN_TXN};
+use crate::tuple::{Key, TupleVersion, Value, VersionChain};
+use crate::visibility::{check_write, resolve_visible, VisibleOutcome, WriteCheck, WriteKind};
+
+type ChainRef = Arc<Mutex<VersionChain>>;
+
+/// What a successful write did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// A new version was appended to the chain.
+    NewVersion,
+    /// The writer's own newest version was modified in place.
+    UpdatedOwn,
+}
+
+/// Aggregate statistics for monitoring and the Figure-10 harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableStats {
+    /// Number of keys with at least one version.
+    pub keys: usize,
+    /// Total stored versions.
+    pub versions: usize,
+    /// Longest version chain (grows under long-lived snapshots, §4.8).
+    pub max_chain: usize,
+}
+
+/// One shard's MVCC heap.
+#[derive(Default)]
+pub struct VersionedTable {
+    map: RwLock<BTreeMap<Key, ChainRef>>,
+}
+
+impl std::fmt::Debug for VersionedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedTable")
+            .field("keys", &self.map.read().len())
+            .finish()
+    }
+}
+
+impl VersionedTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn chain(&self, key: Key) -> Option<ChainRef> {
+        self.map.read().get(&key).cloned()
+    }
+
+    fn chain_or_create(&self, key: Key) -> ChainRef {
+        if let Some(c) = self.chain(key) {
+            return c;
+        }
+        let mut map = self.map.write();
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// SI point read that also reports the commit timestamp of the version
+    /// read (see [`crate::visibility::resolve_visible_versioned`]).
+    pub fn read_versioned(
+        &self,
+        key: Key,
+        start_ts: Timestamp,
+        self_xid: TxnId,
+        clog: &Clog,
+        timeout: Duration,
+    ) -> DbResult<Option<(Value, Timestamp)>> {
+        use crate::visibility::{resolve_visible_versioned, VersionedOutcome};
+        let Some(chain) = self.chain(key) else {
+            return Ok(None);
+        };
+        loop {
+            let wait_on = {
+                let chain = chain.lock();
+                match resolve_visible_versioned(&chain, clog, start_ts, self_xid) {
+                    VersionedOutcome::Value { value, cts } => return Ok(Some((value, cts))),
+                    VersionedOutcome::NotFound => return Ok(None),
+                    VersionedOutcome::WaitFor(xid) => xid,
+                }
+            };
+            clog.wait_resolved(wait_on, timeout)?;
+        }
+    }
+
+    /// SI point read at `start_ts`, with prepare-wait.
+    pub fn read(
+        &self,
+        key: Key,
+        start_ts: Timestamp,
+        self_xid: TxnId,
+        clog: &Clog,
+        timeout: Duration,
+    ) -> DbResult<Option<Value>> {
+        let Some(chain) = self.chain(key) else {
+            return Ok(None);
+        };
+        loop {
+            let wait_on = {
+                let chain = chain.lock();
+                match resolve_visible(&chain, clog, start_ts, self_xid) {
+                    VisibleOutcome::Value(v) => return Ok(Some(v)),
+                    VisibleOutcome::NotFound => return Ok(None),
+                    VisibleOutcome::WaitFor(xid) => xid,
+                }
+            };
+            clog.wait_resolved(wait_on, timeout)?;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's op signature: who, what, when, how long
+    fn write_loop(
+        &self,
+        key: Key,
+        xid: TxnId,
+        start_ts: Timestamp,
+        clog: &Clog,
+        timeout: Duration,
+        kind: WriteKind,
+        mut apply: impl FnMut(&mut VersionChain, WriteCheck) -> WriteOutcome,
+    ) -> DbResult<WriteOutcome> {
+        let chain = match kind {
+            WriteKind::Insert => self.chain_or_create(key),
+            _ => self.chain(key).ok_or(DbError::KeyNotFound)?,
+        };
+        loop {
+            let wait_on = {
+                let mut guard = chain.lock();
+                match check_write(&guard, clog, start_ts, xid, kind) {
+                    ok @ (WriteCheck::Ok | WriteCheck::OwnNewest) => {
+                        return Ok(apply(&mut guard, ok));
+                    }
+                    WriteCheck::WaitFor(w) => w,
+                    WriteCheck::Conflict(other) => {
+                        return Err(DbError::WwConflict { txn: xid, other });
+                    }
+                    WriteCheck::NotFound => return Err(DbError::KeyNotFound),
+                    WriteCheck::DuplicateKey => return Err(DbError::DuplicateKey),
+                }
+            };
+            clog.wait_resolved(wait_on, timeout)?;
+        }
+    }
+
+    /// Inserts a new tuple (unique-key semantics).
+    pub fn insert(
+        &self,
+        key: Key,
+        value: Value,
+        xid: TxnId,
+        start_ts: Timestamp,
+        clog: &Clog,
+        timeout: Duration,
+    ) -> DbResult<WriteOutcome> {
+        self.write_loop(
+            key,
+            xid,
+            start_ts,
+            clog,
+            timeout,
+            WriteKind::Insert,
+            |chain, ck| {
+                if ck == WriteCheck::OwnNewest {
+                    // Re-insert over our own tombstone.
+                    let v = chain.newest_mut().expect("OwnNewest implies a version");
+                    v.deleted = false;
+                    v.value = value.clone();
+                    WriteOutcome::UpdatedOwn
+                } else {
+                    chain.push(TupleVersion::data(xid, value.clone()));
+                    WriteOutcome::NewVersion
+                }
+            },
+        )
+    }
+
+    /// Updates the live tuple (first-committer-wins on conflict).
+    pub fn update(
+        &self,
+        key: Key,
+        value: Value,
+        xid: TxnId,
+        start_ts: Timestamp,
+        clog: &Clog,
+        timeout: Duration,
+    ) -> DbResult<WriteOutcome> {
+        self.write_loop(
+            key,
+            xid,
+            start_ts,
+            clog,
+            timeout,
+            WriteKind::Update,
+            |chain, ck| {
+                if ck == WriteCheck::OwnNewest {
+                    chain
+                        .newest_mut()
+                        .expect("OwnNewest implies a version")
+                        .value = value.clone();
+                    WriteOutcome::UpdatedOwn
+                } else {
+                    chain.push(TupleVersion::data(xid, value.clone()));
+                    WriteOutcome::NewVersion
+                }
+            },
+        )
+    }
+
+    /// Deletes the live tuple by pushing a tombstone.
+    pub fn delete(
+        &self,
+        key: Key,
+        xid: TxnId,
+        start_ts: Timestamp,
+        clog: &Clog,
+        timeout: Duration,
+    ) -> DbResult<WriteOutcome> {
+        self.write_loop(
+            key,
+            xid,
+            start_ts,
+            clog,
+            timeout,
+            WriteKind::Delete,
+            |chain, ck| {
+                if ck == WriteCheck::OwnNewest {
+                    chain
+                        .newest_mut()
+                        .expect("OwnNewest implies a version")
+                        .deleted = true;
+                    WriteOutcome::UpdatedOwn
+                } else {
+                    chain.push(TupleVersion::tombstone(xid));
+                    WriteOutcome::NewVersion
+                }
+            },
+        )
+    }
+
+    /// Takes an explicit row-level lock on the live tuple.
+    pub fn lock_row(
+        &self,
+        key: Key,
+        xid: TxnId,
+        start_ts: Timestamp,
+        clog: &Clog,
+        timeout: Duration,
+    ) -> DbResult<WriteOutcome> {
+        self.write_loop(
+            key,
+            xid,
+            start_ts,
+            clog,
+            timeout,
+            WriteKind::Lock,
+            |chain, _| {
+                chain.newest_mut().expect("lock target exists").locker = Some(xid);
+                WriteOutcome::UpdatedOwn
+            },
+        )
+    }
+
+    /// Abort cleanup: removes every version `xid` created (and any row lock
+    /// it held) on the given keys. Call *after* the CLOG records the abort
+    /// so that waiters waking up see the final status.
+    pub fn purge_txn(&self, keys: impl IntoIterator<Item = Key>, xid: TxnId) {
+        for key in keys {
+            if let Some(chain) = self.chain(key) {
+                chain.lock().purge_txn(xid);
+            }
+        }
+    }
+
+    /// Installs a tuple owned by the frozen bootstrap transaction, making it
+    /// visible to every snapshot (paper §3.2: tuples of a copied shard
+    /// snapshot are installed with a reserved minimal commit timestamp).
+    /// Replaces any existing chain for the key: installs target empty shards
+    /// and retried Squall pulls.
+    pub fn install_frozen(&self, key: Key, value: Value) {
+        let mut map = self.map.write();
+        map.insert(
+            key,
+            Arc::new(Mutex::new(VersionChain::with(TupleVersion::data(
+                FROZEN_TXN, value,
+            )))),
+        );
+    }
+
+    /// Streams every tuple visible at `snapshot_ts` to `f`, in key order, in
+    /// batches — the latch is released between batches so normal transaction
+    /// processing is not blocked (streaming snapshot scan, §3.2).
+    pub fn for_each_visible(
+        &self,
+        snapshot_ts: Timestamp,
+        clog: &Clog,
+        timeout: Duration,
+        mut f: impl FnMut(Key, Value),
+    ) -> DbResult<()> {
+        const BATCH: usize = 256;
+        let mut from: Bound<Key> = Bound::Unbounded;
+        loop {
+            let batch: Vec<(Key, ChainRef)> = {
+                let map = self.map.read();
+                map.range((from, Bound::Unbounded))
+                    .take(BATCH)
+                    .map(|(k, c)| (*k, Arc::clone(c)))
+                    .collect()
+            };
+            if batch.is_empty() {
+                return Ok(());
+            }
+            from = Bound::Excluded(batch.last().expect("non-empty").0);
+            for (key, chain) in batch {
+                loop {
+                    let wait_on = {
+                        let chain = chain.lock();
+                        match resolve_visible(&chain, clog, snapshot_ts, TxnId::INVALID) {
+                            VisibleOutcome::Value(v) => {
+                                f(key, v);
+                                break;
+                            }
+                            VisibleOutcome::NotFound => break,
+                            VisibleOutcome::WaitFor(xid) => xid,
+                        }
+                    };
+                    clog.wait_resolved(wait_on, timeout)?;
+                }
+            }
+        }
+    }
+
+    /// Collects the tuples visible at `snapshot_ts` within a key range
+    /// (Squall chunk extraction).
+    pub fn scan_visible_range(
+        &self,
+        range: impl std::ops::RangeBounds<Key>,
+        snapshot_ts: Timestamp,
+        clog: &Clog,
+        timeout: Duration,
+    ) -> DbResult<Vec<(Key, Value)>> {
+        let chains: Vec<(Key, ChainRef)> = {
+            let map = self.map.read();
+            map.range((range.start_bound().cloned(), range.end_bound().cloned()))
+                .map(|(k, c)| (*k, Arc::clone(c)))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(chains.len());
+        for (key, chain) in chains {
+            loop {
+                let wait_on = {
+                    let chain = chain.lock();
+                    match resolve_visible(&chain, clog, snapshot_ts, TxnId::INVALID) {
+                        VisibleOutcome::Value(v) => {
+                            out.push((key, v));
+                            break;
+                        }
+                        VisibleOutcome::NotFound => break,
+                        VisibleOutcome::WaitFor(xid) => xid,
+                    }
+                };
+                clog.wait_resolved(wait_on, timeout)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of tuples visible at `snapshot_ts` (consistency checks).
+    pub fn count_visible(
+        &self,
+        snapshot_ts: Timestamp,
+        clog: &Clog,
+        timeout: Duration,
+    ) -> DbResult<usize> {
+        let mut n = 0;
+        self.for_each_visible(snapshot_ts, clog, timeout, |_, _| n += 1)?;
+        Ok(n)
+    }
+
+    /// Vacuum: drops versions no snapshot at or after `horizon` can see, and
+    /// aborted versions. Keys whose only surviving version is a tombstone
+    /// older than the horizon are removed entirely. Returns versions freed.
+    pub fn vacuum(&self, horizon: Timestamp, clog: &Clog) -> usize {
+        let chains: Vec<(Key, ChainRef)> = {
+            let map = self.map.read();
+            map.iter().map(|(k, c)| (*k, Arc::clone(c))).collect()
+        };
+        let mut freed = 0;
+        let mut dead_keys = Vec::new();
+        for (key, chain) in chains {
+            let mut guard = chain.lock();
+            let before = guard.len();
+            // Find the newest version committed at or before the horizon:
+            // it must stay (some snapshot >= horizon may read it); everything
+            // older is unreachable.
+            let mut seen_anchor = false;
+            guard.retain(|v| {
+                let status = clog.status(v.xmin);
+                match status {
+                    crate::clog::TxnStatus::Aborted => false,
+                    crate::clog::TxnStatus::Committed(cts) if cts <= horizon => {
+                        if seen_anchor {
+                            false
+                        } else {
+                            seen_anchor = true;
+                            true
+                        }
+                    }
+                    _ => true,
+                }
+            });
+            freed += before - guard.len();
+            // A lone tombstone at/below the horizon is invisible forever.
+            if guard.len() == 1 {
+                let v = guard.newest().expect("len 1");
+                if v.deleted {
+                    if let Some(cts) = clog.commit_ts(v.xmin) {
+                        if cts <= horizon {
+                            freed += 1;
+                            dead_keys.push(key);
+                        }
+                    }
+                }
+            } else if guard.is_empty() {
+                dead_keys.push(key);
+            }
+        }
+        if !dead_keys.is_empty() {
+            let mut map = self.map.write();
+            for key in dead_keys {
+                // Re-check emptiness/tombstone-ness under the write lock to
+                // avoid racing a concurrent insert.
+                if let Some(chain) = map.get(&key) {
+                    let guard = chain.lock();
+                    let dead = guard.is_empty()
+                        || (guard.len() == 1
+                            && guard.newest().is_some_and(|v| {
+                                v.deleted && clog.commit_ts(v.xmin).is_some_and(|c| c <= horizon)
+                            }));
+                    drop(guard);
+                    if dead {
+                        map.remove(&key);
+                    }
+                }
+            }
+        }
+        freed
+    }
+
+    /// Drops every key in the range (cleanup of migrated-away data).
+    pub fn clear_range(&self, range: impl std::ops::RangeBounds<Key>) -> usize {
+        let mut map = self.map.write();
+        let keys: Vec<Key> = map
+            .range((range.start_bound().cloned(), range.end_bound().cloned()))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &keys {
+            map.remove(k);
+        }
+        keys.len()
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+
+    /// A debugging snapshot of one key's version chain (newest first).
+    /// Intended for tests and forensic dumps, not the hot path.
+    pub fn chain_snapshot(&self, key: Key) -> Vec<TupleVersion> {
+        self.chain(key).map(|c| c.lock().iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> TableStats {
+        let map = self.map.read();
+        let mut stats = TableStats {
+            keys: map.len(),
+            ..Default::default()
+        };
+        for chain in map.values() {
+            let len = chain.lock().len();
+            stats.versions += len;
+            stats.max_chain = stats.max_chain.max(len);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clog::TxnStatus;
+    use bytes::Bytes;
+    use remus_common::NodeId;
+
+    const T: Duration = Duration::from_secs(2);
+
+    fn xid(n: u64) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    fn val(s: &str) -> Value {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    /// Starts txn `n`, runs `f` with it, commits at `ts`.
+    fn committed(clog: &Clog, n: u64, ts: u64, f: impl FnOnce(TxnId)) -> TxnId {
+        let x = xid(n);
+        clog.begin(x);
+        f(x);
+        clog.set_committed(x, Timestamp(ts)).unwrap();
+        x
+    }
+
+    #[test]
+    fn insert_then_read_at_later_snapshot() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        assert_eq!(
+            t.read(1, Timestamp(10), xid(9), &clog, T).unwrap(),
+            Some(val("a"))
+        );
+        assert_eq!(t.read(1, Timestamp(9), xid(9), &clog, T).unwrap(), None);
+    }
+
+    #[test]
+    fn update_creates_new_version_old_snapshots_unaffected() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        committed(&clog, 2, 20, |x| {
+            t.update(1, val("b"), x, Timestamp(15), &clog, T).unwrap();
+        });
+        assert_eq!(
+            t.read(1, Timestamp(15), xid(9), &clog, T).unwrap(),
+            Some(val("a"))
+        );
+        assert_eq!(
+            t.read(1, Timestamp(25), xid(9), &clog, T).unwrap(),
+            Some(val("b"))
+        );
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        // Two concurrent updaters, both snapshot ts=15.
+        committed(&clog, 2, 20, |x| {
+            t.update(1, val("b"), x, Timestamp(15), &clog, T).unwrap();
+        });
+        let loser = xid(3);
+        clog.begin(loser);
+        let err = t
+            .update(1, val("c"), loser, Timestamp(15), &clog, T)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DbError::WwConflict {
+                txn: loser,
+                other: xid(2)
+            }
+        );
+    }
+
+    #[test]
+    fn writer_waits_for_unresolved_writer_then_conflicts() {
+        let (t, clog) = (
+            std::sync::Arc::new(VersionedTable::new()),
+            std::sync::Arc::new(Clog::new()),
+        );
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        let holder = xid(2);
+        clog.begin(holder);
+        t.update(1, val("b"), holder, Timestamp(15), &clog, T)
+            .unwrap();
+
+        let (t2, clog2) = (std::sync::Arc::clone(&t), std::sync::Arc::clone(&clog));
+        let waiter = std::thread::spawn(move || {
+            let w = xid(3);
+            clog2.begin(w);
+            t2.update(1, val("c"), w, Timestamp(15), &clog2, T)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        clog.set_committed(holder, Timestamp(20)).unwrap();
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(matches!(err, DbError::WwConflict { .. }));
+    }
+
+    #[test]
+    fn writer_waits_then_proceeds_if_holder_aborts() {
+        let (t, clog) = (
+            std::sync::Arc::new(VersionedTable::new()),
+            std::sync::Arc::new(Clog::new()),
+        );
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        let holder = xid(2);
+        clog.begin(holder);
+        t.update(1, val("b"), holder, Timestamp(15), &clog, T)
+            .unwrap();
+
+        let (t2, clog2) = (std::sync::Arc::clone(&t), std::sync::Arc::clone(&clog));
+        let waiter = std::thread::spawn(move || {
+            let w = xid(3);
+            clog2.begin(w);
+            t2.update(1, val("c"), w, Timestamp(15), &clog2, T)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // Abort: CLOG first, then purge (the required order).
+        clog.set_aborted(holder);
+        t.purge_txn([1], holder);
+        assert!(waiter.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn delete_hides_tuple_from_later_snapshots() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        committed(&clog, 2, 20, |x| {
+            t.delete(1, x, Timestamp(15), &clog, T).unwrap();
+        });
+        assert_eq!(t.read(1, Timestamp(25), xid(9), &clog, T).unwrap(), None);
+        assert_eq!(
+            t.read(1, Timestamp(15), xid(9), &clog, T).unwrap(),
+            Some(val("a"))
+        );
+    }
+
+    #[test]
+    fn reader_blocks_on_prepared_writer() {
+        let t = std::sync::Arc::new(VersionedTable::new());
+        let clog = std::sync::Arc::new(Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        let w = xid(2);
+        clog.begin(w);
+        t.update(1, val("b"), w, Timestamp(15), &clog, T).unwrap();
+        clog.set_prepared(w).unwrap();
+
+        let (t2, clog2) = (std::sync::Arc::clone(&t), std::sync::Arc::clone(&clog));
+        let reader = std::thread::spawn(move || {
+            // Reader's snapshot is *after* the writer will commit, so it
+            // must wait and then see the new value.
+            t2.read(1, Timestamp(30), xid(9), &clog2, T)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        clog.set_committed(w, Timestamp(20)).unwrap();
+        assert_eq!(reader.join().unwrap().unwrap(), Some(val("b")));
+    }
+
+    #[test]
+    fn purge_restores_pre_transaction_state() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        let loser = xid(2);
+        clog.begin(loser);
+        t.update(1, val("junk"), loser, Timestamp(15), &clog, T)
+            .unwrap();
+        clog.set_aborted(loser);
+        t.purge_txn([1], loser);
+        assert_eq!(
+            t.read(1, Timestamp(25), xid(9), &clog, T).unwrap(),
+            Some(val("a"))
+        );
+        assert_eq!(t.stats().versions, 1);
+    }
+
+    #[test]
+    fn install_frozen_visible_to_every_snapshot() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        t.install_frozen(1, val("migrated"));
+        assert_eq!(
+            t.read(1, Timestamp::SNAPSHOT_MIN, xid(9), &clog, T)
+                .unwrap(),
+            Some(val("migrated"))
+        );
+    }
+
+    #[test]
+    fn snapshot_scan_sees_consistent_cut() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        for k in 0..100u64 {
+            committed(&clog, k + 1, 10, |x| {
+                t.insert(k, val("v0"), x, Timestamp(5), &clog, T).unwrap();
+            });
+        }
+        // Later updates must be invisible at ts=10.
+        committed(&clog, 200, 20, |x| {
+            t.update(7, val("v1"), x, Timestamp(12), &clog, T).unwrap();
+        });
+        let mut seen = Vec::new();
+        t.for_each_visible(Timestamp(10), &clog, T, |k, v| seen.push((k, v)))
+            .unwrap();
+        assert_eq!(seen.len(), 100);
+        assert!(
+            seen.windows(2).all(|w| w[0].0 < w[1].0),
+            "scan must be key-ordered"
+        );
+        assert_eq!(seen[7].1, val("v0"));
+    }
+
+    #[test]
+    fn scan_range_and_clear_range() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        for k in 0..20u64 {
+            committed(&clog, k + 1, 10, |x| {
+                t.insert(k, val("v"), x, Timestamp(5), &clog, T).unwrap();
+            });
+        }
+        let chunk = t
+            .scan_visible_range(5..10, Timestamp(15), &clog, T)
+            .unwrap();
+        assert_eq!(chunk.len(), 5);
+        assert_eq!(t.clear_range(5..10), 5);
+        assert_eq!(t.count_visible(Timestamp(15), &clog, T).unwrap(), 15);
+    }
+
+    #[test]
+    fn vacuum_trims_old_versions_but_keeps_horizon_anchor() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        for (n, ts) in [(2u64, 20u64), (3, 30), (4, 40)] {
+            committed(&clog, n, ts, |x| {
+                t.update(1, val("u"), x, Timestamp(ts - 5), &clog, T)
+                    .unwrap();
+            });
+        }
+        assert_eq!(t.stats().versions, 4);
+        let freed = t.vacuum(Timestamp(30), &clog);
+        // Versions at 10 and 20 are unreachable for any snapshot >= 30; the
+        // version committed at 30 is the anchor and must stay.
+        assert_eq!(freed, 2);
+        assert_eq!(t.stats().versions, 2);
+        assert_eq!(
+            t.read(1, Timestamp(30), xid(9), &clog, T).unwrap(),
+            Some(val("u"))
+        );
+        assert_eq!(
+            t.read(1, Timestamp(45), xid(9), &clog, T).unwrap(),
+            Some(val("u"))
+        );
+    }
+
+    #[test]
+    fn vacuum_removes_dead_tombstoned_keys() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        committed(&clog, 2, 20, |x| {
+            t.delete(1, x, Timestamp(15), &clog, T).unwrap();
+        });
+        t.vacuum(Timestamp(25), &clog);
+        assert_eq!(t.stats().keys, 0);
+    }
+
+    #[test]
+    fn vacuum_drops_aborted_versions() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        let loser = xid(2);
+        clog.begin(loser);
+        t.update(1, val("junk"), loser, Timestamp(15), &clog, T)
+            .unwrap();
+        clog.set_aborted(loser);
+        // No purge happened (e.g. crash path); vacuum reclaims it.
+        assert_eq!(t.vacuum(Timestamp(5), &clog), 1);
+        assert_eq!(t.stats().versions, 1);
+    }
+
+    #[test]
+    fn update_missing_key_is_key_not_found() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        let x = xid(1);
+        clog.begin(x);
+        assert_eq!(
+            t.update(42, val("x"), x, Timestamp(5), &clog, T)
+                .unwrap_err(),
+            DbError::KeyNotFound
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        let x = xid(2);
+        clog.begin(x);
+        assert_eq!(
+            t.insert(1, val("b"), x, Timestamp(15), &clog, T)
+                .unwrap_err(),
+            DbError::DuplicateKey
+        );
+    }
+
+    #[test]
+    fn concurrent_inserts_one_wins() {
+        let t = std::sync::Arc::new(VersionedTable::new());
+        let clog = std::sync::Arc::new(Clog::new());
+        let a = xid(1);
+        clog.begin(a);
+        t.insert(1, val("a"), a, Timestamp(5), &clog, T).unwrap();
+        let (t2, clog2) = (std::sync::Arc::clone(&t), std::sync::Arc::clone(&clog));
+        let racer = std::thread::spawn(move || {
+            let b = xid(2);
+            clog2.begin(b);
+            t2.insert(1, val("b"), b, Timestamp(5), &clog2, T)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        clog.set_committed(a, Timestamp(10)).unwrap();
+        assert_eq!(racer.join().unwrap().unwrap_err(), DbError::DuplicateKey);
+    }
+
+    #[test]
+    fn own_update_in_place_keeps_single_version() {
+        let (t, clog) = (VersionedTable::new(), Clog::new());
+        let x = xid(1);
+        clog.begin(x);
+        t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        let out = t.update(1, val("b"), x, Timestamp(5), &clog, T).unwrap();
+        assert_eq!(out, WriteOutcome::UpdatedOwn);
+        assert_eq!(t.stats().versions, 1);
+        clog.set_committed(x, Timestamp(10)).unwrap();
+        assert_eq!(
+            t.read(1, Timestamp(10), xid(9), &clog, T).unwrap(),
+            Some(val("b"))
+        );
+    }
+
+    #[test]
+    fn clog_status_check() {
+        let clog = Clog::new();
+        let x = xid(1);
+        clog.begin(x);
+        assert_eq!(clog.status(x), TxnStatus::InProgress);
+    }
+}

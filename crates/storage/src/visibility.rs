@@ -1,0 +1,499 @@
+//! The MVCC visibility and write-check decision procedures.
+//!
+//! These are *pure* with respect to waiting: they never block. When a
+//! decision depends on a transaction that is still prepared or in progress,
+//! they return `WaitFor(xid)` and the caller ([`crate::table`]) releases its
+//! latch, performs the prepare-wait against the CLOG, and retries. Keeping
+//! the decision logic pure makes it exhaustively testable and keeps latches
+//! short.
+//!
+//! Read rule (paper §2.2): traverse the chain newest-first for the latest
+//! version committed with `commit_ts <= start_ts`; a `Prepared` creator
+//! forces a wait. In-progress and aborted creators are invisible.
+//!
+//! Write rule (SI first-committer-wins): the newest non-aborted version
+//! decides. A concurrent *committed* writer with `commit_ts > start_ts` is a
+//! write-write conflict; an unresolved writer is waited on and the check is
+//! retried after it resolves.
+
+use remus_common::{Timestamp, TxnId};
+
+use crate::clog::{Clog, TxnStatus};
+use crate::tuple::{Value, VersionChain};
+
+/// Outcome of a non-blocking visibility resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VisibleOutcome {
+    /// A visible, live version with this payload.
+    Value(Value),
+    /// No version is visible at the snapshot (missing or deleted).
+    NotFound,
+    /// Resolution blocked on this prepared transaction (prepare-wait).
+    WaitFor(TxnId),
+}
+
+/// Resolves what `self_xid` sees for this chain at `start_ts`.
+pub fn resolve_visible(
+    chain: &VersionChain,
+    clog: &Clog,
+    start_ts: Timestamp,
+    self_xid: TxnId,
+) -> VisibleOutcome {
+    match resolve_visible_versioned(chain, clog, start_ts, self_xid) {
+        VersionedOutcome::Value { value, .. } => VisibleOutcome::Value(value),
+        VersionedOutcome::NotFound => VisibleOutcome::NotFound,
+        VersionedOutcome::WaitFor(xid) => VisibleOutcome::WaitFor(xid),
+    }
+}
+
+/// Like [`VisibleOutcome`], but a hit also reports the commit timestamp of
+/// the version read (used by the shard-map cache, which must know how fresh
+/// each cached routing entry is — paper §3.5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VersionedOutcome {
+    /// A visible, live version.
+    Value {
+        /// The payload.
+        value: Value,
+        /// Commit timestamp of the version's creator; the writer's own
+        /// uncommitted version reports [`Timestamp::INVALID`].
+        cts: Timestamp,
+    },
+    /// Nothing visible.
+    NotFound,
+    /// Blocked on this prepared transaction.
+    WaitFor(TxnId),
+}
+
+/// Visibility resolution that also reports the winning version's commit
+/// timestamp.
+pub fn resolve_visible_versioned(
+    chain: &VersionChain,
+    clog: &Clog,
+    start_ts: Timestamp,
+    self_xid: TxnId,
+) -> VersionedOutcome {
+    for v in chain.iter() {
+        if v.xmin == self_xid {
+            // Read-your-writes: the newest own version decides.
+            return if v.deleted {
+                VersionedOutcome::NotFound
+            } else {
+                VersionedOutcome::Value {
+                    value: v.value.clone(),
+                    cts: Timestamp::INVALID,
+                }
+            };
+        }
+        match clog.status(v.xmin) {
+            TxnStatus::InProgress | TxnStatus::Aborted => continue,
+            TxnStatus::Prepared => {
+                // The creator may commit with a timestamp <= start_ts, so we
+                // cannot skip it: wait (paper's prepare-wait).
+                return VersionedOutcome::WaitFor(v.xmin);
+            }
+            TxnStatus::Committed(cts) => {
+                if cts <= start_ts {
+                    return if v.deleted {
+                        VersionedOutcome::NotFound
+                    } else {
+                        VersionedOutcome::Value {
+                            value: v.value.clone(),
+                            cts,
+                        }
+                    };
+                }
+                // Committed after our snapshot: invisible, keep walking.
+            }
+        }
+    }
+    VersionedOutcome::NotFound
+}
+
+/// What kind of write is being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Insert a new tuple (unique-constraint semantics).
+    Insert,
+    /// Update the existing live tuple.
+    Update,
+    /// Delete the existing live tuple.
+    Delete,
+    /// Take an explicit row lock (`SELECT ... FOR UPDATE`).
+    Lock,
+}
+
+/// Outcome of a non-blocking write check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteCheck {
+    /// The write may proceed by pushing a new version.
+    Ok,
+    /// The newest version belongs to the writer itself; modify in place.
+    OwnNewest,
+    /// Blocked on an unresolved transaction; wait and retry.
+    WaitFor(TxnId),
+    /// First-committer-wins conflict with this transaction.
+    Conflict(TxnId),
+    /// No live tuple to update/delete/lock.
+    NotFound,
+    /// Insert would violate the unique constraint.
+    DuplicateKey,
+}
+
+/// Checks whether `self_xid` (snapshot `start_ts`) may perform `kind` on the
+/// tuple whose chain is given.
+pub fn check_write(
+    chain: &VersionChain,
+    clog: &Clog,
+    start_ts: Timestamp,
+    self_xid: TxnId,
+    kind: WriteKind,
+) -> WriteCheck {
+    // Find the newest non-aborted version: it alone arbitrates writes.
+    let mut newest = None;
+    for v in chain.iter() {
+        if v.xmin == self_xid || clog.status(v.xmin) != TxnStatus::Aborted {
+            newest = Some(v);
+            break;
+        }
+    }
+    let Some(v) = newest else {
+        return match kind {
+            WriteKind::Insert => WriteCheck::Ok,
+            _ => WriteCheck::NotFound,
+        };
+    };
+
+    if v.xmin == self_xid {
+        return match (kind, v.deleted) {
+            (WriteKind::Insert, true) => WriteCheck::OwnNewest, // re-insert over own tombstone
+            (WriteKind::Insert, false) => WriteCheck::DuplicateKey,
+            (_, true) => WriteCheck::NotFound, // updating a row we deleted
+            (_, false) => WriteCheck::OwnNewest,
+        };
+    }
+
+    match clog.status(v.xmin) {
+        TxnStatus::InProgress | TxnStatus::Prepared => WriteCheck::WaitFor(v.xmin),
+        TxnStatus::Aborted => unreachable!("filtered above"),
+        TxnStatus::Committed(cts) => {
+            // An unresolved or newly-committed explicit lock blocks like a
+            // write.
+            if let Some(locker) = v.locker {
+                if locker != self_xid {
+                    match clog.status(locker) {
+                        TxnStatus::InProgress | TxnStatus::Prepared => {
+                            return WriteCheck::WaitFor(locker);
+                        }
+                        TxnStatus::Committed(lcts) if lcts > start_ts => {
+                            return WriteCheck::Conflict(locker);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if cts > start_ts {
+                // Someone committed a newer version after our snapshot. For
+                // an insert racing with another committed *live* insert this
+                // is a unique-constraint violation (PostgreSQL waits on the
+                // other inserter, then raises duplicate key); everything
+                // else is a first-committer-wins conflict.
+                return if kind == WriteKind::Insert && !v.deleted {
+                    WriteCheck::DuplicateKey
+                } else {
+                    WriteCheck::Conflict(v.xmin)
+                };
+            }
+            match (kind, v.deleted) {
+                (WriteKind::Insert, true) => WriteCheck::Ok,
+                (WriteKind::Insert, false) => WriteCheck::DuplicateKey,
+                (_, true) => WriteCheck::NotFound,
+                (_, false) => WriteCheck::Ok,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::TupleVersion;
+    use bytes::Bytes;
+    use remus_common::NodeId;
+
+    fn xid(n: u64) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    fn val(s: &'static str) -> Value {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    /// Builds a clog + chain where txn 1 committed "v1" at ts 10 and txn 2
+    /// committed "v2" at ts 20.
+    fn two_version_chain() -> (Clog, VersionChain) {
+        let clog = Clog::new();
+        for (n, ts) in [(1, 10), (2, 20)] {
+            clog.begin(xid(n));
+            clog.set_committed(xid(n), Timestamp(ts)).unwrap();
+        }
+        let mut chain = VersionChain::new();
+        chain.push(TupleVersion::data(xid(1), val("v1")));
+        chain.push(TupleVersion::data(xid(2), val("v2")));
+        (clog, chain)
+    }
+
+    #[test]
+    fn snapshot_selects_version_by_commit_ts() {
+        let (clog, chain) = two_version_chain();
+        let reader = xid(99);
+        assert_eq!(
+            resolve_visible(&chain, &clog, Timestamp(15), reader),
+            VisibleOutcome::Value(val("v1"))
+        );
+        assert_eq!(
+            resolve_visible(&chain, &clog, Timestamp(20), reader),
+            VisibleOutcome::Value(val("v2"))
+        );
+        assert_eq!(
+            resolve_visible(&chain, &clog, Timestamp(5), reader),
+            VisibleOutcome::NotFound
+        );
+    }
+
+    #[test]
+    fn prepared_creator_forces_wait() {
+        let (clog, mut chain) = two_version_chain();
+        clog.begin(xid(3));
+        clog.set_prepared(xid(3)).unwrap();
+        chain.push(TupleVersion::data(xid(3), val("v3")));
+        assert_eq!(
+            resolve_visible(&chain, &clog, Timestamp(25), xid(99)),
+            VisibleOutcome::WaitFor(xid(3))
+        );
+    }
+
+    #[test]
+    fn in_progress_creator_is_invisible() {
+        let (clog, mut chain) = two_version_chain();
+        clog.begin(xid(3));
+        chain.push(TupleVersion::data(xid(3), val("v3")));
+        assert_eq!(
+            resolve_visible(&chain, &clog, Timestamp(25), xid(99)),
+            VisibleOutcome::Value(val("v2"))
+        );
+    }
+
+    #[test]
+    fn aborted_creator_is_skipped() {
+        let (clog, mut chain) = two_version_chain();
+        clog.begin(xid(3));
+        clog.set_aborted(xid(3));
+        chain.push(TupleVersion::data(xid(3), val("v3")));
+        assert_eq!(
+            resolve_visible(&chain, &clog, Timestamp(25), xid(99)),
+            VisibleOutcome::Value(val("v2"))
+        );
+    }
+
+    #[test]
+    fn read_your_own_writes_including_deletes() {
+        let (clog, mut chain) = two_version_chain();
+        let me = xid(50);
+        clog.begin(me);
+        chain.push(TupleVersion::data(me, val("mine")));
+        assert_eq!(
+            resolve_visible(&chain, &clog, Timestamp(5), me),
+            VisibleOutcome::Value(val("mine"))
+        );
+        let mut chain2 = chain.clone();
+        chain2.push(TupleVersion::tombstone(me));
+        assert_eq!(
+            resolve_visible(&chain2, &clog, Timestamp(25), me),
+            VisibleOutcome::NotFound
+        );
+    }
+
+    #[test]
+    fn visible_tombstone_hides_older_versions() {
+        let (clog, mut chain) = two_version_chain();
+        clog.begin(xid(3));
+        clog.set_committed(xid(3), Timestamp(30)).unwrap();
+        chain.push(TupleVersion::tombstone(xid(3)));
+        assert_eq!(
+            resolve_visible(&chain, &clog, Timestamp(35), xid(99)),
+            VisibleOutcome::NotFound
+        );
+        // Older snapshots still see through the tombstone.
+        assert_eq!(
+            resolve_visible(&chain, &clog, Timestamp(25), xid(99)),
+            VisibleOutcome::Value(val("v2"))
+        );
+    }
+
+    #[test]
+    fn empty_chain_is_not_found() {
+        let clog = Clog::new();
+        assert_eq!(
+            resolve_visible(&VersionChain::new(), &clog, Timestamp(10), xid(1)),
+            VisibleOutcome::NotFound
+        );
+    }
+
+    // ---- write checks ----
+
+    #[test]
+    fn update_ok_when_newest_committed_before_snapshot() {
+        let (clog, chain) = two_version_chain();
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), xid(99), WriteKind::Update),
+            WriteCheck::Ok
+        );
+    }
+
+    #[test]
+    fn update_conflicts_with_newer_committed_version() {
+        let (clog, chain) = two_version_chain();
+        // Snapshot at 15; txn 2 committed v2 at 20 => first committer wins.
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(15), xid(99), WriteKind::Update),
+            WriteCheck::Conflict(xid(2))
+        );
+    }
+
+    #[test]
+    fn update_waits_for_unresolved_writer() {
+        let (clog, mut chain) = two_version_chain();
+        clog.begin(xid(3));
+        chain.push(TupleVersion::data(xid(3), val("v3")));
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), xid(99), WriteKind::Update),
+            WriteCheck::WaitFor(xid(3))
+        );
+        clog.set_prepared(xid(3)).unwrap();
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), xid(99), WriteKind::Update),
+            WriteCheck::WaitFor(xid(3))
+        );
+    }
+
+    #[test]
+    fn update_skips_aborted_newest() {
+        let (clog, mut chain) = two_version_chain();
+        clog.begin(xid(3));
+        clog.set_aborted(xid(3));
+        chain.push(TupleVersion::data(xid(3), val("dead")));
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), xid(99), WriteKind::Update),
+            WriteCheck::Ok
+        );
+    }
+
+    #[test]
+    fn update_own_newest_version() {
+        let (clog, mut chain) = two_version_chain();
+        let me = xid(50);
+        clog.begin(me);
+        chain.push(TupleVersion::data(me, val("mine")));
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), me, WriteKind::Update),
+            WriteCheck::OwnNewest
+        );
+    }
+
+    #[test]
+    fn update_after_own_delete_is_not_found() {
+        let (clog, mut chain) = two_version_chain();
+        let me = xid(50);
+        clog.begin(me);
+        chain.push(TupleVersion::tombstone(me));
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), me, WriteKind::Update),
+            WriteCheck::NotFound
+        );
+    }
+
+    #[test]
+    fn insert_duplicate_and_over_tombstone() {
+        let (clog, chain) = two_version_chain();
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), xid(99), WriteKind::Insert),
+            WriteCheck::DuplicateKey
+        );
+        let mut deleted = chain.clone();
+        clog.begin(xid(3));
+        clog.set_committed(xid(3), Timestamp(22)).unwrap();
+        deleted.push(TupleVersion::tombstone(xid(3)));
+        assert_eq!(
+            check_write(&deleted, &clog, Timestamp(25), xid(99), WriteKind::Insert),
+            WriteCheck::Ok
+        );
+    }
+
+    #[test]
+    fn insert_into_empty_chain_is_ok_but_update_is_not_found() {
+        let clog = Clog::new();
+        let chain = VersionChain::new();
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(5), xid(1), WriteKind::Insert),
+            WriteCheck::Ok
+        );
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(5), xid(1), WriteKind::Update),
+            WriteCheck::NotFound
+        );
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(5), xid(1), WriteKind::Delete),
+            WriteCheck::NotFound
+        );
+    }
+
+    #[test]
+    fn insert_conflicts_with_concurrent_delete() {
+        let (clog, mut chain) = two_version_chain();
+        clog.begin(xid(3));
+        clog.set_committed(xid(3), Timestamp(30)).unwrap();
+        chain.push(TupleVersion::tombstone(xid(3)));
+        // Snapshot at 25 did not see the delete; re-insert is a WW conflict.
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), xid(99), WriteKind::Insert),
+            WriteCheck::Conflict(xid(3))
+        );
+    }
+
+    #[test]
+    fn explicit_lock_blocks_and_conflicts_like_a_write() {
+        let (clog, mut chain) = two_version_chain();
+        let locker = xid(7);
+        clog.begin(locker);
+        chain.newest_mut().unwrap().locker = Some(locker);
+        // Unresolved locker: wait.
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), xid(99), WriteKind::Update),
+            WriteCheck::WaitFor(locker)
+        );
+        // Locker committed after our snapshot: conflict.
+        clog.set_committed(locker, Timestamp(30)).unwrap();
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), xid(99), WriteKind::Update),
+            WriteCheck::Conflict(locker)
+        );
+        // Locker committed before our snapshot: no obstacle.
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(35), xid(99), WriteKind::Update),
+            WriteCheck::Ok
+        );
+    }
+
+    #[test]
+    fn own_lock_does_not_block_self() {
+        let (clog, mut chain) = two_version_chain();
+        let me = xid(7);
+        clog.begin(me);
+        chain.newest_mut().unwrap().locker = Some(me);
+        assert_eq!(
+            check_write(&chain, &clog, Timestamp(25), me, WriteKind::Update),
+            WriteCheck::Ok
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests: the MVCC table agrees with a naive model at every
+//! snapshot, and vacuum never changes what live snapshots can see.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use remus_common::{NodeId, Timestamp, TxnId};
+use remus_storage::{Clog, Value, VersionedTable};
+
+const T: Duration = Duration::from_secs(1);
+
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Insert(u8, u8),
+    Update(u8, u8),
+    Delete(u8),
+    Abort(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| ModelOp::Insert(k % 24, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| ModelOp::Update(k % 24, v)),
+        any::<u8>().prop_map(|k| ModelOp::Delete(k % 24)),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| ModelOp::Abort(k % 24, v)),
+    ]
+}
+
+/// Applies a serial committed history and records the model state after
+/// each commit timestamp; then checks reads at *every* historical snapshot.
+fn check_history(ops: Vec<ModelOp>) {
+    let table = VersionedTable::new();
+    let clog = Clog::new();
+    let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+    // (snapshot_ts, model state at that snapshot)
+    let mut snapshots: Vec<(u64, BTreeMap<u64, u8>)> = vec![(1, model.clone())];
+    let mut ts = 10u64;
+    for (i, op) in ops.iter().enumerate() {
+        let xid = TxnId::new(NodeId(0), i as u64 + 1);
+        clog.begin(xid);
+        let start = Timestamp(ts);
+        ts += 10;
+        let cts = Timestamp(ts);
+        let applied = match *op {
+            ModelOp::Insert(k, v) => table
+                .insert(k as u64, Value::from(vec![v]), xid, start, &clog, T)
+                .is_ok()
+                .then(|| {
+                    model.insert(k as u64, v);
+                }),
+            ModelOp::Update(k, v) => table
+                .update(k as u64, Value::from(vec![v]), xid, start, &clog, T)
+                .is_ok()
+                .then(|| {
+                    model.insert(k as u64, v);
+                }),
+            ModelOp::Delete(k) => table
+                .delete(k as u64, xid, start, &clog, T)
+                .is_ok()
+                .then(|| {
+                    model.remove(&(k as u64));
+                }),
+            ModelOp::Abort(k, v) => {
+                // Write then roll back: must leave no trace.
+                let _ = table.insert(k as u64, Value::from(vec![v]), xid, start, &clog, T);
+                let _ = table.update(k as u64, Value::from(vec![v]), xid, start, &clog, T);
+                clog.set_aborted(xid);
+                table.purge_txn([k as u64], xid);
+                None
+            }
+        };
+        if applied.is_some() {
+            clog.set_committed(xid, cts).unwrap();
+        } else if clog.status(xid) == remus_storage::TxnStatus::InProgress {
+            clog.set_aborted(xid);
+            if let ModelOp::Insert(k, _) | ModelOp::Update(k, _) | ModelOp::Delete(k) = *op {
+                table.purge_txn([k as u64], xid);
+            }
+        }
+        snapshots.push((ts, model.clone()));
+        ts += 10;
+    }
+    // Every historical snapshot must read exactly its model state.
+    let reader = TxnId::new(NodeId(1), 1);
+    for (snap_ts, state) in &snapshots {
+        for k in 0..24u64 {
+            let got = table
+                .read(k, Timestamp(*snap_ts), reader, &clog, T)
+                .unwrap()
+                .map(|v| v[0]);
+            assert_eq!(got, state.get(&k).copied(), "key {k} at ts {snap_ts}");
+        }
+    }
+    // Vacuum to a mid-history horizon: snapshots at or after it unchanged.
+    let mid = snapshots[snapshots.len() / 2].0;
+    table.vacuum(Timestamp(mid), &clog);
+    for (snap_ts, state) in snapshots.iter().filter(|(t, _)| *t >= mid) {
+        for k in 0..24u64 {
+            let got = table
+                .read(k, Timestamp(*snap_ts), reader, &clog, T)
+                .unwrap()
+                .map(|v| v[0]);
+            assert_eq!(
+                got,
+                state.get(&k).copied(),
+                "post-vacuum key {k} at ts {snap_ts}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serial_history_matches_model_at_every_snapshot(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        check_history(ops);
+    }
+}
+
+#[test]
+fn long_update_chain_every_version_reachable_then_vacuumed() {
+    let table = VersionedTable::new();
+    let clog = Clog::new();
+    let mut xseq = 1u64;
+    let mut committed = Vec::new();
+    {
+        let xid = TxnId::new(NodeId(0), xseq);
+        clog.begin(xid);
+        table
+            .insert(5, Value::from(vec![0]), xid, Timestamp(1), &clog, T)
+            .unwrap();
+        clog.set_committed(xid, Timestamp(2)).unwrap();
+        committed.push((2u64, 0u8));
+    }
+    for v in 1..=60u8 {
+        xseq += 1;
+        let xid = TxnId::new(NodeId(0), xseq);
+        clog.begin(xid);
+        let ts = 2 + v as u64 * 2;
+        table
+            .update(5, Value::from(vec![v]), xid, Timestamp(ts - 1), &clog, T)
+            .unwrap();
+        clog.set_committed(xid, Timestamp(ts)).unwrap();
+        committed.push((ts, v));
+    }
+    assert_eq!(table.stats().max_chain, 61);
+    let reader = TxnId::new(NodeId(1), 1);
+    for &(ts, v) in &committed {
+        let got = table
+            .read(5, Timestamp(ts), reader, &clog, T)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got[0], v);
+    }
+    // Vacuum to the latest horizon: one version left, latest still reads.
+    let last = committed.last().unwrap().0;
+    table.vacuum(Timestamp(last), &clog);
+    assert_eq!(table.stats().max_chain, 1);
+    let got = table
+        .read(5, Timestamp(last), reader, &clog, T)
+        .unwrap()
+        .unwrap();
+    assert_eq!(got[0], 60);
+}

@@ -1,0 +1,456 @@
+//! Commit and abort protocols.
+//!
+//! * Single write-node transactions take the fast path of §2.2: mark
+//!   `Prepared` in the CLOG, assign the commit timestamp, replace the
+//!   status with it.
+//! * Multi-node transactions use two-phase commit; the prepare-wait rule
+//!   falls out of the `Prepared` CLOG status blocking readers.
+//! * On nodes whose installed [`crate::hooks::SyncCommitHook`] reports sync mode, the
+//!   transaction writes its validation (prepare) record and blocks until
+//!   the destination validates its replayed changes — MOCC's validation
+//!   stage. A validation failure aborts the whole transaction.
+//! * Under DTS, the coordinator observes a clock tick from every
+//!   participant after prepare, so the commit timestamp exceeds every
+//!   participant's prepare time (the causality the prepare-wait correctness
+//!   argument needs); participants observe the commit timestamp back.
+//!
+//! The low-level participant steps ([`prepare_participant`],
+//! [`commit_prepared`], [`rollback_prepared`]) are shared with the
+//! destination-side replay process, which drives shadow transactions
+//! through exactly the same state machine.
+
+use std::sync::Arc;
+
+use remus_clock::TimestampOracle;
+use remus_common::{DbError, DbResult, Timestamp, TxnId};
+use remus_wal::{LogOp, LogRecord};
+
+use crate::hooks::CommitMode;
+use crate::net::Network;
+use crate::node::NodeStorage;
+use crate::txn::{Txn, TxnState};
+
+/// Writes the prepare (validation) record and marks the CLOG prepared.
+pub fn prepare_participant(node: &NodeStorage, xid: TxnId) -> DbResult<()> {
+    node.wal.append(LogRecord::new(xid, LogOp::Prepare));
+    node.clog.set_prepared(xid)
+}
+
+/// Commits a prepared transaction on one node with the decided timestamp.
+///
+/// The WAL record is appended *before* the CLOG flips: a conflicting
+/// writer waiting on this transaction wakes only after the CLOG commit, so
+/// its subsequent records land after this commit record — the propagation
+/// stream then replays per-key conflicting transactions in their true
+/// commit-dependency order.
+pub fn commit_prepared(node: &NodeStorage, xid: TxnId, ts: Timestamp) -> DbResult<()> {
+    node.wal
+        .append(LogRecord::new(xid, LogOp::CommitPrepared(ts)));
+    node.clog.set_committed(xid, ts)?;
+    node.deregister(xid);
+    Ok(())
+}
+
+/// Rolls back a prepared transaction on one node, purging its writes.
+pub fn rollback_prepared(node: &NodeStorage, xid: TxnId) {
+    node.wal
+        .append(LogRecord::new(xid, LogOp::RollbackPrepared));
+    node.clog.set_aborted(xid);
+    purge_writes(node, xid);
+}
+
+fn purge_writes(node: &NodeStorage, xid: TxnId) {
+    if let Some(info) = node.deregister(xid) {
+        for (shard, key) in info.writes {
+            if let Some(table) = node.table(shard) {
+                table.purge_txn([key], xid);
+            }
+        }
+    }
+}
+
+/// Commits the transaction, returning its commit timestamp.
+///
+/// Read-only transactions commit trivially at their snapshot. On
+/// validation failure or doom the transaction is fully aborted before the
+/// error returns.
+pub fn commit_txn(
+    txn: &mut Txn,
+    oracle: &dyn TimestampOracle,
+    net: &dyn Network,
+) -> DbResult<Timestamp> {
+    if !txn.is_active() {
+        return Err(DbError::Internal(format!(
+            "commit on finished {:?}",
+            txn.state
+        )));
+    }
+    let write_nodes: Vec<Arc<NodeStorage>> = txn.write_nodes.clone();
+    if write_nodes.is_empty() {
+        txn.state = TxnState::Committed(txn.start_ts);
+        return Ok(txn.start_ts);
+    }
+
+    // Doom check on entry to commit progress.
+    for node in &write_nodes {
+        if let Err(e) = node.check_doom(txn.xid) {
+            abort_txn(txn);
+            return Err(e);
+        }
+    }
+
+    // Enter commit progress: ask each node's hook for the commit mode.
+    let plans: Vec<(
+        Arc<NodeStorage>,
+        Arc<dyn crate::hooks::SyncCommitHook>,
+        CommitMode,
+    )> = write_nodes
+        .iter()
+        .map(|node| {
+            let hook = node.hook();
+            let shards = txn.written_shards_on(node);
+            let mode = hook.begin_commit(txn.xid, &shards);
+            (Arc::clone(node), hook, mode)
+        })
+        .collect();
+
+    let any_sync = plans.iter().any(|(_, _, m)| *m == CommitMode::Sync);
+    let distributed = write_nodes.len() > 1;
+
+    // Any failure after this point must notify every hook that the
+    // transaction ended (otherwise the sync barrier's TS_unsync bookkeeping
+    // would wait for it forever) and abort the transaction.
+    let plans_for_fail: Vec<_> = plans
+        .iter()
+        .map(|(n, h, m)| (Arc::clone(n), Arc::clone(h), *m))
+        .collect();
+    let fail = move |txn: &mut Txn, e: DbError| -> DbError {
+        for (node, hook, _) in &plans_for_fail {
+            let _ = node;
+            hook.end_commit(txn.xid, None);
+        }
+        abort_txn_inner(txn);
+        e
+    };
+
+    let commit_ts = if !distributed && !any_sync {
+        // Single-node fast path (§2.2): prepared status guards the window
+        // between timestamp assignment and CLOG update.
+        let node = &write_nodes[0];
+        let result: DbResult<Timestamp> = (|| {
+            node.clog.set_prepared(txn.xid)?;
+            let ts = oracle.commit_ts(node.id);
+            // WAL before CLOG, for the same per-key replay-order reason as
+            // commit_prepared.
+            node.wal.append(LogRecord::new(txn.xid, LogOp::Commit(ts)));
+            node.clog.set_committed(txn.xid, ts)?;
+            Ok(ts)
+        })();
+        let ts = match result {
+            Ok(ts) => ts,
+            Err(e) => return Err(fail(txn, e)),
+        };
+        node.deregister(txn.xid);
+        // The commit timestamp travels back to the coordinator with the
+        // result; under DTS the coordinator's clock must observe it so the
+        // session's next snapshot is not stale with respect to its own
+        // previous commit (per-session monotonicity, §2.2).
+        if node.id != txn.coordinator {
+            net.hop(node.id, txn.coordinator);
+            oracle.observe(txn.coordinator, ts);
+        }
+        ts
+    } else {
+        // Phase one: prepare everywhere (validation record + CLOG).
+        for (node, _, _) in &plans {
+            net.hop(txn.coordinator, node.id);
+            if let Err(e) = prepare_participant(node, txn.xid) {
+                return Err(fail(txn, e));
+            }
+            txn.prepared_nodes.insert(node.id);
+        }
+        // MOCC validation: wait for the destination's verdict on every
+        // sync-mode node.
+        for (_node, hook, mode) in &plans {
+            if *mode == CommitMode::Sync {
+                if let Err(e) = hook.await_validation(txn.xid) {
+                    for (n, h, _) in &plans {
+                        net.hop(txn.coordinator, n.id);
+                        rollback_prepared(n, txn.xid);
+                        h.end_commit(txn.xid, None);
+                    }
+                    txn.state = TxnState::Aborted;
+                    return Err(e);
+                }
+            }
+        }
+        // Decide the commit timestamp after every prepare completed,
+        // observing participant clocks for DTS causality.
+        for (node, _, _) in &plans {
+            if node.id != txn.coordinator {
+                let participant_now = oracle.commit_ts(node.id);
+                net.hop(node.id, txn.coordinator);
+                oracle.observe(txn.coordinator, participant_now);
+            }
+        }
+        let ts = oracle.commit_ts(txn.coordinator);
+        // Phase two: commit everywhere.
+        for (node, hook, _) in &plans {
+            net.hop(txn.coordinator, node.id);
+            oracle.observe(node.id, ts);
+            commit_prepared(node, txn.xid, ts)
+                .expect("participant cannot refuse a 2PC commit decision");
+            hook.end_commit(txn.xid, Some(ts));
+        }
+        ts
+    };
+
+    // Fast-path hook notification (sync/distributed paths notified above).
+    if !distributed && !any_sync {
+        plans[0].1.end_commit(txn.xid, Some(commit_ts));
+    }
+
+    txn.state = TxnState::Committed(commit_ts);
+    Ok(commit_ts)
+}
+
+fn abort_txn_inner(txn: &mut Txn) {
+    abort_txn(txn);
+}
+
+/// Aborts the transaction on every node it wrote: abort record, CLOG,
+/// purge. Safe to call on read-only transactions.
+pub fn abort_txn(txn: &mut Txn) {
+    if !txn.is_active() {
+        return;
+    }
+    for node in &txn.write_nodes {
+        let op = if txn.prepared_nodes.contains(&node.id) {
+            LogOp::RollbackPrepared
+        } else {
+            LogOp::Abort
+        };
+        node.wal.append(LogRecord::new(txn.xid, op));
+        node.clog.set_aborted(txn.xid);
+        purge_writes(node, txn.xid);
+    }
+    txn.state = TxnState::Aborted;
+}
+
+/// Server-side termination of a victim transaction on one node (the
+/// lock-and-abort engine "terminates in advance" transactions holding
+/// conflicting locks, §2.3.3). Dooms the xid so the client sees a
+/// migration abort, then aborts and purges its writes on this node.
+/// Returns `false` if the transaction had already committed.
+pub fn force_abort(node: &NodeStorage, xid: TxnId, reason: &'static str) -> bool {
+    node.doom(xid, reason);
+    if !node.clog.try_abort(xid) {
+        // Already prepared or committed: past the point of no return.
+        node.clear_doom(xid);
+        return false;
+    }
+    node.wal.append(LogRecord::new(xid, LogOp::Abort));
+    purge_writes(node, xid);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::SyncCommitHook;
+    use crate::net::NoNetwork;
+    use parking_lot::Mutex;
+    use remus_clock::Gts;
+    use remus_common::{NodeId, ShardId, SimConfig};
+    use remus_storage::{TxnStatus, Value};
+
+    fn node(id: u32) -> Arc<NodeStorage> {
+        let n = Arc::new(NodeStorage::new(NodeId(id), SimConfig::instant()));
+        n.create_shard(ShardId(id as u64));
+        n
+    }
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn single_node_commit_assigns_timestamp_and_logs() {
+        let n = node(1);
+        let gts = Gts::new();
+        let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+        txn.insert(&n, ShardId(1), 1, val("a")).unwrap();
+        let ts = commit_txn(&mut txn, &gts, &NoNetwork).unwrap();
+        assert!(ts > txn.start_ts);
+        assert_eq!(n.clog.status(txn.xid), TxnStatus::Committed(ts));
+        assert_eq!(n.active_count(), 0);
+        // WAL: begin + write record + commit record.
+        assert_eq!(n.wal.flush_lsn().0, 3);
+        assert_eq!(n.wal.get(remus_wal::Lsn(3)).unwrap().op, LogOp::Commit(ts));
+    }
+
+    #[test]
+    fn read_only_commit_is_trivial() {
+        let n = node(1);
+        let gts = Gts::new();
+        let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+        let ts = commit_txn(&mut txn, &gts, &NoNetwork).unwrap();
+        assert_eq!(ts, txn.start_ts);
+        assert_eq!(n.wal.flush_lsn().0, 0);
+    }
+
+    #[test]
+    fn distributed_commit_uses_2pc_on_all_participants() {
+        let (a, b) = (node(1), node(2));
+        let gts = Gts::new();
+        let mut txn = Txn::begin(&a, gts.start_ts(a.id));
+        txn.insert(&a, ShardId(1), 1, val("x")).unwrap();
+        txn.insert(&b, ShardId(2), 2, val("y")).unwrap();
+        let ts = commit_txn(&mut txn, &gts, &NoNetwork).unwrap();
+        for n in [&a, &b] {
+            assert_eq!(n.clog.status(txn.xid), TxnStatus::Committed(ts));
+            // Begin + Write + Prepare + CommitPrepared.
+            assert_eq!(n.wal.flush_lsn().0, 4);
+            assert_eq!(
+                n.wal.get(remus_wal::Lsn(4)).unwrap().op,
+                LogOp::CommitPrepared(ts)
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_commit_ts_exceeds_under_dts() {
+        use remus_clock::Dts;
+        let dts = Dts::new(3, std::time::Duration::from_millis(2));
+        let (a, b) = (node(1), node(2));
+        let mut txn = Txn::begin(&a, dts.start_ts(a.id));
+        txn.insert(&a, ShardId(1), 1, val("x")).unwrap();
+        txn.insert(&b, ShardId(2), 2, val("y")).unwrap();
+        let ts = commit_txn(&mut txn, &dts, &NoNetwork).unwrap();
+        assert!(ts > txn.start_ts);
+        // A later transaction on the participant sees a larger snapshot.
+        assert!(dts.start_ts(b.id) > ts);
+    }
+
+    #[test]
+    fn abort_purges_writes_everywhere() {
+        let (a, b) = (node(1), node(2));
+        let gts = Gts::new();
+        let mut txn = Txn::begin(&a, gts.start_ts(a.id));
+        txn.insert(&a, ShardId(1), 1, val("x")).unwrap();
+        txn.insert(&b, ShardId(2), 2, val("y")).unwrap();
+        abort_txn(&mut txn);
+        assert_eq!(a.clog.status(txn.xid), TxnStatus::Aborted);
+        assert_eq!(b.clog.status(txn.xid), TxnStatus::Aborted);
+        assert_eq!(a.table(ShardId(1)).unwrap().stats().versions, 0);
+        assert_eq!(b.table(ShardId(2)).unwrap().stats().versions, 0);
+        // Idempotent.
+        abort_txn(&mut txn);
+    }
+
+    #[test]
+    fn doomed_txn_aborts_at_commit() {
+        let n = node(1);
+        let gts = Gts::new();
+        let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+        txn.insert(&n, ShardId(1), 1, val("a")).unwrap();
+        n.doom(txn.xid, "ownership transfer");
+        let err = commit_txn(&mut txn, &gts, &NoNetwork).unwrap_err();
+        assert!(err.is_migration_induced());
+        assert_eq!(n.clog.status(txn.xid), TxnStatus::Aborted);
+        assert_eq!(txn.state, TxnState::Aborted);
+    }
+
+    #[test]
+    fn force_abort_terminates_victim_server_side() {
+        let n = node(1);
+        let gts = Gts::new();
+        let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+        txn.insert(&n, ShardId(1), 1, val("a")).unwrap();
+        assert!(force_abort(&n, txn.xid, "lock-and-abort"));
+        assert_eq!(n.clog.status(txn.xid), TxnStatus::Aborted);
+        assert_eq!(n.table(ShardId(1)).unwrap().stats().versions, 0);
+        // The client discovers the abort at its next action.
+        assert!(txn.read(&n, ShardId(1), 1).is_err());
+    }
+
+    #[test]
+    fn force_abort_loses_to_commit() {
+        let n = node(1);
+        let gts = Gts::new();
+        let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+        txn.insert(&n, ShardId(1), 1, val("a")).unwrap();
+        let ts = commit_txn(&mut txn, &gts, &NoNetwork).unwrap();
+        assert!(!force_abort(&n, txn.xid, "too late"));
+        assert_eq!(n.clog.status(txn.xid), TxnStatus::Committed(ts));
+    }
+
+    /// A hook that forces sync mode and records the protocol interaction.
+    struct RecordingHook {
+        verdict: DbResult<()>,
+        log: Mutex<Vec<String>>,
+    }
+
+    impl SyncCommitHook for RecordingHook {
+        fn begin_commit(&self, _xid: TxnId, shards: &[ShardId]) -> CommitMode {
+            self.log.lock().push(format!("begin {shards:?}"));
+            CommitMode::Sync
+        }
+        fn await_validation(&self, _xid: TxnId) -> DbResult<()> {
+            self.log.lock().push("validate".into());
+            self.verdict.clone()
+        }
+        fn end_commit(&self, _xid: TxnId, ts: Option<Timestamp>) {
+            self.log.lock().push(format!("end {:?}", ts.is_some()));
+        }
+    }
+
+    #[test]
+    fn sync_mode_commit_waits_for_validation() {
+        let n = node(1);
+        let hook = Arc::new(RecordingHook {
+            verdict: Ok(()),
+            log: Mutex::new(vec![]),
+        });
+        n.install_hook(Arc::clone(&hook) as Arc<dyn SyncCommitHook>);
+        let gts = Gts::new();
+        let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+        txn.insert(&n, ShardId(1), 1, val("a")).unwrap();
+        let ts = commit_txn(&mut txn, &gts, &NoNetwork).unwrap();
+        assert_eq!(n.clog.status(txn.xid), TxnStatus::Committed(ts));
+        // Prepare record precedes the commit-prepared record in the WAL.
+        assert_eq!(n.wal.get(remus_wal::Lsn(3)).unwrap().op, LogOp::Prepare);
+        assert_eq!(
+            n.wal.get(remus_wal::Lsn(4)).unwrap().op,
+            LogOp::CommitPrepared(ts)
+        );
+        let log = hook.log.lock();
+        assert_eq!(*log, vec!["begin [ShardId(1)]", "validate", "end true"]);
+    }
+
+    #[test]
+    fn failed_validation_aborts_source_transaction() {
+        let n = node(1);
+        let fail = DbError::WwConflict {
+            txn: TxnId::INVALID,
+            other: TxnId::INVALID,
+        };
+        let hook = Arc::new(RecordingHook {
+            verdict: Err(fail.clone()),
+            log: Mutex::new(vec![]),
+        });
+        n.install_hook(Arc::clone(&hook) as Arc<dyn SyncCommitHook>);
+        let gts = Gts::new();
+        let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+        txn.insert(&n, ShardId(1), 1, val("a")).unwrap();
+        let err = commit_txn(&mut txn, &gts, &NoNetwork).unwrap_err();
+        assert_eq!(err, fail);
+        assert_eq!(n.clog.status(txn.xid), TxnStatus::Aborted);
+        assert_eq!(n.table(ShardId(1)).unwrap().stats().versions, 0);
+        assert_eq!(
+            n.wal.get(remus_wal::Lsn(4)).unwrap().op,
+            LogOp::RollbackPrepared
+        );
+        assert_eq!(hook.log.lock().last().unwrap(), "end false");
+    }
+}

@@ -1,0 +1,390 @@
+//! One elastic node's storage context.
+//!
+//! [`NodeStorage`] bundles everything a node owns: its CLOG, WAL, the MVCC
+//! table of each shard it hosts, xid allocation, the registry of
+//! transactions currently active on the node (with their write sets, so
+//! migration engines can find and terminate victims), the doom list, the
+//! per-shard write gates, and the installed commit hook.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use remus_common::{DbError, DbResult, NodeId, ShardId, SimConfig, TxnId};
+use remus_storage::{Clog, Key, VersionedTable};
+use remus_wal::{Lsn, Wal};
+
+use crate::gate::ShardGate;
+use crate::hooks::{NoopHook, SyncCommitHook};
+
+/// Book-keeping for a transaction active on this node.
+#[derive(Debug, Default, Clone)]
+pub struct ActiveTxn {
+    /// Every (shard, key) this transaction wrote *on this node*, in order;
+    /// used for abort purges and by force-abort.
+    pub writes: Vec<(ShardId, Key)>,
+    /// WAL position just before this transaction's first record here. A
+    /// propagation process starting a migration must read from the oldest
+    /// active `begin_lsn` so in-flight transactions' earlier writes are not
+    /// missed; WAL truncation must never pass it.
+    pub begin_lsn: Lsn,
+}
+
+impl ActiveTxn {
+    /// Distinct shards written.
+    pub fn shards(&self) -> Vec<ShardId> {
+        let mut shards: Vec<ShardId> = self.writes.iter().map(|(s, _)| *s).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+}
+
+/// One node's storage-side state.
+pub struct NodeStorage {
+    /// This node's id.
+    pub id: NodeId,
+    /// Transaction status + commit timestamps.
+    pub clog: Arc<Clog>,
+    /// Write-ahead log.
+    pub wal: Arc<Wal>,
+    /// Per-shard write gates (lock-and-abort ownership transfer).
+    pub gate: ShardGate,
+    /// Simulation tunables.
+    pub config: SimConfig,
+    tables: RwLock<HashMap<ShardId, Arc<VersionedTable>>>,
+    next_seq: AtomicU64,
+    active: Mutex<HashMap<TxnId, ActiveTxn>>,
+    doomed: Mutex<HashMap<TxnId, &'static str>>,
+    hook: RwLock<Arc<dyn SyncCommitHook>>,
+    slots: Mutex<HashMap<u64, Lsn>>,
+    next_slot: AtomicU64,
+}
+
+impl std::fmt::Debug for NodeStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeStorage")
+            .field("id", &self.id)
+            .field("shards", &self.tables.read().len())
+            .finish()
+    }
+}
+
+impl NodeStorage {
+    /// A fresh node with no shards.
+    pub fn new(id: NodeId, config: SimConfig) -> Self {
+        NodeStorage {
+            id,
+            clog: Arc::new(Clog::new()),
+            wal: Arc::new(Wal::new()),
+            gate: ShardGate::new(),
+            config,
+            tables: RwLock::new(HashMap::new()),
+            next_seq: AtomicU64::new(1),
+            active: Mutex::new(HashMap::new()),
+            doomed: Mutex::new(HashMap::new()),
+            hook: RwLock::new(Arc::new(NoopHook)),
+            slots: Mutex::new(HashMap::new()),
+            next_slot: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocates a new transaction id originating on this node.
+    pub fn alloc_xid(&self) -> TxnId {
+        TxnId::new(self.id, self.next_seq.fetch_add(1, Ordering::Relaxed))
+    }
+
+    // ---- shard placement ----
+
+    /// Creates an (empty) table for a shard this node now hosts.
+    pub fn create_shard(&self, shard: ShardId) -> Arc<VersionedTable> {
+        let mut tables = self.tables.write();
+        Arc::clone(
+            tables
+                .entry(shard)
+                .or_insert_with(|| Arc::new(VersionedTable::new())),
+        )
+    }
+
+    /// The table for `shard`, if hosted here.
+    pub fn table(&self, shard: ShardId) -> Option<Arc<VersionedTable>> {
+        self.tables.read().get(&shard).cloned()
+    }
+
+    /// The table for `shard`, or a `NotOwner` error.
+    pub fn table_or_err(&self, shard: ShardId) -> DbResult<Arc<VersionedTable>> {
+        self.table(shard).ok_or(DbError::NotOwner {
+            shard,
+            node: self.id,
+        })
+    }
+
+    /// Drops a shard's data (cleanup after it migrated away).
+    pub fn drop_shard(&self, shard: ShardId) -> bool {
+        self.tables.write().remove(&shard).is_some()
+    }
+
+    /// True if this node hosts the shard.
+    pub fn hosts(&self, shard: ShardId) -> bool {
+        self.tables.read().contains_key(&shard)
+    }
+
+    /// Ids of all hosted shards.
+    pub fn shards(&self) -> Vec<ShardId> {
+        self.tables.read().keys().copied().collect()
+    }
+
+    // ---- active-transaction registry ----
+
+    /// Registers a transaction as active on this node (idempotent). The
+    /// registration records the current WAL tail as the transaction's
+    /// `begin_lsn`, so it must happen before the transaction's first WAL
+    /// record.
+    pub fn register_active(&self, xid: TxnId) {
+        let begin_lsn = self.wal.flush_lsn();
+        self.active.lock().entry(xid).or_insert(ActiveTxn {
+            writes: Vec::new(),
+            begin_lsn,
+        });
+    }
+
+    /// WAL position from which a new propagation reader must start to cover
+    /// every in-flight transaction's records.
+    pub fn oldest_active_begin_lsn(&self) -> Lsn {
+        self.active
+            .lock()
+            .values()
+            .map(|a| a.begin_lsn)
+            .min()
+            .unwrap_or_else(|| self.wal.flush_lsn())
+    }
+
+    /// Records a write in the active registry.
+    pub fn record_write(&self, xid: TxnId, shard: ShardId, key: Key) {
+        self.active
+            .lock()
+            .entry(xid)
+            .or_default()
+            .writes
+            .push((shard, key));
+    }
+
+    /// Removes the transaction from the registry, returning its record.
+    pub fn deregister(&self, xid: TxnId) -> Option<ActiveTxn> {
+        self.active.lock().remove(&xid)
+    }
+
+    /// Snapshot of the active transactions and their write sets.
+    pub fn active_txns(&self) -> Vec<(TxnId, ActiveTxn)> {
+        self.active
+            .lock()
+            .iter()
+            .map(|(x, a)| (*x, a.clone()))
+            .collect()
+    }
+
+    /// Active transactions that wrote the given shard (lock-and-abort's
+    /// conflicting-lock-holder search).
+    pub fn writers_of(&self, shard: ShardId) -> Vec<TxnId> {
+        self.active
+            .lock()
+            .iter()
+            .filter(|(_, a)| a.writes.iter().any(|(s, _)| *s == shard))
+            .map(|(x, _)| *x)
+            .collect()
+    }
+
+    /// Number of transactions currently active on this node.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    // ---- doom list ----
+
+    /// Marks a transaction for termination: its next operation or commit
+    /// fails with a migration abort.
+    pub fn doom(&self, xid: TxnId, reason: &'static str) {
+        self.doomed.lock().insert(xid, reason);
+    }
+
+    /// Fails if the transaction has been doomed.
+    pub fn check_doom(&self, xid: TxnId) -> DbResult<()> {
+        if let Some(reason) = self.doomed.lock().get(&xid) {
+            Err(DbError::MigrationAbort { txn: xid, reason })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Clears the doom entry (after the client observed the abort).
+    pub fn clear_doom(&self, xid: TxnId) {
+        self.doomed.lock().remove(&xid);
+    }
+
+    // ---- replication slots & WAL truncation ----
+
+    /// Registers a replication slot at `from`: WAL truncation will never
+    /// pass an undropped slot's position.
+    pub fn create_slot(&self, from: Lsn) -> u64 {
+        let id = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        self.slots.lock().insert(id, from);
+        id
+    }
+
+    /// Advances a slot after its reader consumed through `upto`.
+    pub fn advance_slot(&self, slot: u64, upto: Lsn) {
+        if let Some(pos) = self.slots.lock().get_mut(&slot) {
+            *pos = (*pos).max(upto);
+        }
+    }
+
+    /// Drops a slot (its reader finished).
+    pub fn drop_slot(&self, slot: u64) {
+        self.slots.lock().remove(&slot);
+    }
+
+    /// Truncates the WAL up to the safe point: the minimum of every active
+    /// transaction's `begin_lsn` and every replication slot position.
+    /// Returns the position truncated to.
+    pub fn truncate_wal_safely(&self) -> Lsn {
+        let mut upto = self.oldest_active_begin_lsn();
+        for pos in self.slots.lock().values() {
+            upto = upto.min(*pos);
+        }
+        self.wal.truncate_until(upto);
+        upto
+    }
+
+    // ---- commit hook ----
+
+    /// Installs a migration commit hook, returning the previous one.
+    pub fn install_hook(&self, hook: Arc<dyn SyncCommitHook>) -> Arc<dyn SyncCommitHook> {
+        std::mem::replace(&mut *self.hook.write(), hook)
+    }
+
+    /// Restores the no-op hook.
+    pub fn uninstall_hook(&self) {
+        *self.hook.write() = Arc::new(NoopHook);
+    }
+
+    /// The currently installed hook.
+    pub fn hook(&self) -> Arc<dyn SyncCommitHook> {
+        Arc::clone(&self.hook.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeStorage {
+        NodeStorage::new(NodeId(1), SimConfig::instant())
+    }
+
+    #[test]
+    fn xids_are_unique_and_tagged_with_node() {
+        let n = node();
+        let a = n.alloc_xid();
+        let b = n.alloc_xid();
+        assert_ne!(a, b);
+        assert_eq!(a.origin(), NodeId(1));
+    }
+
+    #[test]
+    fn shard_placement_lifecycle() {
+        let n = node();
+        assert!(!n.hosts(ShardId(7)));
+        assert!(matches!(
+            n.table_or_err(ShardId(7)),
+            Err(DbError::NotOwner { .. })
+        ));
+        n.create_shard(ShardId(7));
+        assert!(n.hosts(ShardId(7)));
+        assert!(n.table_or_err(ShardId(7)).is_ok());
+        assert!(n.drop_shard(ShardId(7)));
+        assert!(!n.drop_shard(ShardId(7)));
+    }
+
+    #[test]
+    fn active_registry_tracks_writes_and_writers() {
+        let n = node();
+        let x = n.alloc_xid();
+        let y = n.alloc_xid();
+        n.register_active(x);
+        n.register_active(y);
+        n.record_write(x, ShardId(1), 10);
+        n.record_write(x, ShardId(2), 20);
+        n.record_write(y, ShardId(2), 30);
+        assert_eq!(n.active_count(), 2);
+        let mut w = n.writers_of(ShardId(2));
+        w.sort();
+        assert_eq!(w, vec![x, y]);
+        assert_eq!(n.writers_of(ShardId(1)), vec![x]);
+        let info = n.deregister(x).unwrap();
+        assert_eq!(info.shards(), vec![ShardId(1), ShardId(2)]);
+        assert_eq!(n.active_count(), 1);
+    }
+
+    #[test]
+    fn doom_list_flags_and_clears() {
+        let n = node();
+        let x = n.alloc_xid();
+        assert!(n.check_doom(x).is_ok());
+        n.doom(x, "lock-and-abort ownership transfer");
+        let err = n.check_doom(x).unwrap_err();
+        assert!(err.is_migration_induced());
+        n.clear_doom(x);
+        assert!(n.check_doom(x).is_ok());
+    }
+
+    #[test]
+    fn begin_lsn_tracks_wal_position_at_registration() {
+        use remus_wal::{LogOp, LogRecord};
+        let n = node();
+        // Two records already in the WAL.
+        let filler = n.alloc_xid();
+        n.wal.append(LogRecord::new(filler, LogOp::Abort));
+        n.wal.append(LogRecord::new(filler, LogOp::Abort));
+        let x = n.alloc_xid();
+        n.register_active(x);
+        assert_eq!(n.oldest_active_begin_lsn(), Lsn(2));
+        n.deregister(x);
+        // With nothing active the safe point is the tail.
+        assert_eq!(n.oldest_active_begin_lsn(), n.wal.flush_lsn());
+    }
+
+    #[test]
+    fn truncation_respects_active_txns_and_slots() {
+        use remus_wal::{LogOp, LogRecord};
+        let n = node();
+        let filler = n.alloc_xid();
+        for _ in 0..10 {
+            n.wal.append(LogRecord::new(filler, LogOp::Abort));
+        }
+        let slot = n.create_slot(Lsn(4));
+        assert_eq!(n.truncate_wal_safely(), Lsn(4));
+        assert_eq!(n.wal.retained(), 6);
+        n.advance_slot(slot, Lsn(7));
+        assert_eq!(n.truncate_wal_safely(), Lsn(7));
+        // Slots never move backwards.
+        n.advance_slot(slot, Lsn(5));
+        assert_eq!(n.truncate_wal_safely(), Lsn(7));
+        n.drop_slot(slot);
+        assert_eq!(n.truncate_wal_safely(), Lsn(10));
+        assert_eq!(n.wal.retained(), 0);
+    }
+
+    #[test]
+    fn hook_install_swap() {
+        let n = node();
+        let prev = n.install_hook(Arc::new(NoopHook));
+        // Default hook present.
+        let _ = prev;
+        n.uninstall_hook();
+        assert_eq!(
+            n.hook().begin_commit(n.alloc_xid(), &[]),
+            crate::hooks::CommitMode::Async
+        );
+    }
+}

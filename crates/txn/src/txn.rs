@@ -1,0 +1,309 @@
+//! The transaction handle and its data operations.
+//!
+//! A [`Txn`] carries the snapshot (`start_ts`), the globally unique xid,
+//! and the set of nodes it wrote on. Operations are invoked against an
+//! explicit [`NodeStorage`] — routing (which node hosts which shard) is the
+//! coordinator's job and lives in `remus-cluster`.
+//!
+//! Every write: checks the doom list, passes the shard write gate, appends
+//! a WAL record, applies to the MVCC table, and records itself in the
+//! node's active registry (the write set used by abort purges and by
+//! migration engines hunting victims).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use remus_common::{DbError, DbResult, NodeId, ShardId, Timestamp, TxnId};
+use remus_storage::{Key, Value};
+use remus_wal::{LogOp, LogRecord, WriteKind, WriteOp};
+
+use crate::node::NodeStorage;
+
+/// Commit-protocol state of a transaction handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Open and usable.
+    Active,
+    /// Committed at the contained timestamp.
+    Committed(Timestamp),
+    /// Aborted.
+    Aborted,
+}
+
+/// A client transaction (or a shadow transaction during replay).
+pub struct Txn {
+    /// Globally unique transaction id.
+    pub xid: TxnId,
+    /// Snapshot timestamp.
+    pub start_ts: Timestamp,
+    /// The coordinating node.
+    pub coordinator: NodeId,
+    /// Protocol state.
+    pub state: TxnState,
+    /// Nodes on which this transaction performed writes, in first-touch
+    /// order.
+    pub(crate) write_nodes: Vec<Arc<NodeStorage>>,
+    /// Nodes on which the CLOG entry has been begun.
+    begun: HashSet<NodeId>,
+    /// Nodes on which a prepare record has been written.
+    pub(crate) prepared_nodes: HashSet<NodeId>,
+}
+
+impl std::fmt::Debug for Txn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("xid", &self.xid)
+            .field("start_ts", &self.start_ts)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl Txn {
+    /// Begins a transaction coordinated by `coordinator` with a fresh xid
+    /// and the given snapshot.
+    pub fn begin(coordinator: &Arc<NodeStorage>, start_ts: Timestamp) -> Txn {
+        Txn::begin_with(coordinator.alloc_xid(), start_ts, coordinator.id)
+    }
+
+    /// Begins a transaction with an explicit xid and snapshot — shadow
+    /// transactions re-execute source transactions under the *same* xid and
+    /// start timestamp (paper §3.5.2).
+    pub fn begin_with(xid: TxnId, start_ts: Timestamp, coordinator: NodeId) -> Txn {
+        Txn {
+            xid,
+            start_ts,
+            coordinator,
+            state: TxnState::Active,
+            write_nodes: Vec::new(),
+            begun: HashSet::new(),
+            prepared_nodes: HashSet::new(),
+        }
+    }
+
+    /// True until commit or abort.
+    pub fn is_active(&self) -> bool {
+        self.state == TxnState::Active
+    }
+
+    /// Nodes this transaction wrote on.
+    pub fn write_node_ids(&self) -> Vec<NodeId> {
+        self.write_nodes.iter().map(|n| n.id).collect()
+    }
+
+    /// The distinct shards written on `node`.
+    pub fn written_shards_on(&self, node: &NodeStorage) -> Vec<ShardId> {
+        node.active_txns()
+            .into_iter()
+            .find(|(x, _)| *x == self.xid)
+            .map(|(_, a)| a.shards())
+            .unwrap_or_default()
+    }
+
+    fn assert_active(&self) -> DbResult<()> {
+        if self.is_active() {
+            Ok(())
+        } else {
+            Err(DbError::Internal(format!(
+                "operation on finished {:?}",
+                self.state
+            )))
+        }
+    }
+
+    fn ensure_begun(&mut self, node: &Arc<NodeStorage>) -> DbResult<()> {
+        if self.begun.insert(node.id) {
+            node.register_active(self.xid);
+            if let Err(e) = node.clog.try_begin(self.xid) {
+                // Lost a race with a server-side force-abort.
+                node.deregister(self.xid);
+                self.begun.remove(&node.id);
+                return Err(e);
+            }
+            node.wal
+                .append(LogRecord::new(self.xid, LogOp::Begin(self.start_ts)));
+            self.write_nodes.push(Arc::clone(node));
+        }
+        Ok(())
+    }
+
+    /// SI point read.
+    pub fn read(
+        &self,
+        node: &Arc<NodeStorage>,
+        shard: ShardId,
+        key: Key,
+    ) -> DbResult<Option<Value>> {
+        self.assert_active()?;
+        node.check_doom(self.xid)?;
+        let table = node.table_or_err(shard)?;
+        table.read(
+            key,
+            self.start_ts,
+            self.xid,
+            &node.clog,
+            node.config.lock_wait_timeout,
+        )
+    }
+
+    fn write_common(
+        &mut self,
+        node: &Arc<NodeStorage>,
+        shard: ShardId,
+        key: Key,
+        kind: WriteKind,
+        value: Value,
+    ) -> DbResult<()> {
+        self.assert_active()?;
+        node.check_doom(self.xid)?;
+        let waited = node.gate.wait_open(shard, node.config.lock_wait_timeout)?;
+        let table = match node.table_or_err(shard) {
+            Ok(t) => t,
+            Err(e) if waited => {
+                // The gate closed for an ownership transfer and the shard
+                // moved away while we were blocked.
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
+        self.ensure_begun(node)?;
+        node.wal.append(LogRecord::new(
+            self.xid,
+            LogOp::Write(WriteOp {
+                shard,
+                key,
+                kind,
+                value: value.clone(),
+            }),
+        ));
+        let timeout = node.config.lock_wait_timeout;
+        let result = match kind {
+            WriteKind::Insert => {
+                table.insert(key, value, self.xid, self.start_ts, &node.clog, timeout)
+            }
+            WriteKind::Update => {
+                table.update(key, value, self.xid, self.start_ts, &node.clog, timeout)
+            }
+            WriteKind::Delete => table.delete(key, self.xid, self.start_ts, &node.clog, timeout),
+            WriteKind::Lock => table.lock_row(key, self.xid, self.start_ts, &node.clog, timeout),
+        };
+        result?;
+        node.record_write(self.xid, shard, key);
+        Ok(())
+    }
+
+    /// Inserts a tuple.
+    pub fn insert(
+        &mut self,
+        node: &Arc<NodeStorage>,
+        shard: ShardId,
+        key: Key,
+        value: Value,
+    ) -> DbResult<()> {
+        self.write_common(node, shard, key, WriteKind::Insert, value)
+    }
+
+    /// Updates a tuple.
+    pub fn update(
+        &mut self,
+        node: &Arc<NodeStorage>,
+        shard: ShardId,
+        key: Key,
+        value: Value,
+    ) -> DbResult<()> {
+        self.write_common(node, shard, key, WriteKind::Update, value)
+    }
+
+    /// Deletes a tuple.
+    pub fn delete(&mut self, node: &Arc<NodeStorage>, shard: ShardId, key: Key) -> DbResult<()> {
+        self.write_common(node, shard, key, WriteKind::Delete, Value::new())
+    }
+
+    /// Takes an explicit row lock (`SELECT ... FOR UPDATE`).
+    pub fn lock_row(&mut self, node: &Arc<NodeStorage>, shard: ShardId, key: Key) -> DbResult<()> {
+        self.write_common(node, shard, key, WriteKind::Lock, Value::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remus_common::SimConfig;
+    use remus_storage::Value;
+
+    fn setup() -> Arc<NodeStorage> {
+        let node = Arc::new(NodeStorage::new(NodeId(1), SimConfig::instant()));
+        node.create_shard(ShardId(1));
+        node
+    }
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn writes_log_to_wal_and_register() {
+        let node = setup();
+        let mut txn = Txn::begin(&node, Timestamp(10));
+        txn.insert(&node, ShardId(1), 1, val("a")).unwrap();
+        // Begin record + write record.
+        assert_eq!(node.wal.flush_lsn().0, 2);
+        assert!(matches!(
+            node.wal.get(remus_wal::Lsn(1)).unwrap().op,
+            LogOp::Begin(ts) if ts == Timestamp(10)
+        ));
+        assert_eq!(node.active_count(), 1);
+        assert_eq!(txn.write_node_ids(), vec![NodeId(1)]);
+        assert_eq!(txn.written_shards_on(&node), vec![ShardId(1)]);
+    }
+
+    #[test]
+    fn read_own_uncommitted_write() {
+        let node = setup();
+        let mut txn = Txn::begin(&node, Timestamp(10));
+        txn.insert(&node, ShardId(1), 1, val("a")).unwrap();
+        assert_eq!(txn.read(&node, ShardId(1), 1).unwrap(), Some(val("a")));
+        // Another transaction does not see it.
+        let other = Txn::begin(&node, Timestamp(10));
+        assert_eq!(other.read(&node, ShardId(1), 1).unwrap(), None);
+    }
+
+    #[test]
+    fn write_to_unhosted_shard_is_not_owner() {
+        let node = setup();
+        let mut txn = Txn::begin(&node, Timestamp(10));
+        let err = txn.insert(&node, ShardId(99), 1, val("a")).unwrap_err();
+        assert!(matches!(err, DbError::NotOwner { .. }));
+        // A failed first write must not leave the txn registered.
+        assert_eq!(node.active_count(), 0);
+    }
+
+    #[test]
+    fn doomed_txn_cannot_operate() {
+        let node = setup();
+        let mut txn = Txn::begin(&node, Timestamp(10));
+        node.doom(txn.xid, "test");
+        let err = txn.insert(&node, ShardId(1), 1, val("a")).unwrap_err();
+        assert!(err.is_migration_induced());
+        assert!(txn.read(&node, ShardId(1), 1).is_err());
+    }
+
+    #[test]
+    fn shadow_txn_uses_given_identity() {
+        let node = setup();
+        let xid = TxnId::new(NodeId(5), 77);
+        let mut shadow = Txn::begin_with(xid, Timestamp(42), node.id);
+        shadow.insert(&node, ShardId(1), 1, val("a")).unwrap();
+        assert_eq!(shadow.xid, xid);
+        assert_eq!(shadow.start_ts, Timestamp(42));
+    }
+
+    #[test]
+    fn ops_on_finished_txn_rejected() {
+        let node = setup();
+        let mut txn = Txn::begin(&node, Timestamp(10));
+        txn.state = TxnState::Aborted;
+        assert!(txn.insert(&node, ShardId(1), 1, val("a")).is_err());
+        assert!(txn.read(&node, ShardId(1), 1).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Concurrency stress tests for the transaction engine: counter safety
+//! under WW conflicts, 2PC atomicity, and force-abort races.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use remus_clock::{Gts, TimestampOracle};
+use remus_common::{NodeId, ShardId, SimConfig};
+use remus_storage::Value;
+use remus_txn::{abort_txn, commit_txn, force_abort, NoNetwork, NodeStorage, Txn};
+
+fn node(id: u32) -> Arc<NodeStorage> {
+    let n = Arc::new(NodeStorage::new(NodeId(id), SimConfig::instant()));
+    n.create_shard(ShardId(id as u64));
+    n
+}
+
+/// Many threads increment one counter with read-modify-write transactions;
+/// first-committer-wins makes some abort, but the final value must equal
+/// the number of successful commits exactly.
+#[test]
+fn contended_counter_is_exact() {
+    let n = node(1);
+    let gts = Arc::new(Gts::new());
+    // Seed the counter.
+    let mut seed = Txn::begin(&n, gts.start_ts(n.id));
+    seed.insert(&n, ShardId(1), 1, Value::from(0u64.to_le_bytes().to_vec()))
+        .unwrap();
+    commit_txn(&mut seed, &*gts, &NoNetwork).unwrap();
+
+    let successes = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let n = Arc::clone(&n);
+            let gts = Arc::clone(&gts);
+            let successes = Arc::clone(&successes);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+                    let r = (|| {
+                        let cur = txn
+                            .read(&n, ShardId(1), 1)?
+                            .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap()))
+                            .unwrap_or(0);
+                        txn.update(
+                            &n,
+                            ShardId(1),
+                            1,
+                            Value::from((cur + 1).to_le_bytes().to_vec()),
+                        )?;
+                        commit_txn(&mut txn, &*gts, &NoNetwork)
+                    })();
+                    match r {
+                        Ok(_) => {
+                            successes.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(_) => abort_txn(&mut txn),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let expected = successes.load(Ordering::SeqCst);
+    assert!(expected > 0, "some increments must succeed");
+    let check = Txn::begin(&n, gts.start_ts(n.id));
+    let v = check.read(&n, ShardId(1), 1).unwrap().unwrap();
+    let value = u64::from_le_bytes(v[..8].try_into().unwrap());
+    assert_eq!(value, expected, "counter must equal successful commits");
+}
+
+/// Readers racing a distributed commit observe either none or all of its
+/// writes across nodes (2PC atomicity under prepare-wait).
+#[test]
+fn distributed_commit_is_atomic_to_concurrent_readers() {
+    let (a, b) = (node(1), node(2));
+    let gts = Arc::new(Gts::new());
+    // Seed both sides.
+    let mut seed = Txn::begin(&a, gts.start_ts(a.id));
+    seed.insert(&a, ShardId(1), 1, Value::from(vec![0]))
+        .unwrap();
+    seed.insert(&b, ShardId(2), 2, Value::from(vec![0]))
+        .unwrap();
+    commit_txn(&mut seed, &*gts, &NoNetwork).unwrap();
+
+    let stop = Arc::new(AtomicU64::new(0));
+    let reader = {
+        let (a, b, gts, stop) = (
+            Arc::clone(&a),
+            Arc::clone(&b),
+            Arc::clone(&gts),
+            Arc::clone(&stop),
+        );
+        std::thread::spawn(move || {
+            let mut torn = 0u64;
+            while stop.load(Ordering::SeqCst) == 0 {
+                let txn = Txn::begin(&a, gts.start_ts(a.id));
+                let va = txn.read(&a, ShardId(1), 1).unwrap().unwrap()[0];
+                let vb = txn.read(&b, ShardId(2), 2).unwrap().unwrap()[0];
+                if va != vb {
+                    torn += 1;
+                }
+            }
+            torn
+        })
+    };
+    for round in 1..=50u8 {
+        let mut w = Txn::begin(&a, gts.start_ts(a.id));
+        w.update(&a, ShardId(1), 1, Value::from(vec![round]))
+            .unwrap();
+        w.update(&b, ShardId(2), 2, Value::from(vec![round]))
+            .unwrap();
+        commit_txn(&mut w, &*gts, &NoNetwork).unwrap();
+    }
+    stop.store(1, Ordering::SeqCst);
+    let torn = reader.join().unwrap();
+    assert_eq!(torn, 0, "a reader saw a torn distributed commit");
+}
+
+/// Force-abort racing live writers: every transaction either commits fully
+/// or disappears fully; the node ends with no stray in-progress state.
+#[test]
+fn force_abort_races_leave_no_residue() {
+    let n = node(1);
+    let gts = Arc::new(Gts::new());
+    let writers: Vec<_> = (0..3)
+        .map(|w| {
+            let n = Arc::clone(&n);
+            let gts = Arc::clone(&gts);
+            std::thread::spawn(move || {
+                let mut committed = 0u64;
+                for i in 0..150u64 {
+                    let key = 1000 + w as u64 * 1000 + i;
+                    let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+                    let r = txn
+                        .insert(&n, ShardId(1), key, Value::from(vec![1]))
+                        .and_then(|()| commit_txn(&mut txn, &*gts, &NoNetwork).map(|_| ()));
+                    match r {
+                        Ok(()) => committed += 1,
+                        Err(_) => abort_txn(&mut txn),
+                    }
+                }
+                committed
+            })
+        })
+        .collect();
+    // The reaper force-aborts whatever it sees.
+    let reaper = {
+        let n = Arc::clone(&n);
+        std::thread::spawn(move || {
+            let mut killed = 0u64;
+            for _ in 0..200 {
+                for (xid, _) in n.active_txns() {
+                    if force_abort(&n, xid, "reaper") {
+                        killed += 1;
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            killed
+        })
+    };
+    let committed: u64 = writers.into_iter().map(|t| t.join().unwrap()).sum();
+    let killed = reaper.join().unwrap();
+    assert_eq!(n.active_count(), 0, "no transaction may stay registered");
+    // Committed + killed + self-aborted = 450 attempts; visible tuples must
+    // equal commits exactly.
+    let check = Txn::begin(&n, gts.start_ts(n.id));
+    let mut visible = 0u64;
+    for w in 0..3u64 {
+        for i in 0..150u64 {
+            if check
+                .read(&n, ShardId(1), 1000 + w * 1000 + i)
+                .unwrap()
+                .is_some()
+            {
+                visible += 1;
+            }
+        }
+    }
+    assert_eq!(visible, committed, "killed={killed}");
+}
+
+/// Timestamps from concurrent commits are unique and the commit order is
+/// consistent with the CLOG contents.
+#[test]
+fn concurrent_commit_timestamps_are_unique() {
+    let n = node(1);
+    let gts = Arc::new(Gts::new());
+    let handles: Vec<_> = (0..4)
+        .map(|w| {
+            let n = Arc::clone(&n);
+            let gts = Arc::clone(&gts);
+            std::thread::spawn(move || {
+                let mut stamps = Vec::new();
+                for i in 0..100u64 {
+                    let key = 5000 + w as u64 * 100 + i;
+                    let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+                    txn.insert(&n, ShardId(1), key, Value::from(vec![1]))
+                        .unwrap();
+                    stamps.push(commit_txn(&mut txn, &*gts, &NoNetwork).unwrap());
+                }
+                stamps
+            })
+        })
+        .collect();
+    let mut all: Vec<_> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    let total = all.len();
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), total);
+}
+
+/// Regression: a writer that waited behind a committing transaction must
+/// append its WAL records *after* the committer's commit record — the
+/// migration propagation stream replays per-key conflicts in WAL order.
+#[test]
+fn waiter_wal_records_follow_committer_commit_record() {
+    use remus_txn::{commit_prepared, prepare_participant};
+    use remus_wal::{LogOp, Lsn};
+
+    for _ in 0..20 {
+        let n = node(1);
+        let gts = Arc::new(Gts::new());
+        let mut seed = Txn::begin(&n, gts.start_ts(n.id));
+        seed.insert(&n, ShardId(1), 1, Value::from(vec![0]))
+            .unwrap();
+        commit_txn(&mut seed, &*gts, &NoNetwork).unwrap();
+
+        // T1 writes the key and prepares.
+        let mut t1 = Txn::begin(&n, gts.start_ts(n.id));
+        t1.update(&n, ShardId(1), 1, Value::from(vec![1])).unwrap();
+        prepare_participant(&n, t1.xid).unwrap();
+        let t1_xid = t1.xid;
+
+        // W blocks behind T1.
+        let (n2, gts2) = (Arc::clone(&n), Arc::clone(&gts));
+        let waiter = std::thread::spawn(move || {
+            let mut w = Txn::begin(&n2, gts2.start_ts(n2.id));
+            // Snapshot after T1's (future) commit so W proceeds cleanly.
+            w.start_ts = remus_common::Timestamp(gts2.commit_ts(n2.id).0 + 1_000);
+            w.update(&n2, ShardId(1), 1, Value::from(vec![2])).unwrap();
+            let wal_pos_of_write = n2.wal.flush_lsn();
+            commit_txn(&mut w, &*gts2, &NoNetwork).unwrap();
+            (w.xid, wal_pos_of_write)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let cts = gts.commit_ts(n.id);
+        commit_prepared(&n, t1_xid, cts).unwrap();
+        let (_w_xid, w_write_lsn) = waiter.join().unwrap();
+
+        // Find T1's CommitPrepared record position; W's write must follow.
+        let mut t1_commit_lsn = None;
+        for i in 1..=n.wal.flush_lsn().0 {
+            if let Some(r) = n.wal.get(Lsn(i)) {
+                if r.xid == t1_xid && matches!(r.op, LogOp::CommitPrepared(_)) {
+                    t1_commit_lsn = Some(i);
+                }
+            }
+        }
+        let t1_commit_lsn = t1_commit_lsn.expect("T1 commit record exists");
+        assert!(
+            w_write_lsn.0 >= t1_commit_lsn,
+            "waiter's write (lsn {w_write_lsn}) preceded T1's commit record (lsn {t1_commit_lsn})"
+        );
+    }
+}

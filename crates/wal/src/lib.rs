@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Write-ahead log and the update-propagation building blocks.
+//!
+//! Remus tracks the incremental changes of a migrating shard by traversing
+//! WAL records (paper §3.3): a propagation process tails the log, builds a
+//! per-transaction [`queue::UpdateCacheQueue`] of the changes relevant to
+//! the migrating shards, and ships each queue when it sees the
+//! transaction's commit (async mode) or validation/prepare record (sync
+//! mode, MOCC).
+//!
+//! The log itself ([`log::Wal`]) is an in-memory append-only sequence with
+//! monotonically increasing LSNs, blocking tail reads for the propagation
+//! process, and truncation of fully-consumed prefixes. Durability is out of
+//! scope (the paper's crash recovery is exercised through CLOG/2PC state,
+//! which we retain); what matters for the protocol is record *order*.
+
+pub mod log;
+pub mod queue;
+pub mod record;
+
+pub use log::{Lsn, Wal, WalReader};
+pub use queue::UpdateCacheQueue;
+pub use record::{LogOp, LogRecord, WriteKind, WriteOp};

@@ -1,0 +1,252 @@
+//! The append-only log with LSNs, blocking tail reads, and truncation.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::record::LogRecord;
+
+/// A log sequence number. The first record appended gets LSN 1; LSN 0 means
+/// "before the log".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The position before any record.
+    pub const ZERO: Lsn = Lsn(0);
+}
+
+impl std::fmt::Display for Lsn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lsn:{}", self.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    /// Records with LSN in `(base, base + records.len()]`.
+    records: VecDeque<LogRecord>,
+    /// LSN of the last truncated-away record (0 if nothing truncated).
+    base: u64,
+}
+
+/// One node's write-ahead log.
+///
+/// Appends are serialized by a mutex (the real engine serializes them
+/// through the WAL insert lock too); readers tail the log by LSN and can
+/// block until new records arrive.
+#[derive(Debug, Default)]
+pub struct Wal {
+    inner: Mutex<LogInner>,
+    grown: Condvar,
+}
+
+impl Wal {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record, returning its LSN. This is the "flush to WAL"
+    /// point: a record is visible to readers as soon as this returns.
+    pub fn append(&self, record: LogRecord) -> Lsn {
+        let mut inner = self.inner.lock();
+        inner.records.push_back(record);
+        let lsn = Lsn(inner.base + inner.records.len() as u64);
+        drop(inner);
+        self.grown.notify_all();
+        lsn
+    }
+
+    /// The LSN of the newest record (the flush/tail position used for
+    /// `LSN_unsync` in the mode-change phase, §3.4).
+    pub fn flush_lsn(&self) -> Lsn {
+        let inner = self.inner.lock();
+        Lsn(inner.base + inner.records.len() as u64)
+    }
+
+    /// Returns the record at `lsn`, if it exists and was not truncated.
+    pub fn get(&self, lsn: Lsn) -> Option<LogRecord> {
+        let inner = self.inner.lock();
+        if lsn.0 <= inner.base {
+            return None;
+        }
+        inner
+            .records
+            .get((lsn.0 - inner.base - 1) as usize)
+            .cloned()
+    }
+
+    /// Drops all records with LSN <= `upto`. Readers must have consumed
+    /// them; reading a truncated LSN is an error surfaced by [`WalReader`].
+    pub fn truncate_until(&self, upto: Lsn) {
+        let mut inner = self.inner.lock();
+        while inner.base < upto.0 && !inner.records.is_empty() {
+            inner.records.pop_front();
+            inner.base += 1;
+        }
+    }
+
+    /// Number of retained records.
+    pub fn retained(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// A reader positioned after `from` (i.e. the first record it yields
+    /// has LSN `from + 1`).
+    pub fn reader_from(self: &Arc<Self>, from: Lsn) -> WalReader {
+        WalReader {
+            wal: Arc::clone(self),
+            next: Lsn(from.0 + 1),
+        }
+    }
+
+    fn wait_for(&self, lsn: Lsn, timeout: Duration) -> Option<LogRecord> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if lsn.0 <= inner.base {
+                // Truncated from under the reader: a protocol bug.
+                panic!("WAL read at truncated {lsn} (base {})", inner.base);
+            }
+            let idx = (lsn.0 - inner.base - 1) as usize;
+            if let Some(r) = inner.records.get(idx) {
+                return Some(r.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.grown.wait_for(&mut inner, deadline - now);
+        }
+    }
+}
+
+/// A streaming cursor over a [`Wal`], used by the propagation process.
+#[derive(Debug)]
+pub struct WalReader {
+    wal: Arc<Wal>,
+    next: Lsn,
+}
+
+impl WalReader {
+    /// The LSN of the next record this reader will yield.
+    pub fn position(&self) -> Lsn {
+        self.next
+    }
+
+    /// LSN of the last record already consumed.
+    pub fn consumed(&self) -> Lsn {
+        Lsn(self.next.0.saturating_sub(1))
+    }
+
+    /// Returns the next record if it is already in the log.
+    pub fn try_next(&mut self) -> Option<(Lsn, LogRecord)> {
+        let r = self.wal.get(self.next)?;
+        let lsn = self.next;
+        self.next = Lsn(self.next.0 + 1);
+        Some((lsn, r))
+    }
+
+    /// Blocks up to `timeout` for the next record.
+    pub fn next_blocking(&mut self, timeout: Duration) -> Option<(Lsn, LogRecord)> {
+        let r = self.wal.wait_for(self.next, timeout)?;
+        let lsn = self.next;
+        self.next = Lsn(self.next.0 + 1);
+        Some((lsn, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{LogOp, LogRecord};
+    use remus_common::{NodeId, Timestamp, TxnId};
+
+    fn rec(n: u64) -> LogRecord {
+        LogRecord::new(TxnId::new(NodeId(0), n), LogOp::Commit(Timestamp(n)))
+    }
+
+    #[test]
+    fn lsns_are_dense_and_start_at_one() {
+        let wal = Wal::new();
+        assert_eq!(wal.append(rec(1)), Lsn(1));
+        assert_eq!(wal.append(rec(2)), Lsn(2));
+        assert_eq!(wal.flush_lsn(), Lsn(2));
+    }
+
+    #[test]
+    fn reader_streams_in_order() {
+        let wal = Arc::new(Wal::new());
+        for n in 1..=5 {
+            wal.append(rec(n));
+        }
+        let mut reader = wal.reader_from(Lsn::ZERO);
+        let mut seen = Vec::new();
+        while let Some((lsn, r)) = reader.try_next() {
+            seen.push((lsn.0, r.xid.seq()));
+        }
+        assert_eq!(seen, vec![(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]);
+        assert_eq!(reader.consumed(), Lsn(5));
+    }
+
+    #[test]
+    fn reader_from_midpoint() {
+        let wal = Arc::new(Wal::new());
+        for n in 1..=5 {
+            wal.append(rec(n));
+        }
+        let mut reader = wal.reader_from(Lsn(3));
+        assert_eq!(reader.try_next().unwrap().0, Lsn(4));
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_append() {
+        let wal = Arc::new(Wal::new());
+        let mut reader = wal.reader_from(Lsn::ZERO);
+        let writer = {
+            let wal = Arc::clone(&wal);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                wal.append(rec(7));
+            })
+        };
+        let (lsn, r) = reader.next_blocking(Duration::from_secs(5)).unwrap();
+        assert_eq!(lsn, Lsn(1));
+        assert_eq!(r.xid.seq(), 7);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn blocking_read_times_out() {
+        let wal = Arc::new(Wal::new());
+        let mut reader = wal.reader_from(Lsn::ZERO);
+        assert!(reader.next_blocking(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn truncate_drops_prefix_only() {
+        let wal = Arc::new(Wal::new());
+        for n in 1..=5 {
+            wal.append(rec(n));
+        }
+        wal.truncate_until(Lsn(3));
+        assert_eq!(wal.retained(), 2);
+        assert!(wal.get(Lsn(3)).is_none());
+        assert_eq!(wal.get(Lsn(4)).unwrap().xid.seq(), 4);
+        // Appends continue with dense LSNs.
+        assert_eq!(wal.append(rec(6)), Lsn(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn reading_truncated_lsn_panics() {
+        let wal = Arc::new(Wal::new());
+        wal.append(rec(1));
+        wal.truncate_until(Lsn(1));
+        let mut reader = wal.reader_from(Lsn::ZERO);
+        reader.next_blocking(Duration::from_millis(5));
+    }
+}

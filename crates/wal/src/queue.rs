@@ -1,0 +1,126 @@
+//! Per-transaction update cache queues (paper §3.3).
+//!
+//! The propagation process builds one queue per transaction it encounters
+//! in the WAL, caching the transaction's changes to the migrating shards.
+//! Queues of transactions that turn out to be aborted, or committed at or
+//! before the snapshot timestamp, are dropped. Large write sets spill to
+//! disk above a threshold; when such a transaction is finally propagated,
+//! its spilled records are reloaded and sent in batches — modeled here by
+//! counting spill batches so the caller can charge the configured reload
+//! latency.
+
+use crate::record::WriteOp;
+
+/// The cached changes of one in-flight source transaction.
+#[derive(Debug, Default)]
+pub struct UpdateCacheQueue {
+    /// In-memory records (below the spill threshold).
+    resident: Vec<WriteOp>,
+    /// Records spilled "to disk".
+    spilled: Vec<WriteOp>,
+    spill_threshold: usize,
+}
+
+impl UpdateCacheQueue {
+    /// An empty queue that spills above `spill_threshold` resident records.
+    pub fn new(spill_threshold: usize) -> Self {
+        UpdateCacheQueue {
+            resident: Vec::new(),
+            spilled: Vec::new(),
+            spill_threshold,
+        }
+    }
+
+    /// Caches one change record.
+    pub fn push(&mut self, op: WriteOp) {
+        if self.resident.len() >= self.spill_threshold {
+            self.spilled.push(op);
+        } else {
+            self.resident.push(op);
+        }
+    }
+
+    /// Total cached records.
+    pub fn len(&self) -> usize {
+        self.resident.len() + self.spilled.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if any records went to the spill area.
+    pub fn spilled(&self) -> bool {
+        !self.spilled.is_empty()
+    }
+
+    /// Number of reload batches of size `batch` needed for the spilled part
+    /// (the caller charges `spill_reload_latency` per batch, §3.3).
+    pub fn spill_batches(&self, batch: usize) -> usize {
+        assert!(batch > 0, "batch size must be positive");
+        self.spilled.len().div_ceil(batch)
+    }
+
+    /// Consumes the queue, yielding all records in original order
+    /// (resident first, then reloaded spilled records).
+    pub fn into_ops(self) -> Vec<WriteOp> {
+        let mut out = self.resident;
+        out.extend(self.spilled);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WriteKind;
+    use remus_common::ShardId;
+    use remus_storage::Value;
+
+    fn op(key: u64) -> WriteOp {
+        WriteOp {
+            shard: ShardId(1),
+            key,
+            kind: WriteKind::Update,
+            value: Value::new(),
+        }
+    }
+
+    #[test]
+    fn preserves_order() {
+        let mut q = UpdateCacheQueue::new(100);
+        for k in 0..5 {
+            q.push(op(k));
+        }
+        let keys: Vec<u64> = q.into_ops().iter().map(|o| o.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spills_above_threshold_and_keeps_order() {
+        let mut q = UpdateCacheQueue::new(3);
+        for k in 0..10 {
+            q.push(op(k));
+        }
+        assert!(q.spilled());
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.spill_batches(4), 2); // 7 spilled records / 4 per batch
+        let keys: Vec<u64> = q.into_ops().iter().map(|o| o.key).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_queue_never_spills() {
+        let mut q = UpdateCacheQueue::new(100);
+        q.push(op(1));
+        assert!(!q.spilled());
+        assert_eq!(q.spill_batches(8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_rejected() {
+        UpdateCacheQueue::new(2).spill_batches(0);
+    }
+}

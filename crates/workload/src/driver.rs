@@ -1,0 +1,281 @@
+//! The closed-loop benchmark driver.
+//!
+//! Spawns one thread per client, each bound to a session on a round-robin
+//! coordinator node (clients "can submit requests to any one of the
+//! elastic nodes", §2.1). Each client repeatedly executes the workload's
+//! transaction with no think time (as in the paper's OLTP-Bench setup) and
+//! records commits into a per-second [`Timeline`], classifies aborts, and
+//! buckets latency into *normal* vs *during-migration* samples so the
+//! harness can compute Table 3's average latency increase.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remus_cluster::{Cluster, Session, SessionTxn};
+use remus_common::metrics::{AbortCounters, EventMarks, LatencyStat, Timeline};
+use remus_common::{ClientId, DbError, DbResult, NodeId};
+
+/// A benchmark workload: one closed-loop transaction at a time.
+pub trait Workload: Send + Sync + 'static {
+    /// Executes one transaction on the session. Returning `Err` counts as
+    /// an abort of the class carried by the error; the driver immediately
+    /// issues the next transaction (the standard retry loop).
+    fn run_once(
+        &self,
+        client: ClientId,
+        txn: &mut SessionTxn<'_>,
+        rng: &mut SmallRng,
+    ) -> DbResult<()>;
+}
+
+impl<F> Workload for F
+where
+    F: Fn(ClientId, &mut SessionTxn<'_>, &mut SmallRng) -> DbResult<()> + Send + Sync + 'static,
+{
+    fn run_once(
+        &self,
+        client: ClientId,
+        txn: &mut SessionTxn<'_>,
+        rng: &mut SmallRng,
+    ) -> DbResult<()> {
+        self(client, txn, rng)
+    }
+}
+
+/// Metrics shared between the driver's clients and the harness.
+#[derive(Debug)]
+pub struct RunMetrics {
+    /// Committed transactions per second.
+    pub timeline: Timeline,
+    /// Named event overlays (migration start/end etc.).
+    pub marks: EventMarks,
+    /// Commit/abort classification.
+    pub counters: AbortCounters,
+    /// Commit latency outside migrations.
+    pub latency_normal: LatencyStat,
+    /// Commit latency while a migration is marked active.
+    pub latency_migration: LatencyStat,
+    migration_active: AtomicBool,
+}
+
+impl RunMetrics {
+    /// Fresh metrics anchored now.
+    pub fn new() -> Self {
+        RunMetrics {
+            timeline: Timeline::per_second(),
+            marks: EventMarks::new(),
+            counters: AbortCounters::new(),
+            latency_normal: LatencyStat::new(),
+            latency_migration: LatencyStat::new(),
+            migration_active: AtomicBool::new(false),
+        }
+    }
+
+    /// Flags the migration window for latency bucketing and records a mark.
+    pub fn set_migration_active(&self, active: bool) {
+        self.migration_active.store(active, Ordering::SeqCst);
+        self.marks.mark(
+            if active {
+                "migration start"
+            } else {
+                "migration end"
+            },
+            &self.timeline,
+        );
+    }
+
+    /// True while a migration is marked active.
+    pub fn migration_active(&self) -> bool {
+        self.migration_active.load(Ordering::SeqCst)
+    }
+
+    /// Average latency increase of the migration bucket over the normal
+    /// bucket (Table 3); zero when either bucket is empty.
+    pub fn latency_increase(&self) -> Duration {
+        if self.latency_normal.count() == 0 || self.latency_migration.count() == 0 {
+            return Duration::ZERO;
+        }
+        self.latency_migration
+            .mean()
+            .saturating_sub(self.latency_normal.mean())
+    }
+
+    fn record_outcome(&self, started: Instant, result: &DbResult<()>) {
+        match result {
+            Ok(()) => {
+                self.timeline.record();
+                self.counters.commit();
+                let elapsed = started.elapsed();
+                if self.migration_active() {
+                    self.latency_migration.record(elapsed);
+                } else {
+                    self.latency_normal.record(elapsed);
+                }
+            }
+            Err(e) if e.is_migration_induced() => self.counters.migration_abort(),
+            Err(DbError::WwConflict { .. }) => self.counters.ww_abort(),
+            Err(_) => self.counters.other_abort(),
+        }
+    }
+}
+
+impl Default for RunMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A running fleet of closed-loop clients.
+pub struct Driver {
+    /// Shared metrics.
+    pub metrics: Arc<RunMetrics>,
+    stop: Arc<AtomicBool>,
+    clients: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Driver {
+    /// Starts `clients` closed-loop clients running `workload` with no
+    /// think time (the paper's OLTP-Bench setting).
+    pub fn start(cluster: &Arc<Cluster>, clients: usize, workload: Arc<dyn Workload>) -> Driver {
+        Self::start_with_think(cluster, clients, Duration::ZERO, workload)
+    }
+
+    /// Starts clients that pause `think` between transactions. On a
+    /// single-core simulation host a small think time stands in for the
+    /// client-side round trips of the paper's separate load generator —
+    /// without it the clients starve the replication pipeline of CPU.
+    pub fn start_with_think(
+        cluster: &Arc<Cluster>,
+        clients: usize,
+        think: Duration,
+        workload: Arc<dyn Workload>,
+    ) -> Driver {
+        let metrics = Arc::new(RunMetrics::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = (0..clients)
+            .map(|i| {
+                let cluster = Arc::clone(cluster);
+                let workload = Arc::clone(&workload);
+                let metrics = Arc::clone(&metrics);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let coordinator = NodeId((i % cluster.node_count()) as u32);
+                    let session = Session::connect(&cluster, coordinator);
+                    let client = ClientId(i as u32);
+                    let mut rng = SmallRng::seed_from_u64(0x5EED ^ (i as u64) << 8);
+                    while !stop.load(Ordering::Relaxed) {
+                        let started = Instant::now();
+                        let result = session
+                            .run(|txn| workload.run_once(client, txn, &mut rng))
+                            .map(|((), _)| ());
+                        metrics.record_outcome(started, &result);
+                        if !think.is_zero() {
+                            std::thread::sleep(think);
+                        }
+                    }
+                })
+            })
+            .collect();
+        Driver {
+            metrics,
+            stop,
+            clients: handles,
+        }
+    }
+
+    /// Signals the clients to stop and waits for them.
+    pub fn stop(mut self) -> Arc<RunMetrics> {
+        self.stop.store(true, Ordering::Relaxed);
+        for handle in self.clients.drain(..) {
+            handle.join().expect("client thread panicked");
+        }
+        Arc::clone(&self.metrics)
+    }
+
+    /// Lets the clients run for `d`.
+    pub fn run_for(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remus_cluster::ClusterBuilder;
+    use remus_common::TableId;
+    use remus_storage::Value;
+
+    #[test]
+    fn driver_runs_and_counts_commits() {
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 4, |i| NodeId(i % 2));
+        // Preload.
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..50 {
+            session
+                .run(|t| t.insert(&layout, k, Value::copy_from_slice(b"v")))
+                .unwrap();
+        }
+        let workload = move |_c: ClientId, txn: &mut SessionTxn<'_>, rng: &mut SmallRng| {
+            use rand::Rng;
+            let key = rng.gen_range(0..50u64);
+            txn.read(&layout, key)?;
+            Ok(())
+        };
+        let driver = Driver::start(&cluster, 4, Arc::new(workload));
+        driver.run_for(Duration::from_millis(200));
+        let metrics = driver.stop();
+        assert!(metrics.counters.commits() > 0);
+        assert_eq!(metrics.counters.migration_aborts(), 0);
+        assert!(!metrics.timeline.buckets().is_empty());
+        assert!(metrics.latency_normal.count() > 0);
+    }
+
+    #[test]
+    fn latency_buckets_switch_with_migration_flag() {
+        let metrics = RunMetrics::new();
+        metrics.record_outcome(Instant::now(), &Ok(()));
+        assert_eq!(metrics.latency_normal.count(), 1);
+        metrics.set_migration_active(true);
+        metrics.record_outcome(Instant::now(), &Ok(()));
+        assert_eq!(metrics.latency_migration.count(), 1);
+        metrics.set_migration_active(false);
+        assert_eq!(metrics.marks.all().len(), 2);
+    }
+
+    #[test]
+    fn abort_classification() {
+        use remus_common::{ShardId, TxnId};
+        let metrics = RunMetrics::new();
+        metrics.record_outcome(
+            Instant::now(),
+            &Err(DbError::WwConflict {
+                txn: TxnId(1),
+                other: TxnId(2),
+            }),
+        );
+        metrics.record_outcome(
+            Instant::now(),
+            &Err(DbError::NotOwner {
+                shard: ShardId(1),
+                node: NodeId(0),
+            }),
+        );
+        metrics.record_outcome(Instant::now(), &Err(DbError::KeyNotFound));
+        assert_eq!(metrics.counters.ww_aborts(), 1);
+        assert_eq!(metrics.counters.migration_aborts(), 1);
+        assert_eq!(metrics.counters.other_aborts(), 1);
+    }
+
+    #[test]
+    fn latency_increase_requires_both_buckets() {
+        let metrics = RunMetrics::new();
+        assert_eq!(metrics.latency_increase(), Duration::ZERO);
+        metrics.latency_normal.record(Duration::from_millis(1));
+        metrics.latency_migration.record(Duration::from_millis(4));
+        assert!(metrics.latency_increase() >= Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,266 @@
+//! Hybrid workloads A and B (paper §4.3).
+//!
+//! * **A** — real-time ingestion: alongside the YCSB clients, a batch
+//!   client issues large insert transactions in a tight loop, each
+//!   appending tuples with monotonically increasing primary keys starting
+//!   from the current maximum, routed across shards and committed with
+//!   2PC (the paper's `COPY` into the sharded table). Migration-induced
+//!   aborts are retried with the same keys ("repeatable retry logic").
+//! * **B** — HTAP: an analytical transaction scans the whole YCSB table
+//!   and checks for duplicated primary keys across nodes — the paper's
+//!   consistency probe (`count(*) = 1 group by aid`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use remus_cluster::{Cluster, Session};
+use remus_common::metrics::Timeline;
+use remus_common::{DbError, DbResult, NodeId};
+use remus_shard::TableLayout;
+use remus_storage::Value;
+
+/// The batch-ingestion client of hybrid workload A.
+pub struct BatchIngest {
+    /// The YCSB table layout ingested into.
+    pub layout: TableLayout,
+    /// Tuples per batch transaction (paper: one million).
+    pub batch_size: u64,
+    /// Number of batch transactions (paper: 10).
+    pub batches: u64,
+    /// Payload size (paper: 1 KB).
+    pub value_len: usize,
+    /// Pause between consecutive batches; stretches the ingestion across
+    /// the consolidation window like the paper's figures.
+    pub pause: Duration,
+    /// Next primary key (starts at the maximum existing key plus one).
+    next_key: AtomicU64,
+}
+
+/// What the ingestion run did (Table 2's rows).
+#[derive(Debug, Clone, Default)]
+pub struct BatchIngestReport {
+    /// Batches committed.
+    pub committed: u64,
+    /// Aborted attempts (each retried).
+    pub aborted_attempts: u64,
+    /// Total wall time of the ingestion.
+    pub elapsed: Duration,
+    /// Tuples ingested per second, per one-second bucket.
+    pub tuple_rate: Vec<f64>,
+    /// Abort ratio over attempts (Table 2).
+    pub abort_ratio: f64,
+}
+
+impl BatchIngest {
+    /// An ingestion client appending after `start_key`.
+    pub fn new(
+        layout: TableLayout,
+        start_key: u64,
+        batch_size: u64,
+        batches: u64,
+        value_len: usize,
+    ) -> Self {
+        BatchIngest {
+            layout,
+            batch_size,
+            batches,
+            value_len,
+            pause: Duration::ZERO,
+            next_key: AtomicU64::new(start_key),
+        }
+    }
+
+    /// Sets the inter-batch pause.
+    pub fn with_pause(mut self, pause: Duration) -> Self {
+        self.pause = pause;
+        self
+    }
+
+    /// Runs the ingestion loop on a session bound to `coordinator`
+    /// (the batch client is collocated with one coordinator node, §4.3).
+    /// `tuple_timeline`, when given, receives one event per ingested tuple
+    /// (Figure 6's red-dashed-window throughput).
+    pub fn run(
+        &self,
+        cluster: &Arc<Cluster>,
+        coordinator: NodeId,
+        tuple_timeline: Option<&Timeline>,
+    ) -> BatchIngestReport {
+        let session = Session::connect(cluster, coordinator);
+        let started = Instant::now();
+        let local_rate = Timeline::per_second();
+        let mut report = BatchIngestReport::default();
+        for _ in 0..self.batches {
+            let first = self.next_key.fetch_add(self.batch_size, Ordering::SeqCst);
+            let keys = first..first + self.batch_size;
+            // Repeatable retry: the same key range until it commits.
+            loop {
+                match self.try_batch(&session, keys.clone()) {
+                    Ok(()) => {
+                        report.committed += 1;
+                        if let Some(t) = tuple_timeline {
+                            t.record_n(self.batch_size);
+                        }
+                        local_rate.record_n(self.batch_size);
+                        break;
+                    }
+                    Err(e) if e.is_retryable() => {
+                        report.aborted_attempts += 1;
+                    }
+                    Err(e) => panic!("batch ingestion failed unrecoverably: {e}"),
+                }
+            }
+            if !self.pause.is_zero() {
+                std::thread::sleep(self.pause);
+            }
+        }
+        report.elapsed = started.elapsed();
+        report.tuple_rate = local_rate.rates_per_sec();
+        let attempts = report.committed + report.aborted_attempts;
+        report.abort_ratio = if attempts == 0 {
+            0.0
+        } else {
+            report.aborted_attempts as f64 / attempts as f64
+        };
+        report
+    }
+
+    fn try_batch(&self, session: &Session, keys: std::ops::Range<u64>) -> DbResult<()> {
+        let value = Value::from(vec![7u8; self.value_len]);
+        let mut txn = session.begin();
+        for key in keys {
+            match txn.insert(&self.layout, key, value.clone()) {
+                Ok(()) => {}
+                // A retried batch may find keys a half-failed... no:
+                // aborts purge everything, but a *duplicate* means a
+                // previous attempt actually committed (commit raced the
+                // error report); treat the batch as done.
+                Err(DbError::DuplicateKey) => {
+                    txn.abort();
+                    return Ok(());
+                }
+                Err(e) => {
+                    txn.abort();
+                    return Err(e);
+                }
+            }
+        }
+        txn.commit()?;
+        Ok(())
+    }
+}
+
+/// The analytical client of hybrid workload B.
+pub struct AnalyticalClient {
+    /// The table to scan.
+    pub layout: TableLayout,
+}
+
+impl AnalyticalClient {
+    /// Runs the duplicate-primary-key check in one snapshot transaction:
+    /// returns `Ok(count)` with the number of distinct keys if no key
+    /// appears twice across nodes, `Err` describing the inconsistency
+    /// otherwise.
+    pub fn check_consistency(
+        &self,
+        cluster: &Arc<Cluster>,
+        coordinator: NodeId,
+    ) -> DbResult<usize> {
+        let session = Session::connect(cluster, coordinator);
+        let (rows, _) = session.run(|t| t.scan_table(&self.layout))?;
+        let mut keys: Vec<u64> = rows.into_iter().map(|(k, _)| k).collect();
+        let total = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        if keys.len() != total {
+            return Err(DbError::Internal(format!(
+                "duplicate primary keys: {} rows, {} distinct",
+                total,
+                keys.len()
+            )));
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remus_common::TableId;
+
+    fn setup(nodes: usize) -> (Arc<Cluster>, TableLayout) {
+        let cluster = remus_cluster::ClusterBuilder::new(nodes).build();
+        let n = nodes as u32;
+        let layout = cluster.create_table(TableId(1), 0, 6, |i| NodeId(i % n));
+        (cluster, layout)
+    }
+
+    #[test]
+    fn batch_ingest_inserts_monotone_keys_across_shards() {
+        let (cluster, layout) = setup(2);
+        let ingest = BatchIngest::new(layout, 1000, 50, 3, 16);
+        let report = ingest.run(&cluster, NodeId(0), None);
+        assert_eq!(report.committed, 3);
+        assert_eq!(report.aborted_attempts, 0);
+        assert_eq!(report.abort_ratio, 0.0);
+        let session = Session::connect(&cluster, NodeId(1));
+        let (rows, _) = session.run(|t| t.scan_table(&layout)).unwrap();
+        assert_eq!(rows.len(), 150);
+        let min = rows.iter().map(|(k, _)| *k).min().unwrap();
+        let max = rows.iter().map(|(k, _)| *k).max().unwrap();
+        assert_eq!((min, max), (1000, 1149));
+    }
+
+    #[test]
+    fn analytical_check_passes_on_consistent_data() {
+        let (cluster, layout) = setup(3);
+        let ingest = BatchIngest::new(layout, 0, 40, 2, 16);
+        ingest.run(&cluster, NodeId(0), None);
+        let analytical = AnalyticalClient { layout };
+        let count = analytical.check_consistency(&cluster, NodeId(2)).unwrap();
+        assert_eq!(count, 80);
+    }
+
+    #[test]
+    fn analytical_check_catches_duplicates() {
+        let (cluster, layout) = setup(2);
+        // Corrupt: the same key installed on two different shards.
+        let shard_a = layout.shard_ids().next().unwrap();
+        let shard_b = layout.shard_ids().nth(1).unwrap();
+        let owner_a = cluster
+            .current_owner(cluster.node(NodeId(0)), shard_a)
+            .unwrap()
+            .node;
+        let owner_b = cluster
+            .current_owner(cluster.node(NodeId(0)), shard_b)
+            .unwrap()
+            .node;
+        cluster
+            .node(owner_a)
+            .storage
+            .table(shard_a)
+            .unwrap()
+            .install_frozen(7, Value::from(vec![1]));
+        cluster
+            .node(owner_b)
+            .storage
+            .table(shard_b)
+            .unwrap()
+            .install_frozen(7, Value::from(vec![2]));
+        let analytical = AnalyticalClient { layout };
+        let err = analytical
+            .check_consistency(&cluster, NodeId(0))
+            .unwrap_err();
+        assert!(matches!(err, DbError::Internal(_)));
+    }
+
+    #[test]
+    fn ingest_timeline_records_tuples() {
+        let (cluster, layout) = setup(1);
+        let timeline = Timeline::per_second();
+        let ingest = BatchIngest::new(layout, 0, 25, 2, 8);
+        ingest.run(&cluster, NodeId(0), Some(&timeline));
+        assert_eq!(timeline.buckets().iter().sum::<u64>(), 50);
+    }
+}

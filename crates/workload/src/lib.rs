@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Benchmark workloads and the closed-loop driver (paper §4.3).
+//!
+//! * [`ycsb`] — YCSB: 50% reads / 50% updates over a keyspace with uniform
+//!   or Zipfian access, multi-statement interactive transactions (the
+//!   write set is unknown before execution), plus the high-contention
+//!   hot-shard variant of §4.8.
+//! * [`tpcc`] — a compact TPC-C: 480 warehouses, eight tables sharded by
+//!   warehouse (one warehouse per shard, collocated across tables),
+//!   new-order / payment / order-status mix with ~10% distributed
+//!   transactions.
+//! * [`hybrid`] — hybrid workload A's batch-ingestion client (monotonic
+//!   keys, 2PC commit, repeatable retry) and hybrid workload B's
+//!   analytical duplicate-primary-key check used to verify database
+//!   consistency during migration.
+//! * [`driver`] — closed-loop client threads over cluster sessions, with
+//!   per-second throughput timelines, abort classification, and
+//!   before/during-migration latency buckets (Table 3).
+
+pub mod driver;
+pub mod hybrid;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use driver::{Driver, RunMetrics, Workload};
+pub use hybrid::{AnalyticalClient, BatchIngest, BatchIngestReport};
+pub use tpcc::{Tpcc, TpccConfig};
+pub use ycsb::{HotSpot, KeyDistribution, Ycsb, YcsbConfig, Zipfian};

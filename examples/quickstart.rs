@@ -1,0 +1,83 @@
+//! Quickstart: build a two-node cluster, load a sharded table, and move a
+//! shard with Remus while a client keeps reading and writing — with zero
+//! aborts and no downtime.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use remus::cluster::{ClusterBuilder, Session};
+use remus::common::{NodeId, ShardId, TableId};
+use remus::migration::{MigrationEngine, MigrationTask, RemusEngine};
+use remus::storage::Value;
+
+fn main() {
+    // A two-node cluster with the decentralized timestamp scheme (DTS).
+    let cluster = ClusterBuilder::new(2).build();
+
+    // One user table with four shards, all initially on node 0.
+    let layout = cluster.create_table(TableId(1), 0, 4, |_| NodeId(0));
+
+    // Load some data through ordinary transactions.
+    let session = Session::connect(&cluster, NodeId(0));
+    for key in 0..1_000u64 {
+        session
+            .run(|txn| txn.insert(&layout, key, Value::from(vec![b'x'; 32])))
+            .expect("load failed");
+    }
+    println!("loaded 1000 tuples across 4 shards on node 0");
+
+    // A client hammers the table from node 1 while the migration runs.
+    let stop = Arc::new(AtomicBool::new(false));
+    let client = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let session = Session::connect(&cluster, NodeId(1));
+            let mut ops = 0u64;
+            let mut failures = 0u64;
+            let mut key = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                key = (key + 7) % 1_000;
+                let r = session.run(|txn| {
+                    txn.read(&layout, key)?;
+                    txn.update(&layout, key, Value::from(vec![b'y'; 32]))
+                });
+                match r {
+                    Ok(_) => ops += 1,
+                    Err(_) => failures += 1,
+                }
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            (ops, failures)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Live-migrate shard 0 from node 0 to node 1 with Remus.
+    let engine = RemusEngine::new();
+    let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+    let report = engine.migrate(&cluster, &task).expect("migration failed");
+    println!(
+        "migrated shard 0: {} tuples copied, {} change records replayed, \
+         {} validation conflicts, {:?} total",
+        report.tuples_copied, report.records_replayed, report.validation_conflicts, report.total
+    );
+
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::Relaxed);
+    let (ops, failures) = client.join().unwrap();
+    println!("client committed {ops} transactions with {failures} failures during the move");
+    assert_eq!(failures, 0, "Remus must not abort any client transaction");
+
+    // The shard now lives on node 1; all data is still reachable.
+    assert!(cluster.node(NodeId(1)).storage.hosts(ShardId(0)));
+    assert!(!cluster.node(NodeId(0)).storage.hosts(ShardId(0)));
+    let (rows, _) = session
+        .run(|txn| txn.scan_table(&layout))
+        .expect("scan failed");
+    assert_eq!(rows.len(), 1_000);
+    println!("all 1000 tuples reachable after the migration — done");
+}

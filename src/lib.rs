@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Remus — live shard migration for shared-nothing distributed databases
+//! with snapshot isolation.
+//!
+//! This is the façade crate: it re-exports the public API of the whole
+//! workspace so applications (and the `examples/` directory) can depend on a
+//! single crate. See the README for a tour and `DESIGN.md` for the mapping
+//! from the SIGMOD 2022 paper to modules.
+//!
+//! ```
+//! // The workspace builds a full simulated cluster; see examples/quickstart.rs.
+//! use remus::common::SimConfig;
+//! let cfg = SimConfig::instant();
+//! assert_eq!(cfg.network_latency, std::time::Duration::ZERO);
+//! ```
+
+pub use remus_clock as clock;
+pub use remus_cluster as cluster;
+pub use remus_common as common;
+pub use remus_core as migration;
+pub use remus_shard as shard;
+pub use remus_storage as storage;
+pub use remus_txn as txn;
+pub use remus_wal as wal;
+pub use remus_workload as workload;

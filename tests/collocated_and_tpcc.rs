@@ -1,0 +1,143 @@
+//! Collocated migration (paper §3.8) and TPC-C scale-out integration: a
+//! warehouse's eight shards move together and the workload keeps running.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::SeedableRng;
+use remus::cluster::{ClusterBuilder, Session};
+use remus::common::{ClientId, NodeId, SimConfig};
+use remus::migration::{MigrationEngine, MigrationTask, RemusEngine};
+use remus::workload::driver::Workload;
+use remus::workload::tpcc::{Tpcc, TpccConfig};
+
+#[test]
+fn collocated_warehouse_migration_under_tpcc_load() {
+    let cluster = ClusterBuilder::new(3).config(SimConfig::instant()).build();
+    cluster.start_maintenance(Duration::from_millis(300));
+    let config = TpccConfig {
+        warehouses: 6,
+        districts: 2,
+        customers: 10,
+        items: 20,
+        ..TpccConfig::default()
+    };
+    let tpcc = Arc::new(Tpcc::setup(&cluster, config, |w| NodeId(w % 3)));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..3u32)
+        .map(|c| {
+            let cluster = Arc::clone(&cluster);
+            let tpcc = Arc::clone(&tpcc);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let session = Session::connect(&cluster, NodeId(c % 3));
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(c as u64);
+                let mut commits = 0u64;
+                let mut migration_aborts = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match session.run(|t| tpcc.run_once(ClientId(c), t, &mut rng)) {
+                        Ok(_) => commits += 1,
+                        Err(e) if e.is_migration_induced() => migration_aborts += 1,
+                        Err(_) => {}
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                (commits, migration_aborts)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Move warehouse 0 — all eight collocated shards in one migration —
+    // from node 0 to node 2.
+    let shards = tpcc.warehouse_shards(0);
+    assert_eq!(shards.len(), 8);
+    let task = MigrationTask {
+        shards: shards.clone(),
+        source: NodeId(0),
+        dest: NodeId(2),
+    };
+    let report = RemusEngine::new().migrate(&cluster, &task).unwrap();
+    assert!(report.tuples_copied > 0);
+
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    let mut total_commits = 0;
+    let mut total_migration_aborts = 0;
+    for c in clients {
+        let (commits, aborts) = c.join().unwrap();
+        total_commits += commits;
+        total_migration_aborts += aborts;
+    }
+    assert!(total_commits > 0, "TPC-C clients must make progress");
+    assert_eq!(
+        total_migration_aborts, 0,
+        "Remus must not abort TPC-C transactions"
+    );
+
+    // Collocation preserved: every shard of warehouse 0 is on node 2.
+    for shard in shards {
+        let owner = cluster
+            .current_owner(cluster.node(NodeId(1)), shard)
+            .unwrap()
+            .node;
+        assert_eq!(owner, NodeId(2));
+        assert!(cluster.node(NodeId(2)).storage.hosts(shard));
+        assert!(!cluster.node(NodeId(0)).storage.hosts(shard));
+    }
+
+    // Warehouse 0 transactions still run, now against node 2.
+    let session = Session::connect(&cluster, NodeId(0));
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+    let mut post_commits = 0;
+    for _ in 0..20 {
+        if session.run(|t| tpcc.new_order(t, 0, &mut rng)).is_ok() {
+            post_commits += 1;
+        }
+    }
+    assert!(
+        post_commits >= 15,
+        "warehouse 0 barely works after its move: {post_commits}/20"
+    );
+}
+
+#[test]
+fn distributed_tpcc_transactions_survive_migration_of_remote_warehouse() {
+    let cluster = ClusterBuilder::new(2).config(SimConfig::instant()).build();
+    let config = TpccConfig {
+        warehouses: 2,
+        districts: 2,
+        customers: 10,
+        items: 20,
+        remote_ratio: 1.0, // every payment crosses warehouses
+        ..TpccConfig::default()
+    };
+    let tpcc = Arc::new(Tpcc::setup(&cluster, config, |w| NodeId(w % 2)));
+    let session = Session::connect(&cluster, NodeId(0));
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+
+    // Warm up cross-warehouse payments.
+    for _ in 0..10 {
+        let _ = session.run(|t| tpcc.payment(t, 0, &mut rng));
+    }
+    // Move warehouse 1 (the remote side) to node 0.
+    let task = MigrationTask {
+        shards: tpcc.warehouse_shards(1),
+        source: NodeId(1),
+        dest: NodeId(0),
+    };
+    RemusEngine::new().migrate(&cluster, &task).unwrap();
+    // Cross-warehouse payments keep committing.
+    let mut commits = 0;
+    for _ in 0..20 {
+        if session.run(|t| tpcc.payment(t, 0, &mut rng)).is_ok() {
+            commits += 1;
+        }
+    }
+    assert!(
+        commits >= 15,
+        "payments struggling after migration: {commits}/20"
+    );
+}

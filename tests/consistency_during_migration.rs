@@ -1,0 +1,129 @@
+//! The paper's consistency probe (hybrid workload B): the analytical
+//! duplicate-primary-key check must pass during and after consolidation,
+//! and batch ingestion must survive every engine's migrations.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use remus::cluster::{CcMode, ClusterBuilder, Session};
+use remus::common::{NodeId, SimConfig};
+use remus::migration::{
+    LockAndAbort, MigrationController, MigrationEngine, MigrationPlan, RemusEngine, SquallEngine,
+    WaitAndRemaster,
+};
+use remus::workload::hybrid::{AnalyticalClient, BatchIngest};
+use remus::workload::ycsb::{Ycsb, YcsbConfig};
+
+fn consolidation_with_ingest(engine: Arc<dyn MigrationEngine>, cc: CcMode) {
+    let cluster = ClusterBuilder::new(3)
+        .cc_mode(cc)
+        .config(SimConfig::instant())
+        .build();
+    cluster.start_maintenance(Duration::from_millis(300));
+    let ycsb = Ycsb::setup(
+        &cluster,
+        YcsbConfig {
+            shards: 9,
+            keys: 1_800,
+            ..YcsbConfig::default()
+        },
+    );
+    let layout = ycsb.layout;
+
+    // Ingestion runs concurrently with the consolidation.
+    let ingest_handle = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            BatchIngest::new(layout, 1_800, 2_000, 4, 16)
+                .with_pause(Duration::from_millis(50))
+                .run(&cluster, NodeId(1), None)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+
+    let name = engine.name();
+    let plan = MigrationPlan::consolidate(&cluster, NodeId(0), 1);
+    let controller = MigrationController::new(Arc::clone(&cluster), engine);
+    controller
+        .run_plan(&plan, |_, _| {})
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let ingest = ingest_handle.join().unwrap();
+    assert_eq!(
+        ingest.committed, 4,
+        "{name}: every batch must eventually commit"
+    );
+
+    // No duplicate primary keys anywhere; every committed tuple present.
+    // Count via the ingest's own coordinator: its clock has observed every
+    // ingest commit, so the snapshot is guaranteed fresh under DTS.
+    let analytical = AnalyticalClient { layout };
+    let distinct = analytical
+        .check_consistency(&cluster, NodeId(1))
+        .unwrap_or_else(|e| panic!("{name}: consistency check failed: {e}"));
+    assert_eq!(
+        distinct,
+        1_800 + 4 * 2_000,
+        "{name}: tuples missing after consolidation"
+    );
+    assert!(cluster.node(NodeId(0)).data_shards().is_empty());
+
+    // A follow-up workload still runs cleanly.
+    let session = Session::connect(&cluster, NodeId(1));
+    for k in 0..50u64 {
+        session
+            .run(|t| t.update(&layout, k, remus::storage::Value::from(vec![9u8; 16])))
+            .unwrap_or_else(|e| panic!("{name}: post-migration update failed: {e}"));
+    }
+}
+
+#[test]
+fn remus_consolidation_is_consistent() {
+    consolidation_with_ingest(Arc::new(RemusEngine::new()), CcMode::Mvcc);
+}
+
+#[test]
+fn lock_and_abort_consolidation_is_consistent() {
+    consolidation_with_ingest(Arc::new(LockAndAbort::new()), CcMode::Mvcc);
+}
+
+#[test]
+fn wait_and_remaster_consolidation_is_consistent() {
+    consolidation_with_ingest(Arc::new(WaitAndRemaster::new()), CcMode::Mvcc);
+}
+
+#[test]
+fn squall_consolidation_is_consistent() {
+    consolidation_with_ingest(Arc::new(SquallEngine::new()), CcMode::ShardLock);
+}
+
+/// Remus specifically: zero ingestion aborts (the headline Table 2 row).
+#[test]
+fn remus_ingestion_never_aborts() {
+    let cluster = ClusterBuilder::new(3).config(SimConfig::instant()).build();
+    cluster.start_maintenance(Duration::from_millis(300));
+    let ycsb = Ycsb::setup(
+        &cluster,
+        YcsbConfig {
+            shards: 9,
+            keys: 900,
+            ..YcsbConfig::default()
+        },
+    );
+    let layout = ycsb.layout;
+    let ingest_handle = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            BatchIngest::new(layout, 900, 3_000, 3, 16).run(&cluster, NodeId(0), None)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(10));
+    let plan = MigrationPlan::consolidate(&cluster, NodeId(0), 1);
+    let controller = MigrationController::new(Arc::clone(&cluster), Arc::new(RemusEngine::new()));
+    controller.run_plan(&plan, |_, _| {}).unwrap();
+    let ingest = ingest_handle.join().unwrap();
+    assert_eq!(
+        ingest.aborted_attempts, 0,
+        "Remus must never abort the ingestion"
+    );
+    assert_eq!(ingest.abort_ratio, 0.0);
+}

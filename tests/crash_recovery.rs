@@ -1,0 +1,149 @@
+//! End-to-end crash recovery (paper §3.7): the fate of an interrupted
+//! migration follows `T_m`'s 2PC state, and in-doubt shadow transactions
+//! follow their source transaction's decision.
+
+use remus::cluster::{ClusterBuilder, Session};
+use remus::common::{NodeId, ShardId, TableId, Timestamp};
+use remus::migration::diversion::run_tm_crash_after_prepare;
+use remus::migration::recovery::{recover_migration, resolve_prepared_shadows, RecoveryDecision};
+use remus::migration::snapshot::copy_shard_snapshot;
+use remus::migration::{MigrationEngine, MigrationTask};
+use remus::storage::Value;
+use remus::txn::{commit_prepared, prepare_participant, Txn};
+
+fn val(s: &str) -> Value {
+    Value::copy_from_slice(s.as_bytes())
+}
+
+/// Crash before `T_m` commits: the migration rolls back; the source still
+/// serves every committed write, including ones made after the (discarded)
+/// snapshot copy.
+#[test]
+fn crash_before_tm_commit_rolls_back_and_source_serves() {
+    let cluster = ClusterBuilder::new(2).build();
+    let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+    let session = Session::connect(&cluster, NodeId(0));
+    for k in 0..40u64 {
+        session.run(|t| t.insert(&layout, k, val("v0"))).unwrap();
+    }
+    // The crashed migration got as far as the snapshot copy...
+    let snapshot_ts = cluster.oracle.start_ts(NodeId(0));
+    copy_shard_snapshot(
+        &cluster,
+        cluster.node(NodeId(0)),
+        cluster.node(NodeId(1)),
+        ShardId(0),
+        snapshot_ts,
+    )
+    .unwrap();
+    // ... a post-snapshot commit on the source ...
+    session.run(|t| t.update(&layout, 7, val("v1"))).unwrap();
+    // ... and an in-doubt T_m.
+    let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+    let tm = run_tm_crash_after_prepare(&cluster, &task).unwrap();
+
+    let decision = recover_migration(&cluster, &task, tm).unwrap();
+    assert_eq!(decision, RecoveryDecision::RolledBack);
+    assert!(cluster.node(NodeId(0)).storage.hosts(ShardId(0)));
+    assert!(!cluster.node(NodeId(1)).storage.hosts(ShardId(0)));
+    let (v, _) = session.run(|t| t.read(&layout, 7)).unwrap();
+    assert_eq!(v, Some(val("v1")));
+    // The cluster accepts a fresh migration of the same shard afterwards.
+    remus::migration::RemusEngine::new()
+        .migrate(&cluster, &task)
+        .unwrap();
+    let (v, _) = session.run(|t| t.read(&layout, 7)).unwrap();
+    assert_eq!(v, Some(val("v1")));
+}
+
+/// Crash mid phase-two of `T_m` with a prepared shadow in flight: the
+/// migration rolls forward; the shadow commits with its source's
+/// timestamp; the destination serves everything.
+#[test]
+fn crash_after_tm_commit_rolls_forward_with_in_doubt_shadow() {
+    let cluster = ClusterBuilder::new(3).build();
+    let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+    let session = Session::connect(&cluster, NodeId(0));
+    for k in 0..40u64 {
+        session.run(|t| t.insert(&layout, k, val("v0"))).unwrap();
+    }
+    // Snapshot fully copied before the crash.
+    let snapshot_ts = cluster.oracle.start_ts(NodeId(0));
+    copy_shard_snapshot(
+        &cluster,
+        cluster.node(NodeId(0)),
+        cluster.node(NodeId(1)),
+        ShardId(0),
+        snapshot_ts,
+    )
+    .unwrap();
+
+    // A synchronized source transaction that committed on the source while
+    // its shadow was still prepared on the destination (MOCC's key
+    // property: source commit implies shadow prepared).
+    let source = cluster.node(NodeId(0));
+    let dest = cluster.node(NodeId(1));
+    let sx = source.storage.alloc_xid();
+    let start = cluster.oracle.start_ts(NodeId(0));
+    let mut shadow = Txn::begin_with(sx.shadow(), start, dest.id());
+    shadow
+        .update(&dest.storage, ShardId(0), 7, val("sync-write"))
+        .unwrap();
+    prepare_participant(&dest.storage, sx.shadow()).unwrap();
+    source.storage.clog.begin(sx);
+    let cts = cluster.oracle.commit_ts(NodeId(0));
+    source.storage.clog.set_committed(sx, cts).unwrap();
+    // Mirror the write on the source so both copies agree once recovered.
+    source
+        .storage
+        .table(ShardId(0))
+        .unwrap()
+        .install_frozen(7, val("sync-write"));
+
+    // T_m crashed mid phase two: one participant already committed.
+    let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+    let tm = run_tm_crash_after_prepare(&cluster, &task).unwrap();
+    let ts = cluster.oracle.commit_ts(NodeId(0));
+    commit_prepared(&cluster.node(NodeId(2)).storage, tm, ts).unwrap();
+
+    let decision = recover_migration(&cluster, &task, tm).unwrap();
+    assert_eq!(decision, RecoveryDecision::RolledForward(ts));
+    assert!(!cluster.node(NodeId(0)).storage.hosts(ShardId(0)));
+    assert!(cluster.node(NodeId(1)).storage.hosts(ShardId(0)));
+
+    // The shadow followed its source's decision: committed at `cts`.
+    assert_eq!(
+        dest.storage.clog.status(sx.shadow()),
+        remus::storage::TxnStatus::Committed(cts)
+    );
+    let (v, _) = session.run(|t| t.read(&layout, 7)).unwrap();
+    assert_eq!(v, Some(val("sync-write")));
+    // And all 40 keys survived.
+    let (rows, _) = session.run(|t| t.scan_table(&layout)).unwrap();
+    assert_eq!(rows.len(), 40);
+}
+
+/// A destination crash wipes the validation registry: prepared shadows of
+/// aborted (or unknown) source transactions roll back and their writes
+/// vanish.
+#[test]
+fn shadows_of_unresolved_sources_roll_back() {
+    let cluster = ClusterBuilder::new(2).build();
+    cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+    let dest = cluster.node(NodeId(1));
+    dest.storage.create_shard(ShardId(0));
+
+    let source = cluster.node(NodeId(0));
+    // Aborted source transaction with a prepared shadow.
+    let a = source.storage.alloc_xid();
+    let mut sa = Txn::begin_with(a.shadow(), Timestamp(10), dest.id());
+    sa.insert(&dest.storage, ShardId(0), 1, val("a")).unwrap();
+    prepare_participant(&dest.storage, a.shadow()).unwrap();
+    source.storage.clog.begin(a);
+    source.storage.clog.set_aborted(a);
+
+    let (committed, rolled_back) = resolve_prepared_shadows(source, dest);
+    assert_eq!((committed, rolled_back), (0, 1));
+    let table = dest.storage.table(ShardId(0)).unwrap();
+    assert_eq!(table.stats().versions, 0);
+}

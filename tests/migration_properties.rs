@@ -1,0 +1,109 @@
+//! Property-based integration tests: random operation histories applied
+//! before and during migrations preserve the committed state, for random
+//! shard/engine choices.
+
+use proptest::prelude::*;
+use remus::cluster::{CcMode, ClusterBuilder, Session};
+use remus::common::{NodeId, ShardId, SimConfig, TableId};
+use remus::migration::{
+    LockAndAbort, MigrationEngine, MigrationTask, RemusEngine, WaitAndRemaster,
+};
+use remus::storage::Value;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u8),
+    Update(u64, u8),
+    Delete(u64),
+}
+
+fn op_strategy(keyspace: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..keyspace, any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..keyspace, any::<u8>()).prop_map(|(k, v)| Op::Update(k, v)),
+        (0..keyspace).prop_map(Op::Delete),
+    ]
+}
+
+fn engine_strategy() -> impl Strategy<Value = usize> {
+    0usize..3
+}
+
+fn make_engine(i: usize) -> Box<dyn MigrationEngine> {
+    match i {
+        0 => Box::new(RemusEngine::new()),
+        1 => Box::new(LockAndAbort::new()),
+        _ => Box::new(WaitAndRemaster::new()),
+    }
+}
+
+/// Applies ops through transactions, tracking the expected state like a
+/// client would (an op that errors has no effect).
+fn apply_ops(
+    session: &Session,
+    layout: &remus::shard::TableLayout,
+    ops: &[Op],
+    model: &mut std::collections::BTreeMap<u64, u8>,
+) {
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                if session
+                    .run(|t| t.insert(layout, k, Value::from(vec![v])))
+                    .is_ok()
+                {
+                    model.insert(k, v);
+                }
+            }
+            Op::Update(k, v) => {
+                if session
+                    .run(|t| t.update(layout, k, Value::from(vec![v])))
+                    .is_ok()
+                {
+                    model.insert(k, v);
+                }
+            }
+            Op::Delete(k) => {
+                if session.run(|t| t.delete(layout, k)).is_ok() {
+                    model.remove(&k);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random history, then a migration, then more random history: the
+    /// observable table equals the client-side model exactly.
+    #[test]
+    fn migration_preserves_random_histories(
+        ops_before in proptest::collection::vec(op_strategy(60), 1..60),
+        ops_after in proptest::collection::vec(op_strategy(60), 1..60),
+        engine_idx in engine_strategy(),
+        dest in 1u32..3,
+    ) {
+        let cluster = ClusterBuilder::new(3)
+            .cc_mode(CcMode::Mvcc)
+            .config(SimConfig::instant())
+            .build();
+        let layout = cluster.create_table(TableId(1), 0, 3, |i| NodeId(i % 3));
+        let session = Session::connect(&cluster, NodeId(0));
+        let mut model = std::collections::BTreeMap::new();
+
+        apply_ops(&session, &layout, &ops_before, &mut model);
+
+        let engine = make_engine(engine_idx);
+        engine
+            .migrate(&cluster, &MigrationTask::single(ShardId(0), NodeId(0), NodeId(dest)))
+            .unwrap();
+
+        apply_ops(&session, &layout, &ops_after, &mut model);
+
+        let (rows, _) = session.run(|t| t.scan_table(&layout)).unwrap();
+        let observed: std::collections::BTreeMap<u64, u8> =
+            rows.into_iter().map(|(k, v)| (k, v[0])).collect();
+        prop_assert_eq!(observed, model);
+    }
+}
