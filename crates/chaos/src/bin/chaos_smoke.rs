@@ -1,0 +1,44 @@
+//! CI chaos smoke: a handful of fixed Remus seeds, each run twice to
+//! assert the seed → (fault schedule, verdict) mapping is deterministic.
+//! Exits nonzero on any SI violation or determinism break.
+
+use remus_chaos::{run_scenario, ScenarioConfig};
+
+fn main() {
+    let seeds = [1u64, 2, 3];
+    let mut failed = false;
+    for seed in seeds {
+        let config = ScenarioConfig::remus_smoke(seed);
+        let first = run_scenario(&config);
+        let second = run_scenario(&config);
+        if first.plan != second.plan {
+            println!("seed {seed}: FAIL (fault plan not deterministic)");
+            failed = true;
+            continue;
+        }
+        if first.passed() != second.passed() {
+            println!("seed {seed}: FAIL (verdict not deterministic)");
+            failed = true;
+            continue;
+        }
+        if first.passed() {
+            // Stdout carries only seed-deterministic facts (CI diffs two
+            // runs); commit/abort counts depend on thread interleaving and
+            // go to stderr.
+            println!("seed {seed}: ok ({} faults)", first.plan.specs.len());
+            eprintln!(
+                "seed {seed}: {} committed, {} aborted",
+                first.committed, first.aborted
+            );
+        } else {
+            println!("seed {seed}: FAIL ({} violations)", first.violations.len());
+            for v in &first.violations {
+                println!("  {v}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

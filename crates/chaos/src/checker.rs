@@ -1,0 +1,810 @@
+//! Post-hoc snapshot-isolation checker.
+//!
+//! Takes the recorded history (every attempted client transaction with its
+//! timestamps, read observations, writes, and routing decisions) plus the
+//! final table contents, and verifies:
+//!
+//! 1. **Snapshot reads** — every observed value is explainable by a
+//!    committed write visible at the reader's statement snapshot, is not
+//!    from the future, not from an aborted transaction, and not staler than
+//!    the latest write the reader was *forced* to see. The forcing rule
+//!    depends on the oracle:
+//!    * always: a write that fully committed (in real time) before the
+//!      reader began, with `cts <= snap`, must be visible — sound under
+//!      both GTS and DTS, because such a version is committed on the owner
+//!      node's chain before the reader's visibility resolution starts;
+//!    * `strict_timestamp_reads` (GTS only): *every* committed write with
+//!      `cts <= snap` must be visible. Under DTS this would false-positive:
+//!      its documented relaxation lets a snapshot from one node's clock
+//!      miss a causally unrelated commit stamped by another node's clock.
+//! 2. **First-committer-wins** — no two committed transactions wrote the
+//!    same key where one's commit timestamp falls inside the other's
+//!    (write-statement snapshot, commit] window: that is a lost update.
+//! 3. **Monotone routing** — across the migration, transactions routed by
+//!    older snapshots go to the source and newer ones to the destination,
+//!    with the exact boundary at `T_m.commit_ts` when known; non-migrating
+//!    shards never change owner.
+//! 4. **Final state** — the post-migration scan equals the
+//!    last-committed-write-per-key model of the history (the multiset of
+//!    committed data survived the migration).
+//!
+//! The checker is pure: it never touches the cluster, so the shrinker can
+//! re-run it thousands of times on candidate sub-histories.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use remus_common::{NodeId, ShardId, Timestamp, TxnId};
+use remus_storage::Value;
+
+use crate::history::TxnRecord;
+
+/// What the checker needs to know about the scenario.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Migration source node.
+    pub source: NodeId,
+    /// Migration destination node.
+    pub dest: NodeId,
+    /// Shards the migration moved.
+    pub migrating: Vec<ShardId>,
+    /// `T_m.commit_ts` when the migration committed and it is known.
+    pub tm_cts: Option<Timestamp>,
+    /// Whether the migration (the shard-map flip) committed. When `false`
+    /// (cancelled or rolled back), no transaction may route a migrating
+    /// shard to the destination.
+    pub migration_committed: bool,
+    /// Enable the timestamp-strict read axiom (GTS clusters only).
+    pub strict_timestamp_reads: bool,
+}
+
+/// One verified SI violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A read missed a write it was required to see.
+    StaleRead {
+        /// Reading transaction.
+        reader: TxnId,
+        /// Key read.
+        key: u64,
+        /// The statement snapshot.
+        snap_ts: Timestamp,
+        /// Commit timestamp of the write actually observed (`None` = the
+        /// reader saw no value).
+        observed_cts: Option<Timestamp>,
+        /// Commit timestamp of the newest write the reader had to see.
+        required_cts: Timestamp,
+    },
+    /// A read returned a value committed after the reader's snapshot.
+    FutureRead {
+        /// Reading transaction.
+        reader: TxnId,
+        /// Key read.
+        key: u64,
+        /// The statement snapshot.
+        snap_ts: Timestamp,
+        /// Commit timestamp of the observed (future) write.
+        observed_cts: Timestamp,
+    },
+    /// A read returned a value only ever written by an aborted transaction.
+    AbortedWriteVisible {
+        /// Reading transaction.
+        reader: TxnId,
+        /// Key read.
+        key: u64,
+        /// The aborted writer.
+        writer: TxnId,
+    },
+    /// A read returned a value no recorded transaction wrote to that key.
+    UnexplainedValue {
+        /// Reading transaction.
+        reader: TxnId,
+        /// Key read.
+        key: u64,
+    },
+    /// One transaction's reads saw another transaction's write on one key
+    /// but missed its visible write on another (torn visibility).
+    FragmentedRead {
+        /// Reading transaction.
+        reader: TxnId,
+        /// The partially-visible writer.
+        writer: TxnId,
+        /// Key where the writer's effect was missed.
+        key: u64,
+    },
+    /// Two committed transactions wrote the same key, one committing inside
+    /// the other's snapshot-to-commit window (first-committer-wins broken).
+    LostUpdate {
+        /// Key written by both.
+        key: u64,
+        /// The transaction whose update was lost.
+        loser: TxnId,
+        /// The transaction that committed inside the loser's window.
+        winner: TxnId,
+        /// Winner's commit timestamp.
+        winner_cts: Timestamp,
+        /// Loser's write-statement snapshot.
+        loser_snap: Timestamp,
+        /// Loser's commit timestamp.
+        loser_cts: Timestamp,
+    },
+    /// Routing across the migration was not monotone in snapshot order.
+    NonMonotoneRouting {
+        /// The shard whose routing broke.
+        shard: ShardId,
+        /// Human-readable specifics.
+        detail: String,
+    },
+    /// The final table contents disagree with the history's model.
+    FinalStateMismatch {
+        /// Mismatching key.
+        key: u64,
+        /// Value the model expects (`None` = absent).
+        expected: Option<Value>,
+        /// Value actually present (`None` = absent).
+        observed: Option<Value>,
+    },
+    /// The migration itself failed when the scenario expected success.
+    MigrationFailed {
+        /// The engine error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::StaleRead {
+                reader,
+                key,
+                snap_ts,
+                observed_cts,
+                required_cts,
+            } => write!(
+                f,
+                "stale read: {reader} read key {key} at snap {snap_ts} and observed \
+                 {observed_cts:?}, but a write at {required_cts} was required to be visible"
+            ),
+            Violation::FutureRead {
+                reader,
+                key,
+                snap_ts,
+                observed_cts,
+            } => write!(
+                f,
+                "future read: {reader} read key {key} at snap {snap_ts} but observed a value \
+                 committed at {observed_cts}"
+            ),
+            Violation::AbortedWriteVisible { reader, key, writer } => write!(
+                f,
+                "aborted write visible: {reader} read key {key} and observed a value written \
+                 only by aborted {writer}"
+            ),
+            Violation::UnexplainedValue { reader, key } => write!(
+                f,
+                "unexplained value: {reader} read key {key} and observed a value no recorded \
+                 transaction wrote"
+            ),
+            Violation::FragmentedRead { reader, writer, key } => write!(
+                f,
+                "fragmented read: {reader} saw part of {writer}'s writes but missed its \
+                 visible write to key {key}"
+            ),
+            Violation::LostUpdate {
+                key,
+                loser,
+                winner,
+                winner_cts,
+                loser_snap,
+                loser_cts,
+            } => write!(
+                f,
+                "lost update on key {key}: {winner} committed at {winner_cts} inside \
+                 {loser}'s window ({loser_snap}, {loser_cts}]"
+            ),
+            Violation::NonMonotoneRouting { shard, detail } => {
+                write!(f, "non-monotone routing on {shard}: {detail}")
+            }
+            Violation::FinalStateMismatch {
+                key,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "final state mismatch on key {key}: expected {:?}, observed {:?}",
+                expected.as_ref().map(|v| String::from_utf8_lossy(v.as_ref()).into_owned()),
+                observed.as_ref().map(|v| String::from_utf8_lossy(v.as_ref()).into_owned()),
+            ),
+            Violation::MigrationFailed { detail } => write!(f, "migration failed: {detail}"),
+        }
+    }
+}
+
+/// One committed write in a key's version chain, as reconstructed from the
+/// history.
+#[derive(Debug, Clone)]
+struct ChainEntry {
+    cts: Timestamp,
+    /// Row value after the write (`None` = deleted).
+    value_after: Option<Value>,
+    xid: TxnId,
+    commit_seq: u64,
+}
+
+fn chains_of(history: &[TxnRecord]) -> HashMap<u64, Vec<ChainEntry>> {
+    let mut chains: HashMap<u64, Vec<ChainEntry>> = HashMap::new();
+    for rec in history.iter().filter(|r| r.committed()) {
+        let cts = rec.commit_ts.expect("committed");
+        // Last write per key within the transaction wins.
+        let mut per_key: BTreeMap<u64, Option<Value>> = BTreeMap::new();
+        for w in &rec.writes {
+            per_key.insert(w.key, w.value.clone());
+        }
+        for (key, value_after) in per_key {
+            chains.entry(key).or_default().push(ChainEntry {
+                cts,
+                value_after,
+                xid: rec.xid,
+                commit_seq: rec.commit_seq,
+            });
+        }
+    }
+    for chain in chains.values_mut() {
+        chain.sort_by_key(|e| e.cts);
+    }
+    chains
+}
+
+/// Runs the read, first-committer-wins, and routing checks over a history.
+pub fn check_history(history: &[TxnRecord], config: &CheckConfig) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let chains = chains_of(history);
+    let by_xid: HashMap<TxnId, &TxnRecord> = history.iter().map(|r| (r.xid, r)).collect();
+    check_reads(history, &chains, &by_xid, config, &mut violations);
+    check_first_committer_wins(history, &mut violations);
+    check_routing(history, config, &mut violations);
+    violations
+}
+
+fn check_reads(
+    history: &[TxnRecord],
+    chains: &HashMap<u64, Vec<ChainEntry>>,
+    by_xid: &HashMap<TxnId, &TxnRecord>,
+    config: &CheckConfig,
+    violations: &mut Vec<Violation>,
+) {
+    let empty: Vec<ChainEntry> = Vec::new();
+    for rec in history.iter().filter(|r| r.committed()) {
+        // (writer, writer_cts) pairs this reader observed, for the
+        // fragmented-read check.
+        let mut observed_writers: Vec<(TxnId, Timestamp)> = Vec::new();
+        for read in &rec.reads {
+            if rec.writes.iter().any(|w| w.key == read.key) {
+                // Read-your-writes is not modeled; the runner keeps read
+                // and write sets disjoint, so this only guards hand-built
+                // histories.
+                continue;
+            }
+            let chain = chains.get(&read.key).unwrap_or(&empty);
+            // The newest write the reader is required to see.
+            let required = chain
+                .iter()
+                .filter(|e| {
+                    e.cts <= read.snap_ts
+                        && e.xid != rec.xid
+                        && (config.strict_timestamp_reads || e.commit_seq < rec.begin_seq)
+                })
+                .max_by_key(|e| e.cts);
+            let floor = required.map(|e| e.cts).unwrap_or(Timestamp(0));
+            match &read.observed {
+                None => {
+                    let absence_ok = match required {
+                        None => true,
+                        Some(e) if e.value_after.is_none() => true,
+                        // A delete at or above the floor (still <= snap)
+                        // explains the absence.
+                        Some(_) => chain.iter().any(|e| {
+                            e.cts >= floor && e.cts <= read.snap_ts && e.value_after.is_none()
+                        }),
+                    };
+                    if !absence_ok {
+                        violations.push(Violation::StaleRead {
+                            reader: rec.xid,
+                            key: read.key,
+                            snap_ts: read.snap_ts,
+                            observed_cts: None,
+                            required_cts: floor,
+                        });
+                    }
+                }
+                Some(v) => {
+                    let matching: Vec<&ChainEntry> = chain
+                        .iter()
+                        .filter(|e| e.value_after.as_ref() == Some(v))
+                        .collect();
+                    if matching.is_empty() {
+                        // Not a committed value for this key: aborted
+                        // writer, or never written at all.
+                        let aborted = history.iter().find(|r| {
+                            !r.committed()
+                                && r.writes
+                                    .iter()
+                                    .any(|w| w.key == read.key && w.value.as_ref() == Some(v))
+                        });
+                        violations.push(match aborted {
+                            Some(a) => Violation::AbortedWriteVisible {
+                                reader: rec.xid,
+                                key: read.key,
+                                writer: a.xid,
+                            },
+                            None => Violation::UnexplainedValue {
+                                reader: rec.xid,
+                                key: read.key,
+                            },
+                        });
+                        continue;
+                    }
+                    match matching
+                        .iter()
+                        .filter(|e| e.cts <= read.snap_ts)
+                        .max_by_key(|e| e.cts)
+                    {
+                        None => {
+                            let first = matching.iter().min_by_key(|e| e.cts).unwrap();
+                            violations.push(Violation::FutureRead {
+                                reader: rec.xid,
+                                key: read.key,
+                                snap_ts: read.snap_ts,
+                                observed_cts: first.cts,
+                            });
+                        }
+                        Some(e) if e.cts < floor => {
+                            violations.push(Violation::StaleRead {
+                                reader: rec.xid,
+                                key: read.key,
+                                snap_ts: read.snap_ts,
+                                observed_cts: Some(e.cts),
+                                required_cts: floor,
+                            });
+                        }
+                        Some(e) => observed_writers.push((e.xid, e.cts)),
+                    }
+                }
+            }
+        }
+
+        if config.strict_timestamp_reads {
+            check_fragmented(rec, &observed_writers, chains, by_xid, violations);
+        }
+    }
+}
+
+/// Torn-visibility check: if the reader saw writer `W` on one key, every
+/// other key `W` wrote that the reader also read (with `W.cts <= snap`)
+/// must show `W`'s effect or something newer.
+fn check_fragmented(
+    rec: &TxnRecord,
+    observed_writers: &[(TxnId, Timestamp)],
+    chains: &HashMap<u64, Vec<ChainEntry>>,
+    by_xid: &HashMap<TxnId, &TxnRecord>,
+    violations: &mut Vec<Violation>,
+) {
+    for &(writer, writer_cts) in observed_writers {
+        let Some(wrec) = by_xid.get(&writer) else {
+            continue;
+        };
+        for w in &wrec.writes {
+            let Some(read) = rec.reads.iter().find(|r| r.key == w.key) else {
+                continue;
+            };
+            if writer_cts > read.snap_ts || rec.writes.iter().any(|own| own.key == w.key) {
+                continue;
+            }
+            // The observed value on this key must come from cts >= writer's.
+            let chain = &chains[&w.key];
+            let seen_ok = match &read.observed {
+                Some(v) => chain
+                    .iter()
+                    .any(|e| e.value_after.as_ref() == Some(v) && e.cts >= writer_cts),
+                None => chain.iter().any(|e| {
+                    e.value_after.is_none() && e.cts >= writer_cts && e.cts <= read.snap_ts
+                }),
+            };
+            if !seen_ok {
+                violations.push(Violation::FragmentedRead {
+                    reader: rec.xid,
+                    writer,
+                    key: w.key,
+                });
+            }
+        }
+    }
+}
+
+fn check_first_committer_wins(history: &[TxnRecord], violations: &mut Vec<Violation>) {
+    // Per key: every committed writer with (write-statement snap, cts).
+    let mut writers: HashMap<u64, Vec<(TxnId, Timestamp, Timestamp)>> = HashMap::new();
+    for rec in history.iter().filter(|r| r.committed()) {
+        let cts = rec.commit_ts.expect("committed");
+        let mut seen = std::collections::HashSet::new();
+        for w in &rec.writes {
+            // First write statement to the key is the one FCW judges.
+            if seen.insert(w.key) {
+                writers
+                    .entry(w.key)
+                    .or_default()
+                    .push((rec.xid, w.snap_ts, cts));
+            }
+        }
+    }
+    for (key, list) in &writers {
+        for (a_xid, _a_snap, a_cts) in list {
+            for (b_xid, b_snap, b_cts) in list {
+                if a_xid == b_xid {
+                    continue;
+                }
+                let inside_window = *a_cts > *b_snap && *a_cts < *b_cts;
+                let tied = a_cts == b_cts && a_xid < b_xid;
+                if inside_window || tied {
+                    violations.push(Violation::LostUpdate {
+                        key: *key,
+                        loser: *b_xid,
+                        winner: *a_xid,
+                        winner_cts: *a_cts,
+                        loser_snap: *b_snap,
+                        loser_cts: *b_cts,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_routing(history: &[TxnRecord], config: &CheckConfig, violations: &mut Vec<Violation>) {
+    // shard -> [(begin_ts, node, xid)] over committed transactions.
+    let mut per_shard: HashMap<ShardId, Vec<(Timestamp, NodeId, TxnId)>> = HashMap::new();
+    for rec in history.iter().filter(|r| r.committed()) {
+        for &(shard, node) in &rec.routes {
+            per_shard
+                .entry(shard)
+                .or_default()
+                .push((rec.begin_ts, node, rec.xid));
+        }
+    }
+    for (shard, routes) in &per_shard {
+        if config.migrating.contains(shard) {
+            for &(begin_ts, node, xid) in routes {
+                if node != config.source && node != config.dest {
+                    violations.push(Violation::NonMonotoneRouting {
+                        shard: *shard,
+                        detail: format!("{xid} routed to bystander {node}"),
+                    });
+                } else if node == config.dest && !config.migration_committed {
+                    violations.push(Violation::NonMonotoneRouting {
+                        shard: *shard,
+                        detail: format!(
+                            "{xid} routed to the destination of a rolled-back migration"
+                        ),
+                    });
+                } else if let Some(tm) = config.tm_cts {
+                    if node == config.source && begin_ts >= tm {
+                        violations.push(Violation::NonMonotoneRouting {
+                            shard: *shard,
+                            detail: format!(
+                                "{xid} began at {begin_ts} >= T_m {tm} but routed to the source"
+                            ),
+                        });
+                    } else if node == config.dest && begin_ts < tm {
+                        violations.push(Violation::NonMonotoneRouting {
+                            shard: *shard,
+                            detail: format!(
+                                "{xid} began at {begin_ts} < T_m {tm} but routed to the \
+                                 destination"
+                            ),
+                        });
+                    }
+                }
+            }
+            if config.tm_cts.is_none() && config.migration_committed {
+                // Boundary unknown: routing must still be monotone.
+                let max_source = routes
+                    .iter()
+                    .filter(|(_, n, _)| *n == config.source)
+                    .map(|(b, _, _)| *b)
+                    .max();
+                let min_dest = routes
+                    .iter()
+                    .filter(|(_, n, _)| *n == config.dest)
+                    .map(|(b, _, _)| *b)
+                    .min();
+                if let (Some(ms), Some(md)) = (max_source, min_dest) {
+                    if ms >= md {
+                        violations.push(Violation::NonMonotoneRouting {
+                            shard: *shard,
+                            detail: format!(
+                                "source-routed snapshot {ms} >= destination-routed snapshot {md}"
+                            ),
+                        });
+                    }
+                }
+            }
+        } else {
+            // Non-migrating shards never change owner.
+            let mut nodes: Vec<NodeId> = routes.iter().map(|(_, n, _)| *n).collect();
+            nodes.sort();
+            nodes.dedup();
+            if nodes.len() > 1 {
+                violations.push(Violation::NonMonotoneRouting {
+                    shard: *shard,
+                    detail: format!("non-migrating shard routed to {nodes:?}"),
+                });
+            }
+        }
+    }
+}
+
+/// Checks the post-migration scan against the history's
+/// last-committed-write-per-key model.
+pub fn check_final_state(
+    history: &[TxnRecord],
+    observed: &BTreeMap<u64, Value>,
+) -> Vec<Violation> {
+    let chains = chains_of(history);
+    let mut violations = Vec::new();
+    let mut expected: BTreeMap<u64, Value> = BTreeMap::new();
+    for (key, chain) in &chains {
+        if let Some(last) = chain.iter().max_by_key(|e| e.cts) {
+            if let Some(v) = &last.value_after {
+                expected.insert(*key, v.clone());
+            }
+        }
+    }
+    let keys: Vec<u64> = expected
+        .keys()
+        .chain(observed.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<u64>>()
+        .into_iter()
+        .collect();
+    for key in keys {
+        let e = expected.get(&key);
+        let o = observed.get(&key);
+        if e != o {
+            violations.push(Violation::FinalStateMismatch {
+                key,
+                expected: e.cloned(),
+                observed: o.cloned(),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{MutKind, OpRead, OpWrite};
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    fn xid(n: u64) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    fn cfg() -> CheckConfig {
+        CheckConfig {
+            source: NodeId(0),
+            dest: NodeId(1),
+            migrating: vec![ShardId(0)],
+            tm_cts: None,
+            migration_committed: false,
+            strict_timestamp_reads: true,
+        }
+    }
+
+    fn writer(n: u64, key: u64, snap: u64, cts: u64, v: &str, seq: u64) -> TxnRecord {
+        TxnRecord {
+            xid: xid(n),
+            client: 0,
+            begin_ts: Timestamp(snap),
+            commit_ts: Some(Timestamp(cts)),
+            reads: vec![],
+            writes: vec![OpWrite {
+                key,
+                snap_ts: Timestamp(snap),
+                kind: MutKind::Update,
+                value: Some(val(v)),
+            }],
+            routes: vec![],
+            begin_seq: seq,
+            commit_seq: seq + 1,
+        }
+    }
+
+    fn reader(n: u64, key: u64, snap: u64, observed: Option<&str>, seq: u64) -> TxnRecord {
+        TxnRecord {
+            xid: xid(n),
+            client: 0,
+            begin_ts: Timestamp(snap),
+            commit_ts: Some(Timestamp(snap + 1)),
+            reads: vec![OpRead {
+                key,
+                snap_ts: Timestamp(snap),
+                observed: observed.map(val),
+            }],
+            writes: vec![],
+            routes: vec![],
+            begin_seq: seq,
+            commit_seq: seq + 1,
+        }
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let h = vec![
+            writer(1, 7, 5, 10, "a", 0),
+            reader(2, 7, 15, Some("a"), 2),
+            writer(3, 7, 20, 25, "b", 4),
+            reader(4, 7, 30, Some("b"), 6),
+        ];
+        assert!(check_history(&h, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn stale_read_is_flagged_strict() {
+        let h = vec![
+            writer(1, 7, 5, 10, "a", 0),
+            writer(2, 7, 15, 20, "b", 2),
+            // Snap 30 must see "b" (cts 20) but observed "a" (cts 10).
+            reader(3, 7, 30, Some("a"), 4),
+        ];
+        let v = check_history(&h, &cfg());
+        assert!(
+            v.iter().any(|v| matches!(v, Violation::StaleRead { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn stale_read_requires_real_time_order_when_not_strict() {
+        let mut config = cfg();
+        config.strict_timestamp_reads = false;
+        // Writer committed with cts 20 but only *after* (in real time) the
+        // reader began: begin_seq 1 < commit_seq 5. Missing it is allowed
+        // under DTS.
+        let mut w = writer(1, 7, 15, 20, "b", 4);
+        w.commit_seq = 5;
+        let mut r = reader(3, 7, 30, None, 1);
+        r.begin_seq = 1;
+        let h = vec![w.clone(), r.clone()];
+        assert!(check_history(&h, &config).is_empty());
+        // Same history with the write committed before the reader began is
+        // a violation even without strict mode.
+        w.commit_seq = 0;
+        let h = vec![w, r];
+        let v = check_history(&h, &config);
+        assert!(
+            v.iter().any(|v| matches!(v, Violation::StaleRead { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn aborted_write_visible_is_flagged() {
+        let mut aborted = writer(1, 7, 5, 10, "ghost", 0);
+        aborted.commit_ts = None;
+        let h = vec![aborted, reader(2, 7, 15, Some("ghost"), 2)];
+        let v = check_history(&h, &cfg());
+        assert!(
+            v.iter()
+                .any(|v| matches!(v, Violation::AbortedWriteVisible { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn future_read_is_flagged() {
+        let h = vec![writer(1, 7, 50, 60, "late", 0), reader(2, 7, 30, Some("late"), 2)];
+        let v = check_history(&h, &cfg());
+        assert!(
+            v.iter().any(|v| matches!(v, Violation::FutureRead { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn lost_update_is_flagged() {
+        // Both writers started from snap 5 and both committed: the later
+        // commit lost the earlier one's update.
+        let h = vec![writer(1, 7, 5, 10, "a", 0), writer(2, 7, 5, 12, "b", 2)];
+        let v = check_history(&h, &cfg());
+        assert!(
+            v.iter().any(|v| matches!(v, Violation::LostUpdate { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn serialized_writers_are_not_lost_updates() {
+        let h = vec![writer(1, 7, 5, 10, "a", 0), writer(2, 7, 11, 12, "b", 2)];
+        assert!(check_history(&h, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn fragmented_read_is_flagged() {
+        // Writer 1 wrote keys 7 and 8 at cts 10. The reader saw key 7's
+        // new value but key 8's pre-state.
+        let base = writer(90, 8, 1, 2, "old8", 0);
+        let mut w = writer(1, 7, 5, 10, "new7", 2);
+        w.writes.push(OpWrite {
+            key: 8,
+            snap_ts: Timestamp(5),
+            kind: MutKind::Update,
+            value: Some(val("new8")),
+        });
+        let mut r = reader(2, 7, 15, Some("new7"), 4);
+        r.reads.push(OpRead {
+            key: 8,
+            snap_ts: Timestamp(15),
+            observed: Some(val("old8")),
+        });
+        let h = vec![base, w, r];
+        let v = check_history(&h, &cfg());
+        assert!(
+            v.iter()
+                .any(|v| matches!(v, Violation::FragmentedRead { .. })
+                    || matches!(v, Violation::StaleRead { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn routing_monotone_with_known_boundary() {
+        let mut config = cfg();
+        config.tm_cts = Some(Timestamp(100));
+        config.migration_committed = true;
+        let mut early = writer(1, 7, 50, 60, "a", 0);
+        early.routes = vec![(ShardId(0), NodeId(0))];
+        let mut late = writer(2, 7, 150, 160, "b", 2);
+        late.routes = vec![(ShardId(0), NodeId(1))];
+        assert!(check_history(&[early.clone(), late.clone()], &config).is_empty());
+        // A post-T_m transaction routed to the source is a violation.
+        late.routes = vec![(ShardId(0), NodeId(0))];
+        let v = check_history(&[early, late], &config);
+        assert!(
+            v.iter()
+                .any(|v| matches!(v, Violation::NonMonotoneRouting { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn dest_route_after_rollback_is_flagged() {
+        let config = cfg(); // migration_committed: false
+        let mut r = writer(1, 7, 50, 60, "a", 0);
+        r.routes = vec![(ShardId(0), NodeId(1))];
+        let v = check_history(&[r], &config);
+        assert!(
+            v.iter()
+                .any(|v| matches!(v, Violation::NonMonotoneRouting { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn final_state_mismatch_is_flagged() {
+        let h = vec![writer(1, 7, 5, 10, "a", 0)];
+        let mut observed = BTreeMap::new();
+        observed.insert(7u64, val("a"));
+        assert!(check_final_state(&h, &observed).is_empty());
+        observed.insert(7u64, val("tampered"));
+        let v = check_final_state(&h, &observed);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::FinalStateMismatch { key: 7, .. }));
+        // A lost key is also flagged.
+        let v = check_final_state(&h, &BTreeMap::new());
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! The committed-operation history recorder.
+//!
+//! Client threads record one [`TxnRecord`] per attempted transaction
+//! (committed or aborted) into a [`HistoryLog`]. The log is an append-only
+//! segmented slot array: an appender reserves a slot with one atomic
+//! `fetch_add` and publishes the record with a `OnceLock::set` — no lock is
+//! taken on the hot path once the segment exists (a segment is allocated
+//! under a write lock once per 1024 records). The checker snapshots the log
+//! after every worker joined.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use remus_common::{NodeId, ShardId, Timestamp, TxnId};
+use remus_storage::Value;
+
+/// The kind of a recorded write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutKind {
+    /// Row creation.
+    Insert,
+    /// Row overwrite.
+    Update,
+    /// Row deletion.
+    Delete,
+}
+
+/// One observed read: `observed` is what the engine actually returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRead {
+    /// Key read.
+    pub key: u64,
+    /// The snapshot the statement executed at, captured *after* the
+    /// statement (shard-lock mode refreshes the transaction snapshot per
+    /// statement, so the begin-time snapshot would be wrong there).
+    pub snap_ts: Timestamp,
+    /// The value returned (`None` = not found).
+    pub observed: Option<Value>,
+}
+
+/// One write performed by a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpWrite {
+    /// Key written.
+    pub key: u64,
+    /// The statement snapshot, captured after the statement (see
+    /// [`OpRead::snap_ts`]). First-committer-wins is judged against this.
+    pub snap_ts: Timestamp,
+    /// Write kind.
+    pub kind: MutKind,
+    /// The value the row holds after this write (`None` for deletes).
+    pub value: Option<Value>,
+}
+
+/// The full record of one attempted client transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// Transaction id (diagnostics only; the checker keys on timestamps).
+    pub xid: TxnId,
+    /// Recording client (0 = preload/scan infrastructure).
+    pub client: u32,
+    /// The begin-time snapshot — the one routing decisions use.
+    pub begin_ts: Timestamp,
+    /// Commit timestamp; `None` means the transaction aborted.
+    pub commit_ts: Option<Timestamp>,
+    /// Reads, in execution order.
+    pub reads: Vec<OpRead>,
+    /// Writes, in execution order.
+    pub writes: Vec<OpWrite>,
+    /// Sticky routing decisions the transaction made.
+    pub routes: Vec<(ShardId, NodeId)>,
+    /// Real-time order marker ticked from a shared counter *before*
+    /// `begin()` was called. Together with [`commit_seq`](Self::commit_seq)
+    /// this brackets the transaction in real time, which the checker needs
+    /// for the forced-visibility rule that stays sound under decentralized
+    /// timestamps: a write is only *required* to be visible when it fully
+    /// committed (its `commit_seq`) before the reader began (its
+    /// `begin_seq`).
+    pub begin_seq: u64,
+    /// Real-time order marker ticked *after* `commit()` returned. Zero /
+    /// meaningless for aborted transactions.
+    pub commit_seq: u64,
+}
+
+impl TxnRecord {
+    /// Whether the transaction committed.
+    pub fn committed(&self) -> bool {
+        self.commit_ts.is_some()
+    }
+}
+
+const SEGMENT: usize = 1024;
+
+type Slot = OnceLock<TxnRecord>;
+
+/// Append-only concurrent transaction log (see module docs).
+#[derive(Default)]
+pub struct HistoryLog {
+    segments: RwLock<Vec<Arc<Vec<Slot>>>>,
+    next: AtomicUsize,
+}
+
+impl HistoryLog {
+    /// An empty log.
+    pub fn new() -> HistoryLog {
+        HistoryLog::default()
+    }
+
+    /// Appends one record. Lock-free once the target segment exists.
+    pub fn record(&self, rec: TxnRecord) {
+        let index = self.next.fetch_add(1, Ordering::SeqCst);
+        let (seg_idx, slot_idx) = (index / SEGMENT, index % SEGMENT);
+        loop {
+            {
+                let segments = self.segments.read();
+                if let Some(segment) = segments.get(seg_idx) {
+                    let segment = Arc::clone(segment);
+                    drop(segments);
+                    if segment[slot_idx].set(rec).is_err() {
+                        panic!("history slot {index} filled twice");
+                    }
+                    return;
+                }
+            }
+            let mut segments = self.segments.write();
+            while segments.len() <= seg_idx {
+                segments.push(Arc::new((0..SEGMENT).map(|_| OnceLock::new()).collect()));
+            }
+        }
+    }
+
+    /// Number of records appended so far.
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::SeqCst)
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshots the log in append order. Call after every recording thread
+    /// has finished; slots still being published are skipped.
+    pub fn snapshot(&self) -> Vec<TxnRecord> {
+        let len = self.len();
+        let segments = self.segments.read().clone();
+        let mut out = Vec::with_capacity(len);
+        for index in 0..len {
+            if let Some(segment) = segments.get(index / SEGMENT) {
+                if let Some(rec) = segment[index % SEGMENT].get() {
+                    out.push(rec.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(client: u32, seq: u64) -> TxnRecord {
+        TxnRecord {
+            xid: TxnId::new(NodeId(0), seq),
+            client,
+            begin_ts: Timestamp(seq),
+            commit_ts: Some(Timestamp(seq + 1)),
+            reads: vec![],
+            writes: vec![],
+            routes: vec![],
+            begin_seq: seq,
+            commit_seq: seq + 1,
+        }
+    }
+
+    #[test]
+    fn records_survive_in_append_order() {
+        let log = HistoryLog::new();
+        for i in 0..2500u64 {
+            log.record(rec(0, i));
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2500);
+        assert!(snap.windows(2).all(|w| w[0].begin_ts < w[1].begin_ts));
+    }
+
+    #[test]
+    fn concurrent_appends_lose_nothing() {
+        let log = Arc::new(HistoryLog::new());
+        let threads: Vec<_> = (0..8u32)
+            .map(|c| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        log.record(rec(c, u64::from(c) * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 8 * 500);
+        // Every (client, seq) pair present exactly once.
+        let mut seen: Vec<TxnId> = snap.iter().map(|r| r.xid).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 8 * 500);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Deterministic fault-injection harness and snapshot-isolation history
+//! checker for migration chaos tests.
+//!
+//! The crate has four layers:
+//!
+//! * [`plan`] — seeded [`FaultPlan`]s: a finite fault schedule derived
+//!   deterministically from a `u64` seed, fired at named
+//!   [`InjectionPoint`](remus_common::InjectionPoint)s by occurrence count;
+//!   [`net::FaultyNetwork`] adds seeded per-link jitter and transient
+//!   partitions underneath the whole cluster.
+//! * [`history`] — the lock-free [`HistoryLog`] client threads record every
+//!   attempted transaction into.
+//! * [`checker`] — the pure post-hoc SI checker: snapshot reads,
+//!   first-committer-wins, no aborted writes visible, monotone shard-map
+//!   routing across `T_m`, and committed-data preservation.
+//! * [`runner`] / [`shrink`] — seed-to-verdict scenario execution over all
+//!   four migration engines, plus greedy counterexample minimization
+//!   (history records, fault specs, seeds).
+//!
+//! Entry points: [`run_scenario`]`(&`[`ScenarioConfig::from_seed`]`(seed))`
+//! for one scenario, `src/bin/chaos_smoke.rs` for the CI smoke loop.
+
+pub mod checker;
+pub mod history;
+pub mod net;
+pub mod plan;
+pub mod runner;
+pub mod shrink;
+
+pub use checker::{check_final_state, check_history, CheckConfig, Violation};
+pub use history::{HistoryLog, MutKind, OpRead, OpWrite, TxnRecord};
+pub use net::{FaultyNetwork, Partition};
+pub use plan::{FaultPlan, FaultProfile, FaultSpec, PlanInjector};
+pub use runner::{
+    run_scenario, run_scenario_with_specs, EngineKind, ScenarioConfig, ScenarioOutcome,
+};
+pub use shrink::{shrink_history, shrink_plan, smallest_failing_seed};

@@ -1,0 +1,573 @@
+//! The chaos scenario runner.
+//!
+//! A scenario is a pure function of its seed: the seed picks the engine,
+//! the oracle, the fault profile, the network perturbation, and every
+//! client's key choices. [`run_scenario`] builds a 3-node cluster, preloads
+//! a table, runs seeded client threads concurrently with a live migration
+//! (or, for the `CrashTm` profile, crashes the handover transaction `T_m`
+//! mid-2PC and recovers), records every attempted transaction into a
+//! [`HistoryLog`](crate::history::HistoryLog), and hands the history to the
+//! SI checker.
+//!
+//! Determinism contract: the fault *schedule* (plan + network partitions)
+//! and the *verdict* are reproducible from the seed. Thread interleavings
+//! are not replayed bit-for-bit — they don't need to be, because the
+//! checker accepts every SI-legal interleaving and rejects every illegal
+//! one.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use remus_clock::{Dts, Gts, OracleKind, PhysicalClock, SkewedPhysicalClock, TimestampOracle, WallClock};
+use remus_cluster::{CcMode, Cluster, ClusterBuilder, Session};
+use remus_common::{NodeId, ShardId, SimConfig, TableId, Timestamp};
+use remus_core::diversion::{run_tm_chaos, TmOutcome};
+use remus_core::recovery::{recover_migration, RecoveryDecision};
+use remus_core::snapshot::copy_task_snapshots;
+use remus_core::{
+    LockAndAbort, MigrationEngine, MigrationTask, RemusEngine, SquallEngine, WaitAndRemaster,
+};
+use remus_shard::TableLayout;
+use remus_storage::Value;
+
+use crate::checker::{check_final_state, check_history, CheckConfig, Violation};
+use crate::history::{HistoryLog, MutKind, OpRead, OpWrite, TxnRecord};
+use crate::net::FaultyNetwork;
+use crate::plan::{FaultPlan, FaultProfile, FaultSpec, PlanInjector};
+
+/// Which migration engine a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's engine (asynchronous propagation + MOCC dual execution).
+    Remus,
+    /// The lock-and-abort push baseline.
+    LockAndAbort,
+    /// The wait-and-remaster (drain) baseline.
+    WaitAndRemaster,
+    /// The Squall-style pull baseline (H-store shard locks).
+    Squall,
+}
+
+impl EngineKind {
+    /// All four engines, in seed-residue order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Remus,
+        EngineKind::LockAndAbort,
+        EngineKind::WaitAndRemaster,
+        EngineKind::Squall,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Remus => "remus",
+            EngineKind::LockAndAbort => "lock-and-abort",
+            EngineKind::WaitAndRemaster => "wait-and-remaster",
+            EngineKind::Squall => "squall",
+        }
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Box<dyn MigrationEngine> {
+        match self {
+            EngineKind::Remus => Box::new(RemusEngine::new()),
+            EngineKind::LockAndAbort => Box::new(LockAndAbort::new()),
+            EngineKind::WaitAndRemaster => Box::new(WaitAndRemaster::new()),
+            EngineKind::Squall => Box::new(SquallEngine::new()),
+        }
+    }
+
+    /// The concurrency-control mode the engine requires.
+    pub fn cc_mode(self) -> CcMode {
+        match self {
+            EngineKind::Squall => CcMode::ShardLock,
+            _ => CcMode::Mvcc,
+        }
+    }
+}
+
+/// Full description of one chaos scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed: everything derives from it.
+    pub seed: u64,
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Timestamp oracle. GTS enables the timestamp-strict read axiom.
+    pub oracle: OracleKind,
+    /// Fault profile.
+    pub profile: FaultProfile,
+    /// Cluster size.
+    pub nodes: u32,
+    /// Preloaded key range `0..keys`.
+    pub keys: u64,
+    /// Concurrent client threads.
+    pub clients: u32,
+    /// Transactions attempted per client.
+    pub txns_per_client: u32,
+}
+
+impl ScenarioConfig {
+    /// Derives the canonical scenario for a seed: engine = `seed % 4`,
+    /// oracle alternates GTS/DTS, and every second Remus seed crashes
+    /// `T_m` instead of running the tolerated-fault profile.
+    pub fn from_seed(seed: u64) -> ScenarioConfig {
+        let engine = EngineKind::ALL[(seed % 4) as usize];
+        let profile = if engine == EngineKind::Remus && seed % 8 == 4 {
+            FaultProfile::CrashTm
+        } else {
+            FaultProfile::Tolerated
+        };
+        let oracle = if (seed / 4).is_multiple_of(2) {
+            OracleKind::Gts
+        } else {
+            OracleKind::Dts
+        };
+        ScenarioConfig {
+            seed,
+            engine,
+            oracle,
+            profile,
+            nodes: 3,
+            keys: 48,
+            clients: 3,
+            txns_per_client: 10,
+        }
+    }
+
+    /// A fixed Remus tolerated-fault scenario for smoke tests.
+    pub fn remus_smoke(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            engine: EngineKind::Remus,
+            oracle: OracleKind::Dts,
+            profile: FaultProfile::Tolerated,
+            nodes: 3,
+            keys: 48,
+            clients: 3,
+            txns_per_client: 10,
+        }
+    }
+}
+
+/// The result of one scenario run.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The fault plan that ran.
+    pub plan: FaultPlan,
+    /// Engine exercised.
+    pub engine: EngineKind,
+    /// Every recorded transaction.
+    pub history: Vec<TxnRecord>,
+    /// Checker verdict (empty = SI held).
+    pub violations: Vec<Violation>,
+    /// Committed client transactions.
+    pub committed: usize,
+    /// Aborted client transactions.
+    pub aborted: usize,
+    /// Whether the shard-map flip committed.
+    pub migration_committed: bool,
+    /// `T_m`'s commit timestamp when known.
+    pub tm_cts: Option<Timestamp>,
+}
+
+impl ScenarioOutcome {
+    /// Whether the history checked out.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the scenario with the plan derived from its seed.
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioOutcome {
+    let plan = FaultPlan::generate(config.seed, config.profile, NodeId(0), NodeId(1));
+    run_scenario_with_specs(config, &plan, &plan.specs)
+}
+
+/// Runs the scenario with an explicit fault-spec subset (used by the plan
+/// shrinker; `plan` still provides the clock spike and is echoed in the
+/// outcome).
+pub fn run_scenario_with_specs(
+    config: &ScenarioConfig,
+    plan: &FaultPlan,
+    specs: &[FaultSpec],
+) -> ScenarioOutcome {
+    let source = NodeId(0);
+    let dest = NodeId(1);
+    let shard = ShardId(0);
+
+    // ---- cluster ----
+    let mut skewed: Vec<Arc<SkewedPhysicalClock>> = Vec::new();
+    let oracle: Arc<dyn TimestampOracle> = match config.oracle {
+        OracleKind::Gts => Arc::new(Gts::new()),
+        OracleKind::Dts => {
+            let base: Arc<dyn PhysicalClock> = Arc::new(WallClock::new());
+            let physicals: Vec<Arc<dyn PhysicalClock>> = (0..config.nodes)
+                .map(|_| {
+                    let clock = Arc::new(SkewedPhysicalClock::new(Arc::clone(&base)));
+                    skewed.push(Arc::clone(&clock));
+                    clock as Arc<dyn PhysicalClock>
+                })
+                .collect();
+            Arc::new(Dts::from_clocks(physicals))
+        }
+    };
+    let cluster = ClusterBuilder::new(config.nodes as usize)
+        .config(SimConfig::instant())
+        .oracle_instance(oracle)
+        .network(Arc::new(FaultyNetwork::from_seed(config.seed, config.nodes)))
+        .cc_mode(config.engine.cc_mode())
+        .build();
+    let injector = Arc::new(PlanInjector::from_specs(specs.to_vec()));
+    cluster.install_fault_injector(Arc::clone(&injector) as Arc<dyn remus_common::FaultInjector>);
+    let layout = cluster.create_table(TableId(1), 0, 4, |i| NodeId(i % config.nodes));
+    let task = MigrationTask::single(shard, source, dest);
+
+    // ---- shared recording state ----
+    let log = Arc::new(HistoryLog::new());
+    let seq = Arc::new(AtomicU64::new(0));
+
+    // ---- preload ----
+    {
+        let session = Session::connect(&cluster, source);
+        let begin_seq = seq.fetch_add(1, Ordering::SeqCst);
+        let mut txn = session.begin();
+        let begin_ts = txn.begin_ts();
+        let mut writes = Vec::new();
+        for key in 0..config.keys {
+            let value = Value::copy_from_slice(format!("init-{key}").as_bytes());
+            txn.insert(&layout, key, value.clone())
+                .expect("preload insert");
+            writes.push(OpWrite {
+                key,
+                snap_ts: txn.start_ts(),
+                kind: MutKind::Insert,
+                value: Some(value),
+            });
+        }
+        let routes = txn.routes();
+        let xid = txn.xid();
+        let cts = txn.commit().expect("preload commit");
+        let commit_seq = seq.fetch_add(1, Ordering::SeqCst);
+        log.record(TxnRecord {
+            xid,
+            client: 0,
+            begin_ts,
+            commit_ts: Some(cts),
+            reads: vec![],
+            writes,
+            routes,
+            begin_seq,
+            commit_seq,
+        });
+    }
+
+    // A clock-skew spike on the destination's physical clock (DTS only:
+    // GTS has no per-node clocks to skew).
+    if let Some(ms) = plan.clock_spike_ms {
+        if let Some(clock) = skewed.get(dest.0 as usize) {
+            clock.set_skew_ms(ms);
+        }
+    }
+
+    // ---- clients + migration ----
+    let mut migration_committed = false;
+    let mut tm_cts: Option<Timestamp> = None;
+    let mut migration_failure: Option<String> = None;
+    match config.profile {
+        FaultProfile::Tolerated => {
+            let workers: Vec<_> = (0..config.clients)
+                .map(|client| {
+                    spawn_client(
+                        &cluster,
+                        &layout,
+                        &log,
+                        &seq,
+                        config,
+                        client + 1,
+                        config.txns_per_client,
+                    )
+                })
+                .collect();
+            // Let the workload get going before the migration starts.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            match config.engine.build().migrate(&cluster, &task) {
+                Ok(_) => migration_committed = true,
+                Err(e) => migration_failure = Some(format!("{e:?}")),
+            }
+            for w in workers {
+                w.join().expect("client thread");
+            }
+            if migration_committed {
+                let row = cluster
+                    .current_owner(cluster.node(source), shard)
+                    .expect("owner row");
+                if row.node == dest && row.cts.is_valid() {
+                    tm_cts = Some(row.cts);
+                }
+            }
+        }
+        FaultProfile::CrashTm => {
+            // Quiescent crash drill: run traffic, copy, crash T_m mid-2PC,
+            // recover, then run traffic against the recovered cluster.
+            let phase1: Vec<_> = (0..config.clients)
+                .map(|client| {
+                    spawn_client(
+                        &cluster,
+                        &layout,
+                        &log,
+                        &seq,
+                        config,
+                        client + 1,
+                        config.txns_per_client / 2,
+                    )
+                })
+                .collect();
+            for w in phase1 {
+                w.join().expect("phase-1 client");
+            }
+            let snapshot_ts = cluster.oracle.start_ts(source);
+            copy_task_snapshots(
+                &cluster,
+                &task.shards,
+                cluster.node(source),
+                cluster.node(dest),
+                snapshot_ts,
+            )
+            .expect("snapshot copy");
+            match run_tm_chaos(&cluster, &task, &*injector).expect("tm chaos") {
+                TmOutcome::Committed(ts) => {
+                    migration_committed = true;
+                    tm_cts = Some(ts);
+                }
+                TmOutcome::Crashed(xid) => {
+                    match recover_migration(&cluster, &task, xid).expect("recovery") {
+                        RecoveryDecision::RolledForward(ts) => {
+                            migration_committed = true;
+                            tm_cts = Some(ts);
+                        }
+                        RecoveryDecision::RolledBack => {}
+                    }
+                }
+            }
+            let phase2: Vec<_> = (0..config.clients)
+                .map(|client| {
+                    spawn_client(
+                        &cluster,
+                        &layout,
+                        &log,
+                        &seq,
+                        config,
+                        client + 100,
+                        config.txns_per_client / 2,
+                    )
+                })
+                .collect();
+            for w in phase2 {
+                w.join().expect("phase-2 client");
+            }
+        }
+    }
+    cluster.uninstall_fault_injector();
+
+    // ---- check ----
+    let history = log.snapshot();
+    let committed = history.iter().filter(|r| r.client > 0 && r.committed()).count();
+    let aborted = history.iter().filter(|r| r.client > 0 && !r.committed()).count();
+    let check = CheckConfig {
+        source,
+        dest,
+        migrating: vec![shard],
+        tm_cts,
+        migration_committed,
+        strict_timestamp_reads: config.oracle == OracleKind::Gts,
+    };
+    let mut violations = check_history(&history, &check);
+    if let Some(detail) = migration_failure {
+        violations.push(Violation::MigrationFailed { detail });
+    }
+    // Final scan from a node that is not the migration source, with a
+    // causal token covering every commit in the history.
+    let max_cts = history
+        .iter()
+        .filter_map(|r| r.commit_ts)
+        .chain(tm_cts)
+        .max()
+        .unwrap_or(Timestamp(1));
+    let scan_session = Session::connect(&cluster, NodeId(config.nodes - 1));
+    let mut scan_txn = scan_session.begin_after(max_cts);
+    let observed: BTreeMap<u64, Value> = scan_txn
+        .scan_table(&layout)
+        .expect("final scan")
+        .into_iter()
+        .collect();
+    scan_txn.abort();
+    violations.extend(check_final_state(&history, &observed));
+
+    ScenarioOutcome {
+        plan: plan.clone(),
+        engine: config.engine,
+        history,
+        violations,
+        committed,
+        aborted,
+        migration_committed,
+        tm_cts,
+    }
+}
+
+/// Spawns one seeded client thread: `txns` transactions, each reading 1–2
+/// keys and updating 1–2 *other* keys, all distinct, issued in `(shard,
+/// key)` order so shard-lock mode cannot deadlock. Every attempted
+/// transaction — committed or aborted — is recorded.
+fn spawn_client(
+    cluster: &Arc<Cluster>,
+    layout: &TableLayout,
+    log: &Arc<HistoryLog>,
+    seq: &Arc<AtomicU64>,
+    config: &ScenarioConfig,
+    client: u32,
+    txns: u32,
+) -> std::thread::JoinHandle<()> {
+    let cluster = Arc::clone(cluster);
+    let layout = *layout;
+    let log = Arc::clone(log);
+    let seq = Arc::clone(seq);
+    let keys = config.keys;
+    let nodes = config.nodes;
+    let seed = config.seed;
+    std::thread::spawn(move || {
+        let mut rng = SmallRng::seed_from_u64(
+            seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ u64::from(client),
+        );
+        let coordinator = NodeId(rng.gen_range(0..nodes));
+        let session = Session::connect(&cluster, coordinator);
+        for t in 0..txns {
+            // Distinct keys; the leading ones are read, the rest written.
+            let n_reads = rng.gen_range(1..=2usize);
+            let n_writes = rng.gen_range(1..=2usize);
+            let mut chosen: Vec<u64> = Vec::new();
+            while chosen.len() < n_reads + n_writes {
+                let k = rng.gen_range(0..keys);
+                if !chosen.contains(&k) {
+                    chosen.push(k);
+                }
+            }
+            let mut ops: Vec<(u64, bool)> = chosen
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, i >= n_reads))
+                .collect();
+            // Global statement order by (shard, key): under shard locking
+            // every statement takes the shard lock, so a consistent order
+            // prevents deadlocks between clients.
+            ops.sort_by_key(|(k, _)| (layout.shard_for(*k).0, *k));
+
+            let begin_seq = seq.fetch_add(1, Ordering::SeqCst);
+            let mut txn = session.begin();
+            let begin_ts = txn.begin_ts();
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            let mut failed = false;
+            for (key, is_write) in ops {
+                if is_write {
+                    let value =
+                        Value::copy_from_slice(format!("c{client}-t{t}-k{key}").as_bytes());
+                    match txn.update(&layout, key, value.clone()) {
+                        Ok(()) => writes.push(OpWrite {
+                            key,
+                            snap_ts: txn.start_ts(),
+                            kind: MutKind::Update,
+                            value: Some(value),
+                        }),
+                        Err(_) => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                } else {
+                    match txn.read(&layout, key) {
+                        Ok(observed) => reads.push(OpRead {
+                            key,
+                            snap_ts: txn.start_ts(),
+                            observed,
+                        }),
+                        Err(_) => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            let routes = txn.routes();
+            let xid = txn.xid();
+            let commit_ts = if failed {
+                txn.abort();
+                None
+            } else {
+                txn.commit().ok()
+            };
+            let commit_seq = if commit_ts.is_some() {
+                seq.fetch_add(1, Ordering::SeqCst)
+            } else {
+                0
+            };
+            log.record(TxnRecord {
+                xid,
+                client,
+                begin_ts,
+                commit_ts,
+                reads,
+                writes,
+                routes,
+                begin_seq,
+                commit_seq,
+            });
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kinds_cover_all_seed_residues() {
+        for seed in 0..8u64 {
+            let cfg = ScenarioConfig::from_seed(seed);
+            assert_eq!(cfg.engine, EngineKind::ALL[(seed % 4) as usize]);
+        }
+        // Seed 4 is the canonical crash drill.
+        assert_eq!(
+            ScenarioConfig::from_seed(4).profile,
+            FaultProfile::CrashTm
+        );
+        assert_eq!(
+            ScenarioConfig::from_seed(0).profile,
+            FaultProfile::Tolerated
+        );
+    }
+
+    #[test]
+    fn smoke_scenario_passes_and_is_deterministic() {
+        let cfg = ScenarioConfig::remus_smoke(1);
+        let a = run_scenario(&cfg);
+        let b = run_scenario(&cfg);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.passed(), b.passed());
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert!(a.committed > 0);
+    }
+
+    #[test]
+    fn crash_scenario_recovers_and_checks_out() {
+        let cfg = ScenarioConfig::from_seed(4);
+        assert_eq!(cfg.profile, FaultProfile::CrashTm);
+        let outcome = run_scenario(&cfg);
+        assert!(outcome.passed(), "violations: {:?}", outcome.violations);
+        assert!(outcome.plan.crash_point().is_some());
+    }
+}

@@ -58,4 +58,4 @@ pub trait TimestampOracle: Send + Sync {
 pub use dts::Dts;
 pub use gts::Gts;
 pub use hlc::Hlc;
-pub use physical::{ManualClock, PhysicalClock, SkewedClock, WallClock};
+pub use physical::{ManualClock, PhysicalClock, SkewedClock, SkewedPhysicalClock, WallClock};

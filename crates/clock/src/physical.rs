@@ -80,6 +80,59 @@ impl PhysicalClock for SkewedClock {
     }
 }
 
+/// A clock whose skew can be changed at runtime — chaos tests use it to
+/// inject clock-skew spikes on a single node mid-migration.
+///
+/// Unlike [`SkewedClock`] the offset is mutable, so retracting a spike could
+/// make the reading regress; a monotonicity floor guarantees the per-clock
+/// contract of [`PhysicalClock`] regardless (the clock plateaus until the
+/// base catches up).
+pub struct SkewedPhysicalClock {
+    base: Arc<dyn PhysicalClock>,
+    extra_ms: AtomicU64,
+    floor_ms: AtomicU64,
+}
+
+impl std::fmt::Debug for SkewedPhysicalClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkewedPhysicalClock")
+            .field("extra_ms", &self.extra_ms)
+            .field("floor_ms", &self.floor_ms)
+            .finish()
+    }
+}
+
+impl SkewedPhysicalClock {
+    /// Wraps `base` with an initially-zero adjustable skew.
+    pub fn new(base: Arc<dyn PhysicalClock>) -> Self {
+        SkewedPhysicalClock {
+            base,
+            extra_ms: AtomicU64::new(0),
+            floor_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the skew added on top of the base clock. Lowering it never makes
+    /// the clock go backwards: readings plateau at the previous maximum.
+    pub fn set_skew_ms(&self, ms: u64) {
+        self.extra_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// The currently configured skew in milliseconds.
+    pub fn skew_ms(&self) -> u64 {
+        self.extra_ms.load(Ordering::SeqCst)
+    }
+}
+
+impl PhysicalClock for SkewedPhysicalClock {
+    fn now_ms(&self) -> u64 {
+        let raw = self.base.now_ms() + self.extra_ms.load(Ordering::SeqCst);
+        // Never regress, even if the skew was just lowered.
+        let prev = self.floor_ms.fetch_max(raw, Ordering::SeqCst);
+        raw.max(prev)
+    }
+}
+
 /// A hand-driven clock for deterministic tests.
 #[derive(Debug, Default)]
 pub struct ManualClock {
@@ -155,5 +208,21 @@ mod tests {
     fn manual_clock_rejects_regression() {
         let c = ManualClock::starting_at(10);
         c.set(5);
+    }
+
+    #[test]
+    fn skewed_physical_clock_spike_and_retract_is_monotone() {
+        let base = Arc::new(ManualClock::starting_at(100));
+        let c = SkewedPhysicalClock::new(Arc::clone(&base) as Arc<dyn PhysicalClock>);
+        assert_eq!(c.now_ms(), 100);
+        c.set_skew_ms(50);
+        assert_eq!(c.skew_ms(), 50);
+        assert_eq!(c.now_ms(), 150);
+        // Retracting the spike must not make the clock regress.
+        c.set_skew_ms(0);
+        assert_eq!(c.now_ms(), 150);
+        // It resumes once the base catches up past the floor.
+        base.advance(60);
+        assert_eq!(c.now_ms(), 160);
     }
 }

@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use remus_clock::{Dts, Gts, OracleKind, TimestampOracle};
+use remus_common::fault::{FaultAction, FaultInjector, InjectionPoint};
 use remus_common::{DbError, DbResult, NodeId, ShardId, SimConfig, TableId, Timestamp};
 use remus_shard::{install_owner, read_owner_at, ShardMapRow, TableLayout};
 use remus_txn::{DelayNetwork, Network, NoNetwork, ShardLockTable};
@@ -159,6 +160,7 @@ pub struct Cluster {
     active_txns: AtomicU64,
     maintenance_stop: Arc<AtomicBool>,
     access_hook: parking_lot::RwLock<Option<Arc<dyn AccessHook>>>,
+    fault_injector: parking_lot::RwLock<Option<Arc<dyn FaultInjector>>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -174,6 +176,7 @@ pub struct ClusterBuilder {
     nodes: usize,
     oracle: OracleKind,
     custom_oracle: Option<Arc<dyn TimestampOracle>>,
+    custom_net: Option<Arc<dyn Network>>,
     config: SimConfig,
     cc_mode: CcMode,
 }
@@ -186,9 +189,18 @@ impl ClusterBuilder {
             nodes,
             oracle: OracleKind::Dts,
             custom_oracle: None,
+            custom_net: None,
             config: SimConfig::instant(),
             cc_mode: CcMode::Mvcc,
         }
+    }
+
+    /// Installs a caller-provided network cost model (e.g. the chaos
+    /// harness's fault-injecting network), overriding the one derived from
+    /// `SimConfig::network_latency`.
+    pub fn network(mut self, net: Arc<dyn Network>) -> Self {
+        self.custom_net = Some(net);
+        self
     }
 
     /// Selects the timestamp scheme (default: DTS, as in the evaluation).
@@ -225,10 +237,10 @@ impl ClusterBuilder {
                 OracleKind::Dts => Arc::new(Dts::new(self.nodes, self.config.max_clock_skew)),
             },
         };
-        let net: Arc<dyn Network> = if self.config.network_latency.is_zero() {
-            Arc::new(NoNetwork)
-        } else {
-            Arc::new(DelayNetwork::new(self.config.network_latency))
+        let net: Arc<dyn Network> = match self.custom_net {
+            Some(net) => net,
+            None if self.config.network_latency.is_zero() => Arc::new(NoNetwork),
+            None => Arc::new(DelayNetwork::new(self.config.network_latency)),
         };
         let nodes = (0..self.nodes)
             .map(|i| Arc::new(Node::new(NodeId(i as u32), self.config.clone())))
@@ -246,6 +258,7 @@ impl ClusterBuilder {
             active_txns: AtomicU64::new(0),
             maintenance_stop: Arc::new(AtomicBool::new(false)),
             access_hook: parking_lot::RwLock::new(None),
+            fault_injector: parking_lot::RwLock::new(None),
         })
     }
 }
@@ -380,6 +393,33 @@ impl Cluster {
     /// The installed access hook, if any.
     pub fn access_hook(&self) -> Option<Arc<dyn AccessHook>> {
         self.access_hook.read().clone()
+    }
+
+    // ---- fault injection ----
+
+    /// Installs a fault injector consulted at every migration-pipeline
+    /// injection point (chaos tests).
+    pub fn install_fault_injector(&self, injector: Arc<dyn FaultInjector>) {
+        *self.fault_injector.write() = Some(injector);
+    }
+
+    /// Removes the fault injector.
+    pub fn uninstall_fault_injector(&self) {
+        *self.fault_injector.write() = None;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<dyn FaultInjector>> {
+        self.fault_injector.read().clone()
+    }
+
+    /// Decides the fault action for one visit of `point` on `node`:
+    /// [`FaultAction::Continue`] when no injector is installed.
+    pub fn fault_at(&self, point: InjectionPoint, node: NodeId) -> FaultAction {
+        match &*self.fault_injector.read() {
+            Some(injector) => injector.decide(point, node),
+            None => FaultAction::Continue,
+        }
     }
 
     // ---- snapshots & vacuum ----
@@ -552,6 +592,32 @@ mod tests {
         assert!(!waiter.is_finished());
         c.routing_gate.resume();
         assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn fault_at_defaults_to_continue_and_respects_installed_injector() {
+        struct AlwaysFail;
+        impl FaultInjector for AlwaysFail {
+            fn decide(&self, _p: InjectionPoint, _n: NodeId) -> FaultAction {
+                FaultAction::Fail
+            }
+        }
+        let c = cluster(1);
+        assert_eq!(
+            c.fault_at(InjectionPoint::SnapshotCopy, NodeId(0)),
+            FaultAction::Continue
+        );
+        c.install_fault_injector(Arc::new(AlwaysFail));
+        assert!(c.fault_injector().is_some());
+        assert_eq!(
+            c.fault_at(InjectionPoint::SnapshotCopy, NodeId(0)),
+            FaultAction::Fail
+        );
+        c.uninstall_fault_injector();
+        assert_eq!(
+            c.fault_at(InjectionPoint::SnapshotCopy, NodeId(0)),
+            FaultAction::Continue
+        );
     }
 
     #[test]

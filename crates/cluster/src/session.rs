@@ -170,6 +170,19 @@ impl<'s> SessionTxn<'s> {
         self.txn.start_ts
     }
 
+    /// The snapshot the transaction began with. Routing uses this one even
+    /// when shard-lock mode refreshes `start_ts` per statement.
+    pub fn begin_ts(&self) -> Timestamp {
+        self.begin_ts
+    }
+
+    /// The sticky routing decisions made so far, as `(shard, node)` pairs in
+    /// unspecified order. The chaos harness records these to check that
+    /// routing across a migration is monotone in snapshot order.
+    pub fn routes(&self) -> Vec<(ShardId, NodeId)> {
+        self.routes.iter().map(|(s, n)| (*s, *n)).collect()
+    }
+
     /// Routes `shard` for this transaction (sticky: the first decision,
     /// made with the begin-time snapshot, is reused for later statements).
     fn route_for(&mut self, shard: ShardId) -> DbResult<Arc<Node>> {

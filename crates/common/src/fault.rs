@@ -1,0 +1,148 @@
+//! Fault-injection seams shared by every crate.
+//!
+//! Production code calls [`FaultInjector::decide`] at a handful of named
+//! [`InjectionPoint`]s (2PC steps of the diverting transaction `T_m`,
+//! destination-side MOCC validation, replay apply, propagation shipping, the
+//! sync-mode barrier, snapshot copy). With no injector installed every call
+//! resolves to [`FaultAction::Continue`] and the hot path costs one relaxed
+//! read-lock acquisition.
+//!
+//! The chaos harness (`remus-chaos`) installs a seeded, deterministic
+//! injector; unit tests install hand-built ones. Injectors must not consult
+//! wall-clock time to make decisions — determinism of a chaos run relies on
+//! every decision being a pure function of (point, node, occurrence count).
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::ids::NodeId;
+
+/// A named seam in the migration/commit pipeline where a fault can fire.
+///
+/// The set is deliberately small and stable: each variant corresponds to one
+/// call site in `remus-core` (or `remus-txn` by way of the chaos T_m driver),
+/// documented on the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionPoint {
+    /// Before the bulk snapshot copy of the migrating shards starts
+    /// (`remus.rs`). `Fail` exercises the engine's unwind path.
+    SnapshotCopy,
+    /// In the propagation worker, before shipping one change batch to the
+    /// destination (`propagation.rs`). `Delay` models propagation lag.
+    PropagationShip,
+    /// In a destination replay worker, before applying one committed change
+    /// set (`replay.rs`). `Delay` models a stalled replay worker.
+    ReplayApply,
+    /// Immediately after sync commit mode is enabled, before waiting for
+    /// unsynchronized timestamps to drain (`remus.rs`). `Delay` widens the
+    /// mode-change window.
+    SyncBarrier,
+    /// In a destination replay worker, on receipt of a `Validate` message —
+    /// i.e. during destination-side MOCC validation of a sync-mode shadow
+    /// (`replay.rs`). `Crash` models the destination crashing after the
+    /// shadow prepared but before the ack reaches the source; `Fail` forces
+    /// a validation failure.
+    MoccValidation,
+    /// In the chaos T_m driver, before any participant prepared.
+    TmBeforePrepare,
+    /// In the chaos T_m driver, after every participant prepared but before
+    /// a commit timestamp was chosen.
+    TmAfterPrepare,
+    /// In the chaos T_m driver, after the commit timestamp was chosen but
+    /// before any participant committed.
+    TmBeforeCommit,
+    /// In the chaos T_m driver, after exactly one (non-coordinator)
+    /// participant committed. `Crash` here must roll forward on recovery.
+    TmAfterFirstCommit,
+}
+
+impl InjectionPoint {
+    /// Every injection point, in pipeline order.
+    pub const ALL: [InjectionPoint; 9] = [
+        InjectionPoint::SnapshotCopy,
+        InjectionPoint::PropagationShip,
+        InjectionPoint::ReplayApply,
+        InjectionPoint::SyncBarrier,
+        InjectionPoint::MoccValidation,
+        InjectionPoint::TmBeforePrepare,
+        InjectionPoint::TmAfterPrepare,
+        InjectionPoint::TmBeforeCommit,
+        InjectionPoint::TmAfterFirstCommit,
+    ];
+}
+
+impl fmt::Display for InjectionPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InjectionPoint::SnapshotCopy => "snapshot-copy",
+            InjectionPoint::PropagationShip => "propagation-ship",
+            InjectionPoint::ReplayApply => "replay-apply",
+            InjectionPoint::SyncBarrier => "sync-barrier",
+            InjectionPoint::MoccValidation => "mocc-validation",
+            InjectionPoint::TmBeforePrepare => "tm-before-prepare",
+            InjectionPoint::TmAfterPrepare => "tm-after-prepare",
+            InjectionPoint::TmBeforeCommit => "tm-before-commit",
+            InjectionPoint::TmAfterFirstCommit => "tm-after-first-commit",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What the code at an injection point should do.
+///
+/// Not every point honors every action; the per-variant docs on
+/// [`InjectionPoint`] say which are meaningful. Points ignore actions they
+/// cannot express (e.g. `Crash` at a pure-delay seam degrades to `Continue`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: proceed normally.
+    Continue,
+    /// Sleep for the given duration, then proceed normally.
+    Delay(Duration),
+    /// Fail the operation with an error (clean, recoverable failure).
+    Fail,
+    /// Simulate a process crash at this point: abandon the in-flight state
+    /// without running any cleanup, leaving recovery to sort it out.
+    Crash,
+}
+
+/// Decides the fault action for each visit to an injection point.
+///
+/// `decide` is called once per *visit*; implementations that want
+/// "the 3rd propagation batch" semantics count occurrences internally.
+/// Implementations must be deterministic given the visit sequence and must
+/// not read wall-clock time.
+pub trait FaultInjector: Send + Sync {
+    /// Returns the action for this visit of `point` on `node`.
+    fn decide(&self, point: InjectionPoint, node: NodeId) -> FaultAction;
+}
+
+/// The no-op injector: every decision is [`FaultAction::Continue`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn decide(&self, _point: InjectionPoint, _node: NodeId) -> FaultAction {
+        FaultAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_always_continues() {
+        for point in InjectionPoint::ALL {
+            assert_eq!(NoFaults.decide(point, NodeId(0)), FaultAction::Continue);
+        }
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        let mut names: Vec<String> = InjectionPoint::ALL.iter().map(|p| p.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), InjectionPoint::ALL.len());
+    }
+}

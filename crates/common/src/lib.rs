@@ -14,11 +14,13 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod ts;
 
 pub use config::SimConfig;
 pub use error::{DbError, DbResult};
+pub use fault::{FaultAction, FaultInjector, InjectionPoint, NoFaults};
 pub use ids::{ClientId, NodeId, ShardId, TableId, TxnId};
 pub use ts::Timestamp;

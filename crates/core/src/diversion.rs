@@ -12,9 +12,10 @@
 use std::sync::Arc;
 
 use remus_cluster::Cluster;
-use remus_common::{DbResult, Timestamp};
+use remus_common::fault::{FaultAction, FaultInjector, InjectionPoint};
+use remus_common::{DbError, DbResult, Timestamp, TxnId};
 use remus_shard::{encode_owner, SHARD_MAP_SHARD};
-use remus_txn::{abort_txn, commit_txn, Txn};
+use remus_txn::{abort_txn, commit_prepared, commit_txn, prepare_participant, rollback_prepared, Txn};
 
 use crate::report::MigrationTask;
 
@@ -60,6 +61,171 @@ fn run_tm_inner(cluster: &Arc<Cluster>, task: &MigrationTask) -> DbResult<Timest
             Err(e)
         }
     }
+}
+
+/// Outcome of a chaos-driven `T_m` execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmOutcome {
+    /// `T_m` committed everywhere at this timestamp.
+    Committed(Timestamp),
+    /// The coordinator "crashed" mid-2PC, leaving the given in-doubt
+    /// transaction for `recovery::recover_migration` to resolve. The
+    /// read-through windows stay open, exactly as a real crash leaves them.
+    Crashed(TxnId),
+}
+
+/// Executes the handover transaction with the 2PC steps spelled out and a
+/// fault decision taken between each pair of steps, mirroring the
+/// distributed path of `commit_txn`.
+///
+/// Crash semantics per injection point:
+/// * [`InjectionPoint::TmBeforePrepare`] — all writes in progress, nothing
+///   prepared: recovery must roll back.
+/// * [`InjectionPoint::TmAfterPrepare`] — prepared everywhere, no commit
+///   timestamp chosen: recovery must roll back (the decision was never
+///   persisted).
+/// * [`InjectionPoint::TmBeforeCommit`] — timestamp chosen but no
+///   participant committed: still rolls back.
+/// * [`InjectionPoint::TmAfterFirstCommit`] — one non-coordinator
+///   participant committed: recovery must roll the rest forward.
+///
+/// `Fail` at any of the first three points aborts `T_m` cleanly (windows
+/// are closed, `Err` returned); `Delay` sleeps and proceeds.
+pub fn run_tm_chaos(
+    cluster: &Arc<Cluster>,
+    task: &MigrationTask,
+    injector: &dyn FaultInjector,
+) -> DbResult<TmOutcome> {
+    for node in cluster.nodes() {
+        node.read_through.mark(&task.shards);
+    }
+    let result = run_tm_chaos_inner(cluster, task, injector);
+    // On a simulated crash the windows stay open: nothing ran to close
+    // them, and recovery is responsible for doing so. Clean outcomes close
+    // them as run_tm does.
+    if !matches!(result, Ok(TmOutcome::Crashed(_))) {
+        for node in cluster.nodes() {
+            node.read_through.clear(&task.shards);
+        }
+    }
+    result
+}
+
+fn run_tm_chaos_inner(
+    cluster: &Arc<Cluster>,
+    task: &MigrationTask,
+    injector: &dyn FaultInjector,
+) -> DbResult<TmOutcome> {
+    let coord = cluster.node(task.source);
+    let start_ts = cluster.oracle.start_ts(task.source);
+    let mut tm = Txn::begin(&coord.storage, start_ts);
+    let xid = tm.xid;
+    for node in cluster.nodes() {
+        for &shard in &task.shards {
+            if let Err(e) = tm.update(
+                &node.storage,
+                SHARD_MAP_SHARD,
+                shard.0,
+                encode_owner(task.dest),
+            ) {
+                abort_txn(&mut tm);
+                return Err(e);
+            }
+        }
+    }
+
+    match injector.decide(InjectionPoint::TmBeforePrepare, task.source) {
+        FaultAction::Continue => {}
+        FaultAction::Delay(d) => std::thread::sleep(d),
+        FaultAction::Crash => {
+            std::mem::forget(tm);
+            return Ok(TmOutcome::Crashed(xid));
+        }
+        FaultAction::Fail => {
+            abort_txn(&mut tm);
+            return Err(DbError::MigrationAbort {
+                txn: xid,
+                reason: "injected T_m failure before prepare",
+            });
+        }
+    }
+
+    // Prepare phase, as commit_txn runs it for a distributed transaction.
+    for node in cluster.nodes() {
+        cluster.net.hop(task.source, node.id());
+        prepare_participant(&node.storage, xid)?;
+    }
+
+    match injector.decide(InjectionPoint::TmAfterPrepare, task.source) {
+        FaultAction::Continue => {}
+        FaultAction::Delay(d) => std::thread::sleep(d),
+        FaultAction::Crash => {
+            std::mem::forget(tm);
+            return Ok(TmOutcome::Crashed(xid));
+        }
+        FaultAction::Fail => {
+            for node in cluster.nodes() {
+                rollback_prepared(&node.storage, xid);
+            }
+            std::mem::forget(tm);
+            return Err(DbError::MigrationAbort {
+                txn: xid,
+                reason: "injected T_m failure after prepare",
+            });
+        }
+    }
+
+    // Gather participant clocks, then pick the commit timestamp on the
+    // coordinator (causally after every participant).
+    for node in cluster.nodes() {
+        if node.id() == task.source {
+            continue;
+        }
+        let participant_now = cluster.oracle.commit_ts(node.id());
+        cluster.net.hop(node.id(), task.source);
+        cluster.oracle.observe(task.source, participant_now);
+    }
+    let ts = cluster.oracle.commit_ts(task.source);
+
+    match injector.decide(InjectionPoint::TmBeforeCommit, task.source) {
+        FaultAction::Crash => {
+            std::mem::forget(tm);
+            return Ok(TmOutcome::Crashed(xid));
+        }
+        FaultAction::Delay(d) => std::thread::sleep(d),
+        // `Fail` is not meaningful once the timestamp is chosen: 2PC has
+        // passed its point of no return, so treat it as Continue.
+        FaultAction::Fail | FaultAction::Continue => {}
+    }
+
+    // Phase two. If a crash is scheduled after the first commit, commit
+    // exactly one non-coordinator participant, then crash: the commit
+    // record on that node is the evidence recovery rolls forward from.
+    let crash_after_first = matches!(
+        injector.decide(InjectionPoint::TmAfterFirstCommit, task.source),
+        FaultAction::Crash
+    );
+    if crash_after_first {
+        let first = cluster
+            .nodes()
+            .iter()
+            .find(|n| n.id() != task.source)
+            .expect("cluster has a non-coordinator node");
+        cluster.net.hop(task.source, first.id());
+        cluster.oracle.observe(first.id(), ts);
+        commit_prepared(&first.storage, xid, ts)?;
+        std::mem::forget(tm);
+        return Ok(TmOutcome::Crashed(xid));
+    }
+    for node in cluster.nodes() {
+        cluster.net.hop(task.source, node.id());
+        cluster.oracle.observe(node.id(), ts);
+        commit_prepared(&node.storage, xid, ts)?;
+    }
+    // The Txn handle was driven manually; drop it without the usual
+    // commit_txn bookkeeping (all durable state is already settled).
+    std::mem::forget(tm);
+    Ok(TmOutcome::Committed(ts))
 }
 
 /// Like [`run_tm`] but crashes (by returning without committing or

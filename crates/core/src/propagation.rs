@@ -153,6 +153,12 @@ fn propagate_loop(
             // Reloading spilled change records in batches (§3.3).
             std::thread::sleep(spill_latency * queue_spill_batches as u32);
         }
+        // Propagation-lag seam: only Delay is expressible here.
+        if let remus_common::FaultAction::Delay(d) =
+            cluster.fault_at(remus_common::InjectionPoint::PropagationShip, source.id())
+        {
+            std::thread::sleep(d);
+        }
         cluster.net.hop(source.id(), dest);
         if tx.send(msg).is_err() {
             // Replay ended; nothing left to ship to.

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::unbounded;
 use remus_cluster::Cluster;
+use remus_common::fault::{FaultAction, InjectionPoint};
 use remus_common::{DbError, DbResult};
 use remus_wal::Lsn;
 
@@ -103,7 +104,15 @@ impl MigrationEngine for RemusEngine {
         );
         let copy_result = {
             let _pin = cluster.pin_snapshot(snapshot_ts);
-            copy_task_snapshots(cluster, &task.shards, &source, &dest, snapshot_ts)
+            match cluster.fault_at(InjectionPoint::SnapshotCopy, task.source) {
+                FaultAction::Fail => Err(DbError::NodeUnavailable(task.dest)),
+                fault => {
+                    if let FaultAction::Delay(d) = fault {
+                        std::thread::sleep(d);
+                    }
+                    copy_task_snapshots(cluster, &task.shards, &source, &dest, snapshot_ts)
+                }
+            }
         };
         let tuples = match copy_result {
             Ok(t) => t,
@@ -149,6 +158,11 @@ impl MigrationEngine for RemusEngine {
         // record LSN_unsync, and wait until everything up to it is applied.
         let transfer0 = Instant::now();
         hook.enable_sync();
+        // Mode-change seam: widen the window between raising the barrier
+        // and draining TS_unsync (only Delay is expressible here).
+        if let FaultAction::Delay(d) = cluster.fault_at(InjectionPoint::SyncBarrier, task.source) {
+            std::thread::sleep(d);
+        }
         hook.wait_ts_unsync_drained(DRAIN_TIMEOUT)?;
         let lsn_unsync = source.storage.wal.flush_lsn();
         wait_until(
@@ -394,8 +408,18 @@ mod tests {
         let cluster = ClusterBuilder::new(2).build();
         let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
         let session = Session::connect(&cluster, NodeId(0));
+        let mut preload_cts = remus_common::Timestamp::INVALID;
         for k in 0..100u64 {
-            session.run(|t| t.insert(&layout, k, val("v0"))).unwrap();
+            let (_, cts) = session.run(|t| t.insert(&layout, k, val("v0"))).unwrap();
+            preload_cts = preload_cts.max(cts);
+        }
+        // Causal token: fold the preload commits into every node's clock.
+        // Without it, a writer session on node 1 can begin "within clock
+        // skew" below a preload's commit timestamp (the paper's documented
+        // DTS concession) and take a WW conflict the migration had nothing
+        // to do with.
+        for node in cluster.nodes() {
+            cluster.oracle.observe(node.id(), preload_cts);
         }
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let failures = Arc::new(std::sync::atomic::AtomicU64::new(0));

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use remus_cluster::{Cluster, Node};
+use remus_common::fault::{FaultAction, InjectionPoint};
 use remus_common::{DbError, ShardId, Timestamp, TxnId};
 use remus_storage::Key;
 use remus_txn::{abort_txn, commit_prepared, prepare_participant, rollback_prepared, Txn};
@@ -162,6 +163,13 @@ impl ReplayShared {
                 commit_ts,
                 ops,
             } => {
+                // Replay-worker stall seam: only Delay is expressible here.
+                if let FaultAction::Delay(d) = self
+                    .cluster
+                    .fault_at(InjectionPoint::ReplayApply, self.dest.id())
+                {
+                    std::thread::sleep(d);
+                }
                 // The shadow runs under its own id: the source transaction
                 // may itself be a 2PC participant on this node.
                 let sxid = xid.shadow();
@@ -195,24 +203,65 @@ impl ReplayShared {
                 }
             }
             ApplyMsg::Validate { xid, start_ts, ops } => {
+                let fault = self
+                    .cluster
+                    .fault_at(InjectionPoint::MoccValidation, self.dest.id());
+                if let FaultAction::Delay(d) = fault {
+                    std::thread::sleep(d);
+                }
                 let sxid = xid.shadow();
-                let mut shadow = Txn::begin_with(sxid, start_ts, self.dest.id());
-                match self.apply_ops(&mut shadow, &ops) {
-                    Ok(()) => {
-                        prepare_participant(&self.dest.storage, sxid)
-                            .expect("shadow prepare cannot fail");
-                        self.prepared_shadows.lock().insert(xid);
-                        // Ack validation-ok back to the source node.
-                        self.cluster.net.hop(self.dest.id(), xid.origin());
-                        self.registry.complete(xid, Ok(()));
+                match fault {
+                    FaultAction::Crash => {
+                        // The destination "crashes" after the shadow's
+                        // prepare record hit its WAL but before the ack
+                        // reached the source: the shadow stays prepared
+                        // (in-doubt, for resolve_prepared_shadows) and the
+                        // source observes the node as unavailable.
+                        let mut shadow = Txn::begin_with(sxid, start_ts, self.dest.id());
+                        if self.apply_ops(&mut shadow, &ops).is_ok() {
+                            prepare_participant(&self.dest.storage, sxid)
+                                .expect("shadow prepare cannot fail");
+                            self.prepared_shadows.lock().insert(xid);
+                        } else {
+                            abort_txn(&mut shadow);
+                        }
+                        self.registry
+                            .complete(xid, Err(DbError::NodeUnavailable(self.dest.id())));
                     }
-                    Err(e) => {
-                        // WW conflict with a destination transaction: abort
-                        // the shadow; the verdict aborts the source too.
+                    FaultAction::Fail => {
+                        // Forced validation failure: no shadow work at all,
+                        // the verdict aborts the source transaction.
                         self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
-                        abort_txn(&mut shadow);
                         self.cluster.net.hop(self.dest.id(), xid.origin());
-                        self.registry.complete(xid, Err(e));
+                        self.registry.complete(
+                            xid,
+                            Err(DbError::MigrationAbort {
+                                txn: xid,
+                                reason: "injected MOCC validation failure",
+                            }),
+                        );
+                    }
+                    FaultAction::Continue | FaultAction::Delay(_) => {
+                        let mut shadow = Txn::begin_with(sxid, start_ts, self.dest.id());
+                        match self.apply_ops(&mut shadow, &ops) {
+                            Ok(()) => {
+                                prepare_participant(&self.dest.storage, sxid)
+                                    .expect("shadow prepare cannot fail");
+                                self.prepared_shadows.lock().insert(xid);
+                                // Ack validation-ok back to the source node.
+                                self.cluster.net.hop(self.dest.id(), xid.origin());
+                                self.registry.complete(xid, Ok(()));
+                            }
+                            Err(e) => {
+                                // WW conflict with a destination transaction:
+                                // abort the shadow; the verdict aborts the
+                                // source too.
+                                self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+                                abort_txn(&mut shadow);
+                                self.cluster.net.hop(self.dest.id(), xid.origin());
+                                self.registry.complete(xid, Err(e));
+                            }
+                        }
                     }
                 }
             }

@@ -18,6 +18,8 @@
 //!   so it can be tested exhaustively.
 
 pub mod clog;
+#[cfg(feature = "mutation-hooks")]
+pub mod mutation;
 pub mod table;
 pub mod tuple;
 pub mod visibility;

@@ -1,0 +1,27 @@
+//! Runtime mutation switches for the chaos harness's self-test (feature
+//! `mutation-hooks`).
+//!
+//! A history checker is only trustworthy if it demonstrably fails when the
+//! system misbehaves. These switches let a test deliberately break one SI
+//! invariant at a time so the checker's detection can be asserted. They are
+//! compiled out of every normal build; even with the feature on, every
+//! switch defaults to off.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, [`crate::visibility::resolve_visible_versioned`] *skips*
+/// prepared versions instead of waiting on them — violating the paper's
+/// prepare-wait rule. A reader can then miss a write that commits with a
+/// timestamp at or below the reader's snapshot: a stale read the SI checker
+/// must flag.
+static SKIP_PREPARE_WAIT: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the skip-prepare-wait mutation.
+pub fn set_skip_prepare_wait(on: bool) {
+    SKIP_PREPARE_WAIT.store(on, Ordering::SeqCst);
+}
+
+/// Whether the skip-prepare-wait mutation is active.
+pub fn skip_prepare_wait() -> bool {
+    SKIP_PREPARE_WAIT.load(Ordering::SeqCst)
+}

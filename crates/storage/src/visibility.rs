@@ -88,6 +88,12 @@ pub fn resolve_visible_versioned(
         match clog.status(v.xmin) {
             TxnStatus::InProgress | TxnStatus::Aborted => continue,
             TxnStatus::Prepared => {
+                // Mutation self-test seam: skipping a prepared version is
+                // exactly the stale-read bug prepare-wait exists to prevent.
+                #[cfg(feature = "mutation-hooks")]
+                if crate::mutation::skip_prepare_wait() {
+                    continue;
+                }
                 // The creator may commit with a timestamp <= start_ts, so we
                 // cannot skip it: wait (paper's prepare-wait).
                 return VersionedOutcome::WaitFor(v.xmin);

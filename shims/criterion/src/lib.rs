@@ -1,0 +1,107 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides just enough surface for the workspace's micro-benchmarks to
+//! compile and produce useful numbers: `Criterion::bench_function`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//! Timing is a simple calibrated loop (warm-up, then a measured batch sized
+//! to ~100ms) printing mean ns/iter — no statistics machinery.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(50),
+            measure: Duration::from_millis(100),
+        }
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording total time and iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up: discover an iteration count that fills the warm-up
+        // window, then scale it to the measurement window.
+        let mut iters = 1u64;
+        let mut spent;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            spent = b.elapsed.max(Duration::from_nanos(1));
+            if spent >= self.warm_up || iters >= 1 << 40 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let scaled = ((iters as f64) * self.measure.as_secs_f64() / spent.as_secs_f64())
+            .max(1.0) as u64;
+        let mut b = Bencher {
+            iters: scaled,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        println!("{name:<40} {ns_per_iter:>12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a benchmark group function invoking each benchmark in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(2),
+        };
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count = count.wrapping_add(1)));
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,667 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro (with
+//! optional `#![proptest_config(..)]`), integer-range and `any::<T>()`
+//! strategies, tuple strategies, `prop_oneof!`, `prop_map`,
+//! `collection::vec`, `prop_assert!` / `prop_assert_eq!`, and a
+//! deterministic runner with greedy shrinking (vec element removal and
+//! integer shrink-toward-minimum).
+//!
+//! Generation is fully deterministic: the per-test RNG is seeded from a hash
+//! of the test's name, so failures reproduce without a persistence file.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A generator of values plus a shrinker toward "simpler" values.
+    ///
+    /// Unlike real proptest there is no value tree; `shrink` proposes
+    /// candidate simplifications of a concrete value and the runner keeps
+    /// any candidate that still fails.
+    pub trait Strategy {
+        type Value: Clone + fmt::Debug;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: Clone + fmt::Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy, usable where arms of different concrete types
+    /// must unify (e.g. `prop_oneof!`).
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V: Clone + fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut SmallRng) -> V {
+            (**self).generate(rng)
+        }
+        fn shrink(&self, value: &V) -> Vec<V> {
+            (**self).shrink(value)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S::Value {
+            (**self).generate(rng)
+        }
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            (**self).shrink(value)
+        }
+    }
+
+    /// Strategy yielding exactly one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone + fmt::Debug> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut SmallRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// `s.prop_map(f)` — maps generated values. Mapped values do not shrink
+    /// (the inverse of `f` is unknown); shrinking happens at container
+    /// level instead (e.g. vec element removal).
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+        U: Clone + fmt::Debug,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut SmallRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int(*value, self.start)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int(*value, *self.start())
+                }
+            }
+
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int(*value, self.start)
+                }
+            }
+
+            impl crate::arbitrary::Arbitrary for $t {
+                type Strategy = RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize);
+
+    /// Candidates that move `value` toward `lo`: the minimum itself, the
+    /// midpoint, and one step down — a greedy binary descent.
+    fn shrink_int<T>(value: T, lo: T) -> Vec<T>
+    where
+        T: Copy + PartialOrd + std::ops::Sub<Output = T> + std::ops::Add<Output = T> + HalfStep,
+    {
+        let mut out = Vec::new();
+        if value > lo {
+            out.push(lo);
+            let mid = lo + (value - lo).half();
+            if mid > lo && mid < value {
+                out.push(mid);
+            }
+            let down = value - T::one();
+            if down > lo {
+                out.push(down);
+            }
+        }
+        out
+    }
+
+    pub trait HalfStep {
+        fn half(self) -> Self;
+        fn one() -> Self;
+    }
+
+    macro_rules! half_step {
+        ($($t:ty),*) => {$(
+            impl HalfStep for $t {
+                fn half(self) -> Self { self / 2 }
+                fn one() -> Self { 1 }
+            }
+        )*};
+    }
+
+    half_step!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($($S:ident/$V:ident/$idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(S0/V0/0);
+    tuple_strategy!(S0/V0/0, S1/V1/1);
+    tuple_strategy!(S0/V0/0, S1/V1/1, S2/V2/2);
+    tuple_strategy!(S0/V0/0, S1/V1/1, S2/V2/2, S3/V3/3);
+    tuple_strategy!(S0/V0/0, S1/V1/1, S2/V2/2, S3/V3/3, S4/V4/4);
+    tuple_strategy!(S0/V0/0, S1/V1/1, S2/V2/2, S3/V3/3, S4/V4/4, S5/V5/5);
+
+    /// Weighted union of boxed strategies — the engine behind `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+    }
+
+    impl<V: Clone + fmt::Debug> Union<V> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V: Clone + fmt::Debug> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut SmallRng) -> V {
+            let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+
+        fn shrink(&self, value: &V) -> Vec<V> {
+            self.arms
+                .iter()
+                .flat_map(|(_, arm)| arm.shrink(value))
+                .collect()
+        }
+    }
+
+    /// Helper used by `prop_oneof!` to coerce each arm to a boxed strategy
+    /// while letting inference unify the arms' value types.
+    pub fn union_arm<S>(weight: u32, strat: S) -> (u32, BoxedStrategy<S::Value>)
+    where
+        S: Strategy + 'static,
+    {
+        (weight, Box::new(strat))
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+
+    /// Types with a canonical `any::<T>()` strategy.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length bounds for generated collections (half-open, like proptest's
+    /// `Range<usize>` conversion).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem` with a length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Structural shrinks first: drop the back half, then each single
+            // element — smaller counterexamples dominate smaller elements.
+            if value.len() > self.size.min {
+                let half = (value.len() / 2).max(self.size.min);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in (0..value.len()).rev() {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            // Then element-wise shrinks, first failing element bias.
+            for (i, v) in value.iter().enumerate().take(8) {
+                for cand in self.elem.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Runner knobs. Only `cases` and `max_shrink_iters` are honored; the
+    /// struct is constructed with `..ProptestConfig::default()` so extra
+    /// knobs can be added compatibly.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 512,
+            }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "test panicked".to_string()
+        }
+    }
+
+    fn run_one<V, F>(test: &F, value: &V) -> Option<String>
+    where
+        V: Clone,
+        F: Fn(V) -> Result<(), String>,
+    {
+        let v = value.clone();
+        match catch_unwind(AssertUnwindSafe(|| test(v))) {
+            Ok(Ok(())) => None,
+            Ok(Err(msg)) => Some(msg),
+            Err(payload) => Some(panic_message(payload)),
+        }
+    }
+
+    /// Executes `cases` deterministic cases of `test` over `strategy`,
+    /// shrinking greedily on the first failure and panicking with the
+    /// minimal counterexample found.
+    pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), String>,
+    {
+        let mut rng = SmallRng::seed_from_u64(fnv1a(name));
+        for case in 0..config.cases {
+            let value = strategy.generate(&mut rng);
+            if let Some(err) = run_one(&test, &value) {
+                let (min_value, min_err, iters) =
+                    shrink(config, strategy, &test, value, err);
+                panic!(
+                    "proptest '{name}' failed (case {case}, {iters} shrink steps)\n\
+                     minimal failing input: {min_value:#?}\n{min_err}"
+                );
+            }
+        }
+    }
+
+    fn shrink<S, F>(
+        config: &ProptestConfig,
+        strategy: &S,
+        test: &F,
+        mut value: S::Value,
+        mut err: String,
+    ) -> (S::Value, String, u32)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), String>,
+    {
+        let mut iters = 0u32;
+        'outer: while iters < config.max_shrink_iters {
+            for cand in strategy.shrink(&value) {
+                iters += 1;
+                if let Some(e) = run_one(test, &cand) {
+                    value = cand;
+                    err = e;
+                    continue 'outer;
+                }
+                if iters >= config.max_shrink_iters {
+                    break 'outer;
+                }
+            }
+            break;
+        }
+        (value, err, iters)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategy = ($($strat,)+);
+                $crate::test_runner::run(
+                    &__config,
+                    stringify!($name),
+                    &__strategy,
+                    |($($arg,)+)| -> ::std::result::Result<(), ::std::string::String> {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Weighted or unweighted choice between strategies producing one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm(1u32, $strat)),+
+        ])
+    };
+}
+
+/// Asserts inside a proptest body; failures become shrinkable test failures
+/// rather than immediate panics.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0u16.., z in 1usize..4) {
+            prop_assert!((3..17).contains(&x));
+            let _ = y;
+            prop_assert!((1..4).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_vecs_generate(
+            pairs in crate::collection::vec((0u8..4, any::<u8>()), 1..20),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 20);
+            for (tag, _) in &pairs {
+                prop_assert!(*tag < 4);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+
+        /// Config form parses and honors `cases`.
+        #[test]
+        fn config_form_works(v in any::<u64>()) {
+            let _ = v;
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Toy {
+        A(u64),
+        B(u64),
+    }
+
+    fn toy_strategy() -> impl Strategy<Value = Toy> {
+        prop_oneof![
+            (0u64..100).prop_map(Toy::A),
+            (0u64..100).prop_map(Toy::B),
+        ]
+    }
+
+    #[test]
+    fn oneof_generates_both_arms() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let strat = toy_strategy();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut saw = (false, false);
+        for _ in 0..64 {
+            match strat.generate(&mut rng) {
+                Toy::A(_) => saw.0 = true,
+                Toy::B(_) => saw.1 = true,
+            }
+        }
+        assert!(saw.0 && saw.1);
+    }
+
+    #[test]
+    fn shrinking_minimizes_vec_counterexample() {
+        use crate::collection::vec;
+        use crate::test_runner::{run, ProptestConfig};
+        // A test failing whenever any element >= 987 must shrink to a short
+        // vector holding exactly the boundary element.
+        let strategy = (vec(0u64..10_000, 1..50),);
+        let config = ProptestConfig {
+            max_shrink_iters: 4096,
+            ..ProptestConfig::default()
+        };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(&config, "shrink_demo", &strategy, |(v,)| {
+                if v.iter().any(|&x| x >= 987) {
+                    Err("element too large".into())
+                } else {
+                    Ok(())
+                }
+            });
+        }));
+        let msg = match caught {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default(),
+            Ok(()) => panic!("runner should have reported a failure"),
+        };
+        // Minimal counterexample is exactly one element equal to 987.
+        assert!(
+            msg.contains("987") && !msg.contains("988"),
+            "unexpected shrink result: {msg}"
+        );
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        use crate::strategy::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let s = (0u64..1_000_000,);
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! assert_eq!(cfg.network_latency, std::time::Duration::ZERO);
 //! ```
 
+pub use remus_chaos as chaos;
 pub use remus_clock as clock;
 pub use remus_cluster as cluster;
 pub use remus_common as common;

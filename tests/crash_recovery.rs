@@ -2,14 +2,20 @@
 //! migration follows `T_m`'s 2PC state, and in-doubt shadow transactions
 //! follow their source transaction's decision.
 
+use std::sync::Arc;
+
+use remus::chaos::{FaultSpec, PlanInjector};
 use remus::cluster::{ClusterBuilder, Session};
-use remus::common::{NodeId, ShardId, TableId, Timestamp};
+use remus::common::{DbError, FaultAction, InjectionPoint, NodeId, ShardId, TableId, Timestamp};
 use remus::migration::diversion::run_tm_crash_after_prepare;
+use remus::migration::mocc::ValidationRegistry;
 use remus::migration::recovery::{recover_migration, resolve_prepared_shadows, RecoveryDecision};
+use remus::migration::replay::{ApplyMsg, ReplayProcess};
 use remus::migration::snapshot::copy_shard_snapshot;
-use remus::migration::{MigrationEngine, MigrationTask};
+use remus::migration::{MigrationEngine, MigrationTask, RemusEngine};
 use remus::storage::Value;
 use remus::txn::{commit_prepared, prepare_participant, Txn};
+use remus::wal::{WriteKind, WriteOp};
 
 fn val(s: &str) -> Value {
     Value::copy_from_slice(s.as_bytes())
@@ -146,4 +152,166 @@ fn shadows_of_unresolved_sources_roll_back() {
     assert_eq!((committed, rolled_back), (0, 1));
     let table = dest.storage.table(ShardId(0)).unwrap();
     assert_eq!(table.stats().versions, 0);
+}
+
+/// The destination "crashes" in the middle of MOCC validation (injected via
+/// the chaos seam): the shadow is already prepared but the validation ack
+/// never reaches the source. The source transaction must abort (it cannot
+/// commit without the verdict), and recovery resolves the orphaned prepared
+/// shadow by rolling it back.
+#[test]
+fn destination_crash_during_mocc_validation_leaves_resolvable_shadow() {
+    let cluster = ClusterBuilder::new(2).build();
+    let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+    let session = Session::connect(&cluster, NodeId(0));
+    for k in 0..20u64 {
+        session.run(|t| t.insert(&layout, k, val("v0"))).unwrap();
+    }
+    let snapshot_ts = cluster.oracle.start_ts(NodeId(0));
+    copy_shard_snapshot(
+        &cluster,
+        cluster.node(NodeId(0)),
+        cluster.node(NodeId(1)),
+        ShardId(0),
+        snapshot_ts,
+    )
+    .unwrap();
+
+    // Crash the destination at its first MOCC validation.
+    cluster.install_fault_injector(Arc::new(PlanInjector::from_specs(vec![FaultSpec {
+        point: InjectionPoint::MoccValidation,
+        node: NodeId(1),
+        occurrence: 0,
+        action: FaultAction::Crash,
+    }])));
+
+    let source = cluster.node(NodeId(0));
+    let dest = Arc::clone(cluster.node(NodeId(1)));
+    let registry = Arc::new(ValidationRegistry::new());
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let replay = ReplayProcess::start(&cluster, &dest, Arc::clone(&registry), rx);
+
+    // A synchronized source transaction sends its write set for validation.
+    let sx = source.storage.alloc_xid();
+    tx.send(ApplyMsg::Validate {
+        xid: sx,
+        start_ts: cluster.oracle.start_ts(NodeId(0)),
+        ops: vec![WriteOp {
+            shard: ShardId(0),
+            key: 7,
+            kind: WriteKind::Update,
+            value: val("never-acked"),
+        }],
+    })
+    .unwrap();
+
+    // The verdict surfaces the crash instead of validation-ok...
+    let err = registry
+        .await_verdict(sx, std::time::Duration::from_secs(2))
+        .unwrap_err();
+    assert_eq!(err, DbError::NodeUnavailable(NodeId(1)));
+    // ... while the shadow was prepared before the "crash" (MOCC prepares
+    // before acking, so a committed source always implies a prepared
+    // shadow — here the source never commits).
+    assert_eq!(
+        dest.storage.clog.status(sx.shadow()),
+        remus::storage::TxnStatus::Prepared
+    );
+
+    // The source transaction aborts for lack of a verdict.
+    source.storage.clog.begin(sx);
+    source.storage.clog.set_aborted(sx);
+
+    // Recovery rolls the orphaned shadow back; the destination copy still
+    // serves the pre-crash value.
+    let (committed, rolled_back) = resolve_prepared_shadows(source, &dest);
+    assert_eq!((committed, rolled_back), (0, 1));
+    assert_eq!(
+        dest.storage.clog.status(sx.shadow()),
+        remus::storage::TxnStatus::Aborted
+    );
+    let probe = Txn::begin(&dest.storage, Timestamp(u64::MAX / 2));
+    assert_eq!(
+        probe.read(&dest.storage, ShardId(0), 7).unwrap(),
+        Some(val("v0"))
+    );
+
+    cluster.uninstall_fault_injector();
+    tx.send(ApplyMsg::Shutdown).unwrap();
+    // The replay process is dropped un-joined: its worker pool "died with
+    // the node"; the prepared shadow was resolved from CLOG state alone.
+    drop(replay);
+}
+
+/// Propagation lag plus a widened sync-barrier window (both injected) while
+/// a writer keeps committing: Remus must still drain `TS_unsync`, divert,
+/// and finish with every last committed value on the destination.
+#[test]
+fn propagation_lag_during_sync_barrier_still_converges() {
+    let cluster = ClusterBuilder::new(3).build();
+    let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+    let session = Session::connect(&cluster, NodeId(0));
+    for k in 0..40u64 {
+        session.run(|t| t.insert(&layout, k, val("v0"))).unwrap();
+    }
+
+    // Slow the first shipments and the sync barrier itself.
+    let mut specs: Vec<FaultSpec> = (0..5u32)
+        .map(|occurrence| FaultSpec {
+            point: InjectionPoint::PropagationShip,
+            node: NodeId(0),
+            occurrence,
+            action: FaultAction::Delay(std::time::Duration::from_millis(5)),
+        })
+        .collect();
+    specs.push(FaultSpec {
+        point: InjectionPoint::SyncBarrier,
+        node: NodeId(0),
+        occurrence: 0,
+        action: FaultAction::Delay(std::time::Duration::from_millis(20)),
+    });
+    cluster.install_fault_injector(Arc::new(PlanInjector::from_specs(specs)));
+
+    // A writer keeps updating throughout the migration.
+    let writer = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            let session = Session::connect(&cluster, NodeId(2));
+            let mut committed: Vec<(u64, Value, Timestamp)> = Vec::new();
+            for i in 0..60u64 {
+                let key = i % 40;
+                let value = val(&format!("w{i}"));
+                if let Ok(((), cts)) =
+                    session.run(|t| t.update(&layout, key, value.clone()))
+                {
+                    committed.push((key, value, cts));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            committed
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+    RemusEngine::new().migrate(&cluster, &task).unwrap();
+    let committed = writer.join().unwrap();
+    cluster.uninstall_fault_injector();
+
+    // Ownership flipped and every last committed value is served.
+    let owner = cluster
+        .current_owner(cluster.node(NodeId(2)), ShardId(0))
+        .unwrap();
+    assert_eq!(owner.node, NodeId(1));
+    assert!(!committed.is_empty());
+    let max_cts = committed.iter().map(|(_, _, c)| *c).max().unwrap();
+    let mut last: std::collections::HashMap<u64, Value> = std::collections::HashMap::new();
+    for (key, value, _) in &committed {
+        last.insert(*key, value.clone());
+    }
+    let reader = Session::connect(&cluster, NodeId(2));
+    let mut txn = reader.begin_after(max_cts);
+    for (key, value) in &last {
+        assert_eq!(txn.read(&layout, *key).unwrap().as_ref(), Some(value));
+    }
+    txn.abort();
 }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use remus::cluster::{CcMode, ClusterBuilder, Session};
 use remus::common::{NodeId, ShardId, SimConfig, TableId};
 use remus::migration::{
-    LockAndAbort, MigrationEngine, MigrationTask, RemusEngine, WaitAndRemaster,
+    LockAndAbort, MigrationEngine, MigrationTask, RemusEngine, SquallEngine, WaitAndRemaster,
 };
 use remus::storage::Value;
 
@@ -26,14 +26,24 @@ fn op_strategy(keyspace: u64) -> impl Strategy<Value = Op> {
 }
 
 fn engine_strategy() -> impl Strategy<Value = usize> {
-    0usize..3
+    0usize..4
 }
 
 fn make_engine(i: usize) -> Box<dyn MigrationEngine> {
     match i {
         0 => Box::new(RemusEngine::new()),
         1 => Box::new(LockAndAbort::new()),
-        _ => Box::new(WaitAndRemaster::new()),
+        2 => Box::new(WaitAndRemaster::new()),
+        _ => Box::new(SquallEngine::new()),
+    }
+}
+
+/// Squall runs on H-store shard locks; the MVCC engines keep Mvcc mode.
+fn cc_mode_for(i: usize) -> CcMode {
+    if i == 3 {
+        CcMode::ShardLock
+    } else {
+        CcMode::Mvcc
     }
 }
 
@@ -85,7 +95,7 @@ proptest! {
         dest in 1u32..3,
     ) {
         let cluster = ClusterBuilder::new(3)
-            .cc_mode(CcMode::Mvcc)
+            .cc_mode(cc_mode_for(engine_idx))
             .config(SimConfig::instant())
             .build();
         let layout = cluster.create_table(TableId(1), 0, 3, |i| NodeId(i % 3));

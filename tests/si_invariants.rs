@@ -136,13 +136,22 @@ fn no_lost_updates_squall() {
 fn snapshot_stability_across_migration() {
     let (cluster, layout) = setup(CcMode::Mvcc);
     let stop = Arc::new(AtomicBool::new(false));
+    let pause = Arc::new(AtomicBool::new(false));
+    let paused = Arc::new(AtomicBool::new(false));
     let writer = {
         let cluster = Arc::clone(&cluster);
         let stop = Arc::clone(&stop);
+        let pause = Arc::clone(&pause);
+        let paused = Arc::clone(&paused);
         std::thread::spawn(move || {
             let session = Session::connect(&cluster, NodeId(1));
             let mut i = 1u64;
             while !stop.load(Ordering::Relaxed) {
+                while pause.load(Ordering::Acquire) {
+                    paused.store(true, Ordering::Release);
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                paused.store(false, Ordering::Relaxed);
                 let key = i % 120;
                 let _ = session.run(|t| t.update(&layout, key, val(i)));
                 i += 1;
@@ -153,6 +162,22 @@ fn snapshot_stability_across_migration() {
 
     let reader_session = Session::connect(&cluster, NodeId(2));
     let mut reader = reader_session.begin();
+    // Under DTS a commit issued *after* this snapshot can still receive a
+    // timestamp below it from another node's lagging clock and surface
+    // mid-transaction (the paper's documented concession — see
+    // `Dts::without_observe_skew_allows_stale_snapshots`). Deployments close
+    // this with causal tokens; here we quiesce the writer once and fold the
+    // snapshot into every node's clock, so all later commit timestamps land
+    // above it and the stability assertion tests the engine, not the clocks.
+    pause.store(true, Ordering::Release);
+    while !paused.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    for node in cluster.nodes() {
+        cluster.oracle.observe(node.id(), reader.start_ts());
+    }
+    pause.store(false, Ordering::Release);
+
     let first: Vec<Option<u64>> = (0..120)
         .map(|k| reader.read(&layout, k).unwrap().map(|v| tag_of(&v)))
         .collect();
