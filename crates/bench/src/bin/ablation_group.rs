@@ -6,12 +6,12 @@
 //! drain) across shards: this ablation consolidates one node with group
 //! sizes 1, 2, 4, and 8 and reports plan duration and per-migration cost.
 //!
-//! Usage: `cargo run --release -p remus-bench --bin ablation_group`.
+//! Usage: `cargo run --release -p remus-bench --bin ablation_group [--json <path>]`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use remus_bench::{print_table, sim_config, Scale};
+use remus_bench::{json_path_arg, print_table, sim_config, BenchReport, Scale, TableSection};
 use remus_cluster::ClusterBuilder;
 use remus_common::NodeId;
 use remus_core::{MigrationController, MigrationPlan, RemusEngine};
@@ -59,15 +59,25 @@ fn main() {
         .iter()
         .map(|&g| run_with_group(g, &scale))
         .collect();
+    let headers = [
+        "group",
+        "migrations",
+        "plan_wall_ms",
+        "per_migration_ms",
+        "sum_transfer_ms",
+    ];
     print_table(
         "group size vs consolidation cost (8 shards leave node 0)",
-        &[
-            "group",
-            "migrations",
-            "plan_wall_ms",
-            "per_migration_ms",
-            "sum_transfer_ms",
-        ],
+        &headers,
         &rows,
     );
+    if let Some(path) = json_path_arg() {
+        let mut report = BenchReport::new("ablation_group", &format!("{scale:?}"));
+        report.tables.push(TableSection {
+            title: "group size vs consolidation cost (8 shards leave node 0)".to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows,
+        });
+        report.write(&path).expect("writing JSON report failed");
+    }
 }

@@ -6,12 +6,12 @@
 //! RTT and compares YCSB throughput and latency against DTS (free local
 //! HLC ticks) and an idealized zero-RTT GTS.
 //!
-//! Usage: `cargo run --release -p remus-bench --bin ablation_oracle`.
+//! Usage: `cargo run --release -p remus-bench --bin ablation_oracle [--json <path>]`.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use remus_bench::print_table;
+use remus_bench::{json_path_arg, print_table, BenchReport, TableSection};
 use remus_clock::{Gts, OracleKind, TimestampOracle};
 use remus_cluster::ClusterBuilder;
 use remus_common::{NodeId, SimConfig, Timestamp};
@@ -84,10 +84,16 @@ fn main() {
             })),
         ),
     ];
-    print_table(
-        "timestamp scheme vs YCSB performance",
-        &["oracle", "tps", "mean_latency_ms", "p99_latency_ms"],
-        &rows,
-    );
+    let headers = ["oracle", "tps", "mean_latency_ms", "p99_latency_ms"];
+    print_table("timestamp scheme vs YCSB performance", &headers, &rows);
     println!("note: the paper uses DTS for all experiments for the same reason.");
+    if let Some(path) = json_path_arg() {
+        let mut report = BenchReport::new("ablation_oracle", "fixed");
+        report.tables.push(TableSection {
+            title: "timestamp scheme vs YCSB performance".to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows,
+        });
+        report.write(&path).expect("writing JSON report failed");
+    }
 }

@@ -7,13 +7,13 @@
 //! workers and the destination cannot catch up, stretching (or, at
 //! pathological settings, preventing) the mode change.
 //!
-//! Usage: `cargo run --release -p remus-bench --bin ablation_replay`.
+//! Usage: `cargo run --release -p remus-bench --bin ablation_replay [--json <path>]`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use remus_bench::{print_table, sim_config, Scale};
+use remus_bench::{json_path_arg, print_table, sim_config, BenchReport, Scale, TableSection};
 use remus_cluster::{ClusterBuilder, Session};
 use remus_common::{NodeId, ShardId};
 use remus_core::{MigrationEngine, MigrationTask, RemusEngine};
@@ -88,15 +88,21 @@ fn main() {
         .iter()
         .map(|&w| run_with_workers(w, &scale))
         .collect();
-    print_table(
-        "replay parallelism vs migration phases",
-        &[
-            "workers",
-            "catchup_ms",
-            "transfer_ms",
-            "total_ms",
-            "records_replayed",
-        ],
-        &rows,
-    );
+    let headers = [
+        "workers",
+        "catchup_ms",
+        "transfer_ms",
+        "total_ms",
+        "records_replayed",
+    ];
+    print_table("replay parallelism vs migration phases", &headers, &rows);
+    if let Some(path) = json_path_arg() {
+        let mut report = BenchReport::new("ablation_replay", &format!("{scale:?}"));
+        report.tables.push(TableSection {
+            title: "replay parallelism vs migration phases".to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows,
+        });
+        report.write(&path).expect("writing JSON report failed");
+    }
 }

@@ -7,13 +7,13 @@
 //! commits wait behind it. This ablation migrates a shard under write load
 //! with different thresholds and reports where the time goes.
 //!
-//! Usage: `cargo run --release -p remus-bench --bin ablation_threshold`.
+//! Usage: `cargo run --release -p remus-bench --bin ablation_threshold [--json <path>]`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use remus_bench::{print_table, sim_config, Scale};
+use remus_bench::{json_path_arg, print_table, sim_config, BenchReport, Scale, TableSection};
 use remus_cluster::{ClusterBuilder, Session};
 use remus_common::{NodeId, ShardId};
 use remus_core::{MigrationEngine, MigrationTask, RemusEngine};
@@ -70,9 +70,15 @@ fn main() {
         .iter()
         .map(|&t| run_with_threshold(t, &scale))
         .collect();
-    print_table(
-        "catch-up threshold vs phase durations",
-        &["threshold", "catchup_ms", "transfer_ms", "total_ms"],
-        &rows,
-    );
+    let headers = ["threshold", "catchup_ms", "transfer_ms", "total_ms"];
+    print_table("catch-up threshold vs phase durations", &headers, &rows);
+    if let Some(path) = json_path_arg() {
+        let mut report = BenchReport::new("ablation_threshold", &format!("{scale:?}"));
+        report.tables.push(TableSection {
+            title: "catch-up threshold vs phase durations".to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows,
+        });
+        report.write(&path).expect("writing JSON report failed");
+    }
 }

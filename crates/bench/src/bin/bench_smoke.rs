@@ -1,0 +1,97 @@
+//! Perf smoke: one small, fixed, quiescent migration per engine.
+//!
+//! Unlike the figure binaries this runs no client load at all — each
+//! engine migrates a single freshly-populated shard between two idle
+//! nodes under `SimConfig::instant()`, so the phase *sequence* is fully
+//! deterministic and the wall clock is seconds, not minutes. The emitted
+//! JSON report carries every phase span and the cluster counters; CI runs
+//! this twice and feeds both files to `bench_check`, which fails the job
+//! on a phase-sequence change or an order-of-magnitude wall-clock
+//! regression.
+//!
+//! Usage: `cargo run --release -p remus-bench --bin bench_smoke -- --json BENCH_smoke.json`
+//! (without `--json` the report goes to `BENCH_smoke.json` in the current
+//! directory).
+
+use std::path::PathBuf;
+
+use remus_bench::{json_path_arg, BenchReport, EngineKind, ScenarioReport};
+use remus_cluster::{ClusterBuilder, Session};
+use remus_common::metrics::MetricSample;
+use remus_common::{NodeId, ShardId, SimConfig, TableId};
+use remus_core::trace::expected_phases;
+use remus_core::MigrationTask;
+use remus_storage::Value;
+
+/// Keys loaded into the migrated shard.
+const KEYS: u64 = 256;
+
+fn run_engine(kind: EngineKind) -> (remus_core::MigrationReport, Vec<MetricSample>) {
+    let cluster = ClusterBuilder::new(2)
+        .cc_mode(kind.cc_mode())
+        .config(SimConfig::instant())
+        .build();
+    let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+    let session = Session::connect(&cluster, NodeId(0));
+    for k in 0..KEYS {
+        session
+            .run(|t| t.insert(&layout, k, Value::from(vec![7u8; 64])))
+            .expect("insert failed");
+    }
+    let task = MigrationTask::single(ShardId(0), NodeId(0), NodeId(1));
+    let report = kind
+        .engine()
+        .migrate(&cluster, &task)
+        .unwrap_or_else(|e| panic!("{} smoke migration failed: {e:?}", kind.name()));
+    (report, cluster.metrics_snapshot())
+}
+
+fn main() {
+    let path = json_path_arg().unwrap_or_else(|| PathBuf::from("BENCH_smoke.json"));
+    println!("# bench_smoke — one quiescent {KEYS}-key migration per engine");
+    let mut report = BenchReport::new("bench_smoke", "smoke");
+    for kind in EngineKind::all() {
+        let (migration, counters) = run_engine(kind);
+        let trace = migration
+            .traces
+            .first()
+            .unwrap_or_else(|| panic!("{}: migration recorded no trace", kind.name()));
+        trace
+            .check_well_formed()
+            .unwrap_or_else(|e| panic!("{}: malformed trace: {e}", kind.name()));
+        let expected =
+            expected_phases(kind.name()).expect("every engine has a canonical sequence");
+        assert_eq!(
+            trace.root_phases(),
+            expected,
+            "{}: unexpected phase sequence",
+            kind.name()
+        );
+        println!(
+            "{}\ttotal={:.1}ms\tphases={}",
+            kind.name(),
+            migration.total.as_secs_f64() * 1e3,
+            trace
+                .root_phases()
+                .iter()
+                .map(|p| {
+                    let s = trace.span(p).expect("root phase exists");
+                    format!("{p}={:.1}ms", s.duration().as_secs_f64() * 1e3)
+                })
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        let mut scenario = ScenarioReport::from_result(
+            "smoke",
+            &remus_bench::ScenarioResult {
+                engine: kind.name(),
+                migration,
+                counters,
+                ..Default::default()
+            },
+        );
+        scenario.commits = KEYS;
+        report.scenarios.push(scenario);
+    }
+    report.write(&path).expect("writing JSON report failed");
+}

@@ -7,9 +7,13 @@
 //! work during replay, and only a handful of WW conflicts between shadow
 //! and destination transactions during dual execution.
 //!
-//! Usage: `cargo run --release -p remus-bench --bin fig10`.
+//! Usage: `cargo run --release -p remus-bench --bin fig10 [--json <path>]`.
 
-use remus_bench::{print_events, print_series, run_high_contention, Scale};
+use remus_bench::report::MigrationSummary;
+use remus_bench::{
+    json_path_arg, print_events, print_series, run_high_contention, BenchReport, Scale,
+    ScenarioReport, TableSection,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -33,4 +37,36 @@ fn main() {
         result.migration.snapshot_phase.as_secs_f64(),
         result.migration.total.as_secs_f64(),
     );
+    if let Some(path) = json_path_arg() {
+        let mut report = BenchReport::new("fig10", &format!("{scale:?}"));
+        report.scenarios.push(ScenarioReport {
+            name: "high contention".to_string(),
+            engine: result.migration.engine.to_string(),
+            ww_aborts: result.ww_aborts,
+            tps: result.tps.clone(),
+            events: result.events.clone(),
+            migration: MigrationSummary::from_report(&result.migration),
+            ..Default::default()
+        });
+        report.tables.push(TableSection {
+            title: "node work and version chains".to_string(),
+            headers: ["t_s", "src_work", "dst_work", "max_chain"]
+                .iter()
+                .map(|h| h.to_string())
+                .collect(),
+            rows: result
+                .samples
+                .iter()
+                .map(|s| {
+                    vec![
+                        format!("{:.0}", s.t),
+                        s.src_work.to_string(),
+                        s.dst_work.to_string(),
+                        s.max_chain.to_string(),
+                    ]
+                })
+                .collect(),
+        });
+        report.write(&path).expect("writing JSON report failed");
+    }
 }

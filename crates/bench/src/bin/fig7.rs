@@ -6,15 +6,19 @@
 //! completes; Squall's YCSB throughput is zero while the analytical
 //! transaction holds every shard lock.
 //!
-//! Usage: `cargo run --release -p remus-bench --bin fig7 [engine]`.
+//! Usage: `cargo run --release -p remus-bench --bin fig7 [engine] [--json <path>]`.
 
-use remus_bench::{print_scenario_for, run_hybrid_b, EngineKind, Scale};
+use remus_bench::{
+    json_path_arg, print_scenario_for, run_hybrid_b, BenchReport, EngineKind, Scale,
+    ScenarioReport,
+};
 
 fn main() {
     let scale = Scale::from_env();
     let only = std::env::args().nth(1).and_then(|s| EngineKind::parse(&s));
     println!("# Figure 7 — YCSB throughput, hybrid workload B, consolidation");
     println!("# scale: {scale:?}");
+    let mut report = BenchReport::new("fig7", &format!("{scale:?}"));
     for kind in EngineKind::all() {
         if let Some(o) = only {
             if o != kind {
@@ -23,5 +27,11 @@ fn main() {
         }
         let result = run_hybrid_b(kind, &scale);
         print_scenario_for(&result);
+        report
+            .scenarios
+            .push(ScenarioReport::from_result("hybrid B", &result));
+    }
+    if let Some(path) = json_path_arg() {
+        report.write(&path).expect("writing JSON report failed");
     }
 }

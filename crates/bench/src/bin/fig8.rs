@@ -5,15 +5,19 @@
 //! migration aborts along the way); Squall drops and fluctuates because
 //! transactions block behind pulls and shard-lock contention.
 //!
-//! Usage: `cargo run --release -p remus-bench --bin fig8 [engine]`.
+//! Usage: `cargo run --release -p remus-bench --bin fig8 [engine] [--json <path>]`.
 
-use remus_bench::{print_scenario_for, run_load_balance, EngineKind, Scale};
+use remus_bench::{
+    json_path_arg, print_scenario_for, run_load_balance, BenchReport, EngineKind, Scale,
+    ScenarioReport,
+};
 
 fn main() {
     let scale = Scale::from_env();
     let only = std::env::args().nth(1).and_then(|s| EngineKind::parse(&s));
     println!("# Figure 8 — YCSB throughput during load balancing (skewed)");
     println!("# scale: {scale:?}");
+    let mut report = BenchReport::new("fig8", &format!("{scale:?}"));
     for kind in EngineKind::all() {
         if let Some(o) = only {
             if o != kind {
@@ -22,5 +26,11 @@ fn main() {
         }
         let result = run_load_balance(kind, &scale);
         print_scenario_for(&result);
+        report
+            .scenarios
+            .push(ScenarioReport::from_result("load balancing", &result));
+    }
+    if let Some(path) = json_path_arg() {
+        report.write(&path).expect("writing JSON report failed");
     }
 }

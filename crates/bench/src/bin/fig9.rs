@@ -7,15 +7,19 @@
 //! wait-and-remaster (waits for in-flight TPC-C transactions). Squall is
 //! not evaluated (no multi-key range partitioning, §4.6).
 //!
-//! Usage: `cargo run --release -p remus-bench --bin fig9 [engine]`.
+//! Usage: `cargo run --release -p remus-bench --bin fig9 [engine] [--json <path>]`.
 
-use remus_bench::{print_scenario_for, run_scale_out, EngineKind, Scale};
+use remus_bench::{
+    json_path_arg, print_scenario_for, run_scale_out, BenchReport, EngineKind, Scale,
+    ScenarioReport,
+};
 
 fn main() {
     let scale = Scale::from_env();
     let only = std::env::args().nth(1).and_then(|s| EngineKind::parse(&s));
     println!("# Figure 9 — TPC-C throughput during scale-out");
     println!("# scale: {scale:?}");
+    let mut report = BenchReport::new("fig9", &format!("{scale:?}"));
     for kind in EngineKind::push_engines() {
         if let Some(o) = only {
             if o != kind {
@@ -24,5 +28,11 @@ fn main() {
         }
         let result = run_scale_out(kind, &scale);
         print_scenario_for(&result);
+        report
+            .scenarios
+            .push(ScenarioReport::from_result("scale-out", &result));
+    }
+    if let Some(path) = json_path_arg() {
+        report.write(&path).expect("writing JSON report failed");
     }
 }

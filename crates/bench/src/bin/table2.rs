@@ -6,14 +6,18 @@
 //! migrated ranges on the source; Remus and wait-and-remaster abort none
 //! and keep ingestion throughput steady.
 //!
-//! Usage: `cargo run --release -p remus-bench --bin table2`.
+//! Usage: `cargo run --release -p remus-bench --bin table2 [--json <path>]`.
 
-use remus_bench::{print_table, run_hybrid_a, EngineKind, Scale};
+use remus_bench::{
+    json_path_arg, print_table, run_hybrid_a, BenchReport, EngineKind, Scale, ScenarioReport,
+    TableSection,
+};
 
 fn main() {
     let scale = Scale::from_env();
     println!("# Table 2 — batch insert throughput (tuples/s) under hybrid workload A");
     println!("# scale: {scale:?}");
+    let mut report = BenchReport::new("table2", &format!("{scale:?}"));
     let mut rows = Vec::new();
     for kind in EngineKind::all() {
         let result = run_hybrid_a(kind, &scale);
@@ -27,15 +31,23 @@ fn main() {
             ),
             format!("{:.1}", batch.elapsed.as_secs_f64()),
         ]);
+        report
+            .scenarios
+            .push(ScenarioReport::from_result("hybrid A", &result));
     }
-    print_table(
-        "batch ingestion during consolidation",
-        &[
-            "engine",
-            "abort_ratio",
-            "tuples_per_s during/before",
-            "ingestion_s",
-        ],
-        &rows,
-    );
+    let headers = [
+        "engine",
+        "abort_ratio",
+        "tuples_per_s during/before",
+        "ingestion_s",
+    ];
+    print_table("batch ingestion during consolidation", &headers, &rows);
+    report.tables.push(TableSection {
+        title: "batch ingestion during consolidation".to_string(),
+        headers: headers.iter().map(|h| h.to_string()).collect(),
+        rows,
+    });
+    if let Some(path) = json_path_arg() {
+        report.write(&path).expect("writing JSON report failed");
+    }
 }

@@ -6,10 +6,11 @@
 //! lock-and-abort adds tens of milliseconds (blocked behind the whole
 //! ownership-transfer phase, then retried).
 //!
-//! Usage: `cargo run --release -p remus-bench --bin table3`.
+//! Usage: `cargo run --release -p remus-bench --bin table3 [--json <path>]`.
 
 use remus_bench::{
-    print_table, run_hybrid_a, run_hybrid_b, run_load_balance, run_scale_out, EngineKind, Scale,
+    json_path_arg, print_table, run_hybrid_a, run_hybrid_b, run_load_balance, run_scale_out,
+    BenchReport, EngineKind, Scale, ScenarioReport, TableSection,
 };
 
 fn main() {
@@ -23,6 +24,7 @@ fn main() {
         ("load balancing", run_load_balance),
         ("scale-out", run_scale_out),
     ];
+    let mut report = BenchReport::new("table3", &format!("{scale:?}"));
     let mut rows = Vec::new();
     for (name, runner) in scenarios {
         let remus = runner(EngineKind::Remus, &scale);
@@ -33,15 +35,22 @@ fn main() {
             format!("{:.2}", lock.latency_increase.as_secs_f64() * 1e3),
             format!("{:.2}", remus.base_latency.as_secs_f64() * 1e3),
         ]);
+        report.scenarios.push(ScenarioReport::from_result(name, &remus));
+        report.scenarios.push(ScenarioReport::from_result(name, &lock));
     }
-    print_table(
-        "average latency increase",
-        &[
-            "workload",
-            "remus_ms",
-            "lock_and_abort_ms",
-            "txn_latency_ms",
-        ],
-        &rows,
-    );
+    let headers = [
+        "workload",
+        "remus_ms",
+        "lock_and_abort_ms",
+        "txn_latency_ms",
+    ];
+    print_table("average latency increase", &headers, &rows);
+    report.tables.push(TableSection {
+        title: "average latency increase".to_string(),
+        headers: headers.iter().map(|h| h.to_string()).collect(),
+        rows: rows.clone(),
+    });
+    if let Some(path) = json_path_arg() {
+        report.write(&path).expect("writing JSON report failed");
+    }
 }

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use remus_cluster::{CcMode, Cluster, ClusterBuilder, Session};
-use remus_common::metrics::Timeline;
+use remus_common::metrics::{MetricSample, Timeline};
 use remus_common::{NodeId, ShardId, SimConfig};
 use remus_core::{
     LockAndAbort, MigrationController, MigrationEngine, MigrationPlan, MigrationReport,
@@ -146,6 +146,9 @@ pub struct ScenarioResult {
     pub batch_tps_during: f64,
     /// Whether the hybrid-B duplicate-key check passed.
     pub consistency_ok: Option<bool>,
+    /// Cluster metric samples taken after the run (2PC hops, WW aborts,
+    /// prepare-wait blocks, queue spills, replay jobs, …).
+    pub counters: Vec<MetricSample>,
 }
 
 fn mean_rate(timeline_buckets: &[u64], from: f64, to: f64) -> f64 {
@@ -165,7 +168,12 @@ fn event_time(events: &[(String, f64)], name: &str) -> Option<f64> {
     events.iter().find(|(n, _)| n == name).map(|(_, t)| *t)
 }
 
-fn finish(engine: EngineKind, metrics: &RunMetrics, migration: MigrationReport) -> ScenarioResult {
+fn finish(
+    engine: EngineKind,
+    metrics: &RunMetrics,
+    migration: MigrationReport,
+    cluster: &Cluster,
+) -> ScenarioResult {
     ScenarioResult {
         engine: engine.name(),
         tps: metrics.timeline.rates_per_sec(),
@@ -182,6 +190,7 @@ fn finish(engine: EngineKind, metrics: &RunMetrics, migration: MigrationReport) 
         base_latency: metrics.latency_normal.mean(),
         latency_increase: metrics.latency_increase(),
         migration,
+        counters: cluster.metrics_snapshot(),
         ..Default::default()
     }
 }
@@ -261,7 +270,7 @@ pub fn run_hybrid_a(kind: EngineKind, scale: &Scale) -> ScenarioResult {
     driver.run_for(scale.cooldown);
     let metrics = driver.stop();
 
-    let mut result = finish(kind, &metrics, migration);
+    let mut result = finish(kind, &metrics, migration, &cluster);
     let buckets = batch_tl.buckets();
     let c_start = event_time(&result.events, "consolidation start").unwrap_or(0.0);
     let c_end = event_time(&result.events, "consolidation end").unwrap_or(c_start);
@@ -348,7 +357,7 @@ pub fn run_hybrid_b(kind: EngineKind, scale: &Scale) -> ScenarioResult {
     let analytical = AnalyticalClient { layout };
     let post_ok = analytical.check_consistency(&cluster, NodeId(1)).is_ok();
 
-    let mut result = finish(kind, &metrics, migration);
+    let mut result = finish(kind, &metrics, migration, &cluster);
     result.consistency_ok = Some(consistent.load(Ordering::SeqCst) && post_ok);
     result
 }
@@ -413,7 +422,7 @@ pub fn run_load_balance(kind: EngineKind, scale: &Scale) -> ScenarioResult {
 
     driver.run_for(scale.cooldown);
     let metrics = driver.stop();
-    finish(kind, &metrics, migration)
+    finish(kind, &metrics, migration, &cluster)
 }
 
 /// TPC-C scale-out (Figure 9): the last node starts empty; half of the
@@ -479,7 +488,7 @@ pub fn run_scale_out(kind: EngineKind, scale: &Scale) -> ScenarioResult {
 
     driver.run_for(scale.cooldown);
     let metrics = driver.stop();
-    finish(kind, &metrics, migration)
+    finish(kind, &metrics, migration, &cluster)
 }
 
 /// One sample of the high-contention run (Figure 10).

@@ -14,9 +14,15 @@
 //! Scales are read from the `REMUS_SCALE` environment variable:
 //! `quick` (CI smoke), `default`, or `full` (closest to the paper's
 //! dimensions; takes correspondingly longer).
+//!
+//! Every binary also accepts `--json <path>` and then additionally writes
+//! the machine-readable [`report::BenchReport`] document (phase span
+//! trees, cluster counters, captured tables) that `bench_check` diffs in
+//! CI.
 
 pub mod harness;
 pub mod print;
+pub mod report;
 pub mod scale;
 
 pub use harness::{
@@ -24,6 +30,7 @@ pub use harness::{
     EngineKind, HighContentionResult, ScenarioResult,
 };
 pub use print::{print_events, print_scenario, print_series, print_table};
+pub use report::{json_path_arg, BenchReport, ScenarioReport, TableSection};
 
 /// Alias kept for the binaries' readability.
 pub use print::print_scenario as print_scenario_for;

@@ -149,6 +149,14 @@ pub enum Violation {
         /// The engine error.
         detail: String,
     },
+    /// A successful migration produced a malformed or out-of-order phase
+    /// span tree.
+    TraceMalformed {
+        /// Engine whose trace failed the check.
+        engine: String,
+        /// What the well-formedness check rejected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -216,6 +224,9 @@ impl fmt::Display for Violation {
                 observed.as_ref().map(|v| String::from_utf8_lossy(v.as_ref()).into_owned()),
             ),
             Violation::MigrationFailed { detail } => write!(f, "migration failed: {detail}"),
+            Violation::TraceMalformed { engine, detail } => {
+                write!(f, "malformed {engine} trace: {detail}")
+            }
         }
     }
 }

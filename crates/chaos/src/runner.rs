@@ -27,8 +27,10 @@ use remus_common::{NodeId, ShardId, SimConfig, TableId, Timestamp};
 use remus_core::diversion::{run_tm_chaos, TmOutcome};
 use remus_core::recovery::{recover_migration, RecoveryDecision};
 use remus_core::snapshot::copy_task_snapshots;
+use remus_core::trace::expected_phases;
 use remus_core::{
-    LockAndAbort, MigrationEngine, MigrationTask, RemusEngine, SquallEngine, WaitAndRemaster,
+    LockAndAbort, MigrationEngine, MigrationReport, MigrationTask, RemusEngine, SquallEngine,
+    WaitAndRemaster,
 };
 use remus_shard::TableLayout;
 use remus_storage::Value;
@@ -277,6 +279,7 @@ pub fn run_scenario_with_specs(
     let mut migration_committed = false;
     let mut tm_cts: Option<Timestamp> = None;
     let mut migration_failure: Option<String> = None;
+    let mut trace_violations: Vec<Violation> = Vec::new();
     match config.profile {
         FaultProfile::Tolerated => {
             let workers: Vec<_> = (0..config.clients)
@@ -295,7 +298,10 @@ pub fn run_scenario_with_specs(
             // Let the workload get going before the migration starts.
             std::thread::sleep(std::time::Duration::from_millis(10));
             match config.engine.build().migrate(&cluster, &task) {
-                Ok(_) => migration_committed = true,
+                Ok(report) => {
+                    migration_committed = true;
+                    trace_violations = check_migration_traces(&report);
+                }
                 Err(e) => migration_failure = Some(format!("{e:?}")),
             }
             for w in workers {
@@ -386,6 +392,7 @@ pub fn run_scenario_with_specs(
         strict_timestamp_reads: config.oracle == OracleKind::Gts,
     };
     let mut violations = check_history(&history, &check);
+    violations.extend(trace_violations);
     if let Some(detail) = migration_failure {
         violations.push(Violation::MigrationFailed { detail });
     }
@@ -417,6 +424,39 @@ pub fn run_scenario_with_specs(
         migration_committed,
         tm_cts,
     }
+}
+
+/// Post-hoc trace invariant for tolerated-fault runs: a migration that
+/// reported success must carry well-formed span trees whose root phases
+/// match the engine's canonical protocol order (copy before barrier before
+/// `T_m`; no unclosed spans).
+fn check_migration_traces(report: &MigrationReport) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if report.traces.is_empty() {
+        violations.push(Violation::TraceMalformed {
+            engine: report.engine.to_string(),
+            detail: "successful migration recorded no trace".to_string(),
+        });
+    }
+    for trace in &report.traces {
+        if let Err(detail) = trace.check_well_formed() {
+            violations.push(Violation::TraceMalformed {
+                engine: trace.engine.to_string(),
+                detail,
+            });
+            continue;
+        }
+        if let Some(expected) = expected_phases(trace.engine) {
+            let got = trace.root_phases();
+            if got != expected {
+                violations.push(Violation::TraceMalformed {
+                    engine: trace.engine.to_string(),
+                    detail: format!("phase sequence {got:?}, expected {expected:?}"),
+                });
+            }
+        }
+    }
+    violations
 }
 
 /// Spawns one seeded client thread: `txns` transactions, each reading 1–2

@@ -8,6 +8,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 use remus_clock::{Dts, Gts, OracleKind, TimestampOracle};
 use remus_common::fault::{FaultAction, FaultInjector, InjectionPoint};
+use remus_common::metrics::{MetricSample, MetricsRegistry};
 use remus_common::{DbError, DbResult, NodeId, ShardId, SimConfig, TableId, Timestamp};
 use remus_shard::{install_owner, read_owner_at, ShardMapRow, TableLayout};
 use remus_txn::{DelayNetwork, Network, NoNetwork, ShardLockTable};
@@ -156,6 +157,9 @@ pub struct Cluster {
     pub routing_gate: RoutingGate,
     /// Active snapshot registry for vacuum horizons.
     pub snapshots: Arc<SnapshotRegistry>,
+    /// Cluster-wide metrics registry; every node's storage scope writes
+    /// into it under a `node=<id>` label.
+    pub metrics: MetricsRegistry,
     registered_tables: Mutex<Vec<TableLayout>>,
     active_txns: AtomicU64,
     maintenance_stop: Arc<AtomicBool>,
@@ -242,8 +246,15 @@ impl ClusterBuilder {
             None if self.config.network_latency.is_zero() => Arc::new(NoNetwork),
             None => Arc::new(DelayNetwork::new(self.config.network_latency)),
         };
+        let metrics = MetricsRegistry::new();
         let nodes = (0..self.nodes)
-            .map(|i| Arc::new(Node::new(NodeId(i as u32), self.config.clone())))
+            .map(|i| {
+                Arc::new(Node::with_metrics(
+                    NodeId(i as u32),
+                    self.config.clone(),
+                    &metrics,
+                ))
+            })
             .collect();
         Arc::new(Cluster {
             nodes,
@@ -254,6 +265,7 @@ impl ClusterBuilder {
             shard_locks: ShardLockTable::new(),
             routing_gate: RoutingGate::default(),
             snapshots: Arc::new(SnapshotRegistry::default()),
+            metrics,
             registered_tables: Mutex::new(Vec::new()),
             active_txns: AtomicU64::new(0),
             maintenance_stop: Arc::new(AtomicBool::new(false)),
@@ -376,6 +388,27 @@ impl Cluster {
             std::thread::sleep(Duration::from_micros(200));
         }
         Ok(())
+    }
+
+    // ---- metrics ----
+
+    /// Deterministic snapshot of every metric series in the cluster: the
+    /// shared registry (per-node 2PC hops, WW aborts, queue spills, replay
+    /// jobs, plus anything migration engines added) merged with the
+    /// per-node CLOG prepare-wait block counts, sorted by `(name, labels)`.
+    pub fn metrics_snapshot(&self) -> Vec<MetricSample> {
+        let mut out = self.metrics.snapshot();
+        for node in &self.nodes {
+            out.push(MetricSample {
+                name: "storage.prepare_wait_blocks".to_string(),
+                labels: vec![("node".to_string(), node.id().raw().to_string())],
+                kind: "counter",
+                value: node.storage.clog.prepare_wait_blocks(),
+                latency: None,
+            });
+        }
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
     }
 
     // ---- access hook ----
@@ -618,6 +651,34 @@ mod tests {
             c.fault_at(InjectionPoint::SnapshotCopy, NodeId(0)),
             FaultAction::Continue
         );
+    }
+
+    #[test]
+    fn metrics_snapshot_merges_registry_and_clog_counters() {
+        let c = cluster(2);
+        c.node(NodeId(0)).storage.counters.twopc_hops.inc();
+        let snap = c.metrics_snapshot();
+        // CLOG prepare-wait blocks reported for every node, even at zero.
+        let waits: Vec<_> = snap
+            .iter()
+            .filter(|s| s.name == "storage.prepare_wait_blocks")
+            .collect();
+        assert_eq!(waits.len(), 2);
+        let hops = snap
+            .iter()
+            .find(|s| {
+                s.name == "txn.2pc_hops" && s.labels == vec![("node".to_string(), "0".to_string())]
+            })
+            .expect("node 0 hop counter in snapshot");
+        assert_eq!(hops.value, 1);
+        // Deterministically sorted by (name, labels).
+        let keys: Vec<_> = snap
+            .iter()
+            .map(|s| (s.name.clone(), s.labels.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use remus_common::metrics::WorkMeter;
+use remus_common::metrics::{MetricsRegistry, WorkMeter};
 use remus_common::{NodeId, ShardId, SimConfig};
 use remus_shard::{ReadThroughState, SHARD_MAP_SHARD};
 use remus_storage::VersionedTable;
@@ -31,9 +31,16 @@ impl std::fmt::Debug for Node {
 }
 
 impl Node {
-    /// A fresh node hosting only its shard map replica.
+    /// A fresh node hosting only its shard map replica, with a private
+    /// metrics registry.
     pub fn new(id: NodeId, config: SimConfig) -> Self {
-        let storage = Arc::new(NodeStorage::new(id, config));
+        Self::with_metrics(id, config, &MetricsRegistry::new())
+    }
+
+    /// A fresh node whose storage metrics scope into a shared
+    /// (cluster-wide) registry.
+    pub fn with_metrics(id: NodeId, config: SimConfig, registry: &MetricsRegistry) -> Self {
+        let storage = Arc::new(NodeStorage::with_metrics(id, config, registry));
         let map_replica = storage.create_shard(SHARD_MAP_SHARD);
         Node {
             storage,

@@ -16,6 +16,7 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod ids;
+pub mod json;
 pub mod metrics;
 pub mod ts;
 
@@ -23,4 +24,6 @@ pub use config::SimConfig;
 pub use error::{DbError, DbResult};
 pub use fault::{FaultAction, FaultInjector, InjectionPoint, NoFaults};
 pub use ids::{ClientId, NodeId, ShardId, TableId, TxnId};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricsRegistry};
 pub use ts::Timestamp;

@@ -3,13 +3,18 @@
 //! The paper's figures are per-second throughput timelines with migration
 //! events overlaid; its tables report abort ratios and average latency
 //! deltas. [`Timeline`] produces the former, [`LatencyStat`] and
-//! [`AbortCounters`] the latter. Everything here is thread-safe and cheap
+//! [`AbortCounters`] the latter. [`MetricsRegistry`] unifies the
+//! primitives behind named, labeled series with per-node / per-migration
+//! scopes, so the bench pipeline can snapshot everything into one
+//! machine-readable report. Everything here is thread-safe and cheap
 //! enough to call on every transaction from hundreds of client threads.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 /// A per-bucket throughput timeline anchored at a start instant.
 ///
@@ -106,8 +111,82 @@ impl EventMarks {
     }
 }
 
+/// A fixed-boundary exponential histogram over microsecond magnitudes.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` microseconds; bucket 0 additionally
+/// absorbs sub-microsecond (including zero) samples, and the last bucket
+/// absorbs everything `>= 2^31` µs. Lock-free: one atomic per bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 32],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket index a sample of `micros` microseconds lands in.
+    /// Zero and sub-microsecond samples land in bucket 0; values at an
+    /// exact power-of-two boundary open the higher bucket (`2^i` µs is the
+    /// *inclusive* lower bound of bucket `i`).
+    pub fn bucket_of(micros: u64) -> usize {
+        let m = micros.max(1);
+        ((63 - m.leading_zeros()) as usize).min(31)
+    }
+
+    /// Records one sample of `micros` microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Snapshot of the per-bucket counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Approximate percentile (`p` clamped to `0.0..=1.0`) as a duration
+    /// at power-of-two-microsecond resolution, reported as the upper
+    /// boundary of the bucket holding the target sample. Zero when empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        // Clamp and never target fewer than one sample: p = 0.0 means
+        // "the smallest recorded sample", not "before any sample".
+        let target = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_micros(1u64 << (i + 1));
+            }
+        }
+        // Unreachable (seen == total >= target by then), but stay safe.
+        Duration::from_micros(1u64 << 32)
+    }
+}
+
 /// Streaming latency statistics (count / mean / max, plus a fixed-boundary
-/// histogram for percentiles).
+/// [`Histogram`] for percentiles).
 ///
 /// Lock-free on the hot path: everything is atomics.
 #[derive(Debug)]
@@ -115,9 +194,7 @@ pub struct LatencyStat {
     count: AtomicU64,
     total_nanos: AtomicU64,
     max_nanos: AtomicU64,
-    /// Histogram over exponential boundaries: bucket i covers
-    /// [2^i, 2^(i+1)) microseconds; bucket 0 covers < 2 µs.
-    hist: [AtomicU64; 32],
+    hist: Histogram,
 }
 
 impl Default for LatencyStat {
@@ -133,7 +210,7 @@ impl LatencyStat {
             count: AtomicU64::new(0),
             total_nanos: AtomicU64::new(0),
             max_nanos: AtomicU64::new(0),
-            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist: Histogram::new(),
         }
     }
 
@@ -143,9 +220,8 @@ impl LatencyStat {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
-        let micros = latency.as_micros().max(1) as u64;
-        let bucket = (63 - micros.leading_zeros()).min(31) as usize;
-        self.hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.hist
+            .record_micros(latency.as_micros().min(u64::MAX as u128) as u64);
     }
 
     /// Number of samples recorded.
@@ -168,21 +244,18 @@ impl LatencyStat {
     }
 
     /// Approximate percentile (0.0..=1.0) from the exponential histogram;
-    /// resolution is one power of two in microseconds.
+    /// resolution is one power of two in microseconds, capped by the true
+    /// maximum so single-sample percentiles never exceed the real sample.
     pub fn percentile(&self, p: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
+        if self.count() == 0 {
             return Duration::ZERO;
         }
-        let target = ((total as f64) * p).ceil() as u64;
-        let mut seen = 0;
-        for (i, bucket) in self.hist.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= target {
-                return Duration::from_micros(1u64 << (i + 1));
-            }
-        }
-        self.max()
+        self.hist.percentile(p).min(self.max())
+    }
+
+    /// The underlying histogram (bucket counts for reports).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
     }
 }
 
@@ -281,6 +354,204 @@ impl WorkMeter {
     }
 }
 
+/// A monotonically increasing counter handle.
+///
+/// Handles are shared `Arc`s resolved once from the registry; increments
+/// are single relaxed atomics — cheap enough for every commit/abort/hop.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed, unregistered counter (hot-path structs can own one and
+    /// surface it through a registry snapshot later).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge handle.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if larger (high-water marks).
+    pub fn raise(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Identity of one series: metric name plus sorted label pairs.
+type SeriesKey = (String, Vec<(String, String)>);
+
+/// One exported sample of a registry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name (e.g. `txn_2pc_hops`).
+    pub name: String,
+    /// Label pairs, sorted by key (e.g. `[("node", "2")]`).
+    pub labels: Vec<(String, String)>,
+    /// Series kind: `"counter"`, `"gauge"`, or `"latency"`.
+    pub kind: &'static str,
+    /// Scalar value: the count for counters/gauges, the sample count for
+    /// latency series.
+    pub value: u64,
+    /// Latency summary `(mean, p50, p99, max)`, present for latency series.
+    pub latency: Option<(Duration, Duration, Duration, Duration)>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: RwLock<HashMap<SeriesKey, Arc<Counter>>>,
+    gauges: RwLock<HashMap<SeriesKey, Arc<Gauge>>>,
+    latencies: RwLock<HashMap<SeriesKey, Arc<LatencyStat>>>,
+}
+
+/// Named, labeled metric series with cheap scoping.
+///
+/// A registry value is a *scope*: a shared store plus the label set every
+/// series resolved through it inherits. [`MetricsRegistry::scoped`] derives
+/// child scopes (`node=3`, `migration=7`) that write into the same store,
+/// so one snapshot sees the whole cluster. Resolution takes a short-lived
+/// map lock; the returned handles are lock-free — resolve once per site,
+/// not per increment.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    labels: Vec<(String, String)>,
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, unlabeled registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A child scope with `key=value` appended to the label set, sharing
+    /// this registry's store.
+    pub fn scoped(&self, key: impl Into<String>, value: impl ToString) -> MetricsRegistry {
+        let mut labels = self.labels.clone();
+        labels.push((key.into(), value.to_string()));
+        labels.sort();
+        labels.dedup();
+        MetricsRegistry {
+            labels,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// This scope's label set (sorted).
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
+    fn key(&self, name: &str) -> SeriesKey {
+        (name.to_string(), self.labels.clone())
+    }
+
+    /// Resolves (or creates) the counter `name` under this scope's labels.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let key = self.key(name);
+        if let Some(c) = self.inner.counters.read().get(&key) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.inner.counters.write().entry(key).or_default())
+    }
+
+    /// Resolves (or creates) the gauge `name` under this scope's labels.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let key = self.key(name);
+        if let Some(g) = self.inner.gauges.read().get(&key) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.inner.gauges.write().entry(key).or_default())
+    }
+
+    /// Resolves (or creates) the latency series `name` under this scope's
+    /// labels.
+    pub fn latency(&self, name: &str) -> Arc<LatencyStat> {
+        let key = self.key(name);
+        if let Some(l) = self.inner.latencies.read().get(&key) {
+            return Arc::clone(l);
+        }
+        Arc::clone(
+            self.inner
+                .latencies
+                .write()
+                .entry(key)
+                .or_insert_with(|| Arc::new(LatencyStat::new())),
+        )
+    }
+
+    /// Snapshot of every series in the shared store (all scopes), sorted
+    /// by `(name, labels)` for deterministic reports.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let mut out = Vec::new();
+        for ((name, labels), c) in self.inner.counters.read().iter() {
+            out.push(MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                kind: "counter",
+                value: c.get(),
+                latency: None,
+            });
+        }
+        for ((name, labels), g) in self.inner.gauges.read().iter() {
+            out.push(MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                kind: "gauge",
+                value: g.get(),
+                latency: None,
+            });
+        }
+        for ((name, labels), l) in self.inner.latencies.read().iter() {
+            out.push(MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                kind: "latency",
+                value: l.count(),
+                latency: Some((l.mean(), l.percentile(0.5), l.percentile(0.99), l.max())),
+            });
+        }
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,5 +640,164 @@ mod tests {
         m.charge(3);
         m.charge(4);
         assert_eq!(m.total(), 7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_open_the_higher_bucket() {
+        // 2^i µs is the inclusive lower bound of bucket i.
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(1025), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 31);
+    }
+
+    #[test]
+    fn histogram_zero_duration_samples_count() {
+        let h = Histogram::new();
+        h.record_micros(0);
+        h.record_micros(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_counts()[0], 2);
+        // Percentile of all-zero samples reports the smallest bucket bound,
+        // not garbage from an empty scan.
+        assert_eq!(h.percentile(0.5), Duration::from_micros(2));
+    }
+
+    #[test]
+    fn latency_percentile_zero_returns_smallest_sample_bucket() {
+        // Regression: p = 0.0 used to satisfy `seen >= 0` at bucket 0 and
+        // always answer 2 µs regardless of the data.
+        let s = LatencyStat::new();
+        s.record(Duration::from_micros(5000));
+        s.record(Duration::from_micros(6000));
+        assert!(s.percentile(0.0) >= Duration::from_micros(4096));
+    }
+
+    #[test]
+    fn latency_single_sample_percentiles_do_not_overshoot_max() {
+        // Regression: a lone 10 µs sample used to report p99 = 16 µs (the
+        // bucket's upper bound); percentiles are now capped at the true max.
+        let s = LatencyStat::new();
+        s.record(Duration::from_micros(10));
+        assert_eq!(s.percentile(0.5), Duration::from_micros(10));
+        assert_eq!(s.percentile(0.99), Duration::from_micros(10));
+        assert_eq!(s.percentile(1.0), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn latency_percentile_out_of_range_p_is_clamped() {
+        let s = LatencyStat::new();
+        s.record(Duration::from_micros(100));
+        assert_eq!(s.percentile(-1.0), s.percentile(0.0));
+        assert_eq!(s.percentile(2.0), s.percentile(1.0));
+    }
+
+    #[test]
+    fn latency_zero_duration_records() {
+        let s = LatencyStat::new();
+        s.record(Duration::ZERO);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.max(), Duration::ZERO);
+        // Percentile is capped at max, so all-zero data answers zero.
+        assert_eq!(s.percentile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn timeline_event_exactly_on_bucket_boundary() {
+        // An event at elapsed == k * bucket lands in bucket k (half-open
+        // buckets [k*w, (k+1)*w)); exercised via the index arithmetic.
+        let t = Timeline::new(Duration::from_nanos(1)); // every nanosecond is a new bucket
+        t.record();
+        let buckets = t.buckets();
+        assert_eq!(buckets.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn timeline_empty_has_no_buckets() {
+        let t = Timeline::per_second();
+        assert!(t.buckets().is_empty());
+        assert!(t.rates_per_sec().is_empty());
+    }
+
+    #[test]
+    fn registry_scoping_isolates_series() {
+        let root = MetricsRegistry::new();
+        let n1 = root.scoped("node", 1);
+        let n2 = root.scoped("node", 2);
+        n1.counter("commits").add(3);
+        n2.counter("commits").add(5);
+        root.counter("commits").inc();
+        let snap = root.snapshot();
+        let values: Vec<(Vec<(String, String)>, u64)> = snap
+            .iter()
+            .filter(|s| s.name == "commits")
+            .map(|s| (s.labels.clone(), s.value))
+            .collect();
+        assert_eq!(values.len(), 3);
+        assert!(values.contains(&(vec![], 1)));
+        assert!(values.contains(&(vec![("node".into(), "1".into())], 3)));
+        assert!(values.contains(&(vec![("node".into(), "2".into())], 5)));
+    }
+
+    #[test]
+    fn registry_same_series_resolves_to_same_handle() {
+        let reg = MetricsRegistry::new().scoped("migration", 7);
+        let a = reg.counter("hops");
+        let b = reg.counter("hops");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("hops").get(), 2);
+    }
+
+    #[test]
+    fn registry_gauge_raise_keeps_high_water_mark() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("queue_depth");
+        g.set(10);
+        g.raise(4);
+        assert_eq!(g.get(), 10);
+        g.raise(25);
+        assert_eq!(g.get(), 25);
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.scoped("node", 2).counter("z").inc();
+        reg.scoped("node", 1).counter("z").inc();
+        reg.counter("a").inc();
+        reg.latency("lat").record(Duration::from_micros(50));
+        let snap = reg.snapshot();
+        let keys: Vec<(String, Vec<(String, String)>)> = snap
+            .iter()
+            .map(|s| (s.name.clone(), s.labels.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        let lat = snap.iter().find(|s| s.name == "lat").unwrap();
+        assert_eq!(lat.kind, "latency");
+        assert_eq!(lat.value, 1);
+        assert!(lat.latency.is_some());
+    }
+
+    #[test]
+    fn registry_scoped_labels_are_sorted_and_deduped() {
+        let reg = MetricsRegistry::new()
+            .scoped("node", 3)
+            .scoped("migration", 1)
+            .scoped("node", 3);
+        assert_eq!(
+            reg.labels(),
+            &[
+                ("migration".to_string(), "1".to_string()),
+                ("node".to_string(), "3".to_string())
+            ]
+        );
     }
 }

@@ -39,6 +39,7 @@ pub mod replay;
 pub mod report;
 pub mod snapshot;
 pub mod squall;
+pub mod trace;
 
 pub use controller::{MigrationController, MigrationPlan};
 pub use lock_abort::LockAndAbort;
@@ -46,3 +47,4 @@ pub use remaster::WaitAndRemaster;
 pub use remus::RemusEngine;
 pub use report::{MigrationEngine, MigrationReport, MigrationTask};
 pub use squall::SquallEngine;
+pub use trace::{MigrationTrace, Span, SpanId, TraceRecorder};

@@ -35,6 +35,7 @@ use crate::propagation::PropagationProcess;
 use crate::replay::ReplayProcess;
 use crate::report::{MigrationEngine, MigrationReport, MigrationTask};
 use crate::snapshot::copy_task_snapshots;
+use crate::trace::TraceRecorder;
 
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(600);
 
@@ -67,6 +68,7 @@ impl MigrationEngine for LockAndAbort {
 
     fn migrate(&self, cluster: &Arc<Cluster>, task: &MigrationTask) -> DbResult<MigrationReport> {
         let t0 = Instant::now();
+        let rec = TraceRecorder::new(self.name());
         let mut report = MigrationReport::new(self.name());
         let source = Arc::clone(cluster.node(task.source));
         let dest = Arc::clone(cluster.node(task.dest));
@@ -81,6 +83,7 @@ impl MigrationEngine for LockAndAbort {
         ));
         let (tx, rx) = unbounded();
 
+        let copy_span = rec.start("snapshot_copy");
         let from = source.storage.oldest_active_begin_lsn();
         let snapshot_ts = cluster.oracle.start_ts(task.source);
         let prop = PropagationProcess::start(
@@ -109,11 +112,15 @@ impl MigrationEngine for LockAndAbort {
         };
         report.tuples_copied = tuples;
         report.snapshot_phase = t0.elapsed();
+        rec.attr(copy_span, "tuples_copied", tuples);
+        rec.end(copy_span);
         let replay = ReplayProcess::start(cluster, &dest, Arc::new(ValidationRegistry::new()), rx);
 
         // Asynchronous catch-up.
         let catch0 = Instant::now();
+        let catchup_span = rec.start("catchup");
         let threshold = cluster.config.catchup_threshold as u64;
+        rec.attr(catchup_span, "lag_threshold", threshold);
         wait_until(
             || {
                 prop.lag(
@@ -124,9 +131,11 @@ impl MigrationEngine for LockAndAbort {
             "async catch-up",
         )?;
         report.catchup_phase = catch0.elapsed();
+        rec.end(catchup_span);
 
         // Ownership transfer: lock, abort, replay final updates, remap.
         let transfer0 = Instant::now();
+        let lock_span = rec.start("lock_shards");
         for shard in &task.shards {
             source.storage.gate.close(*shard);
         }
@@ -148,20 +157,29 @@ impl MigrationEngine for LockAndAbort {
                 }
             }
         }
+        rec.attr(lock_span, "forced_aborts", report.forced_aborts);
+        rec.end(lock_span);
         // Replay all remaining final updates.
+        let replay_span = rec.start("final_replay");
         let final_lsn = source.storage.wal.flush_lsn();
+        rec.attr(replay_span, "final_lsn", final_lsn.0);
         wait_until(
             || prop.stats.processed_lsn.load(Ordering::SeqCst) >= final_lsn.0,
             "final update processing",
         )?;
         let sent_final = prop.stats.sent.load(Ordering::SeqCst);
+        rec.attr(replay_span, "sent_final", sent_final);
         wait_until(
             || replay.stats.done.load(Ordering::SeqCst) >= sent_final,
             "final update replay",
         )?;
+        rec.end(replay_span);
         // Remap and drop the source copy; waking blocked writers then find
         // the shard gone and abort.
+        let tm_span = rec.start("tm_2pc");
         run_tm(cluster, task)?;
+        rec.end(tm_span);
+        let cleanup_span = rec.start("cleanup");
         let stop_lsn = source.storage.wal.flush_lsn();
         for shard in &task.shards {
             source.storage.drop_shard(*shard);
@@ -175,7 +193,10 @@ impl MigrationEngine for LockAndAbort {
         report.records_replayed = replay.stats.records.load(Ordering::SeqCst);
         prop.join();
         replay.join()?;
+        rec.attr(cleanup_span, "records_replayed", report.records_replayed);
+        rec.end(cleanup_span);
         report.total = t0.elapsed();
+        report.traces.push(rec.finish());
         Ok(report)
     }
 }

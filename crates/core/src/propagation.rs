@@ -149,9 +149,16 @@ fn propagate_loop(
     let spill_latency = cluster.config.spill_reload_latency;
 
     let ship = |msg: ApplyMsg, queue_spill_batches: usize| {
-        if queue_spill_batches > 0 && !spill_latency.is_zero() {
-            // Reloading spilled change records in batches (§3.3).
-            std::thread::sleep(spill_latency * queue_spill_batches as u32);
+        if queue_spill_batches > 0 {
+            source
+                .storage
+                .counters
+                .queue_spills
+                .add(queue_spill_batches as u64);
+            if !spill_latency.is_zero() {
+                // Reloading spilled change records in batches (§3.3).
+                std::thread::sleep(spill_latency * queue_spill_batches as u32);
+            }
         }
         // Propagation-lag seam: only Delay is expressible here.
         if let remus_common::FaultAction::Delay(d) =

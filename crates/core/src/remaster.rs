@@ -23,6 +23,7 @@ use crate::propagation::PropagationProcess;
 use crate::replay::ReplayProcess;
 use crate::report::{MigrationEngine, MigrationReport, MigrationTask};
 use crate::snapshot::copy_task_snapshots;
+use crate::trace::TraceRecorder;
 
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(600);
 
@@ -55,6 +56,7 @@ impl MigrationEngine for WaitAndRemaster {
 
     fn migrate(&self, cluster: &Arc<Cluster>, task: &MigrationTask) -> DbResult<MigrationReport> {
         let t0 = Instant::now();
+        let rec = TraceRecorder::new(self.name());
         let mut report = MigrationReport::new(self.name());
         let source = Arc::clone(cluster.node(task.source));
         let dest = Arc::clone(cluster.node(task.dest));
@@ -65,6 +67,7 @@ impl MigrationEngine for WaitAndRemaster {
             cluster.config.lock_wait_timeout,
         ));
         let (tx, rx) = unbounded();
+        let copy_span = rec.start("snapshot_copy");
         let from = source.storage.oldest_active_begin_lsn();
         let snapshot_ts = cluster.oracle.start_ts(task.source);
         let prop = PropagationProcess::start(
@@ -93,11 +96,15 @@ impl MigrationEngine for WaitAndRemaster {
         };
         report.tuples_copied = tuples;
         report.snapshot_phase = t0.elapsed();
+        rec.attr(copy_span, "tuples_copied", tuples);
+        rec.end(copy_span);
         let replay = ReplayProcess::start(cluster, &dest, Arc::new(ValidationRegistry::new()), rx);
 
         // Asynchronous catch-up.
         let catch0 = Instant::now();
+        let catchup_span = rec.start("catchup");
         let threshold = cluster.config.catchup_threshold as u64;
+        rec.attr(catchup_span, "lag_threshold", threshold);
         wait_until(
             || {
                 prop.lag(
@@ -108,27 +115,37 @@ impl MigrationEngine for WaitAndRemaster {
             "async catch-up",
         )?;
         report.catchup_phase = catch0.elapsed();
+        rec.end(catchup_span);
 
         // Ownership transfer: suspend, drain, replay final updates, remap.
         let transfer0 = Instant::now();
         cluster.routing_gate.suspend();
-        let drain_result = cluster
-            .wait_for_drain(DRAIN_TIMEOUT)
-            .and_then(|()| {
-                let final_lsn = source.storage.wal.flush_lsn();
-                wait_until(
-                    || prop.stats.processed_lsn.load(Ordering::SeqCst) >= final_lsn.0,
-                    "final update processing",
-                )?;
-                // Routing is suspended and the cluster drained, so the send
-                // counter is stable; wait for the replay to finish it.
-                let sent_final = prop.stats.sent.load(Ordering::SeqCst);
-                wait_until(
-                    || replay.stats.done.load(Ordering::SeqCst) >= sent_final,
-                    "final update replay",
-                )
-            })
-            .and_then(|()| run_tm(cluster, task).map(|_| ()));
+        let drain_result = (|| -> DbResult<()> {
+            let drain_span = rec.start("drain");
+            cluster.wait_for_drain(DRAIN_TIMEOUT)?;
+            rec.end(drain_span);
+            let replay_span = rec.start("final_replay");
+            let final_lsn = source.storage.wal.flush_lsn();
+            rec.attr(replay_span, "final_lsn", final_lsn.0);
+            wait_until(
+                || prop.stats.processed_lsn.load(Ordering::SeqCst) >= final_lsn.0,
+                "final update processing",
+            )?;
+            // Routing is suspended and the cluster drained, so the send
+            // counter is stable; wait for the replay to finish it.
+            let sent_final = prop.stats.sent.load(Ordering::SeqCst);
+            rec.attr(replay_span, "sent_final", sent_final);
+            wait_until(
+                || replay.stats.done.load(Ordering::SeqCst) >= sent_final,
+                "final update replay",
+            )?;
+            rec.end(replay_span);
+            let tm_span = rec.start("tm_2pc");
+            run_tm(cluster, task)?;
+            rec.end(tm_span);
+            Ok(())
+        })();
+        let cleanup_span = rec.start("cleanup");
         if drain_result.is_ok() {
             for shard in &task.shards {
                 source.storage.drop_shard(*shard);
@@ -144,7 +161,10 @@ impl MigrationEngine for WaitAndRemaster {
         report.records_replayed = replay.stats.records.load(Ordering::SeqCst);
         prop.join();
         replay.join()?;
+        rec.attr(cleanup_span, "records_replayed", report.records_replayed);
+        rec.end(cleanup_span);
         report.total = t0.elapsed();
+        report.traces.push(rec.finish());
         Ok(report)
     }
 }

@@ -32,6 +32,7 @@ use crate::propagation::PropagationProcess;
 use crate::replay::ReplayProcess;
 use crate::report::{MigrationEngine, MigrationReport, MigrationTask};
 use crate::snapshot::copy_task_snapshots;
+use crate::trace::TraceRecorder;
 
 /// How long the engine is willing to wait in each drain loop before
 /// declaring the migration wedged. Generous by design: only genuinely
@@ -67,6 +68,7 @@ impl MigrationEngine for RemusEngine {
 
     fn migrate(&self, cluster: &Arc<Cluster>, task: &MigrationTask) -> DbResult<MigrationReport> {
         let t0 = Instant::now();
+        let rec = TraceRecorder::new(self.name());
         let mut report = MigrationReport::new(self.name());
         let source = Arc::clone(cluster.node(task.source));
         let dest = Arc::clone(cluster.node(task.dest));
@@ -90,6 +92,7 @@ impl MigrationEngine for RemusEngine {
         // oldest active transaction's begin LSN (it must observe the full
         // write set of every transaction that may commit after the
         // snapshot timestamp); the snapshot timestamp is taken after that.
+        let copy_span = rec.start("snapshot_copy");
         let from = source.storage.oldest_active_begin_lsn();
         let snapshot_ts = cluster.oracle.start_ts(task.source);
         let prop = PropagationProcess::start(
@@ -129,11 +132,24 @@ impl MigrationEngine for RemusEngine {
         };
         report.tuples_copied = tuples;
         report.snapshot_phase = t0.elapsed();
+        rec.attr(copy_span, "tuples_copied", tuples);
+        rec.attr(copy_span, "snapshot_ts", snapshot_ts.0);
+        rec.end(copy_span);
         let replay = ReplayProcess::start(cluster, &dest, Arc::clone(&registry), rx);
 
         // Phase 2: asynchronous catch-up.
         let catch0 = Instant::now();
+        let catchup_span = rec.start("catchup");
         let threshold = cluster.config.catchup_threshold as u64;
+        rec.attr(catchup_span, "lag_threshold", threshold);
+        rec.attr(
+            catchup_span,
+            "start_lag",
+            prop.lag(
+                source.storage.wal.flush_lsn(),
+                replay.stats.done.load(Ordering::SeqCst),
+            ),
+        );
         if let Err(e) = wait_until(
             || {
                 prop.lag(
@@ -153,18 +169,24 @@ impl MigrationEngine for RemusEngine {
             )));
         }
         report.catchup_phase = catch0.elapsed();
+        rec.end(catchup_span);
 
         // Phase 3: mode change. Raise the sync barrier, drain TS_unsync,
         // record LSN_unsync, and wait until everything up to it is applied.
         let transfer0 = Instant::now();
+        let barrier_span = rec.start("sync_barrier");
         hook.enable_sync();
         // Mode-change seam: widen the window between raising the barrier
         // and draining TS_unsync (only Delay is expressible here).
         if let FaultAction::Delay(d) = cluster.fault_at(InjectionPoint::SyncBarrier, task.source) {
             std::thread::sleep(d);
         }
+        let drain_span = rec.child(barrier_span, "ts_unsync_drain");
         hook.wait_ts_unsync_drained(DRAIN_TIMEOUT)?;
+        rec.end(drain_span);
+        let apply_span = rec.child(barrier_span, "lsn_unsync_apply");
         let lsn_unsync = source.storage.wal.flush_lsn();
+        rec.attr(apply_span, "lsn_unsync", lsn_unsync.0);
         wait_until(
             || prop.stats.processed_lsn.load(Ordering::SeqCst) >= lsn_unsync.0,
             "LSN_unsync processing",
@@ -174,18 +196,25 @@ impl MigrationEngine for RemusEngine {
         // instantaneous sent == done would starve under sustained load —
         // later messages are sync-mode traffic that synchronizes itself).
         let sent_at_unsync = prop.stats.sent.load(Ordering::SeqCst);
+        rec.attr(apply_span, "sent_at_unsync", sent_at_unsync);
         wait_until(
             || replay.stats.done.load(Ordering::SeqCst) >= sent_at_unsync,
             "LSN_unsync application",
         )?;
+        rec.end(apply_span);
+        rec.end(barrier_span);
 
         // Phase 4: ordered diversion.
+        let tm_span = rec.start("tm_2pc");
         let tm_cts = run_tm(cluster, task)?;
+        rec.attr(tm_span, "tm_commit_ts", tm_cts.0);
+        rec.end(tm_span);
         report.transfer_phase = transfer0.elapsed();
 
         // Dual execution: existing source transactions (start_ts <
         // T_m.commit_ts) run to completion, committing through MOCC.
         let dual0 = Instant::now();
+        let dual_span = rec.start("dual_execution");
         wait_until(
             || match cluster.snapshots.oldest() {
                 None => true,
@@ -193,9 +222,11 @@ impl MigrationEngine for RemusEngine {
             },
             "dual execution drain",
         )?;
+        rec.end(dual_span);
 
         // No pre-T_m transactions remain: stop the pipeline after the
         // final records and clean up.
+        let cleanup_span = rec.start("cleanup");
         source.storage.uninstall_hook();
         let final_lsn = source.storage.wal.flush_lsn();
         prop.request_stop(final_lsn);
@@ -206,8 +237,17 @@ impl MigrationEngine for RemusEngine {
         for shard in &task.shards {
             source.storage.drop_shard(*shard);
         }
+        rec.attr(cleanup_span, "final_lsn", final_lsn.0);
+        rec.attr(cleanup_span, "records_replayed", report.records_replayed);
+        rec.attr(
+            cleanup_span,
+            "validation_conflicts",
+            report.validation_conflicts,
+        );
+        rec.end(cleanup_span);
         report.dual_phase = dual0.elapsed();
         report.total = t0.elapsed();
+        report.traces.push(rec.finish());
         Ok(report)
     }
 }

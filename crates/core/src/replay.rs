@@ -281,6 +281,7 @@ impl ReplayShared {
         }
         self.completion.mark(job.ticket);
         self.stats.done.fetch_add(1, Ordering::Relaxed);
+        self.dest.storage.counters.replay_jobs.inc();
     }
 }
 

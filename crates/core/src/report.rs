@@ -6,6 +6,8 @@ use std::time::Duration;
 use remus_cluster::Cluster;
 use remus_common::{DbResult, NodeId, ShardId};
 
+use crate::trace::MigrationTrace;
+
 /// One migration: move `shards` (collocated migration moves several
 /// together, §3.8) from `source` to `dest`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +64,8 @@ pub struct MigrationReport {
     pub downtime: Duration,
     /// On-demand + background chunk pulls (Squall).
     pub pulls: u64,
+    /// Phase span trees, one per migration absorbed into this report.
+    pub traces: Vec<MigrationTrace>,
 }
 
 impl MigrationReport {
@@ -87,6 +91,7 @@ impl MigrationReport {
         self.forced_aborts += other.forced_aborts;
         self.downtime += other.downtime;
         self.pulls += other.pulls;
+        self.traces.extend(other.traces.iter().cloned());
     }
 }
 

@@ -22,6 +22,7 @@ use remus_storage::Key;
 
 use crate::diversion::run_tm;
 use crate::report::{MigrationEngine, MigrationReport, MigrationTask};
+use crate::trace::TraceRecorder;
 
 /// Per-shard chunk map: sorted chunk start keys plus pulled flags.
 #[derive(Debug)]
@@ -230,12 +231,14 @@ impl MigrationEngine for SquallEngine {
             ));
         }
         let t0 = Instant::now();
+        let rec = TraceRecorder::new(self.name());
         let mut report = MigrationReport::new(self.name());
         let source = Arc::clone(cluster.node(task.source));
         let dest = Arc::clone(cluster.node(task.dest));
 
         // Build the chunk map from the source's current keys and create
         // empty destination shards.
+        let chunk_span = rec.start("chunk_map");
         let mut chunks = HashMap::new();
         for &shard in &task.shards {
             let table = source.storage.table_or_err(shard)?;
@@ -267,15 +270,24 @@ impl MigrationEngine for SquallEngine {
         cluster.install_access_hook(Arc::new(SquallHook {
             state: Arc::clone(&state),
         }));
+        rec.attr(
+            chunk_span,
+            "chunks",
+            state.chunks.values().map(|s| s.len() as u64).sum(),
+        );
+        rec.end(chunk_span);
 
         // Ownership flips immediately: new transactions go to the
         // destination and pull on demand.
         let transfer0 = Instant::now();
+        let tm_span = rec.start("tm_2pc");
         run_tm(cluster, task)?;
+        rec.end(tm_span);
         report.transfer_phase = transfer0.elapsed();
 
         // Background pulls: one asynchronous worker per migrating shard
         // (§4.2).
+        let pulls_span = rec.start("pulls");
         let workers: Vec<_> = task
             .shards
             .iter()
@@ -321,14 +333,24 @@ impl MigrationEngine for SquallEngine {
             }
         }
 
+        rec.attr(pulls_span, "pulls", state.pulls.load(Ordering::Relaxed));
+        rec.attr(
+            pulls_span,
+            "pulled_tuples",
+            state.pulled_tuples.load(Ordering::Relaxed),
+        );
+        rec.end(pulls_span);
+        let cleanup_span = rec.start("cleanup");
         cluster.uninstall_access_hook();
         for shard in &task.shards {
             source.storage.drop_shard(*shard);
         }
+        rec.end(cleanup_span);
         report.pulls = state.pulls.load(Ordering::Relaxed);
         report.tuples_copied = state.pulled_tuples.load(Ordering::Relaxed);
         report.forced_aborts = state.aborts.load(Ordering::Relaxed);
         report.total = t0.elapsed();
+        report.traces.push(rec.finish());
         Ok(report)
     }
 }

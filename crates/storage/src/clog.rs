@@ -6,6 +6,7 @@
 //! visibility consults the CLOG for every traversed version; on `Prepared`
 //! the reader blocks until the writer resolves (prepare-wait).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -45,6 +46,7 @@ pub struct Clog {
     shards: [RwLock<HashMap<TxnId, TxnStatus>>; SHARDS],
     wake: Mutex<u64>,
     cond: Condvar,
+    wait_blocks: AtomicU64,
 }
 
 impl std::fmt::Debug for Clog {
@@ -68,6 +70,7 @@ impl Clog {
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             wake: Mutex::new(0),
             cond: Condvar::new(),
+            wait_blocks: AtomicU64::new(0),
         };
         clog.shard(FROZEN_TXN)
             .write()
@@ -200,6 +203,7 @@ impl Clog {
     /// final status. This is the prepare-wait primitive.
     pub fn wait_resolved(&self, xid: TxnId, timeout: Duration) -> DbResult<TxnStatus> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut blocked = false;
         loop {
             let st = self.status(xid);
             if st.is_resolved() {
@@ -216,8 +220,18 @@ impl Clog {
             if now >= deadline {
                 return Err(DbError::Timeout("transaction resolution"));
             }
+            if !blocked {
+                blocked = true;
+                self.wait_blocks.fetch_add(1, Ordering::Relaxed);
+            }
             self.cond.wait_for(&mut gen, deadline - now);
         }
+    }
+
+    /// Number of [`Clog::wait_resolved`] calls that actually blocked on an
+    /// unresolved (usually prepared) transaction — the prepare-wait count.
+    pub fn prepare_wait_blocks(&self) -> u64 {
+        self.wait_blocks.load(Ordering::Relaxed)
     }
 
     /// Total number of recorded transactions (including the frozen one).
@@ -365,6 +379,7 @@ mod tests {
         let x = xid(8);
         clog.begin(x);
         clog.set_prepared(x).unwrap();
+        assert_eq!(clog.prepare_wait_blocks(), 0);
         let waiter = {
             let clog = Arc::clone(&clog);
             std::thread::spawn(move || clog.wait_resolved(x, Duration::from_secs(5)))
@@ -375,6 +390,18 @@ mod tests {
             waiter.join().unwrap().unwrap(),
             TxnStatus::Committed(Timestamp(77))
         );
+        // The blocked waiter counted exactly once.
+        assert_eq!(clog.prepare_wait_blocks(), 1);
+    }
+
+    #[test]
+    fn resolved_wait_does_not_count_as_block() {
+        let clog = Clog::new();
+        let x = xid(10);
+        clog.begin(x);
+        clog.set_committed(x, Timestamp(3)).unwrap();
+        clog.wait_resolved(x, Duration::from_millis(10)).unwrap();
+        assert_eq!(clog.prepare_wait_blocks(), 0);
     }
 
     #[test]

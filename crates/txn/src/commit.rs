@@ -164,6 +164,7 @@ pub fn commit_txn(
         // Phase one: prepare everywhere (validation record + CLOG).
         for (node, _, _) in &plans {
             net.hop(txn.coordinator, node.id);
+            node.counters.twopc_hops.inc();
             if let Err(e) = prepare_participant(node, txn.xid) {
                 return Err(fail(txn, e));
             }
@@ -176,6 +177,7 @@ pub fn commit_txn(
                 if let Err(e) = hook.await_validation(txn.xid) {
                     for (n, h, _) in &plans {
                         net.hop(txn.coordinator, n.id);
+                        n.counters.twopc_hops.inc();
                         rollback_prepared(n, txn.xid);
                         h.end_commit(txn.xid, None);
                     }
@@ -190,6 +192,7 @@ pub fn commit_txn(
             if node.id != txn.coordinator {
                 let participant_now = oracle.commit_ts(node.id);
                 net.hop(node.id, txn.coordinator);
+                node.counters.twopc_hops.inc();
                 oracle.observe(txn.coordinator, participant_now);
             }
         }
@@ -197,6 +200,7 @@ pub fn commit_txn(
         // Phase two: commit everywhere.
         for (node, hook, _) in &plans {
             net.hop(txn.coordinator, node.id);
+            node.counters.twopc_hops.inc();
             oracle.observe(node.id, ts);
             commit_prepared(node, txn.xid, ts)
                 .expect("participant cannot refuse a 2PC commit decision");
@@ -316,6 +320,37 @@ mod tests {
                 LogOp::CommitPrepared(ts)
             );
         }
+        // Coordinator node: prepare + commit hops. Participant: prepare +
+        // clock observation + commit hops.
+        assert_eq!(a.counters.twopc_hops.get(), 2);
+        assert_eq!(b.counters.twopc_hops.get(), 3);
+    }
+
+    #[test]
+    fn single_node_fast_path_counts_no_2pc_hops() {
+        let n = node(1);
+        let gts = Gts::new();
+        let mut txn = Txn::begin(&n, gts.start_ts(n.id));
+        txn.insert(&n, ShardId(1), 1, val("a")).unwrap();
+        commit_txn(&mut txn, &gts, &NoNetwork).unwrap();
+        assert_eq!(n.counters.twopc_hops.get(), 0);
+    }
+
+    #[test]
+    fn ww_conflict_is_counted_on_the_node() {
+        let n = node(1);
+        let gts = Gts::new();
+        let mut t0 = Txn::begin(&n, gts.start_ts(n.id));
+        t0.insert(&n, ShardId(1), 1, val("base")).unwrap();
+        commit_txn(&mut t0, &gts, &NoNetwork).unwrap();
+        // t2's snapshot predates t1's commit: first committer wins.
+        let mut t2 = Txn::begin(&n, gts.start_ts(n.id));
+        let mut t1 = Txn::begin(&n, gts.start_ts(n.id));
+        t1.update(&n, ShardId(1), 1, val("x")).unwrap();
+        commit_txn(&mut t1, &gts, &NoNetwork).unwrap();
+        let err = t2.update(&n, ShardId(1), 1, val("y")).unwrap_err();
+        assert!(matches!(err, DbError::WwConflict { .. }));
+        assert_eq!(n.counters.ww_aborts.get(), 1);
     }
 
     #[test]

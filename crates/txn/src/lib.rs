@@ -32,5 +32,5 @@ pub use commit::{
 pub use gate::{LockMode, ShardGate, ShardLockTable};
 pub use hooks::{CommitMode, NoopHook, SyncCommitHook};
 pub use net::{DelayNetwork, Network, NoNetwork};
-pub use node::NodeStorage;
+pub use node::{NodeCounters, NodeStorage};
 pub use txn::Txn;

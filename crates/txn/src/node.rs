@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use remus_common::metrics::{Counter, MetricsRegistry};
 use remus_common::{DbError, DbResult, NodeId, ShardId, SimConfig, TxnId};
 use remus_storage::{Clog, Key, VersionedTable};
 use remus_wal::{Lsn, Wal};
@@ -41,6 +42,34 @@ impl ActiveTxn {
     }
 }
 
+/// Pre-resolved counter handles for this node's hot paths. Resolving a
+/// series takes a registry map lock; these are resolved once at node
+/// construction so the commit/abort/replay paths touch only atomics.
+#[derive(Debug, Clone)]
+pub struct NodeCounters {
+    /// 2PC messages sent to or from this node (prepare, clock observation,
+    /// and commit-decision hops).
+    pub twopc_hops: Arc<Counter>,
+    /// Write-write conflicts raised against this node's tables.
+    pub ww_aborts: Arc<Counter>,
+    /// Spill-batch reloads charged when update cache queues ship from this
+    /// node (source side of a migration).
+    pub queue_spills: Arc<Counter>,
+    /// Replay jobs applied on this node (destination side of a migration).
+    pub replay_jobs: Arc<Counter>,
+}
+
+impl NodeCounters {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        NodeCounters {
+            twopc_hops: metrics.counter("txn.2pc_hops"),
+            ww_aborts: metrics.counter("txn.ww_aborts"),
+            queue_spills: metrics.counter("wal.queue_spills"),
+            replay_jobs: metrics.counter("replay.jobs"),
+        }
+    }
+}
+
 /// One node's storage-side state.
 pub struct NodeStorage {
     /// This node's id.
@@ -53,6 +82,10 @@ pub struct NodeStorage {
     pub gate: ShardGate,
     /// Simulation tunables.
     pub config: SimConfig,
+    /// This node's metric scope (label `node=<id>` on a shared registry).
+    pub metrics: MetricsRegistry,
+    /// Pre-resolved hot-path counters.
+    pub counters: NodeCounters,
     tables: RwLock<HashMap<ShardId, Arc<VersionedTable>>>,
     next_seq: AtomicU64,
     active: Mutex<HashMap<TxnId, ActiveTxn>>,
@@ -72,14 +105,24 @@ impl std::fmt::Debug for NodeStorage {
 }
 
 impl NodeStorage {
-    /// A fresh node with no shards.
+    /// A fresh node with no shards and its own private metrics registry.
     pub fn new(id: NodeId, config: SimConfig) -> Self {
+        Self::with_metrics(id, config, &MetricsRegistry::new())
+    }
+
+    /// A fresh node scoped as `node=<id>` into a shared (cluster-wide)
+    /// metrics registry.
+    pub fn with_metrics(id: NodeId, config: SimConfig, registry: &MetricsRegistry) -> Self {
+        let metrics = registry.scoped("node", id.raw());
+        let counters = NodeCounters::new(&metrics);
         NodeStorage {
             id,
             clog: Arc::new(Clog::new()),
             wal: Arc::new(Wal::new()),
             gate: ShardGate::new(),
             config,
+            metrics,
+            counters,
             tables: RwLock::new(HashMap::new()),
             next_seq: AtomicU64::new(1),
             active: Mutex::new(HashMap::new()),

@@ -187,7 +187,12 @@ impl Txn {
             WriteKind::Delete => table.delete(key, self.xid, self.start_ts, &node.clog, timeout),
             WriteKind::Lock => table.lock_row(key, self.xid, self.start_ts, &node.clog, timeout),
         };
-        result?;
+        if let Err(e) = result {
+            if matches!(e, DbError::WwConflict { .. }) {
+                node.counters.ww_aborts.inc();
+            }
+            return Err(e);
+        }
         node.record_write(self.xid, shard, key);
         Ok(())
     }
