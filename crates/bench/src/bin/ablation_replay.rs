@@ -21,7 +21,7 @@ use remus_workload::ycsb::{KeyDistribution, Ycsb, YcsbConfig};
 
 fn run_with_workers(workers: usize, scale: &Scale) -> Vec<String> {
     let mut config = sim_config(scale);
-    config.replay_parallelism = workers;
+    config.parallelism.replay_workers = workers;
     config.snapshot_copy_per_tuple = Duration::from_micros(200);
     let cluster = ClusterBuilder::new(2).config(config).build();
     cluster.start_maintenance(Duration::from_millis(300));

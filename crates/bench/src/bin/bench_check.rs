@@ -22,8 +22,7 @@ use remus_bench::{BenchReport, ScenarioReport};
 const MAX_SLOWDOWN: f64 = 10.0;
 
 fn load(path: &str) -> BenchReport {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     BenchReport::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
 }
 

@@ -11,8 +11,7 @@
 //! with `REMUS_SCALE=quick|default|full`.
 
 use remus_bench::{
-    json_path_arg, print_scenario_for, run_hybrid_a, BenchReport, EngineKind, Scale,
-    ScenarioReport,
+    json_path_arg, print_scenario_for, run_hybrid_a, BenchReport, EngineKind, Scale, ScenarioReport,
 };
 
 fn main() {

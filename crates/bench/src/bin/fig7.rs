@@ -9,8 +9,7 @@
 //! Usage: `cargo run --release -p remus-bench --bin fig7 [engine] [--json <path>]`.
 
 use remus_bench::{
-    json_path_arg, print_scenario_for, run_hybrid_b, BenchReport, EngineKind, Scale,
-    ScenarioReport,
+    json_path_arg, print_scenario_for, run_hybrid_b, BenchReport, EngineKind, Scale, ScenarioReport,
 };
 
 fn main() {

@@ -35,8 +35,12 @@ fn main() {
             format!("{:.2}", lock.latency_increase.as_secs_f64() * 1e3),
             format!("{:.2}", remus.base_latency.as_secs_f64() * 1e3),
         ]);
-        report.scenarios.push(ScenarioReport::from_result(name, &remus));
-        report.scenarios.push(ScenarioReport::from_result(name, &lock));
+        report
+            .scenarios
+            .push(ScenarioReport::from_result(name, &remus));
+        report
+            .scenarios
+            .push(ScenarioReport::from_result(name, &lock));
     }
     let headers = [
         "workload",

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use remus_cluster::{CcMode, Cluster, ClusterBuilder, Session};
 use remus_common::metrics::{MetricSample, Timeline};
-use remus_common::{NodeId, ShardId, SimConfig};
+use remus_common::{NodeId, ParallelismConfig, ShardId, SimConfig};
 use remus_core::{
     LockAndAbort, MigrationController, MigrationEngine, MigrationPlan, MigrationReport,
     MigrationTask, RemusEngine, SquallEngine, WaitAndRemaster,
@@ -105,7 +105,12 @@ pub fn sim_config(scale: &Scale) -> SimConfig {
         network_latency: Duration::ZERO,
         squall_pull_latency: Duration::from_millis(20),
         squall_chunk_keys: 64,
-        replay_parallelism: 4,
+        parallelism: ParallelismConfig {
+            copy_workers: 4,
+            replay_workers: 4,
+            chunk_size: 256,
+            drain_batch: 32,
+        },
         catchup_threshold: 64,
         spill_threshold: 4096,
         spill_reload_latency: Duration::from_micros(100),

@@ -65,11 +65,7 @@ impl TraceReport {
                     name: s.name.to_string(),
                     start_us: s.start.as_micros() as u64,
                     end_us: s.end.unwrap_or(s.start).as_micros() as u64,
-                    attrs: s
-                        .attrs
-                        .iter()
-                        .map(|&(k, v)| (k.to_string(), v))
-                        .collect(),
+                    attrs: s.attrs.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
                 })
                 .collect(),
         }
@@ -325,10 +321,7 @@ fn labels_to_json(labels: &[(String, String)]) -> Json {
 fn span_to_json(span: &SpanReport) -> Json {
     Json::obj(vec![
         ("id", Json::num(span.id)),
-        (
-            "parent",
-            span.parent.map(Json::num).unwrap_or(Json::Null),
-        ),
+        ("parent", span.parent.map(Json::num).unwrap_or(Json::Null)),
         ("name", Json::str(&span.name)),
         ("start_us", Json::num(span.start_us)),
         ("end_us", Json::num(span.end_us)),
@@ -347,7 +340,10 @@ fn span_to_json(span: &SpanReport) -> Json {
 fn trace_to_json(trace: &TraceReport) -> Json {
     Json::obj(vec![
         ("engine", Json::str(&trace.engine)),
-        ("spans", Json::Arr(trace.spans.iter().map(span_to_json).collect())),
+        (
+            "spans",
+            Json::Arr(trace.spans.iter().map(span_to_json).collect()),
+        ),
     ])
 }
 
@@ -365,7 +361,10 @@ fn migration_to_json(m: &MigrationSummary) -> Json {
         ("validation_conflicts", Json::num(m.validation_conflicts)),
         ("forced_aborts", Json::num(m.forced_aborts)),
         ("pulls", Json::num(m.pulls)),
-        ("traces", Json::Arr(m.traces.iter().map(trace_to_json).collect())),
+        (
+            "traces",
+            Json::Arr(m.traces.iter().map(trace_to_json).collect()),
+        ),
     ])
 }
 
@@ -379,7 +378,10 @@ fn scenario_to_json(s: &ScenarioReport) -> Json {
         ("other_aborts", Json::num(s.other_aborts)),
         ("base_latency_us", Json::num(s.base_latency_us)),
         ("latency_increase_us", Json::num(s.latency_increase_us)),
-        ("tps", Json::Arr(s.tps.iter().map(|&v| Json::float(v)).collect())),
+        (
+            "tps",
+            Json::Arr(s.tps.iter().map(|&v| Json::float(v)).collect()),
+        ),
         (
             "events",
             Json::Arr(
@@ -546,7 +548,10 @@ fn scenario_from_json(v: &Json) -> Result<ScenarioReport, String> {
         latency_increase_us: req_u64(v, "latency_increase_us")?,
         tps: req_arr(v, "tps")?
             .iter()
-            .map(|n| n.as_f64().ok_or_else(|| "tps entry is not a number".to_string()))
+            .map(|n| {
+                n.as_f64()
+                    .ok_or_else(|| "tps entry is not a number".to_string())
+            })
             .collect::<Result<_, _>>()?,
         events: req_arr(v, "events")?
             .iter()

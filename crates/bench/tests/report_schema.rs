@@ -18,7 +18,9 @@ const GOLDEN: &str = include_str!("fixtures/bench_smoke_golden.json");
 fn golden_fixture_parses() {
     let report = BenchReport::parse(GOLDEN).expect("golden fixture must stay parseable");
     assert_eq!(report.title, "bench_smoke");
-    assert_eq!(report.scenarios.len(), 4);
+    // One `smoke` scenario per engine plus a `smoke-seq`/`smoke-par`
+    // data-plane comparison pair per engine.
+    assert_eq!(report.scenarios.len(), 12);
 }
 
 #[test]
@@ -43,9 +45,16 @@ fn golden_fixture_carries_the_schema_marker() {
 #[test]
 fn golden_fixture_has_all_engines_with_canonical_phases() {
     let report = BenchReport::parse(GOLDEN).unwrap();
-    let engines: Vec<&str> = report.scenarios.iter().map(|s| s.engine.as_str()).collect();
     let expected: Vec<&str> = EngineKind::all().iter().map(|k| k.name()).collect();
-    assert_eq!(engines, expected);
+    for name in ["smoke", "smoke-seq", "smoke-par"] {
+        let engines: Vec<&str> = report
+            .scenarios
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.engine.as_str())
+            .collect();
+        assert_eq!(engines, expected, "{name}: engine coverage");
+    }
     for scenario in &report.scenarios {
         assert_eq!(scenario.migration.traces.len(), 1, "{}", scenario.engine);
         let trace = &scenario.migration.traces[0];
@@ -58,9 +67,35 @@ fn golden_fixture_has_all_engines_with_canonical_phases() {
         // Spans nest: children reference an earlier span.
         for span in &trace.spans {
             if let Some(parent) = span.parent {
-                assert!(parent < span.id, "{}: parent precedes child", scenario.engine);
+                assert!(
+                    parent < span.id,
+                    "{}: parent precedes child",
+                    scenario.engine
+                );
             }
         }
+    }
+}
+
+#[test]
+fn golden_fixture_parallel_runs_record_copy_chunks() {
+    let report = BenchReport::parse(GOLDEN).unwrap();
+    for scenario in report
+        .scenarios
+        .iter()
+        .filter(|s| s.name == "smoke-par" && s.engine != "squall")
+    {
+        let chunks: u64 = scenario
+            .counters
+            .iter()
+            .filter(|c| c.name == "migration.copy_chunks")
+            .map(|c| c.value)
+            .sum();
+        assert!(
+            chunks > 1,
+            "{}: parallel run must copy multiple chunks, got {chunks}",
+            scenario.engine
+        );
     }
 }
 

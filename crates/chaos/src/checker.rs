@@ -183,7 +183,11 @@ impl fmt::Display for Violation {
                 "future read: {reader} read key {key} at snap {snap_ts} but observed a value \
                  committed at {observed_cts}"
             ),
-            Violation::AbortedWriteVisible { reader, key, writer } => write!(
+            Violation::AbortedWriteVisible {
+                reader,
+                key,
+                writer,
+            } => write!(
                 f,
                 "aborted write visible: {reader} read key {key} and observed a value written \
                  only by aborted {writer}"
@@ -193,7 +197,11 @@ impl fmt::Display for Violation {
                 "unexplained value: {reader} read key {key} and observed a value no recorded \
                  transaction wrote"
             ),
-            Violation::FragmentedRead { reader, writer, key } => write!(
+            Violation::FragmentedRead {
+                reader,
+                writer,
+                key,
+            } => write!(
                 f,
                 "fragmented read: {reader} saw part of {writer}'s writes but missed its \
                  visible write to key {key}"
@@ -220,8 +228,12 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "final state mismatch on key {key}: expected {:?}, observed {:?}",
-                expected.as_ref().map(|v| String::from_utf8_lossy(v.as_ref()).into_owned()),
-                observed.as_ref().map(|v| String::from_utf8_lossy(v.as_ref()).into_owned()),
+                expected
+                    .as_ref()
+                    .map(|v| String::from_utf8_lossy(v.as_ref()).into_owned()),
+                observed
+                    .as_ref()
+                    .map(|v| String::from_utf8_lossy(v.as_ref()).into_owned()),
             ),
             Violation::MigrationFailed { detail } => write!(f, "migration failed: {detail}"),
             Violation::TraceMalformed { engine, detail } => {
@@ -556,10 +568,7 @@ fn check_routing(history: &[TxnRecord], config: &CheckConfig, violations: &mut V
 
 /// Checks the post-migration scan against the history's
 /// last-committed-write-per-key model.
-pub fn check_final_state(
-    history: &[TxnRecord],
-    observed: &BTreeMap<u64, Value>,
-) -> Vec<Violation> {
+pub fn check_final_state(history: &[TxnRecord], observed: &BTreeMap<u64, Value>) -> Vec<Violation> {
     let chains = chains_of(history);
     let mut violations = Vec::new();
     let mut expected: BTreeMap<u64, Value> = BTreeMap::new();
@@ -717,7 +726,10 @@ mod tests {
 
     #[test]
     fn future_read_is_flagged() {
-        let h = vec![writer(1, 7, 50, 60, "late", 0), reader(2, 7, 30, Some("late"), 2)];
+        let h = vec![
+            writer(1, 7, 50, 60, "late", 0),
+            reader(2, 7, 30, Some("late"), 2),
+        ];
         let v = check_history(&h, &cfg());
         assert!(
             v.iter().any(|v| matches!(v, Violation::FutureRead { .. })),

@@ -114,6 +114,32 @@ impl FaultPlan {
                         action: FaultAction::Delay(Duration::from_millis(rng.gen_range(1..6u64))),
                     });
                 }
+                // Chunked-copy seams: delays stagger the worker pool; at
+                // most two Fail/Crash specs kill a copy worker mid-chunk.
+                // Each killed attempt is retried (frozen installs are
+                // idempotent, 4 attempts per chunk), so two failures can
+                // never exhaust a chunk's retry budget.
+                for _ in 0..rng.gen_range(0..3usize) {
+                    specs.push(FaultSpec {
+                        point: InjectionPoint::CopyChunk,
+                        node: source,
+                        occurrence: rng.gen_range(0..8u32),
+                        action: FaultAction::Delay(Duration::from_millis(rng.gen_range(1..5u64))),
+                    });
+                }
+                for _ in 0..rng.gen_range(0..3usize) {
+                    let action = if rng.gen_bool(0.5) {
+                        FaultAction::Fail
+                    } else {
+                        FaultAction::Crash
+                    };
+                    specs.push(FaultSpec {
+                        point: InjectionPoint::CopyChunk,
+                        node: source,
+                        occurrence: rng.gen_range(0..6u32),
+                        action,
+                    });
+                }
                 if rng.gen_bool(0.3) {
                     specs.push(FaultSpec {
                         point: InjectionPoint::MoccValidation,
@@ -273,6 +299,22 @@ mod tests {
             inj.decide(InjectionPoint::PropagationShip, NodeId(0)),
             FaultAction::Continue
         );
+    }
+
+    #[test]
+    fn tolerated_copy_chunk_kills_stay_within_retry_budget() {
+        for seed in 0..200u64 {
+            let plan = FaultPlan::generate(seed, FaultProfile::Tolerated, NodeId(0), NodeId(1));
+            let kills = plan
+                .specs
+                .iter()
+                .filter(|s| {
+                    s.point == InjectionPoint::CopyChunk
+                        && matches!(s.action, FaultAction::Fail | FaultAction::Crash)
+                })
+                .count();
+            assert!(kills <= 2, "seed {seed}: {kills} copy-chunk kills");
+        }
     }
 
     #[test]

@@ -21,9 +21,11 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use remus_clock::{Dts, Gts, OracleKind, PhysicalClock, SkewedPhysicalClock, TimestampOracle, WallClock};
+use remus_clock::{
+    Dts, Gts, OracleKind, PhysicalClock, SkewedPhysicalClock, TimestampOracle, WallClock,
+};
 use remus_cluster::{CcMode, Cluster, ClusterBuilder, Session};
-use remus_common::{NodeId, ShardId, SimConfig, TableId, Timestamp};
+use remus_common::{NodeId, ParallelismConfig, ShardId, SimConfig, TableId, Timestamp};
 use remus_core::diversion::{run_tm_chaos, TmOutcome};
 use remus_core::recovery::{recover_migration, RecoveryDecision};
 use remus_core::snapshot::copy_task_snapshots;
@@ -110,6 +112,9 @@ pub struct ScenarioConfig {
     pub clients: u32,
     /// Transactions attempted per client.
     pub txns_per_client: u32,
+    /// Data-plane parallelism (copy/replay workers, chunk size, drain
+    /// batch) the migration runs with.
+    pub parallelism: ParallelismConfig,
 }
 
 impl ScenarioConfig {
@@ -137,6 +142,7 @@ impl ScenarioConfig {
             keys: 48,
             clients: 3,
             txns_per_client: 10,
+            parallelism: Self::parallelism_from_seed(seed),
         }
     }
 
@@ -151,6 +157,20 @@ impl ScenarioConfig {
             keys: 48,
             clients: 3,
             txns_per_client: 10,
+            parallelism: Self::parallelism_from_seed(seed),
+        }
+    }
+
+    /// Seed-derived data-plane parallelism: worker counts vary from
+    /// sequential to 4-wide, and the small chunk size (8 keys over a
+    /// 48-key table) forces multiple chunks per shard so the chunked-copy
+    /// seams and copy-LSN gating are actually exercised.
+    fn parallelism_from_seed(seed: u64) -> ParallelismConfig {
+        ParallelismConfig {
+            copy_workers: 1 + ((seed / 2) % 4) as usize,
+            replay_workers: 1 + ((seed / 3) % 4) as usize,
+            chunk_size: 8,
+            drain_batch: 1 + ((seed / 5) % 8) as usize,
         }
     }
 }
@@ -217,10 +237,15 @@ pub fn run_scenario_with_specs(
             Arc::new(Dts::from_clocks(physicals))
         }
     };
+    let mut sim = SimConfig::instant();
+    sim.parallelism = config.parallelism;
     let cluster = ClusterBuilder::new(config.nodes as usize)
-        .config(SimConfig::instant())
+        .config(sim)
         .oracle_instance(oracle)
-        .network(Arc::new(FaultyNetwork::from_seed(config.seed, config.nodes)))
+        .network(Arc::new(FaultyNetwork::from_seed(
+            config.seed,
+            config.nodes,
+        )))
         .cc_mode(config.engine.cc_mode())
         .build();
     let injector = Arc::new(PlanInjector::from_specs(specs.to_vec()));
@@ -381,8 +406,14 @@ pub fn run_scenario_with_specs(
 
     // ---- check ----
     let history = log.snapshot();
-    let committed = history.iter().filter(|r| r.client > 0 && r.committed()).count();
-    let aborted = history.iter().filter(|r| r.client > 0 && !r.committed()).count();
+    let committed = history
+        .iter()
+        .filter(|r| r.client > 0 && r.committed())
+        .count();
+    let aborted = history
+        .iter()
+        .filter(|r| r.client > 0 && !r.committed())
+        .count();
     let check = CheckConfig {
         source,
         dest,
@@ -480,9 +511,8 @@ fn spawn_client(
     let nodes = config.nodes;
     let seed = config.seed;
     std::thread::spawn(move || {
-        let mut rng = SmallRng::seed_from_u64(
-            seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ u64::from(client),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ u64::from(client));
         let coordinator = NodeId(rng.gen_range(0..nodes));
         let session = Session::connect(&cluster, coordinator);
         for t in 0..txns {
@@ -514,8 +544,7 @@ fn spawn_client(
             let mut failed = false;
             for (key, is_write) in ops {
                 if is_write {
-                    let value =
-                        Value::copy_from_slice(format!("c{client}-t{t}-k{key}").as_bytes());
+                    let value = Value::copy_from_slice(format!("c{client}-t{t}-k{key}").as_bytes());
                     match txn.update(&layout, key, value.clone()) {
                         Ok(()) => writes.push(OpWrite {
                             key,
@@ -581,10 +610,7 @@ mod tests {
             assert_eq!(cfg.engine, EngineKind::ALL[(seed % 4) as usize]);
         }
         // Seed 4 is the canonical crash drill.
-        assert_eq!(
-            ScenarioConfig::from_seed(4).profile,
-            FaultProfile::CrashTm
-        );
+        assert_eq!(ScenarioConfig::from_seed(4).profile, FaultProfile::CrashTm);
         assert_eq!(
             ScenarioConfig::from_seed(0).profile,
             FaultProfile::Tolerated

@@ -127,8 +127,9 @@ mod tests {
     fn shrinks_to_the_conflicting_pair() {
         // Records 5 and 6 are a lost-update pair (same key, same snapshot);
         // the other eight are unrelated clean writers.
-        let mut history: Vec<TxnRecord> =
-            (0..8u64).map(|n| write_rec(n, n, n * 10 + 1, n * 10 + 2)).collect();
+        let mut history: Vec<TxnRecord> = (0..8u64)
+            .map(|n| write_rec(n, n, n * 10 + 1, n * 10 + 2))
+            .collect();
         history.push(write_rec(100, 50, 5, 10));
         history.push(write_rec(101, 50, 5, 12));
         let config = CheckConfig {
@@ -147,8 +148,9 @@ mod tests {
 
     #[test]
     fn passing_history_is_untouched() {
-        let history: Vec<TxnRecord> =
-            (0..4u64).map(|n| write_rec(n, n, n * 10 + 1, n * 10 + 2)).collect();
+        let history: Vec<TxnRecord> = (0..4u64)
+            .map(|n| write_rec(n, n, n * 10 + 1, n * 10 + 2))
+            .collect();
         let config = CheckConfig {
             source: NodeId(0),
             dest: NodeId(1),
@@ -186,10 +188,7 @@ mod tests {
 
     #[test]
     fn smallest_failing_seed_scans_in_order() {
-        assert_eq!(
-            smallest_failing_seed(&[9, 3, 7, 5], |s| s >= 5),
-            Some(5)
-        );
+        assert_eq!(smallest_failing_seed(&[9, 3, 7, 5], |s| s >= 5), Some(5));
         assert_eq!(smallest_failing_seed(&[1, 2], |_| false), None);
     }
 }

@@ -226,6 +226,12 @@ impl ClusterBuilder {
         self
     }
 
+    /// Overrides just the data-plane parallelism of the current config.
+    pub fn parallelism(mut self, parallelism: remus_common::ParallelismConfig) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
     /// Selects the concurrency-control regime (default: MVCC).
     pub fn cc_mode(mut self, mode: CcMode) -> Self {
         self.cc_mode = mode;

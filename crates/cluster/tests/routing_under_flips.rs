@@ -158,7 +158,6 @@ fn read_through_window_blocks_stale_cache_use() {
     }
 }
 
-
 /// Documents the paper's §2.2 concession and its remedy: under DTS a
 /// session on another node may receive a snapshot that predates a commit
 /// it never heard about; carrying the commit timestamp as a causal token
@@ -169,14 +168,18 @@ fn dts_cross_session_staleness_and_causal_token() {
     let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
 
     let writer = Session::connect(&cluster, NodeId(0));
-    let (_, _seed_cts) = writer.run(|t| t.insert(&layout, 1, Value::from(vec![0]))).unwrap();
+    let (_, _seed_cts) = writer
+        .run(|t| t.insert(&layout, 1, Value::from(vec![0])))
+        .unwrap();
 
     // Inflate node 0's logical clock so its commits outrun node 1's clock
     // within the same millisecond.
     for _ in 0..50 {
         cluster.oracle.start_ts(NodeId(0));
     }
-    let (_, cts) = writer.run(|t| t.update(&layout, 1, Value::from(vec![7]))).unwrap();
+    let (_, cts) = writer
+        .run(|t| t.update(&layout, 1, Value::from(vec![7])))
+        .unwrap();
 
     // A plain new session on node 1 may read a stale snapshot: its view
     // must still be *consistent* with its timestamp (SI), just possibly
@@ -188,13 +191,20 @@ fn dts_cross_session_staleness_and_causal_token() {
     if plain_ts >= cts {
         assert_eq!(v, Some(Value::from(vec![7])));
     } else if v.is_some() {
-        assert_eq!(v, Some(Value::from(vec![0])), "snapshot below cts sees the old value");
+        assert_eq!(
+            v,
+            Some(Value::from(vec![0])),
+            "snapshot below cts sees the old value"
+        );
     }
     plain.commit().unwrap();
 
     // ...but with the causal token it always sees the write.
     let mut fresh = reader.begin_after(cts);
     assert!(fresh.start_ts() > cts);
-    assert_eq!(fresh.read(&layout, 1).unwrap().unwrap(), Value::from(vec![7]));
+    assert_eq!(
+        fresh.read(&layout, 1).unwrap().unwrap(),
+        Value::from(vec![7])
+    );
     fresh.commit().unwrap();
 }

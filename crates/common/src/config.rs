@@ -8,6 +8,41 @@
 
 use std::time::Duration;
 
+/// Worker-pool shape of the migration data plane.
+///
+/// One value is embedded in [`SimConfig`] and read by every engine:
+/// snapshot copy splits each shard into `chunk_size`-key ranges processed
+/// by `copy_workers` threads, catch-up replay fans disjoint transactions
+/// out over `replay_workers` threads, and the propagation process drains
+/// the WAL in `drain_batch`-record reads instead of one record at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelismConfig {
+    /// Snapshot-copy worker threads per migration (chunks fan out over
+    /// these; 1 reproduces the sequential copy byte for byte).
+    pub copy_workers: usize,
+    /// Parallel apply workers on the destination node (paper §4.1 uses 18).
+    pub replay_workers: usize,
+    /// Keys per snapshot-copy chunk. Each chunk carries its own copy-LSN
+    /// watermark so replay can begin on finished chunks while others copy.
+    pub chunk_size: u64,
+    /// Maximum WAL records pulled per propagation drain.
+    pub drain_batch: usize,
+}
+
+impl ParallelismConfig {
+    /// A fully sequential data plane: one copy worker, one replay worker,
+    /// single-record drains. Used by equivalence tests and as the baseline
+    /// leg of the sequential-vs-parallel bench comparison.
+    pub fn sequential() -> Self {
+        ParallelismConfig {
+            copy_workers: 1,
+            replay_workers: 1,
+            chunk_size: u64::MAX,
+            drain_batch: 1,
+        }
+    }
+}
+
 /// Tunables for the simulated cluster and the migration engines.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -20,8 +55,9 @@ pub struct SimConfig {
     pub squall_pull_latency: Duration,
     /// Number of keys per Squall pull chunk (stands in for the 8 MB chunk).
     pub squall_chunk_keys: u64,
-    /// Parallel apply workers on the destination node (paper §4.1 uses 18).
-    pub replay_parallelism: usize,
+    /// Worker-pool shape of the migration data plane (copy/replay workers,
+    /// chunk size, drain batch).
+    pub parallelism: ParallelismConfig,
     /// The migration enters the mode-change phase when the number of
     /// propagated-but-unapplied changes drops below this threshold
     /// (paper §3.4 "drops below a threshold").
@@ -53,7 +89,12 @@ impl SimConfig {
             network_latency: Duration::ZERO,
             squall_pull_latency: Duration::ZERO,
             squall_chunk_keys: 512,
-            replay_parallelism: 4,
+            parallelism: ParallelismConfig {
+                copy_workers: 4,
+                replay_workers: 4,
+                chunk_size: 128,
+                drain_batch: 32,
+            },
             catchup_threshold: 64,
             spill_threshold: 4096,
             spill_reload_latency: Duration::ZERO,
@@ -70,7 +111,12 @@ impl SimConfig {
             network_latency: Duration::from_micros(100),
             squall_pull_latency: Duration::from_millis(25),
             squall_chunk_keys: 512,
-            replay_parallelism: 18,
+            parallelism: ParallelismConfig {
+                copy_workers: 8,
+                replay_workers: 18,
+                chunk_size: 1024,
+                drain_batch: 64,
+            },
             catchup_threshold: 64,
             spill_threshold: 4096,
             spill_reload_latency: Duration::from_micros(200),
@@ -105,6 +151,17 @@ mod tests {
         // copy — this ordering is what produces the paper's Squall collapse.
         assert!(c.squall_pull_latency > 10 * c.network_latency);
         assert!(c.network_latency > c.snapshot_copy_per_tuple);
-        assert_eq!(c.replay_parallelism, 18);
+        assert_eq!(c.parallelism.replay_workers, 18);
+    }
+
+    #[test]
+    fn sequential_parallelism_is_single_threaded_everywhere() {
+        let p = ParallelismConfig::sequential();
+        assert_eq!(p.copy_workers, 1);
+        assert_eq!(p.replay_workers, 1);
+        assert_eq!(p.drain_batch, 1);
+        // A maximal chunk keeps every shard in one chunk: the copy is the
+        // exact sequential scan.
+        assert_eq!(p.chunk_size, u64::MAX);
     }
 }

@@ -27,6 +27,11 @@ pub enum InjectionPoint {
     /// Before the bulk snapshot copy of the migrating shards starts
     /// (`remus.rs`). `Fail` exercises the engine's unwind path.
     SnapshotCopy,
+    /// In a snapshot-copy worker, before streaming one key-range chunk
+    /// (`snapshot.rs`). `Delay` staggers the pool; `Fail`/`Crash` kill the
+    /// worker mid-chunk — the chunk is retried by the pool (the frozen
+    /// install is idempotent), so the migration still completes.
+    CopyChunk,
     /// In the propagation worker, before shipping one change batch to the
     /// destination (`propagation.rs`). `Delay` models propagation lag.
     PropagationShip,
@@ -58,8 +63,9 @@ pub enum InjectionPoint {
 
 impl InjectionPoint {
     /// Every injection point, in pipeline order.
-    pub const ALL: [InjectionPoint; 9] = [
+    pub const ALL: [InjectionPoint; 10] = [
         InjectionPoint::SnapshotCopy,
+        InjectionPoint::CopyChunk,
         InjectionPoint::PropagationShip,
         InjectionPoint::ReplayApply,
         InjectionPoint::SyncBarrier,
@@ -75,6 +81,7 @@ impl fmt::Display for InjectionPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
             InjectionPoint::SnapshotCopy => "snapshot-copy",
+            InjectionPoint::CopyChunk => "copy-chunk",
             InjectionPoint::PropagationShip => "propagation-ship",
             InjectionPoint::ReplayApply => "replay-apply",
             InjectionPoint::SyncBarrier => "sync-barrier",

@@ -379,9 +379,8 @@ impl Parser<'_> {
                             if self.pos + 5 > self.bytes.len() {
                                 return Err(JsonError::at(self.pos, "truncated \\u escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| JsonError::at(self.pos, "bad \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| JsonError::at(self.pos, "bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| JsonError::at(self.pos, "bad \\u escape"))?;
                             // Surrogate pairs are not needed by our own
@@ -466,7 +465,10 @@ mod tests {
         let doc = Json::obj(vec![
             ("name", Json::str("remus")),
             ("n", Json::num(123456789)),
-            ("list", Json::Arr(vec![Json::num(1), Json::Null, Json::Bool(true)])),
+            (
+                "list",
+                Json::Arr(vec![Json::num(1), Json::Null, Json::Bool(true)]),
+            ),
             ("nested", Json::obj(vec![("f", Json::float(0.25))])),
             ("escaped", Json::str("a\"b\\c\nd\te")),
         ]);

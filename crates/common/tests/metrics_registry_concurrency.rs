@@ -83,7 +83,12 @@ fn concurrent_mixed_series_creation_has_no_torn_labels() {
         h.join().unwrap();
     }
     for sample in reg.snapshot() {
-        assert_eq!(sample.labels.len(), 2, "torn label set: {:?}", sample.labels);
+        assert_eq!(
+            sample.labels.len(),
+            2,
+            "torn label set: {:?}",
+            sample.labels
+        );
         let (mig_key, mig_val) = &sample.labels[0];
         let (node_key, node_val) = &sample.labels[1];
         assert_eq!(mig_key, "migration");

@@ -15,7 +15,9 @@ use remus_cluster::Cluster;
 use remus_common::fault::{FaultAction, FaultInjector, InjectionPoint};
 use remus_common::{DbError, DbResult, Timestamp, TxnId};
 use remus_shard::{encode_owner, SHARD_MAP_SHARD};
-use remus_txn::{abort_txn, commit_prepared, commit_txn, prepare_participant, rollback_prepared, Txn};
+use remus_txn::{
+    abort_txn, commit_prepared, commit_txn, prepare_participant, rollback_prepared, Txn,
+};
 
 use crate::report::MigrationTask;
 

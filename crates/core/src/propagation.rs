@@ -24,7 +24,7 @@ use std::time::Duration;
 use crossbeam::channel::Sender;
 use remus_cluster::{Cluster, Node};
 use remus_common::{NodeId, ShardId, Timestamp, TxnId};
-use remus_wal::{LogOp, Lsn, UpdateCacheQueue};
+use remus_wal::{LogOp, Lsn, UpdateCacheQueue, WriteOp};
 
 use crate::mocc::RemusHook;
 use crate::replay::ApplyMsg;
@@ -147,6 +147,24 @@ fn propagate_loop(
     let mut pending: HashMap<TxnId, PendingTxn> = HashMap::new();
     let spill_threshold = cluster.config.spill_threshold;
     let spill_latency = cluster.config.spill_reload_latency;
+    let drain_batch = cluster.config.parallelism.drain_batch.max(1);
+    let batch_len = cluster.metrics.counter("replay.batch_len");
+    // Write records drained in the current batch, staged per transaction and
+    // bulk-appended to the update cache queue. A transaction's staged writes
+    // are flushed before any of its control records is handled so shipping
+    // order is identical to the one-record-at-a-time drain.
+    let mut staged: HashMap<TxnId, Vec<WriteOp>> = HashMap::new();
+    fn flush_staged(
+        pending: &mut HashMap<TxnId, PendingTxn>,
+        staged: &mut HashMap<TxnId, Vec<WriteOp>>,
+        xid: TxnId,
+    ) {
+        if let Some(ops) = staged.remove(&xid) {
+            if let Some(p) = pending.get_mut(&xid) {
+                p.queue.push_all(ops);
+            }
+        }
+    }
 
     let ship = |msg: ApplyMsg, queue_spill_batches: usize| {
         if queue_spill_batches > 0 {
@@ -174,8 +192,17 @@ fn propagate_loop(
     };
 
     loop {
-        match reader.next_blocking(Duration::from_millis(20)) {
-            Some((lsn, record)) => {
+        let batch = reader.next_batch_blocking(drain_batch, Duration::from_millis(20));
+        if batch.is_empty() {
+            // Idle: check for a requested stop once everything up to
+            // the stop point has been processed.
+            let stop = stop_at.load(Ordering::SeqCst);
+            if stop != u64::MAX && stats.processed_lsn.load(Ordering::SeqCst) >= stop {
+                break;
+            }
+        } else {
+            batch_len.add(batch.len() as u64);
+            for (lsn, record) in batch {
                 let xid = record.xid;
                 match record.op {
                     LogOp::Begin(start_ts) => {
@@ -189,14 +216,15 @@ fn propagate_loop(
                         );
                     }
                     LogOp::Write(op) if shards.contains(&op.shard) => {
-                        if let Some(p) = pending.get_mut(&xid) {
-                            p.queue.push(op);
+                        if pending.contains_key(&xid) {
+                            staged.entry(xid).or_default().push(op);
                             source.work.charge(1);
                             stats.extracted.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                     LogOp::Write(_) => {}
                     LogOp::Prepare => {
+                        flush_staged(&mut pending, &mut staged, xid);
                         if let Some(p) = pending.get_mut(&xid) {
                             if !p.queue.is_empty() && hook.is_sync_txn(xid) {
                                 let queue = std::mem::replace(
@@ -217,6 +245,7 @@ fn propagate_loop(
                         }
                     }
                     LogOp::Commit(ts) | LogOp::CommitPrepared(ts) => {
+                        flush_staged(&mut pending, &mut staged, xid);
                         if let Some(p) = pending.remove(&xid) {
                             if p.validated {
                                 ship(ApplyMsg::CommitShadow { xid, commit_ts: ts }, 0);
@@ -237,6 +266,7 @@ fn propagate_loop(
                         }
                     }
                     LogOp::Abort | LogOp::RollbackPrepared => {
+                        flush_staged(&mut pending, &mut staged, xid);
                         if let Some(p) = pending.remove(&xid) {
                             if p.validated {
                                 ship(ApplyMsg::RollbackShadow { xid }, 0);
@@ -247,12 +277,11 @@ fn propagate_loop(
                 stats.processed_lsn.store(lsn.0, Ordering::SeqCst);
                 source.storage.advance_slot(slot, lsn);
             }
-            None => {
-                // Idle: check for a requested stop once everything up to
-                // the stop point has been processed.
-                let stop = stop_at.load(Ordering::SeqCst);
-                if stop != u64::MAX && stats.processed_lsn.load(Ordering::SeqCst) >= stop {
-                    break;
+            // End of batch: move the remaining staged writes of still-open
+            // transactions into their update cache queues.
+            for (xid, ops) in staged.drain() {
+                if let Some(p) = pending.get_mut(&xid) {
+                    p.queue.push_all(ops);
                 }
             }
         }

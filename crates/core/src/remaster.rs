@@ -22,7 +22,7 @@ use crate::mocc::{RemusHook, ValidationRegistry};
 use crate::propagation::PropagationProcess;
 use crate::replay::ReplayProcess;
 use crate::report::{MigrationEngine, MigrationReport, MigrationTask};
-use crate::snapshot::copy_task_snapshots;
+use crate::snapshot::{copy_task_snapshots_gated, CopyGate};
 use crate::trace::TraceRecorder;
 
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(600);
@@ -80,13 +80,40 @@ impl MigrationEngine for WaitAndRemaster {
             hook,
             tx,
         );
-        let tuples = {
-            let _pin = cluster.pin_snapshot(snapshot_ts);
-            match copy_task_snapshots(cluster, &task.shards, &source, &dest, snapshot_ts) {
-                Ok(t) => t,
+        // Chunked copy with replay started alongside, gated per chunk —
+        // the same overlapped data plane as Remus.
+        let gate =
+            match CopyGate::plan(&task.shards, &source, cluster.config.parallelism.chunk_size) {
+                Ok(g) => Arc::new(g),
                 Err(e) => {
                     prop.request_stop(remus_wal::Lsn::ZERO);
                     prop.join();
+                    return Err(e);
+                }
+            };
+        let replay = ReplayProcess::start(
+            cluster,
+            &dest,
+            Arc::new(ValidationRegistry::new()),
+            rx,
+            Some(Arc::clone(&gate)),
+        );
+        let tuples = {
+            let _pin = cluster.pin_snapshot(snapshot_ts);
+            match copy_task_snapshots_gated(
+                cluster,
+                &source,
+                &dest,
+                snapshot_ts,
+                &gate,
+                Some((&rec, copy_span)),
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    gate.poison();
+                    prop.request_stop(remus_wal::Lsn::ZERO);
+                    prop.join();
+                    let _ = replay.join();
                     for shard in &task.shards {
                         dest.storage.drop_shard(*shard);
                     }
@@ -98,7 +125,6 @@ impl MigrationEngine for WaitAndRemaster {
         report.snapshot_phase = t0.elapsed();
         rec.attr(copy_span, "tuples_copied", tuples);
         rec.end(copy_span);
-        let replay = ReplayProcess::start(cluster, &dest, Arc::new(ValidationRegistry::new()), rx);
 
         // Asynchronous catch-up.
         let catch0 = Instant::now();

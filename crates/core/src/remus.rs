@@ -31,7 +31,7 @@ use crate::mocc::{RemusHook, ValidationRegistry};
 use crate::propagation::PropagationProcess;
 use crate::replay::ReplayProcess;
 use crate::report::{MigrationEngine, MigrationReport, MigrationTask};
-use crate::snapshot::copy_task_snapshots;
+use crate::snapshot::{copy_task_snapshots_gated, CopyGate};
 use crate::trace::TraceRecorder;
 
 /// How long the engine is willing to wait in each drain loop before
@@ -74,9 +74,10 @@ impl MigrationEngine for RemusEngine {
         let dest = Arc::clone(cluster.node(task.dest));
 
         // Machinery: validation registry and source commit hook. The
-        // destination replay process starts only after the snapshot copy —
-        // messages buffer in the channel meanwhile, so no propagated change
-        // can be applied before (and clobbered by) the snapshot install.
+        // destination replay process starts alongside the chunked snapshot
+        // copy, gated per key range by the CopyGate — a propagated change
+        // applies as soon as its chunk is installed, never before (it would
+        // be clobbered by the frozen install).
         let registry = Arc::new(ValidationRegistry::new());
         let hook = Arc::new(RemusHook::new(
             &task.shards,
@@ -105,6 +106,25 @@ impl MigrationEngine for RemusEngine {
             Arc::clone(&hook),
             tx,
         );
+        // Plan the chunk layout, start replay gated on it, then copy with
+        // the worker pool — completed chunks replay while others copy.
+        let gate =
+            match CopyGate::plan(&task.shards, &source, cluster.config.parallelism.chunk_size) {
+                Ok(g) => Arc::new(g),
+                Err(e) => {
+                    source.storage.uninstall_hook();
+                    prop.request_stop(Lsn::ZERO);
+                    prop.join();
+                    return Err(e);
+                }
+            };
+        let replay = ReplayProcess::start(
+            cluster,
+            &dest,
+            Arc::clone(&registry),
+            rx,
+            Some(Arc::clone(&gate)),
+        );
         let copy_result = {
             let _pin = cluster.pin_snapshot(snapshot_ts);
             match cluster.fault_at(InjectionPoint::SnapshotCopy, task.source) {
@@ -113,17 +133,28 @@ impl MigrationEngine for RemusEngine {
                     if let FaultAction::Delay(d) = fault {
                         std::thread::sleep(d);
                     }
-                    copy_task_snapshots(cluster, &task.shards, &source, &dest, snapshot_ts)
+                    copy_task_snapshots_gated(
+                        cluster,
+                        &source,
+                        &dest,
+                        snapshot_ts,
+                        &gate,
+                        Some((&rec, copy_span)),
+                    )
                 }
             }
         };
         let tuples = match copy_result {
             Ok(t) => t,
             Err(e) => {
-                // Unwind: stop the processes and leave the source intact.
+                // Unwind: poison the gate (wakes replay workers parked on
+                // uncopied chunks), stop the processes, and leave the
+                // source intact.
+                gate.poison();
                 source.storage.uninstall_hook();
                 prop.request_stop(Lsn::ZERO);
                 prop.join();
+                let _ = replay.join();
                 for shard in &task.shards {
                     dest.storage.drop_shard(*shard);
                 }
@@ -135,7 +166,6 @@ impl MigrationEngine for RemusEngine {
         rec.attr(copy_span, "tuples_copied", tuples);
         rec.attr(copy_span, "snapshot_ts", snapshot_ts.0);
         rec.end(copy_span);
-        let replay = ReplayProcess::start(cluster, &dest, Arc::clone(&registry), rx);
 
         // Phase 2: asynchronous catch-up.
         let catch0 = Instant::now();
@@ -169,6 +199,12 @@ impl MigrationEngine for RemusEngine {
             )));
         }
         report.catchup_phase = catch0.elapsed();
+        for (w, jobs) in replay.worker_jobs().iter().enumerate() {
+            let s = rec.child(catchup_span, "replay_worker");
+            rec.attr(s, "worker", w as u64);
+            rec.attr(s, "jobs", *jobs);
+            rec.end(s);
+        }
         rec.end(catchup_span);
 
         // Phase 3: mode change. Raise the sync barrier, drain TS_unsync,
@@ -404,7 +440,9 @@ mod tests {
                 }
                 panic!(
                     "key {k} lost its last committed update: {:?} != {:?}",
-                    by_key.get(&k).map(|v| String::from_utf8_lossy(v).into_owned()),
+                    by_key
+                        .get(&k)
+                        .map(|v| String::from_utf8_lossy(v).into_owned()),
                     String::from_utf8_lossy(&v)
                 );
             }

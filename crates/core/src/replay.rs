@@ -1,13 +1,24 @@
 //! The destination-side replay process (§3.3, §3.5.2, §3.6).
 //!
 //! A dispatcher thread receives [`ApplyMsg`]s from the propagation process
-//! in source-WAL order and hands shadow-transaction work to a pool of apply
-//! workers (`SimConfig::replay_parallelism`, the paper's "transaction-level
-//! parallel apply based on SI by tracking timestamp order"). Independence
-//! is decided by key: a message whose keys intersect an earlier in-flight
-//! message waits for that message to finish first (the key fence), so
-//! conflicting transactions apply in source commit order while disjoint
-//! ones run concurrently.
+//! in source-WAL order and shards shadow-transaction work over a pool of
+//! apply workers (`ParallelismConfig::replay_workers`, the paper's
+//! "transaction-level parallel apply based on SI by tracking timestamp
+//! order"), routing each job to a worker by the hash of its smallest
+//! written key. Independence is decided by key: a message whose keys
+//! intersect an earlier in-flight message waits for that message to finish
+//! first (the key fence), so conflicting transactions apply in source
+//! commit order while disjoint ones fan out concurrently. The scheduler is
+//! deadlock-free: tickets are assigned in stream order, dependencies only
+//! point at lower tickets, and each worker consumes its queue in ticket
+//! order — so the globally smallest unfinished ticket is always at the
+//! head of some queue with every dependency already complete.
+//!
+//! When a [`CopyGate`] is supplied, replay runs concurrently with the
+//! chunked snapshot copy: before applying a key the worker waits for that
+//! key's copy chunk to complete (a frozen install replaces the whole
+//! version chain, so applying first would be clobbered). Completed chunks
+//! replay while others are still copying.
 //!
 //! * `Committed` — async-phase replay: run a shadow transaction with the
 //!   source transaction's xid and start timestamp, apply its ops, commit
@@ -20,19 +31,26 @@
 //!   source's decision and timestamp.
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use remus_cluster::{Cluster, Node};
 use remus_common::fault::{FaultAction, InjectionPoint};
-use remus_common::{DbError, ShardId, Timestamp, TxnId};
+use remus_common::{DbError, DbResult, ShardId, Timestamp, TxnId};
 use remus_storage::Key;
 use remus_txn::{abort_txn, commit_prepared, prepare_participant, rollback_prepared, Txn};
 use remus_wal::{LogOp, LogRecord, WriteKind, WriteOp};
 
 use crate::mocc::ValidationRegistry;
+use crate::snapshot::CopyGate;
+
+/// How long a replay worker waits for a key's copy chunk before declaring
+/// the interleaved snapshot copy stuck. Matches the engines' drain timeout.
+const GATE_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// A message from the propagation process to the replay process.
 #[derive(Debug)]
@@ -128,6 +146,9 @@ struct ReplayShared {
     registry: Arc<ValidationRegistry>,
     stats: Arc<ReplayStats>,
     completion: Arc<Completion>,
+    /// Chunked-copy completion tracker; replay of a key waits for its
+    /// chunk. `None` when the copy finished before replay started.
+    gate: Option<Arc<CopyGate>>,
     /// Shadows currently prepared on the destination.
     prepared_shadows: Mutex<HashSet<TxnId>>,
     /// First unexpected failure (async replay must never conflict; if it
@@ -136,6 +157,34 @@ struct ReplayShared {
 }
 
 impl ReplayShared {
+    /// Records a fatal error unless one is already recorded.
+    fn set_fatal(&self, e: DbError) {
+        let mut fatal = self.fatal.lock();
+        if fatal.is_none() {
+            *fatal = Some(e);
+        }
+    }
+
+    /// A worker panicked mid-job: record it and mark the ticket complete so
+    /// dependent jobs (and the engine's join) do not hang forever.
+    fn note_panic(&self, ticket: u64) {
+        self.set_fatal(DbError::Internal(
+            "replay worker panicked mid-job".to_string(),
+        ));
+        self.completion.mark(ticket);
+        self.stats.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Blocks until every key the ops touch has had its snapshot chunk
+    /// copied. Errs if the copy was poisoned (migration unwinding).
+    fn wait_chunks(&self, ops: &[WriteOp]) -> DbResult<()> {
+        if let Some(gate) = &self.gate {
+            for op in ops {
+                gate.wait_copied(op.shard, op.key, GATE_TIMEOUT)?;
+            }
+        }
+        Ok(())
+    }
     fn apply_ops(&self, shadow: &mut Txn, ops: &[WriteOp]) -> Result<(), DbError> {
         let storage = &self.dest.storage;
         for op in ops {
@@ -156,6 +205,13 @@ impl ReplayShared {
         for dep in &job.deps {
             self.completion.wait(*dep);
         }
+        // Mutation seam: a worker dying mid-job must not hang the pipeline
+        // (the panic is caught in the worker loop, which notes it and marks
+        // the ticket).
+        #[cfg(feature = "mutation-hooks")]
+        if remus_storage::mutation::take_kill_replay_worker() {
+            panic!("mutation: replay worker killed mid-job");
+        }
         match job.msg {
             ApplyMsg::Committed {
                 xid,
@@ -169,6 +225,14 @@ impl ReplayShared {
                     .fault_at(InjectionPoint::ReplayApply, self.dest.id())
                 {
                     std::thread::sleep(d);
+                }
+                if let Err(e) = self.wait_chunks(&ops) {
+                    // The interleaved copy failed or stalled: the migration
+                    // is unwinding; surface and skip the apply.
+                    self.set_fatal(e);
+                    self.completion.mark(job.ticket);
+                    self.stats.done.fetch_add(1, Ordering::Relaxed);
+                    return;
                 }
                 // The shadow runs under its own id: the source transaction
                 // may itself be a 2PC participant on this node.
@@ -203,6 +267,15 @@ impl ReplayShared {
                 }
             }
             ApplyMsg::Validate { xid, start_ts, ops } => {
+                if self.wait_chunks(&ops).is_err() {
+                    // Copy failed: fail the validation so the source is not
+                    // left waiting on a verdict that will never come.
+                    self.registry
+                        .complete(xid, Err(DbError::NodeUnavailable(self.dest.id())));
+                    self.completion.mark(job.ticket);
+                    self.stats.done.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 let fault = self
                     .cluster
                     .fault_at(InjectionPoint::MoccValidation, self.dest.id());
@@ -285,22 +358,26 @@ impl ReplayShared {
     }
 }
 
-/// The replay process: dispatcher + worker pool.
+/// The replay process: dispatcher + sharded worker pool.
 pub struct ReplayProcess {
     /// Counters.
     pub stats: Arc<ReplayStats>,
     shared: Arc<ReplayShared>,
+    worker_jobs: Arc<Vec<AtomicU64>>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ReplayProcess {
     /// Starts the replay process on `dest`, consuming messages from `rx`.
+    /// With a [`CopyGate`], replay interleaves with the chunked snapshot
+    /// copy: a key is applied only after its chunk finished copying.
     pub fn start(
         cluster: &Arc<Cluster>,
         dest: &Arc<Node>,
         registry: Arc<ValidationRegistry>,
         rx: Receiver<ApplyMsg>,
+        gate: Option<Arc<CopyGate>>,
     ) -> ReplayProcess {
         let stats = Arc::new(ReplayStats::default());
         let shared = Arc::new(ReplayShared {
@@ -309,18 +386,27 @@ impl ReplayProcess {
             registry,
             stats: Arc::clone(&stats),
             completion: Arc::new(Completion::default()),
+            gate,
             prepared_shadows: Mutex::new(HashSet::new()),
             fatal: Mutex::new(None),
         });
 
-        let (job_tx, job_rx) = unbounded::<Job>();
-        let workers = (0..cluster.config.replay_parallelism.max(1))
-            .map(|_| {
+        let n = cluster.config.parallelism.replay_workers.max(1);
+        let worker_jobs = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let mut job_txs = Vec::with_capacity(n);
+        let workers = (0..n)
+            .map(|w| {
+                let (job_tx, job_rx) = unbounded::<Job>();
+                job_txs.push(job_tx);
                 let shared = Arc::clone(&shared);
-                let job_rx: Receiver<Job> = job_rx.clone();
+                let worker_jobs = Arc::clone(&worker_jobs);
                 std::thread::spawn(move || {
                     while let Ok(job) = job_rx.recv() {
-                        shared.run_job(job);
+                        let ticket = job.ticket;
+                        if catch_unwind(AssertUnwindSafe(|| shared.run_job(job))).is_err() {
+                            shared.note_panic(ticket);
+                        }
+                        worker_jobs[w].fetch_add(1, Ordering::Relaxed);
                     }
                 })
             })
@@ -328,15 +414,25 @@ impl ReplayProcess {
 
         let dispatcher = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || dispatch_loop(shared, rx, job_tx))
+            std::thread::spawn(move || dispatch_loop(shared, rx, job_txs))
         };
 
         ReplayProcess {
             stats,
             shared,
+            worker_jobs,
             dispatcher: Some(dispatcher),
             workers,
         }
+    }
+
+    /// Jobs executed by each worker, by worker index (per-worker span
+    /// attrs; the dispatcher's inline shadow resolutions are not counted).
+    pub fn worker_jobs(&self) -> Vec<u64> {
+        self.worker_jobs
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// The first unexpected (fatal) replay failure, if any.
@@ -350,18 +446,25 @@ impl ReplayProcess {
     }
 
     /// Waits for the dispatcher (after the propagation sent `Shutdown`) and
-    /// all workers to finish. Fails if a fatal replay error occurred or if
-    /// any shadow transaction is still prepared after a clean drain (the
-    /// stream must have resolved every validated shadow).
+    /// all workers to finish. Fails if a fatal replay error occurred (a
+    /// worker panic is caught, noted, and surfaced here instead of hanging
+    /// the pipeline) or if any shadow transaction is still prepared after a
+    /// clean drain (the stream must have resolved every validated shadow).
     pub fn join(mut self) -> Result<(), DbError> {
+        let mut thread_died = false;
         if let Some(d) = self.dispatcher.take() {
-            d.join().expect("replay dispatcher panicked");
+            thread_died |= d.join().is_err();
         }
         for w in self.workers.drain(..) {
-            w.join().expect("replay worker panicked");
+            thread_died |= w.join().is_err();
         }
         if let Some(e) = self.shared.fatal.lock().take() {
             return Err(e);
+        }
+        if thread_died {
+            return Err(DbError::Internal(
+                "replay thread died outside job execution".to_string(),
+            ));
         }
         let prepared_left = self.shared.prepared_shadows.lock().len();
         if prepared_left != 0 {
@@ -373,7 +476,22 @@ impl ReplayProcess {
     }
 }
 
-fn dispatch_loop(shared: Arc<ReplayShared>, rx: Receiver<ApplyMsg>, job_tx: Sender<Job>) {
+/// The worker a message's ops route to: hash of the smallest written key.
+/// Routing is only a locality/balance choice — correctness comes from the
+/// key fence — but it is deterministic so reruns shard identically.
+fn route_of(ops: &[WriteOp], workers: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    match ops.iter().map(|op| (op.shard, op.key)).min() {
+        Some(min) => {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            min.hash(&mut h);
+            (h.finish() % workers as u64) as usize
+        }
+        None => 0,
+    }
+}
+
+fn dispatch_loop(shared: Arc<ReplayShared>, rx: Receiver<ApplyMsg>, job_txs: Vec<Sender<Job>>) {
     let mut next_ticket: u64 = 0;
     // Last ticket that touched each key; per-xid ticket of the Validate.
     let mut last_key_ticket: HashMap<(ShardId, Key), u64> = HashMap::new();
@@ -397,8 +515,9 @@ fn dispatch_loop(shared: Arc<ReplayShared>, rx: Receiver<ApplyMsg>, job_tx: Send
             ApplyMsg::Shutdown => break,
             ApplyMsg::Committed { ref ops, .. } => {
                 next_ticket += 1;
+                let worker = route_of(ops, job_txs.len());
                 let deps = deps_for(ops, next_ticket, &mut last_key_ticket);
-                job_tx
+                job_txs[worker]
                     .send(Job {
                         ticket: next_ticket,
                         deps,
@@ -409,8 +528,9 @@ fn dispatch_loop(shared: Arc<ReplayShared>, rx: Receiver<ApplyMsg>, job_tx: Send
             ApplyMsg::Validate { xid, ref ops, .. } => {
                 next_ticket += 1;
                 validate_ticket.insert(xid, next_ticket);
+                let worker = route_of(ops, job_txs.len());
                 let deps = deps_for(ops, next_ticket, &mut last_key_ticket);
-                job_tx
+                job_txs[worker]
                     .send(Job {
                         ticket: next_ticket,
                         deps,
@@ -423,17 +543,20 @@ fn dispatch_loop(shared: Arc<ReplayShared>, rx: Receiver<ApplyMsg>, job_tx: Send
                 // Validate having completed; run inline (cheap) to preserve
                 // stream order for the same xid.
                 next_ticket += 1;
+                let ticket = next_ticket;
                 let deps = validate_ticket.remove(&xid).into_iter().collect();
                 let shared = Arc::clone(&shared);
-                shared.run_job(Job {
-                    ticket: next_ticket,
-                    deps,
-                    msg,
-                });
+                if catch_unwind(AssertUnwindSafe(|| {
+                    shared.run_job(Job { ticket, deps, msg })
+                }))
+                .is_err()
+                {
+                    shared.note_panic(ticket);
+                }
             }
         }
     }
-    // Closing job_tx lets workers drain and exit.
+    // Closing the job channels lets workers drain and exit.
 }
 
 #[cfg(test)]
@@ -458,17 +581,20 @@ mod tests {
     }
 
     fn setup() -> (Arc<Cluster>, Sender<ApplyMsg>, ReplayProcess) {
-        let cluster = ClusterBuilder::new(2)
-            .config(SimConfig {
-                replay_parallelism: 4,
-                ..SimConfig::instant()
-            })
-            .build();
+        let mut config = SimConfig::instant();
+        config.parallelism.replay_workers = 4;
+        let cluster = ClusterBuilder::new(2).config(config).build();
         cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
         let dest = Arc::clone(cluster.node(NodeId(1)));
         dest.storage.create_shard(ShardId(0));
         let (tx, rx) = unbounded();
-        let replay = ReplayProcess::start(&cluster, &dest, Arc::new(ValidationRegistry::new()), rx);
+        let replay = ReplayProcess::start(
+            &cluster,
+            &dest,
+            Arc::new(ValidationRegistry::new()),
+            rx,
+            None,
+        );
         (cluster, tx, replay)
     }
 
@@ -570,7 +696,7 @@ mod tests {
         dest.storage.create_shard(ShardId(0));
         let registry = Arc::new(ValidationRegistry::new());
         let (tx, rx) = unbounded();
-        let replay = ReplayProcess::start(&cluster, &dest, Arc::clone(&registry), rx);
+        let replay = ReplayProcess::start(&cluster, &dest, Arc::clone(&registry), rx, None);
 
         tx.send(ApplyMsg::Validate {
             xid: xid(1),
@@ -606,7 +732,7 @@ mod tests {
         let registry = Arc::new(ValidationRegistry::new());
         let dest = Arc::clone(cluster.node(NodeId(1)));
         let (tx, rx) = unbounded();
-        let replay = ReplayProcess::start(&cluster, &dest, Arc::clone(&registry), rx);
+        let replay = ReplayProcess::start(&cluster, &dest, Arc::clone(&registry), rx, None);
 
         // A destination transaction wrote key 3 and committed "after" the
         // source transaction's snapshot.
@@ -642,7 +768,7 @@ mod tests {
         dest.storage.create_shard(ShardId(0));
         let registry = Arc::new(ValidationRegistry::new());
         let (tx, rx) = unbounded();
-        let replay = ReplayProcess::start(&cluster, &dest, Arc::clone(&registry), rx);
+        let replay = ReplayProcess::start(&cluster, &dest, Arc::clone(&registry), rx, None);
         tx.send(ApplyMsg::Validate {
             xid: xid(1),
             start_ts: Timestamp(10),

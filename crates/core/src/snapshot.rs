@@ -1,4 +1,4 @@
-//! Snapshot copying (paper §3.2).
+//! Snapshot copying (paper §3.2), parallelized into key-range chunks.
 //!
 //! Multi-versioning creates the shard snapshot for free: the copy scans the
 //! source shard for the versions visible at the snapshot timestamp and
@@ -8,11 +8,393 @@
 //! latch is released between batches) and holds no locks against normal
 //! processing; the snapshot pin only blocks vacuum, which is exactly the
 //! version-chain pressure §4.8 measures.
+//!
+//! Each shard is split into [`ParallelismConfig::chunk_size`]-key chunks
+//! processed by a pool of `copy_workers` threads. A [`CopyGate`] tracks
+//! chunk completion: when a chunk finishes, its copy-LSN watermark (the
+//! source WAL tail at completion) is recorded and replay workers waiting on
+//! keys in that chunk wake up — catch-up replay can begin on completed
+//! chunks while others are still copying. Snapshot equivalence holds
+//! because `install_frozen` replaces the whole version chain: a replayed
+//! update applied before the chunk copy would be clobbered, so the gate
+//! makes replay of a key wait for its chunk. The converse order is safe —
+//! the chunk scan reads the pinned snapshot, which by construction precedes
+//! every replayed commit. Chunk retry after a mid-chunk worker crash is
+//! safe for the same reason: re-installing a tuple from the snapshot is
+//! idempotent as long as no replayed update has been applied, and none has,
+//! because the gate only opens when the chunk *successfully* completes.
 
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use parking_lot::{Condvar, Mutex};
 use remus_cluster::{Cluster, Node};
-use remus_common::{DbResult, ShardId, Timestamp};
+use remus_common::fault::{FaultAction, InjectionPoint};
+use remus_common::{DbError, DbResult, ShardId, Timestamp};
+use remus_storage::Key;
+
+use crate::trace::{SpanId, TraceRecorder};
+
+/// Attempts per chunk before a repeatedly-crashing copy worker gives up and
+/// fails the migration.
+const MAX_CHUNK_ATTEMPTS: usize = 4;
+
+/// Tuples a crashing worker installs before dying, so retries exercise the
+/// partially-copied-chunk path.
+const CRASH_AFTER_TUPLES: u64 = 16;
+
+/// One shard's chunk layout inside a [`CopyGate`].
+#[derive(Debug)]
+struct ShardPlan {
+    /// Sorted split keys; chunk `i` covers `[splits[i-1], splits[i])` with
+    /// unbounded first/last ends. `n` splits make `n + 1` chunks.
+    splits: Vec<Key>,
+    /// Offset of this shard's chunk 0 in the gate's flat state vectors.
+    base: usize,
+}
+
+impl ShardPlan {
+    fn chunk_count(&self) -> usize {
+        self.splits.len() + 1
+    }
+
+    /// The chunk covering `key`: the number of splits at or below it.
+    fn chunk_of(&self, key: Key) -> usize {
+        self.splits.partition_point(|s| *s <= key)
+    }
+
+    /// Half-open key range of chunk `idx`.
+    fn range_of(&self, idx: usize) -> (Bound<Key>, Bound<Key>) {
+        let lo = if idx == 0 {
+            Bound::Unbounded
+        } else {
+            Bound::Included(self.splits[idx - 1])
+        };
+        let hi = match self.splits.get(idx) {
+            Some(s) => Bound::Excluded(*s),
+            None => Bound::Unbounded,
+        };
+        (lo, hi)
+    }
+}
+
+#[derive(Debug)]
+struct GateState {
+    done: Vec<bool>,
+    copy_lsn: Vec<u64>,
+    poisoned: bool,
+}
+
+/// Completion tracker for the chunked snapshot copy of one migration.
+///
+/// Built from the source tables *before* the copy starts, so replay workers
+/// started concurrently can ask "is the chunk holding this key copied yet?"
+/// and block until it is. Poisoning (copy failed) wakes every waiter with an
+/// error so a failed migration unwinds instead of hanging its replay pool.
+#[derive(Debug)]
+pub struct CopyGate {
+    plans: HashMap<ShardId, ShardPlan>,
+    state: Mutex<GateState>,
+    advanced: Condvar,
+}
+
+/// One unit of copy work: a key-range chunk of one shard.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkJob {
+    /// Shard the chunk belongs to.
+    pub shard: ShardId,
+    /// Chunk index within the shard.
+    pub idx: usize,
+    /// Index into the gate's flat completion state.
+    flat: usize,
+    /// Inclusive-ish lower bound of the key range.
+    lo: Bound<Key>,
+    /// Exclusive-ish upper bound of the key range.
+    hi: Bound<Key>,
+}
+
+impl CopyGate {
+    /// Plans the chunk layout for a task's shards on the source node.
+    /// Fails with `NotOwner` if the source does not host one of them.
+    pub fn plan(shards: &[ShardId], source: &Node, chunk_size: u64) -> DbResult<CopyGate> {
+        let mut plans = HashMap::new();
+        let mut base = 0usize;
+        for &shard in shards {
+            let table = source.storage.table_or_err(shard)?;
+            let splits = table.chunk_splits(chunk_size);
+            let n = splits.len() + 1;
+            plans.insert(shard, ShardPlan { splits, base });
+            base += n;
+        }
+        Ok(CopyGate {
+            plans,
+            state: Mutex::new(GateState {
+                done: vec![false; base],
+                copy_lsn: vec![0; base],
+                poisoned: false,
+            }),
+            advanced: Condvar::new(),
+        })
+    }
+
+    /// A trivially-open gate for an empty task (no shards, no chunks).
+    pub fn open() -> CopyGate {
+        CopyGate {
+            plans: HashMap::new(),
+            state: Mutex::new(GateState {
+                done: Vec::new(),
+                copy_lsn: Vec::new(),
+                poisoned: false,
+            }),
+            advanced: Condvar::new(),
+        }
+    }
+
+    /// Total chunks across all shards.
+    pub fn chunk_count(&self) -> usize {
+        self.plans.values().map(|p| p.chunk_count()).sum()
+    }
+
+    /// Every chunk as a work item, shard by shard in chunk order.
+    fn jobs(&self) -> Vec<ChunkJob> {
+        let mut jobs = Vec::with_capacity(self.chunk_count());
+        let mut shards: Vec<_> = self.plans.iter().collect();
+        shards.sort_by_key(|(s, _)| **s);
+        for (&shard, plan) in shards {
+            for idx in 0..plan.chunk_count() {
+                let (lo, hi) = plan.range_of(idx);
+                jobs.push(ChunkJob {
+                    shard,
+                    idx,
+                    flat: plan.base + idx,
+                    lo,
+                    hi,
+                });
+            }
+        }
+        jobs
+    }
+
+    /// Blocks until the chunk holding `(shard, key)` has been copied.
+    /// Returns immediately for shards outside the migration. Errs if the
+    /// copy was poisoned or `timeout` elapses.
+    pub fn wait_copied(&self, shard: ShardId, key: Key, timeout: Duration) -> DbResult<()> {
+        let Some(plan) = self.plans.get(&shard) else {
+            return Ok(());
+        };
+        let flat = plan.base + plan.chunk_of(key);
+        let mut state = self.state.lock();
+        loop {
+            if state.poisoned {
+                return Err(DbError::Migration("snapshot copy failed".into()));
+            }
+            if state.done[flat] {
+                return Ok(());
+            }
+            if self.advanced.wait_for(&mut state, timeout).timed_out() {
+                return Err(DbError::Timeout("copy-gate wait"));
+            }
+        }
+    }
+
+    /// Marks a chunk copied at the given source copy-LSN watermark and wakes
+    /// waiters.
+    fn mark_copied(&self, flat: usize, copy_lsn: u64) {
+        let mut state = self.state.lock();
+        state.done[flat] = true;
+        state.copy_lsn[flat] = copy_lsn;
+        drop(state);
+        self.advanced.notify_all();
+    }
+
+    /// Poisons the gate: every current and future waiter errs out.
+    pub fn poison(&self) {
+        self.state.lock().poisoned = true;
+        self.advanced.notify_all();
+    }
+
+    /// Copy-LSN watermark recorded for a completed chunk, if completed.
+    pub fn copy_lsn(&self, shard: ShardId, idx: usize) -> Option<u64> {
+        let plan = self.plans.get(&shard)?;
+        let state = self.state.lock();
+        let flat = plan.base + idx;
+        state.done[flat].then(|| state.copy_lsn[flat])
+    }
+
+    /// True once every chunk completed.
+    pub fn all_copied(&self) -> bool {
+        let state = self.state.lock();
+        state.done.iter().all(|d| *d)
+    }
+}
+
+/// Streams one chunk of `shard` into the (already created) destination
+/// table. Returns tuples copied. A `CopyChunk` fault of `Fail`/`Crash`
+/// kills the worker mid-chunk: a prefix of the chunk is installed, then the
+/// scan errs — the caller retries the whole chunk.
+fn copy_chunk(
+    cluster: &Arc<Cluster>,
+    source: &Node,
+    dest: &Node,
+    job: &ChunkJob,
+    snapshot_ts: Timestamp,
+) -> DbResult<u64> {
+    let crash = match cluster.fault_at(InjectionPoint::CopyChunk, source.id()) {
+        FaultAction::Continue => false,
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            false
+        }
+        FaultAction::Fail | FaultAction::Crash => true,
+    };
+    let src_table = source.storage.table_or_err(job.shard)?;
+    let dst_table = dest.storage.table_or_err(job.shard)?;
+    let per_tuple = cluster.config.snapshot_copy_per_tuple;
+    let mut copied = 0u64;
+    let mut batch_cost = 0u32;
+    src_table.for_each_visible_range(
+        (job.lo, job.hi),
+        snapshot_ts,
+        &source.storage.clog,
+        cluster.config.lock_wait_timeout,
+        |key, value| {
+            if crash && copied >= CRASH_AFTER_TUPLES {
+                return;
+            }
+            dst_table.install_frozen(key, value);
+            copied += 1;
+            batch_cost += 1;
+            // Charge the streaming scan + network + install cost in batches
+            // to keep the simulated copy bandwidth realistic without a
+            // syscall per tuple.
+            if batch_cost == 256 {
+                source.work.charge(256);
+                dest.work.charge(256);
+                if !per_tuple.is_zero() {
+                    std::thread::sleep(per_tuple * 256);
+                }
+                batch_cost = 0;
+            }
+        },
+    )?;
+    source.work.charge(batch_cost as u64);
+    dest.work.charge(batch_cost as u64);
+    if !per_tuple.is_zero() && batch_cost > 0 {
+        std::thread::sleep(per_tuple * batch_cost);
+    }
+    if crash {
+        return Err(DbError::NodeUnavailable(source.id()));
+    }
+    Ok(copied)
+}
+
+/// Copies every chunk of the gate's shards from `source` to `dest` with a
+/// pool of [`ParallelismConfig::copy_workers`] threads, marking chunks in
+/// the gate (with their copy-LSN watermark) as they complete. Destination
+/// tables for all shards are created before any worker starts, so replay of
+/// an early-finished chunk never races shard creation. Per-chunk child
+/// spans are recorded under `parent` when a recorder is given. Returns
+/// total tuples copied; on failure the gate is poisoned.
+pub fn copy_task_snapshots_gated(
+    cluster: &Arc<Cluster>,
+    source: &Arc<Node>,
+    dest: &Arc<Node>,
+    snapshot_ts: Timestamp,
+    gate: &Arc<CopyGate>,
+    rec: Option<(&TraceRecorder, SpanId)>,
+) -> DbResult<u64> {
+    for &shard in gate.plans.keys() {
+        dest.storage.create_shard(shard);
+    }
+    let jobs = gate.jobs();
+    let workers = cluster
+        .config
+        .parallelism
+        .copy_workers
+        .max(1)
+        .min(jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let total = AtomicU64::new(0);
+    let failed = AtomicBool::new(false);
+    let first_err: Mutex<Option<DbError>> = Mutex::new(None);
+    let chunk_counter = cluster.metrics.counter("migration.copy_chunks");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let (next, total, failed, first_err) = (&next, &total, &failed, &first_err);
+                let (jobs, gate, chunk_counter) = (&jobs, gate, &chunk_counter);
+                let (cluster, source, dest) =
+                    (Arc::clone(cluster), Arc::clone(source), Arc::clone(dest));
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= jobs.len() || failed.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let job = &jobs[i];
+                    let span = rec.map(|(r, parent)| {
+                        let s = r.child(parent, "copy_chunk");
+                        r.attr(s, "shard", job.shard.0);
+                        r.attr(s, "chunk", job.idx as u64);
+                        r.attr(s, "worker", worker as u64);
+                        s
+                    });
+                    let mut attempt = 0;
+                    let outcome = loop {
+                        attempt += 1;
+                        match copy_chunk(&cluster, &source, &dest, job, snapshot_ts) {
+                            Ok(t) => break Ok(t),
+                            Err(e) if attempt < MAX_CHUNK_ATTEMPTS => {
+                                if let Some((r, _)) = rec {
+                                    let s = span.expect("span set when rec set");
+                                    r.attr(s, "retries", attempt as u64);
+                                }
+                                let _ = e;
+                            }
+                            Err(e) => break Err(e),
+                        }
+                    };
+                    match outcome {
+                        Ok(tuples) => {
+                            let copy_lsn = source.storage.wal.flush_lsn().0;
+                            total.fetch_add(tuples, Ordering::SeqCst);
+                            chunk_counter.inc();
+                            if let Some((r, _)) = rec {
+                                let s = span.expect("span set when rec set");
+                                r.attr(s, "tuples", tuples);
+                                r.attr(s, "copy_lsn", copy_lsn);
+                                r.end(s);
+                            }
+                            gate.mark_copied(job.flat, copy_lsn);
+                        }
+                        Err(e) => {
+                            if let Some((r, _)) = rec {
+                                r.end(span.expect("span set when rec set"));
+                            }
+                            let mut slot = first_err.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            drop(slot);
+                            failed.store(true, Ordering::SeqCst);
+                            gate.poison();
+                            return;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("snapshot copy worker panicked");
+        }
+    });
+    if let Some(e) = first_err.lock().take() {
+        return Err(e);
+    }
+    Ok(total.into_inner())
+}
 
 /// Copies the snapshot of `shard` (visible at `snapshot_ts`) from `source`
 /// to `dest`, creating the destination shard table. Returns tuples copied.
@@ -36,9 +418,7 @@ pub fn copy_shard_snapshot(
             dst_table.install_frozen(key, value);
             copied += 1;
             batch_cost += 1;
-            // Charge the streaming scan + network + install cost in batches
-            // to keep the simulated copy bandwidth realistic without a
-            // syscall per tuple.
+            // Same batched cost model as the chunked path.
             if batch_cost == 256 {
                 source.work.charge(256);
                 dest.work.charge(256);
@@ -57,8 +437,10 @@ pub fn copy_shard_snapshot(
     Ok(copied)
 }
 
-/// Copies all of a task's shards in parallel (collocated migration copies
-/// collocated shards together, §3.8). Returns total tuples copied.
+/// Copies all of a task's shards with the configured chunked worker pool
+/// (collocated migration copies collocated shards together, §3.8). Returns
+/// total tuples copied. Callers that do not interleave replay use this
+/// convenience wrapper; engines that do build the [`CopyGate`] themselves.
 pub fn copy_task_snapshots(
     cluster: &Arc<Cluster>,
     shards: &[ShardId],
@@ -66,26 +448,12 @@ pub fn copy_task_snapshots(
     dest: &Arc<Node>,
     snapshot_ts: Timestamp,
 ) -> DbResult<u64> {
-    if shards.len() == 1 {
-        return copy_shard_snapshot(cluster, source, dest, shards[0], snapshot_ts);
-    }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|&shard| {
-                let (cluster, source, dest) =
-                    (Arc::clone(cluster), Arc::clone(source), Arc::clone(dest));
-                scope.spawn(move || {
-                    copy_shard_snapshot(&cluster, &source, &dest, shard, snapshot_ts)
-                })
-            })
-            .collect();
-        let mut total = 0;
-        for h in handles {
-            total += h.join().expect("snapshot copy thread panicked")?;
-        }
-        Ok(total)
-    })
+    let gate = Arc::new(CopyGate::plan(
+        shards,
+        source,
+        cluster.config.parallelism.chunk_size,
+    )?);
+    copy_task_snapshots_gated(cluster, source, dest, snapshot_ts, &gate, None)
 }
 
 #[cfg(test)]
@@ -166,5 +534,198 @@ mod tests {
         let (src, dst) = (cluster.node(NodeId(0)), cluster.node(NodeId(1)));
         let err = copy_shard_snapshot(&cluster, src, dst, ShardId(9), Timestamp(5)).unwrap_err();
         assert!(matches!(err, remus_common::DbError::NotOwner { .. }));
+        // The chunked planner fails the same way before any work starts.
+        let err = CopyGate::plan(&[ShardId(9)], src, 64).unwrap_err();
+        assert!(matches!(err, remus_common::DbError::NotOwner { .. }));
+    }
+
+    /// Copies via the gated pool and returns (copied, gate) for inspection.
+    fn gated_copy(
+        cluster: &Arc<remus_cluster::Cluster>,
+        shards: &[ShardId],
+        chunk_size: u64,
+        snapshot_ts: Timestamp,
+    ) -> (u64, Arc<CopyGate>) {
+        let (src, dst) = (cluster.node(NodeId(0)), cluster.node(NodeId(1)));
+        let gate = Arc::new(CopyGate::plan(shards, src, chunk_size).unwrap());
+        let copied =
+            copy_task_snapshots_gated(cluster, src, dst, snapshot_ts, &gate, None).unwrap();
+        (copied, gate)
+    }
+
+    /// Sorted (key, value) dump of a shard visible at `ts` on a node.
+    fn dump(
+        cluster: &Arc<remus_cluster::Cluster>,
+        node: NodeId,
+        shard: ShardId,
+        ts: Timestamp,
+    ) -> Vec<(u64, Value)> {
+        let n = cluster.node(node);
+        let table = n.storage.table(shard).unwrap();
+        let mut out = Vec::new();
+        table
+            .for_each_visible(
+                ts,
+                &n.storage.clog,
+                std::time::Duration::from_secs(1),
+                |k, v| out.push((k, v)),
+            )
+            .unwrap();
+        out
+    }
+
+    #[test]
+    fn single_worker_chunked_copy_matches_sequential_byte_for_byte() {
+        let mut config = remus_common::SimConfig::instant();
+        config.parallelism.copy_workers = 1;
+        config.parallelism.chunk_size = 16;
+        let cluster = ClusterBuilder::new(3).config(config).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..100 {
+            session
+                .run(|t| t.insert(&layout, k * 3, Value::from(vec![k as u8; 9])))
+                .unwrap();
+        }
+        let snapshot_ts = cluster.oracle.start_ts(NodeId(0));
+        // Sequential reference copy to node 2.
+        let (src, seq_dst) = (cluster.node(NodeId(0)), cluster.node(NodeId(2)));
+        let seq = copy_shard_snapshot(&cluster, src, seq_dst, ShardId(0), snapshot_ts).unwrap();
+        // Chunked single-worker copy to node 1.
+        let (chunked, gate) = gated_copy(&cluster, &[ShardId(0)], 16, snapshot_ts);
+        assert_eq!(seq, chunked);
+        assert!(gate.all_copied());
+        assert_eq!(
+            dump(&cluster, NodeId(1), ShardId(0), Timestamp::SNAPSHOT_MIN),
+            dump(&cluster, NodeId(2), ShardId(0), Timestamp::SNAPSHOT_MIN),
+        );
+    }
+
+    #[test]
+    fn more_workers_than_chunks_copies_everything_once() {
+        let mut config = remus_common::SimConfig::instant();
+        config.parallelism.copy_workers = 16;
+        let cluster = ClusterBuilder::new(2).config(config).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..40 {
+            session.run(|t| t.insert(&layout, k, val("w"))).unwrap();
+        }
+        let snapshot_ts = cluster.oracle.start_ts(NodeId(0));
+        // chunk_size 32 over 40 keys -> 2 chunks, 16 workers.
+        let (copied, gate) = gated_copy(&cluster, &[ShardId(0)], 32, snapshot_ts);
+        assert_eq!(copied, 40);
+        assert_eq!(gate.chunk_count(), 2);
+        assert_eq!(
+            dump(&cluster, NodeId(1), ShardId(0), Timestamp::SNAPSHOT_MIN).len(),
+            40
+        );
+    }
+
+    #[test]
+    fn empty_shard_copies_as_one_empty_chunk() {
+        let cluster = ClusterBuilder::new(2).build();
+        cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let snapshot_ts = cluster.oracle.start_ts(NodeId(0));
+        let (copied, gate) = gated_copy(&cluster, &[ShardId(0)], 8, snapshot_ts);
+        assert_eq!(copied, 0);
+        assert_eq!(gate.chunk_count(), 1);
+        assert!(gate.all_copied());
+        assert!(cluster.node(NodeId(1)).storage.hosts(ShardId(0)));
+    }
+
+    #[test]
+    fn chunk_boundary_through_version_chain_copies_the_snapshot_version() {
+        // Key 8 sits exactly on a chunk split (chunk_size 8 over keys 0..16)
+        // and carries a multi-version chain; only the snapshot-visible
+        // version must cross.
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..16 {
+            session.run(|t| t.insert(&layout, k, val("old"))).unwrap();
+        }
+        session.run(|t| t.update(&layout, 8, val("mid"))).unwrap();
+        let snapshot_ts = cluster.oracle.start_ts(NodeId(0));
+        session.run(|t| t.update(&layout, 8, val("new"))).unwrap();
+        let src = cluster.node(NodeId(0));
+        let gate = CopyGate::plan(&[ShardId(0)], src, 8).unwrap();
+        assert_eq!(gate.chunk_count(), 2);
+        // The split key starts the second chunk.
+        assert_eq!(gate.plans[&ShardId(0)].chunk_of(7), 0);
+        assert_eq!(gate.plans[&ShardId(0)].chunk_of(8), 1);
+        let (copied, _) = gated_copy(&cluster, &[ShardId(0)], 8, snapshot_ts);
+        assert_eq!(copied, 16);
+        let rows = dump(&cluster, NodeId(1), ShardId(0), Timestamp::SNAPSHOT_MIN);
+        let v8 = rows.iter().find(|(k, _)| *k == 8).unwrap();
+        assert_eq!(v8.1, val("mid"));
+    }
+
+    #[test]
+    fn gate_wait_blocks_until_chunk_done_and_poison_errs() {
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..20 {
+            session.run(|t| t.insert(&layout, k, val("g"))).unwrap();
+        }
+        let src = cluster.node(NodeId(0));
+        let gate = Arc::new(CopyGate::plan(&[ShardId(0)], src, 10).unwrap());
+        assert_eq!(gate.chunk_count(), 2);
+        // Not yet copied: a short wait times out.
+        let err = gate
+            .wait_copied(ShardId(0), 3, Duration::from_millis(20))
+            .unwrap_err();
+        assert!(matches!(err, DbError::Timeout(_)));
+        // Non-migrating shards pass straight through.
+        gate.wait_copied(ShardId(99), 3, Duration::from_millis(1))
+            .unwrap();
+        gate.mark_copied(0, 7);
+        gate.wait_copied(ShardId(0), 3, Duration::from_millis(20))
+            .unwrap();
+        assert_eq!(gate.copy_lsn(ShardId(0), 0), Some(7));
+        assert_eq!(gate.copy_lsn(ShardId(0), 1), None);
+        gate.poison();
+        let err = gate
+            .wait_copied(ShardId(0), 15, Duration::from_secs(1))
+            .unwrap_err();
+        assert!(matches!(err, DbError::Migration(_)));
+    }
+
+    #[test]
+    fn crashed_copy_worker_retries_chunk_and_result_is_complete() {
+        use remus_common::fault::{FaultAction, FaultInjector, InjectionPoint};
+        use std::sync::atomic::AtomicUsize;
+
+        /// Crashes the first two CopyChunk visits, then continues.
+        struct CrashTwice(AtomicUsize);
+        impl FaultInjector for CrashTwice {
+            fn decide(&self, point: InjectionPoint, _node: NodeId) -> FaultAction {
+                if point == InjectionPoint::CopyChunk && self.0.fetch_add(1, Ordering::SeqCst) < 2 {
+                    FaultAction::Crash
+                } else {
+                    FaultAction::Continue
+                }
+            }
+        }
+
+        let mut config = remus_common::SimConfig::instant();
+        config.parallelism.copy_workers = 2;
+        let cluster = ClusterBuilder::new(2).config(config).build();
+        let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        for k in 0..64 {
+            session.run(|t| t.insert(&layout, k, val("r"))).unwrap();
+        }
+        let snapshot_ts = cluster.oracle.start_ts(NodeId(0));
+        cluster.install_fault_injector(Arc::new(CrashTwice(AtomicUsize::new(0))));
+        let (copied, gate) = gated_copy(&cluster, &[ShardId(0)], 16, snapshot_ts);
+        cluster.uninstall_fault_injector();
+        assert_eq!(copied, 64);
+        assert!(gate.all_copied());
+        assert_eq!(
+            dump(&cluster, NodeId(1), ShardId(0), Timestamp::SNAPSHOT_MIN).len(),
+            64
+        );
     }
 }

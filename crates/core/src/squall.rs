@@ -285,31 +285,48 @@ impl MigrationEngine for SquallEngine {
         rec.end(tm_span);
         report.transfer_phase = transfer0.elapsed();
 
-        // Background pulls: one asynchronous worker per migrating shard
-        // (§4.2).
+        // Background pulls: a pool of asynchronous workers (§4.2) draining
+        // a flat (shard, chunk) work list, sized by `copy_workers`.
         let pulls_span = rec.start("pulls");
-        let workers: Vec<_> = task
-            .shards
-            .iter()
-            .map(|&shard| {
+        let work: Vec<(ShardId, usize)> = {
+            let mut shards: Vec<_> = state.chunks.keys().copied().collect();
+            shards.sort();
+            shards
+                .into_iter()
+                .flat_map(|shard| (0..state.chunks[&shard].len()).map(move |idx| (shard, idx)))
+                .collect()
+        };
+        let pool = cluster
+            .config
+            .parallelism
+            .copy_workers
+            .max(1)
+            .min(work.len().max(1));
+        let next = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..pool)
+            .map(|_| {
                 let state = Arc::clone(&state);
+                let work = work.clone();
+                let next = Arc::clone(&next);
                 std::thread::spawn(move || -> DbResult<()> {
-                    let set = &state.chunks[&shard];
-                    for idx in 0..set.len() {
-                        if set.is_pulled(idx) {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(shard, idx)) = work.get(i) else {
+                            return Ok(());
+                        };
+                        if state.chunks[&shard].is_pulled(idx) {
                             continue;
                         }
                         let pseudo = state.dest.storage.alloc_xid();
                         match state.pull_chunk(shard, idx, pseudo, true) {
                             Ok(()) => {}
                             Err(DbError::Timeout(_)) => {
-                                // Lock contention: retry this chunk.
+                                // Lock contention: leave for the retry loop.
                                 continue;
                             }
                             Err(e) => return Err(e),
                         }
                     }
-                    Ok(())
                 })
             })
             .collect();

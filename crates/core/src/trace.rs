@@ -91,7 +91,8 @@ impl MigrationTrace {
     pub fn check_well_formed(&self) -> Result<(), String> {
         let mut prev_root_start = Duration::ZERO;
         for (idx, span) in self.spans.iter().enumerate() {
-            let ctx = |msg: &str| format!("{} span {} ({}): {msg}", self.engine, span.id, span.name);
+            let ctx =
+                |msg: &str| format!("{} span {} ({}): {msg}", self.engine, span.id, span.name);
             if span.id as usize != idx {
                 return Err(ctx(&format!("id does not match position {idx}")));
             }
@@ -99,7 +100,10 @@ impl MigrationTrace {
                 return Err(ctx("left open"));
             };
             if end < span.start {
-                return Err(ctx(&format!("ends {end:?} before it starts {:?}", span.start)));
+                return Err(ctx(&format!(
+                    "ends {end:?} before it starts {:?}",
+                    span.start
+                )));
             }
             if let Some(pid) = span.parent {
                 if pid >= span.id {
@@ -250,7 +254,10 @@ mod tests {
         let trace = rec.finish();
         trace.check_well_formed().unwrap();
         assert_eq!(trace.root_phases(), vec!["snapshot_copy", "sync_barrier"]);
-        assert_eq!(trace.span("snapshot_copy").unwrap().attr("tuples_copied"), Some(42));
+        assert_eq!(
+            trace.span("snapshot_copy").unwrap().attr("tuples_copied"),
+            Some(42)
+        );
         assert_eq!(trace.children(b).len(), 1);
         assert_eq!(trace.children(b)[0].name, "ts_unsync_drain");
     }

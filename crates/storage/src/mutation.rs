@@ -25,3 +25,18 @@ pub fn set_skip_prepare_wait(on: bool) {
 pub fn skip_prepare_wait() -> bool {
     SKIP_PREPARE_WAIT.load(Ordering::SeqCst)
 }
+
+/// One-shot kill switch: the next replay worker that picks up a job panics
+/// mid-job. Used to prove `ReplayProcess::join` surfaces a dead worker as an
+/// error instead of hanging the dependency tracker.
+static KILL_REPLAY_WORKER: AtomicBool = AtomicBool::new(false);
+
+/// Arms the one-shot replay-worker kill switch.
+pub fn arm_kill_replay_worker() {
+    KILL_REPLAY_WORKER.store(true, Ordering::SeqCst);
+}
+
+/// Consumes the kill switch: true exactly once per arming.
+pub fn take_kill_replay_worker() -> bool {
+    KILL_REPLAY_WORKER.swap(false, Ordering::SeqCst)
+}

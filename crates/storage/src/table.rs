@@ -314,14 +314,29 @@ impl VersionedTable {
         snapshot_ts: Timestamp,
         clog: &Clog,
         timeout: Duration,
+        f: impl FnMut(Key, Value),
+    ) -> DbResult<()> {
+        self.for_each_visible_range(.., snapshot_ts, clog, timeout, f)
+    }
+
+    /// [`Self::for_each_visible`] restricted to a key range — the streaming
+    /// unit of one parallel snapshot-copy chunk. Same batched-latch
+    /// discipline; a full range reproduces the whole-table scan exactly.
+    pub fn for_each_visible_range(
+        &self,
+        range: impl std::ops::RangeBounds<Key>,
+        snapshot_ts: Timestamp,
+        clog: &Clog,
+        timeout: Duration,
         mut f: impl FnMut(Key, Value),
     ) -> DbResult<()> {
         const BATCH: usize = 256;
-        let mut from: Bound<Key> = Bound::Unbounded;
+        let end: Bound<Key> = range.end_bound().cloned();
+        let mut from: Bound<Key> = range.start_bound().cloned();
         loop {
             let batch: Vec<(Key, ChainRef)> = {
                 let map = self.map.read();
-                map.range((from, Bound::Unbounded))
+                map.range((from, end))
                     .take(BATCH)
                     .map(|(k, c)| (*k, Arc::clone(c)))
                     .collect()
@@ -382,6 +397,22 @@ impl VersionedTable {
             }
         }
         Ok(out)
+    }
+
+    /// Split points for `chunk_size`-key copy chunks: the key at every
+    /// `chunk_size`-th position in key order. `n` split points partition the
+    /// key space into `n + 1` half-open ranges `(.., s1)`, `[s1, s2)`, …,
+    /// `[sn, ..)`; an empty or small table yields no splits (one chunk).
+    /// Keys inserted after the call land in whichever range covers them, so
+    /// the partition stays exhaustive under concurrent writes.
+    pub fn chunk_splits(&self, chunk_size: u64) -> Vec<Key> {
+        let chunk = chunk_size.max(1) as usize;
+        let map = self.map.read();
+        map.keys()
+            .enumerate()
+            .filter(|(i, _)| *i != 0 && *i % chunk == 0)
+            .map(|(_, k)| *k)
+            .collect()
     }
 
     /// Number of tuples visible at `snapshot_ts` (consistency checks).
@@ -487,7 +518,9 @@ impl VersionedTable {
     /// A debugging snapshot of one key's version chain (newest first).
     /// Intended for tests and forensic dumps, not the hot path.
     pub fn chain_snapshot(&self, key: Key) -> Vec<TupleVersion> {
-        self.chain(key).map(|c| c.lock().iter().cloned().collect()).unwrap_or_default()
+        self.chain(key)
+            .map(|c| c.lock().iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Current statistics.

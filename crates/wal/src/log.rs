@@ -157,6 +157,27 @@ impl WalReader {
         self.next = Lsn(self.next.0 + 1);
         Some((lsn, r))
     }
+
+    /// Blocks up to `timeout` for at least one record, then greedily drains
+    /// up to `max` records that are already flushed. Returns an empty vector
+    /// on timeout. This is the batched update-cache drain used by the
+    /// propagation process: one blocking wait amortized over a vector of
+    /// records instead of a wait per record.
+    pub fn next_batch_blocking(&mut self, max: usize, timeout: Duration) -> Vec<(Lsn, LogRecord)> {
+        let max = max.max(1);
+        let mut out = Vec::new();
+        match self.next_blocking(timeout) {
+            Some(pair) => out.push(pair),
+            None => return out,
+        }
+        while out.len() < max {
+            match self.try_next() {
+                Some(pair) => out.push(pair),
+                None => break,
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +237,47 @@ mod tests {
         let (lsn, r) = reader.next_blocking(Duration::from_secs(5)).unwrap();
         assert_eq!(lsn, Lsn(1));
         assert_eq!(r.xid.seq(), 7);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn batch_read_drains_up_to_max_in_order() {
+        let wal = Arc::new(Wal::new());
+        for n in 1..=5 {
+            wal.append(rec(n));
+        }
+        let mut reader = wal.reader_from(Lsn::ZERO);
+        let batch = reader.next_batch_blocking(3, Duration::from_secs(1));
+        assert_eq!(
+            batch.iter().map(|(l, _)| l.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // The rest comes in the next batch, even with headroom to spare.
+        let batch = reader.next_batch_blocking(8, Duration::from_secs(1));
+        assert_eq!(
+            batch.iter().map(|(l, _)| l.0).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert_eq!(reader.consumed(), Lsn(5));
+    }
+
+    #[test]
+    fn batch_read_times_out_empty_and_wakes_on_append() {
+        let wal = Arc::new(Wal::new());
+        let mut reader = wal.reader_from(Lsn::ZERO);
+        assert!(reader
+            .next_batch_blocking(4, Duration::from_millis(10))
+            .is_empty());
+        let writer = {
+            let wal = Arc::clone(&wal);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                wal.append(rec(7));
+            })
+        };
+        let batch = reader.next_batch_blocking(4, Duration::from_secs(5));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].0, Lsn(1));
         writer.join().unwrap();
     }
 

@@ -40,6 +40,13 @@ impl UpdateCacheQueue {
         }
     }
 
+    /// Bulk-appends a drained batch of change records, preserving order.
+    pub fn push_all(&mut self, ops: impl IntoIterator<Item = WriteOp>) {
+        for op in ops {
+            self.push(op);
+        }
+    }
+
     /// Total cached records.
     pub fn len(&self) -> usize {
         self.resident.len() + self.spilled.len()
@@ -108,6 +115,20 @@ mod tests {
         assert_eq!(q.spill_batches(4), 2); // 7 spilled records / 4 per batch
         let keys: Vec<u64> = q.into_ops().iter().map(|o| o.key).collect();
         assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_all_matches_sequential_pushes_across_spill() {
+        let mut bulk = UpdateCacheQueue::new(3);
+        bulk.push_all((0..10).map(op));
+        let mut seq = UpdateCacheQueue::new(3);
+        for k in 0..10 {
+            seq.push(op(k));
+        }
+        assert_eq!(bulk.spilled(), seq.spilled());
+        let b: Vec<u64> = bulk.into_ops().iter().map(|o| o.key).collect();
+        let s: Vec<u64> = seq.into_ops().iter().map(|o| o.key).collect();
+        assert_eq!(b, s);
     }
 
     #[test]

@@ -56,8 +56,8 @@ impl Criterion {
             }
             iters = iters.saturating_mul(2);
         }
-        let scaled = ((iters as f64) * self.measure.as_secs_f64() / spent.as_secs_f64())
-            .max(1.0) as u64;
+        let scaled =
+            ((iters as f64) * self.measure.as_secs_f64() / spent.as_secs_f64()).max(1.0) as u64;
         let mut b = Bencher {
             iters: scaled,
             elapsed: Duration::ZERO,

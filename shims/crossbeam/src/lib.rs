@@ -130,11 +130,7 @@ pub mod channel {
                 if self.0.senders.load(Ordering::SeqCst) == 0 {
                     return Err(RecvError);
                 }
-                queue = self
-                    .0
-                    .ready
-                    .wait(queue)
-                    .unwrap_or_else(|p| p.into_inner());
+                queue = self.0.ready.wait(queue).unwrap_or_else(|p| p.into_inner());
             }
         }
 

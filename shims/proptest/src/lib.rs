@@ -206,12 +206,25 @@ pub mod strategy {
         };
     }
 
-    tuple_strategy!(S0/V0/0);
-    tuple_strategy!(S0/V0/0, S1/V1/1);
-    tuple_strategy!(S0/V0/0, S1/V1/1, S2/V2/2);
-    tuple_strategy!(S0/V0/0, S1/V1/1, S2/V2/2, S3/V3/3);
-    tuple_strategy!(S0/V0/0, S1/V1/1, S2/V2/2, S3/V3/3, S4/V4/4);
-    tuple_strategy!(S0/V0/0, S1/V1/1, S2/V2/2, S3/V3/3, S4/V4/4, S5/V5/5);
+    tuple_strategy!(S0 / V0 / 0);
+    tuple_strategy!(S0 / V0 / 0, S1 / V1 / 1);
+    tuple_strategy!(S0 / V0 / 0, S1 / V1 / 1, S2 / V2 / 2);
+    tuple_strategy!(S0 / V0 / 0, S1 / V1 / 1, S2 / V2 / 2, S3 / V3 / 3);
+    tuple_strategy!(
+        S0 / V0 / 0,
+        S1 / V1 / 1,
+        S2 / V2 / 2,
+        S3 / V3 / 3,
+        S4 / V4 / 4
+    );
+    tuple_strategy!(
+        S0 / V0 / 0,
+        S1 / V1 / 1,
+        S2 / V2 / 2,
+        S3 / V3 / 3,
+        S4 / V4 / 4,
+        S5 / V5 / 5
+    );
 
     /// Weighted union of boxed strategies — the engine behind `prop_oneof!`.
     pub struct Union<V> {
@@ -423,8 +436,7 @@ pub mod test_runner {
         for case in 0..config.cases {
             let value = strategy.generate(&mut rng);
             if let Some(err) = run_one(&test, &value) {
-                let (min_value, min_err, iters) =
-                    shrink(config, strategy, &test, value, err);
+                let (min_value, min_err, iters) = shrink(config, strategy, &test, value, err);
                 panic!(
                     "proptest '{name}' failed (case {case}, {iters} shrink steps)\n\
                      minimal failing input: {min_value:#?}\n{min_err}"
@@ -596,10 +608,7 @@ mod tests {
     }
 
     fn toy_strategy() -> impl Strategy<Value = Toy> {
-        prop_oneof![
-            (0u64..100).prop_map(Toy::A),
-            (0u64..100).prop_map(Toy::B),
-        ]
+        prop_oneof![(0u64..100).prop_map(Toy::A), (0u64..100).prop_map(Toy::B),]
     }
 
     #[test]
@@ -639,10 +648,7 @@ mod tests {
             });
         }));
         let msg = match caught {
-            Err(p) => p
-                .downcast_ref::<String>()
-                .cloned()
-                .unwrap_or_default(),
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
             Ok(()) => panic!("runner should have reported a failure"),
         };
         // Minimal counterexample is exactly one element equal to 987.

@@ -52,6 +52,72 @@ fn chaos_seeds_squall() {
     run_residue(3, EngineKind::Squall);
 }
 
+/// Parallel data plane under copy-worker crashes: for every tolerated-fault
+/// seed of the push engines (Squall pulls, it has no chunked snapshot
+/// copy), run with a 4-wide copy/replay pool and a chunk size small enough
+/// to give every shard several chunks, and crash a copy worker mid-chunk
+/// twice. The chunk retry must absorb the crashes, the migration must
+/// commit, and the history must still satisfy SI.
+#[test]
+fn parallel_copy_worker_crashes_preserve_si() {
+    use remus::chaos::{run_scenario_with_specs, FaultPlan, FaultSpec};
+    use remus::common::fault::{FaultAction, InjectionPoint};
+    use remus::common::{NodeId, ParallelismConfig};
+
+    let push = [
+        EngineKind::Remus,
+        EngineKind::LockAndAbort,
+        EngineKind::WaitAndRemaster,
+    ];
+    let mut ran = 0;
+    for seed in 0..16u64 {
+        let mut config = ScenarioConfig::from_seed(seed);
+        if config.profile != FaultProfile::Tolerated || !push.contains(&config.engine) {
+            continue;
+        }
+        config.parallelism = ParallelismConfig {
+            copy_workers: 4,
+            replay_workers: 4,
+            chunk_size: 8,
+            drain_batch: 4,
+        };
+        let plan = FaultPlan::generate(seed, config.profile, NodeId(0), NodeId(1));
+        // Replace any seeded copy-chunk kills with exactly two worker
+        // crashes, so every seed exercises the mid-chunk retry and the
+        // total stays inside the 4-attempt-per-chunk budget.
+        let mut specs: Vec<FaultSpec> = plan
+            .specs
+            .iter()
+            .filter(|s| {
+                s.point != InjectionPoint::CopyChunk
+                    || !matches!(s.action, FaultAction::Fail | FaultAction::Crash)
+            })
+            .copied()
+            .collect();
+        for occurrence in [0u32, 3] {
+            specs.push(FaultSpec {
+                point: InjectionPoint::CopyChunk,
+                node: NodeId(0),
+                occurrence,
+                action: FaultAction::Crash,
+            });
+        }
+        let outcome = run_scenario_with_specs(&config, &plan, &specs);
+        assert!(
+            outcome.passed(),
+            "seed {seed} ({} / parallel, crashed copy workers): {:#?}",
+            config.engine.name(),
+            outcome.violations
+        );
+        assert!(
+            outcome.migration_committed,
+            "seed {seed}: migration did not commit under copy-worker crashes"
+        );
+        ran += 1;
+    }
+    assert!(ran >= 8, "only {ran} parallel crash seeds ran");
+}
+
 /// Same seed, run twice: identical fault schedule, identical verdict. One
 /// tolerated-profile seed and one `T_m`-crash seed.
 #[test]

@@ -189,7 +189,7 @@ fn destination_crash_during_mocc_validation_leaves_resolvable_shadow() {
     let dest = Arc::clone(cluster.node(NodeId(1)));
     let registry = Arc::new(ValidationRegistry::new());
     let (tx, rx) = crossbeam::channel::unbounded();
-    let replay = ReplayProcess::start(&cluster, &dest, Arc::clone(&registry), rx);
+    let replay = ReplayProcess::start(&cluster, &dest, Arc::clone(&registry), rx, None);
 
     // A synchronized source transaction sends its write set for validation.
     let sx = source.storage.alloc_xid();
@@ -281,9 +281,7 @@ fn propagation_lag_during_sync_barrier_still_converges() {
             for i in 0..60u64 {
                 let key = i % 40;
                 let value = val(&format!("w{i}"));
-                if let Ok(((), cts)) =
-                    session.run(|t| t.update(&layout, key, value.clone()))
-                {
+                if let Ok(((), cts)) = session.run(|t| t.update(&layout, key, value.clone())) {
                     committed.push((key, value, cts));
                 }
                 std::thread::sleep(std::time::Duration::from_millis(1));

@@ -159,6 +159,69 @@ fn run_experiment(mutate: bool) -> Vec<TxnRecord> {
 }
 
 #[test]
+fn killed_replay_worker_fails_join_instead_of_hanging() {
+    use crossbeam::channel::unbounded;
+    use remus::common::{DbError, SimConfig, TxnId};
+    use remus::migration::mocc::ValidationRegistry;
+    use remus::migration::replay::{ApplyMsg, ReplayProcess};
+    use remus::storage::mutation::arm_kill_replay_worker;
+    use remus::wal::{WriteKind, WriteOp};
+    use std::time::Duration;
+
+    let mut config = SimConfig::instant();
+    config.parallelism.replay_workers = 2;
+    let cluster = ClusterBuilder::new(2).config(config).build();
+    cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+    let dest = Arc::clone(cluster.node(NodeId(1)));
+    dest.storage.create_shard(ShardId(0));
+    let (tx, rx) = unbounded();
+    let replay = ReplayProcess::start(
+        &cluster,
+        &dest,
+        Arc::new(ValidationRegistry::new()),
+        rx,
+        None,
+    );
+
+    // The worker picking up the first job dies mid-job. The second job
+    // writes the same key, so its key fence waits on the first job's
+    // ticket: before the fix, the dead worker never marked its ticket and
+    // the whole pipeline (and `join`) hung forever.
+    arm_kill_replay_worker();
+    for i in 0..2u64 {
+        tx.send(ApplyMsg::Committed {
+            xid: TxnId::new(NodeId(0), 2_000 + i),
+            start_ts: Timestamp(10 * i + 5),
+            commit_ts: Timestamp(10 * (i + 1)),
+            ops: vec![WriteOp {
+                shard: ShardId(0),
+                key: 7,
+                kind: WriteKind::Insert,
+                value: val("x"),
+            }],
+        })
+        .unwrap();
+    }
+    tx.send(ApplyMsg::Shutdown).unwrap();
+
+    // Watchdog: `join` must return (with the panic surfaced as an error),
+    // not hang — run it on the side and bound the wait.
+    let (done_tx, done_rx) = unbounded();
+    std::thread::spawn(move || {
+        let _ = done_tx.send(replay.join());
+    });
+    let result = done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("ReplayProcess::join hung on a dead worker");
+    let err = result.unwrap_err();
+    assert!(matches!(err, DbError::Internal(_)), "got {err:?}");
+    assert!(
+        format!("{err}").contains("panicked"),
+        "error does not mention the panic: {err}"
+    );
+}
+
+#[test]
 fn skipping_prepare_wait_is_caught_and_minimized() {
     // Control: with the engine intact, the reader prepare-waits, sees the
     // committed write, and the checker passes.
