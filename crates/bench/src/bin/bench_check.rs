@@ -10,6 +10,11 @@
 //!    regress by more than 10x between the baseline (first file) and the
 //!    candidate (second file). Only order-of-magnitude blowups fail;
 //!    ordinary jitter passes.
+//! 3. **Foreground speedup**: a report carrying a `foreground throughput`
+//!    table (from `bench_foreground`) must show the optimized hot path at
+//!    least 1.5x over the sequential baseline. This is a measured invariant
+//!    of the striped-index + GC + lease optimization, checked in both
+//!    files.
 //!
 //! Usage: `bench_check <baseline.json> <candidate.json>`. Exits non-zero
 //! with one line per violation.
@@ -20,6 +25,9 @@ use remus_bench::{BenchReport, ScenarioReport};
 
 /// Maximum tolerated candidate/baseline wall-clock ratio.
 const MAX_SLOWDOWN: f64 = 10.0;
+/// Minimum optimized/baseline foreground throughput ratio (the tentpole
+/// claim of the hot-path optimization, re-asserted on every CI run).
+const MIN_FOREGROUND_SPEEDUP: f64 = 1.5;
 
 fn load(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -36,6 +44,45 @@ fn phase_sequences(s: &ScenarioReport) -> Vec<Vec<String>> {
         .iter()
         .map(|t| t.root_phases().iter().map(|p| p.to_string()).collect())
         .collect()
+}
+
+/// Checks the `foreground throughput` table when present: the `optimized`
+/// row's trailing speedup cell (`"2.31x"`) must reach
+/// [`MIN_FOREGROUND_SPEEDUP`]. Reports without the table pass (they come
+/// from other bench binaries).
+fn check_foreground(which: &str, report: &BenchReport, violations: &mut Vec<String>) {
+    let Some(table) = report
+        .tables
+        .iter()
+        .find(|t| t.title == "foreground throughput")
+    else {
+        return;
+    };
+    let Some(row) = table
+        .rows
+        .iter()
+        .find(|r| r.first().map(String::as_str) == Some("optimized"))
+    else {
+        violations.push(format!(
+            "{which}: foreground throughput table has no 'optimized' row"
+        ));
+        return;
+    };
+    let speedup = row
+        .last()
+        .and_then(|cell| cell.strip_suffix('x'))
+        .and_then(|s| s.parse::<f64>().ok());
+    match speedup {
+        Some(s) if s >= MIN_FOREGROUND_SPEEDUP => {}
+        Some(s) => violations.push(format!(
+            "{which}: foreground speedup {s:.2}x below the required \
+             {MIN_FOREGROUND_SPEEDUP}x"
+        )),
+        None => violations.push(format!(
+            "{which}: cannot parse foreground speedup cell {:?}",
+            row.last()
+        )),
+    }
 }
 
 fn main() {
@@ -74,6 +121,9 @@ fn main() {
             ));
         }
     }
+
+    check_foreground("baseline", &baseline, &mut violations);
+    check_foreground("candidate", &candidate, &mut violations);
 
     if violations.is_empty() {
         println!(

@@ -1,0 +1,297 @@
+//! Foreground hot-path benchmark: concurrent sessions against a
+//! migrating cluster, optimized hot path vs the sequential baseline.
+//!
+//! Four session threads each commit a fixed number of transactions (two
+//! updates + two reads over a private key pair, so there are no
+//! write-write conflicts) against a hot shard that never migrates, while
+//! a 2048-key bulk shard is migrated back and forth between the two
+//! nodes with the Remus engine for the whole run. The workload is fixed
+//! *work*, not fixed time: throughput is total commits over the wall
+//! clock of the session threads.
+//!
+//! The run is executed twice with identical workloads:
+//!
+//! * **baseline** — [`HotPathConfig::sequential()`]: one index stripe,
+//!   no version-chain GC, one GTS timestamp per RPC. Version chains grow
+//!   by two versions per transaction and every write pays an
+//!   O(chain-length) insert, so throughput decays as history piles up.
+//! * **optimized** — [`HotPathConfig::tuned()`]: striped index,
+//!   incremental GC on a 2 ms cadence, batched GTS leases. Chains stay
+//!   near length one and the foreground path stays flat.
+//!
+//! The binary asserts the optimized leg is at least
+//! [`MIN_SPEEDUP`]x faster and emits a `remus-bench/v1` JSON report with
+//! a `foreground throughput` table (txn/s, p50/p99 latency, speedup)
+//! that `bench_check` gates on.
+//!
+//! Usage: `cargo run --release -p remus-bench --bin bench_foreground --
+//! --json BENCH_foreground.json`
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use remus_bench::{json_path_arg, BenchReport, EngineKind, ScenarioReport, TableSection};
+use remus_clock::OracleKind;
+use remus_cluster::{Cluster, ClusterBuilder, Session};
+use remus_common::metrics::{LatencyStat, Timeline};
+use remus_common::{HotPathConfig, NodeId, ShardId, SimConfig, TableId};
+use remus_core::trace::expected_phases;
+use remus_core::{MigrationReport, MigrationTask};
+use remus_shard::TableLayout;
+use remus_storage::Value;
+
+/// Keys in the bulk shard that migrates back and forth.
+const BULK_KEYS: usize = 2048;
+/// Concurrent foreground sessions.
+const SESSIONS: usize = 4;
+/// Committed transactions per session (fixed work per leg).
+const TXNS_PER_SESSION: u64 = 8000;
+/// Private keys per session; two versions land per transaction, so the
+/// baseline chain on each key reaches `2 * TXNS_PER_SESSION /
+/// HOT_KEYS_PER_SESSION` versions by the end of the leg.
+const HOT_KEYS_PER_SESSION: usize = 2;
+/// Simulated per-tuple copy cost: 2048 keys -> ~20 ms per migration leg,
+/// so several round trips overlap the session work.
+const COPY_PER_TUPLE: Duration = Duration::from_micros(10);
+/// Required optimized-over-baseline throughput ratio.
+const MIN_SPEEDUP: f64 = 1.5;
+
+/// The shard that migrates (bulk data, never written by sessions).
+const BULK_SHARD: ShardId = ShardId(0);
+/// The shard the sessions hammer (never migrates).
+const HOT_SHARD: ShardId = ShardId(1);
+
+struct LegResult {
+    tps: f64,
+    p50: Duration,
+    p99: Duration,
+    migrations: u64,
+    scenario: remus_bench::ScenarioResult,
+}
+
+fn foreground_config(hot_path: HotPathConfig) -> SimConfig {
+    let mut config = SimConfig::instant();
+    config.snapshot_copy_per_tuple = COPY_PER_TUPLE;
+    config.hot_path = hot_path;
+    config
+}
+
+/// Splits the key space by shard: the first `BULK_KEYS` keys hashing to
+/// the bulk shard, and `SESSIONS * HOT_KEYS_PER_SESSION` keys hashing to
+/// the hot shard.
+fn pick_keys(layout: &TableLayout) -> (Vec<u64>, Vec<u64>) {
+    let mut bulk = Vec::with_capacity(BULK_KEYS);
+    let mut hot = Vec::with_capacity(SESSIONS * HOT_KEYS_PER_SESSION);
+    let mut k = 0u64;
+    while bulk.len() < BULK_KEYS || hot.len() < SESSIONS * HOT_KEYS_PER_SESSION {
+        let shard = layout.shard_for(k);
+        if shard == BULK_SHARD {
+            if bulk.len() < BULK_KEYS {
+                bulk.push(k);
+            }
+        } else if shard == HOT_SHARD && hot.len() < SESSIONS * HOT_KEYS_PER_SESSION {
+            hot.push(k);
+        }
+        k += 1;
+    }
+    (bulk, hot)
+}
+
+/// Migrates the bulk shard back and forth until `stop` is raised,
+/// completing at least one round. Returns the first report and the count.
+fn migration_loop(
+    cluster: Arc<Cluster>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<(MigrationReport, u64)> {
+    std::thread::spawn(move || {
+        let engine = EngineKind::Remus.engine();
+        let mut first: Option<MigrationReport> = None;
+        let mut count = 0u64;
+        let (mut src, mut dst) = (NodeId(0), NodeId(1));
+        while count == 0 || !stop.load(Ordering::SeqCst) {
+            let task = MigrationTask::single(BULK_SHARD, src, dst);
+            let report = engine
+                .migrate(&cluster, &task)
+                .unwrap_or_else(|e| panic!("bulk migration {src:?}->{dst:?} failed: {e:?}"));
+            if first.is_none() {
+                first = Some(report);
+            }
+            count += 1;
+            std::mem::swap(&mut src, &mut dst);
+        }
+        (first.expect("at least one migration ran"), count)
+    })
+}
+
+fn run_leg(label: &str, hot_path: HotPathConfig) -> LegResult {
+    let cluster = ClusterBuilder::new(2)
+        .cc_mode(EngineKind::Remus.cc_mode())
+        .oracle(OracleKind::Gts)
+        .config(foreground_config(hot_path))
+        .build();
+    // Background maintenance: WAL truncation plus the hot path's GC
+    // cadence. The huge vacuum period keeps full-sweep vacuum out of the
+    // measurement; GC is governed by `hot_path.gc_interval` alone.
+    cluster.start_maintenance(Duration::from_secs(3600));
+    let layout = cluster.create_table(TableId(1), 0, 2, |_| NodeId(0));
+    let (bulk_keys, hot_keys) = pick_keys(&layout);
+
+    let seed = Session::connect(&cluster, NodeId(0));
+    for &k in bulk_keys.iter() {
+        seed.run(|t| t.insert(&layout, k, Value::from(vec![7u8; 64])))
+            .expect("bulk seed insert failed");
+    }
+    for &k in hot_keys.iter() {
+        seed.run(|t| t.insert(&layout, k, Value::from(vec![1u8; 16])))
+            .expect("hot seed insert failed");
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let migrator = migration_loop(Arc::clone(&cluster), Arc::clone(&stop));
+
+    let latency = Arc::new(LatencyStat::new());
+    let timeline = Arc::new(Timeline::per_second());
+    let t0 = Instant::now();
+    let sessions: Vec<_> = (0..SESSIONS)
+        .map(|s| {
+            let cluster = Arc::clone(&cluster);
+            let keys: Vec<u64> =
+                hot_keys[s * HOT_KEYS_PER_SESSION..(s + 1) * HOT_KEYS_PER_SESSION].to_vec();
+            let (latency, timeline) = (Arc::clone(&latency), Arc::clone(&timeline));
+            std::thread::spawn(move || {
+                // Sessions connect round-robin so both nodes carry
+                // foreground traffic; keys are private to the session, so
+                // no write-write conflicts are possible.
+                let session = Session::connect(&cluster, NodeId((s % 2) as u32));
+                for round in 0..TXNS_PER_SESSION {
+                    let value = Value::from(vec![(round % 251) as u8; 16]);
+                    let started = Instant::now();
+                    session
+                        .run(|t| {
+                            for &k in &keys {
+                                t.update(&layout, k, value.clone())?;
+                            }
+                            for &k in &keys {
+                                t.read(&layout, k)?;
+                            }
+                            Ok(())
+                        })
+                        .expect("foreground txn failed");
+                    latency.record(started.elapsed());
+                    timeline.record();
+                }
+            })
+        })
+        .collect();
+    for h in sessions {
+        h.join().unwrap();
+    }
+    let elapsed = t0.elapsed();
+    stop.store(true, Ordering::SeqCst);
+    let (first_migration, migrations) = migrator.join().unwrap();
+    cluster.stop_maintenance();
+
+    // The scenario carries exactly one trace (the first round trip's
+    // outbound leg) so the phase sequence bench_check compares is stable
+    // across runs even though the loop count varies.
+    let trace = first_migration
+        .traces
+        .first()
+        .expect("migration recorded no trace");
+    trace
+        .check_well_formed()
+        .unwrap_or_else(|e| panic!("{label}: malformed migration trace: {e}"));
+    assert_eq!(
+        trace.root_phases(),
+        expected_phases("remus").expect("remus has a canonical sequence"),
+        "{label}: unexpected phase sequence under foreground load"
+    );
+
+    let commits = SESSIONS as u64 * TXNS_PER_SESSION;
+    let tps = commits as f64 / elapsed.as_secs_f64();
+    let (p50, p99) = (latency.percentile(0.50), latency.percentile(0.99));
+    println!(
+        "{label}\ttxn/s={tps:.0}\tp50={:.1}us\tp99={:.1}us\tmigrations={migrations}\telapsed={:.2}s",
+        p50.as_secs_f64() * 1e6,
+        p99.as_secs_f64() * 1e6,
+        elapsed.as_secs_f64(),
+    );
+    let scenario = remus_bench::ScenarioResult {
+        engine: EngineKind::Remus.name(),
+        tps: timeline.rates_per_sec(),
+        commits,
+        base_latency: latency.mean(),
+        migration: first_migration,
+        counters: cluster.metrics_snapshot(),
+        ..Default::default()
+    };
+    LegResult {
+        tps,
+        p50,
+        p99,
+        migrations,
+        scenario,
+    }
+}
+
+fn throughput_row(config: &str, leg: &LegResult, speedup: f64) -> Vec<String> {
+    vec![
+        config.to_string(),
+        format!("{:.0}", leg.tps),
+        format!("{}", leg.p50.as_micros()),
+        format!("{}", leg.p99.as_micros()),
+        format!("{}", leg.migrations),
+        format!("{speedup:.2}x"),
+    ]
+}
+
+fn main() {
+    let path = json_path_arg().unwrap_or_else(|| PathBuf::from("BENCH_foreground.json"));
+    println!(
+        "# bench_foreground — {SESSIONS} sessions x {TXNS_PER_SESSION} txns \
+         against a migrating cluster"
+    );
+    let base = run_leg("baseline ", HotPathConfig::sequential());
+    let opt = run_leg("optimized", HotPathConfig::tuned());
+    let speedup = opt.tps / base.tps.max(1e-9);
+    println!("foreground speedup: {speedup:.2}x (required >= {MIN_SPEEDUP}x)");
+
+    let mut report = BenchReport::new("bench_foreground", "foreground");
+    report.scenarios.push(ScenarioReport::from_result(
+        "foreground-baseline",
+        &base.scenario,
+    ));
+    report.scenarios.push(ScenarioReport::from_result(
+        "foreground-optimized",
+        &opt.scenario,
+    ));
+    report.tables.push(TableSection {
+        title: "foreground throughput".to_string(),
+        headers: [
+            "config",
+            "txn/s",
+            "p50_us",
+            "p99_us",
+            "migrations",
+            "speedup",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: vec![
+            throughput_row("baseline", &base, 1.0),
+            throughput_row("optimized", &opt, speedup),
+        ],
+    });
+    report.write(&path).expect("writing JSON report failed");
+
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "optimized foreground throughput {:.0} txn/s is only {speedup:.2}x the \
+         baseline {:.0} txn/s (required >= {MIN_SPEEDUP}x)",
+        opt.tps,
+        base.tps,
+    );
+}

@@ -111,6 +111,11 @@ pub fn sim_config(scale: &Scale) -> SimConfig {
             chunk_size: 256,
             drain_batch: 32,
         },
+        hot_path: remus_common::HotPathConfig {
+            index_stripes: 8,
+            gc_interval: Duration::ZERO,
+            gts_lease: 1,
+        },
         catchup_threshold: 64,
         spill_threshold: 4096,
         spill_reload_latency: Duration::from_micros(100),

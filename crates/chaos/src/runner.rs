@@ -16,7 +16,7 @@
 //! one.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -115,6 +115,11 @@ pub struct ScenarioConfig {
     /// Data-plane parallelism (copy/replay workers, chunk size, drain
     /// batch) the migration runs with.
     pub parallelism: ParallelismConfig,
+    /// When set, a background thread runs incremental version-chain GC
+    /// (`Cluster::gc_tick`) at this cadence for the whole scenario, so
+    /// pruning races the workload, the snapshot copy, and the final scan.
+    /// `None` (the seed-derived default) keeps legacy runs byte-identical.
+    pub gc_interval: Option<std::time::Duration>,
 }
 
 impl ScenarioConfig {
@@ -143,6 +148,7 @@ impl ScenarioConfig {
             clients: 3,
             txns_per_client: 10,
             parallelism: Self::parallelism_from_seed(seed),
+            gc_interval: None,
         }
     }
 
@@ -158,6 +164,7 @@ impl ScenarioConfig {
             clients: 3,
             txns_per_client: 10,
             parallelism: Self::parallelism_from_seed(seed),
+            gc_interval: None,
         }
     }
 
@@ -194,6 +201,9 @@ pub struct ScenarioOutcome {
     pub migration_committed: bool,
     /// `T_m`'s commit timestamp when known.
     pub tm_cts: Option<Timestamp>,
+    /// Versions pruned by the concurrent GC thread (`None` when the
+    /// scenario ran without one).
+    pub gc_pruned: Option<u64>,
 }
 
 impl ScenarioOutcome {
@@ -252,6 +262,23 @@ pub fn run_scenario_with_specs(
     cluster.install_fault_injector(Arc::clone(&injector) as Arc<dyn remus_common::FaultInjector>);
     let layout = cluster.create_table(TableId(1), 0, 4, |i| NodeId(i % config.nodes));
     let task = MigrationTask::single(shard, source, dest);
+
+    // Optional concurrent version-chain GC: races the workload, the
+    // snapshot copy, and the catch-up pipeline for the whole scenario.
+    // The safe-ts watermark must make it invisible to the SI checker.
+    let gc_stop = Arc::new(AtomicBool::new(false));
+    let gc_thread = config.gc_interval.map(|interval| {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&gc_stop);
+        std::thread::spawn(move || {
+            let mut pruned = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                pruned += cluster.gc_tick(1024);
+                std::thread::sleep(interval);
+            }
+            pruned
+        })
+    });
 
     // ---- shared recording state ----
     let log = Arc::new(HistoryLog::new());
@@ -403,6 +430,8 @@ pub fn run_scenario_with_specs(
         }
     }
     cluster.uninstall_fault_injector();
+    gc_stop.store(true, Ordering::SeqCst);
+    let gc_pruned = gc_thread.map(|h| h.join().expect("gc thread"));
 
     // ---- check ----
     let history = log.snapshot();
@@ -454,6 +483,7 @@ pub fn run_scenario_with_specs(
         aborted,
         migration_committed,
         tm_cts,
+        gc_pruned,
     }
 }
 

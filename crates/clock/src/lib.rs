@@ -53,6 +53,14 @@ pub trait TimestampOracle: Send + Sync {
 
     /// Which scheme this oracle implements.
     fn kind(&self) -> OracleKind;
+
+    /// Round trips made to a central sequencer, if this oracle has one.
+    /// `None` for decentralized schemes; [`gts::Gts`] reports its counter so
+    /// the cluster can surface `clock.gts_rpcs` (the RPC-equivalent cost
+    /// batched leases amortize).
+    fn sequencer_rpcs(&self) -> Option<u64> {
+        None
+    }
 }
 
 pub use dts::Dts;

@@ -15,6 +15,11 @@ use remus_txn::{DelayNetwork, Network, NoNetwork, ShardLockTable};
 
 use crate::node::Node;
 
+/// Chains visited per shard by each background [`Cluster::gc_tick`]: enough
+/// to sweep a hot shard within a few ticks without stalling foreground
+/// traffic behind stripe write locks.
+const GC_CHAINS_PER_TICK: usize = 4096;
+
 /// Which concurrency-control regime sessions run under.
 ///
 /// `Mvcc` is PolarDB-PG's native SI. `ShardLock` layers H-store-style
@@ -232,6 +237,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Overrides just the foreground hot-path knobs of the current config
+    /// (index striping, GC cadence, GTS lease size).
+    pub fn hot_path(mut self, hot_path: remus_common::HotPathConfig) -> Self {
+        self.config.hot_path = hot_path;
+        self
+    }
+
     /// Selects the concurrency-control regime (default: MVCC).
     pub fn cc_mode(mut self, mode: CcMode) -> Self {
         self.cc_mode = mode;
@@ -243,7 +255,7 @@ impl ClusterBuilder {
         let oracle: Arc<dyn TimestampOracle> = match self.custom_oracle {
             Some(o) => o,
             None => match self.oracle {
-                OracleKind::Gts => Arc::new(Gts::new()),
+                OracleKind::Gts => Arc::new(Gts::with_lease(self.config.hot_path.gts_lease)),
                 OracleKind::Dts => Arc::new(Dts::new(self.nodes, self.config.max_clock_skew)),
             },
         };
@@ -413,6 +425,15 @@ impl Cluster {
                 latency: None,
             });
         }
+        if let Some(rpcs) = self.oracle.sequencer_rpcs() {
+            out.push(MetricSample {
+                name: "clock.gts_rpcs".to_string(),
+                labels: Vec::new(),
+                kind: "counter",
+                value: rpcs,
+                latency: None,
+            });
+        }
         out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
         out
     }
@@ -489,13 +510,21 @@ impl Cluster {
         )
     }
 
+    /// The timestamp below which no active snapshot can read: the oldest
+    /// pinned snapshot (client sessions *and* in-flight migrations, which
+    /// pin their copy snapshot), or the current clock when nothing is
+    /// pinned. Version-chain GC may discard any version shadowed as of this
+    /// watermark.
+    pub fn safe_ts_watermark(&self) -> Timestamp {
+        self.snapshots
+            .oldest()
+            .unwrap_or_else(|| self.oracle.start_ts(self.nodes[0].storage.id))
+    }
+
     /// One vacuum pass over every data shard: horizon is the oldest pinned
     /// snapshot, or the current clock when nothing is pinned.
     pub fn vacuum_tick(&self) -> usize {
-        let horizon = self
-            .snapshots
-            .oldest()
-            .unwrap_or_else(|| self.oracle.start_ts(self.nodes[0].storage.id));
+        let horizon = self.safe_ts_watermark();
         let mut freed = 0;
         for node in &self.nodes {
             for shard in node.data_shards() {
@@ -505,6 +534,42 @@ impl Cluster {
             }
         }
         freed
+    }
+
+    /// One incremental version-chain GC pass: visits at most
+    /// `max_chains_per_shard` chains per data shard (resuming each shard's
+    /// cursor where the last pass left off), pruning versions shadowed as
+    /// of [`Cluster::safe_ts_watermark`]. Emits `storage.gc_pruned`
+    /// (counter) and `storage.chain_len` (high-water gauge of the longest
+    /// chain seen) per node. Returns versions pruned this pass.
+    pub fn gc_tick(&self, max_chains_per_shard: usize) -> u64 {
+        let watermark = self.safe_ts_watermark();
+        let mut total = 0;
+        for node in &self.nodes {
+            let mut stats = remus_storage::GcStepStats::default();
+            for shard in node.data_shards() {
+                if let Some(table) = node.storage.table(shard) {
+                    let s = table.gc_step(watermark, &node.storage.clog, max_chains_per_shard);
+                    stats.scanned += s.scanned;
+                    stats.pruned += s.pruned;
+                    stats.max_chain = stats.max_chain.max(s.max_chain);
+                }
+            }
+            if stats.pruned > 0 {
+                node.storage
+                    .metrics
+                    .counter("storage.gc_pruned")
+                    .add(stats.pruned as u64);
+            }
+            if stats.scanned > 0 {
+                node.storage
+                    .metrics
+                    .gauge("storage.chain_len")
+                    .raise(stats.max_chain as u64);
+            }
+            total += stats.pruned as u64;
+        }
+        total
     }
 
     /// One WAL-truncation pass over every node (respects active
@@ -519,8 +584,10 @@ impl Cluster {
     }
 
     /// Starts a background maintenance thread: WAL truncation every ~50 ms
-    /// (cheap, keeps the in-memory log bounded) and a vacuum pass every
-    /// `vacuum_period`. Runs until the cluster is dropped or
+    /// (cheap, keeps the in-memory log bounded), a vacuum pass every
+    /// `vacuum_period`, and — when `config.hot_path.gc_interval` is nonzero
+    /// — an incremental [`Cluster::gc_tick`] at that cadence (clamped up to
+    /// the sleep granularity). Runs until the cluster is dropped or
     /// [`Cluster::stop_maintenance`] is called.
     pub fn start_maintenance(
         self: &Arc<Self>,
@@ -528,13 +595,33 @@ impl Cluster {
     ) -> std::thread::JoinHandle<()> {
         let cluster = Arc::clone(self);
         let stop = Arc::clone(&self.maintenance_stop);
+        let gc_interval = self.config.hot_path.gc_interval;
         std::thread::spawn(move || {
-            let tick = Duration::from_millis(50);
+            // GC wants a finer cadence than WAL truncation; sleep at the
+            // smaller of the two and tick each duty on its own schedule.
+            let wal_tick = Duration::from_millis(50);
+            let sleep = match gc_interval.is_zero() {
+                true => wal_tick,
+                false => gc_interval.min(wal_tick),
+            };
             let mut since_vacuum = Duration::ZERO;
+            let mut since_wal = Duration::ZERO;
+            let mut since_gc = Duration::ZERO;
             while !stop.load(Ordering::Relaxed) {
-                std::thread::sleep(tick);
-                cluster.wal_truncate_tick();
-                since_vacuum += tick;
+                std::thread::sleep(sleep);
+                since_wal += sleep;
+                if since_wal >= wal_tick {
+                    since_wal = Duration::ZERO;
+                    cluster.wal_truncate_tick();
+                }
+                if !gc_interval.is_zero() {
+                    since_gc += sleep;
+                    if since_gc >= gc_interval {
+                        since_gc = Duration::ZERO;
+                        cluster.gc_tick(GC_CHAINS_PER_TICK);
+                    }
+                }
+                since_vacuum += sleep;
                 if since_vacuum >= vacuum_period {
                     since_vacuum = Duration::ZERO;
                     cluster.vacuum_tick();
@@ -685,6 +772,139 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn gts_lease_flows_from_hot_path_config() {
+        let mut config = SimConfig::instant();
+        config.hot_path.gts_lease = 8;
+        let c = ClusterBuilder::new(2)
+            .oracle(OracleKind::Gts)
+            .config(config)
+            .build();
+        // Two timestamps on one node, one block fetch: a lease is live.
+        c.oracle.start_ts(NodeId(0));
+        c.oracle.start_ts(NodeId(0));
+        assert_eq!(c.oracle.sequencer_rpcs(), Some(1));
+        // And the cluster surfaces the RPC counter as a metric.
+        let snap = c.metrics_snapshot();
+        let rpcs = snap
+            .iter()
+            .find(|s| s.name == "clock.gts_rpcs")
+            .expect("clock.gts_rpcs sample for a GTS cluster");
+        assert_eq!(rpcs.value, 1);
+    }
+
+    #[test]
+    fn dts_cluster_reports_no_sequencer_metric() {
+        let c = cluster(1);
+        assert!(c
+            .metrics_snapshot()
+            .iter()
+            .all(|s| s.name != "clock.gts_rpcs"));
+    }
+
+    #[test]
+    fn safe_ts_watermark_is_bounded_by_pinned_snapshots() {
+        let c = ClusterBuilder::new(1).oracle(OracleKind::Gts).build();
+        // Nothing pinned: the watermark advances with the clock.
+        let w1 = c.safe_ts_watermark();
+        let w2 = c.safe_ts_watermark();
+        assert!(w2 > w1);
+        // A pinned snapshot (a migration copy, a long analytical query)
+        // holds it exactly there.
+        let guard = c.pin_snapshot(Timestamp(w2.0 + 1));
+        assert_eq!(c.safe_ts_watermark(), Timestamp(w2.0 + 1));
+        drop(guard);
+        assert!(c.safe_ts_watermark() > w2);
+    }
+
+    /// Commits one write of `value` to `key` on node 0 and returns its
+    /// commit timestamp.
+    fn commit_write(c: &Cluster, shard: ShardId, key: u64, value: &str) -> Timestamp {
+        let t = Duration::from_secs(1);
+        let node = c.node(NodeId(0));
+        let table = node.storage.table(shard).unwrap();
+        let xid = node.storage.alloc_xid();
+        let start = c.oracle.start_ts(NodeId(0));
+        node.storage.clog.begin(xid);
+        let value = remus_storage::Value::from(value.to_string().into_bytes());
+        let exists = table
+            .read(key, start, xid, &node.storage.clog, t)
+            .unwrap()
+            .is_some();
+        if !exists {
+            table
+                .insert(key, value, xid, start, &node.storage.clog, t)
+                .unwrap();
+        } else {
+            table
+                .update(key, value, xid, start, &node.storage.clog, t)
+                .unwrap();
+        }
+        let cts = c.oracle.commit_ts(NodeId(0));
+        node.storage.clog.set_committed(xid, cts).unwrap();
+        cts
+    }
+
+    #[test]
+    fn gc_tick_prunes_shadowed_versions_and_reports_metrics() {
+        let c = ClusterBuilder::new(1).oracle(OracleKind::Gts).build();
+        c.create_table(TableId(1), 100, 1, |_| NodeId(0));
+        // Four committed versions per key; only the newest survives GC.
+        for v in 0..4u64 {
+            for key in 0..16u64 {
+                commit_write(&c, ShardId(100), key, &format!("v{v}"));
+            }
+        }
+        let pruned = c.gc_tick(usize::MAX);
+        assert_eq!(pruned, 16 * 3, "three shadowed versions per key");
+        let snap = c.metrics_snapshot();
+        let node0 = vec![("node".to_string(), "0".to_string())];
+        let gc = snap
+            .iter()
+            .find(|s| s.name == "storage.gc_pruned" && s.labels == node0)
+            .expect("gc_pruned counter");
+        assert_eq!(gc.value, 48);
+        let chain_len = snap
+            .iter()
+            .find(|s| s.name == "storage.chain_len" && s.labels == node0)
+            .expect("chain_len gauge");
+        assert_eq!(chain_len.value, 4, "high-water chain length before pruning");
+        // A second pass finds nothing new.
+        assert_eq!(c.gc_tick(usize::MAX), 0);
+    }
+
+    #[test]
+    fn gc_tick_respects_pinned_snapshot_watermark() {
+        let c = ClusterBuilder::new(1).oracle(OracleKind::Gts).build();
+        c.create_table(TableId(1), 100, 1, |_| NodeId(0));
+        let node = c.node(NodeId(0));
+        let table = node.storage.table(ShardId(100)).unwrap();
+        let commit_ts: Vec<Timestamp> = (0..3)
+            .map(|v| commit_write(&c, ShardId(100), 7, &format!("v{v}")))
+            .collect();
+        // Pin a snapshot that can only see v0: GC must keep v0 as the
+        // anchor, pruning nothing (v1 and v2 are above the watermark).
+        let pin = c.pin_snapshot(commit_ts[0]);
+        assert_eq!(c.gc_tick(usize::MAX), 0);
+        let read = table
+            .read(
+                7,
+                commit_ts[0],
+                node.storage.alloc_xid(),
+                &node.storage.clog,
+                Duration::from_secs(1),
+            )
+            .unwrap()
+            .expect("v0 visible at the pinned snapshot");
+        assert_eq!(
+            read,
+            remus_storage::Value::from("v0".to_string().into_bytes())
+        );
+        drop(pin);
+        // Unpinned, the two shadowed versions go.
+        assert_eq!(c.gc_tick(usize::MAX), 2);
     }
 
     #[test]

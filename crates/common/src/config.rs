@@ -43,6 +43,59 @@ impl ParallelismConfig {
     }
 }
 
+/// Foreground hot-path shape: storage-index striping, version-chain GC
+/// cadence, and GTS lease size.
+///
+/// One value is embedded in [`SimConfig`]. `index_stripes` controls how many
+/// lock stripes each versioned table's key index is split into;
+/// `gc_interval` is the cadence at which the maintenance thread prunes
+/// version-chain suffixes below the safe-ts watermark (zero disables GC);
+/// `gts_lease` is how many timestamps a node takes from the central
+/// sequencer per fetch.
+///
+/// `gts_lease > 1` keeps the oracle contract (per-node monotonicity,
+/// global uniqueness, causality via `observe`) but gives up the *real-time*
+/// recency the single-counter GTS provides for free: a snapshot taken on
+/// one node may be older than a commit that already finished on another.
+/// That is exactly the DTS trust model, so leases are opt-in — every preset
+/// keeps `gts_lease: 1`, and the chaos checker's strict GTS mode assumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotPathConfig {
+    /// Lock stripes per versioned-table key index (1 = the original single
+    /// `RwLock<BTreeMap>`).
+    pub index_stripes: usize,
+    /// Cadence of incremental version-chain GC in the maintenance thread.
+    /// `Duration::ZERO` disables GC entirely.
+    pub gc_interval: Duration,
+    /// Timestamps leased from the central GTS sequencer per fetch. 1
+    /// reproduces the unbatched oracle byte for byte.
+    pub gts_lease: u64,
+}
+
+impl HotPathConfig {
+    /// Today's behavior, byte for byte: one index stripe, no GC, unbatched
+    /// timestamps. Baseline leg of the foreground bench and the equivalence
+    /// tests.
+    pub fn sequential() -> Self {
+        HotPathConfig {
+            index_stripes: 1,
+            gc_interval: Duration::ZERO,
+            gts_lease: 1,
+        }
+    }
+
+    /// The optimized foreground path: striped index, frequent incremental
+    /// GC, batched timestamp leases. Used by the optimized leg of
+    /// `bench_foreground` and the dedicated concurrency suites.
+    pub fn tuned() -> Self {
+        HotPathConfig {
+            index_stripes: 8,
+            gc_interval: Duration::from_millis(2),
+            gts_lease: 64,
+        }
+    }
+}
+
 /// Tunables for the simulated cluster and the migration engines.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -58,6 +111,8 @@ pub struct SimConfig {
     /// Worker-pool shape of the migration data plane (copy/replay workers,
     /// chunk size, drain batch).
     pub parallelism: ParallelismConfig,
+    /// Foreground hot-path shape (index stripes, GC cadence, GTS lease).
+    pub hot_path: HotPathConfig,
     /// The migration enters the mode-change phase when the number of
     /// propagated-but-unapplied changes drops below this threshold
     /// (paper §3.4 "drops below a threshold").
@@ -95,6 +150,11 @@ impl SimConfig {
                 chunk_size: 128,
                 drain_batch: 32,
             },
+            hot_path: HotPathConfig {
+                index_stripes: 8,
+                gc_interval: Duration::ZERO,
+                gts_lease: 1,
+            },
             catchup_threshold: 64,
             spill_threshold: 4096,
             spill_reload_latency: Duration::ZERO,
@@ -116,6 +176,11 @@ impl SimConfig {
                 replay_workers: 18,
                 chunk_size: 1024,
                 drain_batch: 64,
+            },
+            hot_path: HotPathConfig {
+                index_stripes: 8,
+                gc_interval: Duration::ZERO,
+                gts_lease: 1,
             },
             catchup_threshold: 64,
             spill_threshold: 4096,
@@ -163,5 +228,26 @@ mod tests {
         // A maximal chunk keeps every shard in one chunk: the copy is the
         // exact sequential scan.
         assert_eq!(p.chunk_size, u64::MAX);
+    }
+
+    #[test]
+    fn sequential_hot_path_is_todays_behavior() {
+        let h = HotPathConfig::sequential();
+        assert_eq!(h.index_stripes, 1);
+        assert_eq!(h.gc_interval, Duration::ZERO);
+        assert_eq!(h.gts_lease, 1);
+    }
+
+    #[test]
+    fn presets_keep_gc_and_leases_opt_in() {
+        // GC cadence and GTS leases change timing-visible behavior (GC) or
+        // the real-time recency model (leases), so every preset keeps them
+        // off; only the striping — semantically invisible — is on by
+        // default.
+        for c in [SimConfig::instant(), SimConfig::paper_shaped()] {
+            assert_eq!(c.hot_path.gc_interval, Duration::ZERO);
+            assert_eq!(c.hot_path.gts_lease, 1);
+            assert!(c.hot_path.index_stripes >= 1);
+        }
     }
 }

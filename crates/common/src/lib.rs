@@ -20,7 +20,7 @@ pub mod json;
 pub mod metrics;
 pub mod ts;
 
-pub use config::{ParallelismConfig, SimConfig};
+pub use config::{HotPathConfig, ParallelismConfig, SimConfig};
 pub use error::{DbError, DbResult};
 pub use fault::{FaultAction, FaultInjector, InjectionPoint, NoFaults};
 pub use ids::{ClientId, NodeId, ShardId, TableId, TxnId};

@@ -84,14 +84,19 @@ impl MigrationEngine for LockAndAbort {
         let (tx, rx) = unbounded();
 
         let copy_span = rec.start("snapshot_copy");
-        let from = source.storage.oldest_active_begin_lsn();
-        let snapshot_ts = cluster.oracle.start_ts(task.source);
+        // Slot registered atomically with computing `from`: concurrent WAL
+        // truncation can never pass the reader's start position.
+        let (slot, from) = source.storage.create_slot_at_oldest_active();
+        // Acquired and pinned atomically so the GC watermark never passes
+        // the copy snapshot while the copy is in flight.
+        let (snapshot_ts, snapshot_pin) = cluster.acquire_snapshot(task.source);
         let prop = PropagationProcess::start(
             cluster,
             &source,
             task.dest,
             &task.shards,
             snapshot_ts,
+            slot,
             from,
             Arc::clone(&hook),
             tx,
@@ -115,7 +120,7 @@ impl MigrationEngine for LockAndAbort {
             Some(Arc::clone(&gate)),
         );
         let tuples = {
-            let _pin = cluster.pin_snapshot(snapshot_ts);
+            let _pin = snapshot_pin;
             match copy_task_snapshots_gated(
                 cluster,
                 &source,

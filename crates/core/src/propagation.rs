@@ -57,7 +57,10 @@ pub struct PropagationProcess {
 impl PropagationProcess {
     /// Starts propagation on `source` for `shards`, reading the WAL after
     /// `from` and shipping to `tx`. `hook` identifies synchronized source
-    /// transactions; `dest` is only used to charge network hops.
+    /// transactions; `dest` is only used to charge network hops. `slot`
+    /// must be a replication slot already registered at `from` (see
+    /// [`remus_txn::NodeStorage::create_slot_at_oldest_active`]) — the
+    /// process owns it from here and drops it when the loop exits.
     #[allow(clippy::too_many_arguments)]
     pub fn start(
         cluster: &Arc<Cluster>,
@@ -65,6 +68,7 @@ impl PropagationProcess {
         dest: NodeId,
         shards: &[ShardId],
         snapshot_ts: Timestamp,
+        slot: u64,
         from: Lsn,
         hook: Arc<RemusHook>,
         tx: Sender<ApplyMsg>,
@@ -87,6 +91,7 @@ impl PropagationProcess {
                     dest,
                     shard_set,
                     snapshot_ts,
+                    slot,
                     from,
                     hook,
                     tx,
@@ -136,13 +141,13 @@ fn propagate_loop(
     dest: NodeId,
     shards: HashSet<ShardId>,
     snapshot_ts: Timestamp,
+    slot: u64,
     from: Lsn,
     hook: Arc<RemusHook>,
     tx: Sender<ApplyMsg>,
     stats: Arc<PropagationStats>,
     stop_at: Arc<AtomicU64>,
 ) {
-    let slot = source.storage.create_slot(from);
     let mut reader = source.storage.wal.reader_from(from);
     let mut pending: HashMap<TxnId, PendingTxn> = HashMap::new();
     let spill_threshold = cluster.config.spill_threshold;
@@ -204,12 +209,16 @@ fn propagate_loop(
             batch_len.add(batch.len() as u64);
             for (lsn, record) in batch {
                 let xid = record.xid;
-                match record.op {
+                // Records arrive as `Arc<LogRecord>` shared with the log:
+                // match by reference and clone only the write payloads this
+                // migration actually extracts (a `Bytes` clone is a refcount
+                // bump, not a copy).
+                match &record.op {
                     LogOp::Begin(start_ts) => {
                         pending.insert(
                             xid,
                             PendingTxn {
-                                start_ts,
+                                start_ts: *start_ts,
                                 queue: UpdateCacheQueue::new(spill_threshold),
                                 validated: false,
                             },
@@ -217,7 +226,7 @@ fn propagate_loop(
                     }
                     LogOp::Write(op) if shards.contains(&op.shard) => {
                         if pending.contains_key(&xid) {
-                            staged.entry(xid).or_default().push(op);
+                            staged.entry(xid).or_default().push(op.clone());
                             source.work.charge(1);
                             stats.extracted.fetch_add(1, Ordering::Relaxed);
                         }
@@ -245,6 +254,7 @@ fn propagate_loop(
                         }
                     }
                     LogOp::Commit(ts) | LogOp::CommitPrepared(ts) => {
+                        let ts = *ts;
                         flush_staged(&mut pending, &mut staged, xid);
                         if let Some(p) = pending.remove(&xid) {
                             if p.validated {
@@ -324,12 +334,14 @@ mod tests {
         snapshot_ts: u64,
     ) -> (PropagationProcess, crossbeam::channel::Receiver<ApplyMsg>) {
         let (tx, rx) = unbounded();
+        let slot = cluster.node(NodeId(0)).storage.create_slot(Lsn::ZERO);
         let prop = PropagationProcess::start(
             cluster,
             cluster.node(NodeId(0)),
             NodeId(1),
             &[ShardId(0)],
             Timestamp(snapshot_ts),
+            slot,
             Lsn::ZERO,
             hook,
             tx,

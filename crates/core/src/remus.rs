@@ -94,14 +94,21 @@ impl MigrationEngine for RemusEngine {
         // write set of every transaction that may commit after the
         // snapshot timestamp); the snapshot timestamp is taken after that.
         let copy_span = rec.start("snapshot_copy");
-        let from = source.storage.oldest_active_begin_lsn();
-        let snapshot_ts = cluster.oracle.start_ts(task.source);
+        // The slot is registered atomically with computing `from`, so
+        // concurrent WAL truncation (background maintenance) can never
+        // pass the reader's start position.
+        let (slot, from) = source.storage.create_slot_at_oldest_active();
+        // Acquire and pin atomically: from this instant until the copy
+        // finishes, the GC safe-ts watermark cannot pass the copy snapshot,
+        // so no version the copy scan still needs is ever pruned.
+        let (snapshot_ts, snapshot_pin) = cluster.acquire_snapshot(task.source);
         let prop = PropagationProcess::start(
             cluster,
             &source,
             task.dest,
             &task.shards,
             snapshot_ts,
+            slot,
             from,
             Arc::clone(&hook),
             tx,
@@ -126,7 +133,7 @@ impl MigrationEngine for RemusEngine {
             Some(Arc::clone(&gate)),
         );
         let copy_result = {
-            let _pin = cluster.pin_snapshot(snapshot_ts);
+            let _pin = snapshot_pin;
             match cluster.fault_at(InjectionPoint::SnapshotCopy, task.source) {
                 FaultAction::Fail => Err(DbError::NodeUnavailable(task.dest)),
                 fault => {

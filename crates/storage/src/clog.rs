@@ -37,13 +37,65 @@ impl TxnStatus {
 
 const SHARDS: usize = 16;
 
+/// Commit-cache slots per CLOG: `SHARDS` groups of `SLOTS_PER_SHARD`.
+const SLOTS_PER_SHARD: usize = 256;
+
+/// One seqlock slot of the lock-free commit cache: an (xid, commit ts) pair
+/// guarded by a sequence number (odd while a writer is mid-update).
+///
+/// Every xid that hashes to this slot hashes to the same CLOG shard, and
+/// writers publish only while holding that shard's *write* lock — so there
+/// is exactly one writer per slot at a time and the plain
+/// odd/write/even protocol is sound. Commit timestamps are immutable once
+/// set, so a reader that sees a stable even sequence and a matching xid has
+/// a correct value.
+#[derive(Default)]
+struct CacheSlot {
+    seq: AtomicU64,
+    xid: AtomicU64,
+    ts: AtomicU64,
+}
+
+impl CacheSlot {
+    /// Publish under the owning shard's write lock (single writer).
+    fn put(&self, xid: TxnId, ts: Timestamp) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s + 1, Ordering::SeqCst);
+        self.xid.store(xid.0, Ordering::SeqCst);
+        self.ts.store(ts.0, Ordering::SeqCst);
+        self.seq.store(s + 2, Ordering::SeqCst);
+    }
+
+    /// Lock-free read; `None` means "not cached, take the slow path".
+    fn get(&self, xid: TxnId) -> Option<Timestamp> {
+        let s1 = self.seq.load(Ordering::SeqCst);
+        if s1 & 1 == 1 {
+            return None;
+        }
+        if self.xid.load(Ordering::SeqCst) != xid.0 {
+            return None;
+        }
+        let ts = self.ts.load(Ordering::SeqCst);
+        if self.seq.load(Ordering::SeqCst) == s1 {
+            Some(Timestamp(ts))
+        } else {
+            None
+        }
+    }
+}
+
 /// A node's commit log.
 ///
 /// Sharded hash maps keep the hot path short; a single condition variable
 /// wakes prepare-waiters whenever any transaction resolves (acceptable at
-/// simulation scale and simple to reason about).
+/// simulation scale and simple to reason about). `Committed(ts)` lookups —
+/// the common case of every MVCC visibility check — are served by a
+/// lock-free seqlock cache in front of the shard locks; commit status is
+/// immutable once set, so a cache hit never needs revalidation.
 pub struct Clog {
     shards: [RwLock<HashMap<TxnId, TxnStatus>>; SHARDS],
+    cache: Box<[CacheSlot]>,
+    cache_hits: AtomicU64,
     wake: Mutex<u64>,
     cond: Condvar,
     wait_blocks: AtomicU64,
@@ -68,20 +120,42 @@ impl Clog {
     pub fn new() -> Self {
         let clog = Clog {
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            cache: (0..SHARDS * SLOTS_PER_SHARD)
+                .map(|_| CacheSlot::default())
+                .collect(),
+            cache_hits: AtomicU64::new(0),
             wake: Mutex::new(0),
             cond: Condvar::new(),
             wait_blocks: AtomicU64::new(0),
         };
-        clog.shard(FROZEN_TXN)
-            .write()
-            .insert(FROZEN_TXN, TxnStatus::Committed(Timestamp::SNAPSHOT_MIN));
+        {
+            let mut shard = clog.shard(FROZEN_TXN).write();
+            shard.insert(FROZEN_TXN, TxnStatus::Committed(Timestamp::SNAPSHOT_MIN));
+            // The frozen transaction owns every snapshot-installed tuple —
+            // the hottest commit lookup of all — so it is cached up front.
+            clog.slot(FROZEN_TXN)
+                .put(FROZEN_TXN, Timestamp::SNAPSHOT_MIN);
+        }
         clog
     }
 
-    fn shard(&self, xid: TxnId) -> &RwLock<HashMap<TxnId, TxnStatus>> {
+    fn hash(xid: TxnId) -> u64 {
         // xids are dense per node; mix the bits a little.
-        let h = xid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h >> 60) as usize % SHARDS]
+        xid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn shard(&self, xid: TxnId) -> &RwLock<HashMap<TxnId, TxnStatus>> {
+        &self.shards[(Self::hash(xid) >> 60) as usize % SHARDS]
+    }
+
+    /// The cache slot for `xid`. The slot index embeds the shard index, so
+    /// two xids can share a slot only if they share a CLOG shard — which is
+    /// what makes that shard's write lock the slot's single-writer guard.
+    fn slot(&self, xid: TxnId) -> &CacheSlot {
+        let h = Self::hash(xid);
+        let shard_idx = (h >> 60) as usize % SHARDS;
+        let sub = (h >> 52) as usize % SLOTS_PER_SHARD;
+        &self.cache[shard_idx * SLOTS_PER_SHARD + sub]
     }
 
     /// Registers a transaction as in progress. Idempotent for an xid that is
@@ -149,6 +223,9 @@ impl Clog {
             match shard.get(&xid).copied() {
                 Some(TxnStatus::InProgress) | Some(TxnStatus::Prepared) => {
                     shard.insert(xid, TxnStatus::Committed(ts));
+                    // Publish to the lock-free cache while still holding the
+                    // shard write lock (the slot's single-writer guard).
+                    self.slot(xid).put(xid, ts);
                 }
                 Some(TxnStatus::Committed(prev)) if prev == ts => return Ok(()),
                 other => return Err(DbError::Internal(format!("commit({xid}) from {other:?}"))),
@@ -183,12 +260,26 @@ impl Clog {
     /// Looks up a transaction's status. Unknown xids are reported as
     /// aborted: the only way a version references an unknown xid is after a
     /// simulated crash wiped in-progress state, which aborts them.
+    ///
+    /// The common case — `Committed(ts)` — is answered by the lock-free
+    /// commit cache without touching the shard `RwLock`; sound because a
+    /// commit record never changes once written (an abort after commit is a
+    /// panic, never a transition).
     pub fn status(&self, xid: TxnId) -> TxnStatus {
+        if let Some(ts) = self.slot(xid).get(xid) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return TxnStatus::Committed(ts);
+        }
         self.shard(xid)
             .read()
             .get(&xid)
             .copied()
             .unwrap_or(TxnStatus::Aborted)
+    }
+
+    /// Number of status lookups served by the lock-free commit cache.
+    pub fn commit_cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
     }
 
     /// The commit timestamp of a committed transaction.
@@ -413,6 +504,74 @@ mod tests {
             .wait_resolved(x, Duration::from_millis(10))
             .unwrap_err();
         assert_eq!(err, DbError::Timeout("transaction resolution"));
+    }
+
+    #[test]
+    fn committed_lookup_hits_lock_free_cache() {
+        let clog = Clog::new();
+        let x = xid(1);
+        clog.begin(x);
+        assert_eq!(clog.status(x), TxnStatus::InProgress);
+        let before = clog.commit_cache_hits();
+        clog.set_committed(x, Timestamp(42)).unwrap();
+        assert_eq!(clog.status(x), TxnStatus::Committed(Timestamp(42)));
+        assert_eq!(clog.commit_cache_hits(), before + 1);
+        // The frozen bootstrap transaction is pre-cached too.
+        assert_eq!(
+            clog.status(FROZEN_TXN),
+            TxnStatus::Committed(Timestamp::SNAPSHOT_MIN)
+        );
+        assert_eq!(clog.commit_cache_hits(), before + 2);
+    }
+
+    #[test]
+    fn slot_collision_evicts_but_both_resolve_correctly() {
+        let clog = Clog::new();
+        let a = xid(1);
+        // Find another xid landing on the same cache slot as `a`.
+        let b = (2..100_000)
+            .map(xid)
+            .find(|x| std::ptr::eq(clog.slot(*x), clog.slot(a)))
+            .expect("a colliding xid exists");
+        clog.begin(a);
+        clog.begin(b);
+        clog.set_committed(a, Timestamp(10)).unwrap();
+        clog.set_committed(b, Timestamp(20)).unwrap();
+        // `b` evicted `a` from the shared slot: `b` answers from the cache,
+        // `a` falls back to the shard map — both must stay correct.
+        assert_eq!(clog.status(b), TxnStatus::Committed(Timestamp(20)));
+        assert_eq!(clog.status(a), TxnStatus::Committed(Timestamp(10)));
+    }
+
+    #[test]
+    fn prepare_wait_wakeups_still_fire_with_cache_fast_path() {
+        // Regression for the commit cache: a prepare-waiter must still be
+        // woken by set_committed and observe the final status even though
+        // post-commit lookups bypass the shard lock entirely.
+        let clog = Arc::new(Clog::new());
+        let xs: Vec<TxnId> = (20..24).map(xid).collect();
+        for &x in &xs {
+            clog.begin(x);
+            clog.set_prepared(x).unwrap();
+        }
+        let waiters: Vec<_> = xs
+            .iter()
+            .map(|&x| {
+                let clog = Arc::clone(&clog);
+                std::thread::spawn(move || clog.wait_resolved(x, Duration::from_secs(5)))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        for (i, &x) in xs.iter().enumerate() {
+            clog.set_committed(x, Timestamp(100 + i as u64)).unwrap();
+        }
+        for (i, w) in waiters.into_iter().enumerate() {
+            assert_eq!(
+                w.join().unwrap().unwrap(),
+                TxnStatus::Committed(Timestamp(100 + i as u64))
+            );
+        }
+        assert_eq!(clog.prepare_wait_blocks(), 4);
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub mod tuple;
 pub mod visibility;
 
 pub use clog::{Clog, TxnStatus};
-pub use table::{TableStats, VersionedTable, WriteOutcome};
+pub use table::{GcStepStats, TableStats, VersionedTable, WriteOutcome};
 pub use tuple::{Key, TupleVersion, Value, VersionChain};
 pub use visibility::{resolve_visible, resolve_visible_versioned, VersionedOutcome};

@@ -44,36 +44,192 @@ pub struct TableStats {
     pub max_chain: usize,
 }
 
-/// One shard's MVCC heap.
+/// Outcome of one incremental GC step (see [`VersionedTable::gc_step`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStepStats {
+    /// Chains examined this step.
+    pub scanned: usize,
+    /// Versions freed this step.
+    pub pruned: usize,
+    /// Longest chain among the scanned ones, *after* pruning.
+    pub max_chain: usize,
+}
+
+/// Persistent position of the incremental GC sweep: it resumes where the
+/// previous step left off and wraps around the stripes.
 #[derive(Default)]
+struct GcCursor {
+    stripe: usize,
+    last: Option<Key>,
+}
+
+/// Shared pruning rule of [`VersionedTable::vacuum`] and
+/// [`VersionedTable::gc_step`]: drops aborted versions and everything older
+/// than the newest version committed at or before `horizon` (the *anchor*,
+/// which some snapshot >= horizon may still read). Returns the number of
+/// versions freed and whether the whole key is dead — empty, or a lone
+/// tombstone at/below the horizon that no future snapshot can see.
+fn prune_chain(guard: &mut VersionChain, horizon: Timestamp, clog: &Clog) -> (usize, bool) {
+    use crate::clog::TxnStatus;
+    let before = guard.len();
+    let mut seen_anchor = false;
+    guard.retain(|v| match clog.status(v.xmin) {
+        TxnStatus::Aborted => false,
+        TxnStatus::Committed(cts) if cts <= horizon => {
+            if seen_anchor {
+                false
+            } else {
+                seen_anchor = true;
+                true
+            }
+        }
+        _ => true,
+    });
+    let mut freed = before - guard.len();
+    let mut dead = guard.is_empty();
+    if guard.len() == 1 {
+        let v = guard.newest().expect("len 1");
+        if v.deleted && clog.commit_ts(v.xmin).is_some_and(|c| c <= horizon) {
+            freed += 1;
+            dead = true;
+        }
+    }
+    (freed, dead)
+}
+
+/// Removes keys flagged dead by [`prune_chain`], re-checking under the
+/// stripe's write lock to avoid racing a concurrent insert.
+fn remove_dead_keys(
+    stripe: &RwLock<BTreeMap<Key, ChainRef>>,
+    dead_keys: &[Key],
+    horizon: Timestamp,
+    clog: &Clog,
+) {
+    if dead_keys.is_empty() {
+        return;
+    }
+    let mut map = stripe.write();
+    for key in dead_keys {
+        if let Some(chain) = map.get(key) {
+            let guard = chain.lock();
+            let dead = guard.is_empty()
+                || (guard.len() == 1
+                    && guard.newest().is_some_and(|v| {
+                        v.deleted && clog.commit_ts(v.xmin).is_some_and(|c| c <= horizon)
+                    }));
+            drop(guard);
+            if dead {
+                map.remove(key);
+            }
+        }
+    }
+}
+
+/// One shard's MVCC heap.
+///
+/// The key index is split into N lock stripes (key-hash keyed) so concurrent
+/// sessions and the parallel copy/replay workers stop serializing on one
+/// `RwLock`. Each stripe is an ordered map; the ordered scans that snapshot
+/// copying and chunking need merge the per-stripe ranges.
 pub struct VersionedTable {
-    map: RwLock<BTreeMap<Key, ChainRef>>,
+    stripes: Box<[RwLock<BTreeMap<Key, ChainRef>>]>,
+    gc_cursor: Mutex<GcCursor>,
+}
+
+impl Default for VersionedTable {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl std::fmt::Debug for VersionedTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VersionedTable")
-            .field("keys", &self.map.read().len())
+            .field("stripes", &self.stripes.len())
+            .field(
+                "keys",
+                &self.stripes.iter().map(|s| s.read().len()).sum::<usize>(),
+            )
             .finish()
     }
 }
 
 impl VersionedTable {
-    /// An empty table.
+    /// An empty single-stripe table — byte-for-byte today's behavior.
+    /// Striping is opted into through `SimConfig::hot_path.index_stripes`.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_stripes(1)
+    }
+
+    /// An empty table with `n` index stripes (`n` is clamped to >= 1).
+    pub fn with_stripes(n: usize) -> Self {
+        let n = n.max(1);
+        VersionedTable {
+            stripes: (0..n).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            gc_cursor: Mutex::new(GcCursor::default()),
+        }
+    }
+
+    /// Number of index stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe_of(&self, key: Key) -> &RwLock<BTreeMap<Key, ChainRef>> {
+        let n = self.stripes.len();
+        if n == 1 {
+            return &self.stripes[0];
+        }
+        // Fibonacci hashing: adjacent keys land on different stripes.
+        let h = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+        &self.stripes[h % n]
     }
 
     fn chain(&self, key: Key) -> Option<ChainRef> {
-        self.map.read().get(&key).cloned()
+        self.stripe_of(key).read().get(&key).cloned()
     }
 
     fn chain_or_create(&self, key: Key) -> ChainRef {
-        if let Some(c) = self.chain(key) {
+        let stripe = self.stripe_of(key);
+        if let Some(c) = stripe.read().get(&key).cloned() {
             return c;
         }
-        let mut map = self.map.write();
+        let mut map = stripe.write();
         Arc::clone(map.entry(key).or_default())
+    }
+
+    /// The first `limit` in-range `(key, chain)` pairs in global key order.
+    ///
+    /// Sound under striping because each stripe is itself ordered: every key
+    /// among the global first `limit` is among the first `limit` in-range
+    /// keys of its own stripe, so taking `limit` per stripe before the merge
+    /// never drops one.
+    fn collect_range(
+        &self,
+        from: Bound<Key>,
+        end: Bound<Key>,
+        limit: usize,
+    ) -> Vec<(Key, ChainRef)> {
+        if self.stripes.len() == 1 {
+            let map = self.stripes[0].read();
+            return map
+                .range((from, end))
+                .take(limit)
+                .map(|(k, c)| (*k, Arc::clone(c)))
+                .collect();
+        }
+        let mut all: Vec<(Key, ChainRef)> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let map = stripe.read();
+            all.extend(
+                map.range((from, end))
+                    .take(limit)
+                    .map(|(k, c)| (*k, Arc::clone(c))),
+            );
+        }
+        all.sort_unstable_by_key(|(k, _)| *k);
+        all.truncate(limit);
+        all
     }
 
     /// SI point read that also reports the commit timestamp of the version
@@ -297,7 +453,7 @@ impl VersionedTable {
     /// Replaces any existing chain for the key: installs target empty shards
     /// and retried Squall pulls.
     pub fn install_frozen(&self, key: Key, value: Value) {
-        let mut map = self.map.write();
+        let mut map = self.stripe_of(key).write();
         map.insert(
             key,
             Arc::new(Mutex::new(VersionChain::with(TupleVersion::data(
@@ -334,13 +490,7 @@ impl VersionedTable {
         let end: Bound<Key> = range.end_bound().cloned();
         let mut from: Bound<Key> = range.start_bound().cloned();
         loop {
-            let batch: Vec<(Key, ChainRef)> = {
-                let map = self.map.read();
-                map.range((from, end))
-                    .take(BATCH)
-                    .map(|(k, c)| (*k, Arc::clone(c)))
-                    .collect()
-            };
+            let batch = self.collect_range(from, end, BATCH);
             if batch.is_empty() {
                 return Ok(());
             }
@@ -373,12 +523,11 @@ impl VersionedTable {
         clog: &Clog,
         timeout: Duration,
     ) -> DbResult<Vec<(Key, Value)>> {
-        let chains: Vec<(Key, ChainRef)> = {
-            let map = self.map.read();
-            map.range((range.start_bound().cloned(), range.end_bound().cloned()))
-                .map(|(k, c)| (*k, Arc::clone(c)))
-                .collect()
-        };
+        let chains = self.collect_range(
+            range.start_bound().cloned(),
+            range.end_bound().cloned(),
+            usize::MAX,
+        );
         let mut out = Vec::with_capacity(chains.len());
         for (key, chain) in chains {
             loop {
@@ -407,11 +556,15 @@ impl VersionedTable {
     /// the partition stays exhaustive under concurrent writes.
     pub fn chunk_splits(&self, chunk_size: u64) -> Vec<Key> {
         let chunk = chunk_size.max(1) as usize;
-        let map = self.map.read();
-        map.keys()
+        let mut keys: Vec<Key> = Vec::new();
+        for stripe in self.stripes.iter() {
+            keys.extend(stripe.read().keys().copied());
+        }
+        keys.sort_unstable();
+        keys.into_iter()
             .enumerate()
             .filter(|(i, _)| *i != 0 && *i % chunk == 0)
-            .map(|(_, k)| *k)
+            .map(|(_, k)| k)
             .collect()
     }
 
@@ -431,88 +584,106 @@ impl VersionedTable {
     /// aborted versions. Keys whose only surviving version is a tombstone
     /// older than the horizon are removed entirely. Returns versions freed.
     pub fn vacuum(&self, horizon: Timestamp, clog: &Clog) -> usize {
-        let chains: Vec<(Key, ChainRef)> = {
-            let map = self.map.read();
-            map.iter().map(|(k, c)| (*k, Arc::clone(c))).collect()
-        };
         let mut freed = 0;
-        let mut dead_keys = Vec::new();
-        for (key, chain) in chains {
-            let mut guard = chain.lock();
-            let before = guard.len();
-            // Find the newest version committed at or before the horizon:
-            // it must stay (some snapshot >= horizon may read it); everything
-            // older is unreachable.
-            let mut seen_anchor = false;
-            guard.retain(|v| {
-                let status = clog.status(v.xmin);
-                match status {
-                    crate::clog::TxnStatus::Aborted => false,
-                    crate::clog::TxnStatus::Committed(cts) if cts <= horizon => {
-                        if seen_anchor {
-                            false
-                        } else {
-                            seen_anchor = true;
-                            true
-                        }
-                    }
-                    _ => true,
-                }
-            });
-            freed += before - guard.len();
-            // A lone tombstone at/below the horizon is invisible forever.
-            if guard.len() == 1 {
-                let v = guard.newest().expect("len 1");
-                if v.deleted {
-                    if let Some(cts) = clog.commit_ts(v.xmin) {
-                        if cts <= horizon {
-                            freed += 1;
-                            dead_keys.push(key);
-                        }
-                    }
-                }
-            } else if guard.is_empty() {
-                dead_keys.push(key);
-            }
-        }
-        if !dead_keys.is_empty() {
-            let mut map = self.map.write();
-            for key in dead_keys {
-                // Re-check emptiness/tombstone-ness under the write lock to
-                // avoid racing a concurrent insert.
-                if let Some(chain) = map.get(&key) {
-                    let guard = chain.lock();
-                    let dead = guard.is_empty()
-                        || (guard.len() == 1
-                            && guard.newest().is_some_and(|v| {
-                                v.deleted && clog.commit_ts(v.xmin).is_some_and(|c| c <= horizon)
-                            }));
-                    drop(guard);
-                    if dead {
-                        map.remove(&key);
-                    }
+        for stripe in self.stripes.iter() {
+            let chains: Vec<(Key, ChainRef)> = {
+                let map = stripe.read();
+                map.iter().map(|(k, c)| (*k, Arc::clone(c))).collect()
+            };
+            let mut dead_keys = Vec::new();
+            for (key, chain) in chains {
+                let mut guard = chain.lock();
+                let (f, dead) = prune_chain(&mut guard, horizon, clog);
+                drop(guard);
+                freed += f;
+                if dead {
+                    dead_keys.push(key);
                 }
             }
+            remove_dead_keys(stripe, &dead_keys, horizon, clog);
         }
         freed
     }
 
+    /// One bounded step of the incremental version-chain GC: scans at most
+    /// `max_chains` chains starting where the previous step left off
+    /// (wrapping around the stripes) and applies the same pruning rule as
+    /// [`Self::vacuum`] with `watermark` as the horizon. Callers must pass a
+    /// watermark no newer than the oldest active snapshot — in this codebase
+    /// that is the cluster's `safe_ts_watermark`, which sessions *and*
+    /// in-flight migrations pin.
+    ///
+    /// Unlike the stop-the-world-ish `vacuum` full sweep, a step touches a
+    /// bounded number of chains, so it can run at a high cadence without
+    /// stalling foreground transactions behind the stripe read locks.
+    pub fn gc_step(&self, watermark: Timestamp, clog: &Clog, max_chains: usize) -> GcStepStats {
+        let mut stats = GcStepStats::default();
+        let nstripes = self.stripes.len();
+        let mut cursor = self.gc_cursor.lock();
+        // A step ends when the chain budget is spent or every stripe has
+        // been swept to its end once — never more than one pass over the
+        // table per step, however large the budget.
+        let mut exhausted_stripes = 0;
+        while stats.scanned < max_chains && exhausted_stripes < nstripes {
+            let stripe = &self.stripes[cursor.stripe % nstripes];
+            let from = match cursor.last {
+                Some(k) => Bound::Excluded(k),
+                None => Bound::Unbounded,
+            };
+            let budget = max_chains - stats.scanned;
+            let batch: Vec<(Key, ChainRef)> = {
+                let map = stripe.read();
+                map.range((from, Bound::Unbounded))
+                    .take(budget)
+                    .map(|(k, c)| (*k, Arc::clone(c)))
+                    .collect()
+            };
+            if batch.is_empty() {
+                cursor.stripe = (cursor.stripe + 1) % nstripes;
+                cursor.last = None;
+                exhausted_stripes += 1;
+                continue;
+            }
+            cursor.last = Some(batch.last().expect("non-empty").0);
+            let mut dead_keys = Vec::new();
+            for (key, chain) in batch {
+                let mut guard = chain.lock();
+                // Chain length is sampled before pruning: the gauge tracks
+                // the growth GC walked into, not the post-prune steady state.
+                stats.max_chain = stats.max_chain.max(guard.len());
+                let (f, dead) = prune_chain(&mut guard, watermark, clog);
+                stats.scanned += 1;
+                stats.pruned += f;
+                drop(guard);
+                if dead {
+                    dead_keys.push(key);
+                }
+            }
+            remove_dead_keys(stripe, &dead_keys, watermark, clog);
+        }
+        stats
+    }
+
     /// Drops every key in the range (cleanup of migrated-away data).
     pub fn clear_range(&self, range: impl std::ops::RangeBounds<Key>) -> usize {
-        let mut map = self.map.write();
-        let keys: Vec<Key> = map
-            .range((range.start_bound().cloned(), range.end_bound().cloned()))
-            .map(|(k, _)| *k)
-            .collect();
-        for k in &keys {
-            map.remove(k);
+        let bounds = (range.start_bound().cloned(), range.end_bound().cloned());
+        let mut dropped = 0;
+        for stripe in self.stripes.iter() {
+            let mut map = stripe.write();
+            let keys: Vec<Key> = map.range(bounds).map(|(k, _)| *k).collect();
+            for k in &keys {
+                map.remove(k);
+            }
+            dropped += keys.len();
         }
-        keys.len()
+        dropped
     }
 
     /// Drops everything.
     pub fn clear(&self) {
-        self.map.write().clear();
+        for stripe in self.stripes.iter() {
+            stripe.write().clear();
+        }
     }
 
     /// A debugging snapshot of one key's version chain (newest first).
@@ -525,15 +696,15 @@ impl VersionedTable {
 
     /// Current statistics.
     pub fn stats(&self) -> TableStats {
-        let map = self.map.read();
-        let mut stats = TableStats {
-            keys: map.len(),
-            ..Default::default()
-        };
-        for chain in map.values() {
-            let len = chain.lock().len();
-            stats.versions += len;
-            stats.max_chain = stats.max_chain.max(len);
+        let mut stats = TableStats::default();
+        for stripe in self.stripes.iter() {
+            let map = stripe.read();
+            stats.keys += map.len();
+            for chain in map.values() {
+                let len = chain.lock().len();
+                stats.versions += len;
+                stats.max_chain = stats.max_chain.max(len);
+            }
         }
         stats
     }
@@ -906,5 +1077,155 @@ mod tests {
         let x = xid(1);
         clog.begin(x);
         assert_eq!(clog.status(x), TxnStatus::InProgress);
+    }
+
+    #[test]
+    fn striped_table_matches_single_stripe_byte_for_byte() {
+        // Identical deterministic workload against 1 and 8 stripes: every
+        // observable output (ordered scans, chunk splits, stats, reads)
+        // must be identical.
+        let clog1 = Clog::new();
+        let clog8 = Clog::new();
+        let t1 = VersionedTable::with_stripes(1);
+        let t8 = VersionedTable::with_stripes(8);
+        assert_eq!(t8.stripe_count(), 8);
+        for (t, clog) in [(&t1, &clog1), (&t8, &clog8)] {
+            for k in 0..64u64 {
+                committed(clog, k + 1, 10, |x| {
+                    t.insert(k * 3, val("v0"), x, Timestamp(5), clog, T)
+                        .unwrap();
+                });
+            }
+            committed(clog, 100, 20, |x| {
+                t.update(9, val("v1"), x, Timestamp(15), clog, T).unwrap();
+                t.delete(12, x, Timestamp(15), clog, T).unwrap();
+            });
+        }
+        let collect = |t: &VersionedTable, clog: &Clog, ts: u64| {
+            let mut seen = Vec::new();
+            t.for_each_visible(Timestamp(ts), clog, T, |k, v| seen.push((k, v)))
+                .unwrap();
+            seen
+        };
+        assert_eq!(collect(&t1, &clog1, 10), collect(&t8, &clog8, 10));
+        assert_eq!(collect(&t1, &clog1, 25), collect(&t8, &clog8, 25));
+        assert_eq!(
+            t1.scan_visible_range(10..100, Timestamp(25), &clog1, T)
+                .unwrap(),
+            t8.scan_visible_range(10..100, Timestamp(25), &clog8, T)
+                .unwrap()
+        );
+        assert_eq!(t1.chunk_splits(10), t8.chunk_splits(10));
+        assert_eq!(t1.stats(), t8.stats());
+        assert_eq!(t1.clear_range(30..60), t8.clear_range(30..60));
+        assert_eq!(t1.stats(), t8.stats());
+    }
+
+    #[test]
+    fn striped_scan_is_key_ordered_and_batched_across_stripes() {
+        let (t, clog) = (VersionedTable::with_stripes(7), Clog::new());
+        // More keys than one scan batch (256) so the merge runs repeatedly.
+        for k in 0..600u64 {
+            committed(&clog, k + 1, 10, |x| {
+                t.insert(k, val("v"), x, Timestamp(5), &clog, T).unwrap();
+            });
+        }
+        let mut seen = Vec::new();
+        t.for_each_visible(Timestamp(10), &clog, T, |k, _| seen.push(k))
+            .unwrap();
+        assert_eq!(seen.len(), 600);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "merged scan ordered");
+        let splits = t.chunk_splits(100);
+        assert_eq!(splits, vec![100, 200, 300, 400, 500]);
+    }
+
+    #[test]
+    fn gc_step_prunes_incrementally_and_keeps_watermark_anchor() {
+        let (t, clog) = (VersionedTable::with_stripes(4), Clog::new());
+        let mut n = 0u64;
+        for k in 0..32u64 {
+            n += 1;
+            let nn = n;
+            committed(&clog, nn, 10, |x| {
+                t.insert(k, val("a"), x, Timestamp(5), &clog, T).unwrap();
+            });
+            for (i, ts) in [(1u64, 20u64), (2, 30), (3, 40)] {
+                n += 1;
+                let nn = n;
+                let _ = i;
+                committed(&clog, nn, ts, |x| {
+                    t.update(k, val("u"), x, Timestamp(ts - 5), &clog, T)
+                        .unwrap();
+                });
+            }
+        }
+        assert_eq!(t.stats().versions, 32 * 4);
+        // Bounded steps: each scans at most 8 chains; drive to completion.
+        let mut pruned = 0;
+        for _ in 0..16 {
+            pruned += t.gc_step(Timestamp(30), &clog, 8).pruned;
+        }
+        // Per key: versions at 10 and 20 unreachable for snapshots >= 30.
+        assert_eq!(pruned, 32 * 2);
+        assert_eq!(t.stats().versions, 32 * 2);
+        for k in 0..32u64 {
+            // The watermark snapshot itself still reads the anchor.
+            assert_eq!(
+                t.read(k, Timestamp(30), xid(999), &clog, T).unwrap(),
+                Some(val("u"))
+            );
+            assert_eq!(
+                t.read(k, Timestamp(45), xid(999), &clog, T).unwrap(),
+                Some(val("u"))
+            );
+        }
+        // Nothing left to prune: further steps are no-ops.
+        assert_eq!(t.gc_step(Timestamp(30), &clog, 1024).pruned, 0);
+    }
+
+    #[test]
+    fn gc_step_removes_dead_tombstones_and_reports_chain_stats() {
+        let (t, clog) = (VersionedTable::with_stripes(2), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(1, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        committed(&clog, 2, 20, |x| {
+            t.delete(1, x, Timestamp(15), &clog, T).unwrap();
+        });
+        committed(&clog, 3, 10, |x| {
+            t.insert(2, val("b"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        let stats = t.gc_step(Timestamp(25), &clog, 1024);
+        assert_eq!(stats.scanned, 2);
+        assert!(stats.max_chain >= 1);
+        assert_eq!(t.stats().keys, 1, "dead tombstoned key removed");
+        assert_eq!(
+            t.read(2, Timestamp(25), xid(9), &clog, T).unwrap(),
+            Some(val("b"))
+        );
+    }
+
+    #[test]
+    fn gc_step_never_prunes_versions_visible_to_watermark_snapshot() {
+        let (t, clog) = (VersionedTable::with_stripes(3), Clog::new());
+        committed(&clog, 1, 10, |x| {
+            t.insert(7, val("old"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        committed(&clog, 2, 40, |x| {
+            t.update(7, val("new"), x, Timestamp(35), &clog, T).unwrap();
+        });
+        // Watermark 20: the version committed at 10 is the anchor a
+        // snapshot at 20 reads — it must survive any number of steps.
+        for _ in 0..4 {
+            t.gc_step(Timestamp(20), &clog, 1024);
+        }
+        assert_eq!(
+            t.read(7, Timestamp(20), xid(9), &clog, T).unwrap(),
+            Some(val("old"))
+        );
+        assert_eq!(
+            t.read(7, Timestamp(45), xid(9), &clog, T).unwrap(),
+            Some(val("new"))
+        );
     }
 }

@@ -140,13 +140,15 @@ impl NodeStorage {
 
     // ---- shard placement ----
 
-    /// Creates an (empty) table for a shard this node now hosts.
+    /// Creates an (empty) table for a shard this node now hosts. The key
+    /// index gets `config.hot_path.index_stripes` lock stripes.
     pub fn create_shard(&self, shard: ShardId) -> Arc<VersionedTable> {
+        let stripes = self.config.hot_path.index_stripes;
         let mut tables = self.tables.write();
         Arc::clone(
             tables
                 .entry(shard)
-                .or_insert_with(|| Arc::new(VersionedTable::new())),
+                .or_insert_with(|| Arc::new(VersionedTable::with_stripes(stripes))),
         )
     }
 
@@ -287,12 +289,29 @@ impl NodeStorage {
         self.slots.lock().remove(&slot);
     }
 
+    /// Registers a replication slot at the oldest active transaction's
+    /// begin LSN, atomically with respect to [`truncate_wal_safely`]: the
+    /// slot is visible to any later truncation, so a reader starting at
+    /// the returned LSN never observes a truncated record. Computing the
+    /// position and registering the slot separately would leave a window
+    /// where concurrent truncation passes the not-yet-registered reader.
+    pub fn create_slot_at_oldest_active(&self) -> (u64, Lsn) {
+        let mut slots = self.slots.lock();
+        let from = self.oldest_active_begin_lsn();
+        let id = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        slots.insert(id, from);
+        (id, from)
+    }
+
     /// Truncates the WAL up to the safe point: the minimum of every active
     /// transaction's `begin_lsn` and every replication slot position.
-    /// Returns the position truncated to.
+    /// Returns the position truncated to. The slot table stays locked for
+    /// the whole computation so it serializes with
+    /// [`create_slot_at_oldest_active`].
     pub fn truncate_wal_safely(&self) -> Lsn {
+        let slots = self.slots.lock();
         let mut upto = self.oldest_active_begin_lsn();
-        for pos in self.slots.lock().values() {
+        for pos in slots.values() {
             upto = upto.min(*pos);
         }
         self.wal.truncate_until(upto);
@@ -416,6 +435,31 @@ mod tests {
         n.drop_slot(slot);
         assert_eq!(n.truncate_wal_safely(), Lsn(10));
         assert_eq!(n.wal.retained(), 0);
+    }
+
+    #[test]
+    fn slot_at_oldest_active_pins_reader_start_against_truncation() {
+        use remus_wal::{LogOp, LogRecord};
+        let n = node();
+        let filler = n.alloc_xid();
+        n.wal.append(LogRecord::new(filler, LogOp::Abort));
+        n.wal.append(LogRecord::new(filler, LogOp::Abort));
+        let x = n.alloc_xid();
+        n.register_active(x); // begin_lsn = 2
+        for _ in 0..4 {
+            n.wal.append(LogRecord::new(filler, LogOp::Abort));
+        }
+        let (slot, from) = n.create_slot_at_oldest_active();
+        assert_eq!(from, Lsn(2));
+        // The active transaction finishing no longer unblocks truncation:
+        // the slot holds the reader's start position on its own.
+        n.deregister(x);
+        assert_eq!(n.truncate_wal_safely(), Lsn(2));
+        // A reader starting at `from` still sees every record from there.
+        let mut reader = n.wal.reader_from(from);
+        assert!(reader.try_next().is_some());
+        n.drop_slot(slot);
+        assert_eq!(n.truncate_wal_safely(), n.wal.flush_lsn());
     }
 
     #[test]

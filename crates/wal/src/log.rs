@@ -26,8 +26,11 @@ impl std::fmt::Display for Lsn {
 
 #[derive(Debug, Default)]
 struct LogInner {
-    /// Records with LSN in `(base, base + records.len()]`.
-    records: VecDeque<LogRecord>,
+    /// Records with LSN in `(base, base + records.len()]`. Stored behind
+    /// `Arc` so readers (replay, propagation — often several per record
+    /// during a migration) share the one flushed copy instead of
+    /// deep-cloning every payload out of the log.
+    records: VecDeque<Arc<LogRecord>>,
     /// LSN of the last truncated-away record (0 if nothing truncated).
     base: u64,
 }
@@ -53,7 +56,7 @@ impl Wal {
     /// point: a record is visible to readers as soon as this returns.
     pub fn append(&self, record: LogRecord) -> Lsn {
         let mut inner = self.inner.lock();
-        inner.records.push_back(record);
+        inner.records.push_back(Arc::new(record));
         let lsn = Lsn(inner.base + inner.records.len() as u64);
         drop(inner);
         self.grown.notify_all();
@@ -68,7 +71,7 @@ impl Wal {
     }
 
     /// Returns the record at `lsn`, if it exists and was not truncated.
-    pub fn get(&self, lsn: Lsn) -> Option<LogRecord> {
+    pub fn get(&self, lsn: Lsn) -> Option<Arc<LogRecord>> {
         let inner = self.inner.lock();
         if lsn.0 <= inner.base {
             return None;
@@ -103,7 +106,7 @@ impl Wal {
         }
     }
 
-    fn wait_for(&self, lsn: Lsn, timeout: Duration) -> Option<LogRecord> {
+    fn wait_for(&self, lsn: Lsn, timeout: Duration) -> Option<Arc<LogRecord>> {
         let deadline = Instant::now() + timeout;
         let mut inner = self.inner.lock();
         loop {
@@ -113,7 +116,7 @@ impl Wal {
             }
             let idx = (lsn.0 - inner.base - 1) as usize;
             if let Some(r) = inner.records.get(idx) {
-                return Some(r.clone());
+                return Some(Arc::clone(r));
             }
             let now = Instant::now();
             if now >= deadline {
@@ -143,7 +146,7 @@ impl WalReader {
     }
 
     /// Returns the next record if it is already in the log.
-    pub fn try_next(&mut self) -> Option<(Lsn, LogRecord)> {
+    pub fn try_next(&mut self) -> Option<(Lsn, Arc<LogRecord>)> {
         let r = self.wal.get(self.next)?;
         let lsn = self.next;
         self.next = Lsn(self.next.0 + 1);
@@ -151,7 +154,7 @@ impl WalReader {
     }
 
     /// Blocks up to `timeout` for the next record.
-    pub fn next_blocking(&mut self, timeout: Duration) -> Option<(Lsn, LogRecord)> {
+    pub fn next_blocking(&mut self, timeout: Duration) -> Option<(Lsn, Arc<LogRecord>)> {
         let r = self.wal.wait_for(self.next, timeout)?;
         let lsn = self.next;
         self.next = Lsn(self.next.0 + 1);
@@ -163,7 +166,11 @@ impl WalReader {
     /// on timeout. This is the batched update-cache drain used by the
     /// propagation process: one blocking wait amortized over a vector of
     /// records instead of a wait per record.
-    pub fn next_batch_blocking(&mut self, max: usize, timeout: Duration) -> Vec<(Lsn, LogRecord)> {
+    pub fn next_batch_blocking(
+        &mut self,
+        max: usize,
+        timeout: Duration,
+    ) -> Vec<(Lsn, Arc<LogRecord>)> {
         let max = max.max(1);
         let mut out = Vec::new();
         match self.next_blocking(timeout) {
@@ -300,6 +307,20 @@ mod tests {
         assert_eq!(wal.get(Lsn(4)).unwrap().xid.seq(), 4);
         // Appends continue with dense LSNs.
         assert_eq!(wal.append(rec(6)), Lsn(6));
+    }
+
+    #[test]
+    fn reads_share_one_flushed_copy() {
+        // `get` and the reader hand out refs to the same allocation — the
+        // clone-free read path (no per-reader deep copy of payloads).
+        let wal = Arc::new(Wal::new());
+        wal.append(rec(1));
+        let a = wal.get(Lsn(1)).unwrap();
+        let b = wal.get(Lsn(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let mut reader = wal.reader_from(Lsn::ZERO);
+        let (_, c) = reader.try_next().unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
     }
 
     #[test]
