@@ -83,6 +83,13 @@ impl TimestampOracle for Dts {
     fn kind(&self) -> OracleKind {
         OracleKind::Dts
     }
+
+    /// The slowest node clock bounds every future snapshot: a session on a
+    /// skew-lagged node can still start below any single node's "now", so
+    /// the GC watermark must not pass the minimum per-clock floor.
+    fn min_unissued(&self) -> Option<Timestamp> {
+        self.clocks.iter().map(Hlc::floor).min()
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +155,20 @@ mod tests {
     fn kind_reports_dts() {
         let dts = Dts::new(1, Duration::ZERO);
         assert_eq!(dts.kind(), OracleKind::Dts);
+    }
+
+    #[test]
+    fn min_unissued_follows_the_slowest_clock() {
+        use crate::TimestampOracle;
+        let (_m, dts) = manual_dts(&[500, 100]);
+        // The fast node issues freely; the floor stays at the lagging
+        // node's physical time, because a session there can still start
+        // that low.
+        let high = dts.commit_ts(NodeId(0));
+        let floor = dts.min_unissued().expect("DTS always has a floor");
+        assert!(floor < high);
+        assert_eq!(floor, Timestamp::from_hlc(100, 0));
+        // And the lagging node's next snapshot indeed respects it.
+        assert!(dts.start_ts(NodeId(1)) >= floor);
     }
 }

@@ -21,6 +21,11 @@
 //! (`HotPathConfig::gts_lease`, default 1) and the chaos checker's strict
 //! GTS mode always runs with lease 1.
 //!
+//! Because a node's unissued lease remainder sits *below* the central
+//! counter, anything that reasons about "timestamps no future snapshot can
+//! have" — the version-chain GC watermark — must clamp to
+//! [`TimestampOracle::min_unissued`], the minimum `next` over live leases.
+//!
 //! [`observe`]: crate::TimestampOracle::observe
 
 use std::collections::HashMap;
@@ -108,6 +113,26 @@ impl Gts {
         range.next += 1;
         ts
     }
+
+    /// The lowest timestamp any node can still issue from an outstanding
+    /// lease block. Blocks are carved off a monotonically increasing central
+    /// counter, so every *future* block lies above all current ones; the
+    /// only timestamps that can still come out below the counter are the
+    /// unissued remainders `[next, hi)` of live leases. `None` with no live
+    /// lease (or lease 1, where every issue hits the central counter).
+    fn lease_floor(&self) -> Option<Timestamp> {
+        if self.lease == 1 {
+            return None;
+        }
+        self.nodes
+            .read()
+            .values()
+            .filter_map(|l| {
+                let range = l.lock();
+                (range.next < range.hi).then_some(Timestamp(range.next))
+            })
+            .min()
+    }
 }
 
 impl Default for Gts {
@@ -148,6 +173,10 @@ impl TimestampOracle for Gts {
 
     fn sequencer_rpcs(&self) -> Option<u64> {
         Some(self.rpcs.load(Ordering::Relaxed))
+    }
+
+    fn min_unissued(&self) -> Option<Timestamp> {
+        self.lease_floor()
     }
 }
 
@@ -248,6 +277,37 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), n, "leased GTS issued a duplicate");
         assert!(gts.sequencer_rpcs() <= (n as u64 / 16) + 4);
+    }
+
+    #[test]
+    fn unbatched_min_unissued_is_none() {
+        let gts = Gts::new();
+        gts.start_ts(NodeId(0));
+        assert_eq!(gts.min_unissued(), None, "lease 1 is globally monotone");
+    }
+
+    #[test]
+    fn min_unissued_tracks_lowest_outstanding_lease() {
+        let gts = Gts::with_lease(8);
+        assert_eq!(gts.min_unissued(), None, "no lease outstanding yet");
+        let a = gts.start_ts(NodeId(0)); // node 0 leases [a, a+8)
+        let b = gts.start_ts(NodeId(1)); // node 1 leases [a+8, a+16)
+        assert_eq!(b.0, a.0 + 8);
+        // Node 0's remainder is the floor: its next issue is a.0 + 1.
+        assert_eq!(gts.min_unissued(), Some(Timestamp(a.0 + 1)));
+        assert_eq!(gts.start_ts(NodeId(0)), Timestamp(a.0 + 1));
+        // Exhaust node 0's block; the floor moves up to node 1's remainder.
+        for _ in 0..6 {
+            gts.start_ts(NodeId(0));
+        }
+        assert_eq!(gts.min_unissued(), Some(Timestamp(b.0 + 1)));
+        // Every timestamp issued from here on respects the floor just read.
+        let floor = gts.min_unissued().unwrap();
+        for n in 0..3 {
+            for _ in 0..20 {
+                assert!(gts.commit_ts(NodeId(n)) >= floor);
+            }
+        }
     }
 
     #[test]

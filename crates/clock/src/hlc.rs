@@ -77,6 +77,16 @@ impl Hlc {
         let last = *self.last.lock();
         Timestamp::from_hlc(last.0, last.1)
     }
+
+    /// A lower bound on every timestamp a future [`Hlc::tick`] or
+    /// [`Hlc::observe`] can return: `tick` takes `max(physical_now, last)`,
+    /// so nothing below the current physical time or the last issued pair
+    /// ever comes out of this clock again (the physical source is monotone).
+    pub fn floor(&self) -> Timestamp {
+        let pt = self.physical.now_ms();
+        let last = *self.last.lock();
+        Timestamp::from_hlc(pt, 0).max(Timestamp::from_hlc(last.0, last.1))
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +157,25 @@ mod tests {
         let a = hlc.tick();
         assert_eq!(hlc.peek(), a);
         assert_eq!(hlc.peek(), a);
+    }
+
+    #[test]
+    fn floor_bounds_every_future_tick() {
+        let (clock, hlc) = hlc_at(100);
+        // Untouched clock: the floor is physical time at logical zero, and
+        // the first tick lands exactly on it.
+        let f = hlc.floor();
+        assert_eq!(f, Timestamp::from_hlc(100, 0));
+        assert_eq!(hlc.tick(), f);
+        // With issued history the floor follows the last pair.
+        hlc.tick();
+        hlc.tick();
+        assert_eq!(hlc.floor(), Timestamp::from_hlc(100, 2));
+        assert!(hlc.tick() > Timestamp::from_hlc(100, 2));
+        // Physical advance raises the floor past the logical tail.
+        clock.advance(10);
+        assert_eq!(hlc.floor(), Timestamp::from_hlc(110, 0));
+        assert_eq!(hlc.tick(), Timestamp::from_hlc(110, 0));
     }
 
     proptest! {

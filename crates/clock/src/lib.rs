@@ -61,6 +61,20 @@ pub trait TimestampOracle: Send + Sync {
     fn sequencer_rpcs(&self) -> Option<u64> {
         None
     }
+
+    /// A lower bound on every timestamp this oracle can still return from
+    /// [`TimestampOracle::start_ts`] or [`TimestampOracle::commit_ts`] on
+    /// *any* node: no future call returns a timestamp below it.
+    ///
+    /// Version-chain GC must clamp its safe-ts watermark to this floor —
+    /// otherwise a node holding a stale batch of timestamps (a GTS lease
+    /// block, a skewed DTS clock) could start a snapshot *below* a watermark
+    /// computed from another node's fresher timestamps, and read versions GC
+    /// already pruned. `None` means issuance is globally monotone (every
+    /// already-issued timestamp is itself a floor), so no clamp is needed.
+    fn min_unissued(&self) -> Option<Timestamp> {
+        None
+    }
 }
 
 pub use dts::Dts;

@@ -510,15 +510,26 @@ impl Cluster {
         )
     }
 
-    /// The timestamp below which no active snapshot can read: the oldest
-    /// pinned snapshot (client sessions *and* in-flight migrations, which
-    /// pin their copy snapshot), or the current clock when nothing is
-    /// pinned. Version-chain GC may discard any version shadowed as of this
-    /// watermark.
+    /// The timestamp below which no active *or future* snapshot can read:
+    /// the oldest pinned snapshot (client sessions *and* in-flight
+    /// migrations, which pin their copy snapshot), or the current clock when
+    /// nothing is pinned — clamped to the oracle's
+    /// [`min_unissued`](TimestampOracle::min_unissued) floor. The clamp is
+    /// what makes GC sound under batched timestamps: with `gts_lease > 1` a
+    /// node holding a stale lease block (or, under DTS, a skew-lagged clock)
+    /// can still *start* a snapshot below any already-issued timestamp, so
+    /// the watermark must not pass the lowest timestamp the oracle can still
+    /// hand out. Version-chain GC may discard any version shadowed as of
+    /// this watermark.
     pub fn safe_ts_watermark(&self) -> Timestamp {
-        self.snapshots
+        let base = self
+            .snapshots
             .oldest()
-            .unwrap_or_else(|| self.oracle.start_ts(self.nodes[0].storage.id))
+            .unwrap_or_else(|| self.oracle.start_ts(self.nodes[0].storage.id));
+        match self.oracle.min_unissued() {
+            Some(floor) => base.min(floor),
+            None => base,
+        }
     }
 
     /// One vacuum pass over every data shard: horizon is the oldest pinned
@@ -905,6 +916,68 @@ mod tests {
         drop(pin);
         // Unpinned, the two shadowed versions go.
         assert_eq!(c.gc_tick(usize::MAX), 2);
+    }
+
+    /// The REVIEW scenario: under `gts_lease > 1`, node 1 holds a stale
+    /// lease block while node 0 commits far above it. An unclamped
+    /// watermark (fresh node-0 timestamp) would prune the version a
+    /// future node-1 snapshot — drawn from the stale block — must read.
+    #[test]
+    fn gc_watermark_bounded_by_outstanding_gts_leases() {
+        let mut config = SimConfig::instant();
+        config.hot_path.gts_lease = 64;
+        let c = ClusterBuilder::new(2)
+            .oracle(OracleKind::Gts)
+            .config(config)
+            .build();
+        c.create_table(TableId(1), 100, 1, |_| NodeId(0));
+        // v0 commits from node 0's first lease block.
+        let cts0 = commit_write(&c, ShardId(100), 7, "v0");
+        // Node 1 now leases its own block; it sits above node 0's current
+        // block, and node 1 will keep issuing snapshots from it.
+        let probe = c.oracle.start_ts(NodeId(1));
+        assert!(probe > cts0);
+        // Node 0 burns through its lease so v1 commits above node 1's
+        // entire outstanding block.
+        for _ in 0..64 {
+            c.oracle.start_ts(NodeId(0));
+        }
+        let cts1 = commit_write(&c, ShardId(100), 7, "v1");
+        assert!(cts1.0 > probe.0 + 64, "v1 must commit above node 1's block");
+        // The watermark must stay below node 1's unissued remainder even
+        // though nothing is pinned and node 0's clock is far ahead.
+        assert!(c.safe_ts_watermark() <= Timestamp(probe.0 + 1));
+        assert_eq!(
+            c.gc_tick(usize::MAX),
+            0,
+            "v0 anchors node 1's outstanding lease; nothing is prunable"
+        );
+        // A transaction starting on node 1 gets a stale-but-legal snapshot
+        // from the leased block and must still read v0.
+        let (ts, guard) = c.acquire_snapshot(NodeId(1));
+        assert!(ts < cts1, "snapshot drawn from the stale lease block");
+        let node = c.node(NodeId(0));
+        let table = node.storage.table(ShardId(100)).unwrap();
+        let read = table
+            .read(
+                7,
+                ts,
+                node.storage.alloc_xid(),
+                &node.storage.clog,
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        assert_eq!(
+            read,
+            Some(remus_storage::Value::from("v0".to_string().into_bytes())),
+            "GC pruned the version a leased snapshot still needs"
+        );
+        // Once node 1's block drains, the floor lifts and GC reclaims v0.
+        drop(guard);
+        for _ in 0..64 {
+            c.oracle.start_ts(NodeId(1));
+        }
+        assert_eq!(c.gc_tick(usize::MAX), 1, "floor lifted, v0 now shadowed");
     }
 
     #[test]

@@ -99,6 +99,14 @@ fn prune_chain(guard: &mut VersionChain, horizon: Timestamp, clog: &Clog) -> (us
 
 /// Removes keys flagged dead by [`prune_chain`], re-checking under the
 /// stripe's write lock to avoid racing a concurrent insert.
+///
+/// Emptiness alone is not enough: a writer may already hold a `ChainRef`
+/// obtained from `chain_or_create` (the stripe lock is released on return,
+/// and the writer can block in prepare-wait before appending), so removing
+/// an empty chain here would orphan the Arc it is about to populate and make
+/// its committed write permanently invisible. Holding the stripe write lock
+/// blocks new clones out of the map, so `Arc::strong_count == 1` proves the
+/// map's reference is the only one left and no such writer exists.
 fn remove_dead_keys(
     stripe: &RwLock<BTreeMap<Key, ChainRef>>,
     dead_keys: &[Key],
@@ -111,6 +119,9 @@ fn remove_dead_keys(
     let mut map = stripe.write();
     for key in dead_keys {
         if let Some(chain) = map.get(key) {
+            if Arc::strong_count(chain) != 1 {
+                continue; // someone still holds the chain; vacuum retries later
+            }
             let guard = chain.lock();
             let dead = guard.is_empty()
                 || (guard.len() == 1
@@ -1203,6 +1214,46 @@ mod tests {
             t.read(2, Timestamp(25), xid(9), &clog, T).unwrap(),
             Some(val("b"))
         );
+    }
+
+    /// REVIEW scenario: a writer gets its `ChainRef` from `chain_or_create`
+    /// (stripe lock released on return) and stalls — e.g. in prepare-wait —
+    /// before appending. GC sweeps past, sees the empty chain, and must NOT
+    /// unmap it: the writer's later append has to stay reachable.
+    #[test]
+    fn gc_never_orphans_a_chain_a_writer_still_holds() {
+        let (t, clog) = (VersionedTable::with_stripes(1), Clog::new());
+        // The stalled writer's handle to a not-yet-populated chain.
+        let held = t.chain_or_create(42);
+        // A genuinely dead key, so the sweep has something to remove.
+        committed(&clog, 1, 10, |x| {
+            t.insert(7, val("a"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        committed(&clog, 2, 20, |x| {
+            t.delete(7, x, Timestamp(15), &clog, T).unwrap();
+        });
+        t.gc_step(Timestamp(25), &clog, 1024);
+        assert_eq!(
+            t.stats().keys,
+            1,
+            "dead tombstone removed, held empty chain kept"
+        );
+        // The writer wakes up, appends through its held ref, and commits —
+        // the version must be visible through the table's index.
+        committed(&clog, 3, 30, |x| {
+            held.lock().push(TupleVersion::data(x, val("late")));
+        });
+        drop(held);
+        assert_eq!(
+            t.read(42, Timestamp(35), xid(9), &clog, T).unwrap(),
+            Some(val("late")),
+            "append through the held ChainRef was orphaned by GC"
+        );
+        // Vacuum takes the same path and must also leave held chains alone.
+        let held2 = t.chain_or_create(99);
+        t.vacuum(Timestamp(25), &clog);
+        assert_eq!(t.stats().keys, 2, "vacuum must not unmap a held chain");
+        drop(held2);
     }
 
     #[test]
