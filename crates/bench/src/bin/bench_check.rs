@@ -21,6 +21,15 @@
 //!    baseline — fails, because both legs run in the same process on the
 //!    same runner, so noise alone cannot erase the ratio.
 //!
+//! 4. **Planner recovery**: a report carrying a `planner recovery` table
+//!    (from `bench_planner`) should show the autopilot leg recovering at
+//!    least [`MIN_RECOVERY`] of its pre-shift throughput after the hotspot
+//!    jumps (warning below — runner noise), must stay above
+//!    [`RECOVERY_FLOOR`], and must beat the no-migration leg's steady
+//!    throughput by [`ADVANTAGE_FLOOR`] — all three legs run in one
+//!    process, so an autopilot that cannot out-run *doing nothing* is a
+//!    closed-loop regression, not jitter.
+//!
 //! Usage: `bench_check <baseline.json> <candidate.json>`. Exits non-zero
 //! with one line per violation.
 
@@ -40,6 +49,13 @@ const MIN_FOREGROUND_SPEEDUP: f64 = 1.5;
 /// produces (both legs run back-to-back in one process) — the optimization
 /// itself regressed.
 const FOREGROUND_SPEEDUP_FLOOR: f64 = 1.1;
+/// Expected autopilot recovery ratio (steady/pre-shift throughput) in a
+/// `planner recovery` table; below is a warning.
+const MIN_RECOVERY: f64 = 0.70;
+/// Hard floor for the autopilot recovery ratio.
+const RECOVERY_FLOOR: f64 = 0.40;
+/// Hard floor for autopilot-over-no-migration steady throughput.
+const ADVANTAGE_FLOOR: f64 = 1.1;
 
 fn load(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -104,6 +120,65 @@ fn check_foreground(which: &str, report: &BenchReport, violations: &mut Vec<Stri
     }
 }
 
+/// Checks the `planner recovery` table when present (see `bench_planner`):
+/// the `autopilot` row's trailing recovery cell (`"0.88x"`) should reach
+/// [`MIN_RECOVERY`] (warning below) and must stay above [`RECOVERY_FLOOR`];
+/// its `steady_tps` must beat the `no-migration` row's by
+/// [`ADVANTAGE_FLOOR`]. Reports without the table pass.
+fn check_planner(which: &str, report: &BenchReport, violations: &mut Vec<String>) {
+    let Some(table) = report.tables.iter().find(|t| t.title == "planner recovery") else {
+        return;
+    };
+    let row = |label: &str| {
+        table
+            .rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(label))
+    };
+    let steady = |label: &str| {
+        row(label)
+            .and_then(|r| r.get(3))
+            .and_then(|c| c.parse::<f64>().ok())
+    };
+    let Some(auto) = row("autopilot") else {
+        violations.push(format!(
+            "{which}: planner recovery table has no 'autopilot' row"
+        ));
+        return;
+    };
+    match auto
+        .last()
+        .and_then(|cell| cell.strip_suffix('x'))
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        Some(r) if r >= MIN_RECOVERY => {}
+        Some(r) if r >= RECOVERY_FLOOR => eprintln!(
+            "bench_check WARN: {which}: autopilot recovery {r:.2}x below the \
+             expected {MIN_RECOVERY}x (tolerated as runner noise; hard floor \
+             {RECOVERY_FLOOR}x)"
+        ),
+        Some(r) => violations.push(format!(
+            "{which}: autopilot recovery {r:.2}x below the hard floor \
+             {RECOVERY_FLOOR}x — the hotspot shift was never repaired"
+        )),
+        None => violations.push(format!(
+            "{which}: cannot parse autopilot recovery cell {:?}",
+            auto.last()
+        )),
+    }
+    match (steady("autopilot"), steady("no-migration")) {
+        (Some(a), Some(n)) if a >= ADVANTAGE_FLOOR * n.max(1e-9) => {}
+        (Some(a), Some(n)) => violations.push(format!(
+            "{which}: autopilot steady throughput {a:.0} txn/s does not beat \
+             the no-migration leg's {n:.0} txn/s (floor {ADVANTAGE_FLOOR}x)"
+        )),
+        _ => violations.push(format!(
+            "{which}: planner recovery table is missing a parseable \
+             steady_tps for 'autopilot' or 'no-migration'"
+        )),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_path, candidate_path] = &args[..] else {
@@ -143,6 +218,8 @@ fn main() {
 
     check_foreground("baseline", &baseline, &mut violations);
     check_foreground("candidate", &candidate, &mut violations);
+    check_planner("baseline", &baseline, &mut violations);
+    check_planner("candidate", &candidate, &mut violations);
 
     if violations.is_empty() {
         println!(

@@ -1,0 +1,366 @@
+//! Elasticity-autopilot benchmark: hotspot shift under three policies.
+//!
+//! One client session drives the [`HotspotShift`] workload — Zipfian
+//! traffic over a two-shard hot pair whose every transaction writes both
+//! shards — against a two-node cluster with a simulated network delay.
+//! The phase-0 pair is co-located on node 0, so commits take the local
+//! fast path; after `SHIFT_AFTER` transactions the hot pair jumps to a
+//! *split* pair (one shard per node) and every commit suddenly pays
+//! cross-node 2PC hops. The same shift runs under three policies:
+//!
+//! * **autopilot** — a [`remus_planner::Autopilot`] watches the live
+//!   affinity signal and reunites the new pair (the b-side shard moves,
+//!   it carries only writes and is the cheaper side), restoring local
+//!   commits.
+//! * **static-plan** — the capacity plan computed *before* the shift: it
+//!   migrates yesterday's hot shard, which is a correct plan for a world
+//!   that no longer exists and does nothing for the new pair.
+//! * **no-migration** — the cluster is left alone.
+//!
+//! Each leg measures three windows: `pre` (phase 0), `react` (post-shift
+//! until the pair is co-resident again, capped), and `steady` (fixed
+//! commits after reaction). The headline numbers are **recovery** —
+//! steady/pre throughput within the autopilot leg, expected back near
+//! 1.0x — and the autopilot's steady-state advantage over no-migration.
+//! Below [`MIN_RECOVERY`] the binary warns (shared runners compress
+//! ratios); below [`RECOVERY_FLOOR`], or if the autopilot fails to beat
+//! the do-nothing leg by [`ADVANTAGE_FLOOR`], it fails: the closed loop
+//! itself is broken, not the runner. `bench_check` applies the same
+//! two-tier policy to the emitted `remus-bench/v1` report.
+//!
+//! Usage: `cargo run --release -p remus-bench --bin bench_planner --
+//! --json BENCH_planner.json`
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remus_bench::{json_path_arg, BenchReport, EngineKind, ScenarioReport, TableSection};
+use remus_clock::OracleKind;
+use remus_cluster::{Cluster, ClusterBuilder, Session};
+use remus_common::metrics::{LatencyStat, Timeline};
+use remus_common::{ClientId, HotPathConfig, NodeId, PlannerConfig, ShardId, SimConfig, TableId};
+use remus_core::MigrationTask;
+use remus_planner::{Autopilot, AutopilotOptions};
+use remus_workload::{HotspotShift, Workload, Ycsb, YcsbConfig};
+
+/// Keys in the YCSB table (4 shards, ~256 keys each).
+const KEYS: u64 = 1024;
+/// Hot keys per shard in the shift workload.
+const HOT_KEYS: usize = 16;
+/// Zipfian skew over the hot ranks.
+const THETA: f64 = 0.9;
+/// Phase-0 transactions before the hot pair jumps.
+const SHIFT_AFTER: u64 = 6000;
+/// Unmeasured phase-0 transactions before the `pre` window starts
+/// (process and allocator warm-up).
+const WARMUP_TXNS: u64 = 2000;
+/// Cap on post-shift commits in the reaction window (the autopilot leg
+/// normally exits early, as soon as the pair is co-resident again).
+const REACT_MAX: u64 = 1500;
+/// Unmeasured commits between reaction and the steady window: refills the
+/// session's shard-map cache and drains migration residue so `steady`
+/// measures the new routing, not the transition.
+const DRAIN_TXNS: u64 = 300;
+/// Commits in the steady-state window the gates compare.
+const STEADY_TXNS: u64 = 2000;
+/// One-way cross-node latency: what makes a split hot pair expensive.
+const NET_LATENCY: Duration = Duration::from_micros(100);
+/// RNG seed shared by all legs (same key sequence per leg).
+const SEED: u64 = 7;
+
+/// Phase-0 hot pair, co-located on node 0 at setup.
+const PAIR0: (ShardId, ShardId) = (ShardId(0), ShardId(1));
+/// Phase-1 hot pair, split across the nodes at setup.
+const PAIR1: (ShardId, ShardId) = (ShardId(2), ShardId(3));
+
+/// Expected autopilot recovery (steady/pre throughput); warn below.
+const MIN_RECOVERY: f64 = 0.70;
+/// Hard floor for recovery: below this the reunited pair is still paying
+/// remote commits — the autopilot moved the wrong thing or nothing.
+const RECOVERY_FLOOR: f64 = 0.40;
+/// Expected autopilot-over-no-migration steady throughput; warn below.
+const MIN_ADVANTAGE: f64 = 1.5;
+/// Hard floor: the autopilot must strictly beat leaving the cluster
+/// alone, or the closed loop is pointless.
+const ADVANTAGE_FLOOR: f64 = 1.1;
+
+/// Which policy a leg runs.
+enum Policy {
+    Autopilot,
+    StaticPlan,
+    NoMigration,
+}
+
+impl Policy {
+    fn label(&self) -> &'static str {
+        match self {
+            Policy::Autopilot => "autopilot",
+            Policy::StaticPlan => "static-plan",
+            Policy::NoMigration => "no-migration",
+        }
+    }
+}
+
+struct LegResult {
+    pre_tps: f64,
+    react_tps: f64,
+    steady_tps: f64,
+    moves: u64,
+    aborts: u64,
+    scenario: remus_bench::ScenarioResult,
+}
+
+/// Whether some node hosts both shards of the phase-1 pair.
+fn pair1_colocated(cluster: &Cluster) -> bool {
+    cluster.nodes().iter().any(|n| {
+        let shards = n.data_shards();
+        shards.contains(&PAIR1.0) && shards.contains(&PAIR1.1)
+    })
+}
+
+/// Planner tuned for the scenario: pure co-location (the balancer is
+/// disabled and cost weights are zero so the decision replays exactly),
+/// reacting within a few 5 ms windows of the shift.
+fn pilot_config() -> PlannerConfig {
+    let mut config = PlannerConfig::balanced();
+    config.imbalance_ratio = f64::INFINITY;
+    config.cost_weight_versions = 0.0;
+    config.cost_weight_wal = 0.0;
+    config.colocation_min_cross = 4;
+    config.seed = SEED;
+    config
+}
+
+fn run_leg(policy: Policy) -> LegResult {
+    let mut config = SimConfig::instant();
+    config.network_latency = NET_LATENCY;
+    config.hot_path = HotPathConfig::tuned();
+    let cluster = ClusterBuilder::new(2)
+        .cc_mode(EngineKind::Remus.cc_mode())
+        .oracle(OracleKind::Gts)
+        .config(config)
+        .build();
+    // Version-chain GC (the tuned hot path's cadence) keeps the Zipfian
+    // hot keys' chains short, so the pre and steady windows measure
+    // routing cost, not accumulated history.
+    cluster.start_maintenance(Duration::from_secs(3600));
+    // Shards 0-2 on node 0, shard 3 on node 1: PAIR0 co-located with the
+    // client, PAIR1 split across the wire.
+    let ycsb = Ycsb::setup_with_placement(
+        &cluster,
+        YcsbConfig {
+            keys: KEYS,
+            shards: 4,
+            table: TableId(1),
+            ..YcsbConfig::default()
+        },
+        |i| NodeId(u32::from(i == 3)),
+    );
+    let shift = HotspotShift::new(&ycsb, PAIR0, PAIR1, HOT_KEYS, THETA, SHIFT_AFTER);
+
+    let pilot = match policy {
+        Policy::Autopilot => Some(Autopilot::start(
+            Arc::clone(&cluster),
+            pilot_config(),
+            AutopilotOptions {
+                tick_interval: Duration::from_millis(5),
+                latency: None,
+            },
+        )),
+        _ => None,
+    };
+
+    let session = Session::connect(&cluster, NodeId(0));
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let latency = Arc::new(LatencyStat::new());
+    let timeline = Timeline::per_second();
+    let mut aborts = 0u64;
+    let mut commits = 0u64;
+    let mut commit_one = |rng: &mut SmallRng| {
+        let started = Instant::now();
+        // Aborts (the hot pair mid-migration, write-write conflicts) are
+        // retried like a real client; only commits count.
+        while session
+            .run(|t| shift.run_once(ClientId(0), t, rng))
+            .is_err()
+        {
+            aborts += 1;
+        }
+        commits += 1;
+        latency.record(started.elapsed());
+        timeline.record();
+    };
+
+    // Warm-up, unmeasured (phase 0 traffic like the pre window's).
+    while shift.executed() < WARMUP_TXNS {
+        commit_one(&mut rng);
+    }
+
+    // Window 1: phase 0, hot pair local to the client.
+    let t0 = Instant::now();
+    let mut pre_commits = 0u64;
+    while shift.phase() == 0 {
+        commit_one(&mut rng);
+        pre_commits += 1;
+    }
+    let pre_elapsed = t0.elapsed();
+
+    // The stale plan fires exactly at the shift: migrate what *was* hot.
+    if matches!(policy, Policy::StaticPlan) {
+        let task = MigrationTask::single(PAIR0.0, NodeId(0), NodeId(1));
+        EngineKind::Remus
+            .engine()
+            .migrate(&cluster, &task)
+            .expect("static plan migration failed");
+    }
+
+    // Window 2: post-shift reaction — until the new pair is co-resident
+    // again (autopilot) or the cap (the other legs never co-locate it).
+    let t1 = Instant::now();
+    let mut react_commits = 0u64;
+    while react_commits < REACT_MAX && !pair1_colocated(&cluster) {
+        commit_one(&mut rng);
+        react_commits += 1;
+    }
+    let react_elapsed = t1.elapsed();
+
+    // Post-transition drain, unmeasured.
+    for _ in 0..DRAIN_TXNS {
+        commit_one(&mut rng);
+    }
+
+    // Window 3: steady state, what the gates compare.
+    let t2 = Instant::now();
+    for _ in 0..STEADY_TXNS {
+        commit_one(&mut rng);
+    }
+    let steady_elapsed = t2.elapsed();
+
+    let moves = match pilot {
+        Some(pilot) => pilot.stop().moves,
+        None => u64::from(matches!(policy, Policy::StaticPlan)),
+    };
+    cluster.stop_maintenance();
+    let pre_tps = pre_commits as f64 / pre_elapsed.as_secs_f64();
+    let react_tps = react_commits as f64 / react_elapsed.as_secs_f64().max(1e-9);
+    let steady_tps = STEADY_TXNS as f64 / steady_elapsed.as_secs_f64();
+    println!(
+        "{:<12}\tpre={pre_tps:.0}\treact={react_tps:.0}\tsteady={steady_tps:.0}\t\
+         moves={moves}\taborts={aborts}",
+        policy.label(),
+    );
+    let scenario = remus_bench::ScenarioResult {
+        engine: EngineKind::Remus.name(),
+        tps: timeline.rates_per_sec(),
+        events: vec![("shift".to_string(), pre_elapsed.as_secs_f64())],
+        commits,
+        ww_aborts: aborts,
+        base_latency: latency.mean(),
+        counters: cluster.metrics_snapshot(),
+        ..Default::default()
+    };
+    LegResult {
+        pre_tps,
+        react_tps,
+        steady_tps,
+        moves,
+        aborts,
+        scenario,
+    }
+}
+
+fn recovery_row(leg: &LegResult, label: &str) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.0}", leg.pre_tps),
+        format!("{:.0}", leg.react_tps),
+        format!("{:.0}", leg.steady_tps),
+        format!("{}", leg.moves),
+        format!("{}", leg.aborts),
+        format!("{:.2}x", leg.steady_tps / leg.pre_tps.max(1e-9)),
+    ]
+}
+
+fn main() {
+    let path = json_path_arg().unwrap_or_else(|| PathBuf::from("BENCH_planner.json"));
+    println!(
+        "# bench_planner — hotspot shift after {SHIFT_AFTER} txns, \
+         {NET_LATENCY:?} one-way network latency"
+    );
+    let auto = run_leg(Policy::Autopilot);
+    let stat = run_leg(Policy::StaticPlan);
+    let none = run_leg(Policy::NoMigration);
+
+    let recovery = auto.steady_tps / auto.pre_tps.max(1e-9);
+    let advantage = auto.steady_tps / none.steady_tps.max(1e-9);
+    println!(
+        "autopilot recovery: {recovery:.2}x of pre-shift (expected >= \
+         {MIN_RECOVERY}x, floor {RECOVERY_FLOOR}x); advantage over \
+         no-migration: {advantage:.2}x (floor {ADVANTAGE_FLOOR}x)"
+    );
+
+    let mut report = BenchReport::new("bench_planner", "hotspot-shift");
+    for (name, leg) in [
+        ("planner-autopilot", &auto),
+        ("planner-static", &stat),
+        ("planner-none", &none),
+    ] {
+        report
+            .scenarios
+            .push(ScenarioReport::from_result(name, &leg.scenario));
+    }
+    report.tables.push(TableSection {
+        title: "planner recovery".to_string(),
+        headers: [
+            "policy",
+            "pre_tps",
+            "react_tps",
+            "steady_tps",
+            "moves",
+            "aborts",
+            "recovery",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: vec![
+            recovery_row(&auto, "autopilot"),
+            recovery_row(&stat, "static-plan"),
+            recovery_row(&none, "no-migration"),
+        ],
+    });
+    report.write(&path).expect("writing JSON report failed");
+
+    assert!(auto.moves >= 1, "the autopilot never migrated anything");
+    if recovery < MIN_RECOVERY {
+        eprintln!(
+            "WARN: autopilot recovery {recovery:.2}x below the expected \
+             {MIN_RECOVERY}x (tolerated as runner noise; hard floor \
+             {RECOVERY_FLOOR}x)"
+        );
+    }
+    assert!(
+        recovery >= RECOVERY_FLOOR,
+        "autopilot steady throughput {:.0} txn/s is only {recovery:.2}x the \
+         pre-shift {:.0} txn/s (hard floor {RECOVERY_FLOOR}x)",
+        auto.steady_tps,
+        auto.pre_tps,
+    );
+    if advantage < MIN_ADVANTAGE {
+        eprintln!(
+            "WARN: autopilot advantage {advantage:.2}x over no-migration \
+             below the expected {MIN_ADVANTAGE}x (hard floor \
+             {ADVANTAGE_FLOOR}x)"
+        );
+    }
+    assert!(
+        advantage >= ADVANTAGE_FLOOR,
+        "autopilot steady throughput {:.0} txn/s does not beat the \
+         no-migration leg's {:.0} txn/s (hard floor {ADVANTAGE_FLOOR}x)",
+        auto.steady_tps,
+        none.steady_tps,
+    );
+}

@@ -1,0 +1,104 @@
+//! Golden-file coverage for the `bench_planner` artifact (PR 5
+//! satellite), mirroring `report_schema.rs` for `bench_smoke`.
+//!
+//! The fixture is a real `bench_planner` run committed verbatim. If a
+//! schema or table change breaks these tests, either fix the accidental
+//! change or regenerate the fixture with `cargo run --release -p
+//! remus-bench --bin bench_planner -- --json
+//! crates/bench/tests/fixtures/bench_planner_golden.json` and update
+//! `bench_check`'s planner gate if the columns moved.
+
+use remus_bench::report::{BenchReport, SCHEMA_NAME, SCHEMA_VERSION};
+use remus_common::Json;
+
+const GOLDEN: &str = include_str!("fixtures/bench_planner_golden.json");
+
+#[test]
+fn golden_fixture_parses_with_all_three_policies() {
+    let report = BenchReport::parse(GOLDEN).expect("golden fixture must stay parseable");
+    assert_eq!(report.title, "bench_planner");
+    let names: Vec<&str> = report.scenarios.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["planner-autopilot", "planner-static", "planner-none"]
+    );
+}
+
+#[test]
+fn golden_fixture_round_trips_losslessly() {
+    let doc = Json::parse(GOLDEN).unwrap();
+    let report = BenchReport::from_json(&doc).unwrap();
+    assert_eq!(report.to_json().normalized(), doc.normalized());
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA_NAME));
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(SCHEMA_VERSION)
+    );
+}
+
+/// The recovery table is what `bench_check` gates on: every row must keep
+/// its policy label, a parseable trailing `N.NNx` recovery cell, and a
+/// parseable steady-throughput column.
+#[test]
+fn golden_recovery_table_stays_machine_readable() {
+    let report = BenchReport::parse(GOLDEN).unwrap();
+    let table = report
+        .tables
+        .iter()
+        .find(|t| t.title == "planner recovery")
+        .expect("planner recovery table");
+    assert_eq!(
+        table.headers,
+        [
+            "policy",
+            "pre_tps",
+            "react_tps",
+            "steady_tps",
+            "moves",
+            "aborts",
+            "recovery"
+        ]
+    );
+    let labels: Vec<&str> = table
+        .rows
+        .iter()
+        .map(|r| r.first().unwrap().as_str())
+        .collect();
+    assert_eq!(labels, ["autopilot", "static-plan", "no-migration"]);
+    for row in &table.rows {
+        row[3].parse::<f64>().expect("steady_tps parses");
+        row.last()
+            .unwrap()
+            .strip_suffix('x')
+            .expect("recovery cell ends in x")
+            .parse::<f64>()
+            .expect("recovery ratio parses");
+    }
+}
+
+/// The committed run must itself satisfy the gates `bench_check` applies:
+/// the autopilot migrated at least once and its steady throughput beats
+/// the no-migration leg.
+#[test]
+fn golden_autopilot_run_passes_its_own_gates() {
+    let report = BenchReport::parse(GOLDEN).unwrap();
+    let auto = &report.scenarios[0];
+    let moves: u64 = auto
+        .counters
+        .iter()
+        .filter(|c| c.name == "planner.moves")
+        .map(|c| c.value)
+        .sum();
+    assert!(moves >= 1, "golden autopilot run recorded no move");
+    let table = &report.tables[0];
+    let steady = |label: &str| -> f64 {
+        table
+            .rows
+            .iter()
+            .find(|r| r[0] == label)
+            .unwrap_or_else(|| panic!("row {label}"))[3]
+            .parse()
+            .unwrap()
+    };
+    assert!(steady("autopilot") > 1.1 * steady("no-migration"));
+}

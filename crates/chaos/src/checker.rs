@@ -58,6 +58,28 @@ pub struct CheckConfig {
     pub strict_timestamp_reads: bool,
 }
 
+/// One migration's routing contract, for histories spanning several
+/// migrations (the planner-mode scenarios, where the autopilot moves
+/// different shards between different node pairs in one run).
+///
+/// [`CheckConfig`] describes the classic single-migration scenario; it
+/// expands into one `MigrationSpec` per migrating shard. A shard with no
+/// spec must never change owner.
+#[derive(Debug, Clone)]
+pub struct MigrationSpec {
+    /// The shard this migration moved.
+    pub shard: ShardId,
+    /// Owner before the migration.
+    pub source: NodeId,
+    /// Owner after the migration.
+    pub dest: NodeId,
+    /// `T_m.commit_ts` when known.
+    pub tm_cts: Option<Timestamp>,
+    /// Whether the shard-map flip committed. When `false`, no transaction
+    /// may route this shard to the destination.
+    pub committed: bool,
+}
+
 /// One verified SI violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Violation {
@@ -278,14 +300,43 @@ fn chains_of(history: &[TxnRecord]) -> HashMap<u64, Vec<ChainEntry>> {
     chains
 }
 
-/// Runs the read, first-committer-wins, and routing checks over a history.
+/// Runs the read, first-committer-wins, and routing checks over a history
+/// with a single source→dest migration (the classic scenario shape).
 pub fn check_history(history: &[TxnRecord], config: &CheckConfig) -> Vec<Violation> {
+    let specs: Vec<MigrationSpec> = config
+        .migrating
+        .iter()
+        .map(|&shard| MigrationSpec {
+            shard,
+            source: config.source,
+            dest: config.dest,
+            tm_cts: config.tm_cts,
+            committed: config.migration_committed,
+        })
+        .collect();
+    check_history_multi(history, &specs, config.strict_timestamp_reads)
+}
+
+/// Runs the read, first-committer-wins, and routing checks over a history
+/// spanning any number of migrations, each described by its own
+/// [`MigrationSpec`]. Shards without a spec must never change owner.
+pub fn check_history_multi(
+    history: &[TxnRecord],
+    specs: &[MigrationSpec],
+    strict_timestamp_reads: bool,
+) -> Vec<Violation> {
     let mut violations = Vec::new();
     let chains = chains_of(history);
     let by_xid: HashMap<TxnId, &TxnRecord> = history.iter().map(|r| (r.xid, r)).collect();
-    check_reads(history, &chains, &by_xid, config, &mut violations);
+    check_reads(
+        history,
+        &chains,
+        &by_xid,
+        strict_timestamp_reads,
+        &mut violations,
+    );
     check_first_committer_wins(history, &mut violations);
-    check_routing(history, config, &mut violations);
+    check_routing(history, specs, &mut violations);
     violations
 }
 
@@ -293,7 +344,7 @@ fn check_reads(
     history: &[TxnRecord],
     chains: &HashMap<u64, Vec<ChainEntry>>,
     by_xid: &HashMap<TxnId, &TxnRecord>,
-    config: &CheckConfig,
+    strict_timestamp_reads: bool,
     violations: &mut Vec<Violation>,
 ) {
     let empty: Vec<ChainEntry> = Vec::new();
@@ -315,7 +366,7 @@ fn check_reads(
                 .filter(|e| {
                     e.cts <= read.snap_ts
                         && e.xid != rec.xid
-                        && (config.strict_timestamp_reads || e.commit_seq < rec.begin_seq)
+                        && (strict_timestamp_reads || e.commit_seq < rec.begin_seq)
                 })
                 .max_by_key(|e| e.cts);
             let floor = required.map(|e| e.cts).unwrap_or(Timestamp(0));
@@ -396,7 +447,7 @@ fn check_reads(
             }
         }
 
-        if config.strict_timestamp_reads {
+        if strict_timestamp_reads {
             check_fragmented(rec, &observed_writers, chains, by_xid, violations);
         }
     }
@@ -483,7 +534,8 @@ fn check_first_committer_wins(history: &[TxnRecord], violations: &mut Vec<Violat
     }
 }
 
-fn check_routing(history: &[TxnRecord], config: &CheckConfig, violations: &mut Vec<Violation>) {
+fn check_routing(history: &[TxnRecord], specs: &[MigrationSpec], violations: &mut Vec<Violation>) {
+    let spec_of: HashMap<ShardId, &MigrationSpec> = specs.iter().map(|s| (s.shard, s)).collect();
     // shard -> [(begin_ts, node, xid)] over committed transactions.
     let mut per_shard: HashMap<ShardId, Vec<(Timestamp, NodeId, TxnId)>> = HashMap::new();
     for rec in history.iter().filter(|r| r.committed()) {
@@ -495,29 +547,29 @@ fn check_routing(history: &[TxnRecord], config: &CheckConfig, violations: &mut V
         }
     }
     for (shard, routes) in &per_shard {
-        if config.migrating.contains(shard) {
+        if let Some(spec) = spec_of.get(shard) {
             for &(begin_ts, node, xid) in routes {
-                if node != config.source && node != config.dest {
+                if node != spec.source && node != spec.dest {
                     violations.push(Violation::NonMonotoneRouting {
                         shard: *shard,
                         detail: format!("{xid} routed to bystander {node}"),
                     });
-                } else if node == config.dest && !config.migration_committed {
+                } else if node == spec.dest && !spec.committed {
                     violations.push(Violation::NonMonotoneRouting {
                         shard: *shard,
                         detail: format!(
                             "{xid} routed to the destination of a rolled-back migration"
                         ),
                     });
-                } else if let Some(tm) = config.tm_cts {
-                    if node == config.source && begin_ts >= tm {
+                } else if let Some(tm) = spec.tm_cts {
+                    if node == spec.source && begin_ts >= tm {
                         violations.push(Violation::NonMonotoneRouting {
                             shard: *shard,
                             detail: format!(
                                 "{xid} began at {begin_ts} >= T_m {tm} but routed to the source"
                             ),
                         });
-                    } else if node == config.dest && begin_ts < tm {
+                    } else if node == spec.dest && begin_ts < tm {
                         violations.push(Violation::NonMonotoneRouting {
                             shard: *shard,
                             detail: format!(
@@ -528,16 +580,16 @@ fn check_routing(history: &[TxnRecord], config: &CheckConfig, violations: &mut V
                     }
                 }
             }
-            if config.tm_cts.is_none() && config.migration_committed {
+            if spec.tm_cts.is_none() && spec.committed {
                 // Boundary unknown: routing must still be monotone.
                 let max_source = routes
                     .iter()
-                    .filter(|(_, n, _)| *n == config.source)
+                    .filter(|(_, n, _)| *n == spec.source)
                     .map(|(b, _, _)| *b)
                     .max();
                 let min_dest = routes
                     .iter()
-                    .filter(|(_, n, _)| *n == config.dest)
+                    .filter(|(_, n, _)| *n == spec.dest)
                     .map(|(b, _, _)| *b)
                     .min();
                 if let (Some(ms), Some(md)) = (max_source, min_dest) {

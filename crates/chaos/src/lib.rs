@@ -26,13 +26,17 @@ pub mod checker;
 pub mod history;
 pub mod net;
 pub mod plan;
+pub mod planner_mode;
 pub mod runner;
 pub mod shrink;
 
-pub use checker::{check_final_state, check_history, CheckConfig, Violation};
+pub use checker::{
+    check_final_state, check_history, check_history_multi, CheckConfig, MigrationSpec, Violation,
+};
 pub use history::{HistoryLog, MutKind, OpRead, OpWrite, TxnRecord};
 pub use net::{FaultyNetwork, Partition};
 pub use plan::{FaultPlan, FaultProfile, FaultSpec, PlanInjector};
+pub use planner_mode::{run_planner_scenario, PlannerScenarioConfig, PlannerScenarioOutcome};
 pub use runner::{
     run_scenario, run_scenario_with_specs, EngineKind, ScenarioConfig, ScenarioOutcome,
 };

@@ -13,6 +13,7 @@ use remus_common::{DbError, DbResult, NodeId, ShardId, SimConfig, TableId, Times
 use remus_shard::{install_owner, read_owner_at, ShardMapRow, TableLayout};
 use remus_txn::{DelayNetwork, Network, NoNetwork, ShardLockTable};
 
+use crate::load::{ShardLoadSnapshot, ShardLoadTracker};
 use crate::node::Node;
 
 /// Chains visited per shard by each background [`Cluster::gc_tick`]: enough
@@ -165,6 +166,8 @@ pub struct Cluster {
     /// Cluster-wide metrics registry; every node's storage scope writes
     /// into it under a `node=<id>` label.
     pub metrics: MetricsRegistry,
+    /// Per-shard load accounting for the elasticity autopilot.
+    pub load: ShardLoadTracker,
     registered_tables: Mutex<Vec<TableLayout>>,
     active_txns: AtomicU64,
     maintenance_stop: Arc<AtomicBool>,
@@ -284,6 +287,7 @@ impl ClusterBuilder {
             routing_gate: RoutingGate::default(),
             snapshots: Arc::new(SnapshotRegistry::default()),
             metrics,
+            load: ShardLoadTracker::new(),
             registered_tables: Mutex::new(Vec::new()),
             active_txns: AtomicU64::new(0),
             maintenance_stop: Arc::new(AtomicBool::new(false)),
@@ -406,6 +410,28 @@ impl Cluster {
             std::thread::sleep(Duration::from_micros(200));
         }
         Ok(())
+    }
+
+    // ---- shard load accounting ----
+
+    /// The last published per-shard load window (smoothed loads plus the
+    /// window's cross-shard affinity pairs). Does not advance the window —
+    /// see [`Cluster::roll_load_window`].
+    pub fn shard_load_snapshot(&self) -> ShardLoadSnapshot {
+        self.load.snapshot()
+    }
+
+    /// Closes the current load window: drains the raw per-shard counters
+    /// into the EWMA with weight `alpha` and returns the new snapshot.
+    /// The autopilot calls this once per tick.
+    pub fn roll_load_window(&self, alpha: f64) -> ShardLoadSnapshot {
+        self.load.roll_window(alpha)
+    }
+
+    /// Zeroes all load accounting (chaos planner mode isolates measured
+    /// windows from fault-era traffic with this).
+    pub fn reset_load(&self) {
+        self.load.reset()
     }
 
     // ---- metrics ----

@@ -16,9 +16,11 @@
 //! * [`session::Session`] / [`session::SessionTxn`] — the client API.
 
 pub mod cluster;
+pub mod load;
 pub mod node;
 pub mod session;
 
 pub use cluster::{AccessHook, CcMode, Cluster, ClusterBuilder, SnapshotGuard};
+pub use load::{ShardLoad, ShardLoadCell, ShardLoadSnapshot, ShardLoadTracker};
 pub use node::Node;
 pub use session::{Session, SessionTxn};

@@ -68,6 +68,7 @@ impl Session {
             txn,
             begin_ts: start_ts,
             routes: std::collections::HashMap::new(),
+            touched: std::collections::BTreeMap::new(),
             _pin: pin,
             finished: false,
         }
@@ -149,6 +150,10 @@ pub struct SessionTxn<'s> {
     /// Sticky routing decisions: once a shard is routed for this
     /// transaction, every later statement goes to the same node.
     routes: std::collections::HashMap<ShardId, NodeId>,
+    /// Local `(reads, writes)` tallies per shard, flushed to the cluster's
+    /// load tracker once at transaction end — the statement path stays free
+    /// of shared-state traffic.
+    touched: std::collections::BTreeMap<ShardId, (u64, u64)>,
     _pin: SnapshotGuard,
     finished: bool,
 }
@@ -240,6 +245,7 @@ impl<'s> SessionTxn<'s> {
             hook.before_access(node.id(), shard, key, false, self.txn.xid)?;
         }
         node.work.charge(1);
+        self.touched.entry(shard).or_default().0 += 1;
         self.txn.read(&node.storage, shard, key)
     }
 
@@ -307,6 +313,7 @@ impl<'s> SessionTxn<'s> {
             hook.before_access(node.id(), shard, key, true, self.txn.xid)?;
         }
         node.work.charge(1);
+        self.touched.entry(shard).or_default().1 += 1;
         op(&mut self.txn, &node.storage, shard)
     }
 
@@ -329,6 +336,7 @@ impl<'s> SessionTxn<'s> {
                 node.storage.config.lock_wait_timeout,
             )?;
             node.work.charge(rows.len() as u64);
+            self.touched.entry(shard).or_default().0 += rows.len() as u64;
             out.extend(rows);
         }
         Ok(out)
@@ -347,6 +355,17 @@ impl<'s> SessionTxn<'s> {
             &*self.session.cluster.oracle,
             &*self.session.cluster.net,
         );
+        if result.is_ok() {
+            // `touched` is ordered by shard id, so the written set — and
+            // with it the affinity pairs — is recorded deterministically.
+            let written: Vec<ShardId> = self
+                .touched
+                .iter()
+                .filter(|(_, &(_, w))| w > 0)
+                .map(|(&s, _)| s)
+                .collect();
+            self.session.cluster.load.record_commit(&written);
+        }
         self.finish();
         result
     }
@@ -360,6 +379,9 @@ impl<'s> SessionTxn<'s> {
     fn finish(&mut self) {
         if !self.finished {
             self.release_locks();
+            for (&shard, &(reads, writes)) in &self.touched {
+                self.session.cluster.load.cell(shard).charge(reads, writes);
+            }
             self.session.cluster.txn_finished();
             self.finished = true;
         }
@@ -527,6 +549,45 @@ mod tests {
             waited >= std::time::Duration::from_millis(40),
             "writer did not block: {waited:?}"
         );
+    }
+
+    #[test]
+    fn load_tracker_sees_statements_commits_and_affinity() {
+        let (c, layout) = small_cluster();
+        let session = Session::connect(&c, NodeId(0));
+        // Two keys on different shards: a cross-shard write transaction.
+        let k1 = 0u64;
+        let k2 = (1..100)
+            .find(|&k| layout.shard_for(k) != layout.shard_for(k1))
+            .unwrap();
+        session
+            .run(|t| {
+                t.insert(&layout, k1, val("a"))?;
+                t.insert(&layout, k2, val("b"))?;
+                Ok(())
+            })
+            .unwrap();
+        session.run(|t| t.read(&layout, k1)).unwrap();
+        let snap = c.roll_load_window(1.0);
+        let (s1, s2) = (layout.shard_for(k1), layout.shard_for(k2));
+        assert_eq!(snap.load_of(s1).writes, 1.0);
+        assert_eq!(snap.load_of(s1).reads, 1.0);
+        // Commits count committed *writing* transactions per shard; the
+        // read-only transaction contributes reads but no commit.
+        assert_eq!(snap.load_of(s1).commits, 1.0);
+        assert_eq!(snap.load_of(s1).cross, 1.0);
+        assert_eq!(snap.load_of(s2).cross, 1.0);
+        let pair = if s1 < s2 { (s1, s2, 1) } else { (s2, s1, 1) };
+        assert_eq!(snap.affinity, vec![pair]);
+        // Aborted statements still count as load (they consumed resources),
+        // but no commit is recorded.
+        let _ = session.run(|t| {
+            t.read(&layout, k1)?;
+            Err::<(), _>(remus_common::DbError::Internal("client abort".into()))
+        });
+        let snap = c.roll_load_window(1.0);
+        assert_eq!(snap.load_of(s1).reads, 1.0);
+        assert_eq!(snap.load_of(s1).commits, 0.0);
     }
 
     #[test]

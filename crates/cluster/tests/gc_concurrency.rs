@@ -134,9 +134,21 @@ fn tuned_hot_path_gc_races_sessions_under_gts_leases() {
                 for round in 0..ROUNDS {
                     for k in 0..KEYS / 2 {
                         let key = k * 2 + w;
-                        session
-                            .run(|t| t.update(&layout, key, val(&format!("r{round}"))))
-                            .unwrap();
+                        // A leased snapshot may legally start below the
+                        // seeding session's commits (documented cross-node
+                        // lease staleness), so first-committer-wins can
+                        // abort the update; retry as a real client would.
+                        // Writers own disjoint keys, so the conflict can
+                        // only be against an older seed/self version and
+                        // must clear once the lease block drains forward.
+                        loop {
+                            match session.run(|t| t.update(&layout, key, val(&format!("r{round}"))))
+                            {
+                                Ok(_) => break,
+                                Err(remus_common::DbError::WwConflict { .. }) => continue,
+                                Err(e) => panic!("writer {w} key {key}: {e:?}"),
+                            }
+                        }
                     }
                 }
             })

@@ -96,6 +96,93 @@ impl HotPathConfig {
     }
 }
 
+/// Tunables of the elasticity autopilot (`remus-planner`).
+///
+/// One value parameterizes the whole loop: when the imbalance detector
+/// trips, how migrations are costed and capped, how the foreground-latency
+/// throttle behaves, and the RNG seed that makes a planning run replayable.
+/// The planner is tick-driven and never reads the wall clock, so every
+/// "window" here is one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerConfig {
+    /// Plan migrations when `max node load / mean node load` exceeds this.
+    /// Use a huge value to disable the balancer and leave only co-location.
+    pub imbalance_ratio: f64,
+    /// Ticks a shard stays immune to re-migration after it moves.
+    pub cooldown_ticks: u64,
+    /// Maximum migrations emitted per planner tick.
+    pub max_moves_per_tick: usize,
+    /// Maximum in-flight migrations any single node may participate in
+    /// (as source or destination) within one plan.
+    pub node_concurrency: usize,
+    /// EWMA weight of the newest load window (0..=1; 1 = no smoothing).
+    pub ewma_alpha: f64,
+    /// Estimated cost per live version in a candidate shard (stand-in for
+    /// bytes to copy). Zero ignores version counts.
+    pub cost_weight_versions: f64,
+    /// Estimated cost per WAL record appended on the source node in the
+    /// last window (stand-in for catch-up replay traffic). Zero ignores
+    /// the WAL rate.
+    pub cost_weight_wal: f64,
+    /// Lion-style co-location: consider moves that reunite shard pairs
+    /// frequently written by the same transaction, cutting `txn.2pc_hops`.
+    pub colocation: bool,
+    /// Minimum cross-shard commits between a pair in the last window
+    /// before a co-location move is considered.
+    pub colocation_min_cross: u64,
+    /// Foreground p99 budget: while the windowed commit p99 exceeds this,
+    /// the autopilot pauses between migrations. `Duration::ZERO` disables
+    /// the throttle.
+    pub latency_budget: Duration,
+    /// Retries per failed migration (capped backoff between attempts).
+    pub max_retries: u32,
+    /// Seed for the planner's tie-breaking RNG; two planners with equal
+    /// seeds fed equal observations make identical decisions.
+    pub seed: u64,
+}
+
+impl PlannerConfig {
+    /// General-purpose defaults: balance at 1.5x mean load, co-location
+    /// on, one move per node per tick, moderate smoothing.
+    pub fn balanced() -> Self {
+        PlannerConfig {
+            imbalance_ratio: 1.5,
+            cooldown_ticks: 8,
+            max_moves_per_tick: 4,
+            node_concurrency: 1,
+            ewma_alpha: 0.5,
+            cost_weight_versions: 1.0,
+            cost_weight_wal: 1.0,
+            colocation: true,
+            colocation_min_cross: 4,
+            latency_budget: Duration::ZERO,
+            max_retries: 3,
+            seed: 0,
+        }
+    }
+
+    /// Chaos-replay defaults: imbalance trigger only, cost weights zeroed
+    /// (version counts and WAL rates vary with fault timing and would
+    /// break decision replay), no throttle, generous cooldown so each
+    /// shard moves at most once per scenario.
+    pub fn chaos_mode(seed: u64) -> Self {
+        PlannerConfig {
+            imbalance_ratio: 1.2,
+            cooldown_ticks: u64::MAX,
+            max_moves_per_tick: 2,
+            node_concurrency: 1,
+            ewma_alpha: 1.0,
+            cost_weight_versions: 0.0,
+            cost_weight_wal: 0.0,
+            colocation: false,
+            colocation_min_cross: u64::MAX,
+            latency_budget: Duration::ZERO,
+            max_retries: 0,
+            seed,
+        }
+    }
+}
+
 /// Tunables for the simulated cluster and the migration engines.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -236,6 +323,22 @@ mod tests {
         assert_eq!(h.index_stripes, 1);
         assert_eq!(h.gc_interval, Duration::ZERO);
         assert_eq!(h.gts_lease, 1);
+    }
+
+    #[test]
+    fn planner_presets_are_self_consistent() {
+        let b = PlannerConfig::balanced();
+        assert!(b.imbalance_ratio > 1.0);
+        assert!(b.ewma_alpha > 0.0 && b.ewma_alpha <= 1.0);
+        assert!(b.colocation);
+
+        let c = PlannerConfig::chaos_mode(42);
+        assert_eq!(c.seed, 42);
+        // Decision replay: no timing-polluted signals, no wall-clock throttle.
+        assert_eq!(c.cost_weight_versions, 0.0);
+        assert_eq!(c.cost_weight_wal, 0.0);
+        assert_eq!(c.latency_budget, Duration::ZERO);
+        assert!(!c.colocation);
     }
 
     #[test]

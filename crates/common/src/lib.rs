@@ -20,10 +20,12 @@ pub mod json;
 pub mod metrics;
 pub mod ts;
 
-pub use config::{HotPathConfig, ParallelismConfig, SimConfig};
+pub use config::{HotPathConfig, ParallelismConfig, PlannerConfig, SimConfig};
 pub use error::{DbError, DbResult};
 pub use fault::{FaultAction, FaultInjector, InjectionPoint, NoFaults};
 pub use ids::{ClientId, NodeId, ShardId, TableId, TxnId};
 pub use json::Json;
-pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricsRegistry};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramWindow, MetricSample, MetricsDelta, MetricsRegistry,
+};
 pub use ts::Timestamp;

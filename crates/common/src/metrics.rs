@@ -552,6 +552,129 @@ impl MetricsRegistry {
     }
 }
 
+/// Windowed delta reader over registry snapshots.
+///
+/// Counters and latency sample counts in a [`MetricsRegistry`] are lifetime
+/// totals; consumers that need *rates* (the planner's WAL-append and
+/// cross-shard signals) diff two snapshots. A `MetricsDelta` remembers the
+/// previous snapshot per series and returns, for each counter/latency
+/// series, the increment since the last call. Gauges are levels, not
+/// totals, so they pass through unchanged.
+///
+/// A series whose new value is *smaller* than the remembered one (the
+/// source was reset or replaced) reports the new value as the whole delta
+/// rather than a wrapped negative.
+#[derive(Debug, Default)]
+pub struct MetricsDelta {
+    last: HashMap<SeriesKey, u64>,
+}
+
+impl MetricsDelta {
+    /// A reader with an empty baseline: the first [`MetricsDelta::advance`]
+    /// reports every series' full lifetime value.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Diffs `samples` against the remembered baseline and advances it.
+    /// Counter and latency values become per-window increments; gauges keep
+    /// their level. Series absent from `samples` are dropped from the
+    /// baseline (a re-appearing series starts over from zero).
+    pub fn advance(&mut self, samples: &[MetricSample]) -> Vec<MetricSample> {
+        let mut next = HashMap::with_capacity(samples.len());
+        let out = samples
+            .iter()
+            .map(|s| {
+                let mut windowed = s.clone();
+                if s.kind != "gauge" {
+                    let key = (s.name.clone(), s.labels.clone());
+                    let prev = self.last.get(&key).copied().unwrap_or(0);
+                    // Reset/wraparound: a shrinking total means the source
+                    // restarted, so the new total is the window's delta.
+                    windowed.value = if s.value < prev {
+                        s.value
+                    } else {
+                        s.value - prev
+                    };
+                    next.insert(key, s.value);
+                }
+                windowed
+            })
+            .collect();
+        self.last = next;
+        out
+    }
+
+    /// Convenience: the windowed value of one series from an
+    /// already-diffed snapshot (`0` when the series is absent).
+    pub fn value_of(samples: &[MetricSample], name: &str, labels: &[(String, String)]) -> u64 {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+            .map(|s| s.value)
+            .unwrap_or(0)
+    }
+}
+
+/// Windowed percentile reader over a [`Histogram`].
+///
+/// Remembers the previous bucket counts and answers percentiles over only
+/// the samples recorded since the last advance — the foreground-p99 signal
+/// the planner's latency throttle consumes. An empty window answers `None`
+/// instead of a stale or fabricated value.
+#[derive(Debug, Default)]
+pub struct HistogramWindow {
+    last: Vec<u64>,
+}
+
+impl HistogramWindow {
+    /// A window anchored at zero samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-bucket increments since the previous call; advances the window.
+    /// A shrinking bucket (source reset) contributes its new count whole.
+    pub fn advance(&mut self, hist: &Histogram) -> Vec<u64> {
+        let now = hist.bucket_counts();
+        let deltas = now
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let prev = self.last.get(i).copied().unwrap_or(0);
+                if n < prev {
+                    n
+                } else {
+                    n - prev
+                }
+            })
+            .collect();
+        self.last = now;
+        deltas
+    }
+
+    /// Windowed percentile (`p` clamped to `0.0..=1.0`) at the histogram's
+    /// power-of-two resolution, reported as the holding bucket's upper
+    /// bound; advances the window. `None` when no samples landed since the
+    /// previous call.
+    pub fn percentile_since(&mut self, hist: &Histogram, p: f64) -> Option<Duration> {
+        let deltas = self.advance(hist);
+        let total: u64 = deltas.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in deltas.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(Duration::from_micros(1u64 << (i + 1)));
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -784,6 +907,116 @@ mod tests {
         assert_eq!(lat.kind, "latency");
         assert_eq!(lat.value, 1);
         assert!(lat.latency.is_some());
+    }
+
+    #[test]
+    fn metrics_delta_reports_per_window_increments() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("wal.appends");
+        let mut delta = MetricsDelta::new();
+
+        c.add(10);
+        let w1 = delta.advance(&reg.snapshot());
+        assert_eq!(MetricsDelta::value_of(&w1, "wal.appends", &[]), 10);
+
+        c.add(7);
+        let w2 = delta.advance(&reg.snapshot());
+        assert_eq!(MetricsDelta::value_of(&w2, "wal.appends", &[]), 7);
+    }
+
+    #[test]
+    fn metrics_delta_empty_window_is_zero_not_stale() {
+        let reg = MetricsRegistry::new();
+        reg.counter("txn.commits").add(5);
+        let mut delta = MetricsDelta::new();
+        delta.advance(&reg.snapshot());
+        // Nothing happened since: the window must read 0, not repeat 5.
+        let w = delta.advance(&reg.snapshot());
+        assert_eq!(MetricsDelta::value_of(&w, "txn.commits", &[]), 0);
+    }
+
+    #[test]
+    fn metrics_delta_handles_reset_as_fresh_total() {
+        // A shrinking total (source restarted) must not wrap negative: the
+        // new total is the whole window.
+        let mut delta = MetricsDelta::new();
+        let sample = |v: u64| MetricSample {
+            name: "x".to_string(),
+            labels: vec![],
+            kind: "counter",
+            value: v,
+            latency: None,
+        };
+        delta.advance(&[sample(100)]);
+        let w = delta.advance(&[sample(3)]);
+        assert_eq!(w[0].value, 3);
+    }
+
+    #[test]
+    fn metrics_delta_gauges_pass_through_as_levels() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("chain_len");
+        let mut delta = MetricsDelta::new();
+        g.set(40);
+        delta.advance(&reg.snapshot());
+        g.set(42);
+        let w = delta.advance(&reg.snapshot());
+        let s = w.iter().find(|s| s.name == "chain_len").unwrap();
+        assert_eq!(s.value, 42, "gauges are levels, not totals");
+    }
+
+    #[test]
+    fn metrics_delta_missing_value_is_zero() {
+        assert_eq!(MetricsDelta::value_of(&[], "absent", &[]), 0);
+    }
+
+    #[test]
+    fn histogram_window_empty_window_is_none() {
+        let h = Histogram::new();
+        let mut w = HistogramWindow::new();
+        assert_eq!(w.percentile_since(&h, 0.99), None);
+        h.record_micros(100);
+        assert!(w.percentile_since(&h, 0.99).is_some());
+        // No new samples: None again, not the previous window's answer.
+        assert_eq!(w.percentile_since(&h, 0.99), None);
+    }
+
+    #[test]
+    fn histogram_window_percentile_sees_only_the_window() {
+        let h = Histogram::new();
+        let mut w = HistogramWindow::new();
+        // First window: a thousand fast samples.
+        for _ in 0..1000 {
+            h.record_micros(10);
+        }
+        let p99 = w.percentile_since(&h, 0.99).unwrap();
+        assert!(p99 <= Duration::from_micros(16), "fast window, got {p99:?}");
+        // Second window: only slow samples. A lifetime percentile would
+        // still answer ~16 µs; the window must see the spike.
+        for _ in 0..10 {
+            h.record_micros(50_000);
+        }
+        let p99 = w.percentile_since(&h, 0.99).unwrap();
+        assert!(
+            p99 >= Duration::from_micros(32_768),
+            "slow window, got {p99:?}"
+        );
+    }
+
+    #[test]
+    fn histogram_window_shrinking_bucket_does_not_wrap() {
+        let h1 = Histogram::new();
+        for _ in 0..50 {
+            h1.record_micros(8);
+        }
+        let mut w = HistogramWindow::new();
+        w.advance(&h1);
+        // Same window object pointed at a fresh histogram (reset source).
+        let h2 = Histogram::new();
+        h2.record_micros(8);
+        let deltas = w.advance(&h2);
+        assert_eq!(deltas[Histogram::bucket_of(8)], 1);
+        assert!(deltas.iter().all(|&d| d <= 1));
     }
 
     #[test]

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! The elasticity autopilot: a closed control loop that watches per-shard
+//! load, detects hotspots, and drives live migrations through the existing
+//! engines without an operator in the loop.
+//!
+//! The loop has three separable layers, each usable on its own:
+//!
+//! * [`observe`] — turns one planner tick's raw signals (the cluster's
+//!   per-shard load window, shard ownership, version counts, WAL positions)
+//!   into an immutable [`Observation`].
+//! * [`planner`] — the pure decision core: `Observation` in,
+//!   [`PlannerTick`] (a list of scored [`Decision`]s) out. No clocks, no
+//!   I/O, no shared state; the only nondeterminism is a seeded RNG used for
+//!   tie-breaking, so equal seeds + equal observations replay to identical
+//!   plans. The chaos harness drives this layer directly.
+//! * [`autopilot`] — the background executor thread: ticks the collector
+//!   and planner on a wall-clock cadence, runs the chosen tasks through a
+//!   [`MigrationController`](remus_core::MigrationController), pauses
+//!   between migrations while the foreground p99 exceeds the latency
+//!   budget ([`throttle`]), and retries failed migrations with capped
+//!   backoff.
+
+pub mod autopilot;
+pub mod observe;
+pub mod planner;
+pub mod throttle;
+
+pub use autopilot::{Autopilot, AutopilotOptions, AutopilotReport};
+pub use observe::{Observation, ObservationCollector, ShardStat};
+pub use planner::{Decision, MoveReason, Planner, PlannerTick};
+pub use throttle::LatencyThrottle;

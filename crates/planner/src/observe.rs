@@ -1,0 +1,192 @@
+//! Observation collection: one tick's input to the planner.
+
+use std::collections::BTreeMap;
+
+use remus_cluster::{Cluster, ShardLoad};
+use remus_common::{NodeId, ShardId};
+
+/// Everything the planner knows about one shard at observation time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStat {
+    /// Smoothed per-window load (reads, writes, commits, cross marks).
+    pub load: ShardLoad,
+    /// Current owner.
+    pub owner: NodeId,
+    /// Live stored versions — the migration's copy volume stand-in.
+    pub versions: u64,
+}
+
+/// An immutable snapshot of the signals one planner tick decides on.
+///
+/// Built by [`ObservationCollector::collect`] against a live cluster, or
+/// literally in unit tests. Everything is in ordered maps so a given
+/// cluster state always serializes to the same observation.
+#[derive(Debug, Clone, Default)]
+pub struct Observation {
+    /// Monotone tick counter (drives cooldown bookkeeping; never
+    /// wall-clock).
+    pub tick: u64,
+    /// Every node, including empty ones (they are migration destinations).
+    pub nodes: Vec<NodeId>,
+    /// Per-shard stats, keyed by shard id.
+    pub shards: BTreeMap<ShardId, ShardStat>,
+    /// Cross-shard write affinity of the last window: `(a, b, commits)`
+    /// with `a < b`, sorted.
+    pub affinity: Vec<(ShardId, ShardId, u64)>,
+    /// WAL records appended per node since the previous observation.
+    pub wal_rate: BTreeMap<NodeId, u64>,
+}
+
+impl Observation {
+    /// Sum of the load totals of every shard owned by `node`.
+    pub fn node_load(&self, node: NodeId) -> f64 {
+        self.shards
+            .values()
+            .filter(|s| s.owner == node)
+            .map(|s| s.load.total())
+            .sum()
+    }
+
+    /// `max node load / mean node load` over all nodes; zero when the
+    /// cluster is idle. This is the hotspot trigger.
+    pub fn imbalance(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let loads: Vec<f64> = self.nodes.iter().map(|&n| self.node_load(n)).collect();
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        if mean <= f64::EPSILON {
+            return 0.0;
+        }
+        loads.iter().cloned().fold(0.0, f64::max) / mean
+    }
+}
+
+/// Stateful collector: owns the WAL-position baseline and the tick counter
+/// so successive [`collect`](ObservationCollector::collect) calls report
+/// per-window rates, not lifetime totals.
+#[derive(Debug, Default)]
+pub struct ObservationCollector {
+    tick: u64,
+    wal_last: BTreeMap<NodeId, u64>,
+}
+
+impl ObservationCollector {
+    /// A fresh collector (first observation is tick 0, WAL rates measured
+    /// from log start).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rolls the cluster's load window with EWMA weight `alpha` and
+    /// assembles the tick's observation: smoothed shard loads joined with
+    /// current ownership and version counts, plus per-node WAL append
+    /// deltas since the previous call.
+    pub fn collect(&mut self, cluster: &Cluster, alpha: f64) -> Observation {
+        let window = cluster.roll_load_window(alpha);
+        let mut shards = BTreeMap::new();
+        let mut nodes = Vec::with_capacity(cluster.node_count());
+        let mut wal_rate = BTreeMap::new();
+        for node in cluster.nodes() {
+            let id = node.id();
+            nodes.push(id);
+            let flushed = node.storage.wal.flush_lsn().0;
+            let last = self.wal_last.insert(id, flushed).unwrap_or(0);
+            wal_rate.insert(id, flushed.saturating_sub(last));
+            for shard in node.data_shards() {
+                let versions = node
+                    .storage
+                    .table(shard)
+                    .map(|t| t.stats().versions as u64)
+                    .unwrap_or(0);
+                shards.insert(
+                    shard,
+                    ShardStat {
+                        load: window.load_of(shard),
+                        owner: id,
+                        versions,
+                    },
+                );
+            }
+        }
+        let tick = self.tick;
+        self.tick += 1;
+        Observation {
+            tick,
+            nodes,
+            shards,
+            affinity: window.affinity,
+            wal_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remus_cluster::ClusterBuilder;
+    use remus_common::TableId;
+
+    fn stat(owner: u32, total: f64) -> ShardStat {
+        ShardStat {
+            load: ShardLoad {
+                reads: total,
+                ..Default::default()
+            },
+            owner: NodeId(owner),
+            versions: 0,
+        }
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let mut obs = Observation {
+            nodes: vec![NodeId(0), NodeId(1)],
+            ..Default::default()
+        };
+        obs.shards.insert(ShardId(1), stat(0, 30.0));
+        obs.shards.insert(ShardId(2), stat(1, 10.0));
+        // mean 20, max 30.
+        assert!((obs.imbalance() - 1.5).abs() < 1e-9);
+        assert_eq!(obs.node_load(NodeId(0)), 30.0);
+    }
+
+    #[test]
+    fn idle_cluster_has_zero_imbalance() {
+        let obs = Observation {
+            nodes: vec![NodeId(0), NodeId(1)],
+            ..Default::default()
+        };
+        assert_eq!(obs.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn collector_reports_ownership_and_wal_deltas() {
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 4, |i| NodeId(i % 2));
+        let session = remus_cluster::Session::connect(&cluster, NodeId(0));
+        for k in 0..8u64 {
+            session
+                .run(|t| t.insert(&layout, k, remus_storage::Value::from(vec![k as u8])))
+                .unwrap();
+        }
+        let mut collector = ObservationCollector::new();
+        let obs = collector.collect(&cluster, 1.0);
+        assert_eq!(obs.tick, 0);
+        assert_eq!(obs.nodes.len(), 2);
+        assert_eq!(obs.shards.len(), 4, "all data shards observed");
+        assert_eq!(obs.shards[&ShardId(0)].owner, NodeId(0));
+        assert_eq!(obs.shards[&ShardId(1)].owner, NodeId(1));
+        // Eight inserts distributed over the shards: versions land where
+        // keys hash, and the writes show up in the load window.
+        let versions: u64 = obs.shards.values().map(|s| s.versions).sum();
+        assert_eq!(versions, 8);
+        let writes: f64 = obs.shards.values().map(|s| s.load.writes).sum();
+        assert_eq!(writes, 8.0);
+        // WAL rate is a delta: a second, idle observation reports zero.
+        assert!(obs.wal_rate.values().sum::<u64>() > 0);
+        let obs2 = collector.collect(&cluster, 1.0);
+        assert_eq!(obs2.tick, 1);
+        assert_eq!(obs2.wal_rate.values().sum::<u64>(), 0);
+    }
+}

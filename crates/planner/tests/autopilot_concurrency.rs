@@ -1,0 +1,139 @@
+//! Autopilot vs foreground vs GC, sized for the nightly ThreadSanitizer
+//! job: the planner's observation/decision/execution loop shares the
+//! cluster with committing sessions and the incremental GC tick, and the
+//! load-accounting hot path (session tallies, window rolls, affinity
+//! recording) must stay race-free while shards migrate underneath.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use remus_clock::OracleKind;
+use remus_cluster::{ClusterBuilder, Session};
+use remus_common::{HotPathConfig, NodeId, PlannerConfig, ShardId, TableId};
+use remus_planner::{Autopilot, AutopilotOptions};
+use remus_storage::Value;
+
+fn val(b: u8) -> Value {
+    Value::from(vec![b; 16])
+}
+
+#[test]
+fn autopilot_races_sessions_and_gc() {
+    let cluster = ClusterBuilder::new(2)
+        .oracle(OracleKind::Gts)
+        .hot_path(HotPathConfig::tuned())
+        .build();
+    // Everything starts on node 0: the autopilot has real work to do.
+    let layout = cluster.create_table(TableId(1), 0, 4, |_| NodeId(0));
+    const KEYS: u64 = 32;
+    let seed = Session::connect(&cluster, NodeId(0));
+    for k in 0..KEYS {
+        seed.run(|t| t.insert(&layout, k, val(0))).unwrap();
+    }
+
+    let mut config = PlannerConfig::balanced();
+    config.cost_weight_versions = 0.0;
+    config.cost_weight_wal = 0.0;
+    config.cooldown_ticks = 2;
+    let pilot = Autopilot::start(
+        Arc::clone(&cluster),
+        config,
+        AutopilotOptions {
+            tick_interval: Duration::from_millis(3),
+            latency: None,
+        },
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Writers on disjoint keys, one per node. Transactions can abort
+    // while their shard is mid-migration (forced aborts, validation
+    // conflicts, leased-snapshot staleness) — those are legal outcomes;
+    // the writer retries like a real client. Only never *succeeding*
+    // again would be a bug.
+    let writers: Vec<_> = (0..2u64)
+        .map(|w| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let session = Session::connect(&cluster, NodeId(w as u32));
+                for round in 0..100u64 {
+                    for k in 0..KEYS / 2 {
+                        let key = k * 2 + w;
+                        let mut attempts = 0;
+                        while session
+                            .run(|t| t.update(&layout, key, val((round % 251) as u8)))
+                            .is_err()
+                        {
+                            attempts += 1;
+                            assert!(
+                                attempts < 10_000,
+                                "writer {w} key {key} starved in round {round}"
+                            );
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    // Readers at fresh snapshots: seeded keys must never vanish, no
+    // matter which node currently owns their shard.
+    let reader = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            let session = Session::connect(&cluster, NodeId(1));
+            for i in 0..400u64 {
+                let mut attempts = 0;
+                loop {
+                    match session.run(|t| t.read(&layout, i % KEYS)) {
+                        Ok((got, _)) => {
+                            assert!(got.is_some(), "seeded key vanished mid-migration");
+                            break;
+                        }
+                        Err(_) => {
+                            attempts += 1;
+                            assert!(attempts < 10_000, "reader starved at {i}");
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        })
+    };
+    let gc = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                cluster.gc_tick(256);
+            }
+        })
+    };
+
+    for h in writers {
+        h.join().unwrap();
+    }
+    reader.join().unwrap();
+    stop.store(true, Ordering::SeqCst);
+    gc.join().unwrap();
+    let report = pilot.stop();
+
+    // Quiesced: every shard is hosted exactly once and every key reads a
+    // committed value.
+    let mut hosted: Vec<ShardId> = cluster
+        .nodes()
+        .iter()
+        .flat_map(|n| n.data_shards())
+        .collect();
+    hosted.sort_unstable();
+    assert_eq!(
+        hosted,
+        layout.shard_ids().collect::<Vec<_>>(),
+        "migrations lost or duplicated a shard (report: {report:?})"
+    );
+    let check = Session::connect(&cluster, NodeId(0));
+    for k in 0..KEYS {
+        let got = check.run(|t| t.read(&layout, k)).unwrap().0;
+        assert!(got.is_some(), "key {k} unreadable after the run");
+    }
+}

@@ -254,6 +254,77 @@ mod tests {
     }
 
     #[test]
+    fn churned_shard_never_serves_a_stale_owner_to_a_new_snapshot() {
+        // Planner-driven churn: the same shard migrates six times in quick
+        // succession (owner cycling over three nodes, cts strictly rising).
+        // Racing read-throughs may deliver upserts out of order — after
+        // every flip a snapshot taken past the flip must route to the new
+        // owner, and one taken before it must fall back to the table, no
+        // matter how many stale echoes arrived in between.
+        let mut cache = ShardMapCache::new();
+        let shard = ShardId(7);
+        let flips: Vec<(NodeId, Timestamp)> = (0..6u64)
+            .map(|i| (NodeId((i % 3) as u32), ts(10 + 10 * i)))
+            .collect();
+        for (i, &(node, cts)) in flips.iter().enumerate() {
+            cache.upsert(shard, node, cts);
+            // A slower session's read-through echoes every *prior* owner.
+            for &(old_node, old_cts) in &flips[..i] {
+                cache.upsert(shard, old_node, old_cts);
+            }
+            assert_eq!(
+                cache.lookup(shard, ts(cts.0 + 1)),
+                CacheLookup::Hit(node),
+                "flip {i}: new snapshot not routed to the new owner"
+            );
+            assert_eq!(
+                cache.lookup(shard, ts(cts.0 - 1)),
+                CacheLookup::ReadTable,
+                "flip {i}: pre-flip snapshot trusted a too-new entry"
+            );
+        }
+        assert_eq!(cache.len(), 1, "churn must not duplicate the entry");
+    }
+
+    #[test]
+    fn epoch_churn_forces_refresh_between_quick_migrations() {
+        // Back-to-back migrations bump the map epoch faster than a session
+        // routes; every bump must invalidate the cache exactly once and the
+        // refreshed entry must win over whatever was cached before.
+        let mut cache = ShardMapCache::new();
+        for epoch in 1..=6u64 {
+            assert!(cache.stale_for(epoch), "epoch {epoch}: bump not noticed");
+            let owner = NodeId((epoch % 3) as u32);
+            cache.refresh([(ShardId(3), owner, ts(epoch * 5))], epoch);
+            assert!(!cache.stale_for(epoch));
+            assert_eq!(
+                cache.lookup(ShardId(3), ts(epoch * 5)),
+                CacheLookup::Hit(owner)
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_migrations_keep_independent_marks() {
+        // Two concurrent migrations mark disjoint shards; finishing one
+        // must not clear the other's read-through window, and each T_m
+        // bumps the epoch once.
+        let rt = ReadThroughState::new();
+        rt.mark(&[ShardId(1)]);
+        rt.mark(&[ShardId(2)]);
+        rt.clear(&[ShardId(1)]);
+        assert!(!rt.is_marked(ShardId(1)));
+        assert!(
+            rt.is_marked(ShardId(2)),
+            "overlapping migration's mark must survive"
+        );
+        assert_eq!(rt.epoch(), 1);
+        rt.clear(&[ShardId(2)]);
+        assert!(!rt.is_marked(ShardId(2)));
+        assert_eq!(rt.epoch(), 2, "every T_m bumps the epoch");
+    }
+
+    #[test]
     fn read_through_mark_clear_and_epoch() {
         let rt = ReadThroughState::new();
         assert!(!rt.is_marked(ShardId(1)));

@@ -26,4 +26,4 @@ pub mod ycsb;
 pub use driver::{Driver, RunMetrics, Workload};
 pub use hybrid::{AnalyticalClient, BatchIngest, BatchIngestReport};
 pub use tpcc::{Tpcc, TpccConfig};
-pub use ycsb::{HotSpot, KeyDistribution, Ycsb, YcsbConfig, Zipfian};
+pub use ycsb::{HotPhase, HotSpot, HotspotShift, KeyDistribution, Ycsb, YcsbConfig, Zipfian};

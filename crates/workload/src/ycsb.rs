@@ -286,6 +286,117 @@ pub fn hot_range(range: Range<u64>) -> KeyDistribution {
     KeyDistribution::HotRange(range.start, range.end)
 }
 
+/// One phase of the hotspot-shift scenario: a Zipfian-weighted hot key
+/// set drawn from a *pair* of shards. Every transaction writes one key on
+/// each shard of the pair, so the pair's placement decides whether the
+/// commit takes the single-node fast path (co-resident) or a full
+/// distributed 2PC (split) — the signal the elasticity autopilot's
+/// co-location trigger feeds on.
+#[derive(Debug, Clone)]
+pub struct HotPhase {
+    /// The two shards the phase's transactions span.
+    pub shards: (remus_common::ShardId, remus_common::ShardId),
+    /// Hot keys on `shards.0`, rank 0 hottest.
+    pub a_keys: Arc<Vec<Key>>,
+    /// Hot keys on `shards.1`, rank 0 hottest.
+    pub b_keys: Arc<Vec<Key>>,
+}
+
+/// The hotspot-shift workload: Zipfian traffic over a two-shard hot pair
+/// that *jumps* to a different pair after a configurable number of
+/// transactions — the elasticity scenario where yesterday's perfect
+/// placement becomes today's hotspot.
+///
+/// The phase boundary is a shared transaction counter, not wall-clock, so
+/// a run of N transactions always shifts at the same point regardless of
+/// machine speed.
+pub struct HotspotShift {
+    /// The layout of the YCSB table.
+    pub layout: TableLayout,
+    /// Phase 0 (before the shift) and phase 1 (after).
+    pub phases: [HotPhase; 2],
+    /// Payload size.
+    pub value_len: usize,
+    zipf: Zipfian,
+    shift_after: u64,
+    executed: std::sync::atomic::AtomicU64,
+}
+
+impl HotspotShift {
+    /// Builds the scenario on an already-loaded [`Ycsb`] table: the hot
+    /// pair is `phase0` for the first `shift_after` transactions and
+    /// `phase1` afterwards, with `keys_per_shard` hot keys taken from each
+    /// shard and Zipfian skew `theta` over their ranks.
+    pub fn new(
+        ycsb: &Ycsb,
+        phase0: (remus_common::ShardId, remus_common::ShardId),
+        phase1: (remus_common::ShardId, remus_common::ShardId),
+        keys_per_shard: usize,
+        theta: f64,
+        shift_after: u64,
+    ) -> HotspotShift {
+        let phase = |pair: (remus_common::ShardId, remus_common::ShardId)| {
+            let a_keys = Arc::new(ycsb.keys_on_shard(pair.0, keys_per_shard));
+            let b_keys = Arc::new(ycsb.keys_on_shard(pair.1, keys_per_shard));
+            assert!(
+                a_keys.len() == keys_per_shard && b_keys.len() == keys_per_shard,
+                "not enough keys on the hot pair {pair:?}"
+            );
+            HotPhase {
+                shards: pair,
+                a_keys,
+                b_keys,
+            }
+        };
+        HotspotShift {
+            layout: ycsb.layout,
+            phases: [phase(phase0), phase(phase1)],
+            value_len: ycsb.config.value_len,
+            zipf: Zipfian::new(keys_per_shard as u64, theta),
+            shift_after,
+            executed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The phase the *next* transaction will run in (0 or 1).
+    pub fn phase(&self) -> usize {
+        usize::from(self.executed.load(std::sync::atomic::Ordering::Relaxed) >= self.shift_after)
+    }
+
+    /// Transactions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Forces the phase boundary now (harnesses that separate the phases
+    /// into distinct measured legs advance explicitly instead of counting
+    /// on the transaction counter).
+    pub fn advance(&self) {
+        self.executed
+            .fetch_max(self.shift_after, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Workload for HotspotShift {
+    fn run_once(
+        &self,
+        _client: ClientId,
+        txn: &mut SessionTxn<'_>,
+        rng: &mut SmallRng,
+    ) -> DbResult<()> {
+        let seq = self
+            .executed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let phase = &self.phases[usize::from(seq >= self.shift_after)];
+        let a = phase.a_keys[self.zipf.sample(rng) as usize];
+        let b = phase.b_keys[self.zipf.sample(rng) as usize];
+        txn.read(&self.layout, a)?;
+        txn.update(&self.layout, a, Ycsb::value_of(self.value_len, rng.gen()))?;
+        txn.update(&self.layout, b, Ycsb::value_of(self.value_len, rng.gen()))?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,5 +511,89 @@ mod tests {
         let v = Ycsb::value_of(64, 0xDEAD);
         assert_eq!(v.len(), 64);
         assert_eq!(u64::from_le_bytes(v[..8].try_into().unwrap()), 0xDEAD);
+    }
+
+    use remus_common::ShardId;
+
+    fn shift_fixture(cluster: &Arc<remus_cluster::Cluster>) -> HotspotShift {
+        let ycsb = Ycsb::setup(
+            cluster,
+            YcsbConfig {
+                keys: 2000,
+                shards: 4,
+                ..YcsbConfig::default()
+            },
+        );
+        HotspotShift::new(
+            &ycsb,
+            (ShardId(0), ShardId(1)),
+            (ShardId(2), ShardId(3)),
+            16,
+            0.9,
+            10,
+        )
+    }
+
+    #[test]
+    fn hotspot_shift_jumps_pairs_at_the_txn_boundary() {
+        let cluster = ClusterBuilder::new(1).build();
+        let shift = shift_fixture(&cluster);
+        let session = Session::connect(&cluster, NodeId(0));
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(shift.phase(), 0);
+        // Each transaction writes exactly the current phase's shard pair;
+        // the per-window write counters expose which pair that was.
+        let mut run = || {
+            cluster.roll_load_window(1.0); // discard earlier traffic
+            session
+                .run(|t| shift.run_once(ClientId(0), t, &mut rng))
+                .unwrap();
+            let window = cluster.roll_load_window(1.0);
+            let mut shards: Vec<ShardId> = window
+                .shards
+                .iter()
+                .filter(|(_, load)| load.writes > 0.0)
+                .map(|(&s, _)| s)
+                .collect();
+            shards.sort_unstable();
+            shards
+        };
+        for _ in 0..10 {
+            assert_eq!(run(), vec![ShardId(0), ShardId(1)], "pre-shift pair");
+        }
+        assert_eq!(shift.phase(), 1);
+        assert_eq!(shift.executed(), 10);
+        for _ in 0..5 {
+            assert_eq!(run(), vec![ShardId(2), ShardId(3)], "post-shift pair");
+        }
+    }
+
+    #[test]
+    fn hotspot_shift_advance_forces_the_boundary() {
+        let cluster = ClusterBuilder::new(1).build();
+        let shift = shift_fixture(&cluster);
+        assert_eq!(shift.phase(), 0);
+        shift.advance();
+        assert_eq!(shift.phase(), 1);
+    }
+
+    #[test]
+    fn hotspot_shift_feeds_the_affinity_tracker() {
+        let cluster = ClusterBuilder::new(1).build();
+        let shift = shift_fixture(&cluster);
+        let session = Session::connect(&cluster, NodeId(0));
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..8 {
+            session
+                .run(|t| shift.run_once(ClientId(0), t, &mut rng))
+                .unwrap();
+        }
+        let window = cluster.roll_load_window(1.0);
+        let pair = window
+            .affinity
+            .iter()
+            .find(|&&(a, b, _)| (a, b) == (ShardId(0), ShardId(1)))
+            .expect("hot pair shows up in the affinity window");
+        assert_eq!(pair.2, 8, "every transaction wrote both shards");
     }
 }

@@ -20,6 +20,7 @@ pub use remus_clock as clock;
 pub use remus_cluster as cluster;
 pub use remus_common as common;
 pub use remus_core as migration;
+pub use remus_planner as planner;
 pub use remus_shard as shard;
 pub use remus_storage as storage;
 pub use remus_txn as txn;

@@ -1,0 +1,200 @@
+//! `ShardMapCache` under planner-driven churn: the planner keeps
+//! re-migrating the same hot shard in quick succession (cooldown 1 tick,
+//! hairtrigger imbalance threshold), so every session's private ordered
+//! cache and the nodes' read-through marks are invalidated over and over.
+//! The contract under test: a *new* snapshot is never served a stale
+//! owner — its reads see the freshest committed value and its writes land
+//! on the owner the shard map reports — while a transaction that
+//! straddles a migration keeps reading its own snapshot through the
+//! read-through fallback.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use remus::clock::OracleKind;
+use remus::cluster::{ClusterBuilder, Session};
+use remus::common::{NodeId, PlannerConfig, ShardId, SimConfig, TableId, Timestamp, TxnId};
+use remus::migration::{MigrationEngine, RemusEngine};
+use remus::planner::{ObservationCollector, Planner};
+use remus::storage::Value;
+
+const ROUNDS: u8 = 6;
+const HOT_WRITES: usize = 64;
+
+#[test]
+fn planner_churn_never_serves_a_stale_owner() {
+    // GTS so a fresh session on any coordinator gets a snapshot past the
+    // last commit (under DTS a stale-but-consistent snapshot is legal and
+    // would fail the freshness assertions below).
+    let cluster = ClusterBuilder::new(3)
+        .oracle(OracleKind::Gts)
+        .config(SimConfig::instant())
+        .build();
+    let layout = cluster.create_table(TableId(1), 0, 6, |i| NodeId(i % 3));
+
+    // One representative key per shard, seeded so every shard exists on
+    // its owner and carries at least one version.
+    let writer = Session::connect(&cluster, NodeId(0));
+    let mut key_of: BTreeMap<ShardId, u64> = BTreeMap::new();
+    for key in 0..512u64 {
+        if key_of.len() == 6 {
+            break;
+        }
+        key_of.entry(layout.shard_for(key)).or_insert(key);
+    }
+    assert_eq!(key_of.len(), 6, "need a key in every shard");
+    for &key in key_of.values() {
+        writer
+            .run(|t| t.insert(&layout, key, Value::from(vec![0])))
+            .unwrap();
+    }
+    let hot_key = 0u64;
+    let hot_shard = layout.shard_for(hot_key);
+
+    // One move per tick, no cooldown, trigger on any imbalance. The hot
+    // shard dominates the load, but its current node always keeps warmer
+    // co-resident shards than the destinations (the weighted background
+    // writes below), so every tick legitimately plans another move of the
+    // same shard — the planner's anti-ping-pong rule stays satisfied.
+    let mut config = PlannerConfig::balanced();
+    config.imbalance_ratio = 1.01;
+    config.cooldown_ticks = 1;
+    config.max_moves_per_tick = 1;
+    config.node_concurrency = 2;
+    config.ewma_alpha = 1.0;
+    config.cost_weight_versions = 0.0;
+    config.cost_weight_wal = 0.0;
+    config.colocation = false;
+    config.seed = 42;
+    let mut planner = Planner::new(config);
+    let mut collector = ObservationCollector::new();
+    let engine = RemusEngine::new();
+
+    let mut moves = 0usize;
+    for round in 1..=ROUNDS {
+        for _ in 0..HOT_WRITES {
+            writer
+                .run(|t| t.update(&layout, hot_key, Value::from(vec![round])))
+                .unwrap();
+        }
+        // Background warmth: shards sharing the hot shard's node get four
+        // light writes, everyone else one, so moving the hot shard off its
+        // node strictly improves the balance every round.
+        let hot_owner = cluster
+            .current_owner(cluster.node(NodeId(0)), hot_shard)
+            .unwrap()
+            .node;
+        for (&shard, &key) in &key_of {
+            if shard == hot_shard {
+                continue;
+            }
+            let owner = cluster
+                .current_owner(cluster.node(NodeId(0)), shard)
+                .unwrap()
+                .node;
+            let weight = if owner == hot_owner { 4 } else { 1 };
+            for _ in 0..weight {
+                writer
+                    .run(|t| t.update(&layout, key, Value::from(vec![round])))
+                    .unwrap();
+            }
+        }
+
+        let obs = collector.collect(&cluster, 1.0);
+        let tick = planner.decide(&obs);
+        assert!(
+            !tick.decisions.is_empty(),
+            "round {round}: the planner stopped churning"
+        );
+
+        // A transaction that begins before the migration and commits after
+        // it must read its own snapshot both times: during dual execution
+        // the shard still routes to the source for this begin_ts via the
+        // read-through path. It runs in a thread because the engine's
+        // dual-execution drain blocks until this snapshot retires.
+        let (started_tx, started_rx) = mpsc::channel();
+        let straddler = {
+            let cluster = std::sync::Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let session = Session::connect(&cluster, NodeId(2));
+                let mut txn = session.begin();
+                let before = txn.read(&layout, hot_key).unwrap();
+                started_tx.send(()).unwrap();
+                // Long enough that T_m commits while this snapshot is live.
+                std::thread::sleep(Duration::from_millis(10));
+                let after = txn.read(&layout, hot_key).unwrap();
+                txn.commit().unwrap();
+                (before, after)
+            })
+        };
+        started_rx.recv().unwrap();
+
+        for decision in &tick.decisions {
+            assert_eq!(
+                decision.task.shards,
+                vec![hot_shard],
+                "round {round}: churn must keep targeting the hot shard"
+            );
+            engine.migrate(&cluster, &decision.task).unwrap();
+            moves += 1;
+        }
+
+        let (before, after) = straddler.join().unwrap();
+        assert_eq!(
+            before,
+            Some(Value::from(vec![round])),
+            "round {round}: straddling snapshot began stale"
+        );
+        assert_eq!(
+            after, before,
+            "round {round}: straddling snapshot changed across the flip"
+        );
+
+        // Every coordinator's next snapshot must follow the flip: reads see
+        // the freshest value (the stale source dropped its copy, so stale
+        // routing would error, not just return old data), and writes land
+        // on the owner the map reports.
+        let owner = cluster
+            .current_owner(cluster.node(NodeId(0)), hot_shard)
+            .unwrap()
+            .node;
+        let mut last = Value::from(vec![round]);
+        for c in 0..3u32 {
+            let session = Session::connect(&cluster, NodeId(c));
+            let (v, _) = session.run(|t| t.read(&layout, hot_key)).unwrap();
+            assert_eq!(
+                v,
+                Some(last.clone()),
+                "round {round}: coordinator {c} was served a stale owner"
+            );
+            let tagged = Value::from(vec![round, c as u8]);
+            session
+                .run(|t| t.update(&layout, hot_key, tagged.clone()))
+                .unwrap();
+            let on_owner = cluster
+                .node(owner)
+                .storage
+                .table(hot_shard)
+                .unwrap()
+                .read(
+                    hot_key,
+                    Timestamp::MAX,
+                    TxnId::INVALID,
+                    &cluster.node(owner).storage.clog,
+                    Duration::from_secs(1),
+                )
+                .unwrap();
+            assert_eq!(
+                on_owner,
+                Some(tagged.clone()),
+                "round {round}: coordinator {c} wrote through a stale owner"
+            );
+            last = tagged;
+        }
+    }
+    assert!(
+        moves >= ROUNDS as usize,
+        "expected at least one migration per round, got {moves}"
+    );
+}
