@@ -77,8 +77,11 @@ fn phase_sequences(s: &ScenarioReport) -> Vec<Vec<String>> {
 /// Checks the `foreground throughput` table when present: the `optimized`
 /// row's trailing speedup cell (`"2.31x"`) should reach
 /// [`MIN_FOREGROUND_SPEEDUP`] (warning below), and must stay above
-/// [`FOREGROUND_SPEEDUP_FLOOR`] (violation below). Reports without the
-/// table pass (they come from other bench binaries).
+/// [`FOREGROUND_SPEEDUP_FLOOR`] (violation below). The
+/// `walfile-optimized` row — the tuned-vs-sequential ratio of the
+/// file-backed group-commit pair — is gated with the same two tiers when
+/// present (older reports without the durable legs pass). Reports without
+/// the table pass (they come from other bench binaries).
 fn check_foreground(which: &str, report: &BenchReport, violations: &mut Vec<String>) {
     let Some(table) = report
         .tables
@@ -87,36 +90,41 @@ fn check_foreground(which: &str, report: &BenchReport, violations: &mut Vec<Stri
     else {
         return;
     };
-    let Some(row) = table
-        .rows
-        .iter()
-        .find(|r| r.first().map(String::as_str) == Some("optimized"))
-    else {
-        violations.push(format!(
-            "{which}: foreground throughput table has no 'optimized' row"
-        ));
-        return;
-    };
-    let speedup = row
-        .last()
-        .and_then(|cell| cell.strip_suffix('x'))
-        .and_then(|s| s.parse::<f64>().ok());
-    match speedup {
-        Some(s) if s >= MIN_FOREGROUND_SPEEDUP => {}
-        Some(s) if s >= FOREGROUND_SPEEDUP_FLOOR => eprintln!(
-            "bench_check WARN: {which}: foreground speedup {s:.2}x below the \
-             expected {MIN_FOREGROUND_SPEEDUP}x (tolerated as runner noise; \
-             hard floor {FOREGROUND_SPEEDUP_FLOOR}x)"
-        ),
-        Some(s) => violations.push(format!(
-            "{which}: foreground speedup {s:.2}x below the hard floor \
-             {FOREGROUND_SPEEDUP_FLOOR}x — the optimized leg is no faster \
-             than the baseline"
-        )),
-        None => violations.push(format!(
-            "{which}: cannot parse foreground speedup cell {:?}",
-            row.last()
-        )),
+    for (row_label, required) in [("optimized", true), ("walfile-optimized", false)] {
+        let Some(row) = table
+            .rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(row_label))
+        else {
+            if required {
+                violations.push(format!(
+                    "{which}: foreground throughput table has no '{row_label}' row"
+                ));
+            }
+            continue;
+        };
+        let speedup = row
+            .last()
+            .and_then(|cell| cell.strip_suffix('x'))
+            .and_then(|s| s.parse::<f64>().ok());
+        match speedup {
+            Some(s) if s >= MIN_FOREGROUND_SPEEDUP => {}
+            Some(s) if s >= FOREGROUND_SPEEDUP_FLOOR => eprintln!(
+                "bench_check WARN: {which}: foreground speedup ({row_label}) \
+                 {s:.2}x below the expected {MIN_FOREGROUND_SPEEDUP}x \
+                 (tolerated as runner noise; hard floor \
+                 {FOREGROUND_SPEEDUP_FLOOR}x)"
+            ),
+            Some(s) => violations.push(format!(
+                "{which}: foreground speedup ({row_label}) {s:.2}x below the \
+                 hard floor {FOREGROUND_SPEEDUP_FLOOR}x — the optimized leg \
+                 is no faster than the baseline"
+            )),
+            None => violations.push(format!(
+                "{which}: cannot parse foreground speedup cell {:?}",
+                row.last()
+            )),
+        }
     }
 }
 

@@ -19,17 +19,28 @@
 //!   incremental GC on a 2 ms cadence, batched GTS leases. Chains stay
 //!   near length one and the foreground path stays flat.
 //!
-//! The binary expects the optimized leg to be at least [`MIN_SPEEDUP`]x
-//! faster (it warns below that — shared CI runners can compress the
-//! measured ~2.5x) and hard-asserts it stays above [`SPEEDUP_FLOOR`],
-//! i.e. genuinely faster than the baseline. It emits a `remus-bench/v1`
-//! JSON report with a `foreground throughput` table (txn/s, p50/p99
-//! latency, speedup) that `bench_check` gates on with the same policy.
+//! and then twice more with the **file-backed WAL** (DESIGN.md §10):
+//! every commit waits on the group-commit flusher, so the legs price real
+//! fsyncs into the foreground path while concurrent sessions coalesce
+//! them (`wal.fsyncs` ≪ `wal.appends`, both reported in the JSON
+//! counters). The hot-path speedup is gated *within* each durability
+//! pair — tuned-vs-sequential on the in-memory pair and again on the
+//! file-backed pair — because durability adds the same constant to both
+//! legs of a pair and comparing across pairs would measure the disk, not
+//! the hot path.
+//!
+//! The binary expects each optimized leg to be at least [`MIN_SPEEDUP`]x
+//! faster than its pair's baseline (it warns below that — shared CI
+//! runners can compress the measured ~2.5x) and hard-asserts it stays
+//! above [`SPEEDUP_FLOOR`], i.e. genuinely faster than the baseline. It
+//! emits a `remus-bench/v1` JSON report with a `foreground throughput`
+//! table (txn/s, p50/p99 latency, speedup) that `bench_check` gates on
+//! with the same policy.
 //!
 //! Usage: `cargo run --release -p remus-bench --bin bench_foreground --
 //! --json BENCH_foreground.json`
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,7 +49,7 @@ use remus_bench::{json_path_arg, BenchReport, EngineKind, ScenarioReport, TableS
 use remus_clock::OracleKind;
 use remus_cluster::{Cluster, ClusterBuilder, Session};
 use remus_common::metrics::{LatencyStat, Timeline};
-use remus_common::{HotPathConfig, NodeId, ShardId, SimConfig, TableId};
+use remus_common::{HotPathConfig, NodeId, ShardId, SimConfig, TableId, WalConfig};
 use remus_core::trace::expected_phases;
 use remus_core::{MigrationReport, MigrationTask};
 use remus_shard::TableLayout;
@@ -77,10 +88,13 @@ struct LegResult {
     scenario: remus_bench::ScenarioResult,
 }
 
-fn foreground_config(hot_path: HotPathConfig) -> SimConfig {
+fn foreground_config(hot_path: HotPathConfig, wal_dir: Option<&Path>) -> SimConfig {
     let mut config = SimConfig::instant();
     config.snapshot_copy_per_tuple = COPY_PER_TUPLE;
     config.hot_path = hot_path;
+    if let Some(dir) = wal_dir {
+        config.wal = WalConfig::file(dir);
+    }
     config
 }
 
@@ -131,11 +145,11 @@ fn migration_loop(
     })
 }
 
-fn run_leg(label: &str, hot_path: HotPathConfig) -> LegResult {
+fn run_leg(label: &str, hot_path: HotPathConfig, wal_dir: Option<&Path>) -> LegResult {
     let cluster = ClusterBuilder::new(2)
         .cc_mode(EngineKind::Remus.cc_mode())
         .oracle(OracleKind::Gts)
-        .config(foreground_config(hot_path))
+        .config(foreground_config(hot_path, wal_dir))
         .build();
     // Background maintenance: WAL truncation plus the hot path's GC
     // cadence. The huge vacuum period keeps full-sweep vacuum out of the
@@ -224,13 +238,33 @@ fn run_leg(label: &str, hot_path: HotPathConfig) -> LegResult {
         p99.as_secs_f64() * 1e6,
         elapsed.as_secs_f64(),
     );
+    let counters = cluster.metrics_snapshot();
+    if wal_dir.is_some() {
+        // Group commit must actually group: every commit waited on a
+        // flusher batch, yet concurrent sessions share fsyncs.
+        let sum = |name: &str| -> u64 {
+            counters
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.value)
+                .sum()
+        };
+        let (appends, fsyncs) = (sum("wal.appends"), sum("wal.fsyncs"));
+        println!("{label}\twal.appends={appends}\twal.fsyncs={fsyncs}");
+        assert!(fsyncs >= 1, "{label}: file-backed leg never synced");
+        assert!(
+            fsyncs * 2 < appends,
+            "{label}: group commit is not coalescing \
+             ({fsyncs} fsyncs for {appends} appends)"
+        );
+    }
     let scenario = remus_bench::ScenarioResult {
         engine: EngineKind::Remus.name(),
         tps: timeline.rates_per_sec(),
         commits,
         base_latency: latency.mean(),
         migration: first_migration,
-        counters: cluster.metrics_snapshot(),
+        counters,
         ..Default::default()
     };
     LegResult {
@@ -259,12 +293,35 @@ fn main() {
         "# bench_foreground — {SESSIONS} sessions x {TXNS_PER_SESSION} txns \
          against a migrating cluster"
     );
-    let base = run_leg("baseline ", HotPathConfig::sequential());
-    let opt = run_leg("optimized", HotPathConfig::tuned());
+    let base = run_leg("baseline ", HotPathConfig::sequential(), None);
+    let opt = run_leg("optimized", HotPathConfig::tuned(), None);
     let speedup = opt.tps / base.tps.max(1e-9);
     println!(
         "foreground speedup: {speedup:.2}x (expected >= {MIN_SPEEDUP}x, \
          hard floor {SPEEDUP_FLOOR}x)"
+    );
+
+    // The durable pair: same fixed work, every commit priced through the
+    // group-commit flusher. One WAL root per leg, removed afterwards —
+    // leaking segments would trip the CI tmpdir-hygiene check.
+    let wal_root = std::env::temp_dir().join(format!("remus-bench-fgwal-{}", std::process::id()));
+    let base_wal_dir = wal_root.join("baseline");
+    let opt_wal_dir = wal_root.join("optimized");
+    let base_wal = run_leg(
+        "walfile-baseline ",
+        HotPathConfig::sequential(),
+        Some(&base_wal_dir),
+    );
+    let opt_wal = run_leg(
+        "walfile-optimized",
+        HotPathConfig::tuned(),
+        Some(&opt_wal_dir),
+    );
+    std::fs::remove_dir_all(&wal_root).expect("removing bench WAL segments failed");
+    let speedup_wal = opt_wal.tps / base_wal.tps.max(1e-9);
+    println!(
+        "foreground speedup (file-backed WAL): {speedup_wal:.2}x \
+         (expected >= {MIN_SPEEDUP}x, hard floor {SPEEDUP_FLOOR}x)"
     );
 
     let mut report = BenchReport::new("bench_foreground", "foreground");
@@ -275,6 +332,14 @@ fn main() {
     report.scenarios.push(ScenarioReport::from_result(
         "foreground-optimized",
         &opt.scenario,
+    ));
+    report.scenarios.push(ScenarioReport::from_result(
+        "foreground-walfile-baseline",
+        &base_wal.scenario,
+    ));
+    report.scenarios.push(ScenarioReport::from_result(
+        "foreground-walfile-optimized",
+        &opt_wal.scenario,
     ));
     report.tables.push(TableSection {
         title: "foreground throughput".to_string(),
@@ -292,22 +357,29 @@ fn main() {
         rows: vec![
             throughput_row("baseline", &base, 1.0),
             throughput_row("optimized", &opt, speedup),
+            throughput_row("walfile-baseline", &base_wal, 1.0),
+            throughput_row("walfile-optimized", &opt_wal, speedup_wal),
         ],
     });
     report.write(&path).expect("writing JSON report failed");
 
-    if speedup < MIN_SPEEDUP {
-        eprintln!(
-            "WARN: foreground speedup {speedup:.2}x below the expected \
-             {MIN_SPEEDUP}x (tolerated as runner noise; hard floor \
-             {SPEEDUP_FLOOR}x)"
+    for (what, s, opt_leg, base_leg) in [
+        ("", speedup, &opt, &base),
+        (" (file-backed WAL)", speedup_wal, &opt_wal, &base_wal),
+    ] {
+        if s < MIN_SPEEDUP {
+            eprintln!(
+                "WARN: foreground speedup{what} {s:.2}x below the expected \
+                 {MIN_SPEEDUP}x (tolerated as runner noise; hard floor \
+                 {SPEEDUP_FLOOR}x)"
+            );
+        }
+        assert!(
+            s >= SPEEDUP_FLOOR,
+            "optimized foreground throughput{what} {:.0} txn/s is only {s:.2}x \
+             the baseline {:.0} txn/s (hard floor {SPEEDUP_FLOOR}x)",
+            opt_leg.tps,
+            base_leg.tps,
         );
     }
-    assert!(
-        speedup >= SPEEDUP_FLOOR,
-        "optimized foreground throughput {:.0} txn/s is only {speedup:.2}x the \
-         baseline {:.0} txn/s (hard floor {SPEEDUP_FLOOR}x)",
-        opt.tps,
-        base.tps,
-    );
 }

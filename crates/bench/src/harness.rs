@@ -122,6 +122,7 @@ pub fn sim_config(scale: &Scale) -> SimConfig {
         max_clock_skew: Duration::from_millis(1),
         snapshot_copy_per_tuple: scale.copy_per_tuple,
         lock_wait_timeout: Duration::from_secs(60),
+        wal: remus_common::WalConfig::memory(),
     }
 }
 

@@ -53,6 +53,13 @@ pub enum FaultProfile {
     /// participant commit). Recovery must resolve the in-doubt `T_m` and
     /// the history must still check out.
     CrashTm,
+    /// Exactly one whole-node crash-restart of the migration source or
+    /// destination at a seeded stage of the copy/catch-up pipeline
+    /// (encoded in the spec's `occurrence`: 0 = before the snapshot copy,
+    /// 1 = after it, 2 = after post-copy catch-up traffic). The node is
+    /// rebuilt from its on-disk WAL via `Cluster::restart_node` and a
+    /// fresh engine must then complete the migration with SI intact.
+    CrashRestart,
 }
 
 /// A deterministic, seed-derived fault schedule.
@@ -164,6 +171,18 @@ impl FaultPlan {
                     action: FaultAction::Crash,
                 });
             }
+            FaultProfile::CrashRestart => {
+                let victim = if rng.gen_bool(0.5) { source } else { dest };
+                specs.push(FaultSpec {
+                    point: InjectionPoint::CrashRestart,
+                    node: victim,
+                    // `occurrence` doubles as the pipeline stage the crash
+                    // lands in (see the profile docs); the runner reads it
+                    // straight from the spec rather than counting visits.
+                    occurrence: rng.gen_range(0..3u32),
+                    action: FaultAction::Crash,
+                });
+            }
         }
         let clock_spike_ms = if matches!(profile, FaultProfile::Tolerated) && rng.gen_bool(0.4) {
             Some(rng.gen_range(5..40u64))
@@ -184,6 +203,15 @@ impl FaultPlan {
             .iter()
             .find(|s| s.action == FaultAction::Crash)
             .map(|s| s.point)
+    }
+
+    /// The `(victim, stage)` of a `CrashRestart` plan (stage as documented
+    /// on [`FaultProfile::CrashRestart`]).
+    pub fn crash_restart_spec(&self) -> Option<(NodeId, u32)> {
+        self.specs
+            .iter()
+            .find(|s| s.point == InjectionPoint::CrashRestart)
+            .map(|s| (s.node, s.occurrence))
     }
 }
 
@@ -234,7 +262,11 @@ mod tests {
     #[test]
     fn same_seed_same_plan() {
         for seed in 0..50u64 {
-            for profile in [FaultProfile::Tolerated, FaultProfile::CrashTm] {
+            for profile in [
+                FaultProfile::Tolerated,
+                FaultProfile::CrashTm,
+                FaultProfile::CrashRestart,
+            ] {
                 let a = FaultPlan::generate(seed, profile, NodeId(0), NodeId(1));
                 let b = FaultPlan::generate(seed, profile, NodeId(0), NodeId(1));
                 assert_eq!(a, b);
@@ -262,6 +294,25 @@ mod tests {
             assert_eq!(crashes, 1);
             assert!(plan.crash_point().is_some());
         }
+    }
+
+    #[test]
+    fn crash_restart_plan_targets_an_endpoint_at_a_valid_stage() {
+        let mut victims = std::collections::HashSet::new();
+        let mut stages = std::collections::HashSet::new();
+        for seed in 0..40u64 {
+            let plan = FaultPlan::generate(seed, FaultProfile::CrashRestart, NodeId(0), NodeId(1));
+            assert_eq!(plan.specs.len(), 1);
+            let (victim, stage) = plan.crash_restart_spec().expect("restart spec");
+            assert!(victim == NodeId(0) || victim == NodeId(1));
+            assert!(stage < 3, "seed {seed}: stage {stage}");
+            assert_eq!(plan.crash_point(), Some(InjectionPoint::CrashRestart));
+            victims.insert(victim);
+            stages.insert(stage);
+        }
+        // The seed space actually exercises both victims and all stages.
+        assert_eq!(victims.len(), 2);
+        assert_eq!(stages.len(), 3);
     }
 
     #[test]

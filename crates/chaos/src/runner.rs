@@ -16,6 +16,7 @@
 //! one.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -25,7 +26,7 @@ use remus_clock::{
     Dts, Gts, OracleKind, PhysicalClock, SkewedPhysicalClock, TimestampOracle, WallClock,
 };
 use remus_cluster::{CcMode, Cluster, ClusterBuilder, Session};
-use remus_common::{NodeId, ParallelismConfig, ShardId, SimConfig, TableId, Timestamp};
+use remus_common::{NodeId, ParallelismConfig, ShardId, SimConfig, TableId, Timestamp, WalConfig};
 use remus_core::diversion::{run_tm_chaos, TmOutcome};
 use remus_core::recovery::{recover_migration, RecoveryDecision};
 use remus_core::snapshot::copy_task_snapshots;
@@ -36,6 +37,7 @@ use remus_core::{
 };
 use remus_shard::TableLayout;
 use remus_storage::Value;
+use remus_txn::ReplaySummary;
 
 use crate::checker::{check_final_state, check_history, CheckConfig, Violation};
 use crate::history::{HistoryLog, MutKind, OpRead, OpWrite, TxnRecord};
@@ -120,6 +122,11 @@ pub struct ScenarioConfig {
     /// pruning races the workload, the snapshot copy, and the final scan.
     /// `None` (the seed-derived default) keeps legacy runs byte-identical.
     pub gc_interval: Option<std::time::Duration>,
+    /// When set, every node runs the file-backed WAL rooted here (one
+    /// `node-<id>` subdirectory per node). Required by the `CrashRestart`
+    /// profile — a restart from an in-memory WAL would lose the history.
+    /// `None` keeps the in-memory default every legacy scenario uses.
+    pub wal_dir: Option<PathBuf>,
 }
 
 impl ScenarioConfig {
@@ -149,6 +156,7 @@ impl ScenarioConfig {
             txns_per_client: 10,
             parallelism: Self::parallelism_from_seed(seed),
             gc_interval: None,
+            wal_dir: None,
         }
     }
 
@@ -165,6 +173,31 @@ impl ScenarioConfig {
             txns_per_client: 10,
             parallelism: Self::parallelism_from_seed(seed),
             gc_interval: None,
+            wal_dir: None,
+        }
+    }
+
+    /// A crash-restart drill: file-backed WAL rooted at `wal_dir`, the
+    /// victim node and crash stage drawn from the seed (see
+    /// [`FaultProfile::CrashRestart`]).
+    pub fn crash_restart(
+        seed: u64,
+        engine: EngineKind,
+        oracle: OracleKind,
+        wal_dir: impl Into<PathBuf>,
+    ) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            engine,
+            oracle,
+            profile: FaultProfile::CrashRestart,
+            nodes: 3,
+            keys: 48,
+            clients: 3,
+            txns_per_client: 10,
+            parallelism: Self::parallelism_from_seed(seed),
+            gc_interval: None,
+            wal_dir: Some(wal_dir.into()),
         }
     }
 
@@ -204,6 +237,9 @@ pub struct ScenarioOutcome {
     /// Versions pruned by the concurrent GC thread (`None` when the
     /// scenario ran without one).
     pub gc_pruned: Option<u64>,
+    /// Crash-restart drill: the victim node and its WAL replay summary
+    /// (`None` for profiles that never restart a node).
+    pub restart: Option<(NodeId, ReplaySummary)>,
 }
 
 impl ScenarioOutcome {
@@ -249,6 +285,9 @@ pub fn run_scenario_with_specs(
     };
     let mut sim = SimConfig::instant();
     sim.parallelism = config.parallelism;
+    if let Some(dir) = &config.wal_dir {
+        sim.wal = WalConfig::file(dir.clone());
+    }
     let cluster = ClusterBuilder::new(config.nodes as usize)
         .config(sim)
         .oracle_instance(oracle)
@@ -332,6 +371,7 @@ pub fn run_scenario_with_specs(
     let mut tm_cts: Option<Timestamp> = None;
     let mut migration_failure: Option<String> = None;
     let mut trace_violations: Vec<Violation> = Vec::new();
+    let mut restart: Option<(NodeId, ReplaySummary)> = None;
     match config.profile {
         FaultProfile::Tolerated => {
             let workers: Vec<_> = (0..config.clients)
@@ -428,6 +468,106 @@ pub fn run_scenario_with_specs(
                 w.join().expect("phase-2 client");
             }
         }
+        FaultProfile::CrashRestart => {
+            // Quiescent node-crash drill: seeded traffic commits onto the
+            // victim's durable WAL, the victim dies at a seeded stage of
+            // the copy pipeline and is rebuilt from disk, and a fresh
+            // engine must then drive the whole migration over the
+            // recovered node. The SI checker sees the stitched
+            // pre+post-restart history as one timeline.
+            assert!(
+                config.wal_dir.is_some(),
+                "CrashRestart scenarios need a file-backed WAL (set wal_dir)"
+            );
+            let (victim, stage) = plan
+                .crash_restart_spec()
+                .expect("CrashRestart plan carries a restart spec");
+            let phase1: Vec<_> = (0..config.clients)
+                .map(|client| {
+                    spawn_client(
+                        &cluster,
+                        &layout,
+                        &log,
+                        &seq,
+                        config,
+                        client + 1,
+                        config.txns_per_client / 2,
+                    )
+                })
+                .collect();
+            for w in phase1 {
+                w.join().expect("phase-1 client");
+            }
+            if stage >= 1 {
+                // A snapshot copy the crash then wipes (destination
+                // victim) or leaves stale on the destination (source
+                // victim); the post-restart migration re-copies either
+                // way because frozen installs are idempotent.
+                let snapshot_ts = cluster.oracle.start_ts(source);
+                copy_task_snapshots(
+                    &cluster,
+                    &task.shards,
+                    cluster.node(source),
+                    cluster.node(dest),
+                    snapshot_ts,
+                )
+                .expect("snapshot copy");
+            }
+            if stage >= 2 {
+                // Catch-up-era traffic: commits landing after the copy's
+                // snapshot that must survive the restart and still be
+                // present after the re-copy.
+                let extra: Vec<_> = (0..config.clients)
+                    .map(|client| {
+                        spawn_client(
+                            &cluster,
+                            &layout,
+                            &log,
+                            &seq,
+                            config,
+                            client + 50,
+                            config.txns_per_client / 2,
+                        )
+                    })
+                    .collect();
+                for w in extra {
+                    w.join().expect("catch-up client");
+                }
+            }
+            let summary = cluster.restart_node(victim).expect("restart_node");
+            restart = Some((victim, summary));
+            match config.engine.build().migrate(&cluster, &task) {
+                Ok(report) => {
+                    migration_committed = true;
+                    trace_violations = check_migration_traces(&report);
+                }
+                Err(e) => migration_failure = Some(format!("{e:?}")),
+            }
+            if migration_committed {
+                let row = cluster
+                    .current_owner(cluster.node(source), shard)
+                    .expect("owner row");
+                if row.node == dest && row.cts.is_valid() {
+                    tm_cts = Some(row.cts);
+                }
+            }
+            let phase2: Vec<_> = (0..config.clients)
+                .map(|client| {
+                    spawn_client(
+                        &cluster,
+                        &layout,
+                        &log,
+                        &seq,
+                        config,
+                        client + 100,
+                        config.txns_per_client / 2,
+                    )
+                })
+                .collect();
+            for w in phase2 {
+                w.join().expect("phase-2 client");
+            }
+        }
     }
     cluster.uninstall_fault_injector();
     gc_stop.store(true, Ordering::SeqCst);
@@ -484,6 +624,7 @@ pub fn run_scenario_with_specs(
         migration_committed,
         tm_cts,
         gc_pruned,
+        restart,
     }
 }
 
@@ -665,5 +806,19 @@ mod tests {
         let outcome = run_scenario(&cfg);
         assert!(outcome.passed(), "violations: {:?}", outcome.violations);
         assert!(outcome.plan.crash_point().is_some());
+    }
+
+    #[test]
+    fn restart_scenario_smoke() {
+        let dir =
+            std::env::temp_dir().join(format!("remus-chaos-restart-smoke-{}", std::process::id()));
+        let cfg = ScenarioConfig::crash_restart(7, EngineKind::Remus, OracleKind::Dts, &dir);
+        let outcome = run_scenario(&cfg);
+        std::fs::remove_dir_all(&dir).expect("tmpdir hygiene");
+        assert!(outcome.passed(), "violations: {:?}", outcome.violations);
+        let (victim, summary) = outcome.restart.expect("restart ran");
+        assert!(victim == NodeId(0) || victim == NodeId(1));
+        assert!(summary.committed > 0, "replay rebuilt nothing: {summary:?}");
+        assert!(outcome.migration_committed);
     }
 }

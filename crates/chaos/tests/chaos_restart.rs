@@ -1,0 +1,120 @@
+//! Crash-restart chaos matrix: a node is killed at a seeded stage of the
+//! copy/catch-up pipeline and rebuilt from its on-disk WAL segments via
+//! `Cluster::restart_node`; a fresh engine then drives the migration to
+//! completion over the recovered node. The SI checker must stay green on
+//! the stitched pre+post-restart history — snapshot reads,
+//! first-committer-wins, monotone shard-map routing across `T_m`, and
+//! committed-data preservation in the final scan.
+
+use remus_chaos::{run_scenario, EngineKind, ScenarioConfig};
+use remus_clock::OracleKind;
+use remus_common::NodeId;
+
+/// Restart drills only make sense for engines whose migration is a
+/// restartable control-plane procedure; Squall's pull protocol holds
+/// H-store partition locks client-side and is out of scope for the drill.
+const ENGINES: [EngineKind; 3] = [
+    EngineKind::Remus,
+    EngineKind::LockAndAbort,
+    EngineKind::WaitAndRemaster,
+];
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("remus-chaos-restart-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Seeds 0..12 cycle engine = `seed % 3` and oracle = `(seed / 3) % 2`, so
+/// the matrix covers the full engine x oracle cross product twice while
+/// the fault plan varies victim (source/dest) and crash stage per seed.
+#[test]
+fn restart_matrix_keeps_si_green_across_seeds() {
+    let mut combos = std::collections::HashSet::new();
+    let mut victims = std::collections::HashSet::new();
+    let mut stages = std::collections::HashSet::new();
+    for seed in 0..12u64 {
+        let engine = ENGINES[(seed % 3) as usize];
+        let oracle = if (seed / 3) % 2 == 0 {
+            OracleKind::Gts
+        } else {
+            OracleKind::Dts
+        };
+        let dir = tempdir(&format!("matrix-{seed}"));
+        let config = ScenarioConfig::crash_restart(seed, engine, oracle, &dir);
+        let outcome = run_scenario(&config);
+        std::fs::remove_dir_all(&dir).expect("tmpdir hygiene");
+        assert!(
+            outcome.passed(),
+            "seed {seed} ({engine:?}/{oracle:?}): {:#?}",
+            outcome.violations
+        );
+        assert!(
+            outcome.migration_committed,
+            "seed {seed}: migration did not commit after restart"
+        );
+        assert!(outcome.committed > 0, "seed {seed} committed nothing");
+        let (victim, summary) = outcome.restart.expect("restart ran");
+        assert!(
+            summary.committed > 0,
+            "seed {seed}: replay rebuilt no committed transactions: {summary:?}"
+        );
+        let (_, stage) = outcome.plan.crash_restart_spec().expect("restart spec");
+        combos.insert((engine.name(), oracle == OracleKind::Gts));
+        victims.insert(victim);
+        stages.insert(stage);
+    }
+    // The matrix must actually span the cross product and both victims.
+    assert_eq!(combos.len(), 6, "engine x oracle cross product not covered");
+    assert_eq!(
+        victims,
+        [NodeId(0), NodeId(1)].into_iter().collect(),
+        "both migration endpoints must get killed across the matrix"
+    );
+    assert!(
+        stages.len() >= 2,
+        "crash stages not varied across the matrix: {stages:?}"
+    );
+}
+
+/// The verdict (and the fault plan) of a restart scenario is a pure
+/// function of the seed even though thread interleavings are not.
+#[test]
+fn restart_scenario_is_deterministic_in_verdict() {
+    let dir_a = tempdir("det-a");
+    let a = run_scenario(&ScenarioConfig::crash_restart(
+        3,
+        EngineKind::Remus,
+        OracleKind::Gts,
+        &dir_a,
+    ));
+    std::fs::remove_dir_all(&dir_a).expect("tmpdir hygiene");
+    let dir_b = tempdir("det-b");
+    let b = run_scenario(&ScenarioConfig::crash_restart(
+        3,
+        EngineKind::Remus,
+        OracleKind::Gts,
+        &dir_b,
+    ));
+    std::fs::remove_dir_all(&dir_b).expect("tmpdir hygiene");
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.passed(), b.passed());
+    assert!(a.passed(), "violations: {:?}", a.violations);
+}
+
+/// A restarted node leaves no WAL segments behind once its tempdir is
+/// removed — the hygiene contract the CI tmpdir check enforces.
+#[test]
+fn restart_scenario_cleans_up_wal_segments() {
+    let dir = tempdir("hygiene");
+    let config = ScenarioConfig::crash_restart(1, EngineKind::LockAndAbort, OracleKind::Dts, &dir);
+    let outcome = run_scenario(&config);
+    assert!(outcome.passed(), "violations: {:?}", outcome.violations);
+    // The scenario wrote real segments for every node...
+    let node_dirs = std::fs::read_dir(&dir).expect("wal dir exists").count();
+    assert_eq!(node_dirs, 3, "one node-<id> subdirectory per node");
+    // ...and removing the root reclaims everything.
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    assert!(!dir.exists());
+}

@@ -6,7 +6,71 @@
 //! testbed (10 Gbps network, NVMe SSD) intact — see DESIGN.md §1 for each
 //! substitution.
 
+use std::path::PathBuf;
 use std::time::Duration;
+
+/// Which durability backend each node's write-ahead log runs on.
+///
+/// The default is [`WalBackendKind::Memory`]: appends are "durable" the
+/// moment they land in the in-memory log, restart loses everything, and
+/// every existing test keeps its exact timing. [`WalBackendKind::File`]
+/// adds the on-disk segment log (DESIGN.md §10): each node writes
+/// length-prefixed, CRC-protected records under `dir/node-<id>/`, commits
+/// wait on the group-commit flusher, and `Cluster::restart_node` can
+/// rebuild the node from the segments it left behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalBackendKind {
+    /// In-memory only; a restart loses the log (the pre-durability model).
+    Memory,
+    /// File-backed segment log rooted at `dir` (one `node-<id>` subdirectory
+    /// per node).
+    File {
+        /// Base directory for the cluster's WAL segments.
+        dir: PathBuf,
+    },
+}
+
+/// Write-ahead-log durability configuration, embedded in [`SimConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Durability backend; [`WalBackendKind::Memory`] by default.
+    pub backend: WalBackendKind,
+    /// Rotate to a new segment file once the current one holds at least this
+    /// many payload bytes. Small values exercise rotation in tests.
+    pub segment_bytes: u64,
+    /// Maximum records the group-commit flusher writes per fsync batch.
+    pub group_commit_batch: usize,
+}
+
+impl WalConfig {
+    /// The in-memory default: no files, no fsyncs, restart loses the log.
+    pub fn memory() -> Self {
+        WalConfig {
+            backend: WalBackendKind::Memory,
+            segment_bytes: 4 * 1024 * 1024,
+            group_commit_batch: 256,
+        }
+    }
+
+    /// A file-backed log rooted at `dir` with group commit on.
+    pub fn file(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            backend: WalBackendKind::File { dir: dir.into() },
+            ..WalConfig::memory()
+        }
+    }
+
+    /// True when the backend persists across restarts.
+    pub fn is_durable(&self) -> bool {
+        matches!(self.backend, WalBackendKind::File { .. })
+    }
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self::memory()
+    }
+}
 
 /// Worker-pool shape of the migration data plane.
 ///
@@ -220,6 +284,9 @@ pub struct SimConfig {
     /// deadlock/timeout guard trips. Generous: only failure-injection tests
     /// should ever hit it.
     pub lock_wait_timeout: Duration,
+    /// WAL durability backend (in-memory by default; file-backed segments
+    /// with group commit when pointed at a directory).
+    pub wal: WalConfig,
 }
 
 impl SimConfig {
@@ -248,6 +315,7 @@ impl SimConfig {
             max_clock_skew: Duration::ZERO,
             snapshot_copy_per_tuple: Duration::ZERO,
             lock_wait_timeout: Duration::from_secs(10),
+            wal: WalConfig::memory(),
         }
     }
 
@@ -275,6 +343,7 @@ impl SimConfig {
             max_clock_skew: Duration::from_millis(1),
             snapshot_copy_per_tuple: Duration::from_nanos(800),
             lock_wait_timeout: Duration::from_secs(30),
+            wal: WalConfig::memory(),
         }
     }
 }
@@ -352,5 +421,19 @@ mod tests {
             assert_eq!(c.hot_path.gts_lease, 1);
             assert!(c.hot_path.index_stripes >= 1);
         }
+    }
+
+    #[test]
+    fn wal_defaults_to_memory_in_every_preset() {
+        // Durability is opt-in: existing tests and benches keep the exact
+        // in-memory timing unless a config points the WAL at a directory.
+        for c in [SimConfig::instant(), SimConfig::paper_shaped()] {
+            assert_eq!(c.wal.backend, WalBackendKind::Memory);
+            assert!(!c.wal.is_durable());
+        }
+        let file = WalConfig::file("/tmp/wal");
+        assert!(file.is_durable());
+        assert!(file.segment_bytes > 0);
+        assert!(file.group_commit_batch >= 1);
     }
 }

@@ -51,6 +51,10 @@ pub enum DbError {
     /// Waited too long (lock wait or prepare-wait in tests with injected
     /// failures).
     Timeout(&'static str),
+    /// The on-disk WAL failed a structural check on reopen: bad header,
+    /// CRC mismatch, or an LSN break *before* the final segment's tail
+    /// (a torn tail is tolerated by truncation and never surfaces here).
+    WalCorrupt(String),
     /// Internal invariant violation; always a bug.
     Internal(String),
 }
@@ -95,6 +99,7 @@ impl fmt::Display for DbError {
             DbError::Migration(msg) => write!(f, "migration error: {msg}"),
             DbError::NodeUnavailable(n) => write!(f, "{n} unavailable"),
             DbError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            DbError::WalCorrupt(msg) => write!(f, "WAL corrupt: {msg}"),
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -59,11 +59,16 @@ pub enum InjectionPoint {
     /// In the chaos T_m driver, after exactly one (non-coordinator)
     /// participant committed. `Crash` here must roll forward on recovery.
     TmAfterFirstCommit,
+    /// In the chaos restart driver: a node's process-level state is dropped
+    /// at a seeded stage of the migration and the node is rebuilt from its
+    /// on-disk WAL via `Cluster::restart_node`. Only meaningful with the
+    /// file-backed WAL; `Crash` marks the seeded kill.
+    CrashRestart,
 }
 
 impl InjectionPoint {
     /// Every injection point, in pipeline order.
-    pub const ALL: [InjectionPoint; 10] = [
+    pub const ALL: [InjectionPoint; 11] = [
         InjectionPoint::SnapshotCopy,
         InjectionPoint::CopyChunk,
         InjectionPoint::PropagationShip,
@@ -74,6 +79,7 @@ impl InjectionPoint {
         InjectionPoint::TmAfterPrepare,
         InjectionPoint::TmBeforeCommit,
         InjectionPoint::TmAfterFirstCommit,
+        InjectionPoint::CrashRestart,
     ];
 }
 
@@ -90,6 +96,7 @@ impl fmt::Display for InjectionPoint {
             InjectionPoint::TmAfterPrepare => "tm-after-prepare",
             InjectionPoint::TmBeforeCommit => "tm-before-commit",
             InjectionPoint::TmAfterFirstCommit => "tm-after-first-commit",
+            InjectionPoint::CrashRestart => "crash-restart",
         };
         f.write_str(name)
     }

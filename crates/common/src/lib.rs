@@ -20,7 +20,9 @@ pub mod json;
 pub mod metrics;
 pub mod ts;
 
-pub use config::{HotPathConfig, ParallelismConfig, PlannerConfig, SimConfig};
+pub use config::{
+    HotPathConfig, ParallelismConfig, PlannerConfig, SimConfig, WalBackendKind, WalConfig,
+};
 pub use error::{DbError, DbResult};
 pub use fault::{FaultAction, FaultInjector, InjectionPoint, NoFaults};
 pub use ids::{ClientId, NodeId, ShardId, TableId, TxnId};

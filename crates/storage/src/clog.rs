@@ -365,6 +365,28 @@ impl Clog {
         }
         out
     }
+
+    /// Crash-restart simulation: wipes every entry back to the fresh state
+    /// (only the frozen bootstrap transaction committed), including the
+    /// seqlock commit cache — every slot is overwritten with the frozen
+    /// pair so no stale `Committed` answer can survive the reset. Callers
+    /// must be quiescent: no concurrent readers or writers (the restart
+    /// path tears the node down first), which is what makes the bare
+    /// slot-publish here sound without the usual shard write lock.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        for slot in self.cache.iter() {
+            // The frozen xid answers correctly from any slot; every other
+            // xid mismatches and falls through to the (now empty) maps.
+            slot.put(FROZEN_TXN, Timestamp::SNAPSHOT_MIN);
+        }
+        let mut shard = self.shard(FROZEN_TXN).write();
+        shard.insert(FROZEN_TXN, TxnStatus::Committed(Timestamp::SNAPSHOT_MIN));
+        drop(shard);
+        self.notify();
+    }
 }
 
 impl Default for Clog {
@@ -590,5 +612,37 @@ mod tests {
         assert_eq!(clog.status(prepared), TxnStatus::Prepared);
         assert_eq!(clog.status(remote), TxnStatus::InProgress);
         assert_eq!(clog.prepared_txns(), vec![prepared]);
+    }
+
+    #[test]
+    fn reset_forgets_everything_including_the_commit_cache() {
+        let clog = Clog::new();
+        // Commit enough transactions to populate many cache slots, and
+        // query them so the cached answers are hot.
+        let xs: Vec<TxnId> = (1..=200).map(xid).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            clog.begin(x);
+            clog.set_committed(x, Timestamp(10 + i as u64)).unwrap();
+            assert_eq!(
+                clog.status(x),
+                TxnStatus::Committed(Timestamp(10 + i as u64))
+            );
+        }
+        clog.reset();
+        assert!(clog.is_empty());
+        // No stale cache slot may keep answering `Committed` — a stale hit
+        // here would resurrect pre-crash commits after a restart.
+        for &x in &xs {
+            assert_eq!(clog.status(x), TxnStatus::Aborted, "{x:?} survived reset");
+        }
+        // The frozen bootstrap transaction is back (and cached).
+        assert_eq!(
+            clog.status(FROZEN_TXN),
+            TxnStatus::Committed(Timestamp::SNAPSHOT_MIN)
+        );
+        // The reset log accepts the same xids over again.
+        clog.begin(xs[0]);
+        clog.set_committed(xs[0], Timestamp(500)).unwrap();
+        assert_eq!(clog.status(xs[0]), TxnStatus::Committed(Timestamp(500)));
     }
 }

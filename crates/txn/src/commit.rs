@@ -31,8 +31,12 @@ use crate::node::NodeStorage;
 use crate::txn::{Txn, TxnState};
 
 /// Writes the prepare (validation) record and marks the CLOG prepared.
+///
+/// The prepare record is appended durably: once a participant votes yes it
+/// must be able to honor the decision after a crash, which requires the
+/// vote (and, transitively, the write records before it) on disk.
 pub fn prepare_participant(node: &NodeStorage, xid: TxnId) -> DbResult<()> {
-    node.wal.append(LogRecord::new(xid, LogOp::Prepare));
+    node.wal.append_durable(LogRecord::new(xid, LogOp::Prepare));
     node.clog.set_prepared(xid)
 }
 
@@ -45,7 +49,7 @@ pub fn prepare_participant(node: &NodeStorage, xid: TxnId) -> DbResult<()> {
 /// commit-dependency order.
 pub fn commit_prepared(node: &NodeStorage, xid: TxnId, ts: Timestamp) -> DbResult<()> {
     node.wal
-        .append(LogRecord::new(xid, LogOp::CommitPrepared(ts)));
+        .append_durable(LogRecord::new(xid, LogOp::CommitPrepared(ts)));
     node.clog.set_committed(xid, ts)?;
     node.deregister(xid);
     Ok(())
@@ -141,8 +145,9 @@ pub fn commit_txn(
             node.clog.set_prepared(txn.xid)?;
             let ts = oracle.commit_ts(node.id);
             // WAL before CLOG, for the same per-key replay-order reason as
-            // commit_prepared.
-            node.wal.append(LogRecord::new(txn.xid, LogOp::Commit(ts)));
+            // commit_prepared; durable before the commit is acknowledged.
+            node.wal
+                .append_durable(LogRecord::new(txn.xid, LogOp::Commit(ts)));
             node.clog.set_committed(txn.xid, ts)?;
             Ok(ts)
         })();

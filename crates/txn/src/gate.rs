@@ -48,6 +48,14 @@ impl ShardGate {
         self.closed.lock().get(&shard).copied().unwrap_or(false)
     }
 
+    /// Reopens every gate and wakes all blocked writers (crash restart: a
+    /// gate closed by a migration that died with the process must not
+    /// outlive it).
+    pub fn reset(&self) {
+        self.closed.lock().clear();
+        self.opened.notify_all();
+    }
+
     /// Blocks while the shard's gate is closed. Returns `true` if the call
     /// had to wait (the caller then re-validates shard placement — after an
     /// ownership transfer the shard is gone and the write must abort).

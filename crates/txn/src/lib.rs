@@ -18,12 +18,17 @@
 //!   the H-store-style shard lock table used to reproduce Squall's
 //!   partition-lock concurrency control.
 //! * [`net`] — the network-delay seam used to charge cross-node hops.
+//! * [`recovery`] — crash-restart WAL replay: after
+//!   [`node::NodeStorage::crash_reset`] drops volatile state and reopens
+//!   the WAL from its durability backend, [`recovery::replay_node_wal`]
+//!   redoes committed transactions and re-instates prepared in-doubt ones.
 
 pub mod commit;
 pub mod gate;
 pub mod hooks;
 pub mod net;
 pub mod node;
+pub mod recovery;
 pub mod txn;
 
 pub use commit::{
@@ -33,4 +38,5 @@ pub use gate::{LockMode, ShardGate, ShardLockTable};
 pub use hooks::{CommitMode, NoopHook, SyncCommitHook};
 pub use net::{DelayNetwork, Network, NoNetwork};
 pub use node::{NodeCounters, NodeStorage};
+pub use recovery::{replay_node_wal, ReplaySummary};
 pub use txn::Txn;

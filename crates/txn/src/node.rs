@@ -111,14 +111,18 @@ impl NodeStorage {
     }
 
     /// A fresh node scoped as `node=<id>` into a shared (cluster-wide)
-    /// metrics registry.
+    /// metrics registry. The WAL backend follows `config.wal`: in-memory
+    /// by default, or a `node-<id>` segment directory under the configured
+    /// root (recovering whatever an earlier incarnation left there).
     pub fn with_metrics(id: NodeId, config: SimConfig, registry: &MetricsRegistry) -> Self {
         let metrics = registry.scoped("node", id.raw());
         let counters = NodeCounters::new(&metrics);
+        let wal = Wal::for_node(&config.wal, id.raw())
+            .unwrap_or_else(|e| panic!("opening WAL for node {}: {e}", id.raw()));
         NodeStorage {
             id,
             clog: Arc::new(Clog::new()),
-            wal: Arc::new(Wal::new()),
+            wal: Arc::new(wal),
             gate: ShardGate::new(),
             config,
             metrics,
@@ -316,6 +320,50 @@ impl NodeStorage {
         }
         self.wal.truncate_until(upto);
         upto
+    }
+
+    // ---- crash restart ----
+
+    /// Simulates a process crash of this node: every piece of volatile
+    /// state is dropped — MVCC tables, CLOG, active/doomed registries,
+    /// replication slots, shard gates, the commit hook — and the WAL is
+    /// reopened from its durability backend (recovering everything modulo
+    /// a torn tail for the file backend; nothing for the in-memory one).
+    ///
+    /// Tables for shards in `keep` are not dropped but cleared in place,
+    /// preserving their `Arc` identity — the shard-map replica is shared
+    /// by reference with the cluster node wrapper and must survive.
+    ///
+    /// This only rebuilds the empty skeleton; callers follow up with
+    /// [`crate::recovery::replay_node_wal`] (and re-seed frozen bootstrap
+    /// state that never hits the WAL) to restore contents.
+    pub fn crash_reset(&self, keep: &[ShardId]) -> DbResult<()> {
+        self.wal.crash_and_reopen()?;
+        self.clog.reset();
+        {
+            let mut tables = self.tables.write();
+            tables.retain(|shard, table| {
+                if keep.contains(shard) {
+                    table.clear();
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        self.active.lock().clear();
+        self.doomed.lock().clear();
+        self.slots.lock().clear();
+        self.gate.reset();
+        self.uninstall_hook();
+        Ok(())
+    }
+
+    /// Bumps the xid sequence allocator to at least `seq + 1`, so ids
+    /// recovered from the WAL are never re-issued (re-beginning a resolved
+    /// xid is a CLOG protocol violation).
+    pub fn reserve_seq(&self, seq: u64) {
+        self.next_seq.fetch_max(seq + 1, Ordering::Relaxed);
     }
 
     // ---- commit hook ----

@@ -1,0 +1,63 @@
+//! The trivial in-memory durability backend (the default).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use remus_common::DbResult;
+
+use crate::backend::WalBackend;
+use crate::log::Lsn;
+use crate::record::LogRecord;
+
+/// In-memory "durability": an append is durable the moment it lands in the
+/// log, no fsyncs ever happen, and a crash loses the whole log. This is the
+/// pre-durability behavior every existing test and bench runs on.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    tail: AtomicU64,
+}
+
+impl MemBackend {
+    /// A fresh backend with nothing staged.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WalBackend for MemBackend {
+    fn stage(&self, lsn: Lsn, _record: &LogRecord) {
+        self.tail.store(lsn.0, Ordering::Release);
+    }
+
+    fn wait_durable(&self, _lsn: Lsn) -> DbResult<()> {
+        Ok(())
+    }
+
+    fn durable_lsn(&self) -> Lsn {
+        Lsn(self.tail.load(Ordering::Acquire))
+    }
+
+    fn fsyncs(&self) -> u64 {
+        0
+    }
+
+    fn shutdown(&self) {}
+
+    fn crash(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{LogOp, LogRecord};
+    use remus_common::TxnId;
+
+    #[test]
+    fn everything_is_instantly_durable() {
+        let b = MemBackend::new();
+        assert_eq!(b.durable_lsn(), Lsn(0));
+        b.stage(Lsn(1), &LogRecord::new(TxnId(1), LogOp::Prepare));
+        assert_eq!(b.durable_lsn(), Lsn(1));
+        b.wait_durable(Lsn(1)).unwrap();
+        assert_eq!(b.fsyncs(), 0);
+    }
+}

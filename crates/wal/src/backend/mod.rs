@@ -1,0 +1,66 @@
+//! Durability backends for the write-ahead log.
+//!
+//! The in-memory [`Wal`](crate::Wal) stays the authoritative *read* path
+//! for replay and propagation regardless of backend; a [`WalBackend`] is
+//! purely the durability half: it sees every record as it is appended
+//! (still under the log's append lock, so in LSN order), persists them,
+//! and answers "is LSN n durable yet?" for group commit.
+//!
+//! Two implementations exist: [`MemBackend`] (the default — everything is
+//! "durable" instantly and a restart loses the log) and [`FileBackend`]
+//! (the on-disk segment log of DESIGN.md §10 with fsync-coalescing group
+//! commit and torn-tail-tolerant reopen).
+
+pub mod file;
+pub mod mem;
+
+use std::fmt;
+use std::sync::Arc;
+
+use remus_common::DbResult;
+
+use crate::log::Lsn;
+use crate::record::LogRecord;
+
+pub use file::{FileBackend, FsyncData, RecoveredLog, SyncPolicy};
+pub use mem::MemBackend;
+
+/// The durability half of a [`Wal`](crate::Wal).
+///
+/// `stage` is invoked under the log's append mutex, so implementations
+/// observe records in strictly increasing, dense LSN order and may treat
+/// that as an invariant. Everything else can be called from any thread.
+pub trait WalBackend: Send + Sync + fmt::Debug {
+    /// Accepts the record just appended at `lsn` for persistence. Must not
+    /// block on I/O (the caller holds the append lock); file backends hand
+    /// the encoded frame to a background flusher.
+    fn stage(&self, lsn: Lsn, record: &LogRecord);
+
+    /// Blocks until every record with LSN ≤ `lsn` is durable — for the
+    /// file backend, until the fsync of the group-commit batch containing
+    /// `lsn` has completed.
+    fn wait_durable(&self, lsn: Lsn) -> DbResult<()>;
+
+    /// Highest LSN known durable.
+    fn durable_lsn(&self) -> Lsn;
+
+    /// Number of fsync calls issued so far (0 for in-memory).
+    fn fsyncs(&self) -> u64;
+
+    /// Notification that the in-memory log dropped all records ≤ `lsn`;
+    /// the backend may reclaim whole segments strictly below that point.
+    fn truncated_until(&self, _lsn: Lsn) {}
+
+    /// Graceful stop: persist everything already staged, then stop
+    /// background work. Idempotent.
+    fn shutdown(&self);
+
+    /// Simulated process kill: discard staged-but-unsynced records and stop
+    /// background work *without* a final sync. What was already durable
+    /// stays on disk; everything else is lost — exactly the prefix
+    /// semantics a real crash gives. Idempotent.
+    fn crash(&self);
+}
+
+/// Shared handle alias used by the log.
+pub type BackendHandle = Arc<dyn WalBackend>;

@@ -11,14 +11,25 @@
 //!
 //! The log itself ([`log::Wal`]) is an in-memory append-only sequence with
 //! monotonically increasing LSNs, blocking tail reads for the propagation
-//! process, and truncation of fully-consumed prefixes. Durability is out of
-//! scope (the paper's crash recovery is exercised through CLOG/2PC state,
-//! which we retain); what matters for the protocol is record *order*.
+//! process, and truncation of fully-consumed prefixes. Durability is
+//! pluggable through [`backend::WalBackend`]: the default in-memory
+//! backend keeps the original "order only" model, while
+//! [`backend::FileBackend`] persists every record to an on-disk segment
+//! log (versioned [`codec`], per-record CRC, group commit with fsync
+//! coalescing) that [`log::Wal::crash_and_reopen`] can rebuild the log
+//! from after a process-level crash — tolerating a torn tail, hard-failing
+//! on mid-log corruption. See DESIGN.md §10.
 
+pub mod backend;
+pub mod codec;
 pub mod log;
 pub mod queue;
 pub mod record;
 
+pub use backend::{
+    BackendHandle, FileBackend, FsyncData, MemBackend, RecoveredLog, SyncPolicy, WalBackend,
+};
+pub use codec::{crc32, decode_record, encode_record, encode_record_vec, CODEC_VERSION};
 pub use log::{Lsn, Wal, WalReader};
 pub use queue::UpdateCacheQueue;
 pub use record::{LogOp, LogRecord, WriteKind, WriteOp};

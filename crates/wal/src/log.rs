@@ -1,11 +1,24 @@
 //! The append-only log with LSNs, blocking tail reads, and truncation.
+//!
+//! The in-memory record deque is the authoritative *read* path (replay,
+//! propagation) no matter which durability backend is attached; the
+//! backend ([`crate::backend::WalBackend`]) sees every record as it is
+//! appended and owns persistence. [`Wal::append`] stages without waiting
+//! (fine for records whose loss a crash may tolerate — begins, writes,
+//! aborts, whose transactions simply roll back on recovery);
+//! [`Wal::append_durable`] additionally blocks until the record's
+//! group-commit batch is synced, which is what commit-path records use.
 
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use remus_common::{DbResult, WalBackendKind, WalConfig};
 
+use crate::backend::{BackendHandle, FileBackend, FsyncData, MemBackend, SyncPolicy};
 use crate::record::LogRecord;
 
 /// A log sequence number. The first record appended gets LSN 1; LSN 0 means
@@ -24,7 +37,7 @@ impl std::fmt::Display for Lsn {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct LogInner {
     /// Records with LSN in `(base, base + records.len()]`. Stored behind
     /// `Arc` so readers (replay, propagation — often several per record
@@ -33,6 +46,22 @@ struct LogInner {
     records: VecDeque<Arc<LogRecord>>,
     /// LSN of the last truncated-away record (0 if nothing truncated).
     base: u64,
+    /// Bumped by [`Wal::crash_and_reopen`]: a parked reader that observes
+    /// a generation change is reading across a crash, which is a protocol
+    /// bug it must not sleep through.
+    generation: u64,
+    /// Durability backend; staged under this mutex so it observes appends
+    /// in LSN order.
+    backend: BackendHandle,
+}
+
+/// How a file-backed log was opened, kept so [`Wal::crash_and_reopen`] can
+/// rebuild from the same directory with the same sync policy.
+#[derive(Debug, Clone)]
+struct FileDurability {
+    dir: PathBuf,
+    config: WalConfig,
+    sync: Arc<dyn SyncPolicy>,
 }
 
 /// One node's write-ahead log.
@@ -40,26 +69,127 @@ struct LogInner {
 /// Appends are serialized by a mutex (the real engine serializes them
 /// through the WAL insert lock too); readers tail the log by LSN and can
 /// block until new records arrive.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Wal {
     inner: Mutex<LogInner>,
     grown: Condvar,
+    appends: AtomicU64,
+    recovered_torn_tail: AtomicU64,
+    durability: Option<FileDurability>,
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Wal {
-    /// An empty log.
+    /// An empty log on the in-memory backend (no durability).
     pub fn new() -> Self {
-        Self::default()
+        Wal::from_parts(Arc::new(MemBackend::new()), VecDeque::new(), 0, 0, None)
+    }
+
+    /// A log on a caller-provided backend, starting empty. Used by backend
+    /// unit tests; `crash_and_reopen` on such a log falls back to a fresh
+    /// in-memory backend.
+    pub fn with_backend(backend: BackendHandle) -> Self {
+        Wal::from_parts(backend, VecDeque::new(), 0, 0, None)
+    }
+
+    /// Opens (or creates) a file-backed log rooted at `dir`, recovering
+    /// whatever intact records the directory holds.
+    pub fn open_file(dir: &Path, config: &WalConfig) -> DbResult<Wal> {
+        Wal::open_file_with_sync(dir, config, Arc::new(FsyncData))
+    }
+
+    /// [`Wal::open_file`] with an explicit [`SyncPolicy`] (tests inject
+    /// blocking or failing policies here).
+    pub fn open_file_with_sync(
+        dir: &Path,
+        config: &WalConfig,
+        sync: Arc<dyn SyncPolicy>,
+    ) -> DbResult<Wal> {
+        let (backend, opened) = FileBackend::open(dir, config, Arc::clone(&sync))?;
+        Ok(Wal::from_parts(
+            Arc::new(backend),
+            opened.records.into_iter().map(Arc::new).collect(),
+            opened.base,
+            opened.torn_tails,
+            Some(FileDurability {
+                dir: dir.to_path_buf(),
+                config: config.clone(),
+                sync,
+            }),
+        ))
+    }
+
+    /// The log for node `node` under `config`: in-memory by default, or a
+    /// `node-<id>` subdirectory of the configured WAL root.
+    pub fn for_node(config: &WalConfig, node: u32) -> DbResult<Wal> {
+        match &config.backend {
+            WalBackendKind::Memory => Ok(Wal::new()),
+            WalBackendKind::File { dir } => {
+                Wal::open_file(&dir.join(format!("node-{node}")), config)
+            }
+        }
+    }
+
+    fn from_parts(
+        backend: BackendHandle,
+        records: VecDeque<Arc<LogRecord>>,
+        base: u64,
+        torn_tails: u64,
+        durability: Option<FileDurability>,
+    ) -> Wal {
+        Wal {
+            inner: Mutex::new(LogInner {
+                records,
+                base,
+                generation: 0,
+                backend,
+            }),
+            grown: Condvar::new(),
+            appends: AtomicU64::new(0),
+            recovered_torn_tail: AtomicU64::new(torn_tails),
+            durability,
+        }
     }
 
     /// Appends a record, returning its LSN. This is the "flush to WAL"
-    /// point: a record is visible to readers as soon as this returns.
+    /// point: a record is visible to readers as soon as this returns. The
+    /// record is staged with the durability backend but not waited on —
+    /// commit-path records use [`Wal::append_durable`] instead.
     pub fn append(&self, record: LogRecord) -> Lsn {
         let mut inner = self.inner.lock();
+        let lsn = Lsn(inner.base + inner.records.len() as u64 + 1);
+        inner.backend.stage(lsn, &record);
         inner.records.push_back(Arc::new(record));
-        let lsn = Lsn(inner.base + inner.records.len() as u64);
         drop(inner);
+        self.appends.fetch_add(1, Ordering::Relaxed);
         self.grown.notify_all();
+        lsn
+    }
+
+    /// Appends a record and blocks until it is durable — for the file
+    /// backend, until the fsync of the group-commit batch containing its
+    /// LSN completes. In-memory backends return immediately, so the
+    /// commit path costs nothing extra under the default config.
+    pub fn append_durable(&self, record: LogRecord) -> Lsn {
+        let (lsn, backend) = {
+            let mut inner = self.inner.lock();
+            let lsn = Lsn(inner.base + inner.records.len() as u64 + 1);
+            inner.backend.stage(lsn, &record);
+            inner.records.push_back(Arc::new(record));
+            (lsn, Arc::clone(&inner.backend))
+        };
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.grown.notify_all();
+        // A lost fsync on the commit path is unrecoverable in this model:
+        // the caller already promised durability to its coordinator.
+        backend
+            .wait_durable(lsn)
+            .expect("WAL durability failure on commit path");
         lsn
     }
 
@@ -68,6 +198,28 @@ impl Wal {
     pub fn flush_lsn(&self) -> Lsn {
         let inner = self.inner.lock();
         Lsn(inner.base + inner.records.len() as u64)
+    }
+
+    /// Highest LSN the backend reports durable (equals [`Wal::flush_lsn`]
+    /// on the in-memory backend).
+    pub fn durable_lsn(&self) -> Lsn {
+        self.inner.lock().backend.durable_lsn()
+    }
+
+    /// Lifetime count of records appended (both append flavors).
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of fsyncs issued by the durability backend.
+    pub fn fsyncs(&self) -> u64 {
+        self.inner.lock().backend.fsyncs()
+    }
+
+    /// Torn-tail truncations performed across every open/reopen of this
+    /// log (the `wal.recovered_torn_tail` metric).
+    pub fn recovered_torn_tail(&self) -> u64 {
+        self.recovered_torn_tail.load(Ordering::Relaxed)
     }
 
     /// Returns the record at `lsn`, if it exists and was not truncated.
@@ -90,6 +242,42 @@ impl Wal {
             inner.records.pop_front();
             inner.base += 1;
         }
+        let base = Lsn(inner.base);
+        inner.backend.truncated_until(base);
+        drop(inner);
+        // Wake parked readers so one left at or below the new base
+        // observes the movement (and trips the truncated-read panic)
+        // instead of sleeping out its timeout.
+        self.grown.notify_all();
+    }
+
+    /// Simulates a process crash and restart of this log: the in-memory
+    /// state is dropped, staged-but-unsynced records are discarded, and
+    /// the log is repopulated from whatever the durability backend can
+    /// recover — everything for a file-backed log (modulo a torn tail),
+    /// nothing for the in-memory backend.
+    pub fn crash_and_reopen(&self) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        inner.backend.crash();
+        match &self.durability {
+            None => {
+                inner.records.clear();
+                inner.base = 0;
+                inner.backend = Arc::new(MemBackend::new());
+            }
+            Some(d) => {
+                let (backend, opened) = FileBackend::open(&d.dir, &d.config, Arc::clone(&d.sync))?;
+                inner.records = opened.records.into_iter().map(Arc::new).collect();
+                inner.base = opened.base;
+                self.recovered_torn_tail
+                    .fetch_add(opened.torn_tails, Ordering::Relaxed);
+                inner.backend = Arc::new(backend);
+            }
+        }
+        inner.generation += 1;
+        drop(inner);
+        self.grown.notify_all();
+        Ok(())
     }
 
     /// Number of retained records.
@@ -109,7 +297,13 @@ impl Wal {
     fn wait_for(&self, lsn: Lsn, timeout: Duration) -> Option<Arc<LogRecord>> {
         let deadline = Instant::now() + timeout;
         let mut inner = self.inner.lock();
+        let generation = inner.generation;
         loop {
+            if inner.generation != generation {
+                // The log was torn down and reopened from disk while this
+                // reader was parked: its position is meaningless now.
+                panic!("WAL crashed and reopened under a parked reader at {lsn}");
+            }
             if lsn.0 <= inner.base {
                 // Truncated from under the reader: a protocol bug.
                 panic!("WAL read at truncated {lsn} (base {})", inner.base);
@@ -124,6 +318,14 @@ impl Wal {
             }
             self.grown.wait_for(&mut inner, deadline - now);
         }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Drain and stop the flusher so segment files are complete before
+        // test tempdirs are removed. Idempotent; no-op for in-memory.
+        self.inner.get_mut().backend.shutdown();
     }
 }
 
@@ -203,6 +405,7 @@ mod tests {
         assert_eq!(wal.append(rec(1)), Lsn(1));
         assert_eq!(wal.append(rec(2)), Lsn(2));
         assert_eq!(wal.flush_lsn(), Lsn(2));
+        assert_eq!(wal.appends(), 2);
     }
 
     #[test]
@@ -331,5 +534,55 @@ mod tests {
         wal.truncate_until(Lsn(1));
         let mut reader = wal.reader_from(Lsn::ZERO);
         reader.next_blocking(Duration::from_millis(5));
+    }
+
+    #[test]
+    fn mem_backend_is_instantly_durable() {
+        let wal = Wal::new();
+        assert_eq!(wal.append_durable(rec(1)), Lsn(1));
+        assert_eq!(wal.durable_lsn(), Lsn(1));
+        assert_eq!(wal.fsyncs(), 0);
+    }
+
+    #[test]
+    fn mem_crash_loses_everything() {
+        let wal = Arc::new(Wal::new());
+        for n in 1..=4 {
+            wal.append(rec(n));
+        }
+        wal.crash_and_reopen().unwrap();
+        assert_eq!(wal.flush_lsn(), Lsn::ZERO);
+        assert_eq!(wal.retained(), 0);
+        // The log restarts dense at 1.
+        assert_eq!(wal.append(rec(9)), Lsn(1));
+    }
+
+    /// Satellite regression: a reader parked in `next_batch_blocking` with
+    /// a long timeout must observe a crash/reopen (or a truncation that
+    /// passes it) promptly — watchdog-bounded — instead of sleeping the
+    /// timeout out. Before the fix, neither `truncate_until` nor reopen
+    /// notified `grown`, so the reader hung.
+    #[test]
+    fn parked_reader_is_woken_by_reopen_not_watchdog() {
+        let wal = Arc::new(Wal::new());
+        wal.append(rec(1));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader_wal = Arc::clone(&wal);
+        let t = std::thread::spawn(move || {
+            let mut reader = reader_wal.reader_from(Lsn(1));
+            // Parks waiting for LSN 2 with a far-future timeout.
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                reader.next_batch_blocking(8, Duration::from_secs(30))
+            }));
+            tx.send(out.is_err()).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        wal.crash_and_reopen().unwrap();
+        // Watchdog: the reader must resolve well before its own 30s wait.
+        let panicked = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("parked reader hung through crash_and_reopen");
+        assert!(panicked, "reader crossed a crash without noticing");
+        t.join().unwrap();
     }
 }

@@ -1,0 +1,131 @@
+//! Property tests for the `LogRecord` codec and the on-disk frame CRC
+//! (satellite of DESIGN.md §10): arbitrary records round-trip byte-exactly
+//! through encode/decode, and every single-bit flip of an encoded frame is
+//! rejected by the CRC or a structural check — damage can never silently
+//! decode into a different record.
+
+use proptest::prelude::*;
+use remus_common::{ShardId, Timestamp, TxnId};
+use remus_storage::Value;
+use remus_wal::{crc32, decode_record, encode_record_vec, LogOp, LogRecord, WriteKind, WriteOp};
+
+/// Frame prefix bytes (payload length + CRC), mirroring the segment format.
+const FRAME_PREFIX_LEN: usize = 8;
+
+fn arb_record() -> impl Strategy<Value = LogRecord> {
+    let write = (
+        any::<u64>(),
+        any::<u64>(),
+        0..4u8,
+        proptest::collection::vec(any::<u8>(), 0..48),
+    )
+        .prop_map(|(shard, key, kind, value)| {
+            LogOp::Write(WriteOp {
+                shard: ShardId(shard),
+                key,
+                kind: match kind {
+                    0 => WriteKind::Insert,
+                    1 => WriteKind::Update,
+                    2 => WriteKind::Delete,
+                    _ => WriteKind::Lock,
+                },
+                value: Value::copy_from_slice(&value),
+            })
+        });
+    let op = prop_oneof![
+        any::<u64>().prop_map(|t| LogOp::Begin(Timestamp(t))),
+        write,
+        Just(LogOp::Prepare),
+        any::<u64>().prop_map(|t| LogOp::Commit(Timestamp(t))),
+        Just(LogOp::Abort),
+        any::<u64>().prop_map(|t| LogOp::CommitPrepared(Timestamp(t))),
+        Just(LogOp::RollbackPrepared),
+    ];
+    (any::<u64>(), op).prop_map(|(xid, op)| LogRecord {
+        xid: TxnId(xid),
+        op,
+    })
+}
+
+/// Builds one on-disk frame exactly as the flusher does:
+/// `payload_len u32 LE | crc32 u32 LE | payload`, payload = `lsn u64 LE` +
+/// codec-encoded record.
+fn encode_frame(lsn: u64, record: &LogRecord) -> Vec<u8> {
+    let mut payload = lsn.to_le_bytes().to_vec();
+    payload.extend_from_slice(&encode_record_vec(record));
+    let crc = crc32(&payload);
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes a buffer holding exactly one frame under the opener's rules:
+/// plausible length, CRC over the payload, and a decodable record. Any
+/// deviation is a rejection.
+fn decode_frame(buf: &[u8]) -> Result<(u64, LogRecord), String> {
+    if buf.len() < FRAME_PREFIX_LEN {
+        return Err("short frame prefix".into());
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if !(8..=(1u32 << 24)).contains(&len) {
+        return Err("implausible frame length".into());
+    }
+    let end = FRAME_PREFIX_LEN
+        .checked_add(len as usize)
+        .ok_or("frame length overflow")?;
+    if end != buf.len() {
+        return Err("frame does not span the buffer".into());
+    }
+    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let payload = &buf[FRAME_PREFIX_LEN..end];
+    if crc32(payload) != crc {
+        return Err("CRC mismatch".into());
+    }
+    let lsn = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let record = decode_record(&payload[8..]).map_err(|e| format!("{e:?}"))?;
+    Ok((lsn, record))
+}
+
+proptest! {
+    /// encode → decode → re-encode is the identity on bytes for every
+    /// representable record.
+    #[test]
+    fn records_round_trip_byte_exactly(record in arb_record()) {
+        let bytes = encode_record_vec(&record);
+        let decoded = decode_record(&bytes).expect("decode freshly encoded record");
+        prop_assert_eq!(&decoded, &record);
+        prop_assert_eq!(encode_record_vec(&decoded), bytes);
+    }
+
+    /// Every single-bit flip anywhere in an encoded frame — length field,
+    /// CRC field, LSN, or record body — is rejected. No flip may silently
+    /// decode (CRC-32 detects all single-bit errors; length-field flips
+    /// are caught structurally).
+    #[test]
+    fn every_single_bit_flip_is_rejected(record in arb_record(), lsn in 1u64..u64::MAX) {
+        let frame = encode_frame(lsn, &record);
+        decode_frame(&frame).expect("pristine frame decodes");
+        for bit in 0..frame.len() * 8 {
+            let mut damaged = frame.clone();
+            damaged[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(
+                decode_frame(&damaged).is_err(),
+                "bit flip at {bit} decoded silently"
+            );
+        }
+    }
+
+    /// Truncating a frame at any interior byte offset is rejected — the
+    /// structural checks the torn-tail detector relies on.
+    #[test]
+    fn every_truncation_is_rejected(record in arb_record(), lsn in 1u64..u64::MAX) {
+        let frame = encode_frame(lsn, &record);
+        for cut in 0..frame.len() {
+            prop_assert!(
+                decode_frame(&frame[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+}
