@@ -36,7 +36,8 @@ use crate::txn::{Txn, TxnState};
 /// must be able to honor the decision after a crash, which requires the
 /// vote (and, transitively, the write records before it) on disk.
 pub fn prepare_participant(node: &NodeStorage, xid: TxnId) -> DbResult<()> {
-    node.wal.append_durable(LogRecord::new(xid, LogOp::Prepare));
+    node.wal
+        .append_durable(LogRecord::new(xid, LogOp::Prepare))?;
     node.clog.set_prepared(xid)
 }
 
@@ -49,7 +50,7 @@ pub fn prepare_participant(node: &NodeStorage, xid: TxnId) -> DbResult<()> {
 /// commit-dependency order.
 pub fn commit_prepared(node: &NodeStorage, xid: TxnId, ts: Timestamp) -> DbResult<()> {
     node.wal
-        .append_durable(LogRecord::new(xid, LogOp::CommitPrepared(ts)));
+        .append_durable(LogRecord::new(xid, LogOp::CommitPrepared(ts)))?;
     node.clog.set_committed(xid, ts)?;
     node.deregister(xid);
     Ok(())
@@ -147,7 +148,7 @@ pub fn commit_txn(
             // WAL before CLOG, for the same per-key replay-order reason as
             // commit_prepared; durable before the commit is acknowledged.
             node.wal
-                .append_durable(LogRecord::new(txn.xid, LogOp::Commit(ts)));
+                .append_durable(LogRecord::new(txn.xid, LogOp::Commit(ts)))?;
             node.clog.set_committed(txn.xid, ts)?;
             Ok(ts)
         })();

@@ -374,7 +374,8 @@ mod tests {
         node.wal
             .append(LogRecord::new(xid, write(9, 42, WriteKind::Insert, "d")));
         node.wal
-            .append_durable(LogRecord::new(xid, LogOp::Commit(Timestamp(3))));
+            .append_durable(LogRecord::new(xid, LogOp::Commit(Timestamp(3))))
+            .unwrap();
 
         node.crash_reset(&[kept]).unwrap();
         // Kept table survives as the same allocation; the other is gone.

@@ -118,6 +118,10 @@ struct Staging {
 struct DurableState {
     lsn: u64,
     error: Option<String>,
+    /// Set (under `durable`) when the flusher thread returns, for any
+    /// reason. Once true, no LSN beyond `lsn` can ever become durable, so
+    /// waiters fail immediately instead of sleeping out their timeout.
+    flusher_exited: bool,
 }
 
 #[derive(Debug)]
@@ -181,6 +185,7 @@ impl FileBackend {
             durable: Mutex::new(DurableState {
                 lsn: recovered.tail(),
                 error: None,
+                flusher_exited: false,
             }),
             durable_cv: Condvar::new(),
             fsyncs: AtomicU64::new(0),
@@ -235,6 +240,12 @@ impl WalBackend for FileBackend {
     fn stage(&self, lsn: Lsn, record: &LogRecord) {
         let frame = encode_frame(lsn.0, record);
         let mut st = self.shared.staged.lock();
+        if st.mode != Mode::Run {
+            // The flusher is stopping or gone: this frame can never become
+            // durable, so dropping it (the caller's wait_durable fails
+            // fast) beats buffering it unboundedly.
+            return;
+        }
         st.frames.push((lsn.0, frame));
         drop(st);
         self.shared.staged_cv.notify_one();
@@ -248,6 +259,11 @@ impl WalBackend for FileBackend {
             }
             if let Some(e) = &d.error {
                 return Err(DbError::Internal(e.clone()));
+            }
+            if d.flusher_exited {
+                return Err(DbError::Internal(format!(
+                    "wal backend stopped before {lsn} became durable"
+                )));
             }
             if self
                 .shared
@@ -346,7 +362,16 @@ impl FlusherIo {
         header.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
         header.extend_from_slice(&first_lsn.to_le_bytes());
         f.write_all(&header)?;
-        shared.segments.lock().push((first_lsn, path));
+        // Recovery can keep a record-less newest segment (a torn first
+        // frame truncates it back to its header), which open() already
+        // registered under this same first_lsn — and File::create just
+        // re-created that very file. Replace the stale entry instead of
+        // pushing a duplicate, or truncated_until would count the pair as
+        // prefix + successor and unlink the file the flusher is writing.
+        let mut segs = shared.segments.lock();
+        segs.retain(|(lsn, _)| *lsn != first_lsn);
+        segs.push((first_lsn, path));
+        drop(segs);
         self.cur = Some(f);
         self.cur_bytes = SEGMENT_HEADER_LEN as u64;
         Ok(())
@@ -378,11 +403,20 @@ fn run_flusher(shared: Arc<Shared>, mut io: FlusherIo) {
             }
             Err(e) => {
                 shared.durable.lock().error = Some(format!("wal flusher: {e}"));
+                // Latch the death in the staging state too, so stage()
+                // stops buffering frames that can never be synced.
+                let mut st = shared.staged.lock();
+                st.mode = Mode::Abandon;
+                st.frames.clear();
+                drop(st);
                 shared.durable_cv.notify_all();
                 break;
             }
         }
     }
+    let mut d = shared.durable.lock();
+    d.flusher_exited = true;
+    drop(d);
     shared.durable_cv.notify_all();
 }
 
@@ -713,5 +747,103 @@ mod tests {
         fs::write(victim, data).unwrap();
         let err = FileBackend::open(&dir.0, &config, Arc::new(FsyncData)).unwrap_err();
         assert!(matches!(err, DbError::WalCorrupt(_)), "{err:?}");
+    }
+
+    /// Review regression: a torn *first* frame leaves recovery holding a
+    /// header-only newest segment. The first post-reopen rotation re-creates
+    /// that same `wal-<lsn>.seg`; it must replace the recovered entry in the
+    /// segment list, not duplicate it — a duplicate made `truncated_until`
+    /// unlink the live segment and lose acknowledged-durable records.
+    #[test]
+    fn reopen_after_torn_first_frame_keeps_new_durable_records() {
+        let dir = TempDir::new("hdronly");
+        let config = cfg(1 << 20);
+        {
+            let (b, _) = FileBackend::open(&dir.0, &config, Arc::new(FsyncData)).unwrap();
+            for n in 1..=2u64 {
+                b.stage(Lsn(n), &rec(n));
+            }
+            b.wait_durable(Lsn(2)).unwrap();
+            b.shutdown();
+        }
+        // Tear the log inside its very first frame.
+        let segs = list_segments(&dir.0).unwrap();
+        assert_eq!(segs.len(), 1);
+        let f = OpenOptions::new().write(true).open(&segs[0].1).unwrap();
+        f.set_len(SEGMENT_HEADER_LEN as u64 + 5).unwrap();
+        drop(f);
+        {
+            let (b, opened) = FileBackend::open(&dir.0, &config, Arc::new(FsyncData)).unwrap();
+            assert_eq!(opened.records.len(), 0);
+            assert_eq!(opened.torn_tails, 1);
+            for n in 1..=5u64 {
+                b.stage(Lsn(n), &rec(n));
+            }
+            b.wait_durable(Lsn(5)).unwrap();
+            assert_eq!(
+                b.shared.segments.lock().len(),
+                1,
+                "rotation duplicated the recovered header-only segment entry"
+            );
+            b.truncated_until(Lsn(3));
+            b.shutdown();
+        }
+        let (b, opened) = FileBackend::open(&dir.0, &config, Arc::new(FsyncData)).unwrap();
+        assert_eq!(opened.base, 0);
+        assert_eq!(
+            opened.records.len(),
+            5,
+            "acknowledged-durable records lost after header-only-segment reopen"
+        );
+        b.shutdown();
+    }
+
+    /// Once the flusher has died on a sync error, later stages must be
+    /// dropped (not buffered forever) and waiters must fail immediately
+    /// instead of burning the 10s group-commit timeout each.
+    #[test]
+    fn stage_and_wait_fail_fast_after_flusher_death() {
+        #[derive(Debug)]
+        struct BrokenSync;
+        impl SyncPolicy for BrokenSync {
+            fn sync(&self, _file: &File) -> io::Result<()> {
+                Err(io::Error::other("injected sync failure"))
+            }
+        }
+        let dir = TempDir::new("failfast");
+        let config = cfg(1 << 20);
+        let (b, _) = FileBackend::open(&dir.0, &config, Arc::new(BrokenSync)).unwrap();
+        b.stage(Lsn(1), &rec(1));
+        assert!(b.wait_durable(Lsn(1)).is_err());
+        let start = std::time::Instant::now();
+        for n in 2..=10u64 {
+            b.stage(Lsn(n), &rec(n));
+        }
+        assert!(
+            b.shared.staged.lock().frames.is_empty(),
+            "frames buffered after flusher death"
+        );
+        assert!(b.wait_durable(Lsn(10)).is_err());
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "wait_durable slept out the timeout on a dead flusher"
+        );
+        b.shutdown();
+    }
+
+    /// After a clean shutdown, waiting on an LSN beyond the durable tail
+    /// errors promptly; already-durable LSNs still report success.
+    #[test]
+    fn wait_after_shutdown_fails_fast() {
+        let dir = TempDir::new("shutdownwait");
+        let config = cfg(1 << 20);
+        let (b, _) = FileBackend::open(&dir.0, &config, Arc::new(FsyncData)).unwrap();
+        b.stage(Lsn(1), &rec(1));
+        b.wait_durable(Lsn(1)).unwrap();
+        b.shutdown();
+        let start = std::time::Instant::now();
+        assert!(b.wait_durable(Lsn(2)).is_err());
+        assert!(start.elapsed() < Duration::from_secs(2));
+        b.wait_durable(Lsn(1)).unwrap();
     }
 }

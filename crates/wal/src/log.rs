@@ -175,7 +175,12 @@ impl Wal {
     /// backend, until the fsync of the group-commit batch containing its
     /// LSN completes. In-memory backends return immediately, so the
     /// commit path costs nothing extra under the default config.
-    pub fn append_durable(&self, record: LogRecord) -> Lsn {
+    ///
+    /// Durability failure (sync error, stopped backend, group-commit
+    /// timeout) is returned, not panicked: the record is already in the
+    /// in-memory log but was never acknowledged durable, so the caller
+    /// must treat its transaction as un-committed and abort it.
+    pub fn append_durable(&self, record: LogRecord) -> DbResult<Lsn> {
         let (lsn, backend) = {
             let mut inner = self.inner.lock();
             let lsn = Lsn(inner.base + inner.records.len() as u64 + 1);
@@ -185,12 +190,8 @@ impl Wal {
         };
         self.appends.fetch_add(1, Ordering::Relaxed);
         self.grown.notify_all();
-        // A lost fsync on the commit path is unrecoverable in this model:
-        // the caller already promised durability to its coordinator.
-        backend
-            .wait_durable(lsn)
-            .expect("WAL durability failure on commit path");
-        lsn
+        backend.wait_durable(lsn)?;
+        Ok(lsn)
     }
 
     /// The LSN of the newest record (the flush/tail position used for
@@ -237,14 +238,17 @@ impl Wal {
     /// Drops all records with LSN <= `upto`. Readers must have consumed
     /// them; reading a truncated LSN is an error surfaced by [`WalReader`].
     pub fn truncate_until(&self, upto: Lsn) {
-        let mut inner = self.inner.lock();
-        while inner.base < upto.0 && !inner.records.is_empty() {
-            inner.records.pop_front();
-            inner.base += 1;
-        }
-        let base = Lsn(inner.base);
-        inner.backend.truncated_until(base);
-        drop(inner);
+        let (backend, base) = {
+            let mut inner = self.inner.lock();
+            while inner.base < upto.0 && !inner.records.is_empty() {
+                inner.records.pop_front();
+                inner.base += 1;
+            }
+            (Arc::clone(&inner.backend), Lsn(inner.base))
+        };
+        // Segment reclamation deletes files; do that I/O off the inner
+        // lock so concurrent appends and reads are not stalled behind it.
+        backend.truncated_until(base);
         // Wake parked readers so one left at or below the new base
         // observes the movement (and trips the truncated-read panic)
         // instead of sleeping out its timeout.
@@ -539,7 +543,7 @@ mod tests {
     #[test]
     fn mem_backend_is_instantly_durable() {
         let wal = Wal::new();
-        assert_eq!(wal.append_durable(rec(1)), Lsn(1));
+        assert_eq!(wal.append_durable(rec(1)).unwrap(), Lsn(1));
         assert_eq!(wal.durable_lsn(), Lsn(1));
         assert_eq!(wal.fsyncs(), 0);
     }

@@ -110,7 +110,7 @@ fn concurrent_committers_coalesce_fsyncs() {
             let wal = Arc::clone(&wal);
             std::thread::spawn(move || {
                 for i in 0..PER_THREAD {
-                    wal.append_durable(rec(t * PER_THREAD + i + 1));
+                    wal.append_durable(rec(t * PER_THREAD + i + 1)).unwrap();
                 }
             })
         })
@@ -174,7 +174,7 @@ fn no_commit_is_acknowledged_before_its_batch_is_durable() {
         let wal = Arc::clone(&wal);
         let acked = Arc::clone(&acked);
         std::thread::spawn(move || {
-            let lsn = wal.append_durable(rec(1));
+            let lsn = wal.append_durable(rec(1)).unwrap();
             acked.store(true, Ordering::SeqCst);
             lsn
         })
@@ -207,4 +207,20 @@ fn a_failed_sync_rejects_the_waiting_commit() {
     // Nothing was ever acknowledged as durable.
     assert_eq!(backend.durable_lsn(), Lsn(0));
     backend.shutdown();
+}
+
+/// The full commit path: `Wal::append_durable` returns the durability
+/// failure to the committer (who aborts the transaction) instead of
+/// panicking the process.
+#[test]
+fn append_durable_surfaces_sync_failure_as_an_error() {
+    let dir = TempDir::new("surface");
+    let wal =
+        Wal::open_file_with_sync(&dir.0, &WalConfig::file(&dir.0), Arc::new(BrokenSync)).unwrap();
+    let err = wal.append_durable(rec(1)).unwrap_err();
+    match err {
+        DbError::Internal(msg) => assert!(msg.contains("wal flusher"), "{msg}"),
+        other => panic!("expected Internal sync-failure error, got {other:?}"),
+    }
+    assert_eq!(wal.durable_lsn(), Lsn(0));
 }

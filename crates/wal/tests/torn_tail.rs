@@ -138,7 +138,7 @@ fn torn_tail_is_reported_through_the_wal_counter() {
     assert_eq!(*wal.get(Lsn(N - 1)).expect("tail record"), rec(N - 1));
     assert!(wal.get(Lsn(N)).is_none(), "torn record must not resurface");
     // The reopened log keeps appending where the repaired tail ends.
-    let lsn = wal.append_durable(rec(N));
+    let lsn = wal.append_durable(rec(N)).unwrap();
     assert_eq!(lsn, Lsn(N));
 }
 
