@@ -30,6 +30,14 @@
 //!    process, so an autopilot that cannot out-run *doing nothing* is a
 //!    closed-loop regression, not jitter.
 //!
+//! 5. **Replica read scaling**: a report carrying a `replica read
+//!    scaling` table (from `bench_replica`) should show the best replica
+//!    leg serving reads at least [`MIN_READ_SCALING`] as fast as the
+//!    no-replica leg (warning below — runner noise) and must stay above
+//!    [`READ_SCALING_FLOOR`]: all legs run in one process, so replica
+//!    reads collapsing to a fraction of primary throughput means the
+//!    ship/apply/watermark path regressed, not the runner.
+//!
 //! Usage: `bench_check <baseline.json> <candidate.json>`. Exits non-zero
 //! with one line per violation.
 
@@ -56,6 +64,11 @@ const MIN_RECOVERY: f64 = 0.70;
 const RECOVERY_FLOOR: f64 = 0.40;
 /// Hard floor for autopilot-over-no-migration steady throughput.
 const ADVANTAGE_FLOOR: f64 = 1.1;
+/// Expected best-replica-leg read scaling over the no-replica leg in a
+/// `replica read scaling` table; below is a warning.
+const MIN_READ_SCALING: f64 = 1.0;
+/// Hard floor for the replica read-scaling ratio.
+const READ_SCALING_FLOOR: f64 = 0.4;
 
 fn load(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -187,6 +200,58 @@ fn check_planner(which: &str, report: &BenchReport, violations: &mut Vec<String>
     }
 }
 
+/// Checks the `replica read scaling` table when present (see
+/// `bench_replica`): the best replica row's trailing scaling cell
+/// (`"1.59x"`) should reach [`MIN_READ_SCALING`] (warning below) and must
+/// stay above [`READ_SCALING_FLOOR`]. Reports without the table pass.
+fn check_replica(which: &str, report: &BenchReport, violations: &mut Vec<String>) {
+    let Some(table) = report
+        .tables
+        .iter()
+        .find(|t| t.title == "replica read scaling")
+    else {
+        return;
+    };
+    let mut best: Option<f64> = None;
+    for label in ["1-replica", "2-replica"] {
+        let Some(row) = table
+            .rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(label))
+        else {
+            violations.push(format!(
+                "{which}: replica read scaling table has no '{label}' row"
+            ));
+            continue;
+        };
+        match row
+            .last()
+            .and_then(|cell| cell.strip_suffix('x'))
+            .and_then(|s| s.parse::<f64>().ok())
+        {
+            Some(r) => best = Some(best.map_or(r, |b: f64| b.max(r))),
+            None => violations.push(format!(
+                "{which}: cannot parse replica scaling cell {:?}",
+                row.last()
+            )),
+        }
+    }
+    match best {
+        Some(r) if r >= MIN_READ_SCALING => {}
+        Some(r) if r >= READ_SCALING_FLOOR => eprintln!(
+            "bench_check WARN: {which}: replica read scaling {r:.2}x below \
+             the expected {MIN_READ_SCALING}x (tolerated as runner noise; \
+             hard floor {READ_SCALING_FLOOR}x)"
+        ),
+        Some(r) => violations.push(format!(
+            "{which}: replica read scaling {r:.2}x below the hard floor \
+             {READ_SCALING_FLOOR}x — replica reads collapsed against the \
+             no-replica baseline"
+        )),
+        None => {}
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_path, candidate_path] = &args[..] else {
@@ -228,6 +293,8 @@ fn main() {
     check_foreground("candidate", &candidate, &mut violations);
     check_planner("baseline", &baseline, &mut violations);
     check_planner("candidate", &candidate, &mut violations);
+    check_replica("baseline", &baseline, &mut violations);
+    check_replica("candidate", &candidate, &mut violations);
 
     if violations.is_empty() {
         println!(

@@ -166,6 +166,16 @@ pub enum Violation {
         /// Value actually present (`None` = absent).
         observed: Option<Value>,
     },
+    /// A replica session's snapshot (its observed watermark) regressed
+    /// between two of its transactions.
+    ReplicaRegression {
+        /// The replica-reading client.
+        client: u32,
+        /// Snapshot of the earlier transaction.
+        earlier: Timestamp,
+        /// Snapshot of the later transaction (smaller — the regression).
+        later: Timestamp,
+    },
     /// The migration itself failed when the scenario expected success.
     MigrationFailed {
         /// The engine error.
@@ -257,6 +267,14 @@ impl fmt::Display for Violation {
                     .as_ref()
                     .map(|v| String::from_utf8_lossy(v.as_ref()).into_owned()),
             ),
+            Violation::ReplicaRegression {
+                client,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "replica session of client {client} read at {later} after reading at {earlier}"
+            ),
             Violation::MigrationFailed { detail } => write!(f, "migration failed: {detail}"),
             Violation::TraceMalformed { engine, detail } => {
                 write!(f, "malformed {engine} trace: {detail}")
@@ -337,7 +355,29 @@ pub fn check_history_multi(
     );
     check_first_committer_wins(history, &mut violations);
     check_routing(history, specs, &mut violations);
+    check_replica_sessions(history, &mut violations);
     violations
+}
+
+/// Replica staleness oracle, part 2: per-session monotone watermark. The
+/// replica's published watermark never regresses, so the snapshots one
+/// session reads at (in its own real-time order) must not either.
+fn check_replica_sessions(history: &[TxnRecord], violations: &mut Vec<Violation>) {
+    let mut last: HashMap<u32, Timestamp> = HashMap::new();
+    let mut sessions: Vec<&TxnRecord> = history.iter().filter(|r| r.replica).collect();
+    sessions.sort_by_key(|r| r.begin_seq);
+    for rec in sessions {
+        if let Some(&prev) = last.get(&rec.client) {
+            if rec.begin_ts < prev {
+                violations.push(Violation::ReplicaRegression {
+                    client: rec.client,
+                    earlier: prev,
+                    later: rec.begin_ts,
+                });
+            }
+        }
+        last.insert(rec.client, rec.begin_ts);
+    }
 }
 
 fn check_reads(
@@ -349,6 +389,12 @@ fn check_reads(
 ) {
     let empty: Vec<ChainEntry> = Vec::new();
     for rec in history.iter().filter(|r| r.committed()) {
+        // Replica reads are always checked strictly: the applier publishes
+        // a watermark `W` only after every commit with `cts <= W` (on any
+        // primary) has been applied, so a replica read at `W` must see all
+        // of them — even under DTS, where primary reads get the relaxed
+        // real-time rule.
+        let strict = strict_timestamp_reads || rec.replica;
         // (writer, writer_cts) pairs this reader observed, for the
         // fragmented-read check.
         let mut observed_writers: Vec<(TxnId, Timestamp)> = Vec::new();
@@ -366,7 +412,7 @@ fn check_reads(
                 .filter(|e| {
                     e.cts <= read.snap_ts
                         && e.xid != rec.xid
-                        && (strict_timestamp_reads || e.commit_seq < rec.begin_seq)
+                        && (strict || e.commit_seq < rec.begin_seq)
                 })
                 .max_by_key(|e| e.cts);
             let floor = required.map(|e| e.cts).unwrap_or(Timestamp(0));
@@ -447,7 +493,7 @@ fn check_reads(
             }
         }
 
-        if strict_timestamp_reads {
+        if strict {
             check_fragmented(rec, &observed_writers, chains, by_xid, violations);
         }
     }
@@ -692,6 +738,7 @@ mod tests {
             routes: vec![],
             begin_seq: seq,
             commit_seq: seq + 1,
+            replica: false,
         }
     }
 
@@ -710,6 +757,7 @@ mod tests {
             routes: vec![],
             begin_seq: seq,
             commit_seq: seq + 1,
+            replica: false,
         }
     }
 
@@ -866,6 +914,50 @@ mod tests {
                 .any(|v| matches!(v, Violation::NonMonotoneRouting { .. })),
             "{v:?}"
         );
+    }
+
+    /// A replica reader missing a commit at or below its watermark is a
+    /// stale read even without the GTS strict axiom — that is exactly the
+    /// watermark soundness claim.
+    #[test]
+    fn replica_reads_are_checked_strictly_under_dts() {
+        let mut config = cfg();
+        config.strict_timestamp_reads = false;
+        // The write fully commits only after (in real time) the reader
+        // began, so a *primary* reader may miss it under DTS...
+        let mut w = writer(1, 7, 15, 20, "b", 4);
+        w.commit_seq = 5;
+        let mut primary_reader = reader(3, 7, 30, None, 1);
+        primary_reader.begin_seq = 1;
+        assert!(check_history(&[w.clone(), primary_reader], &config).is_empty());
+        // ...but a replica reader at watermark 30 >= cts 20 may not.
+        let mut replica_reader = reader(4, 7, 30, None, 1);
+        replica_reader.begin_seq = 1;
+        replica_reader.replica = true;
+        let v = check_history(&[w, replica_reader], &config);
+        assert!(
+            v.iter().any(|v| matches!(v, Violation::StaleRead { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn replica_session_snapshot_regression_is_flagged() {
+        let mut a = reader(1, 7, 30, None, 4);
+        a.replica = true;
+        a.client = 9;
+        let mut b = reader(2, 7, 20, None, 6); // later in real time, older snap
+        b.replica = true;
+        b.client = 9;
+        let v = check_history(&[a.clone(), b.clone()], &cfg());
+        assert!(
+            v.iter()
+                .any(|v| matches!(v, Violation::ReplicaRegression { client: 9, .. })),
+            "{v:?}"
+        );
+        // Different sessions may be at different watermarks.
+        b.client = 10;
+        assert!(check_history(&[a, b], &cfg()).is_empty());
     }
 
     #[test]

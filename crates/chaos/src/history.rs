@@ -81,6 +81,14 @@ pub struct TxnRecord {
     /// Real-time order marker ticked *after* `commit()` returned. Zero /
     /// meaningless for aborted transactions.
     pub commit_seq: u64,
+    /// True for read-only transactions served by a replica at its applied
+    /// watermark. The checker validates these with the *strict* forcing
+    /// rule regardless of oracle — the watermark soundness claim is that a
+    /// replica read at `W` misses no commit with `cts <= W`, even under
+    /// decentralized timestamps — and additionally requires each replica
+    /// session's snapshots to be monotone. Replica records never carry
+    /// writes or routes.
+    pub replica: bool,
 }
 
 impl TxnRecord {
@@ -172,6 +180,7 @@ mod tests {
             routes: vec![],
             begin_seq: seq,
             commit_seq: seq + 1,
+            replica: false,
         }
     }
 

@@ -60,7 +60,22 @@ pub enum FaultProfile {
     /// rebuilt from its on-disk WAL via `Cluster::restart_node` and a
     /// fresh engine must then complete the migration with SI intact.
     CrashRestart,
+    /// Replica chaos: the canonical 4-node replica scenario (primaries
+    /// 0–2, replica 3) runs a WAL-shipped replica while a live Remus
+    /// migration moves a shard between primaries. Ship batches are
+    /// delayed, reordered (`Fail` holds a batch until after its
+    /// successor, then retransmits), and duplicated (`Crash`); the
+    /// replica applier is stalled; and about two in five seeds also
+    /// crash-restart the replica mid-backfill (a `CrashRestart` spec on
+    /// the replica node), forcing a from-scratch re-bootstrap. Every
+    /// fault is tolerated: the SI oracle and the replica-staleness
+    /// oracle must both stay green.
+    Replica,
 }
+
+/// The replica node of the canonical [`FaultProfile::Replica`] scenario
+/// (4 nodes: primaries 0–2, replica 3).
+pub const REPLICA_NODE: NodeId = NodeId(3);
 
 /// A deterministic, seed-derived fault schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -171,6 +186,55 @@ impl FaultPlan {
                     action: FaultAction::Crash,
                 });
             }
+            FaultProfile::Replica => {
+                // Ship-stream faults on the primaries (the migration
+                // endpoints plus the third primary of the canonical
+                // topology). Delay lags a stream; Fail reorders a batch
+                // behind its successor then retransmits it; Crash
+                // duplicates a send — all absorbed by the apply-LSN gate.
+                let primaries = [source, dest, NodeId(2)];
+                for _ in 0..rng.gen_range(1..5usize) {
+                    let action = match rng.gen_range(0..3u8) {
+                        0 => FaultAction::Delay(Duration::from_millis(rng.gen_range(1..8u64))),
+                        1 => FaultAction::Fail,
+                        _ => FaultAction::Crash,
+                    };
+                    specs.push(FaultSpec {
+                        point: InjectionPoint::ShipBatch,
+                        node: primaries[rng.gen_range(0..primaries.len())],
+                        occurrence: rng.gen_range(0..12u32),
+                        action,
+                    });
+                }
+                // Stalled replica applier.
+                for _ in 0..rng.gen_range(0..3usize) {
+                    specs.push(FaultSpec {
+                        point: InjectionPoint::ReplicaApply,
+                        node: REPLICA_NODE,
+                        occurrence: rng.gen_range(0..12u32),
+                        action: FaultAction::Delay(Duration::from_millis(rng.gen_range(1..8u64))),
+                    });
+                }
+                // The concurrent migration still absorbs propagation lag.
+                for _ in 0..rng.gen_range(0..2usize) {
+                    specs.push(FaultSpec {
+                        point: InjectionPoint::PropagationShip,
+                        node: source,
+                        occurrence: rng.gen_range(0..16u32),
+                        action: FaultAction::Delay(Duration::from_millis(rng.gen_range(1..8u64))),
+                    });
+                }
+                // Some seeds crash-restart the replica mid-backfill; the
+                // runner reads this spec rather than counting visits.
+                if rng.gen_bool(0.4) {
+                    specs.push(FaultSpec {
+                        point: InjectionPoint::CrashRestart,
+                        node: REPLICA_NODE,
+                        occurrence: 0,
+                        action: FaultAction::Crash,
+                    });
+                }
+            }
             FaultProfile::CrashRestart => {
                 let victim = if rng.gen_bool(0.5) { source } else { dest };
                 specs.push(FaultSpec {
@@ -184,7 +248,9 @@ impl FaultPlan {
                 });
             }
         }
-        let clock_spike_ms = if matches!(profile, FaultProfile::Tolerated) && rng.gen_bool(0.4) {
+        let clock_spike_ms = if matches!(profile, FaultProfile::Tolerated | FaultProfile::Replica)
+            && rng.gen_bool(0.4)
+        {
             Some(rng.gen_range(5..40u64))
         } else {
             None
@@ -212,6 +278,13 @@ impl FaultPlan {
             .iter()
             .find(|s| s.point == InjectionPoint::CrashRestart)
             .map(|s| (s.node, s.occurrence))
+    }
+
+    /// Whether a `Replica` plan crash-restarts the replica mid-backfill.
+    pub fn replica_restart(&self) -> bool {
+        self.specs
+            .iter()
+            .any(|s| s.point == InjectionPoint::CrashRestart && s.node == REPLICA_NODE)
     }
 }
 
@@ -266,6 +339,7 @@ mod tests {
                 FaultProfile::Tolerated,
                 FaultProfile::CrashTm,
                 FaultProfile::CrashRestart,
+                FaultProfile::Replica,
             ] {
                 let a = FaultPlan::generate(seed, profile, NodeId(0), NodeId(1));
                 let b = FaultPlan::generate(seed, profile, NodeId(0), NodeId(1));
@@ -366,6 +440,38 @@ mod tests {
                 .count();
             assert!(kills <= 2, "seed {seed}: {kills} copy-chunk kills");
         }
+    }
+
+    #[test]
+    fn replica_plans_cover_ship_apply_and_restart() {
+        let mut ship = false;
+        let mut apply = false;
+        let mut restarts = 0usize;
+        for seed in 0..40u64 {
+            let plan = FaultPlan::generate(seed, FaultProfile::Replica, NodeId(0), NodeId(1));
+            ship |= plan
+                .specs
+                .iter()
+                .any(|s| s.point == InjectionPoint::ShipBatch);
+            apply |= plan
+                .specs
+                .iter()
+                .any(|s| s.point == InjectionPoint::ReplicaApply && s.node == REPLICA_NODE);
+            if plan.replica_restart() {
+                restarts += 1;
+            }
+            for spec in &plan.specs {
+                if let FaultAction::Delay(d) = spec.action {
+                    assert!(d < Duration::from_millis(50), "{spec}");
+                }
+            }
+        }
+        assert!(ship, "no seed scheduled a ship-batch fault");
+        assert!(apply, "no seed scheduled a replica-apply stall");
+        assert!(
+            restarts > 0 && restarts < 40,
+            "mid-backfill restarts should fire on some but not all seeds: {restarts}"
+        );
     }
 
     #[test]

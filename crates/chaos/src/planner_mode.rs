@@ -203,6 +203,7 @@ pub fn run_planner_scenario(config: &PlannerScenarioConfig) -> PlannerScenarioOu
             routes,
             begin_seq,
             commit_seq,
+            replica: false,
         });
     }
 
@@ -392,6 +393,7 @@ fn record_shard_sweep(
         routes,
         begin_seq,
         commit_seq,
+        replica: false,
     });
 }
 
@@ -473,6 +475,7 @@ fn spawn_writer(
                 routes,
                 begin_seq,
                 commit_seq,
+                replica: false,
             });
         }
     })

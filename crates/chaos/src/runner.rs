@@ -25,8 +25,10 @@ use rand::{Rng, SeedableRng};
 use remus_clock::{
     Dts, Gts, OracleKind, PhysicalClock, SkewedPhysicalClock, TimestampOracle, WallClock,
 };
-use remus_cluster::{CcMode, Cluster, ClusterBuilder, Session};
-use remus_common::{NodeId, ParallelismConfig, ShardId, SimConfig, TableId, Timestamp, WalConfig};
+use remus_cluster::{CcMode, Cluster, ClusterBuilder, ReplicaSession, Session};
+use remus_common::{
+    NodeId, ParallelismConfig, ShardId, SimConfig, TableId, Timestamp, TxnId, WalConfig,
+};
 use remus_core::diversion::{run_tm_chaos, TmOutcome};
 use remus_core::recovery::{recover_migration, RecoveryDecision};
 use remus_core::snapshot::copy_task_snapshots;
@@ -42,7 +44,7 @@ use remus_txn::ReplaySummary;
 use crate::checker::{check_final_state, check_history, CheckConfig, Violation};
 use crate::history::{HistoryLog, MutKind, OpRead, OpWrite, TxnRecord};
 use crate::net::FaultyNetwork;
-use crate::plan::{FaultPlan, FaultProfile, FaultSpec, PlanInjector};
+use crate::plan::{FaultPlan, FaultProfile, FaultSpec, PlanInjector, REPLICA_NODE};
 
 /// Which migration engine a scenario exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,6 +179,28 @@ impl ScenarioConfig {
         }
     }
 
+    /// The canonical replica scenario: 4 nodes (primaries 0–2, replica 3),
+    /// a WAL-shipped replica bootstrapped by virtual-cut backfill serving
+    /// seeded read-only clients while a live Remus migration moves
+    /// `ShardId(0)` between primaries, under seeded ship/apply faults —
+    /// and, on some seeds, a mid-backfill crash-restart of the replica
+    /// (see [`FaultProfile::Replica`]).
+    pub fn replica(seed: u64, oracle: OracleKind) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            engine: EngineKind::Remus,
+            oracle,
+            profile: FaultProfile::Replica,
+            nodes: 4,
+            keys: 48,
+            clients: 3,
+            txns_per_client: 10,
+            parallelism: Self::parallelism_from_seed(seed),
+            gc_interval: None,
+            wal_dir: None,
+        }
+    }
+
     /// A crash-restart drill: file-backed WAL rooted at `wal_dir`, the
     /// victim node and crash stage drawn from the seed (see
     /// [`FaultProfile::CrashRestart`]).
@@ -240,6 +264,9 @@ pub struct ScenarioOutcome {
     /// Crash-restart drill: the victim node and its WAL replay summary
     /// (`None` for profiles that never restart a node).
     pub restart: Option<(NodeId, ReplaySummary)>,
+    /// Read-only transactions served by the replica at its watermark
+    /// (zero for profiles without a replica).
+    pub replica_reads: usize,
 }
 
 impl ScenarioOutcome {
@@ -299,7 +326,13 @@ pub fn run_scenario_with_specs(
         .build();
     let injector = Arc::new(PlanInjector::from_specs(specs.to_vec()));
     cluster.install_fault_injector(Arc::clone(&injector) as Arc<dyn remus_common::FaultInjector>);
-    let layout = cluster.create_table(TableId(1), 0, 4, |i| NodeId(i % config.nodes));
+    // The replica profile reserves the last node as a shard-less replica;
+    // every other profile spreads the table over the whole cluster.
+    let primaries = match config.profile {
+        FaultProfile::Replica => config.nodes - 1,
+        _ => config.nodes,
+    };
+    let layout = cluster.create_table(TableId(1), 0, 4, |i| NodeId(i % primaries));
     let task = MigrationTask::single(shard, source, dest);
 
     // Optional concurrent version-chain GC: races the workload, the
@@ -355,6 +388,7 @@ pub fn run_scenario_with_specs(
             routes,
             begin_seq,
             commit_seq,
+            replica: false,
         });
     }
 
@@ -407,6 +441,91 @@ pub fn run_scenario_with_specs(
                     tm_cts = Some(row.cts);
                 }
             }
+        }
+        FaultProfile::Replica => {
+            // WAL-shipped replica racing a live migration. Bootstrap the
+            // replica (virtual-cut backfill), optionally crash-restart it
+            // mid-backfill, then run writers on the primaries and seeded
+            // read-only clients on the replica while the engine migrates a
+            // shard between primaries under ship/apply faults.
+            let mut proc =
+                remus_core::start_replica(&cluster, REPLICA_NODE).expect("start replica");
+            if plan.replica_restart() {
+                // Kill the replica while the backfill is in flight: detach
+                // the streams, wipe the node via `restart_node` (its apply
+                // state is volatile), and re-bootstrap from scratch at a
+                // fresh virtual cut.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                proc.stop();
+                let summary = cluster.restart_node(REPLICA_NODE).expect("restart replica");
+                restart = Some((REPLICA_NODE, summary));
+                proc = remus_core::start_replica(&cluster, REPLICA_NODE)
+                    .expect("re-bootstrap replica");
+            }
+            let workers: Vec<_> = (0..config.clients)
+                .map(|client| {
+                    spawn_client(
+                        &cluster,
+                        &layout,
+                        &log,
+                        &seq,
+                        config,
+                        client + 1,
+                        config.txns_per_client,
+                    )
+                })
+                .collect();
+            let readers: Vec<_> = (0..config.clients)
+                .map(|client| {
+                    spawn_replica_reader(
+                        &cluster,
+                        &layout,
+                        &log,
+                        &seq,
+                        config,
+                        client + 200,
+                        config.txns_per_client,
+                    )
+                })
+                .collect();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            match config.engine.build().migrate(&cluster, &task) {
+                Ok(report) => {
+                    migration_committed = true;
+                    trace_violations = check_migration_traces(&report);
+                }
+                Err(e) => migration_failure = Some(format!("{e:?}")),
+            }
+            for w in workers {
+                w.join().expect("client thread");
+            }
+            for r in readers {
+                r.join().expect("replica reader");
+            }
+            if migration_committed {
+                let row = cluster
+                    .current_owner(cluster.node(source), shard)
+                    .expect("owner row");
+                if row.node == dest && row.cts.is_valid() {
+                    tm_cts = Some(row.cts);
+                }
+            }
+            // Catch-up: with writers quiesced, the watermark must reach the
+            // newest commit (idle primaries advance it via heartbeats), and
+            // a full replica scan there must serve the newest versions.
+            let target = log
+                .snapshot()
+                .iter()
+                .filter_map(|r| r.commit_ts)
+                .chain(tm_cts)
+                .max()
+                .unwrap_or(Timestamp(1));
+            proc.handle()
+                .wait_watermark(target, std::time::Duration::from_secs(30))
+                .expect("replica catch-up");
+            record_replica_scan(&cluster, &layout, &log, &seq, config.keys);
+            assert!(!proc.is_failed(), "replica apply process failed");
+            proc.stop();
         }
         FaultProfile::CrashTm => {
             // Quiescent crash drill: run traffic, copy, crash T_m mid-2PC,
@@ -577,12 +696,13 @@ pub fn run_scenario_with_specs(
     let history = log.snapshot();
     let committed = history
         .iter()
-        .filter(|r| r.client > 0 && r.committed())
+        .filter(|r| r.client > 0 && !r.replica && r.committed())
         .count();
     let aborted = history
         .iter()
-        .filter(|r| r.client > 0 && !r.committed())
+        .filter(|r| r.client > 0 && !r.replica && !r.committed())
         .count();
+    let replica_reads = history.iter().filter(|r| r.replica).count();
     let check = CheckConfig {
         source,
         dest,
@@ -625,6 +745,7 @@ pub fn run_scenario_with_specs(
         tm_cts,
         gc_pruned,
         restart,
+        replica_reads,
     }
 }
 
@@ -679,7 +800,12 @@ fn spawn_client(
     let log = Arc::clone(log);
     let seq = Arc::clone(seq);
     let keys = config.keys;
-    let nodes = config.nodes;
+    // Writers coordinate on primaries only; the replica (last node of the
+    // replica profile) serves no client writes.
+    let nodes = match config.profile {
+        FaultProfile::Replica => config.nodes - 1,
+        _ => config.nodes,
+    };
     let seed = config.seed;
     std::thread::spawn(move || {
         let mut rng =
@@ -765,9 +891,123 @@ fn spawn_client(
                 routes,
                 begin_seq,
                 commit_seq,
+                replica: false,
             });
         }
     })
+}
+
+/// Spawns one seeded read-only client on the replica: `txns` transactions,
+/// each reading 1–3 keys at the replica's watermark. A begin that times out
+/// (certification or watermark wait) or a read that errors transiently
+/// skips the round — only completed read sets are recorded, each marked
+/// with the replica flag so the checker applies the staleness oracle.
+fn spawn_replica_reader(
+    cluster: &Arc<Cluster>,
+    layout: &TableLayout,
+    log: &Arc<HistoryLog>,
+    seq: &Arc<AtomicU64>,
+    config: &ScenarioConfig,
+    client: u32,
+    txns: u32,
+) -> std::thread::JoinHandle<()> {
+    let cluster = Arc::clone(cluster);
+    let layout = *layout;
+    let log = Arc::clone(log);
+    let seq = Arc::clone(seq);
+    let keys = config.keys;
+    let seed = config.seed;
+    std::thread::spawn(move || {
+        let session =
+            ReplicaSession::connect(&cluster, REPLICA_NODE).expect("replica not registered");
+        let mut rng =
+            SmallRng::seed_from_u64(seed.wrapping_mul(0x9e6c_6356_8b57_d0ed) ^ u64::from(client));
+        for t in 0..txns {
+            let n_reads = rng.gen_range(1..=3usize);
+            let chosen: Vec<u64> = (0..n_reads).map(|_| rng.gen_range(0..keys)).collect();
+            let begin_seq = seq.fetch_add(1, Ordering::SeqCst);
+            let Ok(txn) = session.begin() else {
+                continue;
+            };
+            let snap = txn.snap_ts();
+            let mut reads = Vec::new();
+            let mut failed = false;
+            for key in chosen {
+                match txn.read(&layout, key) {
+                    Ok(observed) => reads.push(OpRead {
+                        key,
+                        snap_ts: snap,
+                        observed,
+                    }),
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            drop(txn);
+            if failed {
+                continue;
+            }
+            let commit_seq = seq.fetch_add(1, Ordering::SeqCst);
+            log.record(TxnRecord {
+                // Synthetic xid in a range no real transaction reaches.
+                xid: TxnId::new(
+                    REPLICA_NODE,
+                    0x5000_0000 + u64::from(client) * 0x1000 + u64::from(t),
+                ),
+                client,
+                begin_ts: snap,
+                commit_ts: Some(snap),
+                reads,
+                writes: vec![],
+                routes: vec![],
+                begin_seq,
+                commit_seq,
+                replica: true,
+            });
+        }
+    })
+}
+
+/// Records one full-table replica read at the caught-up watermark — the
+/// end-of-scenario staleness assertion: after writers quiesce and the
+/// watermark covers every commit, the replica must serve the newest
+/// version of every key.
+fn record_replica_scan(
+    cluster: &Arc<Cluster>,
+    layout: &TableLayout,
+    log: &Arc<HistoryLog>,
+    seq: &Arc<AtomicU64>,
+    keys: u64,
+) {
+    let session = ReplicaSession::connect(cluster, REPLICA_NODE).expect("replica not registered");
+    let begin_seq = seq.fetch_add(1, Ordering::SeqCst);
+    let txn = session.begin().expect("caught-up replica begin");
+    let snap = txn.snap_ts();
+    let mut reads = Vec::new();
+    for key in 0..keys {
+        let observed = txn.read(layout, key).expect("caught-up replica read");
+        reads.push(OpRead {
+            key,
+            snap_ts: snap,
+            observed,
+        });
+    }
+    drop(txn);
+    let commit_seq = seq.fetch_add(1, Ordering::SeqCst);
+    log.record(TxnRecord {
+        xid: TxnId::new(REPLICA_NODE, 0x6000_0000),
+        client: 999,
+        begin_ts: snap,
+        commit_ts: Some(snap),
+        reads,
+        writes: vec![],
+        routes: vec![],
+        begin_seq,
+        commit_seq,
+        replica: true,
+    });
 }
 
 #[cfg(test)]
@@ -806,6 +1046,16 @@ mod tests {
         let outcome = run_scenario(&cfg);
         assert!(outcome.passed(), "violations: {:?}", outcome.violations);
         assert!(outcome.plan.crash_point().is_some());
+    }
+
+    #[test]
+    fn replica_scenario_smoke() {
+        let cfg = ScenarioConfig::replica(2, OracleKind::Dts);
+        let outcome = run_scenario(&cfg);
+        assert!(outcome.passed(), "violations: {:?}", outcome.violations);
+        assert!(outcome.migration_committed);
+        assert!(outcome.committed > 0);
+        assert!(outcome.replica_reads > 0, "no replica reads recorded");
     }
 
     #[test]

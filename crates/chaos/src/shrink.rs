@@ -120,6 +120,7 @@ mod tests {
             routes: vec![],
             begin_seq: n * 2,
             commit_seq: n * 2 + 1,
+            replica: false,
         }
     }
 

@@ -15,6 +15,7 @@ use remus_txn::{replay_node_wal, DelayNetwork, Network, NoNetwork, ReplaySummary
 
 use crate::load::{ShardLoadSnapshot, ShardLoadTracker};
 use crate::node::Node;
+use crate::replica::{ReplicaHandle, ReplicaRegistry};
 
 /// Chains visited per shard by each background [`Cluster::gc_tick`]: enough
 /// to sweep a hot shard within a few ticks without stalling foreground
@@ -173,6 +174,7 @@ pub struct Cluster {
     maintenance_stop: Arc<AtomicBool>,
     access_hook: parking_lot::RwLock<Option<Arc<dyn AccessHook>>>,
     fault_injector: parking_lot::RwLock<Option<Arc<dyn FaultInjector>>>,
+    replicas: ReplicaRegistry,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -293,6 +295,7 @@ impl ClusterBuilder {
             maintenance_stop: Arc::new(AtomicBool::new(false)),
             access_hook: parking_lot::RwLock::new(None),
             fault_injector: parking_lot::RwLock::new(None),
+            replicas: ReplicaRegistry::default(),
         })
     }
 }
@@ -566,6 +569,40 @@ impl Cluster {
             Some(injector) => injector.decide(point, node),
             None => FaultAction::Continue,
         }
+    }
+
+    // ---- replicas ----
+
+    /// Registers `node` as a read replica, returning its watermark handle.
+    /// Re-registering (a crash-restarted replica re-bootstrapping) replaces
+    /// the old handle; sessions must reconnect.
+    pub fn register_replica(&self, node: NodeId) -> Arc<ReplicaHandle> {
+        self.replicas.register(node)
+    }
+
+    /// The watermark handle of a registered replica.
+    pub fn replica(&self, node: NodeId) -> Option<Arc<ReplicaHandle>> {
+        self.replicas.get(node)
+    }
+
+    /// True if `node` is registered as a replica.
+    pub fn is_replica(&self, node: NodeId) -> bool {
+        self.replicas.contains(node)
+    }
+
+    /// Ids of all registered replicas, sorted.
+    pub fn replica_ids(&self) -> Vec<NodeId> {
+        self.replicas.ids()
+    }
+
+    /// Ids of all nodes *not* registered as replicas, sorted — the nodes a
+    /// replication process ships WAL from.
+    pub fn primary_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .map(|n| n.id())
+            .filter(|id| !self.replicas.contains(*id))
+            .collect()
     }
 
     // ---- snapshots & vacuum ----
@@ -1117,10 +1154,11 @@ mod tests {
         let layout = c.create_table(TableId(1), 0, 4, |i| NodeId(i % 2));
         let session0 = crate::Session::connect(&c, NodeId(0));
         let val = |s: &str| remus_storage::Value::from(s.as_bytes().to_vec());
+        let mut last_cts = Timestamp(0);
         for key in 0..8u64 {
             let mut txn = session0.begin();
             txn.insert(&layout, key, val(&format!("v{key}"))).unwrap();
-            txn.commit().unwrap();
+            last_cts = last_cts.max(txn.commit().unwrap());
         }
         // A transaction left in flight at the crash must vanish.
         let mut orphan = session0.begin();
@@ -1134,8 +1172,12 @@ mod tests {
         let row = c.current_owner(c.node(NodeId(0)), ShardId(1)).unwrap();
         assert_eq!(row.node, NodeId(1));
         // Every committed row is back, readable through a fresh session.
+        // The causal token matters: under the default hybrid clocks a fresh
+        // session on another node may draw a snapshot a tick below the last
+        // commit (the documented cross-session staleness allowance), which
+        // would legitimately hide the newest rows.
         let session = crate::Session::connect(&c, NodeId(1));
-        let mut txn = session.begin();
+        let mut txn = session.begin_after(last_cts);
         for key in 0..8u64 {
             assert_eq!(
                 txn.read(&layout, key).unwrap(),

@@ -14,13 +14,18 @@
 //! * [`cluster::Cluster`] — the node set, oracle, network model, routing
 //!   gate (wait-and-remaster's suspension), snapshot registry and vacuum.
 //! * [`session::Session`] / [`session::SessionTxn`] — the client API.
+//! * [`replica::ReplicaHandle`] / [`replica::ReplicaSession`] — WAL-shipped
+//!   read replicas: the applied-watermark handle and read-only sessions
+//!   (with an optional read-your-writes mode).
 
 pub mod cluster;
 pub mod load;
 pub mod node;
+pub mod replica;
 pub mod session;
 
 pub use cluster::{AccessHook, CcMode, Cluster, ClusterBuilder, SnapshotGuard};
 pub use load::{ShardLoad, ShardLoadCell, ShardLoadSnapshot, ShardLoadTracker};
 pub use node::Node;
+pub use replica::{ReplicaHandle, ReplicaSession, ReplicaTxn};
 pub use session::{Session, SessionTxn};

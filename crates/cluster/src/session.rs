@@ -27,6 +27,9 @@ pub struct Session {
     cluster: Arc<Cluster>,
     coordinator: Arc<Node>,
     cache: Mutex<ShardMapCache>,
+    /// Highest commit timestamp this session has produced — the causal
+    /// token a paired read-your-writes replica session waits on.
+    last_commit: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl std::fmt::Debug for Session {
@@ -44,7 +47,20 @@ impl Session {
             cluster: Arc::clone(cluster),
             coordinator: Arc::clone(cluster.node(coordinator)),
             cache: Mutex::new(ShardMapCache::new()),
+            last_commit: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
+    }
+
+    /// The highest commit timestamp this session has produced
+    /// ([`Timestamp::INVALID`] before the first commit).
+    pub fn last_commit_ts(&self) -> Timestamp {
+        Timestamp(self.last_commit.load(std::sync::atomic::Ordering::SeqCst))
+    }
+
+    /// The shared cell behind [`Session::last_commit_ts`] (read-your-writes
+    /// replica sessions hold a clone).
+    pub(crate) fn last_commit_cell(&self) -> &Arc<std::sync::atomic::AtomicU64> {
+        &self.last_commit
     }
 
     /// The cluster this session talks to.
@@ -355,7 +371,10 @@ impl<'s> SessionTxn<'s> {
             &*self.session.cluster.oracle,
             &*self.session.cluster.net,
         );
-        if result.is_ok() {
+        if let Ok(cts) = &result {
+            self.session
+                .last_commit
+                .fetch_max(cts.0, std::sync::atomic::Ordering::SeqCst);
             // `touched` is ordered by shard id, so the written set — and
             // with it the affinity pairs — is recorded deterministically.
             let written: Vec<ShardId> = self

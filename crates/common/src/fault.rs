@@ -64,11 +64,19 @@ pub enum InjectionPoint {
     /// on-disk WAL via `Cluster::restart_node`. Only meaningful with the
     /// file-backed WAL; `Crash` marks the seeded kill.
     CrashRestart,
+    /// In a WAL shipper, before sending one LSN-prefixed frame batch to a
+    /// replica (`replication.rs`). `Delay` models ship lag; `Fail` defers
+    /// the batch so it arrives after its successor (reorder, then
+    /// retransmit); `Crash` duplicates the send.
+    ShipBatch,
+    /// In a replica applier, before applying one shipped batch behind the
+    /// apply-LSN gate (`replication.rs`). `Delay` models a stalled replica.
+    ReplicaApply,
 }
 
 impl InjectionPoint {
     /// Every injection point, in pipeline order.
-    pub const ALL: [InjectionPoint; 11] = [
+    pub const ALL: [InjectionPoint; 13] = [
         InjectionPoint::SnapshotCopy,
         InjectionPoint::CopyChunk,
         InjectionPoint::PropagationShip,
@@ -80,6 +88,8 @@ impl InjectionPoint {
         InjectionPoint::TmBeforeCommit,
         InjectionPoint::TmAfterFirstCommit,
         InjectionPoint::CrashRestart,
+        InjectionPoint::ShipBatch,
+        InjectionPoint::ReplicaApply,
     ];
 }
 
@@ -97,6 +107,8 @@ impl fmt::Display for InjectionPoint {
             InjectionPoint::TmBeforeCommit => "tm-before-commit",
             InjectionPoint::TmAfterFirstCommit => "tm-after-first-commit",
             InjectionPoint::CrashRestart => "crash-restart",
+            InjectionPoint::ShipBatch => "ship-batch",
+            InjectionPoint::ReplicaApply => "replica-apply",
         };
         f.write_str(name)
     }

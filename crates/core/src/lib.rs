@@ -21,6 +21,10 @@
 //!   propagation machinery: WAL tailing into per-transaction update cache
 //!   queues, the destination apply processes (parallel, key-fenced), and
 //!   the MOCC validation registry + commit hook.
+//! * [`replication`] — WAL-shipped read replicas: per-primary shippers and
+//!   gate-sequenced appliers, virtual-cut backfill with chunk
+//!   certification, and the applied-watermark maintenance replica reads
+//!   run at.
 //! * [`diversion`] — `T_m` execution with cache-read-through marking.
 //! * [`controller`] — the migration controller: plans (consolidation, load
 //!   balancing, scale-out) and sequential execution.
@@ -36,6 +40,7 @@ pub mod recovery;
 pub mod remaster;
 pub mod remus;
 pub mod replay;
+pub mod replication;
 pub mod report;
 pub mod snapshot;
 pub mod squall;
@@ -45,6 +50,7 @@ pub use controller::{MigrationController, MigrationPlan};
 pub use lock_abort::LockAndAbort;
 pub use remaster::WaitAndRemaster;
 pub use remus::RemusEngine;
+pub use replication::{start_replica, ReplicaProcess, StreamApplier};
 pub use report::{MigrationEngine, MigrationReport, MigrationTask};
 pub use squall::SquallEngine;
 pub use trace::{MigrationTrace, Span, SpanId, TraceRecorder};

@@ -1,0 +1,895 @@
+//! WAL-shipped read replicas with virtual-cut backfill.
+//!
+//! A replica is an ordinary cluster node that owns no shards. Per primary
+//! node, [`start_replica`] runs one *shipper* thread (tails the primary's
+//! WAL from a replication slot — the same
+//! [`remus_wal::WalReader::next_batch_blocking`] drain the migration
+//! propagation process uses — and sends LSN-prefixed [`ShipBatch`]es) and
+//! one *applier* thread (feeds received batches through an
+//! [`ApplyLsnGate`], so the apply stream is dense and exactly-once no
+//! matter how the transport duplicated, reordered, or overlapped them).
+//!
+//! ## Virtual-cut backfill (DBLog-style)
+//!
+//! Bootstrap never pauses the primaries. Per stream, in this order:
+//!
+//! 1. create a replication slot at the oldest active transaction's begin
+//!    LSN — nothing a later scan could see escapes the stream;
+//! 2. take the *cut timestamp* from the primary's **own** clock. The
+//!    commit protocol folds every commit timestamp a node logs into that
+//!    node's clock before the commit record is appended (the fast path
+//!    ticks the committing node; 2PC participants observe the
+//!    coordinator's timestamp before `CommitPrepared`; migration replay
+//!    observes shadow commit timestamps on the destination), so the cut
+//!    bounds from above every commit already in that WAL;
+//! 3. chunk-copy the primary's data shards at the cut through a
+//!    [`CopyGate`] while the live stream applies concurrently — appliers
+//!    wait per key for its chunk, exactly like migration dual execution;
+//! 4. certify the stream once its *frontier* (see below) passes the
+//!    primary's flush LSN recorded after the copy finished: at that point
+//!    every transaction the chunk scans could have missed has been
+//!    applied from the stream, so the replica's state at the cut equals a
+//!    point-in-time snapshot of the primary at the cut.
+//!
+//! Transactions whose `Begin` predates the slot are *not* replayed: they
+//! resolved before the slot existed, so their effects (if committed) are
+//! wholly inside the cut snapshot. Everything else is applied on
+//! resolution via [`remus_txn::redo_write`], which is value-convergent —
+//! re-applying a write the snapshot (or another stream) already delivered
+//! updates the transaction's own version in place, so double-apply is
+//! harmless and no commit-timestamp filtering is needed.
+//!
+//! ## The applied watermark
+//!
+//! Per stream the applier maintains a frontier `F` = the LSN before the
+//! earliest still-open `Begin` (or the densely-applied LSN if none), and a
+//! stream watermark `W_s` = max commit timestamp among resolutions at or
+//! below `F`, seeded at the cut. Every transaction that commits on that
+//! primary with `cts <= W_s` is applied: its records are all at or below
+//! the resolution that produced `W_s`'s bound — later transactions ticked
+//! the primary's clock past `W_s` first. The replica-wide watermark
+//! published to [`ReplicaHandle`] is the minimum over streams, so replica
+//! reads at the watermark are ordinary snapshot-isolation reads.
+//!
+//! An idle primary would stall the minimum, so a caught-up shipper sends
+//! heartbeats: it ticks the primary's clock *first*, then reads its
+//! position, and the replica accepts the heartbeat timestamp only if it
+//! has densely applied exactly that position with no transaction open —
+//! any commit not covered by the heartbeat's position must have ticked the
+//! primary's clock after the heartbeat timestamp was drawn.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use remus_cluster::{Cluster, Node, ReplicaHandle};
+use remus_common::{DbError, DbResult, FaultAction, InjectionPoint, NodeId, Timestamp, TxnId};
+use remus_shard::SHARD_MAP_SHARD;
+use remus_txn::redo_write;
+use remus_wal::{ApplyLsnGate, LogOp, Lsn, ShipBatch, WriteOp};
+
+use crate::snapshot::{copy_task_snapshots_gated, CopyGate};
+
+/// How long an applier waits for a backfill chunk covering a key it must
+/// redo. Generous: the copy pool is making progress the whole time, and a
+/// poisoned gate wakes waiters immediately.
+const COPY_WAIT: Duration = Duration::from_secs(60);
+
+/// What a shipper sends its applier.
+enum ShipMsg {
+    /// A contiguous WAL frame run (possibly duplicated/reordered/overlapping
+    /// by fault injection; the apply gate re-sequences).
+    Batch(ShipBatch),
+    /// Caught-up marker: the shipper ticked the primary's clock (drawing
+    /// `ts`), then observed that everything up to `position` was both
+    /// flushed and already shipped.
+    Heartbeat {
+        /// Last LSN shipped; equals the primary's flush LSN at send time.
+        position: Lsn,
+        /// A timestamp the primary's clock issued *before* `position` was
+        /// read — commits not covered by `position` are above it.
+        ts: Timestamp,
+    },
+    /// Stream end; the applier thread exits.
+    Shutdown,
+}
+
+/// Per-stream shared state between shipper, applier, and bootstrap.
+struct StreamState {
+    /// The primary this stream tails.
+    primary: NodeId,
+    /// The stream's cut timestamp (from the primary's own clock).
+    cut_ts: Timestamp,
+    /// LSN the stream must densely apply for certification. Starts at the
+    /// flush LSN recorded at the cut; raised to the post-copy flush LSN
+    /// when the chunk copy finishes (`copied` turns true).
+    cut_lsn: AtomicU64,
+    /// True once the chunk copy completed and `cut_lsn` is final.
+    copied: AtomicBool,
+    /// Highest densely-applied LSN (the apply gate's position).
+    applied: AtomicU64,
+    /// The frontier: every record at or below it belongs to a resolved,
+    /// fully-applied transaction (or to one older than the slot).
+    frontier: AtomicU64,
+    /// The stream watermark `W_s` (monotone; written by the applier only).
+    watermark: AtomicU64,
+}
+
+/// State shared by every thread of one replica's replication process.
+struct ReplState {
+    streams: Vec<Arc<StreamState>>,
+    /// Set by the bootstrap once every stream certified; appliers publish
+    /// the min-watermark to the handle only after this.
+    certified: AtomicBool,
+    /// A copy or apply step failed terminally (outside an orderly stop).
+    failed: AtomicBool,
+}
+
+impl ReplState {
+    /// Publishes the replica-wide watermark (min over streams) if certified.
+    fn publish(&self, cluster: &Cluster, handle: &ReplicaHandle) {
+        if !self.certified.load(Ordering::SeqCst) {
+            return;
+        }
+        let min = self
+            .streams
+            .iter()
+            .map(|s| s.watermark.load(Ordering::SeqCst))
+            .min();
+        if let Some(w) = min {
+            let ts = Timestamp(w);
+            if ts.is_valid() {
+                handle.advance_watermark(cluster, ts);
+            }
+        }
+    }
+}
+
+/// Handle to a running replication process (shippers + appliers +
+/// bootstrap) feeding one replica node.
+pub struct ReplicaProcess {
+    handle: Arc<ReplicaHandle>,
+    shared: Arc<ReplState>,
+    gates: Vec<Arc<CopyGate>>,
+    stop: Arc<AtomicBool>,
+    shippers: Vec<JoinHandle<()>>,
+    appliers: Vec<JoinHandle<()>>,
+    bootstrap: Option<JoinHandle<()>>,
+}
+
+impl ReplicaProcess {
+    /// The replica's watermark/certification handle.
+    pub fn handle(&self) -> &Arc<ReplicaHandle> {
+        &self.handle
+    }
+
+    /// Current replica-wide watermark.
+    pub fn watermark(&self) -> Timestamp {
+        self.handle.watermark()
+    }
+
+    /// Waits for the virtual-cut backfill to certify.
+    pub fn wait_certified(&self, timeout: Duration) -> DbResult<()> {
+        self.handle.wait_certified(timeout)
+    }
+
+    /// Per-stream cut timestamps, in `primary_ids` order.
+    pub fn cuts(&self) -> Vec<(NodeId, Timestamp)> {
+        self.shared
+            .streams
+            .iter()
+            .map(|s| (s.primary, s.cut_ts))
+            .collect()
+    }
+
+    /// The cut timestamp of `primary`'s stream.
+    pub fn cut_of(&self, primary: NodeId) -> Option<Timestamp> {
+        self.shared
+            .streams
+            .iter()
+            .find(|s| s.primary == primary)
+            .map(|s| s.cut_ts)
+    }
+
+    /// Highest densely-applied LSN of `primary`'s stream.
+    pub fn applied_of(&self, primary: NodeId) -> Option<Lsn> {
+        self.shared
+            .streams
+            .iter()
+            .find(|s| s.primary == primary)
+            .map(|s| Lsn(s.applied.load(Ordering::SeqCst)))
+    }
+
+    /// True if a copy or apply step failed terminally.
+    pub fn is_failed(&self) -> bool {
+        self.shared.failed.load(Ordering::SeqCst)
+    }
+
+    /// Stops shipping and applying, joins every thread, drops the
+    /// replication slots, and resets the replica's handle (its watermark
+    /// pin included) — the replica is detached until a fresh
+    /// [`start_replica`] re-bootstraps it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock appliers stuck behind an unfinished backfill chunk.
+        for gate in &self.gates {
+            gate.poison();
+        }
+        // Shippers exit at their next idle tick, sending `Shutdown` and
+        // dropping their slots; appliers drain up to the `Shutdown`.
+        for h in self.shippers.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.appliers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.bootstrap.take() {
+            let _ = h.join();
+        }
+        self.handle.reset();
+    }
+}
+
+impl Drop for ReplicaProcess {
+    fn drop(&mut self) {
+        if !self.shippers.is_empty() || self.bootstrap.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Registers `replica` and starts its replication process: per primary a
+/// shipper and an applier, plus one bootstrap thread doing the virtual-cut
+/// chunk copy and certification. Returns immediately; use
+/// [`ReplicaProcess::wait_certified`] (or a [`remus_cluster::ReplicaSession`],
+/// which waits internally) before reading.
+pub fn start_replica(cluster: &Arc<Cluster>, replica: NodeId) -> DbResult<ReplicaProcess> {
+    let handle = cluster.register_replica(replica);
+    let replica_node = Arc::clone(cluster.node(replica));
+    let primaries: Vec<Arc<Node>> = cluster
+        .primary_ids()
+        .into_iter()
+        .map(|id| Arc::clone(cluster.node(id)))
+        .collect();
+    if primaries.is_empty() {
+        return Err(DbError::Internal(
+            "replica bootstrap: cluster has no primary nodes".into(),
+        ));
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Slots first: from here on, no record a cut-snapshot scan could miss
+    // can be truncated out from under the stream.
+    let slots: Vec<(u64, Lsn)> = primaries
+        .iter()
+        .map(|p| p.storage.create_slot_at_oldest_active())
+        .collect();
+
+    // Per-stream cuts, drawn from each primary's own clock *after* its
+    // slot exists (see the module docs for why this bounds its WAL).
+    let mut streams = Vec::with_capacity(primaries.len());
+    for (p, &(_, from)) in primaries.iter().zip(&slots) {
+        let cut_ts = cluster.oracle.start_ts(p.id());
+        let flush_at_cut = p.storage.wal.flush_lsn();
+        streams.push(Arc::new(StreamState {
+            primary: p.id(),
+            cut_ts,
+            cut_lsn: AtomicU64::new(flush_at_cut.0),
+            copied: AtomicBool::new(false),
+            applied: AtomicU64::new(from.0),
+            frontier: AtomicU64::new(from.0),
+            watermark: AtomicU64::new(cut_ts.0),
+        }));
+    }
+
+    // Pin the earliest cut so GC/vacuum cannot prune the versions the
+    // chunk scans still have to read.
+    let min_cut = streams.iter().map(|s| s.cut_ts).min().expect("non-empty");
+    let cut_pin = cluster.pin_snapshot(min_cut);
+
+    // Chunk plans are laid out now, before any applier runs, so appliers
+    // can gate on them from the first shipped record.
+    let chunk_size = cluster.config.parallelism.chunk_size;
+    let mut gates = Vec::with_capacity(primaries.len());
+    for p in &primaries {
+        let shards = p.data_shards();
+        let gate = if shards.is_empty() {
+            CopyGate::open()
+        } else {
+            CopyGate::plan(&shards, p, chunk_size)?
+        };
+        gates.push(Arc::new(gate));
+    }
+
+    let shared = Arc::new(ReplState {
+        streams: streams.clone(),
+        certified: AtomicBool::new(false),
+        failed: AtomicBool::new(false),
+    });
+
+    let mut shippers = Vec::with_capacity(primaries.len());
+    let mut appliers = Vec::with_capacity(primaries.len());
+    for (i, p) in primaries.iter().enumerate() {
+        let (tx, rx) = unbounded();
+        let (slot, from) = slots[i];
+        shippers.push({
+            let cluster = Arc::clone(cluster);
+            let primary = Arc::clone(p);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || ship_loop(cluster, primary, replica, slot, from, tx, stop))
+        });
+        appliers.push({
+            let cluster = Arc::clone(cluster);
+            let node = Arc::clone(&replica_node);
+            let handle = Arc::clone(&handle);
+            let shared = Arc::clone(&shared);
+            let stream = Arc::clone(&streams[i]);
+            let gate = Arc::clone(&gates[i]);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                apply_loop(cluster, node, handle, shared, stream, gate, from, rx, stop)
+            })
+        });
+    }
+
+    let bootstrap = {
+        let cluster = Arc::clone(cluster);
+        let replica_node = Arc::clone(&replica_node);
+        let primaries = primaries.clone();
+        let handle = Arc::clone(&handle);
+        let shared = Arc::clone(&shared);
+        let gates = gates.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            bootstrap_loop(
+                cluster,
+                primaries,
+                replica_node,
+                handle,
+                shared,
+                gates,
+                cut_pin,
+                stop,
+            )
+        })
+    };
+
+    Ok(ReplicaProcess {
+        handle,
+        shared,
+        gates,
+        stop,
+        shippers,
+        appliers,
+        bootstrap: Some(bootstrap),
+    })
+}
+
+/// The shipper: tails `primary`'s WAL from its slot and sends LSN-prefixed
+/// batches (and caught-up heartbeats) to the replica's applier.
+fn ship_loop(
+    cluster: Arc<Cluster>,
+    primary: Arc<Node>,
+    replica: NodeId,
+    slot: u64,
+    from: Lsn,
+    tx: Sender<ShipMsg>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut reader = primary.storage.wal.reader_from(from);
+    let drain_batch = cluster.config.parallelism.drain_batch.max(1);
+    let send = |msg: ShipMsg| {
+        cluster.net.hop(primary.id(), replica);
+        let _ = tx.send(msg);
+    };
+    // A batch held back by the reorder fault: it is sent *after* its
+    // successor (or at the next idle tick), so the apply gate sees a
+    // genuine out-of-order arrival followed by a late retransmit.
+    let mut held: Option<ShipBatch> = None;
+    loop {
+        let batch = reader.next_batch_blocking(drain_batch, Duration::from_millis(20));
+        if batch.is_empty() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Some(prev) = held.take() {
+                send(ShipMsg::Batch(prev));
+            }
+            // Caught-up heartbeat. Order matters: tick the clock *before*
+            // reading the position, so any commit past `position` drew its
+            // timestamp after `ts`.
+            let ts = cluster.oracle.start_ts(primary.id());
+            let position = reader.consumed();
+            if primary.storage.wal.flush_lsn() == position {
+                send(ShipMsg::Heartbeat { position, ts });
+            }
+            continue;
+        }
+        let first = batch[0].0;
+        let last = batch[batch.len() - 1].0;
+        let records = batch.into_iter().map(|(_, r)| r).collect();
+        let sb = ShipBatch::new(first, records);
+        let mut held_now = false;
+        match cluster.fault_at(InjectionPoint::ShipBatch, primary.id()) {
+            FaultAction::Continue => send(ShipMsg::Batch(sb)),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                send(ShipMsg::Batch(sb));
+            }
+            FaultAction::Fail => {
+                // Reorder: hold this batch back until after its successor.
+                held_now = true;
+                if let Some(prev) = held.replace(sb) {
+                    send(ShipMsg::Batch(prev));
+                }
+            }
+            FaultAction::Crash => {
+                // Duplicate transmission (a retransmit racing the original).
+                send(ShipMsg::Batch(sb.clone()));
+                send(ShipMsg::Batch(sb));
+            }
+        }
+        if !held_now {
+            if let Some(prev) = held.take() {
+                send(ShipMsg::Batch(prev));
+            }
+        }
+        // Records are `Arc`-shared (a held batch keeps its frames alive),
+        // so the slot can advance past everything drained.
+        primary.storage.advance_slot(slot, last);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    if let Some(prev) = held.take() {
+        send(ShipMsg::Batch(prev));
+    }
+    let _ = tx.send(ShipMsg::Shutdown);
+    primary.storage.drop_slot(slot);
+}
+
+struct OpenTxn {
+    begin_lsn: u64,
+    writes: Vec<WriteOp>,
+}
+
+/// One replication stream's apply state machine: re-sequences received
+/// batches through the apply-LSN gate, buffers writes per transaction,
+/// applies each transaction at its resolution record, and maintains the
+/// stream frontier and watermark.
+///
+/// [`start_replica`]'s applier threads drive one of these per primary; it
+/// is public so tests can feed it arbitrary (duplicated, reordered,
+/// overlapping) batch sequences directly and check convergence.
+pub struct StreamApplier {
+    replica: Arc<Node>,
+    gate: Arc<CopyGate>,
+    lsn_gate: ApplyLsnGate,
+    /// Transactions whose Begin arrived on this stream. Anything without a
+    /// buffered Begin predates the replication slot: it resolved before
+    /// the slot existed, so its effects are wholly inside the cut snapshot.
+    open: HashMap<TxnId, OpenTxn>,
+    /// Begin LSNs of open transactions (the frontier stalls at the oldest).
+    begins: BTreeSet<u64>,
+    /// Commit resolutions not yet at or below the frontier: lsn -> cts.
+    resolved: BTreeMap<u64, Timestamp>,
+    wmax: Timestamp,
+    redo_timeout: Duration,
+}
+
+impl StreamApplier {
+    /// An applier for `replica`, expecting the first record after `from`,
+    /// with its watermark seeded at `cut_ts` and no backfill gate (every
+    /// key applies immediately).
+    pub fn new(replica: &Arc<Node>, cut_ts: Timestamp, from: Lsn) -> StreamApplier {
+        Self::gated(replica, cut_ts, from, Arc::new(CopyGate::open()))
+    }
+
+    /// Like [`StreamApplier::new`], but applies behind a backfill copy
+    /// gate: a write to a key whose chunk is still being copied waits for
+    /// the chunk (or fails when the gate is poisoned).
+    pub fn gated(
+        replica: &Arc<Node>,
+        cut_ts: Timestamp,
+        from: Lsn,
+        gate: Arc<CopyGate>,
+    ) -> StreamApplier {
+        let redo_timeout = replica.storage.config.lock_wait_timeout;
+        StreamApplier {
+            replica: Arc::clone(replica),
+            gate,
+            lsn_gate: ApplyLsnGate::starting_after(from),
+            open: HashMap::new(),
+            begins: BTreeSet::new(),
+            resolved: BTreeMap::new(),
+            wmax: cut_ts,
+            redo_timeout,
+        }
+    }
+
+    /// Highest densely-applied LSN.
+    pub fn applied(&self) -> Lsn {
+        self.lsn_gate.applied()
+    }
+
+    /// The frontier: every record at or below it belongs to a resolved,
+    /// fully-applied transaction (or to one older than the slot).
+    pub fn frontier(&self) -> Lsn {
+        match self.begins.first() {
+            Some(&b) => Lsn(b - 1),
+            None => self.lsn_gate.applied(),
+        }
+    }
+
+    /// The stream watermark `W_s` (monotone).
+    pub fn watermark(&self) -> Timestamp {
+        self.wmax
+    }
+
+    /// Number of transactions with a Begin on the stream but no resolution
+    /// yet.
+    pub fn open_txns(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Admits one received batch and applies whatever the gate releases.
+    /// Returns the number of transactions committed to the replica.
+    pub fn apply(&mut self, batch: ShipBatch) -> DbResult<u64> {
+        let ready = self.lsn_gate.admit(batch);
+        let mut committed = 0;
+        for (lsn, record) in ready {
+            let xid = record.xid;
+            match &record.op {
+                LogOp::Begin(_) => {
+                    self.open.insert(
+                        xid,
+                        OpenTxn {
+                            begin_lsn: lsn.0,
+                            writes: Vec::new(),
+                        },
+                    );
+                    self.begins.insert(lsn.0);
+                }
+                LogOp::Write(op) => {
+                    if let Some(t) = self.open.get_mut(&xid) {
+                        t.writes.push(op.clone());
+                    }
+                }
+                // The frontier already stalls at the open Begin until the
+                // decision record arrives — the replica analogue of
+                // prepare-wait.
+                LogOp::Prepare => {}
+                LogOp::Commit(ts) | LogOp::CommitPrepared(ts) => {
+                    if let Some(t) = self.open.remove(&xid) {
+                        self.begins.remove(&t.begin_lsn);
+                        apply_commit(
+                            &self.replica,
+                            &self.gate,
+                            xid,
+                            *ts,
+                            &t.writes,
+                            self.redo_timeout,
+                        )?;
+                        committed += 1;
+                        self.resolved.insert(lsn.0, *ts);
+                    }
+                }
+                LogOp::Abort | LogOp::RollbackPrepared => {
+                    if let Some(t) = self.open.remove(&xid) {
+                        self.begins.remove(&t.begin_lsn);
+                    }
+                }
+            }
+        }
+        // Drain resolutions the frontier now covers into the watermark.
+        let frontier = self.frontier().0;
+        while let Some((&l, &ts)) = self.resolved.first_key_value() {
+            if l > frontier {
+                break;
+            }
+            self.resolved.remove(&l);
+            if ts > self.wmax {
+                self.wmax = ts;
+            }
+        }
+        Ok(committed)
+    }
+
+    /// Accepts a caught-up heartbeat if this stream has densely applied
+    /// exactly `position` with no transaction open — then every commit not
+    /// yet applied ticked the primary's clock after `ts` was drawn, so
+    /// `ts` is a sound watermark. Returns whether it was accepted.
+    pub fn heartbeat(&mut self, position: Lsn, ts: Timestamp) -> bool {
+        if self.lsn_gate.applied() != position || !self.begins.is_empty() {
+            return false;
+        }
+        if ts > self.wmax {
+            self.wmax = ts;
+        }
+        true
+    }
+}
+
+/// The applier thread: drives a [`StreamApplier`] from the shipper's
+/// channel and mirrors its progress into the shared stream state.
+#[allow(clippy::too_many_arguments)]
+fn apply_loop(
+    cluster: Arc<Cluster>,
+    replica: Arc<Node>,
+    handle: Arc<ReplicaHandle>,
+    shared: Arc<ReplState>,
+    stream: Arc<StreamState>,
+    gate: Arc<CopyGate>,
+    from: Lsn,
+    rx: Receiver<ShipMsg>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut applier = StreamApplier::gated(&replica, stream.cut_ts, from, gate);
+    let applied = cluster.metrics.counter("replica.applied_txns");
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShipMsg::Shutdown => break,
+            ShipMsg::Heartbeat { position, ts } => {
+                if applier.heartbeat(position, ts) {
+                    stream.frontier.fetch_max(position.0, Ordering::SeqCst);
+                    stream
+                        .watermark
+                        .fetch_max(applier.watermark().0, Ordering::SeqCst);
+                    shared.publish(&cluster, &handle);
+                }
+            }
+            ShipMsg::Batch(batch) => {
+                if let FaultAction::Delay(d) =
+                    cluster.fault_at(InjectionPoint::ReplicaApply, replica.id())
+                {
+                    std::thread::sleep(d);
+                }
+                match applier.apply(batch) {
+                    Ok(n) => applied.add(n),
+                    Err(_) => {
+                        if !stop.load(Ordering::SeqCst) {
+                            shared.failed.store(true, Ordering::SeqCst);
+                        }
+                        return;
+                    }
+                }
+                stream.applied.store(applier.applied().0, Ordering::SeqCst);
+                stream
+                    .frontier
+                    .store(applier.frontier().0, Ordering::SeqCst);
+                stream
+                    .watermark
+                    .store(applier.watermark().0, Ordering::SeqCst);
+                shared.publish(&cluster, &handle);
+            }
+        }
+    }
+}
+
+/// Applies one committed transaction's buffered writes to the replica.
+///
+/// Value-convergent by construction: [`redo_write`] updates the
+/// transaction's own newest version in place, so a write the cut snapshot
+/// (or a migration shadow stream) already delivered converges instead of
+/// conflicting, and [`remus_storage::Clog::set_committed`] is idempotent
+/// for an equal timestamp.
+fn apply_commit(
+    replica: &Node,
+    gate: &CopyGate,
+    xid: TxnId,
+    cts: Timestamp,
+    writes: &[WriteOp],
+    timeout: Duration,
+) -> DbResult<()> {
+    // Shard-map rows are excluded: the replica is itself a participant of
+    // every map transaction (T_m updates all nodes' map replicas), so its
+    // map table is maintained by its own 2PC path, not by redo.
+    let data: Vec<&WriteOp> = writes
+        .iter()
+        .filter(|w| w.shard != SHARD_MAP_SHARD)
+        .collect();
+    if data.is_empty() {
+        return Ok(());
+    }
+    // During backfill, wait key-by-key for the covering chunk — the same
+    // ordering the migration's dual execution uses against its copy gate.
+    for w in &data {
+        gate.wait_copied(w.shard, w.key, COPY_WAIT)?;
+    }
+    let storage = &replica.storage;
+    // Err means another stream already resolved this xid (a 2PC txn spans
+    // streams); redo still converges, so proceed.
+    let _ = storage.clog.try_begin(xid);
+    for w in &data {
+        redo_write(storage, xid, w, timeout)?;
+    }
+    storage.clog.set_committed(xid, cts)?;
+    replica.work.charge(data.len() as u64);
+    Ok(())
+}
+
+/// The bootstrap: chunk-copies every primary's data shards at its stream's
+/// cut, fixes the per-stream certification LSNs, waits for the frontiers
+/// to pass them, and publishes the first watermark.
+#[allow(clippy::too_many_arguments)]
+fn bootstrap_loop(
+    cluster: Arc<Cluster>,
+    primaries: Vec<Arc<Node>>,
+    replica: Arc<Node>,
+    handle: Arc<ReplicaHandle>,
+    shared: Arc<ReplState>,
+    gates: Vec<Arc<CopyGate>>,
+    cut_pin: remus_cluster::SnapshotGuard,
+    stop: Arc<AtomicBool>,
+) {
+    let poison_all = |gates: &[Arc<CopyGate>]| {
+        for g in gates {
+            g.poison();
+        }
+    };
+    for (i, primary) in primaries.iter().enumerate() {
+        if stop.load(Ordering::SeqCst) {
+            poison_all(&gates);
+            return;
+        }
+        let stream = &shared.streams[i];
+        if gates[i].chunk_count() > 0
+            && copy_task_snapshots_gated(
+                &cluster,
+                primary,
+                &replica,
+                stream.cut_ts,
+                &gates[i],
+                None,
+            )
+            .is_err()
+        {
+            if !stop.load(Ordering::SeqCst) {
+                shared.failed.store(true, Ordering::SeqCst);
+            }
+            poison_all(&gates);
+            return;
+        }
+        // Every transaction a chunk scan could have skipped (in progress or
+        // prepared while scanning) has all of its records at or below this
+        // flush point; once the frontier passes it, they are all applied.
+        let fin = primary.storage.wal.flush_lsn().0;
+        stream.cut_lsn.fetch_max(fin, Ordering::SeqCst);
+        stream.copied.store(true, Ordering::SeqCst);
+    }
+    // Certification: each stream's frontier past its cut LSN means the
+    // replica now covers a point-in-time snapshot of each primary at its
+    // cut timestamp.
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            poison_all(&gates);
+            return;
+        }
+        let done = shared
+            .streams
+            .iter()
+            .all(|s| s.frontier.load(Ordering::SeqCst) >= s.cut_lsn.load(Ordering::SeqCst));
+        if done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    shared.certified.store(true, Ordering::SeqCst);
+    let min = shared
+        .streams
+        .iter()
+        .map(|s| s.watermark.load(Ordering::SeqCst))
+        .min()
+        .expect("non-empty streams");
+    handle.advance_watermark(&cluster, Timestamp(min));
+    handle.mark_certified();
+    // The cut snapshot stays pinned for the whole backfill; the handle's
+    // own watermark pin takes over from here.
+    drop(cut_pin);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remus_cluster::{ClusterBuilder, ReplicaSession, Session};
+    use remus_common::{SimConfig, TableId};
+    use remus_shard::TableLayout;
+    use remus_storage::Value;
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    /// 2 primaries + 1 replica node, one table of 4 shards split across
+    /// the primaries.
+    fn cluster3() -> (Arc<Cluster>, TableLayout) {
+        let c = ClusterBuilder::new(3).config(SimConfig::instant()).build();
+        let layout = c.create_table(TableId(1), 0, 4, |i| NodeId(i % 2));
+        (c, layout)
+    }
+
+    #[test]
+    fn replica_serves_backfilled_and_live_writes() {
+        let (c, layout) = cluster3();
+        let s = Session::connect(&c, NodeId(0));
+        for k in 0..40u64 {
+            let mut t = s.begin();
+            t.insert(&layout, k, val(&format!("seed-{k}"))).unwrap();
+            t.commit().unwrap();
+        }
+        let proc = start_replica(&c, NodeId(2)).unwrap();
+        proc.wait_certified(Duration::from_secs(10)).unwrap();
+        // Live writes after the cut flow through the stream.
+        for k in 40..60u64 {
+            let mut t = s.begin();
+            t.insert(&layout, k, val(&format!("live-{k}"))).unwrap();
+            t.commit().unwrap();
+        }
+        let reader = ReplicaSession::connect_ryw(&c, NodeId(2), &s).unwrap();
+        let t = reader.begin().unwrap();
+        for k in 0..60u64 {
+            let want = if k < 40 {
+                format!("seed-{k}")
+            } else {
+                format!("live-{k}")
+            };
+            assert_eq!(t.read(&layout, k).unwrap(), Some(val(&want)), "key {k}");
+        }
+        drop(t);
+        drop(reader);
+        assert!(!proc.is_failed());
+        proc.stop();
+    }
+
+    #[test]
+    fn heartbeats_advance_the_watermark_of_idle_primaries() {
+        let (c, layout) = cluster3();
+        // Only node 0 ever commits; node 1's stream must advance by
+        // heartbeat or the min-watermark would pin reads at its cut.
+        let s = Session::connect(&c, NodeId(0));
+        let proc = start_replica(&c, NodeId(2)).unwrap();
+        proc.wait_certified(Duration::from_secs(10)).unwrap();
+        let mut t = s.begin();
+        t.insert(&layout, 0, val("x")).unwrap();
+        let cts = t.commit().unwrap();
+        // RYW wait must clear even though node 1 stays idle.
+        let w = proc
+            .handle()
+            .wait_watermark(cts, Duration::from_secs(10))
+            .unwrap();
+        assert!(w >= cts);
+        proc.stop();
+    }
+
+    #[test]
+    fn stop_detaches_and_a_restart_rebootstraps() {
+        let (c, layout) = cluster3();
+        let s = Session::connect(&c, NodeId(0));
+        let mut t = s.begin();
+        t.insert(&layout, 7, val("one")).unwrap();
+        t.commit().unwrap();
+        let proc = start_replica(&c, NodeId(2)).unwrap();
+        proc.wait_certified(Duration::from_secs(10)).unwrap();
+        proc.stop();
+        assert!(!c.replica(NodeId(2)).unwrap().is_certified());
+        // Writes while detached are picked up by the fresh bootstrap.
+        let mut t = s.begin();
+        t.update(&layout, 7, val("two")).unwrap();
+        t.commit().unwrap();
+        let proc = start_replica(&c, NodeId(2)).unwrap();
+        proc.wait_certified(Duration::from_secs(10)).unwrap();
+        let reader = ReplicaSession::connect(&c, NodeId(2)).unwrap();
+        let t = reader.begin().unwrap();
+        assert_eq!(t.read(&layout, 7).unwrap(), Some(val("two")));
+        drop(t);
+        proc.stop();
+    }
+}

@@ -1,0 +1,122 @@
+//! Read-your-writes regression tests: a session that writes on a primary
+//! and reads its own key on a replica never observes the pre-write value —
+//! including on a deliberately lagging replica, where the watermark wait
+//! path provably has to trigger.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use remus_cluster::{ClusterBuilder, ReplicaSession, Session};
+use remus_common::{
+    FaultAction, FaultInjector, InjectionPoint, NodeId, SimConfig, TableId, Timestamp,
+};
+use remus_core::start_replica;
+use remus_storage::Value;
+
+const PRIMARY: NodeId = NodeId(0);
+const REPLICA: NodeId = NodeId(1);
+
+fn val(s: &str) -> Value {
+    Value::copy_from_slice(s.as_bytes())
+}
+
+/// Stalls every replica batch apply by a fixed amount.
+struct DelayApply(Duration);
+
+impl FaultInjector for DelayApply {
+    fn decide(&self, point: InjectionPoint, _node: NodeId) -> FaultAction {
+        match point {
+            InjectionPoint::ReplicaApply => FaultAction::Delay(self.0),
+            _ => FaultAction::Continue,
+        }
+    }
+}
+
+#[test]
+fn ryw_session_never_reads_the_pre_write_value() {
+    let cluster = ClusterBuilder::new(2).config(SimConfig::instant()).build();
+    let layout = cluster.create_table(TableId(1), 0, 2, |_| PRIMARY);
+    let writer = Session::connect(&cluster, PRIMARY);
+    {
+        let mut t = writer.begin();
+        t.insert(&layout, 1, val("v0")).unwrap();
+        t.commit().unwrap();
+    }
+    let proc = start_replica(&cluster, REPLICA).unwrap();
+    proc.wait_certified(Duration::from_secs(10)).unwrap();
+    let reader = ReplicaSession::connect_ryw(&cluster, REPLICA, &writer).unwrap();
+    for round in 1..=25u32 {
+        let want = format!("v{round}");
+        let mut t = writer.begin();
+        t.update(&layout, 1, val(&want)).unwrap();
+        t.commit().unwrap();
+        // Immediately read back on the replica: the RYW wait must cover
+        // the commit that just happened.
+        let r = reader.begin().unwrap();
+        assert_eq!(
+            r.read(&layout, 1).unwrap(),
+            Some(val(&want)),
+            "round {round}"
+        );
+    }
+    proc.stop();
+}
+
+#[test]
+fn lagging_replica_takes_the_wait_path() {
+    let cluster = ClusterBuilder::new(2).config(SimConfig::instant()).build();
+    let layout = cluster.create_table(TableId(1), 0, 2, |_| PRIMARY);
+    let writer = Session::connect(&cluster, PRIMARY);
+    {
+        let mut t = writer.begin();
+        t.insert(&layout, 9, val("before")).unwrap();
+        t.commit().unwrap();
+    }
+    let proc = start_replica(&cluster, REPLICA).unwrap();
+    proc.wait_certified(Duration::from_secs(10)).unwrap();
+    // Stall the applier *after* certification: every batch now takes 200ms,
+    // so the replica demonstrably trails the primary.
+    cluster.install_fault_injector(Arc::new(DelayApply(Duration::from_millis(200))));
+    let mut t = writer.begin();
+    t.update(&layout, 9, val("after")).unwrap();
+    let cts = t.commit().unwrap();
+    // The replica is provably behind the commit, so a non-waiting read at
+    // the current watermark would return the pre-write value...
+    assert!(
+        proc.handle().watermark() < cts,
+        "replica applied the commit before the lag could bite; the wait \
+         path was not exercised"
+    );
+    // ...but the RYW session blocks until the watermark covers the commit.
+    let reader = ReplicaSession::connect_ryw(&cluster, REPLICA, &writer).unwrap();
+    let r = reader.begin().unwrap();
+    assert!(r.snap_ts() >= cts);
+    assert_eq!(r.read(&layout, 9).unwrap(), Some(val("after")));
+    drop(r);
+    // An explicit causal token works the same way.
+    let plain = ReplicaSession::connect(&cluster, REPLICA).unwrap();
+    let r = plain.begin_after(cts).unwrap();
+    assert_eq!(r.read(&layout, 9).unwrap(), Some(val("after")));
+    drop(r);
+    cluster.uninstall_fault_injector();
+    proc.stop();
+}
+
+#[test]
+fn ryw_wait_times_out_when_the_replica_cannot_catch_up() {
+    let cluster = ClusterBuilder::new(2).config(SimConfig::instant()).build();
+    let layout = cluster.create_table(TableId(1), 0, 2, |_| PRIMARY);
+    let writer = Session::connect(&cluster, PRIMARY);
+    let proc = start_replica(&cluster, REPLICA).unwrap();
+    proc.wait_certified(Duration::from_secs(10)).unwrap();
+    proc.stop();
+    // The replica is detached: nothing will ever cover a fresh commit.
+    let mut t = writer.begin();
+    t.insert(&layout, 3, val("x")).unwrap();
+    let cts = t.commit().unwrap();
+    let handle = cluster.replica(REPLICA).unwrap();
+    assert!(handle
+        .wait_watermark(cts, Duration::from_millis(50))
+        .is_err());
+    assert_eq!(handle.watermark(), Timestamp::INVALID);
+}

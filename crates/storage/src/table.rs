@@ -705,6 +705,45 @@ impl VersionedTable {
             .unwrap_or_default()
     }
 
+    /// A deterministic digest of the table's *committed* state: every
+    /// committed version's `(key, commit_ts, deleted, value)` folded into
+    /// an FNV-1a hash in `(key, commit_ts)` order. Uncommitted and aborted
+    /// versions are excluded, so two tables that converged to the same
+    /// committed history — e.g. a replica fed duplicated/reordered ship
+    /// batches vs. one fed in order — digest identically byte for byte,
+    /// regardless of stripe count or physical chain layout.
+    pub fn committed_state_digest(&self, clog: &Clog) -> u64 {
+        use crate::clog::TxnStatus;
+        // (key, cts, deleted, value) of every committed version, sorted.
+        let mut rows: Vec<(Key, Timestamp, bool, Value)> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let map = stripe.read();
+            for (key, chain) in map.iter() {
+                for v in chain.lock().iter() {
+                    if let TxnStatus::Committed(cts) = clog.status(v.xmin) {
+                        rows.push((*key, cts, v.deleted, v.value.clone()));
+                    }
+                }
+            }
+        }
+        rows.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (key, cts, deleted, value) in &rows {
+            fold(&key.to_le_bytes());
+            fold(&cts.0.to_le_bytes());
+            fold(&[*deleted as u8]);
+            fold(&(value.len() as u64).to_le_bytes());
+            fold(value);
+        }
+        h
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> TableStats {
         let mut stats = TableStats::default();
@@ -745,6 +784,44 @@ mod tests {
         f(x);
         clog.set_committed(x, Timestamp(ts)).unwrap();
         x
+    }
+
+    #[test]
+    fn committed_state_digest_ignores_layout_and_uncommitted() {
+        let clog = Clog::new();
+        // Same committed history, different stripe counts and apply order.
+        let a = VersionedTable::with_stripes(1);
+        let b = VersionedTable::with_stripes(8);
+        committed(&clog, 1, 10, |x| {
+            a.insert(1, val("one"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        committed(&clog, 2, 20, |x| {
+            a.insert(2, val("two"), x, Timestamp(5), &clog, T).unwrap();
+        });
+        // b applies in the opposite key order with the same xids/timestamps.
+        b.insert(2, val("two"), xid(2), Timestamp::MAX, &clog, T)
+            .unwrap();
+        b.insert(1, val("one"), xid(1), Timestamp::MAX, &clog, T)
+            .unwrap();
+        assert_eq!(
+            a.committed_state_digest(&clog),
+            b.committed_state_digest(&clog)
+        );
+        // An uncommitted version does not perturb the digest...
+        let loose = xid(99);
+        clog.begin(loose);
+        b.insert(77, val("pending"), loose, Timestamp::MAX, &clog, T)
+            .unwrap();
+        assert_eq!(
+            a.committed_state_digest(&clog),
+            b.committed_state_digest(&clog)
+        );
+        // ...until it commits.
+        clog.set_committed(loose, Timestamp(30)).unwrap();
+        assert_ne!(
+            a.committed_state_digest(&clog),
+            b.committed_state_digest(&clog)
+        );
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub use gate::{LockMode, ShardGate, ShardLockTable};
 pub use hooks::{CommitMode, NoopHook, SyncCommitHook};
 pub use net::{DelayNetwork, Network, NoNetwork};
 pub use node::{NodeCounters, NodeStorage};
-pub use recovery::{replay_node_wal, ReplaySummary};
+pub use recovery::{redo_write, replay_node_wal, ReplaySummary};
 pub use txn::Txn;

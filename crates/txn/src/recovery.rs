@@ -156,50 +156,65 @@ pub fn replay_node_wal(node: &NodeStorage) -> DbResult<ReplaySummary> {
     Ok(summary)
 }
 
-/// Redoes one row write. `start_ts = MAX` defeats first-committer-wins
-/// (validation already happened pre-crash); `Lock` records carry no image
-/// and redo nothing.
+/// Redoes one logged row write leniently, creating the shard table if
+/// needed. `start_ts = MAX` defeats first-committer-wins (validation
+/// already happened wherever the record was produced); `Lock` records
+/// carry no image and redo nothing. Insert-over-live falls back to update,
+/// update-of-missing to insert, and delete-of-missing is a no-op — the
+/// tolerance crash replay needs for truncated base images, and exactly the
+/// value-converging semantics a replica applier needs when a migration
+/// replays the same transaction over two shipped streams.
+///
+/// Returns whether a row version was installed.
+pub fn redo_write(
+    node: &NodeStorage,
+    xid: TxnId,
+    w: &WriteOp,
+    timeout: Duration,
+) -> DbResult<bool> {
+    if w.kind == WriteKind::Lock {
+        return Ok(false);
+    }
+    let table = node.create_shard(w.shard);
+    let ts = Timestamp::MAX;
+    let clog = &node.clog;
+    let outcome = match w.kind {
+        WriteKind::Insert => match table.insert(w.key, w.value.clone(), xid, ts, clog, timeout) {
+            // Base image predates the retained WAL (insert was
+            // truncated away but the row re-appeared): redo as update.
+            Err(DbError::DuplicateKey) => {
+                table.update(w.key, w.value.clone(), xid, ts, clog, timeout)
+            }
+            other => other,
+        },
+        WriteKind::Update => match table.update(w.key, w.value.clone(), xid, ts, clog, timeout) {
+            // Base image lost to WAL truncation: redo as insert.
+            Err(DbError::KeyNotFound) => {
+                table.insert(w.key, w.value.clone(), xid, ts, clog, timeout)
+            }
+            other => other,
+        },
+        WriteKind::Delete => match table.delete(w.key, xid, ts, clog, timeout) {
+            // Deleting a row that never made it to disk: already gone.
+            Err(DbError::KeyNotFound) => return Ok(false),
+            other => other,
+        },
+        WriteKind::Lock => unreachable!("filtered above"),
+    };
+    outcome?;
+    Ok(true)
+}
+
+/// [`redo_write`] plus replay summary accounting.
 fn apply_write(
     node: &NodeStorage,
     xid: TxnId,
     w: &WriteOp,
     summary: &mut ReplaySummary,
 ) -> DbResult<()> {
-    if w.kind == WriteKind::Lock {
-        return Ok(());
+    if redo_write(node, xid, w, REPLAY_TIMEOUT)? {
+        summary.writes_applied += 1;
     }
-    let table = node.create_shard(w.shard);
-    let ts = Timestamp::MAX;
-    let clog = &node.clog;
-    let outcome = match w.kind {
-        WriteKind::Insert => {
-            match table.insert(w.key, w.value.clone(), xid, ts, clog, REPLAY_TIMEOUT) {
-                // Base image predates the retained WAL (insert was
-                // truncated away but the row re-appeared): redo as update.
-                Err(DbError::DuplicateKey) => {
-                    table.update(w.key, w.value.clone(), xid, ts, clog, REPLAY_TIMEOUT)
-                }
-                other => other,
-            }
-        }
-        WriteKind::Update => {
-            match table.update(w.key, w.value.clone(), xid, ts, clog, REPLAY_TIMEOUT) {
-                // Base image lost to WAL truncation: redo as insert.
-                Err(DbError::KeyNotFound) => {
-                    table.insert(w.key, w.value.clone(), xid, ts, clog, REPLAY_TIMEOUT)
-                }
-                other => other,
-            }
-        }
-        WriteKind::Delete => match table.delete(w.key, xid, ts, clog, REPLAY_TIMEOUT) {
-            // Deleting a row that never made it to disk: already gone.
-            Err(DbError::KeyNotFound) => return Ok(()),
-            other => other,
-        },
-        WriteKind::Lock => unreachable!("filtered above"),
-    };
-    outcome?;
-    summary.writes_applied += 1;
     Ok(())
 }
 

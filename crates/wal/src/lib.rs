@@ -25,6 +25,7 @@ pub mod codec;
 pub mod log;
 pub mod queue;
 pub mod record;
+pub mod ship;
 
 pub use backend::{
     BackendHandle, FileBackend, FsyncData, MemBackend, RecoveredLog, SyncPolicy, WalBackend,
@@ -33,3 +34,4 @@ pub use codec::{crc32, decode_record, encode_record, encode_record_vec, CODEC_VE
 pub use log::{Lsn, Wal, WalReader};
 pub use queue::UpdateCacheQueue;
 pub use record::{LogOp, LogRecord, WriteKind, WriteOp};
+pub use ship::{ApplyLsnGate, ShipBatch};
