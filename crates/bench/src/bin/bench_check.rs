@@ -1,6 +1,6 @@
 //! Compares two bench JSON reports for CI.
 //!
-//! Two gates, both deliberately loose enough for noisy shared runners:
+//! Gates, all deliberately loose enough for noisy shared runners:
 //!
 //! 1. **Determinism**: both reports must contain the same scenarios (name
 //!    and engine) and every migration's root phase sequence must match —
@@ -14,48 +14,43 @@
 //!    table (from `bench_foreground`) should show the optimized hot path at
 //!    least 1.5x over the sequential baseline — the measured invariant of
 //!    the striped-index + GC + lease optimization, checked in both files.
-//!    Like the wall-clock gate, the hard failure is reserved for genuine
-//!    regressions: below [`MIN_FOREGROUND_SPEEDUP`] is a loud warning
-//!    (shared CI runners can compress a real 2.5x ratio), while below
-//!    [`FOREGROUND_SPEEDUP_FLOOR`] — optimized indistinguishable from the
-//!    baseline — fails, because both legs run in the same process on the
-//!    same runner, so noise alone cannot erase the ratio.
-//!
 //! 4. **Planner recovery**: a report carrying a `planner recovery` table
 //!    (from `bench_planner`) should show the autopilot leg recovering at
 //!    least [`MIN_RECOVERY`] of its pre-shift throughput after the hotspot
-//!    jumps (warning below — runner noise), must stay above
-//!    [`RECOVERY_FLOOR`], and must beat the no-migration leg's steady
-//!    throughput by [`ADVANTAGE_FLOOR`] — all three legs run in one
-//!    process, so an autopilot that cannot out-run *doing nothing* is a
-//!    closed-loop regression, not jitter.
-//!
+//!    jumps, and must beat the no-migration leg's steady throughput by
+//!    [`ADVANTAGE_FLOOR`].
 //! 5. **Replica read scaling**: a report carrying a `replica read
 //!    scaling` table (from `bench_replica`) should show the best replica
 //!    leg serving reads at least [`MIN_READ_SCALING`] as fast as the
-//!    no-replica leg (warning below — runner noise) and must stay above
-//!    [`READ_SCALING_FLOOR`]: all legs run in one process, so replica
-//!    reads collapsing to a fraction of primary throughput means the
-//!    ship/apply/watermark path regressed, not the runner.
+//!    no-replica leg.
+//! 6. **Replicate-or-migrate edge**: a report carrying a `replicate
+//!    recovery` table (from `bench_planner --scenario read-skew`) should
+//!    show the replicate leg recovering at least [`MIN_RS_RECOVERY`] of
+//!    its pre-hotspot read throughput, and its recovery must beat the
+//!    forced-migrate leg's by [`MIN_RS_EDGE`] — replication offloads the
+//!    read-hot shard while migration can only move it, so losing the edge
+//!    means the replica read path (or the planner pricing it) regressed.
+//!
+//! Every ratio gate is two-tier (see [`remus_bench::gate`]): below the
+//! expected threshold warns — shared CI runners compress real ratios —
+//! and below the hard floor fails, because the compared legs run in the
+//! same process on the same runner, so noise alone cannot erase the
+//! ratio.
 //!
 //! Usage: `bench_check <baseline.json> <candidate.json>`. Exits non-zero
 //! with one line per violation.
 
 use std::process::exit;
 
-use remus_bench::{BenchReport, ScenarioReport};
+use remus_bench::{parse_ratio_cell, two_tier, BenchReport, GateTier, ScenarioReport};
 
 /// Maximum tolerated candidate/baseline wall-clock ratio.
 const MAX_SLOWDOWN: f64 = 10.0;
 /// Expected optimized/baseline foreground throughput ratio (the tentpole
-/// claim of the hot-path optimization). Falling short is a warning, not a
-/// failure: shared CI runners can compress the measured ~2.5x without any
-/// code regression.
+/// claim of the hot-path optimization).
 const MIN_FOREGROUND_SPEEDUP: f64 = 1.5;
 /// Hard floor for the foreground speedup: below this the optimized leg is
-/// effectively no faster than the baseline, which no amount of runner noise
-/// produces (both legs run back-to-back in one process) — the optimization
-/// itself regressed.
+/// effectively no faster than the baseline.
 const FOREGROUND_SPEEDUP_FLOOR: f64 = 1.1;
 /// Expected autopilot recovery ratio (steady/pre-shift throughput) in a
 /// `planner recovery` table; below is a warning.
@@ -69,6 +64,18 @@ const ADVANTAGE_FLOOR: f64 = 1.1;
 const MIN_READ_SCALING: f64 = 1.0;
 /// Hard floor for the replica read-scaling ratio.
 const READ_SCALING_FLOOR: f64 = 0.4;
+/// Expected replicate-leg read recovery (steady/pre) in a `replicate
+/// recovery` table: offloading the read-hot shard should leave steady
+/// reads no slower than the degraded pre window.
+const MIN_RS_RECOVERY: f64 = 1.0;
+/// Hard floor for the replicate-leg read recovery.
+const RS_RECOVERY_FLOOR: f64 = 0.6;
+/// Expected replicate-over-migrate recovery edge; below is a warning.
+const MIN_RS_EDGE: f64 = 1.2;
+/// Hard floor for the replicate-over-migrate edge: a replica that cannot
+/// out-recover a forced migration at all makes Replicate dead weight in
+/// the decision core.
+const RS_EDGE_FLOOR: f64 = 1.02;
 
 fn load(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -87,10 +94,49 @@ fn phase_sequences(s: &ScenarioReport) -> Vec<Vec<String>> {
         .collect()
 }
 
+/// Applies the shared two-tier policy to one named ratio: `Warn` prints
+/// the canonical runner-noise warning, `Fail` pushes a violation ending
+/// with `consequence`, and an unparseable ratio (`None`) is always a
+/// violation.
+fn gate_ratio(
+    which: &str,
+    what: &str,
+    ratio: Option<f64>,
+    expected: f64,
+    floor: f64,
+    consequence: &str,
+    violations: &mut Vec<String>,
+) {
+    let Some(r) = ratio else {
+        violations.push(format!("{which}: cannot parse the {what} ratio"));
+        return;
+    };
+    match two_tier(r, expected, floor) {
+        GateTier::Pass => {}
+        GateTier::Warn => eprintln!(
+            "bench_check WARN: {which}: {what} {r:.2}x below the expected \
+             {expected}x (tolerated as runner noise; hard floor {floor}x)"
+        ),
+        GateTier::Fail => violations.push(format!(
+            "{which}: {what} {r:.2}x below the hard floor {floor}x — {consequence}"
+        )),
+    }
+}
+
+/// The trailing ratio cell (`"1.59x"`) of the row whose first cell is
+/// `label`, if the table has such a row and the cell parses.
+fn row_ratio(table: &remus_bench::TableSection, label: &str) -> Option<f64> {
+    table
+        .rows
+        .iter()
+        .find(|r| r.first().map(String::as_str) == Some(label))
+        .and_then(|r| r.last())
+        .and_then(|cell| parse_ratio_cell(cell))
+}
+
 /// Checks the `foreground throughput` table when present: the `optimized`
-/// row's trailing speedup cell (`"2.31x"`) should reach
-/// [`MIN_FOREGROUND_SPEEDUP`] (warning below), and must stay above
-/// [`FOREGROUND_SPEEDUP_FLOOR`] (violation below). The
+/// row's trailing speedup cell should reach [`MIN_FOREGROUND_SPEEDUP`]
+/// (warning below) and must stay above [`FOREGROUND_SPEEDUP_FLOOR`]. The
 /// `walfile-optimized` row — the tuned-vs-sequential ratio of the
 /// file-backed group-commit pair — is gated with the same two tiers when
 /// present (older reports without the durable legs pass). Reports without
@@ -104,89 +150,48 @@ fn check_foreground(which: &str, report: &BenchReport, violations: &mut Vec<Stri
         return;
     };
     for (row_label, required) in [("optimized", true), ("walfile-optimized", false)] {
-        let Some(row) = table
-            .rows
-            .iter()
-            .find(|r| r.first().map(String::as_str) == Some(row_label))
-        else {
-            if required {
-                violations.push(format!(
-                    "{which}: foreground throughput table has no '{row_label}' row"
-                ));
-            }
+        let ratio = row_ratio(table, row_label);
+        if ratio.is_none() && !required {
             continue;
-        };
-        let speedup = row
-            .last()
-            .and_then(|cell| cell.strip_suffix('x'))
-            .and_then(|s| s.parse::<f64>().ok());
-        match speedup {
-            Some(s) if s >= MIN_FOREGROUND_SPEEDUP => {}
-            Some(s) if s >= FOREGROUND_SPEEDUP_FLOOR => eprintln!(
-                "bench_check WARN: {which}: foreground speedup ({row_label}) \
-                 {s:.2}x below the expected {MIN_FOREGROUND_SPEEDUP}x \
-                 (tolerated as runner noise; hard floor \
-                 {FOREGROUND_SPEEDUP_FLOOR}x)"
-            ),
-            Some(s) => violations.push(format!(
-                "{which}: foreground speedup ({row_label}) {s:.2}x below the \
-                 hard floor {FOREGROUND_SPEEDUP_FLOOR}x — the optimized leg \
-                 is no faster than the baseline"
-            )),
-            None => violations.push(format!(
-                "{which}: cannot parse foreground speedup cell {:?}",
-                row.last()
-            )),
         }
+        gate_ratio(
+            which,
+            &format!("foreground speedup ({row_label})"),
+            ratio,
+            MIN_FOREGROUND_SPEEDUP,
+            FOREGROUND_SPEEDUP_FLOOR,
+            "the optimized leg is no faster than the baseline",
+            violations,
+        );
     }
 }
 
 /// Checks the `planner recovery` table when present (see `bench_planner`):
-/// the `autopilot` row's trailing recovery cell (`"0.88x"`) should reach
-/// [`MIN_RECOVERY`] (warning below) and must stay above [`RECOVERY_FLOOR`];
-/// its `steady_tps` must beat the `no-migration` row's by
-/// [`ADVANTAGE_FLOOR`]. Reports without the table pass.
+/// the `autopilot` row's trailing recovery cell should reach
+/// [`MIN_RECOVERY`] (warning below) and must stay above
+/// [`RECOVERY_FLOOR`]; its `steady_tps` must beat the `no-migration`
+/// row's by [`ADVANTAGE_FLOOR`]. Reports without the table pass.
 fn check_planner(which: &str, report: &BenchReport, violations: &mut Vec<String>) {
     let Some(table) = report.tables.iter().find(|t| t.title == "planner recovery") else {
         return;
     };
-    let row = |label: &str| {
+    gate_ratio(
+        which,
+        "autopilot recovery",
+        row_ratio(table, "autopilot"),
+        MIN_RECOVERY,
+        RECOVERY_FLOOR,
+        "the hotspot shift was never repaired",
+        violations,
+    );
+    let steady = |label: &str| {
         table
             .rows
             .iter()
             .find(|r| r.first().map(String::as_str) == Some(label))
-    };
-    let steady = |label: &str| {
-        row(label)
             .and_then(|r| r.get(3))
             .and_then(|c| c.parse::<f64>().ok())
     };
-    let Some(auto) = row("autopilot") else {
-        violations.push(format!(
-            "{which}: planner recovery table has no 'autopilot' row"
-        ));
-        return;
-    };
-    match auto
-        .last()
-        .and_then(|cell| cell.strip_suffix('x'))
-        .and_then(|s| s.parse::<f64>().ok())
-    {
-        Some(r) if r >= MIN_RECOVERY => {}
-        Some(r) if r >= RECOVERY_FLOOR => eprintln!(
-            "bench_check WARN: {which}: autopilot recovery {r:.2}x below the \
-             expected {MIN_RECOVERY}x (tolerated as runner noise; hard floor \
-             {RECOVERY_FLOOR}x)"
-        ),
-        Some(r) => violations.push(format!(
-            "{which}: autopilot recovery {r:.2}x below the hard floor \
-             {RECOVERY_FLOOR}x — the hotspot shift was never repaired"
-        )),
-        None => violations.push(format!(
-            "{which}: cannot parse autopilot recovery cell {:?}",
-            auto.last()
-        )),
-    }
     match (steady("autopilot"), steady("no-migration")) {
         (Some(a), Some(n)) if a >= ADVANTAGE_FLOOR * n.max(1e-9) => {}
         (Some(a), Some(n)) => violations.push(format!(
@@ -201,9 +206,9 @@ fn check_planner(which: &str, report: &BenchReport, violations: &mut Vec<String>
 }
 
 /// Checks the `replica read scaling` table when present (see
-/// `bench_replica`): the best replica row's trailing scaling cell
-/// (`"1.59x"`) should reach [`MIN_READ_SCALING`] (warning below) and must
-/// stay above [`READ_SCALING_FLOOR`]. Reports without the table pass.
+/// `bench_replica`): the best replica row's trailing scaling cell should
+/// reach [`MIN_READ_SCALING`] (warning below) and must stay above
+/// [`READ_SCALING_FLOOR`]. Reports without the table pass.
 fn check_replica(which: &str, report: &BenchReport, violations: &mut Vec<String>) {
     let Some(table) = report
         .tables
@@ -214,41 +219,66 @@ fn check_replica(which: &str, report: &BenchReport, violations: &mut Vec<String>
     };
     let mut best: Option<f64> = None;
     for label in ["1-replica", "2-replica"] {
-        let Some(row) = table
-            .rows
-            .iter()
-            .find(|r| r.first().map(String::as_str) == Some(label))
-        else {
-            violations.push(format!(
-                "{which}: replica read scaling table has no '{label}' row"
-            ));
-            continue;
-        };
-        match row
-            .last()
-            .and_then(|cell| cell.strip_suffix('x'))
-            .and_then(|s| s.parse::<f64>().ok())
-        {
+        match row_ratio(table, label) {
             Some(r) => best = Some(best.map_or(r, |b: f64| b.max(r))),
             None => violations.push(format!(
-                "{which}: cannot parse replica scaling cell {:?}",
-                row.last()
+                "{which}: replica read scaling table has no parseable '{label}' row"
             )),
         }
     }
-    match best {
-        Some(r) if r >= MIN_READ_SCALING => {}
-        Some(r) if r >= READ_SCALING_FLOOR => eprintln!(
-            "bench_check WARN: {which}: replica read scaling {r:.2}x below \
-             the expected {MIN_READ_SCALING}x (tolerated as runner noise; \
-             hard floor {READ_SCALING_FLOOR}x)"
+    if best.is_some() {
+        gate_ratio(
+            which,
+            "replica read scaling",
+            best,
+            MIN_READ_SCALING,
+            READ_SCALING_FLOOR,
+            "replica reads collapsed against the no-replica baseline",
+            violations,
+        );
+    }
+}
+
+/// Checks the `replicate recovery` table when present (see `bench_planner
+/// --scenario read-skew`): the `replicate` row's recovery cell should
+/// reach [`MIN_RS_RECOVERY`] (warning below) and must stay above
+/// [`RS_RECOVERY_FLOOR`]; the replicate/migrate recovery edge should
+/// reach [`MIN_RS_EDGE`] and must stay above [`RS_EDGE_FLOOR`]. Reports
+/// without the table pass.
+fn check_readskew(which: &str, report: &BenchReport, violations: &mut Vec<String>) {
+    let Some(table) = report
+        .tables
+        .iter()
+        .find(|t| t.title == "replicate recovery")
+    else {
+        return;
+    };
+    let replicate = row_ratio(table, "replicate");
+    let migrate = row_ratio(table, "forced-migrate");
+    gate_ratio(
+        which,
+        "replicate-leg read recovery",
+        replicate,
+        MIN_RS_RECOVERY,
+        RS_RECOVERY_FLOOR,
+        "offloaded reads are slower than the degraded pre-hotspot window",
+        violations,
+    );
+    match (replicate, migrate) {
+        (Some(r), Some(m)) => gate_ratio(
+            which,
+            "replicate-over-migrate recovery edge",
+            Some(r / m.max(1e-9)),
+            MIN_RS_EDGE,
+            RS_EDGE_FLOOR,
+            "replication no longer beats a forced migration on the \
+             read-skewed hotspot",
+            violations,
         ),
-        Some(r) => violations.push(format!(
-            "{which}: replica read scaling {r:.2}x below the hard floor \
-             {READ_SCALING_FLOOR}x — replica reads collapsed against the \
-             no-replica baseline"
+        _ => violations.push(format!(
+            "{which}: replicate recovery table is missing a parseable \
+             'replicate' or 'forced-migrate' recovery"
         )),
-        None => {}
     }
 }
 
@@ -289,12 +319,12 @@ fn main() {
         }
     }
 
-    check_foreground("baseline", &baseline, &mut violations);
-    check_foreground("candidate", &candidate, &mut violations);
-    check_planner("baseline", &baseline, &mut violations);
-    check_planner("candidate", &candidate, &mut violations);
-    check_replica("baseline", &baseline, &mut violations);
-    check_replica("candidate", &candidate, &mut violations);
+    for (which, report) in [("baseline", &baseline), ("candidate", &candidate)] {
+        check_foreground(which, report, &mut violations);
+        check_planner(which, report, &mut violations);
+        check_replica(which, report, &mut violations);
+        check_readskew(which, report, &mut violations);
+    }
 
     if violations.is_empty() {
         println!(

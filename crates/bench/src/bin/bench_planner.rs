@@ -28,22 +28,36 @@
 //! itself is broken, not the runner. `bench_check` applies the same
 //! two-tier policy to the emitted `remus-bench/v1` report.
 //!
+//! A second scenario, `--scenario read-skew`, benchmarks the other half
+//! of the replicate-or-migrate decision core: a read-hot shard under a
+//! continuous writer, where the adaptive planner answers with a
+//! WAL-shipped replica (reads offload to the apply watermark, skipping
+//! the shared oracle and the contended primary storage) while a
+//! forced-migrate leg — the same planner with replication disabled — can
+//! only shuffle the shard between primaries. The headline number is the
+//! **edge**: the replicate leg's read recovery (steady/pre read
+//! throughput) over the forced-migrate leg's, expected above
+//! [`MIN_RS_EDGE`] with a hard floor at [`RS_EDGE_FLOOR`].
+//!
 //! Usage: `cargo run --release -p remus-bench --bin bench_planner --
-//! --json BENCH_planner.json`
+//! [--scenario hotspot|read-skew] --json BENCH_planner.json`
 
-use std::path::PathBuf;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use remus_bench::{json_path_arg, BenchReport, EngineKind, ScenarioReport, TableSection};
 use remus_clock::OracleKind;
-use remus_cluster::{Cluster, ClusterBuilder, Session};
+use remus_cluster::{Cluster, ClusterBuilder, ReadRouter, Session};
 use remus_common::metrics::{LatencyStat, Timeline};
 use remus_common::{ClientId, HotPathConfig, NodeId, PlannerConfig, ShardId, SimConfig, TableId};
 use remus_core::MigrationTask;
 use remus_planner::{Autopilot, AutopilotOptions};
+use remus_shard::TableLayout;
+use remus_storage::Value;
 use remus_workload::{HotspotShift, Workload, Ycsb, YcsbConfig};
 
 /// Keys in the YCSB table (4 shards, ~256 keys each).
@@ -86,6 +100,48 @@ const MIN_ADVANTAGE: f64 = 1.5;
 /// Hard floor: the autopilot must strictly beat leaving the cluster
 /// alone, or the closed loop is pointless.
 const ADVANTAGE_FLOOR: f64 = 1.1;
+
+/// Nodes in the read-skew scenario: one loaded primary plus two spares
+/// the planner can either replicate onto or migrate to.
+const RS_NODES: usize = 3;
+/// Shards in the read-skew table, all placed on node 0 at setup.
+const RS_SHARDS: u32 = 4;
+/// Keys in the read-skew table.
+const RS_KEYS: u64 = 1024;
+/// Closed-loop read-only router clients in the read-skew scenario.
+const RS_READERS: usize = 4;
+/// Point reads per read-only transaction.
+const RS_READS_PER_TXN: usize = 8;
+/// The read-hot (and write-hot) shard: wherever a migration puts it, the
+/// writer's updates follow, so only a replica separates the readers from
+/// the writer.
+const RS_HOT_SHARD: ShardId = ShardId(0);
+/// Unmeasured transactions per reader before the pre window.
+const RS_WARMUP_TXNS: u64 = 500;
+/// Measured transactions per reader in the degraded pre window.
+const RS_PRE_TXNS: u64 = 3_000;
+/// Unmeasured transactions per reader after the planner has acted:
+/// refills router endpoints and drains migration/backfill residue.
+const RS_DRAIN_TXNS: u64 = 500;
+/// Measured transactions per reader in the steady window.
+const RS_STEADY_TXNS: u64 = 5_000;
+/// How long the main thread waits for the planner's answer (replica
+/// certified, or the primaries rebalanced) before measuring anyway.
+const RS_REACT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Expected replicate-leg read recovery (steady/pre); warn below. The
+/// offloaded steady window sheds the oracle round-trip and the
+/// writer-contended primary storage, so it should be no slower than the
+/// degraded pre window.
+const MIN_RS_RECOVERY: f64 = 1.0;
+/// Hard floor for the replicate-leg read recovery.
+const RS_RECOVERY_FLOOR: f64 = 0.6;
+/// Expected replicate-over-migrate recovery edge; warn below.
+const MIN_RS_EDGE: f64 = 1.2;
+/// Hard floor for the edge: replication must strictly beat shuffling the
+/// read-hot shard between primaries, or Replicate is dead weight in the
+/// decision core.
+const RS_EDGE_FLOOR: f64 = 1.02;
 
 /// Which policy a leg runs.
 enum Policy {
@@ -284,8 +340,408 @@ fn recovery_row(leg: &LegResult, label: &str) -> Vec<String> {
     ]
 }
 
+/// One read-skew leg.
+struct SkewLegResult {
+    pre_tps: f64,
+    steady_tps: f64,
+    replica_share: f64,
+    actions: u64,
+    scenario: remus_bench::ScenarioResult,
+}
+
+impl SkewLegResult {
+    fn recovery(&self) -> f64 {
+        self.steady_tps / self.pre_tps.max(1e-9)
+    }
+}
+
+/// Planner for the read-skew legs: the adaptive replicate-or-migrate
+/// core with cost weights zeroed (so the replicate-vs-balance pricing
+/// reduces to the measured read benefit and replays across runs) and
+/// co-location off (the workload has no cross-shard writes).
+fn skew_config(replication: bool) -> PlannerConfig {
+    let mut config = PlannerConfig::adaptive();
+    config.replication = replication;
+    config.cost_weight_versions = 0.0;
+    config.cost_weight_wal = 0.0;
+    config.cost_weight_ship = 0.0;
+    config.colocation = false;
+    config.seed = SEED;
+    config
+}
+
+/// One closed-loop router reader: warmed up, then timed over the pre
+/// window, parked while the planner reacts, then timed over the steady
+/// window. Returns the two window durations and how many steady
+/// transactions a replica served.
+#[allow(clippy::too_many_arguments)]
+fn skew_reader(
+    cluster: &Arc<Cluster>,
+    layout: TableLayout,
+    hot_keys: &[u64],
+    idx: usize,
+    phase: &Barrier,
+    acted: &AtomicBool,
+    latency: &LatencyStat,
+    timeline: &Timeline,
+) -> (Duration, Duration, u64) {
+    let mut rng = SmallRng::seed_from_u64(SEED.wrapping_mul(0x9e37_79b9).wrapping_add(idx as u64));
+    let mut router = ReadRouter::new(cluster, NodeId(0), idx);
+    let mut run_txn = |rng: &mut SmallRng| -> bool {
+        let started = Instant::now();
+        let mut txn = router.begin().expect("read begin");
+        let replica = txn.is_replica();
+        for _ in 0..RS_READS_PER_TXN {
+            // 3 of 4 reads hit the hot shard's keys; the rest keep the
+            // cold shards warm so the balancer sees their load too.
+            let key = if rng.gen_range(0..4u32) != 0 {
+                hot_keys[rng.gen_range(0..hot_keys.len())]
+            } else {
+                rng.gen_range(0..RS_KEYS)
+            };
+            txn.read(&layout, key).expect("read");
+        }
+        txn.finish().expect("read finish");
+        latency.record(started.elapsed());
+        timeline.record();
+        replica
+    };
+    for _ in 0..RS_WARMUP_TXNS {
+        run_txn(&mut rng);
+    }
+    phase.wait();
+    let t0 = Instant::now();
+    for _ in 0..RS_PRE_TXNS {
+        run_txn(&mut rng);
+    }
+    let pre = t0.elapsed();
+    phase.wait();
+    // React: keep the load signal flowing while the planner decides and
+    // executes; nothing here is measured.
+    while !acted.load(Ordering::Relaxed) {
+        run_txn(&mut rng);
+    }
+    for _ in 0..RS_DRAIN_TXNS {
+        run_txn(&mut rng);
+    }
+    let mut replica_txns = 0u64;
+    let t1 = Instant::now();
+    for _ in 0..RS_STEADY_TXNS {
+        if run_txn(&mut rng) {
+            replica_txns += 1;
+        }
+    }
+    (pre, t1.elapsed(), replica_txns)
+}
+
+/// Runs one read-skew leg: same cluster, workload, and windows; the two
+/// legs differ only in whether the planner may answer with a replica.
+fn run_skew_leg(replicate: bool) -> SkewLegResult {
+    let mut config = SimConfig::instant();
+    // Frequent version-chain GC keeps the hot keys' chains short;
+    // `gts_lease` stays at the strict default of 1 so primary-side reads
+    // pay the oracle round-trip the replica path gets to skip.
+    config.hot_path.gc_interval = Duration::from_millis(5);
+    let cluster = ClusterBuilder::new(RS_NODES)
+        .cc_mode(EngineKind::Remus.cc_mode())
+        .oracle(OracleKind::Gts)
+        .config(config)
+        .build();
+    cluster.start_maintenance(Duration::from_secs(3600));
+    // Every shard starts on node 0; nodes 1 and 2 are empty spares the
+    // planner can replicate onto or migrate to.
+    let layout = cluster.create_table(TableId(1), 0, RS_SHARDS, |_| NodeId(0));
+    let seeder = Session::connect(&cluster, NodeId(0));
+    for chunk in (0..RS_KEYS).collect::<Vec<_>>().chunks(64) {
+        seeder
+            .run(|t| {
+                for &k in chunk {
+                    t.insert(
+                        &layout,
+                        k,
+                        Value::copy_from_slice(format!("v{k}").as_bytes()),
+                    )?;
+                }
+                Ok(())
+            })
+            .expect("seeding failed");
+    }
+    let hot_keys: Vec<u64> = (0..RS_KEYS)
+        .filter(|k| layout.shard_for(*k) == RS_HOT_SHARD)
+        .collect();
+
+    // Continuous writer on the hot shard for the whole leg: whatever the
+    // planner does, the write stream follows the shard.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        let hot_keys = hot_keys.clone();
+        std::thread::spawn(move || {
+            let session = Session::connect(&cluster, NodeId(0));
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            let mut commits = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = hot_keys[rng.gen_range(0..hot_keys.len())];
+                // Migration-induced aborts are retried by the loop itself.
+                if session
+                    .run(|t| {
+                        t.update(
+                            &layout,
+                            key,
+                            Value::copy_from_slice(format!("w{commits}").as_bytes()),
+                        )
+                    })
+                    .is_ok()
+                {
+                    commits += 1;
+                }
+            }
+            commits
+        })
+    };
+
+    let latency = LatencyStat::new();
+    let timeline = Timeline::per_second();
+    let acted = AtomicBool::new(false);
+    let replica_txns = AtomicU64::new(0);
+    let phase = Barrier::new(RS_READERS + 1);
+    let (pre_window, steady_window, pilot_report) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..RS_READERS)
+            .map(|idx| {
+                let (cluster, hot_keys, latency, timeline, phase, acted, replica_txns) = (
+                    &cluster,
+                    &hot_keys,
+                    &latency,
+                    &timeline,
+                    &phase,
+                    &acted,
+                    &replica_txns,
+                );
+                scope.spawn(move || {
+                    let (pre, steady, from_replica) = skew_reader(
+                        cluster, layout, hot_keys, idx, phase, acted, latency, timeline,
+                    );
+                    replica_txns.fetch_add(from_replica, Ordering::Relaxed);
+                    (pre, steady)
+                })
+            })
+            .collect();
+        phase.wait(); // warm-up done, pre window starts
+        phase.wait(); // pre window done on every reader
+        let pilot = Autopilot::start(
+            Arc::clone(&cluster),
+            skew_config(replicate),
+            AutopilotOptions {
+                tick_interval: Duration::from_millis(5),
+                latency: None,
+            },
+        );
+        // Wait for the leg's answer: a certified replica serving offloaded
+        // reads, or the hot shard migrated off the loaded primary (the
+        // balancer moves the highest-demand shard first, then typically
+        // finds no further strictly-improving move). On timeout the steady
+        // window measures whatever state the cluster is in and the gates
+        // fail.
+        let deadline = Instant::now() + RS_REACT_TIMEOUT;
+        while Instant::now() < deadline {
+            let done = if replicate {
+                cluster.read_offload_enabled() && !cluster.replica_ids().is_empty()
+            } else {
+                !cluster
+                    .node(NodeId(0))
+                    .data_shards()
+                    .contains(&RS_HOT_SHARD)
+            };
+            if done {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        acted.store(true, Ordering::Relaxed);
+        let windows: Vec<(Duration, Duration)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("reader panicked"))
+            .collect();
+        let pre = windows.iter().map(|(p, _)| *p).max().unwrap_or_default();
+        let steady = windows.iter().map(|(_, s)| *s).max().unwrap_or_default();
+        (pre, steady, pilot.stop())
+    });
+    stop.store(true, Ordering::Relaxed);
+    let commits = writer.join().expect("writer panicked");
+    let counters = cluster.metrics_snapshot();
+    cluster.stop_maintenance();
+
+    let reads_per_window = |txns: u64| (RS_READERS as u64 * txns * RS_READS_PER_TXN as u64) as f64;
+    let pre_tps = reads_per_window(RS_PRE_TXNS) / pre_window.as_secs_f64().max(1e-9);
+    let steady_tps = reads_per_window(RS_STEADY_TXNS) / steady_window.as_secs_f64().max(1e-9);
+    let replica_share =
+        replica_txns.load(Ordering::Relaxed) as f64 / (RS_READERS as u64 * RS_STEADY_TXNS) as f64;
+    let actions = pilot_report.moves
+        + pilot_report.replicas_provisioned
+        + pilot_report.replicas_decommissioned;
+    let label = if replicate {
+        "replicate"
+    } else {
+        "forced-migrate"
+    };
+    println!(
+        "{label:<14}\tpre_reads/s={pre_tps:.0}\tsteady_reads/s={steady_tps:.0}\t\
+         replica_share={replica_share:.2}\tactions={actions}\twriter_commits={commits}",
+    );
+    if replicate {
+        assert!(
+            pilot_report.replicas_provisioned >= 1,
+            "the adaptive planner never provisioned a replica"
+        );
+        assert!(
+            replica_share > 0.5,
+            "steady reads were not replica-served (share {replica_share:.2})"
+        );
+    } else {
+        assert!(
+            pilot_report.moves >= 1,
+            "the forced-migrate planner never migrated anything"
+        );
+        assert_eq!(
+            pilot_report.replicas_provisioned, 0,
+            "the forced-migrate leg provisioned a replica"
+        );
+    }
+    let scenario = remus_bench::ScenarioResult {
+        engine: EngineKind::Remus.name(),
+        tps: timeline.rates_per_sec(),
+        commits: RS_READERS as u64 * (RS_PRE_TXNS + RS_STEADY_TXNS),
+        base_latency: latency.mean(),
+        counters,
+        ..Default::default()
+    };
+    SkewLegResult {
+        pre_tps,
+        steady_tps,
+        replica_share,
+        actions,
+        scenario,
+    }
+}
+
+fn skew_row(leg: &SkewLegResult, label: &str) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.0}", leg.pre_tps),
+        format!("{:.0}", leg.steady_tps),
+        format!("{:.2}", leg.replica_share),
+        format!("{}", leg.actions),
+        format!("{:.2}x", leg.recovery()),
+    ]
+}
+
+/// The read-skew scenario: replicate leg vs forced-migrate leg, gated on
+/// the replicate leg's absolute recovery and on the edge between them.
+fn run_read_skew(path: &Path) {
+    println!(
+        "# bench_planner — read-skewed hotspot, {RS_READERS} router readers \
+         x {RS_READS_PER_TXN} reads, continuous hot-shard writer"
+    );
+    let replicate = run_skew_leg(true);
+    let migrate = run_skew_leg(false);
+    let edge = replicate.recovery() / migrate.recovery().max(1e-9);
+    println!(
+        "replicate recovery: {:.2}x (expected >= {MIN_RS_RECOVERY}x, floor \
+         {RS_RECOVERY_FLOOR}x); edge over forced-migrate: {edge:.2}x \
+         (expected >= {MIN_RS_EDGE}x, floor {RS_EDGE_FLOOR}x)",
+        replicate.recovery(),
+    );
+
+    let mut report = BenchReport::new("bench_planner", "read-skew");
+    for (name, leg) in [
+        ("readskew-replicate", &replicate),
+        ("readskew-migrate", &migrate),
+    ] {
+        report
+            .scenarios
+            .push(ScenarioReport::from_result(name, &leg.scenario));
+    }
+    report.tables.push(TableSection {
+        title: "replicate recovery".to_string(),
+        headers: [
+            "policy",
+            "pre_read_tps",
+            "steady_read_tps",
+            "replica_share",
+            "actions",
+            "recovery",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: vec![
+            skew_row(&replicate, "replicate"),
+            skew_row(&migrate, "forced-migrate"),
+        ],
+    });
+    report.write(path).expect("writing JSON report failed");
+
+    if replicate.recovery() < MIN_RS_RECOVERY {
+        eprintln!(
+            "WARN: replicate recovery {:.2}x below the expected \
+             {MIN_RS_RECOVERY}x (tolerated as runner noise; hard floor \
+             {RS_RECOVERY_FLOOR}x)",
+            replicate.recovery(),
+        );
+    }
+    assert!(
+        replicate.recovery() >= RS_RECOVERY_FLOOR,
+        "replicate steady read throughput {:.0}/s is only {:.2}x the pre \
+         window's {:.0}/s (hard floor {RS_RECOVERY_FLOOR}x)",
+        replicate.steady_tps,
+        replicate.recovery(),
+        replicate.pre_tps,
+    );
+    if edge < MIN_RS_EDGE {
+        eprintln!(
+            "WARN: replicate-over-migrate edge {edge:.2}x below the expected \
+             {MIN_RS_EDGE}x (tolerated as runner noise; hard floor \
+             {RS_EDGE_FLOOR}x)"
+        );
+    }
+    assert!(
+        edge >= RS_EDGE_FLOOR,
+        "replicate recovery {:.2}x does not beat the forced-migrate leg's \
+         {:.2}x (edge {edge:.2}x, hard floor {RS_EDGE_FLOOR}x)",
+        replicate.recovery(),
+        migrate.recovery(),
+    );
+}
+
+/// Scans the process arguments for `--scenario <name>` (default
+/// `hotspot`).
+fn scenario_arg() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "hotspot".to_string())
+}
+
 fn main() {
-    let path = json_path_arg().unwrap_or_else(|| PathBuf::from("BENCH_planner.json"));
+    let scenario = scenario_arg();
+    let default_path = match scenario.as_str() {
+        "read-skew" => "BENCH_planner_readskew.json",
+        _ => "BENCH_planner.json",
+    };
+    let path = json_path_arg().unwrap_or_else(|| PathBuf::from(default_path));
+    match scenario.as_str() {
+        "hotspot" => run_hotspot(&path),
+        "read-skew" => run_read_skew(&path),
+        other => panic!("unknown --scenario {other:?} (expected hotspot or read-skew)"),
+    }
+}
+
+/// The original hotspot-shift scenario: autopilot vs static plan vs
+/// doing nothing, gated on recovery and advantage.
+fn run_hotspot(path: &Path) {
     println!(
         "# bench_planner — hotspot shift after {SHIFT_AFTER} txns, \
          {NET_LATENCY:?} one-way network latency"
@@ -332,7 +788,7 @@ fn main() {
             recovery_row(&none, "no-migration"),
         ],
     });
-    report.write(&path).expect("writing JSON report failed");
+    report.write(path).expect("writing JSON report failed");
 
     assert!(auto.moves >= 1, "the autopilot never migrated anything");
     if recovery < MIN_RECOVERY {

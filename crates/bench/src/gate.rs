@@ -1,0 +1,103 @@
+//! The two-tier bench gate, shared by every ratio check in `bench_check`.
+//!
+//! All of the repo's headline bench ratios (foreground speedup, planner
+//! recovery, replica read scaling, replicate-vs-migrate edge) are gated
+//! the same way: an **expected** threshold below which the check warns —
+//! shared CI runners compress real ratios without any code regression —
+//! and a **hard floor** below which it fails, because every compared leg
+//! runs in the same process on the same runner, so noise alone cannot
+//! erase the ratio. This module holds that policy once, as pure
+//! functions, so the boundary semantics are unit-testable without
+//! generating full reports.
+
+/// Outcome of a two-tier ratio gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateTier {
+    /// At or above the expected threshold.
+    Pass,
+    /// Below expected but at or above the hard floor: tolerated as runner
+    /// noise, surfaced as a warning.
+    Warn,
+    /// Below the hard floor: a genuine regression, never noise.
+    Fail,
+}
+
+/// Classifies `value` against the two thresholds. Both boundaries are
+/// inclusive on the passing side: a value exactly at `expected` passes,
+/// and a value exactly at `floor` warns rather than fails — the floor is
+/// the last tolerated value, not the first failing one.
+///
+/// `expected < floor` would make the warning tier empty; the function
+/// debug-asserts against it but degrades gracefully (everything below
+/// `expected` then fails).
+pub fn two_tier(value: f64, expected: f64, floor: f64) -> GateTier {
+    debug_assert!(
+        floor <= expected,
+        "two-tier gate misconfigured: floor {floor} > expected {expected}"
+    );
+    if value >= expected {
+        GateTier::Pass
+    } else if value >= floor {
+        GateTier::Warn
+    } else {
+        GateTier::Fail
+    }
+}
+
+/// Parses a trailing ratio cell of a report table (`"1.59x"` → `1.59`).
+/// Returns `None` for a missing suffix or an unparseable number, which
+/// callers report as a violation (a mangled cell must never pass silently).
+pub fn parse_ratio_cell(cell: &str) -> Option<f64> {
+    cell.strip_suffix('x')?.parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn above_expected_passes() {
+        assert_eq!(two_tier(2.5, 1.5, 1.1), GateTier::Pass);
+    }
+
+    #[test]
+    fn exactly_at_expected_passes() {
+        // The boundary the warning tier starts *below*, not at.
+        assert_eq!(two_tier(1.5, 1.5, 1.1), GateTier::Pass);
+        assert_eq!(two_tier(0.70, 0.70, 0.40), GateTier::Pass);
+    }
+
+    #[test]
+    fn between_floors_warns() {
+        assert_eq!(two_tier(1.3, 1.5, 1.1), GateTier::Warn);
+        assert_eq!(two_tier(0.55, 0.70, 0.40), GateTier::Warn);
+    }
+
+    #[test]
+    fn exactly_at_floor_warns() {
+        // The floor itself is still tolerated; only strictly below fails.
+        assert_eq!(two_tier(1.1, 1.5, 1.1), GateTier::Warn);
+        assert_eq!(two_tier(0.40, 0.70, 0.40), GateTier::Warn);
+    }
+
+    #[test]
+    fn below_floor_fails() {
+        assert_eq!(two_tier(1.0999, 1.5, 1.1), GateTier::Fail);
+        assert_eq!(two_tier(0.1, 0.70, 0.40), GateTier::Fail);
+    }
+
+    #[test]
+    fn degenerate_equal_thresholds_have_no_warn_tier() {
+        assert_eq!(two_tier(1.1, 1.1, 1.1), GateTier::Pass);
+        assert_eq!(two_tier(1.0, 1.1, 1.1), GateTier::Fail);
+    }
+
+    #[test]
+    fn ratio_cells_parse_and_reject() {
+        assert_eq!(parse_ratio_cell("1.59x"), Some(1.59));
+        assert_eq!(parse_ratio_cell("0.88x"), Some(0.88));
+        assert_eq!(parse_ratio_cell("1.59"), None);
+        assert_eq!(parse_ratio_cell("fastx"), None);
+        assert_eq!(parse_ratio_cell(""), None);
+    }
+}

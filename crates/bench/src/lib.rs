@@ -20,11 +20,13 @@
 //! trees, cluster counters, captured tables) that `bench_check` diffs in
 //! CI.
 
+pub mod gate;
 pub mod harness;
 pub mod print;
 pub mod report;
 pub mod scale;
 
+pub use gate::{parse_ratio_cell, two_tier, GateTier};
 pub use harness::{
     run_high_contention, run_hybrid_a, run_hybrid_b, run_load_balance, run_scale_out, sim_config,
     EngineKind, HighContentionResult, ScenarioResult,

@@ -175,6 +175,9 @@ pub struct Cluster {
     access_hook: parking_lot::RwLock<Option<Arc<dyn AccessHook>>>,
     fault_injector: parking_lot::RwLock<Option<Arc<dyn FaultInjector>>>,
     replicas: ReplicaRegistry,
+    /// When set, session reads may be served by certified replicas whose
+    /// watermark covers the transaction's snapshot.
+    read_offload: AtomicBool,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -296,6 +299,7 @@ impl ClusterBuilder {
             access_hook: parking_lot::RwLock::new(None),
             fault_injector: parking_lot::RwLock::new(None),
             replicas: ReplicaRegistry::default(),
+            read_offload: AtomicBool::new(false),
         })
     }
 }
@@ -580,9 +584,43 @@ impl Cluster {
         self.replicas.register(node)
     }
 
+    /// Removes `node` from the replica registry (decommission). The caller
+    /// stops the replication process first; after this the node counts as a
+    /// primary again and is eligible as a migration destination.
+    pub fn unregister_replica(&self, node: NodeId) {
+        if let Some(handle) = self.replicas.remove(node) {
+            // Drop the GC-feedback watermark pin so the vacuum horizon is
+            // no longer held back by a replica that stopped applying.
+            handle.reset();
+            // Drop the applied table copies: the node returns to the pool
+            // as an *empty* primary. Routing never pointed at it, so the
+            // copies are unreachable to clients — but a load observer
+            // enumerating hosted shards would otherwise mistake them for
+            // owned data and plan phantom migrations off this node.
+            let storage = &self.node(node).storage;
+            for shard in storage.shards() {
+                if shard != remus_shard::SHARD_MAP_SHARD {
+                    storage.drop_shard(shard);
+                }
+            }
+        }
+    }
+
     /// The watermark handle of a registered replica.
     pub fn replica(&self, node: NodeId) -> Option<Arc<ReplicaHandle>> {
         self.replicas.get(node)
+    }
+
+    /// Enables or disables transparent watermark-safe read offload in
+    /// [`crate::Session`] transactions (set by the autopilot executor when
+    /// replicas are provisioned or torn down).
+    pub fn set_read_offload(&self, on: bool) {
+        self.read_offload.store(on, Ordering::Relaxed);
+    }
+
+    /// True when session reads may be served by certified replicas.
+    pub fn read_offload_enabled(&self) -> bool {
+        self.read_offload.load(Ordering::Relaxed)
     }
 
     /// True if `node` is registered as a replica.

@@ -22,10 +22,12 @@ pub mod cluster;
 pub mod load;
 pub mod node;
 pub mod replica;
+pub mod router;
 pub mod session;
 
 pub use cluster::{AccessHook, CcMode, Cluster, ClusterBuilder, SnapshotGuard};
 pub use load::{ShardLoad, ShardLoadCell, ShardLoadSnapshot, ShardLoadTracker};
 pub use node::Node;
 pub use replica::{ReplicaHandle, ReplicaSession, ReplicaTxn};
+pub use router::{ReadRouter, ReadTxn};
 pub use session::{Session, SessionTxn};

@@ -36,6 +36,9 @@ pub struct ShardLoadCell {
     commits: AtomicU64,
     /// Commits in which this shard was one of several written shards.
     cross: AtomicU64,
+    /// Reads served by a replica instead of the owner. They are real read
+    /// demand on the shard but not load on the owner node.
+    offloaded: AtomicU64,
 }
 
 impl ShardLoadCell {
@@ -49,12 +52,20 @@ impl ShardLoadCell {
         }
     }
 
-    fn drain(&self) -> (u64, u64, u64, u64) {
+    /// Adds reads that a replica served on the owner's behalf.
+    pub fn charge_offloaded(&self, reads: u64) {
+        if reads > 0 {
+            self.offloaded.fetch_add(reads, Ordering::Relaxed);
+        }
+    }
+
+    fn drain(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.reads.swap(0, Ordering::Relaxed),
             self.writes.swap(0, Ordering::Relaxed),
             self.commits.swap(0, Ordering::Relaxed),
             self.cross.swap(0, Ordering::Relaxed),
+            self.offloaded.swap(0, Ordering::Relaxed),
         )
     }
 }
@@ -71,12 +82,34 @@ pub struct ShardLoad {
     pub commits: f64,
     /// Multi-shard-write commits per window (smoothed).
     pub cross: f64,
+    /// Replica-served reads per window (smoothed). Not part of `total()`:
+    /// the owner never did this work, which is exactly how provisioning a
+    /// replica shows up as relief on the hot node.
+    pub offloaded: f64,
 }
 
 impl ShardLoad {
-    /// The scalar the imbalance detector sums per node.
+    /// The scalar the imbalance detector sums per node: work the *owner*
+    /// performed (replica-served reads excluded).
     pub fn total(&self) -> f64 {
         self.reads + self.writes
+    }
+
+    /// Total read demand on the shard regardless of who served it.
+    pub fn read_demand(&self) -> f64 {
+        self.reads + self.offloaded
+    }
+
+    /// Fraction of the shard's demand that is reads (`0.0` when idle).
+    /// Replica-served reads count as read demand: a shard must not look
+    /// write-heavy just because its reads moved to a replica.
+    pub fn read_fraction(&self) -> f64 {
+        let demand = self.read_demand() + self.writes;
+        if demand <= 0.0 {
+            0.0
+        } else {
+            self.read_demand() / demand
+        }
     }
 }
 
@@ -178,8 +211,8 @@ impl ShardLoadTracker {
         let mut window: BTreeMap<ShardId, ShardLoad> = BTreeMap::new();
         for stripe in &self.stripes {
             for (&shard, cell) in stripe.read().iter() {
-                let (r, w, c, x) = cell.drain();
-                if r | w | c | x != 0 {
+                let (r, w, c, x, o) = cell.drain();
+                if r | w | c | x | o != 0 {
                     window.insert(
                         shard,
                         ShardLoad {
@@ -187,6 +220,7 @@ impl ShardLoadTracker {
                             writes: w as f64,
                             commits: c as f64,
                             cross: x as f64,
+                            offloaded: o as f64,
                         },
                     );
                 }
@@ -214,9 +248,10 @@ impl ShardLoadTracker {
                 writes: mix(now.writes, prev.writes),
                 commits: mix(now.commits, prev.commits),
                 cross: mix(now.cross, prev.cross),
+                offloaded: mix(now.offloaded, prev.offloaded),
             };
             // Drop decayed-to-nothing shards so the map stays bounded.
-            if next.total() + next.commits < 1e-6 {
+            if next.total() + next.commits + next.offloaded < 1e-6 {
                 smoothed.loads.remove(&shard);
             } else {
                 smoothed.loads.insert(shard, next);
@@ -336,6 +371,35 @@ mod tests {
         let snap = t.roll_window(1.0);
         assert!(snap.shards.is_empty());
         assert!(snap.affinity.is_empty());
+    }
+
+    #[test]
+    fn offloaded_reads_are_demand_but_not_owner_load() {
+        let t = ShardLoadTracker::new();
+        t.cell(ShardId(1)).charge(2, 1);
+        t.cell(ShardId(1)).charge_offloaded(6);
+        let snap = t.roll_window(1.0);
+        let load = snap.load_of(ShardId(1));
+        // The owner only did 2 reads + 1 write ...
+        assert_eq!(load.total(), 3.0);
+        // ... but the shard's read demand includes the replica-served 6.
+        assert_eq!(load.read_demand(), 8.0);
+        assert!((load.read_fraction() - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_fraction_of_idle_shard_is_zero() {
+        assert_eq!(ShardLoad::default().read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fully_offloaded_shard_still_rolls_into_the_window() {
+        let t = ShardLoadTracker::new();
+        t.cell(ShardId(4)).charge_offloaded(9);
+        let snap = t.roll_window(1.0);
+        assert_eq!(snap.load_of(ShardId(4)).offloaded, 9.0);
+        assert_eq!(snap.load_of(ShardId(4)).total(), 0.0);
+        assert_eq!(snap.load_of(ShardId(4)).read_fraction(), 1.0);
     }
 
     #[test]

@@ -194,6 +194,13 @@ impl ReplicaRegistry {
         ids.sort_unstable();
         ids
     }
+
+    /// Drops the registration. The handle itself stays alive for sessions
+    /// still holding it, but the node re-joins `primary_ids()` and new
+    /// sessions can no longer connect to it as a replica.
+    pub(crate) fn remove(&self, node: NodeId) -> Option<Arc<ReplicaHandle>> {
+        self.handles.write().remove(&node)
+    }
 }
 
 /// A read-only client connection to a replica node.

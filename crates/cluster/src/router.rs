@@ -1,0 +1,216 @@
+//! Read routing across primaries and replicas.
+//!
+//! A [`ReadRouter`] is the client-side half of the replicate-or-migrate
+//! autopilot: it sends whole read-only transactions to a certified replica
+//! when the cluster has read offload enabled, and falls back to an ordinary
+//! primary [`Session`] otherwise. Replica-side transactions snapshot at the
+//! apply watermark — watermark-safe by construction — and skip the shared
+//! timestamp oracle and primary-side storage entirely, which is where the
+//! read-scaling win comes from. Writes never route here: a writing client
+//! keeps its own primary [`Session`].
+
+use std::sync::Arc;
+
+use remus_common::{DbResult, NodeId, Timestamp};
+use remus_shard::TableLayout;
+use remus_storage::{Key, Value};
+
+use crate::cluster::Cluster;
+use crate::replica::{ReplicaSession, ReplicaTxn};
+use crate::session::{Session, SessionTxn};
+
+/// Routes read-only transactions to a replica when one is live, certified,
+/// and offload is enabled; to the primary session otherwise.
+pub struct ReadRouter {
+    cluster: Arc<Cluster>,
+    primary: Session,
+    /// Spreads routers across a replica pool (stable per router).
+    salt: usize,
+    replica: Option<(NodeId, ReplicaSession)>,
+}
+
+impl std::fmt::Debug for ReadRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadRouter")
+            .field("replica", &self.replica.as_ref().map(|(id, _)| *id))
+            .finish()
+    }
+}
+
+/// One read-only transaction, on whichever endpoint the router chose.
+///
+/// The variants differ in size (a primary transaction carries write
+/// buffers a replica one never needs), but the enum lives on the stack
+/// for the duration of one closed-loop transaction — boxing the primary
+/// side would trade that for an allocation per read transaction on the
+/// fallback path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ReadTxn<'r> {
+    /// Snapshot read on the primary (pays the oracle and owner routing).
+    Primary(SessionTxn<'r>),
+    /// Snapshot read at a replica's apply watermark.
+    Replica(ReplicaTxn<'r>),
+}
+
+impl ReadTxn<'_> {
+    /// Reads `key` of `layout`'s table (sharded by the key itself).
+    pub fn read(&mut self, layout: &TableLayout, key: Key) -> DbResult<Option<Value>> {
+        match self {
+            ReadTxn::Primary(txn) => txn.read(layout, key),
+            ReadTxn::Replica(txn) => txn.read(layout, key),
+        }
+    }
+
+    /// Reads `key`, routed by an explicit sharding key.
+    pub fn read_at(
+        &mut self,
+        layout: &TableLayout,
+        sharding_key: Key,
+        key: Key,
+    ) -> DbResult<Option<Value>> {
+        match self {
+            ReadTxn::Primary(txn) => txn.read_at(layout, sharding_key, key),
+            ReadTxn::Replica(txn) => txn.read_at(layout, sharding_key, key),
+        }
+    }
+
+    /// Scans the whole table at this transaction's snapshot.
+    pub fn scan_table(&mut self, layout: &TableLayout) -> DbResult<Vec<(Key, Value)>> {
+        match self {
+            ReadTxn::Primary(txn) => txn.scan_table(layout),
+            ReadTxn::Replica(txn) => txn.scan_table(layout),
+        }
+    }
+
+    /// The snapshot this transaction reads at.
+    pub fn snap_ts(&self) -> Timestamp {
+        match self {
+            ReadTxn::Primary(txn) => txn.start_ts(),
+            ReadTxn::Replica(txn) => txn.snap_ts(),
+        }
+    }
+
+    /// True when a replica serves this transaction.
+    pub fn is_replica(&self) -> bool {
+        matches!(self, ReadTxn::Replica(_))
+    }
+
+    /// Ends the transaction (read-only commit on the primary; replica
+    /// transactions just release their snapshot pin).
+    pub fn finish(self) -> DbResult<()> {
+        match self {
+            ReadTxn::Primary(txn) => txn.commit().map(|_| ()),
+            ReadTxn::Replica(_) => Ok(()),
+        }
+    }
+}
+
+impl ReadRouter {
+    /// A router whose primary fallback is a session on `coordinator`.
+    /// `salt` picks this router's replica from a pool (readers pass their
+    /// thread index so a pool of routers spreads across a pool of
+    /// replicas).
+    pub fn new(cluster: &Arc<Cluster>, coordinator: NodeId, salt: usize) -> ReadRouter {
+        ReadRouter {
+            cluster: Arc::clone(cluster),
+            primary: Session::connect(cluster, coordinator),
+            salt,
+            replica: None,
+        }
+    }
+
+    /// The primary fallback session (e.g. to thread its causal token into a
+    /// read-your-writes pairing).
+    pub fn primary(&self) -> &Session {
+        &self.primary
+    }
+
+    /// The replica currently serving this router, if any.
+    pub fn replica_node(&self) -> Option<NodeId> {
+        self.replica.as_ref().map(|(id, _)| *id)
+    }
+
+    /// Re-validates the cached replica endpoint against the registry:
+    /// drops it if offload was disabled or the replica was decommissioned,
+    /// and connects to a certified replica when one became available.
+    fn refresh(&mut self) {
+        if !self.cluster.read_offload_enabled() {
+            self.replica = None;
+            return;
+        }
+        if let Some((id, _)) = &self.replica {
+            if !self.cluster.replica(*id).is_some_and(|h| h.is_certified()) {
+                self.replica = None;
+            }
+        }
+        if self.replica.is_none() {
+            let certified: Vec<NodeId> = self
+                .cluster
+                .replica_ids()
+                .into_iter()
+                .filter(|id| self.cluster.replica(*id).is_some_and(|h| h.is_certified()))
+                .collect();
+            if !certified.is_empty() {
+                let id = certified[self.salt % certified.len()];
+                if let Ok(session) = ReplicaSession::connect(&self.cluster, id) {
+                    self.replica = Some((id, session));
+                }
+            }
+        }
+    }
+
+    /// Begins a read-only transaction on the best endpoint available right
+    /// now. Replica snapshots sit at the apply watermark; a caller needing
+    /// recency beyond that reads through a primary session instead.
+    pub fn begin(&mut self) -> DbResult<ReadTxn<'_>> {
+        self.refresh();
+        if let Some((_, session)) = &self.replica {
+            return Ok(ReadTxn::Replica(session.begin()?));
+        }
+        Ok(ReadTxn::Primary(self.primary.begin()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterBuilder;
+    use remus_common::TableId;
+
+    #[test]
+    fn router_uses_primary_until_a_replica_is_certified() {
+        let cluster = ClusterBuilder::new(3).build();
+        let layout = cluster.create_table(TableId(1), 0, 4, |i| NodeId(i % 2));
+        let session = Session::connect(&cluster, NodeId(0));
+        session
+            .run(|t| t.insert(&layout, 1, Value::copy_from_slice(b"v")))
+            .unwrap();
+
+        let mut router = ReadRouter::new(&cluster, NodeId(0), 0);
+        let txn = router.begin().unwrap();
+        assert!(!txn.is_replica());
+        txn.finish().unwrap();
+
+        // Offload on but the replica is uncertified: still the primary.
+        cluster.set_read_offload(true);
+        let handle = cluster.register_replica(NodeId(2));
+        let txn = router.begin().unwrap();
+        assert!(!txn.is_replica());
+        txn.finish().unwrap();
+
+        // Certified: the router switches over.
+        handle.advance_watermark(&cluster, session.last_commit_ts());
+        handle.mark_certified();
+        let txn = router.begin().unwrap();
+        assert!(txn.is_replica());
+        txn.finish().unwrap();
+        assert_eq!(router.replica_node(), Some(NodeId(2)));
+
+        // Decommissioned: the cached endpoint is dropped on the next begin.
+        cluster.unregister_replica(NodeId(2));
+        let txn = router.begin().unwrap();
+        assert!(!txn.is_replica());
+        txn.finish().unwrap();
+    }
+}

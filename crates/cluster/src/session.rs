@@ -166,10 +166,11 @@ pub struct SessionTxn<'s> {
     /// Sticky routing decisions: once a shard is routed for this
     /// transaction, every later statement goes to the same node.
     routes: std::collections::HashMap<ShardId, NodeId>,
-    /// Local `(reads, writes)` tallies per shard, flushed to the cluster's
-    /// load tracker once at transaction end — the statement path stays free
-    /// of shared-state traffic.
-    touched: std::collections::BTreeMap<ShardId, (u64, u64)>,
+    /// Local `(reads, writes, offloaded)` tallies per shard, flushed to the
+    /// cluster's load tracker once at transaction end — the statement path
+    /// stays free of shared-state traffic. `offloaded` counts reads a
+    /// certified replica served instead of the shard's owner.
+    touched: std::collections::BTreeMap<ShardId, (u64, u64, u64)>,
     _pin: SnapshotGuard,
     finished: bool,
 }
@@ -256,6 +257,26 @@ impl<'s> SessionTxn<'s> {
     ) -> DbResult<Option<Value>> {
         let shard = layout.shard_for(sharding_key);
         self.lock_shard(shard, LockMode::Shared)?;
+        if let Some(replica) = self.offload_target(shard) {
+            // Watermark-safe replica offload: every commit at or below our
+            // snapshot is applied on the replica, and this transaction has
+            // no uncommitted writes on the shard, so the replica-local read
+            // equals the primary read at the same snapshot.
+            if let Some(table) = replica.storage.table(shard) {
+                if let Some(hook) = self.session.cluster.access_hook() {
+                    hook.before_access(replica.id(), shard, key, false, self.txn.xid)?;
+                }
+                replica.work.charge(1);
+                self.touched.entry(shard).or_default().2 += 1;
+                return table.read(
+                    key,
+                    self.txn.start_ts,
+                    TxnId::INVALID,
+                    &replica.storage.clog,
+                    replica.storage.config.lock_wait_timeout,
+                );
+            }
+        }
         let node = self.route_for(shard)?;
         if let Some(hook) = self.session.cluster.access_hook() {
             hook.before_access(node.id(), shard, key, false, self.txn.xid)?;
@@ -263,6 +284,41 @@ impl<'s> SessionTxn<'s> {
         node.work.charge(1);
         self.touched.entry(shard).or_default().0 += 1;
         self.txn.read(&node.storage, shard, key)
+    }
+
+    /// A replica node eligible to serve this transaction's reads of
+    /// `shard`, if offload is enabled. Soundness needs (a) a certified
+    /// replica whose apply watermark covers the transaction's snapshot —
+    /// every commit visible to the snapshot is already applied — and (b) no
+    /// writes by *this* transaction on the shard, because its uncommitted
+    /// versions exist only on the primary. Shard-lock mode refreshes the
+    /// snapshot per statement and serializes through partition locks, so
+    /// offload stays MVCC-only.
+    fn offload_target(&self, shard: ShardId) -> Option<Arc<Node>> {
+        let cluster = &self.session.cluster;
+        if cluster.cc_mode != CcMode::Mvcc || !cluster.read_offload_enabled() {
+            return None;
+        }
+        if self.touched.get(&shard).is_some_and(|t| t.1 > 0) {
+            return None;
+        }
+        let replicas = cluster.replica_ids();
+        if replicas.is_empty() {
+            return None;
+        }
+        // Rotate by shard id so shards spread across a replica pool; fall
+        // through the rotation until a watermark-safe replica turns up.
+        let salt = shard.0 as usize % replicas.len();
+        for i in 0..replicas.len() {
+            let id = replicas[(salt + i) % replicas.len()];
+            let Some(handle) = cluster.replica(id) else {
+                continue;
+            };
+            if handle.is_certified() && handle.watermark() >= self.txn.start_ts {
+                return Some(Arc::clone(cluster.node(id)));
+            }
+        }
+        None
     }
 
     /// Inserts `key -> value`.
@@ -380,7 +436,7 @@ impl<'s> SessionTxn<'s> {
             let written: Vec<ShardId> = self
                 .touched
                 .iter()
-                .filter(|(_, &(_, w))| w > 0)
+                .filter(|(_, &(_, w, _))| w > 0)
                 .map(|(&s, _)| s)
                 .collect();
             self.session.cluster.load.record_commit(&written);
@@ -398,8 +454,19 @@ impl<'s> SessionTxn<'s> {
     fn finish(&mut self) {
         if !self.finished {
             self.release_locks();
-            for (&shard, &(reads, writes)) in &self.touched {
-                self.session.cluster.load.cell(shard).charge(reads, writes);
+            let mut offloaded_total = 0;
+            for (&shard, &(reads, writes, offloaded)) in &self.touched {
+                let cell = self.session.cluster.load.cell(shard);
+                cell.charge(reads, writes);
+                cell.charge_offloaded(offloaded);
+                offloaded_total += offloaded;
+            }
+            if offloaded_total > 0 {
+                self.session
+                    .cluster
+                    .metrics
+                    .counter("replica.offloaded_reads")
+                    .add(offloaded_total);
             }
             self.session.cluster.txn_finished();
             self.finished = true;
@@ -607,6 +674,47 @@ mod tests {
         let snap = c.roll_load_window(1.0);
         assert_eq!(snap.load_of(s1).reads, 1.0);
         assert_eq!(snap.load_of(s1).commits, 0.0);
+    }
+
+    #[test]
+    fn offload_falls_back_to_primary_when_replica_lacks_the_table() {
+        let (c, layout) = small_cluster();
+        let session = Session::connect(&c, NodeId(0));
+        session
+            .run(|t| t.insert(&layout, 3, val("primary")))
+            .unwrap();
+        // Register node 2 as a certified, fully caught-up replica — but
+        // never ship it any data. Reads must fall back to the owner.
+        let handle = c.register_replica(NodeId(2));
+        handle.advance_watermark(&c, Timestamp(u64::MAX / 2));
+        handle.mark_certified();
+        c.set_read_offload(true);
+        let (v, _) = session.run(|t| t.read(&layout, 3)).unwrap();
+        assert_eq!(v, Some(val("primary")));
+        let snap = c.roll_load_window(1.0);
+        let shard = layout.shard_for(3);
+        assert_eq!(snap.load_of(shard).offloaded, 0.0);
+        assert!(snap.load_of(shard).reads >= 1.0);
+        c.unregister_replica(NodeId(2));
+        assert!(c.primary_ids().contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn stale_replica_watermark_never_serves_reads() {
+        let (c, layout) = small_cluster();
+        let session = Session::connect(&c, NodeId(0));
+        session.run(|t| t.insert(&layout, 11, val("x"))).unwrap();
+        let handle = c.register_replica(NodeId(2));
+        // Watermark pinned below any live snapshot: offload must not fire
+        // even though the replica is certified and offload is enabled.
+        handle.advance_watermark(&c, Timestamp(1));
+        handle.mark_certified();
+        c.set_read_offload(true);
+        let (v, _) = session.run(|t| t.read(&layout, 11)).unwrap();
+        assert_eq!(v, Some(val("x")));
+        let snap = c.roll_load_window(1.0);
+        assert_eq!(snap.load_of(layout.shard_for(11)).offloaded, 0.0);
+        let _ = handle;
     }
 
     #[test]

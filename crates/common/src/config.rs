@@ -203,6 +203,24 @@ pub struct PlannerConfig {
     /// Seed for the planner's tie-breaking RNG; two planners with equal
     /// seeds fed equal observations make identical decisions.
     pub seed: u64,
+    /// Lion-style replicate-or-migrate: when a hot node's load is
+    /// read-mostly, consider provisioning a WAL-shipped replica on a spare
+    /// node instead of migrating shards off the hot node.
+    pub replication: bool,
+    /// Minimum read fraction (reads / (reads + writes), replica-served
+    /// reads included) of the hot node's window before replication is
+    /// priced at all; below it the balancer migrates as before.
+    pub replica_read_ratio: f64,
+    /// Estimated ongoing cost per WAL record shipped to a replica in one
+    /// window (the replica applies *every* primary's stream, so this
+    /// prices total write traffic). Zero ignores ship bandwidth.
+    pub cost_weight_ship: f64,
+    /// Maximum replicas the planner will keep provisioned at once.
+    pub max_replicas: usize,
+    /// Decommission floor: when the cluster-wide windowed read demand
+    /// (primary-served + replica-served) falls below this, a provisioned
+    /// replica is no longer earning its ship bandwidth and is torn down.
+    pub replica_min_reads: f64,
 }
 
 impl PlannerConfig {
@@ -222,6 +240,21 @@ impl PlannerConfig {
             latency_budget: Duration::ZERO,
             max_retries: 3,
             seed: 0,
+            replication: false,
+            replica_read_ratio: 0.8,
+            cost_weight_ship: 1.0,
+            max_replicas: 1,
+            replica_min_reads: 1.0,
+        }
+    }
+
+    /// `balanced()` with the replicate-or-migrate decision core enabled.
+    /// Kept as a separate preset so every existing balanced() user keeps
+    /// the migrate-only behavior byte-for-byte.
+    pub fn adaptive() -> Self {
+        PlannerConfig {
+            replication: true,
+            ..Self::balanced()
         }
     }
 
@@ -243,6 +276,23 @@ impl PlannerConfig {
             latency_budget: Duration::ZERO,
             max_retries: 0,
             seed,
+            replication: false,
+            replica_read_ratio: 0.8,
+            cost_weight_ship: 0.0,
+            max_replicas: 1,
+            replica_min_reads: 1.0,
+        }
+    }
+
+    /// `chaos_mode()` with replica actions on: ship cost stays zeroed
+    /// (write counts race fault timing), so replicate-vs-migrate and
+    /// decommission decisions reduce to the read-fraction trigger and the
+    /// absolute read floor — both pure functions of the measured batch.
+    pub fn chaos_replica_mode(seed: u64) -> Self {
+        PlannerConfig {
+            replication: true,
+            replica_read_ratio: 0.75,
+            ..Self::chaos_mode(seed)
         }
     }
 }
@@ -408,6 +458,23 @@ mod tests {
         assert_eq!(c.cost_weight_wal, 0.0);
         assert_eq!(c.latency_budget, Duration::ZERO);
         assert!(!c.colocation);
+        // Replication is opt-in everywhere: balanced() and chaos_mode()
+        // users keep migrate-only planning unchanged.
+        assert!(!b.replication);
+        assert!(!c.replication);
+
+        let a = PlannerConfig::adaptive();
+        assert!(a.replication);
+        assert!(a.replica_read_ratio > 0.5 && a.replica_read_ratio <= 1.0);
+        assert!(a.max_replicas >= 1);
+
+        let r = PlannerConfig::chaos_replica_mode(42);
+        assert!(r.replication);
+        // Replay safety: replica decisions must not price timing-polluted
+        // signals either.
+        assert_eq!(r.cost_weight_ship, 0.0);
+        assert_eq!(r.cost_weight_versions, 0.0);
+        assert_eq!(r.cooldown_ticks, u64::MAX);
     }
 
     #[test]

@@ -1,5 +1,13 @@
-//! The background executor: observe → plan → migrate, under backpressure.
+//! The background executor: observe → plan → act, under backpressure.
+//!
+//! Migration decisions run through the [`MigrationController`]; replica
+//! decisions drive the PR 7 replication pipeline — `Replicate` bootstraps
+//! a WAL-shipped replica with [`remus_core::start_replica`], waits for
+//! certification, and enables watermark-safe read offload;
+//! `Decommission` stops the process and returns the node to the primary
+//! pool.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -7,11 +15,11 @@ use std::time::Duration;
 
 use remus_cluster::Cluster;
 use remus_common::metrics::LatencyStat;
-use remus_common::PlannerConfig;
-use remus_core::{MigrationController, MigrationEngine, RemusEngine};
+use remus_common::{DbResult, NodeId, PlannerConfig};
+use remus_core::{MigrationController, MigrationEngine, RemusEngine, ReplicaProcess};
 
 use crate::observe::ObservationCollector;
-use crate::planner::Planner;
+use crate::planner::{Action, Planner};
 use crate::throttle::LatencyThrottle;
 
 /// Sleep slice while paused or between stop-flag checks; keeps stop and
@@ -23,6 +31,10 @@ const BACKOFF_BASE: Duration = Duration::from_millis(5);
 
 /// Retry backoff ceiling.
 const BACKOFF_CAP: Duration = Duration::from_millis(80);
+
+/// How long a `Replicate` decision waits for virtual-cut backfill and
+/// certification before the provision counts as failed.
+const PROVISION_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Runtime knobs that belong to the executor, not the policy.
 #[derive(Debug, Clone)]
@@ -57,6 +69,10 @@ pub struct AutopilotReport {
     pub retries: u64,
     /// Times execution stalled on the latency budget.
     pub throttle_stalls: u64,
+    /// Replicas provisioned (bootstrapped *and* certified).
+    pub replicas_provisioned: u64,
+    /// Replicas decommissioned.
+    pub replicas_decommissioned: u64,
     /// Every decision planned, in execution order, in the planner's
     /// stable string form.
     pub decisions: Vec<String>,
@@ -134,8 +150,13 @@ fn run_loop(
     let moves = cluster.metrics.counter("planner.moves");
     let failed = cluster.metrics.counter("planner.failed_moves");
     let stalls = cluster.metrics.counter("planner.throttle_stalls");
+    let provisions = cluster.metrics.counter("planner.replicas_provisioned");
+    let decommissions = cluster.metrics.counter("planner.replicas_decommissioned");
+    // Replica processes this loop provisioned and still owns. The loop is
+    // the sole writer of the cluster's offload flag while it runs.
+    let mut replicas: HashMap<NodeId, ReplicaProcess> = HashMap::new();
 
-    while !stop.load(Ordering::SeqCst) {
+    'ticks: while !stop.load(Ordering::SeqCst) {
         sleep_responsive(options.tick_interval, &stop);
         if stop.load(Ordering::SeqCst) {
             break;
@@ -159,53 +180,106 @@ fn run_loop(
                     }
                     if stop.load(Ordering::SeqCst) {
                         paused.store(false, Ordering::SeqCst);
-                        return report;
+                        break 'ticks;
                     }
                     std::thread::sleep(POLL);
                 }
                 paused.store(false, Ordering::SeqCst);
             }
             if stop.load(Ordering::SeqCst) {
-                return report;
+                break 'ticks;
             }
             report.decisions.push(decision.to_string());
-            let mut attempt = 0u32;
-            loop {
-                match controller.run_task(&decision.task) {
-                    Ok(_) => {
-                        report.moves += 1;
-                        moves.inc();
-                        break;
+            match &decision.action {
+                Action::Migrate(task) => {
+                    let mut attempt = 0u32;
+                    loop {
+                        match controller.run_task(task) {
+                            Ok(_) => {
+                                report.moves += 1;
+                                moves.inc();
+                                break;
+                            }
+                            // An engine can fail *after* the ownership
+                            // transfer committed (T_m is phase 4 of 6 in
+                            // Remus; cleanup and the dual-execution drain
+                            // come after). If routing already points every
+                            // task shard at the destination, the change the
+                            // planner wanted is in effect and a retry from
+                            // the stale source can only fail — count the
+                            // move and continue.
+                            Err(_) if landed(&cluster, task) => {
+                                report.moves += 1;
+                                moves.inc();
+                                break;
+                            }
+                            Err(_)
+                                if attempt < config.max_retries && !stop.load(Ordering::SeqCst) =>
+                            {
+                                attempt += 1;
+                                report.retries += 1;
+                                let backoff = BACKOFF_CAP.min(BACKOFF_BASE * 2u32.pow(attempt - 1));
+                                std::thread::sleep(backoff);
+                            }
+                            Err(_) => {
+                                report.failed += 1;
+                                failed.inc();
+                                planner.note_failed(&task.shards);
+                                break;
+                            }
+                        }
                     }
-                    // An engine can fail *after* the ownership transfer
-                    // committed (T_m is phase 4 of 6 in Remus; cleanup and
-                    // the dual-execution drain come after). If routing
-                    // already points every task shard at the destination,
-                    // the change the planner wanted is in effect and a
-                    // retry from the stale source can only fail — count
-                    // the move and continue.
-                    Err(_) if landed(&cluster, &decision.task) => {
-                        report.moves += 1;
-                        moves.inc();
-                        break;
-                    }
-                    Err(_) if attempt < config.max_retries && !stop.load(Ordering::SeqCst) => {
-                        attempt += 1;
-                        report.retries += 1;
-                        let backoff = BACKOFF_CAP.min(BACKOFF_BASE * 2u32.pow(attempt - 1));
-                        std::thread::sleep(backoff);
+                }
+                Action::Replicate { dst, .. } => match provision_replica(&cluster, *dst) {
+                    Ok(proc) => {
+                        replicas.insert(*dst, proc);
+                        cluster.set_read_offload(true);
+                        report.replicas_provisioned += 1;
+                        provisions.inc();
                     }
                     Err(_) => {
                         report.failed += 1;
                         failed.inc();
-                        planner.note_failed(&decision.task.shards);
-                        break;
+                        planner.note_replica_failed();
                     }
+                },
+                Action::Decommission { replica } => {
+                    if let Some(proc) = replicas.remove(replica) {
+                        proc.stop();
+                    }
+                    cluster.unregister_replica(*replica);
+                    if replicas.is_empty() {
+                        cluster.set_read_offload(false);
+                    }
+                    report.replicas_decommissioned += 1;
+                    decommissions.inc();
                 }
             }
         }
     }
+    // The loop owns its replica processes: stop them, return their nodes
+    // to the primary pool, and leave the offload flag clean.
+    if !replicas.is_empty() {
+        cluster.set_read_offload(false);
+        for (node, proc) in replicas.drain() {
+            proc.stop();
+            cluster.unregister_replica(node);
+        }
+    }
     report
+}
+
+/// Bootstraps a replica on `node` and blocks until it certifies; on any
+/// failure the half-built process is torn down and the node returned to
+/// the primary pool.
+fn provision_replica(cluster: &Arc<Cluster>, node: NodeId) -> DbResult<ReplicaProcess> {
+    let proc = remus_core::start_replica(cluster, node)?;
+    if let Err(err) = proc.wait_certified(PROVISION_TIMEOUT) {
+        proc.stop();
+        cluster.unregister_replica(node);
+        return Err(err);
+    }
+    Ok(proc)
 }
 
 /// Whether routing already sends every shard of `task` to its
@@ -288,5 +362,68 @@ mod tests {
         // And both nodes now host shards.
         assert!(!cluster.node(NodeId(0)).data_shards().is_empty());
         assert!(!cluster.node(NodeId(1)).data_shards().is_empty());
+    }
+
+    /// End-to-end replica lifecycle: a read-mostly hotspot makes the
+    /// autopilot provision a replica through the replication pipeline;
+    /// when read demand dies the replica is decommissioned and its node
+    /// returns to the primary pool.
+    #[test]
+    fn autopilot_provisions_and_retires_a_replica() {
+        let cluster = remus_cluster::ClusterBuilder::new(3).build();
+        let layout = cluster.create_table(TableId(1), 0, 4, |_| NodeId(0));
+        let session = remus_cluster::Session::connect(&cluster, NodeId(0));
+        for k in 0..64u64 {
+            session
+                .run(|t| t.insert(&layout, k, Value::from(vec![k as u8])))
+                .unwrap();
+        }
+        let mut config = PlannerConfig::adaptive();
+        config.cost_weight_versions = 0.0;
+        config.cost_weight_wal = 0.0;
+        config.cost_weight_ship = 0.0;
+        config.colocation = false;
+        let pilot = Autopilot::start(
+            Arc::clone(&cluster),
+            config,
+            AutopilotOptions {
+                tick_interval: Duration::from_millis(5),
+                latency: None,
+            },
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        // Pure read pressure until the pilot provisions a replica.
+        while cluster.replica_ids().is_empty() {
+            for k in 0..64u64 {
+                session.run(|t| t.read(&layout, k)).unwrap();
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "autopilot never provisioned a replica for a read-only hotspot"
+            );
+        }
+        assert!(cluster.read_offload_enabled());
+        // Demand stops; the load window decays below the read floor and
+        // the pilot retires the replica.
+        while !cluster.replica_ids().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "autopilot never decommissioned the idle replica"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = pilot.stop();
+        assert!(report.replicas_provisioned >= 1);
+        assert!(report.replicas_decommissioned >= 1);
+        assert!(!cluster.read_offload_enabled());
+        assert_eq!(cluster.primary_ids().len(), 3);
+        assert!(report
+            .decisions
+            .iter()
+            .any(|d| d.starts_with("replicate ShardId(")));
+        assert!(report
+            .decisions
+            .iter()
+            .any(|d| d.starts_with("decommission NodeId(")));
     }
 }

@@ -28,5 +28,5 @@ pub mod throttle;
 
 pub use autopilot::{Autopilot, AutopilotOptions, AutopilotReport};
 pub use observe::{Observation, ObservationCollector, ShardStat};
-pub use planner::{Decision, MoveReason, Planner, PlannerTick};
+pub use planner::{Action, Decision, MoveReason, Planner, PlannerTick};
 pub use throttle::LatencyThrottle;

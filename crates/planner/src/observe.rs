@@ -35,6 +35,10 @@ pub struct Observation {
     pub affinity: Vec<(ShardId, ShardId, u64)>,
     /// WAL records appended per node since the previous observation.
     pub wal_rate: BTreeMap<NodeId, u64>,
+    /// Nodes currently provisioned as read replicas (sorted). They own no
+    /// shards, are never migration destinations, and are excluded from the
+    /// imbalance mean so an idle replica cannot drag it down.
+    pub replicas: Vec<NodeId>,
 }
 
 impl Observation {
@@ -47,13 +51,34 @@ impl Observation {
             .sum()
     }
 
-    /// `max node load / mean node load` over all nodes; zero when the
+    /// Nodes eligible to own shards: everything not provisioned as a
+    /// replica.
+    pub fn primaries(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|n| !self.replicas.contains(n))
+            .collect()
+    }
+
+    /// `(reads incl. replica-served, writes)` over every shard `node` owns.
+    pub fn node_rw(&self, node: NodeId) -> (f64, f64) {
+        self.shards
+            .values()
+            .filter(|s| s.owner == node)
+            .fold((0.0, 0.0), |(r, w), s| {
+                (r + s.load.read_demand(), w + s.load.writes)
+            })
+    }
+
+    /// `max node load / mean node load` over the primaries; zero when the
     /// cluster is idle. This is the hotspot trigger.
     pub fn imbalance(&self) -> f64 {
-        if self.nodes.is_empty() {
+        let primaries = self.primaries();
+        if primaries.is_empty() {
             return 0.0;
         }
-        let loads: Vec<f64> = self.nodes.iter().map(|&n| self.node_load(n)).collect();
+        let loads: Vec<f64> = primaries.iter().map(|&n| self.node_load(n)).collect();
         let mean = loads.iter().sum::<f64>() / loads.len() as f64;
         if mean <= f64::EPSILON {
             return 0.0;
@@ -84,6 +109,7 @@ impl ObservationCollector {
     /// deltas since the previous call.
     pub fn collect(&mut self, cluster: &Cluster, alpha: f64) -> Observation {
         let window = cluster.roll_load_window(alpha);
+        let replicas = cluster.replica_ids();
         let mut shards = BTreeMap::new();
         let mut nodes = Vec::with_capacity(cluster.node_count());
         let mut wal_rate = BTreeMap::new();
@@ -93,6 +119,11 @@ impl ObservationCollector {
             let flushed = node.storage.wal.flush_lsn().0;
             let last = self.wal_last.insert(id, flushed).unwrap_or(0);
             wal_rate.insert(id, flushed.saturating_sub(last));
+            if replicas.contains(&id) {
+                // A replica's tables are applied copies, not owned shards;
+                // reporting them would mis-attribute ownership.
+                continue;
+            }
             for shard in node.data_shards() {
                 let versions = node
                     .storage
@@ -117,6 +148,7 @@ impl ObservationCollector {
             shards,
             affinity: window.affinity,
             wal_rate,
+            replicas,
         }
     }
 }
@@ -158,6 +190,64 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(obs.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn replicas_are_excluded_from_the_imbalance_mean() {
+        let mut obs = Observation {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2)],
+            replicas: vec![NodeId(2)],
+            ..Default::default()
+        };
+        obs.shards.insert(ShardId(1), stat(0, 30.0));
+        obs.shards.insert(ShardId(2), stat(1, 10.0));
+        // Primaries only: mean 20, max 30. With the idle replica in the
+        // mean this would read as 30 / 13.3 = 2.25 — a phantom hotspot.
+        assert!((obs.imbalance() - 1.5).abs() < 1e-9);
+        assert_eq!(obs.primaries(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn node_rw_includes_replica_served_reads() {
+        let mut obs = Observation {
+            nodes: vec![NodeId(0)],
+            ..Default::default()
+        };
+        obs.shards.insert(
+            ShardId(1),
+            ShardStat {
+                load: ShardLoad {
+                    reads: 4.0,
+                    writes: 2.0,
+                    offloaded: 6.0,
+                    ..Default::default()
+                },
+                owner: NodeId(0),
+                versions: 0,
+            },
+        );
+        let (r, w) = obs.node_rw(NodeId(0));
+        assert_eq!((r, w), (10.0, 2.0));
+        // node_load keeps counting only owner-served work.
+        assert_eq!(obs.node_load(NodeId(0)), 6.0);
+    }
+
+    #[test]
+    fn collector_skips_replica_nodes_and_reports_them() {
+        let cluster = ClusterBuilder::new(3).build();
+        let layout = cluster.create_table(TableId(1), 0, 4, |i| NodeId(i % 2));
+        let session = remus_cluster::Session::connect(&cluster, NodeId(0));
+        for k in 0..4u64 {
+            session
+                .run(|t| t.insert(&layout, k, remus_storage::Value::from(vec![k as u8])))
+                .unwrap();
+        }
+        cluster.register_replica(NodeId(2));
+        let mut collector = ObservationCollector::new();
+        let obs = collector.collect(&cluster, 1.0);
+        assert_eq!(obs.replicas, vec![NodeId(2)]);
+        assert_eq!(obs.nodes.len(), 3);
+        assert!(obs.shards.values().all(|s| s.owner != NodeId(2)));
     }
 
     #[test]

@@ -131,12 +131,15 @@ fn planner_churn_never_serves_a_stale_owner() {
         started_rx.recv().unwrap();
 
         for decision in &tick.decisions {
+            let remus::planner::Action::Migrate(task) = &decision.action else {
+                panic!("round {round}: expected a migration, got {decision:?}");
+            };
             assert_eq!(
-                decision.task.shards,
+                task.shards,
                 vec![hot_shard],
                 "round {round}: churn must keep targeting the hot shard"
             );
-            engine.migrate(&cluster, &decision.task).unwrap();
+            engine.migrate(&cluster, task).unwrap();
             moves += 1;
         }
 
