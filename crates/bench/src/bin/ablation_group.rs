@@ -53,7 +53,7 @@ fn run_with_group(group: usize, scale: &Scale) -> Vec<String> {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_args_or_env();
     println!("# Ablation — grouped (collocated) migration (§3.8)");
     let rows: Vec<Vec<String>> = [1usize, 2, 4, 8]
         .iter()

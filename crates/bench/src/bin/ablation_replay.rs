@@ -9,15 +9,18 @@
 //!
 //! Usage: `cargo run --release -p remus-bench --bin ablation_replay [--json <path>]`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use remus_bench::{json_path_arg, print_table, sim_config, BenchReport, Scale, TableSection};
-use remus_cluster::{ClusterBuilder, Session};
+use remus_bench::{
+    json_path_arg, print_table, sim_config, spawn_fleet, BenchReport, FleetSpec, Scale,
+    TableSection,
+};
+use remus_cluster::ClusterBuilder;
 use remus_common::{NodeId, ShardId};
 use remus_core::{MigrationEngine, MigrationTask, RemusEngine};
 use remus_workload::ycsb::{KeyDistribution, Ycsb, YcsbConfig};
+use remus_workload::Workload;
 
 fn run_with_workers(workers: usize, scale: &Scale) -> Vec<String> {
     let mut config = sim_config(scale);
@@ -35,31 +38,13 @@ fn run_with_workers(workers: usize, scale: &Scale) -> Vec<String> {
             ..YcsbConfig::default()
         },
     ));
-    // Writers on node 1 hammer updates while the shard moves 0 → 1.
-    let stop = Arc::new(AtomicBool::new(false));
-    let writers: Vec<_> = (0..3)
-        .map(|w| {
-            let cluster = Arc::clone(&cluster);
-            let ycsb = Arc::clone(&ycsb);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                use rand::SeedableRng;
-                let session = Session::connect(&cluster, NodeId(w % 2));
-                let mut rng = rand::rngs::SmallRng::seed_from_u64(w as u64);
-                while !stop.load(Ordering::Relaxed) {
-                    let _ = session.run(|t| {
-                        remus_workload::driver::Workload::run_once(
-                            &*ycsb,
-                            remus_common::ClientId(w),
-                            t,
-                            &mut rng,
-                        )
-                    });
-                    std::thread::sleep(Duration::from_micros(500));
-                }
-            })
-        })
-        .collect();
+    // Writers hammer updates while the shard moves 0 → 1: three closed-loop
+    // fleet clients running the YCSB mix with a 500 µs think time.
+    let writers = spawn_fleet(
+        &cluster,
+        FleetSpec::closed_loop(3, Duration::from_micros(500)),
+        Arc::clone(&ycsb) as Arc<dyn Workload>,
+    );
     std::thread::sleep(Duration::from_millis(200));
 
     let report = RemusEngine::new()
@@ -68,10 +53,7 @@ fn run_with_workers(workers: usize, scale: &Scale) -> Vec<String> {
             &MigrationTask::single(ShardId(0), NodeId(0), NodeId(1)),
         )
         .expect("migration failed");
-    stop.store(true, Ordering::Relaxed);
-    for w in writers {
-        w.join().unwrap();
-    }
+    writers.stop();
     vec![
         workers.to_string(),
         format!("{:.1}", report.catchup_phase.as_secs_f64() * 1e3),
@@ -82,7 +64,7 @@ fn run_with_workers(workers: usize, scale: &Scale) -> Vec<String> {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_args_or_env();
     println!("# Ablation — transaction-level parallel replay (§3.6)");
     let rows: Vec<Vec<String>> = [1usize, 2, 4, 8]
         .iter()

@@ -9,11 +9,14 @@
 //!
 //! Usage: `cargo run --release -p remus-bench --bin ablation_threshold [--json <path>]`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use remus_bench::{json_path_arg, print_table, sim_config, BenchReport, Scale, TableSection};
+use remus_bench::{
+    json_path_arg, print_table, sim_config, spawn_fleet, BenchReport, FleetSpec, Scale,
+    TableSection,
+};
 use remus_cluster::{ClusterBuilder, Session};
 use remus_common::{NodeId, ShardId};
 use remus_core::{MigrationEngine, MigrationTask, RemusEngine};
@@ -32,19 +35,23 @@ fn run_with_threshold(threshold: usize, scale: &Scale) -> Vec<String> {
             .run(|t| t.insert(&layout, k, Value::from(vec![1u8; 32])))
             .unwrap();
     }
-    let stop = Arc::new(AtomicBool::new(false));
+    // One closed-loop fleet client sweeping the keys in order with a 300 µs
+    // think time: steady update pressure on the shard while it moves.
     let writer = {
-        let cluster = Arc::clone(&cluster);
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
-            let session = Session::connect(&cluster, NodeId(1));
-            let mut i = 0u64;
-            while !stop.load(Ordering::Relaxed) {
-                let _ = session.run(|t| t.update(&layout, i % 2_000, Value::from(vec![2u8; 32])));
-                i += 1;
-                std::thread::sleep(Duration::from_micros(300));
-            }
-        })
+        let next = AtomicU64::new(0);
+        spawn_fleet(
+            &cluster,
+            FleetSpec::closed_loop(1, Duration::from_micros(300)),
+            Arc::new(
+                move |_c: remus_common::ClientId,
+                      t: &mut remus_cluster::SessionTxn<'_>,
+                      _r: &mut rand::rngs::SmallRng| {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    t.update(&layout, i % 2_000, Value::from(vec![2u8; 32]))?;
+                    Ok(())
+                },
+            ),
+        )
     };
     std::thread::sleep(Duration::from_millis(100));
     let report = RemusEngine::new()
@@ -53,8 +60,7 @@ fn run_with_threshold(threshold: usize, scale: &Scale) -> Vec<String> {
             &MigrationTask::single(ShardId(0), NodeId(0), NodeId(1)),
         )
         .expect("migration failed");
-    stop.store(true, Ordering::Relaxed);
-    writer.join().unwrap();
+    writer.stop();
     vec![
         threshold.to_string(),
         format!("{:.1}", report.catchup_phase.as_secs_f64() * 1e3),
@@ -64,7 +70,7 @@ fn run_with_threshold(threshold: usize, scale: &Scale) -> Vec<String> {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_args_or_env();
     println!("# Ablation — catch-up threshold before the mode change (§3.4)");
     let rows: Vec<Vec<String>> = [1usize, 16, 64, 1024, 16384]
         .iter()

@@ -30,6 +30,12 @@
 //!    forced-migrate leg's by [`MIN_RS_EDGE`] — replication offloads the
 //!    read-hot shard while migration can only move it, so losing the edge
 //!    means the replica read path (or the planner pricing it) regressed.
+//! 7. **Open-loop delivered load**: a report carrying an `open-loop
+//!    scale` table (from `bench_scale`) should show the engine delivering
+//!    at least [`MIN_DELIVERED`] of the seeded offered load through the
+//!    live consolidation, with a hard floor at [`DELIVERED_FLOOR`] —
+//!    shedding half the offered arrivals means the migration interrupted
+//!    service, the property the paper claims to preserve.
 //!
 //! Every ratio gate is two-tier (see [`remus_bench::gate`]): below the
 //! expected threshold warns — shared CI runners compress real ratios —
@@ -76,6 +82,11 @@ const MIN_RS_EDGE: f64 = 1.2;
 /// out-recover a forced migration at all makes Replicate dead weight in
 /// the decision core.
 const RS_EDGE_FLOOR: f64 = 1.02;
+/// Expected delivered/offered ratio in an `open-loop scale` table; below
+/// is a warning.
+const MIN_DELIVERED: f64 = 0.90;
+/// Hard floor for the delivered/offered ratio.
+const DELIVERED_FLOOR: f64 = 0.50;
 
 fn load(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -282,6 +293,25 @@ fn check_readskew(which: &str, report: &BenchReport, violations: &mut Vec<String
     }
 }
 
+/// Checks the `open-loop scale` table when present (see `bench_scale`):
+/// the `open-loop` row's trailing delivered/offered cell should reach
+/// [`MIN_DELIVERED`] (warning below) and must stay above
+/// [`DELIVERED_FLOOR`]. Reports without the table pass.
+fn check_scale(which: &str, report: &BenchReport, violations: &mut Vec<String>) {
+    let Some(table) = report.tables.iter().find(|t| t.title == "open-loop scale") else {
+        return;
+    };
+    gate_ratio(
+        which,
+        "open-loop delivered/offered load",
+        row_ratio(table, "open-loop"),
+        MIN_DELIVERED,
+        DELIVERED_FLOOR,
+        "the live migration interrupted service at scale",
+        violations,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_path, candidate_path] = &args[..] else {
@@ -324,6 +354,7 @@ fn main() {
         check_planner(which, report, &mut violations);
         check_replica(which, report, &mut violations);
         check_readskew(which, report, &mut violations);
+        check_scale(which, report, &mut violations);
     }
 
     if violations.is_empty() {

@@ -41,14 +41,15 @@
 //! --json BENCH_foreground.json`
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use remus_bench::{json_path_arg, BenchReport, EngineKind, ScenarioReport, TableSection};
+use remus_bench::{
+    json_path_arg, spawn_fleet, BenchReport, EngineKind, FleetSpec, ScenarioReport, TableSection,
+};
 use remus_clock::OracleKind;
 use remus_cluster::{Cluster, ClusterBuilder, Session};
-use remus_common::metrics::{LatencyStat, Timeline};
 use remus_common::{HotPathConfig, NodeId, ShardId, SimConfig, TableId, WalConfig};
 use remus_core::trace::expected_phases;
 use remus_core::{MigrationReport, MigrationTask};
@@ -171,44 +172,36 @@ fn run_leg(label: &str, hot_path: HotPathConfig, wal_dir: Option<&Path>) -> LegR
     let stop = Arc::new(AtomicBool::new(false));
     let migrator = migration_loop(Arc::clone(&cluster), Arc::clone(&stop));
 
-    let latency = Arc::new(LatencyStat::new());
-    let timeline = Arc::new(Timeline::per_second());
-    let t0 = Instant::now();
-    let sessions: Vec<_> = (0..SESSIONS)
-        .map(|s| {
-            let cluster = Arc::clone(&cluster);
-            let keys: Vec<u64> =
-                hot_keys[s * HOT_KEYS_PER_SESSION..(s + 1) * HOT_KEYS_PER_SESSION].to_vec();
-            let (latency, timeline) = (Arc::clone(&latency), Arc::clone(&timeline));
-            std::thread::spawn(move || {
-                // Sessions connect round-robin so both nodes carry
-                // foreground traffic; keys are private to the session, so
-                // no write-write conflicts are possible.
-                let session = Session::connect(&cluster, NodeId((s % 2) as u32));
-                for round in 0..TXNS_PER_SESSION {
-                    let value = Value::from(vec![(round % 251) as u8; 16]);
-                    let started = Instant::now();
-                    session
-                        .run(|t| {
-                            for &k in &keys {
-                                t.update(&layout, k, value.clone())?;
-                            }
-                            for &k in &keys {
-                                t.read(&layout, k)?;
-                            }
-                            Ok(())
-                        })
-                        .expect("foreground txn failed");
-                    latency.record(started.elapsed());
-                    timeline.record();
+    // Fixed work on the shared client fleet: each client owns a private key
+    // pair, so no write-write conflicts are possible, and the fleet routes
+    // clients round-robin across both nodes so each carries foreground
+    // traffic. The per-client round counters reproduce the old loops'
+    // round-varying values.
+    let rounds: Arc<Vec<AtomicU64>> = Arc::new((0..SESSIONS).map(|_| AtomicU64::new(0)).collect());
+    let fleet_rounds = Arc::clone(&rounds);
+    let fleet = spawn_fleet(
+        &cluster,
+        FleetSpec::fixed_work(SESSIONS, TXNS_PER_SESSION),
+        Arc::new(
+            move |c: remus_common::ClientId,
+                  t: &mut remus_cluster::SessionTxn<'_>,
+                  _r: &mut rand::rngs::SmallRng| {
+                let s = c.0 as usize % SESSIONS;
+                let keys = &hot_keys[s * HOT_KEYS_PER_SESSION..(s + 1) * HOT_KEYS_PER_SESSION];
+                let round = fleet_rounds[s].fetch_add(1, Ordering::Relaxed);
+                let value = Value::from(vec![(round % 251) as u8; 16]);
+                for &k in keys {
+                    t.update(&layout, k, value.clone())?;
                 }
-            })
-        })
-        .collect();
-    for h in sessions {
-        h.join().unwrap();
-    }
-    let elapsed = t0.elapsed();
+                for &k in keys {
+                    t.read(&layout, k)?;
+                }
+                Ok(())
+            },
+        ),
+    );
+    let engine_report = fleet.join();
+    let elapsed = engine_report.elapsed;
     stop.store(true, Ordering::SeqCst);
     let (first_migration, migrations) = migrator.join().unwrap();
     cluster.stop_maintenance();
@@ -229,8 +222,15 @@ fn run_leg(label: &str, hot_path: HotPathConfig, wal_dir: Option<&Path>) -> LegR
         "{label}: unexpected phase sequence under foreground load"
     );
 
-    let commits = SESSIONS as u64 * TXNS_PER_SESSION;
+    let metrics = &engine_report.metrics;
+    let commits = metrics.counters.commits();
+    assert_eq!(
+        commits,
+        SESSIONS as u64 * TXNS_PER_SESSION,
+        "{label}: a foreground txn aborted (keys are private, none should)"
+    );
     let tps = commits as f64 / elapsed.as_secs_f64();
+    let latency = &metrics.latency_normal;
     let (p50, p99) = (latency.percentile(0.50), latency.percentile(0.99));
     println!(
         "{label}\ttxn/s={tps:.0}\tp50={:.1}us\tp99={:.1}us\tmigrations={migrations}\telapsed={:.2}s",
@@ -260,7 +260,7 @@ fn run_leg(label: &str, hot_path: HotPathConfig, wal_dir: Option<&Path>) -> LegR
     }
     let scenario = remus_bench::ScenarioResult {
         engine: EngineKind::Remus.name(),
-        tps: timeline.rates_per_sec(),
+        tps: metrics.timeline.rates_per_sec(),
         commits,
         base_latency: latency.mean(),
         migration: first_migration,

@@ -49,7 +49,9 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use remus_bench::{json_path_arg, BenchReport, EngineKind, ScenarioReport, TableSection};
+use remus_bench::{
+    json_path_arg, spawn_fleet, BenchReport, EngineKind, FleetSpec, ScenarioReport, TableSection,
+};
 use remus_clock::OracleKind;
 use remus_cluster::{Cluster, ClusterBuilder, ReadRouter, Session};
 use remus_common::metrics::{LatencyStat, Timeline};
@@ -471,34 +473,30 @@ fn run_skew_leg(replicate: bool) -> SkewLegResult {
         .collect();
 
     // Continuous writer on the hot shard for the whole leg: whatever the
-    // planner does, the write stream follows the shard.
-    let stop = Arc::new(AtomicBool::new(false));
+    // planner does, the write stream follows the shard. One closed-loop
+    // fleet client; migration-induced aborts are absorbed by the engine's
+    // abort accounting and the next arrival retries.
     let writer = {
-        let cluster = Arc::clone(&cluster);
-        let stop = Arc::clone(&stop);
         let hot_keys = hot_keys.clone();
-        std::thread::spawn(move || {
-            let session = Session::connect(&cluster, NodeId(0));
-            let mut rng = SmallRng::seed_from_u64(SEED);
-            let mut commits = 0u64;
-            while !stop.load(Ordering::Relaxed) {
-                let key = hot_keys[rng.gen_range(0..hot_keys.len())];
-                // Migration-induced aborts are retried by the loop itself.
-                if session
-                    .run(|t| {
-                        t.update(
-                            &layout,
-                            key,
-                            Value::copy_from_slice(format!("w{commits}").as_bytes()),
-                        )
-                    })
-                    .is_ok()
-                {
-                    commits += 1;
-                }
-            }
-            commits
-        })
+        let rounds = AtomicU64::new(0);
+        spawn_fleet(
+            &cluster,
+            FleetSpec::closed_loop(1, Duration::ZERO),
+            Arc::new(
+                move |_c: remus_common::ClientId,
+                      t: &mut remus_cluster::SessionTxn<'_>,
+                      rng: &mut SmallRng| {
+                    let key = hot_keys[rng.gen_range(0..hot_keys.len())];
+                    let round = rounds.fetch_add(1, Ordering::Relaxed);
+                    t.update(
+                        &layout,
+                        key,
+                        Value::copy_from_slice(format!("w{round}").as_bytes()),
+                    )?;
+                    Ok(())
+                },
+            ),
+        )
     };
 
     let latency = LatencyStat::new();
@@ -567,8 +565,7 @@ fn run_skew_leg(replicate: bool) -> SkewLegResult {
         let steady = windows.iter().map(|(_, s)| *s).max().unwrap_or_default();
         (pre, steady, pilot.stop())
     });
-    stop.store(true, Ordering::Relaxed);
-    let commits = writer.join().expect("writer panicked");
+    let commits = writer.stop().metrics.counters.commits();
     let counters = cluster.metrics_snapshot();
     cluster.stop_maintenance();
 

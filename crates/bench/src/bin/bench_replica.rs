@@ -33,17 +33,19 @@
 //! --json BENCH_replica.json`
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use remus_bench::{json_path_arg, BenchReport, EngineKind, ScenarioReport, TableSection};
+use remus_bench::{
+    json_path_arg, spawn_fleet, BenchReport, EngineKind, FleetSpec, ScenarioReport, TableSection,
+};
 use remus_clock::OracleKind;
 use remus_cluster::{ClusterBuilder, ReplicaSession, Session};
 use remus_common::metrics::{LatencyStat, Timeline};
-use remus_common::{NodeId, ShardId, SimConfig, TableId, Timestamp};
+use remus_common::{NodeId, ShardId, SimConfig, TableId};
 use remus_core::{start_replica, MigrationTask};
 use remus_shard::TableLayout;
 use remus_storage::Value;
@@ -182,29 +184,26 @@ fn run_leg(replicas: usize) -> LegResult {
         .collect();
 
     // Continuous writer on the primaries for the whole leg: the replicas
-    // must keep applying while they serve reads.
-    let stop = Arc::new(AtomicBool::new(false));
+    // must keep applying while they serve reads. One closed-loop fleet
+    // client; migration-induced aborts are absorbed by the engine's
+    // abort accounting and the next arrival retries.
+    let writer_rounds = Arc::new(AtomicU64::new(0));
     let writer = {
-        let cluster = Arc::clone(&cluster);
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
-            let session = Session::connect(&cluster, NodeId(1));
-            let mut rng = SmallRng::seed_from_u64(SEED);
-            let mut commits = 0u64;
-            let mut last_cts = Timestamp::INVALID;
-            let t0 = Instant::now();
-            while !stop.load(Ordering::Relaxed) {
-                let key = rng.gen_range(0..KEYS);
-                // Migration-induced aborts are retried by the loop itself.
-                if let Ok((_, cts)) =
-                    session.run(|t| t.update(&layout, key, val(key.wrapping_add(commits))))
-                {
-                    commits += 1;
-                    last_cts = cts;
-                }
-            }
-            (commits as f64 / t0.elapsed().as_secs_f64(), last_cts)
-        })
+        let rounds = Arc::clone(&writer_rounds);
+        spawn_fleet(
+            &cluster,
+            FleetSpec::closed_loop(1, Duration::ZERO),
+            Arc::new(
+                move |_c: remus_common::ClientId,
+                      t: &mut remus_cluster::SessionTxn<'_>,
+                      rng: &mut SmallRng| {
+                    let key = rng.gen_range(0..KEYS);
+                    let round = rounds.fetch_add(1, Ordering::Relaxed);
+                    t.update(&layout, key, val(key.wrapping_add(round)))?;
+                    Ok(())
+                },
+            ),
+        )
     };
 
     let reads = AtomicU64::new(0);
@@ -240,8 +239,10 @@ fn run_leg(replicas: usize) -> LegResult {
         (slowest.max(t0.elapsed().min(slowest)), report)
     });
 
-    stop.store(true, Ordering::Relaxed);
-    let (writer_tps, last_cts) = writer.join().expect("writer panicked");
+    let writer_report = writer.stop();
+    let writer_tps = writer_report.metrics.counters.commits() as f64
+        / writer_report.elapsed.as_secs_f64().max(1e-9);
+    let last_cts = writer_report.last_commit_ts;
     // The replicas that served the measured reads must still be live and
     // able to catch up to the writer's final commit.
     for proc in &procs {

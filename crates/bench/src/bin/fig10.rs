@@ -16,7 +16,7 @@ use remus_bench::{
 };
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_args_or_env();
     println!("# Figure 10 — high-contention YCSB, Remus migrating the hot shard");
     println!("# scale: {scale:?}");
     let result = run_high_contention(&scale);

@@ -13,7 +13,7 @@ use remus_bench::{
 };
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_args_or_env();
     let only = std::env::args().nth(1).and_then(|s| EngineKind::parse(&s));
     println!("# Figure 7 — YCSB throughput, hybrid workload B, consolidation");
     println!("# scale: {scale:?}");

@@ -13,7 +13,7 @@ use remus_bench::{
 };
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_args_or_env();
     let only = std::env::args().nth(1).and_then(|s| EngineKind::parse(&s));
     println!("# Figure 8 — YCSB throughput during load balancing (skewed)");
     println!("# scale: {scale:?}");

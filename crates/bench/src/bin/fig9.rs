@@ -15,7 +15,7 @@ use remus_bench::{
 };
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_args_or_env();
     let only = std::env::args().nth(1).and_then(|s| EngineKind::parse(&s));
     println!("# Figure 9 — TPC-C throughput during scale-out");
     println!("# scale: {scale:?}");

@@ -14,7 +14,7 @@ use remus_bench::{
 };
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_args_or_env();
     println!("# Table 2 — batch insert throughput (tuples/s) under hybrid workload A");
     println!("# scale: {scale:?}");
     let mut report = BenchReport::new("table2", &format!("{scale:?}"));

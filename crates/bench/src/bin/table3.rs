@@ -14,7 +14,7 @@ use remus_bench::{
 };
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_args_or_env();
     println!("# Table 3 — average latency increase (ms)");
     println!("# scale: {scale:?}");
     type Runner = fn(EngineKind, &Scale) -> remus_bench::ScenarioResult;

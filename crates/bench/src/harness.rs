@@ -16,7 +16,8 @@ use remus_core::{
     LockAndAbort, MigrationController, MigrationEngine, MigrationPlan, MigrationReport,
     MigrationTask, RemusEngine, SquallEngine, WaitAndRemaster,
 };
-use remus_workload::driver::{Driver, RunMetrics};
+use remus_workload::driver::{Driver, RunMetrics, Workload};
+use remus_workload::engine::{EngineConfig, EngineReport, OpenLoopEngine, Pacing};
 use remus_workload::hybrid::{AnalyticalClient, BatchIngest, BatchIngestReport};
 use remus_workload::tpcc::{Tpcc, TpccConfig};
 use remus_workload::ycsb::{HotSpot, KeyDistribution, Ycsb, YcsbConfig};
@@ -123,6 +124,93 @@ pub fn sim_config(scale: &Scale) -> SimConfig {
         snapshot_copy_per_tuple: scale.copy_per_tuple,
         lock_wait_timeout: Duration::from_secs(60),
         wal: remus_common::WalConfig::memory(),
+    }
+}
+
+/// How a bench [`ClientFleet`] runs its clients.
+///
+/// One spec replaces the copy-pasted `std::thread::spawn` session loops
+/// the bins used to carry (foreground sessions, replica writers, planner
+/// writers, ablation writers): pick a pacing, optionally a fixed per-client
+/// workload, and let the open-loop engine own threads, sessions, seeding,
+/// and recording.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Logical clients (routed to coordinator `client % nodes`).
+    pub clients: usize,
+    /// Worker threads multiplexing them (defaults to one per client).
+    pub workers: usize,
+    /// Arrival pacing.
+    pub pacing: Pacing,
+    /// Stop after this many transactions per client (`None`: run until
+    /// stopped).
+    pub max_txns_per_client: Option<u64>,
+    /// Run seed for client rngs and open-loop schedules.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// Closed-loop clients pausing `think` between transactions — the
+    /// shape of every background-writer loop in the bins.
+    pub fn closed_loop(clients: usize, think: Duration) -> FleetSpec {
+        FleetSpec {
+            clients,
+            workers: clients,
+            pacing: Pacing::ClosedLoop { think },
+            max_txns_per_client: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Closed-loop clients that each run exactly `txns` transactions
+    /// back-to-back (fixed-work bench legs).
+    pub fn fixed_work(clients: usize, txns: u64) -> FleetSpec {
+        FleetSpec {
+            max_txns_per_client: Some(txns),
+            ..FleetSpec::closed_loop(clients, Duration::ZERO)
+        }
+    }
+}
+
+/// A running background client fleet over the open-loop engine.
+pub struct ClientFleet {
+    engine: OpenLoopEngine,
+}
+
+/// Starts `spec.clients` clients driving `workload`.
+pub fn spawn_fleet(
+    cluster: &Arc<Cluster>,
+    spec: FleetSpec,
+    workload: Arc<dyn Workload>,
+) -> ClientFleet {
+    let config = EngineConfig {
+        clients: spec.clients,
+        workers: spec.workers.max(1),
+        pacing: spec.pacing,
+        seed: spec.seed,
+        queue_bound: 64,
+        horizon: None,
+        max_txns_per_client: spec.max_txns_per_client,
+    };
+    ClientFleet {
+        engine: OpenLoopEngine::start(cluster, config, workload),
+    }
+}
+
+impl ClientFleet {
+    /// The live shared metrics (latency buckets, timeline, aborts).
+    pub fn metrics(&self) -> &Arc<RunMetrics> {
+        &self.engine.metrics
+    }
+
+    /// Signals the fleet to stop and collects the report.
+    pub fn stop(self) -> EngineReport {
+        self.engine.stop()
+    }
+
+    /// Waits for a fixed-work fleet to finish its budget.
+    pub fn join(self) -> EngineReport {
+        self.engine.join()
     }
 }
 

@@ -29,7 +29,7 @@ pub mod scale;
 pub use gate::{parse_ratio_cell, two_tier, GateTier};
 pub use harness::{
     run_high_contention, run_hybrid_a, run_hybrid_b, run_load_balance, run_scale_out, sim_config,
-    EngineKind, HighContentionResult, ScenarioResult,
+    spawn_fleet, ClientFleet, EngineKind, FleetSpec, HighContentionResult, ScenarioResult,
 };
 pub use print::{print_events, print_scenario, print_series, print_table};
 pub use report::{json_path_arg, BenchReport, ScenarioReport, TableSection};

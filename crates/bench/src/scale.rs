@@ -47,6 +47,15 @@ pub struct Scale {
     /// hundreds of MB and take seconds to copy over a 10 Gbps link; the
     /// pacing keeps each migration's phases wide enough to observe.
     pub copy_per_tuple: Duration,
+    /// Worker threads of the open-loop engine (bounded pool multiplexing
+    /// the logical clients).
+    pub workers: usize,
+    /// Mean gap between one logical client's intended arrivals under the
+    /// open-loop engine (Poisson pacing): offered load ≈ `clients /
+    /// arrival_mean`.
+    pub arrival_mean: Duration,
+    /// Bound of each engine worker's arrival queue.
+    pub queue_bound: usize,
 }
 
 impl Scale {
@@ -69,6 +78,9 @@ impl Scale {
             warehouses: 12,
             tpcc_clients: 6,
             copy_per_tuple: Duration::from_micros(400),
+            workers: 4,
+            arrival_mean: Duration::from_millis(5),
+            queue_bound: 64,
         }
     }
 
@@ -91,6 +103,9 @@ impl Scale {
             warehouses: 24,
             tpcc_clients: 10,
             copy_per_tuple: Duration::from_micros(800),
+            workers: 4,
+            arrival_mean: Duration::from_millis(5),
+            queue_bound: 64,
         }
     }
 
@@ -113,15 +128,80 @@ impl Scale {
             warehouses: 48,
             tpcc_clients: 16,
             copy_per_tuple: Duration::from_micros(1000),
+            workers: 6,
+            arrival_mean: Duration::from_millis(4),
+            queue_bound: 64,
         }
     }
 
-    /// Reads `REMUS_SCALE` (`quick` / `default` / `full`).
+    /// The paper-class preset: ≥10 M tuples and ≥200 logical clients,
+    /// sized for the open-loop engine (a bounded worker pool, not a thread
+    /// per client). Bulk load is non-transactional and values are small,
+    /// so the memory bill is the version chains, not the payloads; the
+    /// offered load (`clients / arrival_mean` ≈ 2 k txn/s) is what a
+    /// single-core host sustains while a live migration runs.
+    pub fn paper() -> Scale {
+        Scale {
+            nodes: 6,
+            ycsb_shards: 600,
+            ycsb_keys: 10_000_000,
+            value_len: 16,
+            clients: 240,
+            think: Duration::from_micros(600),
+            consolidation_group: 24,
+            batch_size: 200_000,
+            batches: 10,
+            batch_pause: Duration::from_millis(500),
+            analytic_hold: Duration::from_secs(8),
+            warmup: Duration::from_secs(2),
+            cooldown: Duration::from_secs(2),
+            warehouses: 48,
+            tpcc_clients: 16,
+            // Copy pacing off: at this size the real copy work *is* the
+            // pacing.
+            copy_per_tuple: Duration::ZERO,
+            workers: 8,
+            arrival_mean: Duration::from_millis(120),
+            queue_bound: 64,
+        }
+    }
+
+    /// The preset named `name` (`quick` / `default` / `full` / `paper`).
+    pub fn by_name(name: &str) -> Option<Scale> {
+        match name {
+            "quick" => Some(Scale::quick()),
+            "default" => Some(Scale::default_scale()),
+            "full" => Some(Scale::full()),
+            "paper" => Some(Scale::paper()),
+            _ => None,
+        }
+    }
+
+    /// Reads `REMUS_SCALE` (`quick` / `default` / `full` / `paper`).
     pub fn from_env() -> Scale {
-        match std::env::var("REMUS_SCALE").as_deref() {
-            Ok("quick") => Scale::quick(),
-            Ok("full") => Scale::full(),
-            _ => Scale::default_scale(),
+        std::env::var("REMUS_SCALE")
+            .ok()
+            .and_then(|n| Scale::by_name(&n))
+            .unwrap_or_else(Scale::default_scale)
+    }
+
+    /// The preset from the `--scale <name>` process argument, falling back
+    /// to `REMUS_SCALE`, then to the default. An unknown `--scale` name
+    /// aborts with the list of valid presets rather than silently running
+    /// the wrong size.
+    pub fn from_args_or_env() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let named = args.iter().position(|a| a == "--scale").map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| "<missing>".to_string())
+        });
+        match named {
+            Some(name) => Scale::by_name(&name).unwrap_or_else(|| {
+                eprintln!("unknown --scale '{name}' (quick / default / full / paper)");
+                std::process::exit(2);
+            }),
+            None => Scale::from_env(),
         }
     }
 
@@ -137,7 +217,12 @@ mod tests {
 
     #[test]
     fn presets_keep_the_papers_structure() {
-        for scale in [Scale::quick(), Scale::default_scale(), Scale::full()] {
+        for scale in [
+            Scale::quick(),
+            Scale::default_scale(),
+            Scale::full(),
+            Scale::paper(),
+        ] {
             assert_eq!(scale.nodes, 6, "the paper's cluster has six nodes");
             assert_eq!(
                 scale.ycsb_shards % scale.nodes as u32,
@@ -155,6 +240,31 @@ mod tests {
         assert!(q.ycsb_keys < d.ycsb_keys && d.ycsb_keys < f.ycsb_keys);
         assert!(q.ycsb_shards < d.ycsb_shards && d.ycsb_shards < f.ycsb_shards);
         assert!(q.batch_size < d.batch_size && d.batch_size < f.batch_size);
+    }
+
+    #[test]
+    fn paper_preset_meets_the_scale_gate_floor() {
+        let p = Scale::paper();
+        assert!(
+            p.ycsb_keys >= 10_000_000,
+            "the scale gate promises ≥10M keys"
+        );
+        assert!(p.clients >= 200, "≥200 logical clients");
+        assert!(
+            p.workers < p.clients,
+            "paper scale multiplexes clients over a bounded pool"
+        );
+        assert!(p.queue_bound > 0);
+        assert!(!p.arrival_mean.is_zero());
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        assert_eq!(Scale::by_name("quick").unwrap().ycsb_keys, 6_000);
+        assert_eq!(Scale::by_name("default").unwrap().ycsb_shards, 120);
+        assert_eq!(Scale::by_name("full").unwrap().ycsb_shards, 360);
+        assert_eq!(Scale::by_name("paper").unwrap().ycsb_keys, 10_000_000);
+        assert!(Scale::by_name("warp").is_none());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 pub mod cluster;
 pub mod load;
 pub mod node;
+pub mod pool;
 pub mod replica;
 pub mod router;
 pub mod session;
@@ -28,6 +29,7 @@ pub mod session;
 pub use cluster::{AccessHook, CcMode, Cluster, ClusterBuilder, SnapshotGuard};
 pub use load::{ShardLoad, ShardLoadCell, ShardLoadSnapshot, ShardLoadTracker};
 pub use node::Node;
+pub use pool::SessionPool;
 pub use replica::{ReplicaHandle, ReplicaSession, ReplicaTxn};
 pub use router::{ReadRouter, ReadTxn};
 pub use session::{Session, SessionTxn};

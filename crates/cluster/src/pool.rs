@@ -1,0 +1,106 @@
+//! Session handout for multiplexed logical clients.
+//!
+//! The open-loop workload engine multiplexes hundreds of logical clients
+//! over a small worker pool; giving every logical client its own
+//! [`Session`] would mean hundreds of shard-map caches to keep warm and
+//! hundreds of causal-token cells nobody reads. A [`SessionPool`] instead
+//! holds one session per coordinator node and hands each logical client
+//! the session of its home coordinator (`client % nodes` — the same
+//! round-robin the thread-per-client driver used), so cache warm-up cost
+//! is per *node*, not per client.
+//!
+//! Sessions are internally synchronized (the shard-map cache is behind a
+//! mutex), so a pool may be shared across worker threads; workers that
+//! want zero cross-worker contention build one pool each — a pool is
+//! cheap: `nodes` sessions, each a couple of `Arc`s and an empty cache.
+
+use std::sync::Arc;
+
+use remus_common::{ClientId, NodeId, Timestamp};
+
+use crate::cluster::Cluster;
+use crate::session::Session;
+
+/// One session per cluster node, handed out by client identity.
+#[derive(Debug)]
+pub struct SessionPool {
+    sessions: Vec<Session>,
+}
+
+impl SessionPool {
+    /// Connects one session to every node of the cluster, in node order.
+    pub fn connect_all(cluster: &Arc<Cluster>) -> SessionPool {
+        let sessions = (0..cluster.node_count())
+            .map(|n| Session::connect(cluster, NodeId(n as u32)))
+            .collect();
+        SessionPool { sessions }
+    }
+
+    /// Number of pooled sessions (== cluster nodes).
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when the pool holds no sessions (a zero-node cluster).
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The session of `client`'s home coordinator (`client % nodes`),
+    /// matching the round-robin placement of the thread-per-client driver.
+    pub fn for_client(&self, client: ClientId) -> &Session {
+        &self.sessions[client.0 as usize % self.sessions.len()]
+    }
+
+    /// The session bound to `node`.
+    pub fn for_node(&self, node: NodeId) -> &Session {
+        &self.sessions[node.0 as usize]
+    }
+
+    /// The highest commit timestamp produced across all pooled sessions —
+    /// the causal token for read-your-writes replica reads after a
+    /// multi-client run.
+    pub fn last_commit_ts(&self) -> Timestamp {
+        self.sessions
+            .iter()
+            .map(|s| s.last_commit_ts())
+            .max()
+            .unwrap_or(Timestamp::INVALID)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterBuilder;
+    use remus_common::TableId;
+    use remus_storage::Value;
+
+    #[test]
+    fn pool_routes_clients_round_robin() {
+        let cluster = ClusterBuilder::new(3).build();
+        let pool = SessionPool::connect_all(&cluster);
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.for_client(ClientId(0)).coordinator().id(), NodeId(0));
+        assert_eq!(pool.for_client(ClientId(4)).coordinator().id(), NodeId(1));
+        assert_eq!(pool.for_node(NodeId(2)).coordinator().id(), NodeId(2));
+    }
+
+    #[test]
+    fn pool_tracks_highest_commit_ts() {
+        let cluster = ClusterBuilder::new(2).build();
+        let layout = cluster.create_table(TableId(1), 0, 4, |i| NodeId(i % 2));
+        let pool = SessionPool::connect_all(&cluster);
+        assert!(!pool.last_commit_ts().is_valid());
+        let (_, ts0) = pool
+            .for_client(ClientId(0))
+            .run(|t| t.insert(&layout, 1, Value::copy_from_slice(b"a")))
+            .unwrap();
+        let (_, ts1) = pool
+            .for_client(ClientId(1))
+            .run(|t| t.insert(&layout, 2, Value::copy_from_slice(b"b")))
+            .unwrap();
+        assert_eq!(pool.last_commit_ts(), ts0.max(ts1));
+    }
+}

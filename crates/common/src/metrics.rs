@@ -82,6 +82,26 @@ impl Timeline {
     }
 }
 
+/// A run clock: elapsed time since the recorder was anchored. Lets
+/// [`EventMarks`] (and other overlay consumers) accept either the plain
+/// [`Timeline`] or the striped one.
+pub trait TimelineClock {
+    /// Elapsed time since the clock started.
+    fn elapsed(&self) -> Duration;
+}
+
+impl TimelineClock for Timeline {
+    fn elapsed(&self) -> Duration {
+        Timeline::elapsed(self)
+    }
+}
+
+impl TimelineClock for StripedTimeline {
+    fn elapsed(&self) -> Duration {
+        StripedTimeline::elapsed(self)
+    }
+}
+
 /// Marks points in time relative to a [`Timeline`], used to overlay
 /// migration start/end and workload phase boundaries on the figures.
 #[derive(Debug, Default)]
@@ -101,7 +121,9 @@ impl EventMarks {
     }
 
     /// Records a named mark at the timeline's current elapsed time.
-    pub fn mark(&self, label: impl Into<String>, timeline: &Timeline) {
+    /// Accepts anything with a run clock ([`Timeline`] or
+    /// [`StripedTimeline`]).
+    pub fn mark(&self, label: impl Into<String>, timeline: &impl TimelineClock) {
         self.mark_at(label, timeline.elapsed());
     }
 
@@ -243,6 +265,12 @@ impl LatencyStat {
         Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
     }
 
+    /// Sum of all recorded samples in nanoseconds (exact-mean merging for
+    /// the striped recorder).
+    pub fn total_nanos(&self) -> u64 {
+        self.total_nanos.load(Ordering::Relaxed)
+    }
+
     /// Approximate percentile (0.0..=1.0) from the exponential histogram;
     /// resolution is one power of two in microseconds, capped by the true
     /// maximum so single-sample percentiles never exceed the real sample.
@@ -312,6 +340,296 @@ impl AbortCounters {
     /// Other aborts so far.
     pub fn other_aborts(&self) -> u64 {
         self.other_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of attempts that aborted for migration reasons
+    /// (Table 2's "Abort Ratio During Consolidation").
+    pub fn migration_abort_ratio(&self) -> f64 {
+        let aborts = self.migration_aborts() as f64;
+        let attempts = aborts + self.commits() as f64;
+        if attempts == 0.0 {
+            0.0
+        } else {
+            aborts / attempts
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Striped hot-path recorders
+//
+// With hundreds of logical clients multiplexed over a worker pool, every
+// commit hitting one `Mutex<Vec<u64>>` (Timeline) or one set of contended
+// atomics (LatencyStat / AbortCounters) serializes the recorders. The
+// striped variants spread recording over cache-line-padded cells — each
+// thread sticks to one stripe — and merge at snapshot time. Readers see
+// exactly the same totals; only the write-side contention changes.
+// ---------------------------------------------------------------------------
+
+/// Default stripe count for the striped recorders. Sized for "a worker pool,
+/// not a thread per client": more stripes than workers is harmless (idle
+/// cells), fewer just means some sharing.
+pub const DEFAULT_STRIPES: usize = 16;
+
+/// Cache-line-sized cell so adjacent stripes never share a line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CacheLine<T>(T);
+
+/// The calling thread's stripe slot in `0..stripes`.
+///
+/// Threads are assigned slots round-robin on first use (process-wide
+/// counter, cached in a thread-local), so a fixed worker pool spreads
+/// evenly over the stripes regardless of the stripe count.
+pub fn thread_stripe(stripes: usize) -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static SLOT: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+    let slot = SLOT.with(|s| {
+        if s.get() == u64::MAX {
+            s.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        s.get()
+    });
+    (slot as usize) % stripes.max(1)
+}
+
+/// A [`Timeline`] sharded into striped cells merged at snapshot time.
+///
+/// Same read API (`buckets`, `rates_per_sec`, `elapsed`); `record` takes
+/// the calling thread's stripe lock instead of the global one.
+#[derive(Debug)]
+pub struct StripedTimeline {
+    start: Instant,
+    bucket: Duration,
+    stripes: Box<[CacheLine<Mutex<Vec<u64>>>]>,
+}
+
+impl StripedTimeline {
+    /// A striped timeline anchored now with the given bucket width.
+    pub fn new(bucket: Duration, stripes: usize) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        StripedTimeline {
+            start: Instant::now(),
+            bucket,
+            stripes: (0..stripes.max(1))
+                .map(|_| CacheLine(Mutex::new(Vec::new())))
+                .collect(),
+        }
+    }
+
+    /// Seconds-per-bucket convenience constructor with default striping.
+    pub fn per_second() -> Self {
+        Self::new(Duration::from_secs(1), DEFAULT_STRIPES)
+    }
+
+    /// Records `n` events at the current instant on this thread's stripe.
+    pub fn record_n(&self, n: u64) {
+        let idx = (self.start.elapsed().as_nanos() / self.bucket.as_nanos()) as usize;
+        let mut counts = self.stripes[thread_stripe(self.stripes.len())].0.lock();
+        if counts.len() <= idx {
+            counts.resize(idx + 1, 0);
+        }
+        counts[idx] += n;
+    }
+
+    /// Records one event at the current instant.
+    pub fn record(&self) {
+        self.record_n(1);
+    }
+
+    /// Elapsed time since the timeline started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The instant the timeline was anchored at.
+    pub fn start_instant(&self) -> Instant {
+        self.start
+    }
+
+    /// Merged snapshot of the per-bucket counts across all stripes.
+    pub fn buckets(&self) -> Vec<u64> {
+        let mut merged: Vec<u64> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let counts = stripe.0.lock();
+            if counts.len() > merged.len() {
+                merged.resize(counts.len(), 0);
+            }
+            for (m, &c) in merged.iter_mut().zip(counts.iter()) {
+                *m += c;
+            }
+        }
+        merged
+    }
+
+    /// Events per second for each bucket (counts scaled by bucket width).
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let scale = 1.0 / self.bucket.as_secs_f64();
+        self.buckets().iter().map(|&c| c as f64 * scale).collect()
+    }
+}
+
+/// A [`LatencyStat`] sharded into striped cells merged at read time.
+///
+/// Counts, sums, and histogram buckets add across stripes exactly; `max`
+/// is the max of stripe maxima; percentiles run over the merged histogram
+/// capped at the true merged max — identical answers to the flat recorder.
+#[derive(Debug)]
+pub struct StripedLatencyStat {
+    stripes: Box<[CacheLine<LatencyStat>]>,
+}
+
+impl Default for StripedLatencyStat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StripedLatencyStat {
+    /// An empty recorder with default striping.
+    pub fn new() -> Self {
+        Self::with_stripes(DEFAULT_STRIPES)
+    }
+
+    /// An empty recorder with `stripes` cells.
+    pub fn with_stripes(stripes: usize) -> Self {
+        StripedLatencyStat {
+            stripes: (0..stripes.max(1))
+                .map(|_| CacheLine(LatencyStat::new()))
+                .collect(),
+        }
+    }
+
+    /// Records one sample on the calling thread's stripe.
+    pub fn record(&self, latency: Duration) {
+        self.stripes[thread_stripe(self.stripes.len())]
+            .0
+            .record(latency);
+    }
+
+    /// Total samples across all stripes.
+    pub fn count(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.count()).sum()
+    }
+
+    /// Exact merged mean, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let total: u64 = self.stripes.iter().map(|s| s.0.total_nanos()).sum();
+        Duration::from_nanos(total / n)
+    }
+
+    /// Largest sample across all stripes.
+    pub fn max(&self) -> Duration {
+        self.stripes
+            .iter()
+            .map(|s| s.0.max())
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Merged per-bucket histogram counts (same boundaries as
+    /// [`Histogram`]).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let mut merged = vec![0u64; 32];
+        for stripe in self.stripes.iter() {
+            for (m, c) in merged.iter_mut().zip(stripe.0.histogram().bucket_counts()) {
+                *m += c;
+            }
+        }
+        merged
+    }
+
+    /// Approximate percentile over the merged histogram, capped at the
+    /// true merged maximum. Zero when empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in counts.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Duration::from_micros(1u64 << (i + 1)).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// [`AbortCounters`] sharded into striped cells summed at read time.
+#[derive(Debug)]
+pub struct StripedAbortCounters {
+    stripes: Box<[CacheLine<AbortCounters>]>,
+}
+
+impl Default for StripedAbortCounters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StripedAbortCounters {
+    /// Zeroed counters with default striping.
+    pub fn new() -> Self {
+        StripedAbortCounters {
+            stripes: (0..DEFAULT_STRIPES)
+                .map(|_| CacheLine(AbortCounters::new()))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self) -> &AbortCounters {
+        &self.stripes[thread_stripe(self.stripes.len())].0
+    }
+
+    /// Counts one committed transaction.
+    pub fn commit(&self) {
+        self.stripe().commit();
+    }
+
+    /// Counts one write-write-conflict abort.
+    pub fn ww_abort(&self) {
+        self.stripe().ww_abort();
+    }
+
+    /// Counts one migration-induced abort.
+    pub fn migration_abort(&self) {
+        self.stripe().migration_abort();
+    }
+
+    /// Counts one abort of any other kind.
+    pub fn other_abort(&self) {
+        self.stripe().other_abort();
+    }
+
+    /// Committed transactions so far (all stripes).
+    pub fn commits(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.commits()).sum()
+    }
+
+    /// WW-conflict aborts so far (all stripes).
+    pub fn ww_aborts(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.ww_aborts()).sum()
+    }
+
+    /// Migration-induced aborts so far (all stripes).
+    pub fn migration_aborts(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.migration_aborts()).sum()
+    }
+
+    /// Other aborts so far (all stripes).
+    pub fn other_aborts(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.other_aborts()).sum()
     }
 
     /// Fraction of attempts that aborted for migration reasons
@@ -1017,6 +1335,127 @@ mod tests {
         let deltas = w.advance(&h2);
         assert_eq!(deltas[Histogram::bucket_of(8)], 1);
         assert!(deltas.iter().all(|&d| d <= 1));
+    }
+
+    #[test]
+    fn striped_cells_are_cache_line_aligned() {
+        assert!(std::mem::align_of::<CacheLine<AtomicU64>>() >= 64);
+        assert!(std::mem::size_of::<CacheLine<AtomicU64>>() >= 64);
+    }
+
+    #[test]
+    fn thread_stripe_is_stable_and_in_range() {
+        let a = thread_stripe(16);
+        assert_eq!(a, thread_stripe(16), "same thread, same slot");
+        assert!(a < 16);
+        assert_eq!(thread_stripe(1), 0);
+        // Degenerate stripe count must not divide by zero.
+        assert_eq!(thread_stripe(0), 0);
+    }
+
+    #[test]
+    fn striped_timeline_merges_across_threads() {
+        let t = Arc::new(StripedTimeline::new(Duration::from_secs(3600), 4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        t.record();
+                    }
+                    t.record_n(5);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Everything lands in bucket 0; merged counts add exactly.
+        assert_eq!(t.buckets().iter().sum::<u64>(), 4 * 105);
+        assert_eq!(t.rates_per_sec().len(), t.buckets().len());
+    }
+
+    #[test]
+    fn striped_timeline_empty_has_no_buckets() {
+        let t = StripedTimeline::per_second();
+        assert!(t.buckets().is_empty());
+        assert!(t.rates_per_sec().is_empty());
+    }
+
+    #[test]
+    fn striped_latency_merges_exactly() {
+        let s = Arc::new(StripedLatencyStat::with_stripes(4));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for k in 0..50u64 {
+                        s.record(Duration::from_micros(10 + i * 100 + k));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.count(), 200);
+        assert_eq!(s.bucket_counts().iter().sum::<u64>(), 200);
+        assert!(s.max() >= Duration::from_micros(349));
+        assert!(s.mean() > Duration::ZERO);
+        assert!(s.percentile(0.5) <= s.percentile(0.99));
+        assert!(s.percentile(1.0) <= s.max());
+    }
+
+    #[test]
+    fn striped_latency_single_sample_does_not_overshoot_max() {
+        let s = StripedLatencyStat::new();
+        s.record(Duration::from_micros(10));
+        assert_eq!(s.percentile(0.99), Duration::from_micros(10));
+        assert_eq!(s.mean(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn striped_latency_empty_is_zero() {
+        let s = StripedLatencyStat::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.percentile(0.99), Duration::ZERO);
+        assert_eq!(s.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn striped_abort_counters_sum_across_threads() {
+        let c = Arc::new(StripedAbortCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        c.commit();
+                    }
+                    c.ww_abort();
+                    c.migration_abort();
+                    c.other_abort();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.commits(), 100);
+        assert_eq!(c.ww_aborts(), 4);
+        assert_eq!(c.migration_aborts(), 4);
+        assert_eq!(c.other_aborts(), 4);
+        let expected = 4.0 / 104.0;
+        assert!((c.migration_abort_ratio() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_marks_accept_striped_timeline() {
+        let marks = EventMarks::new();
+        let t = StripedTimeline::per_second();
+        marks.mark("striped", &t);
+        assert_eq!(marks.all().len(), 1);
     }
 
     #[test]

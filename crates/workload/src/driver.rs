@@ -1,28 +1,41 @@
-//! The closed-loop benchmark driver.
+//! The benchmark driver facade over the open-loop engine.
 //!
-//! Spawns one thread per client, each bound to a session on a round-robin
-//! coordinator node (clients "can submit requests to any one of the
-//! elastic nodes", §2.1). Each client repeatedly executes the workload's
-//! transaction with no think time (as in the paper's OLTP-Bench setup) and
-//! records commits into a per-second [`Timeline`], classifies aborts, and
-//! buckets latency into *normal* vs *during-migration* samples so the
-//! harness can compute Table 3's average latency increase.
+//! [`Driver`] keeps the old thread-per-client API (`start`,
+//! `start_with_think`, `run_for`, `stop`) but is now a thin wrapper over
+//! [`crate::engine::OpenLoopEngine`]. Two behavioral fixes ride along:
+//!
+//! * **Coordinated omission**: with a think time, clients used to sleep
+//!   `think` *after* each completion and measure service time from the
+//!   post-sleep `Instant::now()` — a stalled server paused the load and
+//!   the queueing delay never reached p99. `think > 0` now means a
+//!   fixed-rate *open-loop* schedule of period `think`, with latency
+//!   recorded from the intended arrival, so a stall inflates every sample
+//!   that was due while it lasted.
+//! * **Striped recording**: [`RunMetrics`] shards its timeline, latency,
+//!   and abort counters into cache-padded stripes merged at read time, so
+//!   hundreds of recorders don't serialize on one mutex.
+//!
+//! `think == 0` keeps true closed-loop semantics (latency = service time):
+//! with no schedule there is no intended arrival to measure against.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use remus_cluster::{Cluster, Session, SessionTxn};
-use remus_common::metrics::{AbortCounters, EventMarks, LatencyStat, Timeline};
-use remus_common::{ClientId, DbError, DbResult, NodeId};
+use remus_cluster::{Cluster, SessionTxn};
+use remus_common::metrics::{
+    EventMarks, StripedAbortCounters, StripedLatencyStat, StripedTimeline,
+};
+use remus_common::{ClientId, DbError, DbResult};
 
-/// A benchmark workload: one closed-loop transaction at a time.
+use crate::engine::{EngineConfig, EngineReport, OpenLoopEngine, Pacing};
+
+/// A benchmark workload: one transaction per arrival.
 pub trait Workload: Send + Sync + 'static {
     /// Executes one transaction on the session. Returning `Err` counts as
-    /// an abort of the class carried by the error; the driver immediately
-    /// issues the next transaction (the standard retry loop).
+    /// an abort of the class carried by the error; the engine immediately
+    /// proceeds to the next arrival (the standard retry loop).
     fn run_once(
         &self,
         client: ClientId,
@@ -45,19 +58,22 @@ where
     }
 }
 
-/// Metrics shared between the driver's clients and the harness.
+/// Metrics shared between the engine's workers and the harness.
+///
+/// All hot recorders are striped: writes land on the calling thread's
+/// cache-padded stripe, reads merge.
 #[derive(Debug)]
 pub struct RunMetrics {
     /// Committed transactions per second.
-    pub timeline: Timeline,
+    pub timeline: StripedTimeline,
     /// Named event overlays (migration start/end etc.).
     pub marks: EventMarks,
     /// Commit/abort classification.
-    pub counters: AbortCounters,
+    pub counters: StripedAbortCounters,
     /// Commit latency outside migrations.
-    pub latency_normal: LatencyStat,
+    pub latency_normal: StripedLatencyStat,
     /// Commit latency while a migration is marked active.
-    pub latency_migration: LatencyStat,
+    pub latency_migration: StripedLatencyStat,
     migration_active: AtomicBool,
 }
 
@@ -65,11 +81,11 @@ impl RunMetrics {
     /// Fresh metrics anchored now.
     pub fn new() -> Self {
         RunMetrics {
-            timeline: Timeline::per_second(),
+            timeline: StripedTimeline::per_second(),
             marks: EventMarks::new(),
-            counters: AbortCounters::new(),
-            latency_normal: LatencyStat::new(),
-            latency_migration: LatencyStat::new(),
+            counters: StripedAbortCounters::new(),
+            latency_normal: StripedLatencyStat::new(),
+            latency_migration: StripedLatencyStat::new(),
             migration_active: AtomicBool::new(false),
         }
     }
@@ -103,22 +119,31 @@ impl RunMetrics {
             .saturating_sub(self.latency_normal.mean())
     }
 
-    fn record_outcome(&self, started: Instant, result: &DbResult<()>) {
+    /// Records one transaction outcome with an already-measured latency —
+    /// for open-loop callers this is intended-arrival → completion (the
+    /// coordinated-omission-safe definition), for closed-loop callers it
+    /// is service time.
+    pub fn record_outcome_with_latency(&self, latency: Duration, result: &DbResult<()>) {
         match result {
             Ok(()) => {
                 self.timeline.record();
                 self.counters.commit();
-                let elapsed = started.elapsed();
                 if self.migration_active() {
-                    self.latency_migration.record(elapsed);
+                    self.latency_migration.record(latency);
                 } else {
-                    self.latency_normal.record(elapsed);
+                    self.latency_normal.record(latency);
                 }
             }
             Err(e) if e.is_migration_induced() => self.counters.migration_abort(),
             Err(DbError::WwConflict { .. }) => self.counters.ww_abort(),
             Err(_) => self.counters.other_abort(),
         }
+    }
+
+    /// Service-time convenience: records the outcome with latency measured
+    /// from `started` to now.
+    pub fn record_outcome(&self, started: Instant, result: &DbResult<()>) {
+        self.record_outcome_with_latency(started.elapsed(), result);
     }
 }
 
@@ -128,12 +153,15 @@ impl Default for RunMetrics {
     }
 }
 
-/// A running fleet of closed-loop clients.
+/// Run seed of the facade driver: the old driver's client-rng constant, so
+/// workload key streams stay in the same family across the rewrite.
+const DRIVER_SEED: u64 = 0x5EED;
+
+/// A running client fleet behind the legacy driver API.
 pub struct Driver {
     /// Shared metrics.
     pub metrics: Arc<RunMetrics>,
-    stop: Arc<AtomicBool>,
-    clients: Vec<std::thread::JoinHandle<()>>,
+    engine: Option<OpenLoopEngine>,
 }
 
 impl Driver {
@@ -143,56 +171,57 @@ impl Driver {
         Self::start_with_think(cluster, clients, Duration::ZERO, workload)
     }
 
-    /// Starts clients that pause `think` between transactions. On a
-    /// single-core simulation host a small think time stands in for the
-    /// client-side round trips of the paper's separate load generator —
-    /// without it the clients starve the replication pipeline of CPU.
+    /// Starts clients paced by `think`.
+    ///
+    /// `think > 0` is an *open-loop fixed-rate* schedule with period
+    /// `think` — latency is recorded against each intended arrival, so
+    /// server stalls inflate p99 instead of pausing the load (the
+    /// coordinated-omission fix). A bounded per-client backlog (64
+    /// arrivals) sheds load past that, keeping catch-up bursts finite on a
+    /// small host. `think == 0` is a true closed loop measuring service
+    /// time.
     pub fn start_with_think(
         cluster: &Arc<Cluster>,
         clients: usize,
         think: Duration,
         workload: Arc<dyn Workload>,
     ) -> Driver {
-        let metrics = Arc::new(RunMetrics::new());
-        let stop = Arc::new(AtomicBool::new(false));
-        let handles = (0..clients)
-            .map(|i| {
-                let cluster = Arc::clone(cluster);
-                let workload = Arc::clone(&workload);
-                let metrics = Arc::clone(&metrics);
-                let stop = Arc::clone(&stop);
-                std::thread::spawn(move || {
-                    let coordinator = NodeId((i % cluster.node_count()) as u32);
-                    let session = Session::connect(&cluster, coordinator);
-                    let client = ClientId(i as u32);
-                    let mut rng = SmallRng::seed_from_u64(0x5EED ^ (i as u64) << 8);
-                    while !stop.load(Ordering::Relaxed) {
-                        let started = Instant::now();
-                        let result = session
-                            .run(|txn| workload.run_once(client, txn, &mut rng))
-                            .map(|((), _)| ());
-                        metrics.record_outcome(started, &result);
-                        if !think.is_zero() {
-                            std::thread::sleep(think);
-                        }
-                    }
-                })
-            })
-            .collect();
+        let pacing = if think.is_zero() {
+            Pacing::ClosedLoop {
+                think: Duration::ZERO,
+            }
+        } else {
+            Pacing::FixedRate { period: think }
+        };
+        let config = EngineConfig {
+            clients,
+            workers: clients,
+            pacing,
+            seed: DRIVER_SEED,
+            queue_bound: 64,
+            horizon: None,
+            max_txns_per_client: None,
+        };
+        Self::from_engine(OpenLoopEngine::start(cluster, config, workload))
+    }
+
+    /// Wraps an already-started engine in the legacy driver API.
+    pub fn from_engine(engine: OpenLoopEngine) -> Driver {
         Driver {
-            metrics,
-            stop,
-            clients: handles,
+            metrics: Arc::clone(&engine.metrics),
+            engine: Some(engine),
         }
     }
 
     /// Signals the clients to stop and waits for them.
     pub fn stop(mut self) -> Arc<RunMetrics> {
-        self.stop.store(true, Ordering::Relaxed);
-        for handle in self.clients.drain(..) {
-            handle.join().expect("client thread panicked");
-        }
-        Arc::clone(&self.metrics)
+        self.stop_with_report().metrics
+    }
+
+    /// Stops the fleet and returns the full engine report (offered /
+    /// dropped / park accounting on top of the shared metrics).
+    pub fn stop_with_report(&mut self) -> EngineReport {
+        self.engine.take().expect("driver already stopped").stop()
     }
 
     /// Lets the clients run for `d`.
@@ -204,8 +233,8 @@ impl Driver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use remus_cluster::ClusterBuilder;
-    use remus_common::TableId;
+    use remus_cluster::{ClusterBuilder, Session};
+    use remus_common::{NodeId, TableId};
     use remus_storage::Value;
 
     #[test]
@@ -232,6 +261,31 @@ mod tests {
         assert_eq!(metrics.counters.migration_aborts(), 0);
         assert!(!metrics.timeline.buckets().is_empty());
         assert!(metrics.latency_normal.count() > 0);
+    }
+
+    #[test]
+    fn driver_with_think_offers_open_loop_load() {
+        let cluster = ClusterBuilder::new(1).build();
+        let layout = cluster.create_table(TableId(1), 0, 2, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        session
+            .run(|t| t.insert(&layout, 1, Value::copy_from_slice(b"v")))
+            .unwrap();
+        let workload = move |_c: ClientId, txn: &mut SessionTxn<'_>, _r: &mut SmallRng| {
+            txn.read(&layout, 1)?;
+            Ok(())
+        };
+        let mut driver =
+            Driver::start_with_think(&cluster, 2, Duration::from_millis(2), Arc::new(workload));
+        driver.run_for(Duration::from_millis(300));
+        let report = driver.stop_with_report();
+        assert!(report.offered > 0);
+        assert_eq!(
+            report.offered,
+            report.executed + report.dropped,
+            "every arrival is executed or shed"
+        );
+        assert!(report.metrics.counters.commits() > 0);
     }
 
     #[test]
@@ -277,5 +331,53 @@ mod tests {
         metrics.latency_normal.record(Duration::from_millis(1));
         metrics.latency_migration.record(Duration::from_millis(4));
         assert!(metrics.latency_increase() >= Duration::from_millis(2));
+    }
+
+    /// The coordinated-omission regression: a single long stall must
+    /// inflate the tail of the *recorded* distribution, because every
+    /// arrival that was due during the stall is measured from its intended
+    /// time. The old service-time driver recorded exactly one slow sample
+    /// here and the tail stayed flat.
+    #[test]
+    fn stalled_server_inflates_co_safe_p99() {
+        use std::sync::atomic::AtomicU64;
+
+        let cluster = ClusterBuilder::new(1).build();
+        let layout = cluster.create_table(TableId(1), 0, 2, |_| NodeId(0));
+        let session = Session::connect(&cluster, NodeId(0));
+        session
+            .run(|t| t.insert(&layout, 1, Value::copy_from_slice(b"v")))
+            .unwrap();
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = Arc::clone(&calls);
+        let workload = move |_c: ClientId, txn: &mut SessionTxn<'_>, _r: &mut SmallRng| {
+            // One 200 ms stall early in the run, then fast.
+            if calls2.fetch_add(1, Ordering::Relaxed) == 5 {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            txn.read(&layout, 1)?;
+            Ok(())
+        };
+        // Open-loop 2 ms schedule: ~100 arrivals fall due during the stall.
+        let mut driver =
+            Driver::start_with_think(&cluster, 1, Duration::from_millis(2), Arc::new(workload));
+        driver.run_for(Duration::from_millis(700));
+        let report = driver.stop_with_report();
+        let lat = &report.metrics.latency_normal;
+        assert!(
+            lat.percentile(0.99) >= Duration::from_millis(50),
+            "stall must surface in p99, got {:?}",
+            lat.percentile(0.99)
+        );
+        // The distinguishing signal vs service-time recording: *many*
+        // samples carry the stall, not just the one stalled transaction.
+        let slow: u64 = lat
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i >= 14) // buckets >= ~16.4 ms
+            .map(|(_, &n)| n)
+            .sum();
+        assert!(slow >= 8, "expected many inflated samples, got {slow}");
     }
 }

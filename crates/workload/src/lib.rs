@@ -14,16 +14,25 @@
 //!   keys, 2PC commit, repeatable retry) and hybrid workload B's
 //!   analytical duplicate-primary-key check used to verify database
 //!   consistency during migration.
-//! * [`driver`] — closed-loop client threads over cluster sessions, with
+//! * [`engine`] — the open-loop workload engine: a fixed worker pool
+//!   multiplexing hundreds of logical clients over seeded arrival
+//!   schedules (fixed-rate / Poisson), bounded per-worker queues with
+//!   drop/park accounting, and coordinated-omission-safe latency.
+//! * [`driver`] — the legacy driver API as a facade over the engine, with
 //!   per-second throughput timelines, abort classification, and
 //!   before/during-migration latency buckets (Table 3).
 
 pub mod driver;
+pub mod engine;
 pub mod hybrid;
 pub mod tpcc;
 pub mod ycsb;
 
 pub use driver::{Driver, RunMetrics, Workload};
+pub use engine::{
+    arrival_schedule, Admission, ArrivalGen, BoundedQueue, EngineConfig, EngineReport,
+    OpenLoopEngine, Pacing,
+};
 pub use hybrid::{AnalyticalClient, BatchIngest, BatchIngestReport};
 pub use tpcc::{Tpcc, TpccConfig};
 pub use ycsb::{HotPhase, HotSpot, HotspotShift, KeyDistribution, Ycsb, YcsbConfig, Zipfian};

@@ -1,0 +1,153 @@
+//! Backpressure accounting of the open-loop engine: the per-worker queue
+//! never exceeds its bound, and every generated arrival is accounted for
+//! exactly once — executed or dropped, never lost.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use remus_cluster::{ClusterBuilder, Session, SessionTxn};
+use remus_common::{ClientId, NodeId, TableId};
+use remus_storage::Value;
+use remus_workload::{Admission, BoundedQueue, EngineConfig, OpenLoopEngine, Pacing};
+
+proptest! {
+    /// Drive a bounded queue with an arbitrary push/pop sequence: depth
+    /// never exceeds the bound, and pushes split exactly into admitted
+    /// (later popped or still queued) and dropped.
+    #[test]
+    fn bounded_queue_accounts_exactly(
+        bound in 1usize..12,
+        ops in proptest::collection::vec(0u8..4, 1..300)
+    ) {
+        let mut q = BoundedQueue::new(bound);
+        let mut pushes = 0u64;
+        let mut admitted = 0u64;
+        let mut popped = 0u64;
+        for op in ops {
+            if op < 3 {
+                // Bias toward pushes so the bound is actually hit.
+                pushes += 1;
+                match q.push(pushes) {
+                    Admission::Queued => admitted += 1,
+                    Admission::Dropped => {}
+                }
+            } else if q.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert!(q.len() <= q.bound(), "depth {} > bound {}", q.len(), q.bound());
+            prop_assert!(q.high_water() <= q.bound());
+            prop_assert_eq!(q.dropped(), pushes - admitted);
+            prop_assert_eq!(q.len() as u64, admitted - popped);
+        }
+        // Drain: FIFO order of the admitted items.
+        let mut last = 0u64;
+        while let Some(v) = q.pop() {
+            prop_assert!(v > last);
+            last = v;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, admitted);
+    }
+}
+
+fn scale_cluster() -> (Arc<remus_cluster::Cluster>, remus_shard::TableLayout) {
+    let cluster = ClusterBuilder::new(1).build();
+    let layout = cluster.create_table(TableId(1), 0, 2, |_| NodeId(0));
+    let session = Session::connect(&cluster, NodeId(0));
+    session
+        .run(|t| t.insert(&layout, 1, Value::copy_from_slice(b"v")))
+        .unwrap();
+    (cluster, layout)
+}
+
+/// An overloaded worker (slow transactions, fast schedule, tiny queue)
+/// must shed load — and the books must still balance exactly.
+#[test]
+fn saturated_engine_sheds_and_accounts_exactly() {
+    let (cluster, layout) = scale_cluster();
+    let workload = move |_c: ClientId, txn: &mut SessionTxn<'_>, _r: &mut SmallRng| {
+        std::thread::sleep(Duration::from_millis(2));
+        txn.read(&layout, 1)?;
+        Ok(())
+    };
+    let config = EngineConfig {
+        clients: 1,
+        workers: 1,
+        pacing: Pacing::FixedRate {
+            period: Duration::from_micros(500),
+        },
+        seed: 3,
+        queue_bound: 4,
+        horizon: Some(Duration::from_millis(300)),
+        max_txns_per_client: None,
+    };
+    let report = OpenLoopEngine::start(&cluster, config, Arc::new(workload)).join();
+    assert!(report.dropped > 0, "a saturated queue must shed load");
+    assert_eq!(
+        report.offered,
+        report.executed + report.dropped,
+        "every arrival is executed or dropped, never lost"
+    );
+    assert!(
+        report.queue_high_water <= 4,
+        "queue depth exceeded its bound"
+    );
+    assert!(report.delivered_ratio() < 1.0);
+}
+
+/// An idle worker (slow schedule, fast transactions) must park instead of
+/// spinning, shed nothing, and execute its whole schedule.
+#[test]
+fn idle_engine_parks_and_sheds_nothing() {
+    let (cluster, layout) = scale_cluster();
+    let workload = move |_c: ClientId, txn: &mut SessionTxn<'_>, _r: &mut SmallRng| {
+        txn.read(&layout, 1)?;
+        Ok(())
+    };
+    let config = EngineConfig {
+        clients: 2,
+        workers: 1,
+        pacing: Pacing::FixedRate {
+            period: Duration::from_millis(20),
+        },
+        seed: 3,
+        queue_bound: 4,
+        horizon: Some(Duration::from_millis(300)),
+        max_txns_per_client: None,
+    };
+    let report = OpenLoopEngine::start(&cluster, config, Arc::new(workload)).join();
+    assert_eq!(report.dropped, 0);
+    assert_eq!(report.offered, report.executed);
+    assert!(report.parks > 0, "an idle worker must park");
+    assert!(report.parked > Duration::ZERO);
+    assert!(report.metrics.counters.commits() > 0);
+}
+
+/// Stopping early discards the pending schedule but still drains admitted
+/// arrivals, keeping the accounting exact.
+#[test]
+fn early_stop_keeps_books_balanced() {
+    let (cluster, layout) = scale_cluster();
+    let workload = move |_c: ClientId, txn: &mut SessionTxn<'_>, _r: &mut SmallRng| {
+        txn.read(&layout, 1)?;
+        Ok(())
+    };
+    let config = EngineConfig {
+        clients: 4,
+        workers: 2,
+        pacing: Pacing::Poisson {
+            mean: Duration::from_millis(1),
+        },
+        seed: 9,
+        queue_bound: 16,
+        horizon: None,
+        max_txns_per_client: None,
+    };
+    let engine = OpenLoopEngine::start(&cluster, config, Arc::new(workload));
+    engine.run_for(Duration::from_millis(150));
+    let report = engine.stop();
+    assert!(report.offered > 0);
+    assert_eq!(report.offered, report.executed + report.dropped);
+}

@@ -1,0 +1,102 @@
+//! Seeded determinism of the open-loop engine: the offered load is a pure
+//! function of `(seed, client, pacing)` — identical across runs, worker
+//! counts, and hosts. Execution timing may vary; the *schedule* may not.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use remus_cluster::{ClusterBuilder, Session, SessionTxn};
+use remus_common::{ClientId, NodeId, TableId};
+use remus_storage::Value;
+use remus_workload::{arrival_schedule, EngineConfig, EngineReport, OpenLoopEngine, Pacing};
+
+#[test]
+fn schedules_are_pure_functions_of_seed_and_client() {
+    for pacing in [
+        Pacing::FixedRate {
+            period: Duration::from_millis(3),
+        },
+        Pacing::Poisson {
+            mean: Duration::from_millis(3),
+        },
+    ] {
+        let horizon = Duration::from_secs(2);
+        for client in 0..5u32 {
+            let a = arrival_schedule(42, ClientId(client), pacing, horizon);
+            let b = arrival_schedule(42, ClientId(client), pacing, horizon);
+            assert_eq!(a, b, "same seed must reproduce the schedule exactly");
+            assert!(!a.is_empty());
+            assert!(a.iter().all(|&t| t < horizon));
+        }
+        let a = arrival_schedule(42, ClientId(0), pacing, horizon);
+        let c = arrival_schedule(43, ClientId(0), pacing, horizon);
+        assert_ne!(a, c, "a different seed must change the offered load");
+    }
+}
+
+fn run_once(seed: u64, workers: usize) -> EngineReport {
+    let cluster = ClusterBuilder::new(2).build();
+    let layout = cluster.create_table(TableId(1), 0, 4, |i| NodeId(i % 2));
+    let session = Session::connect(&cluster, NodeId(0));
+    for k in 0..20 {
+        session
+            .run(|t| t.insert(&layout, k, Value::copy_from_slice(b"v")))
+            .unwrap();
+    }
+    let workload = move |_c: ClientId, txn: &mut SessionTxn<'_>, rng: &mut SmallRng| {
+        use rand::Rng;
+        txn.read(&layout, rng.gen_range(0..20u64))?;
+        Ok(())
+    };
+    let config = EngineConfig {
+        clients: 6,
+        workers,
+        pacing: Pacing::Poisson {
+            mean: Duration::from_millis(5),
+        },
+        seed,
+        queue_bound: 1024, // generous: this test wants zero shed load
+        horizon: Some(Duration::from_millis(400)),
+        max_txns_per_client: None,
+    };
+    OpenLoopEngine::start(&cluster, config, Arc::new(workload)).join()
+}
+
+#[test]
+fn same_seed_same_per_client_txn_counts() {
+    let a = run_once(7, 2);
+    let b = run_once(7, 2);
+    assert!(a.offered > 0);
+    assert_eq!(
+        a.per_client_offered, b.per_client_offered,
+        "same seed must offer identical per-client load"
+    );
+    // Nothing was shed, so executed counts are the offered counts.
+    assert_eq!(a.dropped, 0);
+    assert_eq!(b.dropped, 0);
+    assert_eq!(a.per_client_offered, a.per_client_executed);
+    assert_eq!(b.per_client_offered, b.per_client_executed);
+    // And the engine followed the pure schedule exactly.
+    for (c, &offered) in a.per_client_offered.iter().enumerate() {
+        let sched = arrival_schedule(
+            7,
+            ClientId(c as u32),
+            Pacing::Poisson {
+                mean: Duration::from_millis(5),
+            },
+            Duration::from_millis(400),
+        );
+        assert_eq!(offered, sched.len() as u64, "client {c}");
+    }
+}
+
+#[test]
+fn offered_load_is_independent_of_worker_count() {
+    let two = run_once(11, 2);
+    let four = run_once(11, 4);
+    assert_eq!(
+        two.per_client_offered, four.per_client_offered,
+        "worker pool size must not change the offered load"
+    );
+}
