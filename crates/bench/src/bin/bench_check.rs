@@ -36,6 +36,12 @@
 //!    live consolidation, with a hard floor at [`DELIVERED_FLOOR`] —
 //!    shedding half the offered arrivals means the migration interrupted
 //!    service, the property the paper claims to preserve.
+//! 8. **SSI tax**: a report carrying an `ssi tax` table (from
+//!    `bench_ssi`) should show each serializable leg retaining at least
+//!    [`MIN_SSI_RETENTION`] of the matching snapshot-isolation leg's
+//!    delivered throughput, with a hard floor at [`SSI_RETENTION_FLOOR`]
+//!    — serializable mode collapsing to a fraction of SI throughput
+//!    means the SIREAD/commit-check hot path regressed, not the runner.
 //!
 //! Every ratio gate is two-tier (see [`remus_bench::gate`]): below the
 //! expected threshold warns — shared CI runners compress real ratios —
@@ -87,6 +93,11 @@ const RS_EDGE_FLOOR: f64 = 1.02;
 const MIN_DELIVERED: f64 = 0.90;
 /// Hard floor for the delivered/offered ratio.
 const DELIVERED_FLOOR: f64 = 0.50;
+/// Expected serializable-over-SI throughput retention in an `ssi tax`
+/// table; below is a warning.
+const MIN_SSI_RETENTION: f64 = 0.60;
+/// Hard floor for the SSI retention ratio.
+const SSI_RETENTION_FLOOR: f64 = 0.25;
 
 fn load(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -312,6 +323,27 @@ fn check_scale(which: &str, report: &BenchReport, violations: &mut Vec<String>) 
     );
 }
 
+/// Checks the `ssi tax` table when present (see `bench_ssi`): both
+/// serializable rows' trailing retention cells should reach
+/// [`MIN_SSI_RETENTION`] (warning below) and must stay above
+/// [`SSI_RETENTION_FLOOR`]. Reports without the table pass.
+fn check_ssi(which: &str, report: &BenchReport, violations: &mut Vec<String>) {
+    let Some(table) = report.tables.iter().find(|t| t.title == "ssi tax") else {
+        return;
+    };
+    for label in ["ssi-steady", "ssi-live"] {
+        gate_ratio(
+            which,
+            &format!("ssi throughput retention ({label})"),
+            row_ratio(table, label),
+            MIN_SSI_RETENTION,
+            SSI_RETENTION_FLOOR,
+            "serializable mode collapsed against the SI baseline",
+            violations,
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let [_, baseline_path, candidate_path] = &args[..] else {
@@ -355,6 +387,7 @@ fn main() {
         check_replica(which, report, &mut violations);
         check_readskew(which, report, &mut violations);
         check_scale(which, report, &mut violations);
+        check_ssi(which, report, &mut violations);
     }
 
     if violations.is_empty() {

@@ -124,6 +124,7 @@ pub fn sim_config(scale: &Scale) -> SimConfig {
         snapshot_copy_per_tuple: scale.copy_per_tuple,
         lock_wait_timeout: Duration::from_secs(60),
         wal: remus_common::WalConfig::memory(),
+        isolation: remus_common::IsolationLevel::SnapshotIsolation,
     }
 }
 

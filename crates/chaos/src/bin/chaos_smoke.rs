@@ -31,9 +31,9 @@ fn main() {
                 first.committed, first.aborted
             );
         } else {
-            println!("seed {seed}: FAIL ({} violations)", first.violations.len());
+            println!("seed {seed}: FAIL ({})", first.violations.summary());
             for v in &first.violations {
-                println!("  {v}");
+                println!("  [{}] {v}", v.oracle());
             }
             failed = true;
         }

@@ -33,6 +33,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 
 use remus_common::{NodeId, ShardId, Timestamp, TxnId};
 use remus_storage::Value;
@@ -78,6 +79,48 @@ pub struct MigrationSpec {
     /// Whether the shard-map flip committed. When `false`, no transaction
     /// may route this shard to the destination.
     pub committed: bool,
+}
+
+/// The invariant family (oracle) a [`Violation`] belongs to. A failing
+/// scenario names the oracles it broke, so shrink output and CI logs say
+/// *which* guarantee fell over instead of a bare pass/fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OracleId {
+    /// Snapshot-read axioms and first-committer-wins.
+    SnapshotIsolation,
+    /// Replica watermark soundness and per-session monotonicity.
+    Staleness,
+    /// Acyclicity of the committed history's serialization graph.
+    Serializability,
+    /// Monotone shard-map routing across migrations.
+    Routing,
+    /// Committed-data preservation in the final scan.
+    FinalState,
+    /// The migration engine itself (expected success, got an error).
+    Migration,
+    /// Well-formedness of the engine's phase span trace.
+    Trace,
+}
+
+impl OracleId {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleId::SnapshotIsolation => "snapshot-isolation",
+            OracleId::Staleness => "staleness",
+            OracleId::Serializability => "serializability",
+            OracleId::Routing => "routing",
+            OracleId::FinalState => "final-state",
+            OracleId::Migration => "migration",
+            OracleId::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for OracleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// One verified SI violation.
@@ -150,6 +193,13 @@ pub enum Violation {
         /// Loser's commit timestamp.
         loser_cts: Timestamp,
     },
+    /// The committed history's direct serialization graph has a dependency
+    /// cycle: no serial order of the committed transactions explains it.
+    SerializabilityViolation {
+        /// The transactions on the cycle, in edge order (the last one
+        /// depends back on the first).
+        cycle: Vec<TxnId>,
+    },
     /// Routing across the migration was not monotone in snapshot order.
     NonMonotoneRouting {
         /// The shard whose routing broke.
@@ -189,6 +239,26 @@ pub enum Violation {
         /// What the well-formedness check rejected.
         detail: String,
     },
+}
+
+impl Violation {
+    /// The oracle (invariant family) this violation falls under.
+    pub fn oracle(&self) -> OracleId {
+        match self {
+            Violation::StaleRead { .. }
+            | Violation::FutureRead { .. }
+            | Violation::AbortedWriteVisible { .. }
+            | Violation::UnexplainedValue { .. }
+            | Violation::FragmentedRead { .. }
+            | Violation::LostUpdate { .. } => OracleId::SnapshotIsolation,
+            Violation::SerializabilityViolation { .. } => OracleId::Serializability,
+            Violation::NonMonotoneRouting { .. } => OracleId::Routing,
+            Violation::FinalStateMismatch { .. } => OracleId::FinalState,
+            Violation::ReplicaRegression { .. } => OracleId::Staleness,
+            Violation::MigrationFailed { .. } => OracleId::Migration,
+            Violation::TraceMalformed { .. } => OracleId::Trace,
+        }
+    }
 }
 
 impl fmt::Display for Violation {
@@ -250,6 +320,16 @@ impl fmt::Display for Violation {
                 "lost update on key {key}: {winner} committed at {winner_cts} inside \
                  {loser}'s window ({loser_snap}, {loser_cts}]"
             ),
+            Violation::SerializabilityViolation { cycle } => {
+                write!(f, "serializability violation: dependency cycle ")?;
+                for xid in cycle {
+                    write!(f, "{xid} -> ")?;
+                }
+                match cycle.first() {
+                    Some(first) => write!(f, "{first}"),
+                    None => write!(f, "(empty)"),
+                }
+            }
             Violation::NonMonotoneRouting { shard, detail } => {
                 write!(f, "non-monotone routing on {shard}: {detail}")
             }
@@ -280,6 +360,98 @@ impl fmt::Display for Violation {
                 write!(f, "malformed {engine} trace: {detail}")
             }
         }
+    }
+}
+
+/// The checker's verdict: the full violation list plus, derived from it,
+/// *which oracles failed*. Derefs to `Vec<Violation>` so existing
+/// `.is_empty()` / `.iter()` / `.extend(..)` call sites keep working;
+/// [`Display`](fmt::Display) names the failed oracles first, so shrink
+/// output and CI logs lead with the violated invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Verdict {
+    violations: Vec<Violation>,
+}
+
+impl Verdict {
+    /// Whether every oracle held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The distinct oracles that failed, sorted and deduplicated.
+    pub fn failed_oracles(&self) -> Vec<OracleId> {
+        let mut oracles: Vec<OracleId> = self.violations.iter().map(|v| v.oracle()).collect();
+        oracles.sort();
+        oracles.dedup();
+        oracles
+    }
+
+    /// One-line summary: `"pass"`, or the violation count plus the failed
+    /// oracle names (`"3 violations; failed oracles: snapshot-isolation,
+    /// routing"`).
+    pub fn summary(&self) -> String {
+        if self.passed() {
+            return "pass".to_string();
+        }
+        let names: Vec<&str> = self.failed_oracles().iter().map(|o| o.name()).collect();
+        format!(
+            "{} violation{}; failed oracles: {}",
+            self.violations.len(),
+            if self.violations.len() == 1 { "" } else { "s" },
+            names.join(", ")
+        )
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for v in &self.violations {
+            writeln!(f, "  [{}] {v}", v.oracle())?;
+        }
+        Ok(())
+    }
+}
+
+impl Deref for Verdict {
+    type Target = Vec<Violation>;
+    fn deref(&self) -> &Vec<Violation> {
+        &self.violations
+    }
+}
+
+impl DerefMut for Verdict {
+    fn deref_mut(&mut self) -> &mut Vec<Violation> {
+        &mut self.violations
+    }
+}
+
+impl From<Vec<Violation>> for Verdict {
+    fn from(violations: Vec<Violation>) -> Verdict {
+        Verdict { violations }
+    }
+}
+
+impl From<Verdict> for Vec<Violation> {
+    fn from(verdict: Verdict) -> Vec<Violation> {
+        verdict.violations
+    }
+}
+
+impl IntoIterator for Verdict {
+    type Item = Violation;
+    type IntoIter = std::vec::IntoIter<Violation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.violations.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Verdict {
+    type Item = &'a Violation;
+    type IntoIter = std::slice::Iter<'a, Violation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.violations.iter()
     }
 }
 
@@ -320,7 +492,7 @@ fn chains_of(history: &[TxnRecord]) -> HashMap<u64, Vec<ChainEntry>> {
 
 /// Runs the read, first-committer-wins, and routing checks over a history
 /// with a single source→dest migration (the classic scenario shape).
-pub fn check_history(history: &[TxnRecord], config: &CheckConfig) -> Vec<Violation> {
+pub fn check_history(history: &[TxnRecord], config: &CheckConfig) -> Verdict {
     let specs: Vec<MigrationSpec> = config
         .migrating
         .iter()
@@ -342,7 +514,7 @@ pub fn check_history_multi(
     history: &[TxnRecord],
     specs: &[MigrationSpec],
     strict_timestamp_reads: bool,
-) -> Vec<Violation> {
+) -> Verdict {
     let mut violations = Vec::new();
     let chains = chains_of(history);
     let by_xid: HashMap<TxnId, &TxnRecord> = history.iter().map(|r| (r.xid, r)).collect();
@@ -356,7 +528,159 @@ pub fn check_history_multi(
     check_first_committer_wins(history, &mut violations);
     check_routing(history, specs, &mut violations);
     check_replica_sessions(history, &mut violations);
-    violations
+    Verdict::from(violations)
+}
+
+/// The serializability oracle: rebuilds the direct serialization graph of
+/// the committed history and reports any dependency cycle.
+///
+/// Nodes are committed non-replica transactions. Edges:
+///
+/// * **ww** — along each key's version chain, writer → next writer (the
+///   chain is totally ordered by `cts`, so adjacency gives the full order
+///   transitively);
+/// * **wr** — observed-version writer → reader, resolved from the *value*
+///   the reader actually returned (the same resolution the SI checker
+///   uses);
+/// * **rw** — reader → the writer of the *next* version after the one it
+///   observed. Crucially this is recomputed from version order, not from
+///   timestamps: a reader that (legally, under decentralized timestamps)
+///   missed a commit below its snapshot still read the older version and
+///   still owes the newer writer an anti-dependency edge.
+///
+/// A cycle means no serial order of the committed transactions explains
+/// the history — under `IsolationLevel::Serializable` the SSI subsystem
+/// must have prevented it, so any cycle is an engine bug.
+pub fn check_serializability(history: &[TxnRecord]) -> Vec<Violation> {
+    let chains = chains_of(history);
+    // Adjacency over committed transactions, deterministic order.
+    let mut edges: BTreeMap<TxnId, Vec<TxnId>> = history
+        .iter()
+        .filter(|r| r.committed() && !r.replica)
+        .map(|r| (r.xid, Vec::new()))
+        .collect();
+    fn add_edge(edges: &mut BTreeMap<TxnId, Vec<TxnId>>, from: TxnId, to: TxnId) {
+        // Both endpoints must be committed non-replica transactions (the
+        // node set); self-edges and duplicates are dropped.
+        if from == to || !edges.contains_key(&to) {
+            return;
+        }
+        if let Some(out) = edges.get_mut(&from) {
+            if !out.contains(&to) {
+                out.push(to);
+            }
+        }
+    }
+
+    // ww: version-chain adjacency.
+    for chain in chains.values() {
+        for pair in chain.windows(2) {
+            add_edge(&mut edges, pair[0].xid, pair[1].xid);
+        }
+    }
+
+    // wr and rw, from each committed reader's observations.
+    for rec in history.iter().filter(|r| r.committed() && !r.replica) {
+        for read in &rec.reads {
+            if rec.writes.iter().any(|w| w.key == read.key) {
+                continue; // read-your-writes, not modeled (runner keeps sets disjoint)
+            }
+            let Some(chain) = chains.get(&read.key) else {
+                continue;
+            };
+            // Index of the version the reader observed: -1 = the initial
+            // (pre-history) state.
+            let observed_idx: Option<usize> = match &read.observed {
+                Some(v) => chain
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.cts <= read.snap_ts && e.value_after.as_ref() == Some(v))
+                    .map(|(i, _)| i)
+                    .max(),
+                None => chain
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.cts <= read.snap_ts && e.value_after.is_none())
+                    .map(|(i, _)| i)
+                    .max(),
+            };
+            match observed_idx {
+                Some(i) => {
+                    // wr: the observed version's writer happens before the
+                    // reader; rw: the reader happens before the next
+                    // version's writer (ww adjacency covers the rest).
+                    add_edge(&mut edges, chain[i].xid, rec.xid);
+                    if let Some(next) = chain.get(i + 1) {
+                        add_edge(&mut edges, rec.xid, next.xid);
+                    }
+                }
+                None => {
+                    if read.observed.is_none() {
+                        // Initial state observed: the reader precedes the
+                        // key's first writer.
+                        if let Some(first) = chain.first() {
+                            add_edge(&mut edges, rec.xid, first.xid);
+                        }
+                    }
+                    // A value no committed entry at/below snap explains is
+                    // a future/unexplained read — the SI oracle owns that;
+                    // no edge here.
+                }
+            }
+        }
+    }
+
+    find_cycle(&edges)
+        .map(|cycle| Violation::SerializabilityViolation { cycle })
+        .into_iter()
+        .collect()
+}
+
+/// Iterative three-color DFS; returns the first back-edge cycle found, in
+/// edge order. Deterministic because the adjacency map and edge lists are
+/// built in deterministic order.
+fn find_cycle(edges: &BTreeMap<TxnId, Vec<TxnId>>) -> Option<Vec<TxnId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<TxnId, Color> = edges.keys().map(|&x| (x, Color::White)).collect();
+    for &root in edges.keys() {
+        if color[&root] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-child-index); the gray path is the stack.
+        let mut stack: Vec<(TxnId, usize)> = vec![(root, 0)];
+        color.insert(root, Color::Gray);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let out = &edges[&node];
+            if *next >= out.len() {
+                color.insert(node, Color::Black);
+                stack.pop();
+                continue;
+            }
+            let child = out[*next];
+            *next += 1;
+            match color[&child] {
+                Color::White => {
+                    color.insert(child, Color::Gray);
+                    stack.push((child, 0));
+                }
+                Color::Gray => {
+                    // Back edge: the cycle is the stack suffix from `child`.
+                    let start = stack
+                        .iter()
+                        .position(|&(x, _)| x == child)
+                        .expect("gray node is on the stack");
+                    return Some(stack[start..].iter().map(|&(x, _)| x).collect());
+                }
+                Color::Black => {}
+            }
+        }
+    }
+    None
 }
 
 /// Replica staleness oracle, part 2: per-session monotone watermark. The
@@ -958,6 +1282,167 @@ mod tests {
         // Different sessions may be at different watermarks.
         b.client = 10;
         assert!(check_history(&[a, b], &cfg()).is_empty());
+    }
+
+    /// A transaction that both reads and writes, for serialization-graph
+    /// tests.
+    #[allow(clippy::too_many_arguments)]
+    fn read_write(
+        n: u64,
+        snap: u64,
+        cts: u64,
+        reads: &[(u64, Option<&str>)],
+        writes: &[(u64, &str)],
+        begin_seq: u64,
+        commit_seq: u64,
+    ) -> TxnRecord {
+        TxnRecord {
+            xid: xid(n),
+            client: 0,
+            begin_ts: Timestamp(snap),
+            commit_ts: Some(Timestamp(cts)),
+            reads: reads
+                .iter()
+                .map(|&(key, observed)| OpRead {
+                    key,
+                    snap_ts: Timestamp(snap),
+                    observed: observed.map(val),
+                })
+                .collect(),
+            writes: writes
+                .iter()
+                .map(|&(key, v)| OpWrite {
+                    key,
+                    snap_ts: Timestamp(snap),
+                    kind: MutKind::Update,
+                    value: Some(val(v)),
+                })
+                .collect(),
+            routes: vec![],
+            begin_seq,
+            commit_seq,
+            replica: false,
+        }
+    }
+
+    #[test]
+    fn write_skew_passes_si_but_fails_serializability() {
+        // The classic write-skew shape: T1 reads key 2 and writes key 1,
+        // T2 reads key 1 and writes key 2, both from snapshots below both
+        // commits. SI admits it; the serialization graph has the 2-cycle.
+        let h = vec![
+            writer(1, 1, 1, 2, "a1", 0),
+            writer(2, 2, 3, 4, "a2", 2),
+            read_write(10, 10, 20, &[(2, Some("a2"))], &[(1, "b1")], 6, 8),
+            read_write(11, 11, 21, &[(1, Some("a1"))], &[(2, "b2")], 7, 9),
+        ];
+        let si = check_history(&h, &cfg());
+        assert!(si.passed(), "write skew must be SI-legal: {si:?}");
+        let v = check_serializability(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+        let Violation::SerializabilityViolation { cycle } = &v[0] else {
+            panic!("wrong violation kind: {v:?}");
+        };
+        assert!(
+            cycle.contains(&xid(10)) && cycle.contains(&xid(11)),
+            "{cycle:?}"
+        );
+    }
+
+    #[test]
+    fn serial_history_has_no_cycle() {
+        let h = vec![
+            writer(1, 7, 5, 10, "a", 0),
+            reader(2, 7, 15, Some("a"), 2),
+            writer(3, 7, 20, 25, "b", 4),
+            reader(4, 7, 30, Some("b"), 6),
+        ];
+        assert!(check_serializability(&h).is_empty());
+        // Aborted transactions are not graph nodes.
+        let mut aborted = read_write(9, 5, 0, &[(7, Some("a"))], &[(7, "ghost")], 8, 0);
+        aborted.commit_ts = None;
+        let mut h2 = h.clone();
+        h2.push(aborted);
+        assert!(check_serializability(&h2).is_empty());
+    }
+
+    #[test]
+    fn rw_edges_come_from_version_order_not_timestamps() {
+        // T1's snapshot (30) is *above* W2's commit (25), but T1 read key
+        // 1's older version — legal under decentralized timestamps when W2
+        // finished committing after T1 began (commit_seq 12 > begin_seq
+        // 9). The anti-dependency T1 → W2 exists all the same, and with
+        // W2 → T1 through key 2 the history is unserializable. A
+        // timestamp-based rw rule (cts > snap) would miss the cycle.
+        let h = vec![
+            writer(1, 1, 1, 2, "a1", 0),
+            writer(2, 2, 3, 4, "a2", 2),
+            read_write(5, 20, 25, &[(2, Some("a2"))], &[(1, "b1")], 8, 12),
+            read_write(6, 30, 35, &[(1, Some("a1"))], &[(2, "b2")], 9, 13),
+        ];
+        let mut config = cfg();
+        config.strict_timestamp_reads = false;
+        assert!(
+            check_history(&h, &config).passed(),
+            "the missed read is DTS-legal"
+        );
+        let v = check_serializability(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+        let Violation::SerializabilityViolation { cycle } = &v[0] else {
+            panic!("wrong violation kind: {v:?}");
+        };
+        assert!(
+            cycle.contains(&xid(5)) && cycle.contains(&xid(6)),
+            "{cycle:?}"
+        );
+    }
+
+    #[test]
+    fn reader_of_initial_state_precedes_the_first_writer() {
+        // R observed key 9 absent while W created it; R also overwrote a
+        // key W read. R → W (rw on key 9) and W → R (rw on key 8, W read
+        // the base version R later replaced): a cycle through an absent
+        // read.
+        let h = vec![
+            writer(1, 8, 1, 2, "base8", 0),
+            read_write(5, 10, 22, &[(8, Some("base8"))], &[(9, "w9")], 6, 9),
+            read_write(6, 11, 21, &[(9, None)], &[(8, "r8")], 7, 8),
+        ];
+        let v = check_serializability(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn verdict_names_the_failed_oracles() {
+        // A lost update: SI oracle.
+        let h = vec![writer(1, 7, 5, 10, "a", 0), writer(2, 7, 5, 12, "b", 2)];
+        let verdict = check_history(&h, &cfg());
+        assert!(!verdict.passed());
+        assert_eq!(verdict.failed_oracles(), vec![OracleId::SnapshotIsolation]);
+        assert!(verdict.summary().contains("snapshot-isolation"));
+        let rendered = format!("{verdict}");
+        assert!(
+            rendered.contains("[snapshot-isolation]") && rendered.contains("lost update"),
+            "{rendered}"
+        );
+        // A mixed verdict lists each family once, in stable order.
+        let mut mixed = verdict.clone();
+        mixed.push(Violation::SerializabilityViolation {
+            cycle: vec![xid(1), xid(2)],
+        });
+        mixed.push(Violation::MigrationFailed {
+            detail: "boom".to_string(),
+        });
+        assert_eq!(
+            mixed.failed_oracles(),
+            vec![
+                OracleId::SnapshotIsolation,
+                OracleId::Serializability,
+                OracleId::Migration
+            ]
+        );
+        assert!(check_history(&[], &cfg()).passed());
+        assert_eq!(check_history(&[], &cfg()).summary(), "pass");
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub mod runner;
 pub mod shrink;
 
 pub use checker::{
-    check_final_state, check_history, check_history_multi, CheckConfig, MigrationSpec, Violation,
+    check_final_state, check_history, check_history_multi, check_serializability, CheckConfig,
+    MigrationSpec, OracleId, Verdict, Violation,
 };
 pub use history::{HistoryLog, MutKind, OpRead, OpWrite, TxnRecord};
 pub use net::{FaultyNetwork, Partition};

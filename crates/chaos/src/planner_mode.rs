@@ -42,7 +42,7 @@ use remus_planner::{Action, ObservationCollector, Planner};
 use remus_shard::TableLayout;
 use remus_storage::Value;
 
-use crate::checker::{check_final_state, check_history_multi, MigrationSpec, Violation};
+use crate::checker::{check_final_state, check_history_multi, MigrationSpec, Verdict, Violation};
 use crate::history::{HistoryLog, MutKind, OpRead, OpWrite, TxnRecord};
 use crate::net::FaultyNetwork;
 use crate::plan::{FaultPlan, FaultProfile, PlanInjector};
@@ -170,8 +170,9 @@ pub struct PlannerScenarioOutcome {
     pub migrations: Vec<MigrationSpec>,
     /// Every recorded transaction.
     pub history: Vec<TxnRecord>,
-    /// Checker verdict (empty = SI held across every chosen migration).
-    pub violations: Vec<Violation>,
+    /// Checker verdict: the violation list plus which oracles failed
+    /// (passing = SI held across every chosen migration).
+    pub violations: Verdict,
     /// Committed writer transactions.
     pub committed: usize,
     /// Aborted writer transactions.

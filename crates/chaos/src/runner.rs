@@ -27,7 +27,8 @@ use remus_clock::{
 };
 use remus_cluster::{CcMode, Cluster, ClusterBuilder, ReplicaSession, Session};
 use remus_common::{
-    NodeId, ParallelismConfig, ShardId, SimConfig, TableId, Timestamp, TxnId, WalConfig,
+    IsolationLevel, NodeId, ParallelismConfig, ShardId, SimConfig, TableId, Timestamp, TxnId,
+    WalConfig,
 };
 use remus_core::diversion::{run_tm_chaos, TmOutcome};
 use remus_core::recovery::{recover_migration, RecoveryDecision};
@@ -41,7 +42,9 @@ use remus_shard::TableLayout;
 use remus_storage::Value;
 use remus_txn::ReplaySummary;
 
-use crate::checker::{check_final_state, check_history, CheckConfig, Violation};
+use crate::checker::{
+    check_final_state, check_history, check_serializability, CheckConfig, Verdict, Violation,
+};
 use crate::history::{HistoryLog, MutKind, OpRead, OpWrite, TxnRecord};
 use crate::net::FaultyNetwork;
 use crate::plan::{FaultPlan, FaultProfile, FaultSpec, PlanInjector, REPLICA_NODE};
@@ -129,6 +132,10 @@ pub struct ScenarioConfig {
     /// profile — a restart from an in-memory WAL would lose the history.
     /// `None` keeps the in-memory default every legacy scenario uses.
     pub wal_dir: Option<PathBuf>,
+    /// Isolation level the cluster runs at. `Serializable` arms the SSI
+    /// subsystem on every node and adds the serializability oracle (DSG
+    /// cycle check) to the verdict.
+    pub isolation: IsolationLevel,
 }
 
 impl ScenarioConfig {
@@ -159,6 +166,7 @@ impl ScenarioConfig {
             parallelism: Self::parallelism_from_seed(seed),
             gc_interval: None,
             wal_dir: None,
+            isolation: IsolationLevel::SnapshotIsolation,
         }
     }
 
@@ -176,6 +184,7 @@ impl ScenarioConfig {
             parallelism: Self::parallelism_from_seed(seed),
             gc_interval: None,
             wal_dir: None,
+            isolation: IsolationLevel::SnapshotIsolation,
         }
     }
 
@@ -198,6 +207,7 @@ impl ScenarioConfig {
             parallelism: Self::parallelism_from_seed(seed),
             gc_interval: None,
             wal_dir: None,
+            isolation: IsolationLevel::SnapshotIsolation,
         }
     }
 
@@ -222,6 +232,37 @@ impl ScenarioConfig {
             parallelism: Self::parallelism_from_seed(seed),
             gc_interval: None,
             wal_dir: Some(wal_dir.into()),
+            isolation: IsolationLevel::SnapshotIsolation,
+        }
+    }
+
+    /// A serializable-mode scenario: the cluster runs
+    /// [`IsolationLevel::Serializable`], the engine cycles through the
+    /// *push* engines (`seed % 3` — Squall's shard-lock mode bypasses the
+    /// MVCC commit path the SSI hooks live on), and a background GC thread
+    /// runs throughout so SIREAD retention and retirement race the
+    /// workload and the migration. The verdict adds the serializability
+    /// oracle: the committed history's serialization graph must be
+    /// acyclic even with the shard moving mid-workload.
+    pub fn serializable(seed: u64, oracle: OracleKind) -> ScenarioConfig {
+        let push = [
+            EngineKind::Remus,
+            EngineKind::LockAndAbort,
+            EngineKind::WaitAndRemaster,
+        ];
+        ScenarioConfig {
+            seed,
+            engine: push[(seed % 3) as usize],
+            oracle,
+            profile: FaultProfile::Tolerated,
+            nodes: 3,
+            keys: 48,
+            clients: 3,
+            txns_per_client: 10,
+            parallelism: Self::parallelism_from_seed(seed),
+            gc_interval: Some(std::time::Duration::from_millis(2)),
+            wal_dir: None,
+            isolation: IsolationLevel::Serializable,
         }
     }
 
@@ -248,8 +289,8 @@ pub struct ScenarioOutcome {
     pub engine: EngineKind,
     /// Every recorded transaction.
     pub history: Vec<TxnRecord>,
-    /// Checker verdict (empty = SI held).
-    pub violations: Vec<Violation>,
+    /// Checker verdict: the violation list plus which oracles failed.
+    pub violations: Verdict,
     /// Committed client transactions.
     pub committed: usize,
     /// Aborted client transactions.
@@ -312,6 +353,7 @@ pub fn run_scenario_with_specs(
     };
     let mut sim = SimConfig::instant();
     sim.parallelism = config.parallelism;
+    sim.isolation = config.isolation;
     if let Some(dir) = &config.wal_dir {
         sim.wal = WalConfig::file(dir.clone());
     }
@@ -712,6 +754,9 @@ pub fn run_scenario_with_specs(
         strict_timestamp_reads: config.oracle == OracleKind::Gts,
     };
     let mut violations = check_history(&history, &check);
+    if config.isolation == IsolationLevel::Serializable {
+        violations.extend(check_serializability(&history));
+    }
     violations.extend(trace_violations);
     if let Some(detail) = migration_failure {
         violations.push(Violation::MigrationFailed { detail });

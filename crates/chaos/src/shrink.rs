@@ -12,17 +12,18 @@
 //! * [`smallest_failing_seed`] — scans a candidate seed list in ascending
 //!   order for the first failure.
 
-use crate::checker::Violation;
+use crate::checker::Verdict;
 use crate::history::TxnRecord;
 use crate::plan::FaultSpec;
 
 /// Greedily removes records from a failing history while `check` still
 /// reports at least one violation. Returns the minimized history and its
-/// violations. If the input does not fail, it is returned unchanged with an
-/// empty violation list.
-pub fn shrink_history<F>(history: &[TxnRecord], check: F) -> (Vec<TxnRecord>, Vec<Violation>)
+/// [`Verdict`] — which names the violated oracle(s), so the minimized
+/// counterexample says *what* broke, not just that something did. If the
+/// input does not fail, it is returned unchanged with a passing verdict.
+pub fn shrink_history<F>(history: &[TxnRecord], check: F) -> (Vec<TxnRecord>, Verdict)
 where
-    F: Fn(&[TxnRecord]) -> Vec<Violation>,
+    F: Fn(&[TxnRecord]) -> Verdict,
 {
     let mut current: Vec<TxnRecord> = history.to_vec();
     let mut violations = check(&current);

@@ -258,6 +258,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Overrides just the isolation level of the current config (default:
+    /// snapshot isolation). [`remus_common::IsolationLevel::Serializable`]
+    /// arms the per-node SSI lock tables.
+    pub fn isolation(mut self, level: remus_common::IsolationLevel) -> Self {
+        self.config.isolation = level;
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Arc<Cluster> {
         let oracle: Arc<dyn TimestampOracle> = match self.custom_oracle {
@@ -718,6 +726,12 @@ impl Cluster {
         let watermark = self.safe_ts_watermark();
         let mut total = 0;
         for node in &self.nodes {
+            // SSI rides the same watermark: SIREAD entries of committed
+            // transactions are retained until no concurrent transaction can
+            // still form an rw-edge against them, then dropped here.
+            if let Some(ssi) = &node.storage.ssi {
+                ssi.gc(watermark);
+            }
             let mut stats = remus_storage::GcStepStats::default();
             for shard in node.data_shards() {
                 if let Some(table) = node.storage.table(shard) {

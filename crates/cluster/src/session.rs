@@ -293,10 +293,16 @@ impl<'s> SessionTxn<'s> {
     /// writes by *this* transaction on the shard, because its uncommitted
     /// versions exist only on the primary. Shard-lock mode refreshes the
     /// snapshot per statement and serializes through partition locks, so
-    /// offload stays MVCC-only.
+    /// offload stays MVCC-only. Serializable mode never offloads: a
+    /// replica-served read takes no SIREAD lock, so a concurrent writer on
+    /// the primary would miss the rw-antidependency and a dangerous
+    /// structure could slip through.
     fn offload_target(&self, shard: ShardId) -> Option<Arc<Node>> {
         let cluster = &self.session.cluster;
         if cluster.cc_mode != CcMode::Mvcc || !cluster.read_offload_enabled() {
+            return None;
+        }
+        if self.txn.ssi_handle().is_some() {
             return None;
         }
         if self.touched.get(&shard).is_some_and(|t| t.1 > 0) {
@@ -401,6 +407,12 @@ impl<'s> SessionTxn<'s> {
                 hook.before_scan(node.id(), shard, self.txn.xid)?;
             }
             let table = node.storage.table_or_err(shard)?;
+            // SSI: a scan predicates over the whole shard, so it takes a
+            // shard-granularity SIREAD lock — any later write anywhere in
+            // the shard raises an rw-edge against this transaction.
+            if let (Some(ssi), Some(handle)) = (&node.storage.ssi, self.txn.ssi_handle()) {
+                ssi.on_scan(handle, shard)?;
+            }
             let rows = table.scan_visible_range(
                 ..,
                 self.txn.start_ts,

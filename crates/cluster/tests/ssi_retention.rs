@@ -1,0 +1,109 @@
+//! SIREAD retention past commit, driven through the cluster GC tick.
+//!
+//! A committed reader's SIREAD entries must outlive the transaction: a
+//! concurrent writer that overwrites what it read still owes it an
+//! rw-antidependency edge. The entries ride the same safe-ts watermark as
+//! version-chain GC — retained while any snapshot at or below the commit
+//! is pinned, dropped (not leaked) once the watermark passes. The
+//! `txn.siread_entries` gauge is the observable.
+
+use remus_clock::OracleKind;
+use remus_cluster::{ClusterBuilder, Session};
+use remus_common::{IsolationLevel, NodeId, TableId};
+use remus_storage::Value;
+
+fn val(s: &str) -> Value {
+    Value::from(s.to_string().into_bytes())
+}
+
+fn siread_gauge(cluster: &remus_cluster::Cluster) -> u64 {
+    cluster
+        .metrics_snapshot()
+        .iter()
+        .filter(|s| s.name == "txn.siread_entries")
+        .map(|s| s.value)
+        .sum()
+}
+
+#[test]
+fn siread_entries_survive_commit_until_watermark_passes() {
+    let cluster = ClusterBuilder::new(2)
+        .oracle(OracleKind::Gts)
+        .isolation(IsolationLevel::Serializable)
+        .build();
+    let layout = cluster.create_table(TableId(1), 0, 2, |i| NodeId(i % 2));
+    let session = Session::connect(&cluster, NodeId(0));
+    session
+        .run(|t| {
+            t.insert(&layout, 1, val("a"))?;
+            t.insert(&layout, 2, val("b"))
+        })
+        .unwrap();
+    // Writer entries die with the watermark too; start from a clean table.
+    cluster.gc_tick(1024);
+    assert_eq!(siread_gauge(&cluster), 0);
+
+    // An old snapshot is pinned before the reader begins: while it lives,
+    // a transaction concurrent with the reader could still start forming
+    // edges, so the reader's entries must survive its commit.
+    let (_pin_ts, pin) = cluster.acquire_snapshot(NodeId(0));
+    session
+        .run(|t| {
+            t.read(&layout, 1)?;
+            t.read(&layout, 2)
+        })
+        .unwrap();
+    cluster.gc_tick(1024);
+    assert!(
+        siread_gauge(&cluster) >= 2,
+        "committed reader's SIREAD entries must be retained under the pin"
+    );
+
+    // Pin released: the watermark advances past the reader's commit and
+    // the entries are dropped, not leaked.
+    drop(pin);
+    cluster.gc_tick(1024);
+    assert_eq!(
+        siread_gauge(&cluster),
+        0,
+        "entries leaked past the watermark"
+    );
+}
+
+#[test]
+fn retained_entry_still_raises_edges_for_concurrent_writers() {
+    let cluster = ClusterBuilder::new(1)
+        .oracle(OracleKind::Gts)
+        .isolation(IsolationLevel::Serializable)
+        .build();
+    let layout = cluster.create_table(TableId(1), 0, 1, |_| NodeId(0));
+    let s1 = Session::connect(&cluster, NodeId(0));
+    let s2 = Session::connect(&cluster, NodeId(0));
+    s1.run(|t| t.insert(&layout, 7, val("v0"))).unwrap();
+
+    // The writer begins first, so it is concurrent with everything below.
+    let mut writer = s2.begin();
+    // A read-only transaction reads the key and commits; its entry is
+    // retained (the writer's snapshot is still below its commit).
+    s1.run(|t| t.read(&layout, 7)).unwrap();
+    let edges_before: u64 = cluster
+        .metrics_snapshot()
+        .iter()
+        .filter(|s| s.name == "txn.rw_edges")
+        .map(|s| s.value)
+        .sum();
+    // Overwriting the key must raise the rw edge against the *committed*
+    // reader through the retained entry.
+    writer.update(&layout, 7, val("v1")).unwrap();
+    writer.commit().unwrap();
+    let edges_after: u64 = cluster
+        .metrics_snapshot()
+        .iter()
+        .filter(|s| s.name == "txn.rw_edges")
+        .map(|s| s.value)
+        .sum();
+    assert!(
+        edges_after >= edges_before + 2,
+        "retained SIREAD entry raised no edge: {edges_before} -> {edges_after}"
+    );
+}

@@ -72,6 +72,26 @@ impl Default for WalConfig {
     }
 }
 
+/// Transaction isolation level the cluster runs at.
+///
+/// [`IsolationLevel::SnapshotIsolation`] is the paper's model and the
+/// default: every existing test, bench, and chaos scenario runs under it
+/// unchanged. [`IsolationLevel::Serializable`] layers SSI (Cahill-style
+/// serializable snapshot isolation, per Ports & Grittner) on top: each
+/// node keeps a SIREAD lock table, transactions carry in/out
+/// rw-antidependency flags, and a transaction whose commit would complete
+/// a dangerous structure (two consecutive rw-edges through it) aborts
+/// with [`crate::DbError::SsiAbort`]. See DESIGN.md §14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IsolationLevel {
+    /// Plain snapshot isolation (the paper's model; admits write skew).
+    #[default]
+    SnapshotIsolation,
+    /// Serializable snapshot isolation: SI plus SIREAD locks and
+    /// dangerous-structure aborts.
+    Serializable,
+}
+
 /// Worker-pool shape of the migration data plane.
 ///
 /// One value is embedded in [`SimConfig`] and read by every engine:
@@ -337,6 +357,10 @@ pub struct SimConfig {
     /// WAL durability backend (in-memory by default; file-backed segments
     /// with group commit when pointed at a directory).
     pub wal: WalConfig,
+    /// Transaction isolation level. Snapshot isolation by default; the
+    /// serializable mode is opt-in because SIREAD tracking costs memory
+    /// and aborts transactions SI would admit.
+    pub isolation: IsolationLevel,
 }
 
 impl SimConfig {
@@ -366,6 +390,7 @@ impl SimConfig {
             snapshot_copy_per_tuple: Duration::ZERO,
             lock_wait_timeout: Duration::from_secs(10),
             wal: WalConfig::memory(),
+            isolation: IsolationLevel::SnapshotIsolation,
         }
     }
 
@@ -394,6 +419,7 @@ impl SimConfig {
             snapshot_copy_per_tuple: Duration::from_nanos(800),
             lock_wait_timeout: Duration::from_secs(30),
             wal: WalConfig::memory(),
+            isolation: IsolationLevel::SnapshotIsolation,
         }
     }
 }
@@ -502,5 +528,16 @@ mod tests {
         assert!(file.is_durable());
         assert!(file.segment_bytes > 0);
         assert!(file.group_commit_batch >= 1);
+    }
+
+    #[test]
+    fn isolation_defaults_to_snapshot_in_every_preset() {
+        // Serializable mode is opt-in: SIREAD tracking and
+        // dangerous-structure aborts change both memory use and which
+        // transactions survive, so no preset may turn it on.
+        assert_eq!(IsolationLevel::default(), IsolationLevel::SnapshotIsolation);
+        for c in [SimConfig::instant(), SimConfig::paper_shaped()] {
+            assert_eq!(c.isolation, IsolationLevel::SnapshotIsolation);
+        }
     }
 }

@@ -31,6 +31,14 @@ pub enum DbError {
     /// The transaction was explicitly rolled back (client abort, or 2PC
     /// participant failure).
     Aborted(TxnId),
+    /// Serializable-mode (SSI) dangerous-structure abort: committing this
+    /// transaction could complete a rw-antidependency cycle, so it was
+    /// aborted to preserve serializability. Not migration-induced — the
+    /// SSI tax is accounted separately from engine-caused aborts.
+    SsiAbort {
+        /// The transaction aborted as (or against) the unsafe pivot.
+        txn: TxnId,
+    },
     /// The shard is not owned by the node the request landed on; the caller
     /// should refresh its shard map and retry (Squall retries on the
     /// destination).
@@ -77,6 +85,7 @@ impl DbError {
                 | DbError::MigrationAbort { .. }
                 | DbError::NotOwner { .. }
                 | DbError::Aborted(_)
+                | DbError::SsiAbort { .. }
         )
     }
 }
@@ -91,6 +100,9 @@ impl fmt::Display for DbError {
                 write!(f, "migration aborted {txn}: {reason}")
             }
             DbError::Aborted(txn) => write!(f, "transaction {txn} aborted"),
+            DbError::SsiAbort { txn } => {
+                write!(f, "serialization failure: {txn} aborted by SSI")
+            }
             DbError::NotOwner { shard, node } => {
                 write!(f, "{shard} is not owned by {node}")
             }
@@ -147,6 +159,11 @@ mod tests {
         .is_retryable());
         assert!(!DbError::DuplicateKey.is_retryable());
         assert!(!DbError::Internal("x".into()).is_retryable());
+        // An SSI serialization failure is transient (retry with a fresh
+        // snapshot) but must not count as migration-induced.
+        let ssi = DbError::SsiAbort { txn: TxnId(1) };
+        assert!(ssi.is_retryable());
+        assert!(!ssi.is_migration_induced());
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub mod metrics;
 pub mod ts;
 
 pub use config::{
-    HotPathConfig, ParallelismConfig, PlannerConfig, SimConfig, WalBackendKind, WalConfig,
+    HotPathConfig, IsolationLevel, ParallelismConfig, PlannerConfig, SimConfig, WalBackendKind,
+    WalConfig,
 };
 pub use error::{DbError, DbResult};
 pub use fault::{FaultAction, FaultInjector, InjectionPoint, NoFaults};

@@ -26,6 +26,9 @@
 //!   certification, and the applied-watermark maintenance replica reads
 //!   run at.
 //! * [`diversion`] — `T_m` execution with cache-read-through marking.
+//! * [`ssi_handover`] — serializable-mode state handover: SIREAD/write
+//!   registry transfer with a source fence (Remus, wait-and-remaster) or
+//!   conservative straddler dooming (lock-and-abort).
 //! * [`controller`] — the migration controller: plans (consolidation, load
 //!   balancing, scale-out) and sequential execution.
 //! * [`recovery`] — crash recovery (§3.7): decide by `T_m`'s 2PC state,
@@ -44,6 +47,7 @@ pub mod replication;
 pub mod report;
 pub mod snapshot;
 pub mod squall;
+pub mod ssi_handover;
 pub mod trace;
 
 pub use controller::{MigrationController, MigrationPlan};
@@ -53,4 +57,5 @@ pub use remus::RemusEngine;
 pub use replication::{start_replica, ReplicaProcess, StreamApplier};
 pub use report::{MigrationEngine, MigrationReport, MigrationTask};
 pub use squall::SquallEngine;
+pub use ssi_handover::{doom_ssi_straddlers, hand_over_ssi_state};
 pub use trace::{MigrationTrace, Span, SpanId, TraceRecorder};

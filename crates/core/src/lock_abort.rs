@@ -188,6 +188,18 @@ impl MigrationEngine for LockAndAbort {
                 }
             }
         }
+        // Serializable mode: force-abort only found *writers*; straddling
+        // readers hold SIREAD entries that would go stale with the move.
+        // Doom them too, and carry the retained entries of committed
+        // transactions to the destination.
+        let (ssi_entries, ssi_doomed) = crate::ssi_handover::doom_ssi_straddlers(
+            cluster,
+            task,
+            "lock-and-abort ownership transfer",
+        );
+        report.forced_aborts += ssi_doomed;
+        rec.attr(lock_span, "ssi_entries_transferred", ssi_entries);
+        rec.attr(lock_span, "ssi_straddlers_doomed", ssi_doomed);
         rec.attr(lock_span, "forced_aborts", report.forced_aborts);
         rec.end(lock_span);
         // Replay all remaining final updates.

@@ -172,6 +172,11 @@ impl MigrationEngine for WaitAndRemaster {
             )?;
             rec.end(replay_span);
             let tm_span = rec.start("tm_2pc");
+            // Routing is suspended and the cluster drained, so only
+            // retained (committed) SSI entries remain to hand over — the
+            // transfer path with no straddlers by construction.
+            let ssi_entries = crate::ssi_handover::hand_over_ssi_state(cluster, task);
+            rec.attr(tm_span, "ssi_entries_transferred", ssi_entries);
             run_tm(cluster, task)?;
             rec.end(tm_span);
             Ok(())

@@ -247,8 +247,13 @@ impl MigrationEngine for RemusEngine {
         rec.end(apply_span);
         rec.end(barrier_span);
 
-        // Phase 4: ordered diversion.
+        // Phase 4: ordered diversion. Serializable mode hands the shards'
+        // SSI state over first (fence, then copy): from this instant the
+        // rw-antidependency bookkeeping lives on the destination, so a
+        // post-T_m writer there sees every SIREAD owed by source readers.
         let tm_span = rec.start("tm_2pc");
+        let ssi_entries = crate::ssi_handover::hand_over_ssi_state(cluster, task);
+        rec.attr(tm_span, "ssi_entries_transferred", ssi_entries);
         let tm_cts = run_tm(cluster, task)?;
         rec.attr(tm_span, "tm_commit_ts", tm_cts.0);
         rec.end(tm_span);

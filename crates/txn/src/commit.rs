@@ -28,7 +28,38 @@ use remus_wal::{LogOp, LogRecord};
 use crate::hooks::CommitMode;
 use crate::net::Network;
 use crate::node::NodeStorage;
+use crate::ssi::SealOutcome;
 use crate::txn::{Txn, TxnState};
+
+/// SSI commit-entry check: seal the handle (so post-seal edges abort their
+/// live side instead), fail a handover-doomed transaction with a migration
+/// abort, and abort a dangerous-structure pivot with a serialization
+/// failure. No-op under plain snapshot isolation.
+fn ssi_precommit(txn: &mut Txn) -> DbResult<()> {
+    let Some(handle) = txn.ssi.clone() else {
+        return Ok(());
+    };
+    match handle.seal() {
+        SealOutcome::Sealed => {}
+        SealOutcome::Doomed(reason) => {
+            let e = DbError::MigrationAbort {
+                txn: txn.xid,
+                reason,
+            };
+            abort_txn(txn);
+            return Err(e);
+        }
+    }
+    if handle.is_pivot() {
+        if let Some(ssi) = txn.write_nodes.first().and_then(|n| n.ssi.as_ref()) {
+            ssi.ssi_aborts.inc();
+        }
+        let e = DbError::SsiAbort { txn: txn.xid };
+        abort_txn(txn);
+        return Err(e);
+    }
+    Ok(())
+}
 
 /// Writes the prepare (validation) record and marks the CLOG prepared.
 ///
@@ -92,6 +123,15 @@ pub fn commit_txn(
     }
     let write_nodes: Vec<Arc<NodeStorage>> = txn.write_nodes.clone();
     if write_nodes.is_empty() {
+        // Read-only transactions commit at their snapshot, but a
+        // serializable one must still pass the SSI checks: a migration
+        // handover may have doomed it (its SIREAD entries were abandoned),
+        // and its handle must record the commit so retained entries carry
+        // a timestamp for the watermark GC.
+        ssi_precommit(txn)?;
+        if let Some(h) = &txn.ssi {
+            h.mark_committed(txn.start_ts);
+        }
         txn.state = TxnState::Committed(txn.start_ts);
         return Ok(txn.start_ts);
     }
@@ -103,6 +143,10 @@ pub fn commit_txn(
             return Err(e);
         }
     }
+
+    // SSI: seal and run the dangerous-structure pivot check before any
+    // node enters commit progress.
+    ssi_precommit(txn)?;
 
     // Enter commit progress: ask each node's hook for the commit mode.
     let plans: Vec<(
@@ -187,6 +231,9 @@ pub fn commit_txn(
                         rollback_prepared(n, txn.xid);
                         h.end_commit(txn.xid, None);
                     }
+                    if let Some(h) = &txn.ssi {
+                        h.mark_aborted();
+                    }
                     txn.state = TxnState::Aborted;
                     return Err(e);
                 }
@@ -220,6 +267,9 @@ pub fn commit_txn(
         plans[0].1.end_commit(txn.xid, Some(commit_ts));
     }
 
+    if let Some(h) = &txn.ssi {
+        h.mark_committed(commit_ts);
+    }
     txn.state = TxnState::Committed(commit_ts);
     Ok(commit_ts)
 }
@@ -233,6 +283,9 @@ fn abort_txn_inner(txn: &mut Txn) {
 pub fn abort_txn(txn: &mut Txn) {
     if !txn.is_active() {
         return;
+    }
+    if let Some(h) = &txn.ssi {
+        h.mark_aborted();
     }
     for node in &txn.write_nodes {
         let op = if txn.prepared_nodes.contains(&node.id) {

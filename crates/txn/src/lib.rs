@@ -18,6 +18,10 @@
 //!   the H-store-style shard lock table used to reproduce Squall's
 //!   partition-lock concurrency control.
 //! * [`net`] — the network-delay seam used to charge cross-node hops.
+//! * [`ssi`] — serializable snapshot isolation (opt-in via
+//!   [`remus_common::IsolationLevel::Serializable`]): per-node SIREAD lock
+//!   tables, rw-antidependency tracking, and dangerous-structure aborts,
+//!   with SIREAD retention past commit until the safe-ts watermark.
 //! * [`recovery`] — crash-restart WAL replay: after
 //!   [`node::NodeStorage::crash_reset`] drops volatile state and reopens
 //!   the WAL from its durability backend, [`recovery::replay_node_wal`]
@@ -29,6 +33,7 @@ pub mod hooks;
 pub mod net;
 pub mod node;
 pub mod recovery;
+pub mod ssi;
 pub mod txn;
 
 pub use commit::{
@@ -39,4 +44,5 @@ pub use hooks::{CommitMode, NoopHook, SyncCommitHook};
 pub use net::{DelayNetwork, Network, NoNetwork};
 pub use node::{NodeCounters, NodeStorage};
 pub use recovery::{redo_write, replay_node_wal, ReplaySummary};
+pub use ssi::{SealOutcome, SsiNode, SsiPhase, SsiShardExport, SsiTxn};
 pub use txn::Txn;

@@ -18,6 +18,7 @@ use remus_wal::{Lsn, Wal};
 
 use crate::gate::ShardGate;
 use crate::hooks::{NoopHook, SyncCommitHook};
+use crate::ssi::SsiNode;
 
 /// Book-keeping for a transaction active on this node.
 #[derive(Debug, Default, Clone)]
@@ -86,6 +87,10 @@ pub struct NodeStorage {
     pub metrics: MetricsRegistry,
     /// Pre-resolved hot-path counters.
     pub counters: NodeCounters,
+    /// SSI tracking state — present only under
+    /// [`remus_common::IsolationLevel::Serializable`]. `None` keeps the
+    /// snapshot-isolation hot path untouched.
+    pub ssi: Option<Arc<SsiNode>>,
     tables: RwLock<HashMap<ShardId, Arc<VersionedTable>>>,
     next_seq: AtomicU64,
     active: Mutex<HashMap<TxnId, ActiveTxn>>,
@@ -117,6 +122,8 @@ impl NodeStorage {
     pub fn with_metrics(id: NodeId, config: SimConfig, registry: &MetricsRegistry) -> Self {
         let metrics = registry.scoped("node", id.raw());
         let counters = NodeCounters::new(&metrics);
+        let ssi = (config.isolation == remus_common::IsolationLevel::Serializable)
+            .then(|| SsiNode::new(config.hot_path.index_stripes, &metrics));
         let wal = Wal::for_node(&config.wal, id.raw())
             .unwrap_or_else(|e| panic!("opening WAL for node {}: {e}", id.raw()));
         NodeStorage {
@@ -127,6 +134,7 @@ impl NodeStorage {
             config,
             metrics,
             counters,
+            ssi,
             tables: RwLock::new(HashMap::new()),
             next_seq: AtomicU64::new(1),
             active: Mutex::new(HashMap::new()),
@@ -355,6 +363,9 @@ impl NodeStorage {
         self.doomed.lock().clear();
         self.slots.lock().clear();
         self.gate.reset();
+        if let Some(ssi) = &self.ssi {
+            ssi.clear();
+        }
         self.uninstall_hook();
         Ok(())
     }

@@ -18,6 +18,7 @@ use remus_storage::{Key, Value};
 use remus_wal::{LogOp, LogRecord, WriteKind, WriteOp};
 
 use crate::node::NodeStorage;
+use crate::ssi::SsiTxn;
 
 /// Commit-protocol state of a transaction handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,10 @@ pub struct Txn {
     begun: HashSet<NodeId>,
     /// Nodes on which a prepare record has been written.
     pub(crate) prepared_nodes: HashSet<NodeId>,
+    /// SSI handle, present only when the coordinator runs serializable
+    /// mode. Shared by `Arc` into every SIREAD/write-registry entry the
+    /// transaction creates, on any node.
+    pub(crate) ssi: Option<Arc<SsiTxn>>,
 }
 
 impl std::fmt::Debug for Txn {
@@ -63,7 +68,11 @@ impl Txn {
     /// Begins a transaction coordinated by `coordinator` with a fresh xid
     /// and the given snapshot.
     pub fn begin(coordinator: &Arc<NodeStorage>, start_ts: Timestamp) -> Txn {
-        Txn::begin_with(coordinator.alloc_xid(), start_ts, coordinator.id)
+        let mut txn = Txn::begin_with(coordinator.alloc_xid(), start_ts, coordinator.id);
+        if coordinator.ssi.is_some() {
+            txn.ssi = Some(SsiTxn::new(txn.xid, start_ts));
+        }
+        txn
     }
 
     /// Begins a transaction with an explicit xid and snapshot — shadow
@@ -78,7 +87,13 @@ impl Txn {
             write_nodes: Vec::new(),
             begun: HashSet::new(),
             prepared_nodes: HashSet::new(),
+            ssi: None,
         }
+    }
+
+    /// The SSI handle, when the transaction runs serializable.
+    pub fn ssi_handle(&self) -> Option<&Arc<SsiTxn>> {
+        self.ssi.as_ref()
     }
 
     /// True until commit or abort.
@@ -137,13 +152,17 @@ impl Txn {
         self.assert_active()?;
         node.check_doom(self.xid)?;
         let table = node.table_or_err(shard)?;
-        table.read(
+        let value = table.read(
             key,
             self.start_ts,
             self.xid,
             &node.clog,
             node.config.lock_wait_timeout,
-        )
+        )?;
+        if let (Some(ssi), Some(handle)) = (&node.ssi, &self.ssi) {
+            ssi.on_read(handle, shard, key)?;
+        }
+        Ok(value)
     }
 
     fn write_common(
@@ -167,6 +186,12 @@ impl Txn {
             Err(e) => return Err(e),
         };
         self.ensure_begun(node)?;
+        // SSI: register the write and raise edges against concurrent
+        // readers *before* the WAL/table apply — a dangerous structure
+        // detected here fails the statement with no version to purge.
+        if let (Some(ssi), Some(handle)) = (&node.ssi, &self.ssi) {
+            ssi.on_write(handle, shard, key)?;
+        }
         node.wal.append(LogRecord::new(
             self.xid,
             LogOp::Write(WriteOp {

@@ -77,6 +77,7 @@ fn run_experiment(mutate: bool) -> Vec<TxnRecord> {
             value: Some(val("base")),
         }],
         routes: vec![],
+        replica: false,
         begin_seq,
         commit_seq: seq.next().unwrap(),
     });
@@ -134,6 +135,7 @@ fn run_experiment(mutate: bool) -> Vec<TxnRecord> {
             value: Some(val("new")),
         }],
         routes: vec![],
+        replica: false,
         begin_seq: w_begin_seq,
         commit_seq: w_commit_seq,
     });
@@ -152,6 +154,7 @@ fn run_experiment(mutate: bool) -> Vec<TxnRecord> {
         }],
         writes: vec![],
         routes: vec![],
+        replica: false,
         begin_seq: r_begin_seq,
         commit_seq: seq.next().unwrap(),
     });
@@ -267,6 +270,7 @@ fn skipping_prepare_wait_is_caught_and_minimized() {
                 value: Some(val(&format!("pad-{i}"))),
             }],
             routes: vec![],
+            replica: false,
             begin_seq: 500 + 2 * i,
             commit_seq: 501 + 2 * i,
         });
